@@ -1,0 +1,142 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//   1. Section III-C prediction pruning: accuracy must be unchanged, base
+//      model evaluations should drop sharply.
+//   2. Eq. 10 weighting by prior P_t− vs posterior P_t.
+//   3. Final concept models trained on all concept data vs a holdout half
+//      (the paper's "use all data pertaining to a unique concept" claim).
+//   4. Section II-D early termination: build time saved, accuracy impact.
+//   5. Laplace-smoothed holdout errors + significance-guarded cut vs the
+//      paper's literal rules (fragmentation at reduced scale).
+//   6. Holdout vs k-fold scoring cost for the objective function
+//      (the paper's footnote 1).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "classifiers/evaluation.h"
+#include "common/stopwatch.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using hom::Dataset;
+using hom::DatasetView;
+using hom::DecisionTree;
+using hom::HighOrderBuildConfig;
+using hom::HighOrderBuildReport;
+using hom::HighOrderModelBuilder;
+using hom::KFoldError;
+using hom::Rng;
+using hom::RunPrequential;
+using hom::Stopwatch;
+using hom::TrainHoldout;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+struct Variant {
+  const char* name;
+  HighOrderBuildConfig config;
+};
+
+void RunVariant(const Variant& variant, const Dataset& history,
+                const Dataset& test) {
+  Rng rng(99);
+  HighOrderModelBuilder builder(DecisionTree::Factory(), variant.config);
+  HighOrderBuildReport report;
+  auto clf = builder.Build(history, &rng, &report);
+  if (!clf.ok()) {
+    std::printf("%-28s BUILD FAILED: %s\n", variant.name,
+                clf.status().ToString().c_str());
+    return;
+  }
+  auto result = RunPrequential(clf->get(), test);
+  double evals_per_record =
+      static_cast<double>((*clf)->base_evaluations()) /
+      static_cast<double>((*clf)->predictions());
+  std::printf("%-28s err=%.5f test=%.3fs build=%.3fs concepts=%zu "
+              "evals/rec=%.2f\n",
+              variant.name, result.error_rate(), result.seconds,
+              report.build_seconds, report.num_concepts, evals_per_record);
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  hom::StaggerConfig sc;
+  sc.lambda = 0.002;  // enough transitions for statistics at any scale
+  hom::StaggerGenerator gen(71001, sc);
+  Dataset history = gen.Generate(scale.stagger_history);
+  Dataset test = gen.Generate(scale.stagger_test);
+
+  std::printf("== Ablations (Stagger, %zu history / %zu test) ==\n",
+              history.size(), test.size());
+  PrintRule(96);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"baseline (paper defaults)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no prediction pruning", {}};
+    v.config.options.prune_prediction = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"posterior weighting", {}};
+    v.config.options.weight_by_prior = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"holdout-half concept models", {}};
+    v.config.train_on_full_data = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no early termination", {}};
+    v.config.clustering.early_stop = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"literal paper cut (z=0, raw)", {}};
+    v.config.clustering.laplace_error_smoothing = false;
+    v.config.clustering.step1_cut_z = 0.0;
+    v.config.clustering.step2_cut_z = 0.0;
+    v.config.clustering.early_stop_z = 0.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"block size 5", {}};
+    v.config.clustering.block_size = 5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no unbalanced-merge reuse", {}};
+    v.config.clustering.reuse_on_unbalanced_merge = false;
+    variants.push_back(v);
+  }
+  for (const Variant& v : variants) RunVariant(v, history, test);
+
+  // Holdout vs k-fold scoring cost (footnote 1 of the paper): score the
+  // same 2000-record cluster both ways.
+  std::printf("\n== Objective scoring: holdout vs 5-fold CV ==\n");
+  DatasetView cluster(&history, 0, std::min<size_t>(history.size(), 2000));
+  Rng rng(123);
+  Stopwatch sw;
+  for (int i = 0; i < 20; ++i) {
+    auto holdout = TrainHoldout(DecisionTree::Factory(), cluster, &rng);
+    (void)holdout;
+  }
+  double holdout_s = sw.ElapsedSeconds() / 20;
+  sw.Restart();
+  for (int i = 0; i < 20; ++i) {
+    auto err = KFoldError(DecisionTree::Factory(), cluster, 5, &rng);
+    (void)err;
+  }
+  double kfold_s = sw.ElapsedSeconds() / 20;
+  std::printf("holdout: %.4fs per evaluation; 5-fold: %.4fs (%.1fx)\n",
+              holdout_s, kfold_s, kfold_s / holdout_s);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Figure 3: impact of the concept changing rate on error rate
+// and test time, for Stagger and Hyperplane. The x-axis is 1/λ — the
+// expected length of one concept occurrence — swept over the paper's range
+// 200..2200. Expected shapes:
+//   * RePro and WCE error grows sharply as changes become frequent (small
+//     1/λ); the high-order error stays flat.
+//   * RePro test time grows with the change rate (it re-learns at every
+//     change), WCE test time shrinks (instance-based pruning), the
+//     high-order test time is flat.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/repro.h"
+#include "baselines/wce.h"
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "streams/hyperplane.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using hom::Dataset;
+using hom::DecisionTree;
+using hom::HighOrderBuildReport;
+using hom::HighOrderModelBuilder;
+using hom::Record;
+using hom::RePro;
+using hom::Rng;
+using hom::RunPrequential;
+using hom::StreamGenerator;
+using hom::Wce;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+struct Point {
+  double error[3];
+  double seconds[3];
+};
+
+Point RunPoint(StreamGenerator* gen, size_t history_size, size_t test_size,
+               uint64_t seed) {
+  Dataset history = gen->Generate(history_size);
+  Dataset test = gen->Generate(test_size);
+  Point point{};
+
+  Rng rng(seed);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  auto clf = builder.Build(history, &rng);
+  if (clf.ok()) {
+    auto res = RunPrequential(clf->get(), test);
+    point.error[0] = res.error_rate();
+    point.seconds[0] = res.seconds;
+  }
+
+  RePro repro(history.schema(), DecisionTree::Factory());
+  for (const Record& r : history.records()) repro.ObserveLabeled(r);
+  auto rp = RunPrequential(&repro, test);
+  point.error[1] = rp.error_rate();
+  point.seconds[1] = rp.seconds;
+
+  Wce wce(history.schema(), DecisionTree::Factory());
+  for (const Record& r : history.records()) wce.ObserveLabeled(r);
+  auto wc = RunPrequential(&wce, test);
+  point.error[2] = wc.error_rate();
+  point.seconds[2] = wc.seconds;
+  return point;
+}
+
+void Sweep(const char* stream, size_t history_size, size_t test_size,
+           size_t runs,
+           const std::function<std::unique_ptr<StreamGenerator>(
+               double lambda, uint64_t seed)>& make) {
+  std::printf("== Figure 3 (%s): error & test time vs 1/changing-rate ==\n",
+              stream);
+  std::printf("%10s | %12s %12s %12s | %10s %10s %10s\n", "1/rate",
+              "HO err", "RePro err", "WCE err", "HO (s)", "RePro (s)",
+              "WCE (s)");
+  PrintRule(94);
+  for (size_t inv_rate = 200; inv_rate <= 2200; inv_rate += 400) {
+    double lambda = 1.0 / static_cast<double>(inv_rate);
+    Point avg{};
+    for (size_t run = 0; run < runs; ++run) {
+      auto gen = make(lambda, 31000 + inv_rate + run * 7);
+      Point p = RunPoint(gen.get(), history_size, test_size,
+                         inv_rate + run);
+      for (size_t a = 0; a < 3; ++a) {
+        avg.error[a] += p.error[a] / static_cast<double>(runs);
+        avg.seconds[a] += p.seconds[a] / static_cast<double>(runs);
+      }
+    }
+    std::printf("%10zu | %12.5f %12.5f %12.5f | %10.4f %10.4f %10.4f\n",
+                inv_rate, avg.error[0], avg.error[1], avg.error[2],
+                avg.seconds[0], avg.seconds[1], avg.seconds[2]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  Sweep("Stagger", scale.stagger_history, scale.stagger_test, scale.runs,
+        [](double lambda, uint64_t seed) -> std::unique_ptr<StreamGenerator> {
+          hom::StaggerConfig config;
+          config.lambda = lambda;
+          return std::make_unique<hom::StaggerGenerator>(seed, config);
+        });
+  Sweep("Hyperplane", scale.hyperplane_history, scale.hyperplane_test,
+        scale.runs,
+        [](double lambda, uint64_t seed) -> std::unique_ptr<StreamGenerator> {
+          hom::HyperplaneConfig config;
+          config.lambda = lambda;
+          return std::make_unique<hom::HyperplaneGenerator>(seed, config);
+        });
+  return 0;
+}

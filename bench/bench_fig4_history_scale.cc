@@ -1,0 +1,64 @@
+// Reproduces Figure 4: impact of the historical dataset size on the
+// high-order model — classification error, build time, and test time, for
+// Stagger and Hyperplane. Expected shapes:
+//   * error drops as the history grows (better base classifiers), quickly
+//     flattening for Stagger (simple concepts) and more gradually for
+//     Hyperplane (trees need data to approximate a plane);
+//   * build time is near-linear in the history size;
+//   * test time stabilizes once all concepts are discovered.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+#include "streams/hyperplane.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using hom::StreamGenerator;
+using hom::bench::CellResult;
+using hom::bench::PrintRule;
+using hom::bench::RunHighOrderOnly;
+using hom::bench::Scale;
+
+void Sweep(const char* stream, const std::vector<size_t>& sizes,
+           size_t test_size, size_t runs,
+           const hom::bench::GeneratorFactory& make) {
+  std::printf(
+      "== Figure 4 (%s): error / build time / test time vs history size "
+      "==\n",
+      stream);
+  std::printf("%12s %12s %12s %12s %12s\n", "History", "Error", "Build (s)",
+              "Test (s)", "#Concepts");
+  PrintRule(64);
+  for (size_t size : sizes) {
+    CellResult cell = RunHighOrderOnly(make, size, test_size, runs,
+                                       41000 + size);
+    std::printf("%12zu %12.5f %12.4f %12.4f %12.1f\n", size, cell.error,
+                cell.build_seconds, cell.test_seconds, cell.num_concepts);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  std::vector<size_t> sizes;
+  if (scale.is_paper_scale) {
+    sizes = {12500, 25000, 50000, 100000, 150000, 200000};
+  } else {
+    sizes = {2500, 5000, 10000, 20000, 30000, 40000};
+  }
+
+  Sweep("Stagger", sizes, scale.stagger_test, scale.runs,
+        [](uint64_t seed) -> std::unique_ptr<StreamGenerator> {
+          return std::make_unique<hom::StaggerGenerator>(seed);
+        });
+  Sweep("Hyperplane", sizes, scale.hyperplane_test, scale.runs,
+        [](uint64_t seed) -> std::unique_ptr<StreamGenerator> {
+          return std::make_unique<hom::HyperplaneGenerator>(seed);
+        });
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Reproduces Figure 6: active probabilities of the stable concepts around a
+// concept change, in the high-order model. Discovered concepts are mapped
+// back to ground-truth concepts by oracle agreement; for each aligned
+// transition a -> b we trace the probability mass assigned to a and to b.
+// Expected shapes:
+//   * Stagger: mass flips from the old concept to the new one within a few
+//     records of the shift.
+//   * Hyperplane: during the drift the closest stable concept holds the
+//     largest probability; mass settles on the target as the drift ends.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "eval/trace.h"
+#include "streams/hyperplane.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using hom::AlignedTraceAccumulator;
+using hom::Dataset;
+using hom::DecisionTree;
+using hom::HighOrderClassifier;
+using hom::HighOrderModelBuilder;
+using hom::Record;
+using hom::Rng;
+using hom::StreamGenerator;
+using hom::StreamTrace;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+/// Maps each discovered concept to the ground-truth concept whose oracle
+/// labels it agrees with most, probing on `probes` random records.
+std::vector<int> MapConceptsToTruth(
+    HighOrderClassifier* clf, const Dataset& probes,
+    const std::function<hom::Label(const Record&, int)>& oracle,
+    size_t num_true) {
+  std::vector<int> mapping(clf->num_concepts(), 0);
+  for (size_t c = 0; c < clf->num_concepts(); ++c) {
+    const hom::Classifier& model = *clf->concept_model(c).model;
+    size_t best_agree = 0;
+    for (size_t t = 0; t < num_true; ++t) {
+      size_t agree = 0;
+      for (const Record& r : probes.records()) {
+        if (model.Predict(r) == oracle(r, static_cast<int>(t))) ++agree;
+      }
+      if (agree > best_agree) {
+        best_agree = agree;
+        mapping[c] = static_cast<int>(t);
+      }
+    }
+  }
+  return mapping;
+}
+
+void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
+               size_t test_size, size_t before, size_t after, uint64_t seed,
+               const std::function<hom::Label(const Record&, int)>& oracle) {
+  Dataset history = gen->Generate(history_size);
+  StreamTrace trace;
+  Dataset test = gen->Generate(test_size, &trace);
+
+  Rng rng(seed);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  auto clf = builder.Build(history, &rng);
+  if (!clf.ok()) {
+    std::printf("build failed: %s\n", clf.status().ToString().c_str());
+    return;
+  }
+
+  // Probe dataset for the concept mapping: a slice of the history.
+  Dataset probes(history.schema());
+  for (size_t i = 0; i < std::min<size_t>(history.size(), 1000); ++i) {
+    probes.AppendUnchecked(history.record(i * (history.size() / 1000)));
+  }
+  std::vector<int> mapping = MapConceptsToTruth(
+      clf->get(), probes, oracle, gen->num_concepts());
+
+  // Per-record probability mass on the pre-change and post-change true
+  // concepts.
+  std::vector<double> mass_old(test.size(), 0.0);
+  std::vector<double> mass_new(test.size(), 0.0);
+  // For each record, which transition window is it in? Precompute the true
+  // concepts before/after the most recent change.
+  std::vector<int> prev_concept(test.size(), -1);
+  int last_prev = trace.concept_ids.empty() ? -1 : trace.concept_ids[0];
+  size_t next_cp = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (next_cp < trace.change_points.size() &&
+        trace.change_points[next_cp] == i) {
+      if (i > 0) last_prev = trace.concept_ids[i - 1];
+      ++next_cp;
+    }
+    prev_concept[i] = last_prev;
+  }
+
+  for (size_t i = 0; i < test.size(); ++i) {
+    // The prior P_t− that would weigh the prediction of record i.
+    const std::vector<double>& active = (*clf)->active_probabilities();
+    int truth = trace.concept_ids[i];
+    int old_truth = prev_concept[i];
+    for (size_t c = 0; c < mapping.size(); ++c) {
+      if (mapping[c] == truth) mass_new[i] += active[c];
+      if (mapping[c] == old_truth) mass_old[i] += active[c];
+    }
+    (*clf)->ObserveLabeled(test.record(i));
+  }
+
+  AlignedTraceAccumulator acc_old(before, after);
+  AlignedTraceAccumulator acc_new(before, after);
+  acc_old.AddSeries(mass_old, trace.change_points);
+  acc_new.AddSeries(mass_new, trace.change_points);
+
+  std::printf(
+      "== Figure 6 (%s): concept probabilities around a change (%zu "
+      "windows) ==\n",
+      name, acc_new.num_windows());
+  std::printf("%8s %14s %14s\n", "t-cp", "P(old concept)", "P(new concept)");
+  PrintRule(40);
+  std::vector<double> mo = acc_old.Mean();
+  std::vector<double> mn = acc_new.Mean();
+  const size_t kBucket = 5;
+  for (size_t start = 0; start + kBucket <= before + after;
+       start += kBucket) {
+    double ao = 0, an = 0;
+    for (size_t i = start; i < start + kBucket; ++i) {
+      ao += mo[i];
+      an += mn[i];
+    }
+    std::printf("%8ld %14.4f %14.4f\n",
+                static_cast<long>(start + kBucket / 2) -
+                    static_cast<long>(before),
+                ao / kBucket, an / kBucket);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  {
+    hom::StaggerConfig config;
+    config.lambda = 0.002;
+    hom::StaggerGenerator gen(61001, config);
+    RunStream("Stagger", &gen, scale.stagger_history, scale.stagger_test,
+              20, 60, 71,
+              [](const Record& r, int c) {
+                return hom::StaggerGenerator::TrueLabel(r, c);
+              });
+  }
+  {
+    hom::HyperplaneConfig config;
+    config.lambda = 0.002;
+    hom::HyperplaneGenerator gen(61002, config);
+    // The oracle needs this generator's concept weight vectors.
+    hom::HyperplaneGenerator oracle_gen(61002, config);
+    RunStream("Hyperplane", &gen, scale.hyperplane_history,
+              scale.hyperplane_test, 50, 200, 72,
+              [&oracle_gen](const Record& r, int c) {
+                return hom::HyperplaneGenerator::LabelFor(
+                    r.values, oracle_gen.concept_weights(c));
+              });
+  }
+  return 0;
+}

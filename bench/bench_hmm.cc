@@ -1,0 +1,164 @@
+// HMM extension benchmark (the paper's Section III-A future work, built in
+// highorder/hmm.h): how much does offline smoothing buy over the online
+// filter when segmenting a stream into concepts?
+//
+//   * filter   — the paper's forward-only tracker: most likely concept
+//                from P_t (uses only past labels),
+//   * smoothed — forward-backward marginals (uses future labels too),
+//   * viterbi  — the single most likely concept *path*.
+//
+// Ground truth comes from the Stagger generator's trace. We report the
+// per-record concept identification accuracy of each decoder, and the
+// Baum-Welch refinement of the change statistics from an unsegmented
+// stream.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "highorder/builder.h"
+#include "highorder/hmm.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using namespace hom;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+/// Maps discovered concept -> true Stagger concept by oracle agreement.
+std::vector<int> MapToTruth(const HighOrderClassifier& clf) {
+  std::vector<int> mapping(clf.num_concepts(), 0);
+  for (size_t c = 0; c < clf.num_concepts(); ++c) {
+    size_t best_agree = 0;
+    for (int truth = 0; truth < 3; ++truth) {
+      size_t agree = 0;
+      for (int color = 0; color < 3; ++color) {
+        for (int shape = 0; shape < 3; ++shape) {
+          for (int size = 0; size < 3; ++size) {
+            Record r({static_cast<double>(color), static_cast<double>(shape),
+                      static_cast<double>(size)},
+                     kUnlabeled);
+            if (clf.concept_model(c).model->Predict(r) ==
+                StaggerGenerator::TrueLabel(r, truth)) {
+              ++agree;
+            }
+          }
+        }
+      }
+      if (agree > best_agree) {
+        best_agree = agree;
+        mapping[c] = truth;
+      }
+    }
+  }
+  return mapping;
+}
+
+double Accuracy(const std::vector<int>& decoded,
+                const std::vector<int>& mapping,
+                const std::vector<int>& truth) {
+  size_t correct = 0;
+  for (size_t t = 0; t < decoded.size(); ++t) {
+    if (mapping[static_cast<size_t>(decoded[t])] == truth[t]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(decoded.size());
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  StaggerConfig sc;
+  sc.lambda = 0.002;
+  StaggerGenerator gen(91001, sc);
+  Dataset history = gen.Generate(scale.stagger_history);
+  StreamTrace trace;
+  Dataset test = gen.Generate(scale.stagger_test / 2, &trace);
+
+  Rng rng(17);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  auto clf = builder.Build(history, &rng);
+  if (!clf.ok()) {
+    std::printf("build failed: %s\n", clf.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int> mapping = MapToTruth(**clf);
+
+  // Emission likelihoods ψ(c, y_t) for the whole test stream.
+  size_t n = (*clf)->num_concepts();
+  std::vector<std::vector<double>> psi(test.size(),
+                                       std::vector<double>(n));
+  for (size_t t = 0; t < test.size(); ++t) {
+    for (size_t c = 0; c < n; ++c) {
+      const ConceptModel& cm = (*clf)->concept_model(c);
+      bool correct = cm.model->Predict(test.record(t)) ==
+                     test.record(t).label;
+      psi[t][c] = correct ? 1.0 - cm.error : cm.error;
+    }
+  }
+
+  ConceptHmm hmm((*clf)->tracker().stats());
+
+  // Decoder 1: online filter (argmax of the forward posterior).
+  std::vector<int> filtered(test.size());
+  {
+    ActiveProbabilityTracker tracker((*clf)->tracker().stats());
+    for (size_t t = 0; t < test.size(); ++t) {
+      tracker.Observe(psi[t]);
+      size_t best = 0;
+      for (size_t c = 1; c < n; ++c) {
+        if (tracker.posterior()[c] > tracker.posterior()[best]) best = c;
+      }
+      filtered[t] = static_cast<int>(best);
+    }
+  }
+  // Decoder 2: forward-backward smoothing.
+  auto gamma = hmm.ForwardBackward(psi);
+  std::vector<int> smoothed(test.size());
+  if (gamma.ok()) {
+    for (size_t t = 0; t < test.size(); ++t) {
+      size_t best = 0;
+      for (size_t c = 1; c < n; ++c) {
+        if ((*gamma)[t][c] > (*gamma)[t][best]) best = c;
+      }
+      smoothed[t] = static_cast<int>(best);
+    }
+  }
+  // Decoder 3: Viterbi path.
+  auto viterbi = hmm.Viterbi(psi);
+
+  std::printf("== HMM extension: concept identification accuracy "
+              "(%zu records, %zu concepts) ==\n",
+              test.size(), n);
+  PrintRule(60);
+  std::printf("%-28s %10.4f\n", "online filter (paper)",
+              Accuracy(filtered, mapping, trace.concept_ids));
+  if (gamma.ok()) {
+    std::printf("%-28s %10.4f\n", "forward-backward smoothing",
+                Accuracy(smoothed, mapping, trace.concept_ids));
+  }
+  if (viterbi.ok()) {
+    std::printf("%-28s %10.4f\n", "Viterbi path",
+                Accuracy(*viterbi, mapping, trace.concept_ids));
+  }
+
+  // Baum-Welch: refine Len/Freq from the unsegmented stream and check the
+  // likelihood improves monotonically over a few EM steps.
+  std::printf("\n== Baum-Welch refinement of change statistics ==\n");
+  ConceptHmm model = hmm;
+  for (int iter = 0; iter < 3; ++iter) {
+    auto ll = model.LogLikelihood(psi);
+    std::printf("iteration %d: log-likelihood %.1f", iter,
+                ll.ok() ? *ll : 0.0);
+    for (size_t c = 0; c < n; ++c) {
+      std::printf("  Len[%zu]=%.0f", c, model.stats().mean_length(c));
+    }
+    std::printf("\n");
+    auto refined = model.BaumWelchStep(psi);
+    if (!refined.ok()) break;
+    model = std::move(*refined);
+  }
+  return 0;
+}

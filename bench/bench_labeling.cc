@@ -1,0 +1,74 @@
+// Labeling-cost extension benchmark: the paper's Section III-A setting
+// ("Y is usually created by labeling a subset of X online") taken
+// seriously — how much accuracy does each labeling budget buy, and does
+// concept-uncertainty-driven labeling beat a random budget of equal size?
+//
+// The high-order model only needs labels to IDENTIFY the active concept,
+// so its error should degrade gracefully as the budget shrinks, and the
+// uncertainty policy should reach near-full-label accuracy using a small
+// fraction of the labels.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "eval/selective_labeling.h"
+#include "highorder/builder.h"
+#include "highorder/uncertainty_labeling.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using namespace hom;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  StaggerConfig sc;
+  sc.lambda = 0.002;
+  StaggerGenerator gen(95001, sc);
+  Dataset history = gen.Generate(scale.stagger_history);
+  Dataset test = gen.Generate(scale.stagger_test);
+
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+
+  std::printf("== Labeling budget vs error (Stagger, %zu test records) ==\n",
+              test.size());
+  std::printf("%-24s %14s %12s\n", "Policy", "Labels used", "Error");
+  PrintRule(52);
+
+  for (double fraction : {1.0, 0.2, 0.05, 0.01, 0.002}) {
+    Rng rng(5);
+    auto clf = builder.Build(history, &rng);
+    if (!clf.ok()) continue;
+    RandomLabelingPolicy policy(fraction, 11);
+    SelectiveResult res = RunSelectivePrequential(clf->get(), test, &policy);
+    char label[64];
+    std::snprintf(label, sizeof(label), "random %.1f%%", 100 * fraction);
+    std::printf("%-24s %13.1f%% %12.5f\n", label,
+                100 * res.label_fraction(), res.error_rate());
+  }
+
+  for (double trickle : {0.05, 0.02, 0.005}) {
+    Rng rng(5);
+    auto clf = builder.Build(history, &rng);
+    if (!clf.ok()) continue;
+    UncertaintyLabelingConfig config;
+    config.trickle = trickle;
+    UncertaintyLabelingPolicy policy(config);
+    SelectiveResult res = RunSelectivePrequential(clf->get(), test, &policy);
+    char label[64];
+    std::snprintf(label, sizeof(label), "uncertainty (t=%.3f)", trickle);
+    std::printf("%-24s %13.1f%% %12.5f\n", label,
+                100 * res.label_fraction(), res.error_rate());
+  }
+  std::printf(
+      "\nReading: with label-only feedback, detection delay ~1/trickle"
+      "\ndominates the error, so compare each uncertainty row against the"
+      "\nrandom row of EQUAL budget: the burst resolves a detected change"
+      "\nin ~15 records where random needs ~3/fraction records.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: base classifier
+// training and prediction, the active-probability tracker, the stream
+// generators, and the Zipf sampler.
+
+#include <benchmark/benchmark.h>
+
+#include "classifiers/decision_tree.h"
+#include "classifiers/naive_bayes.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "highorder/active_probability.h"
+#include "streams/hyperplane.h"
+#include "streams/intrusion.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+Dataset StaggerData(size_t n) {
+  StaggerGenerator gen(1);
+  return gen.Generate(n);
+}
+
+Dataset HyperplaneData(size_t n) {
+  HyperplaneGenerator gen(2);
+  return gen.Generate(n);
+}
+
+void BM_DecisionTreeTrainStagger(benchmark::State& state) {
+  Dataset data = StaggerData(static_cast<size_t>(state.range(0)));
+  DatasetView view(&data);
+  for (auto _ : state) {
+    DecisionTree tree(data.schema());
+    benchmark::DoNotOptimize(tree.Train(view));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionTreeTrainStagger)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecisionTreeTrainHyperplane(benchmark::State& state) {
+  Dataset data = HyperplaneData(static_cast<size_t>(state.range(0)));
+  DatasetView view(&data);
+  for (auto _ : state) {
+    DecisionTree tree(data.schema());
+    benchmark::DoNotOptimize(tree.Train(view));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecisionTreeTrainHyperplane)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  Dataset data = HyperplaneData(10000);
+  DecisionTree tree(data.schema());
+  (void)tree.Train(DatasetView(&data));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Predict(data.record(i++ % data.size())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  Dataset data = StaggerData(static_cast<size_t>(state.range(0)));
+  DatasetView view(&data);
+  for (auto _ : state) {
+    NaiveBayes nb(data.schema());
+    benchmark::DoNotOptimize(nb.Train(view));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NaiveBayesTrain)->Arg(1000)->Arg(10000);
+
+void BM_NaiveBayesPredictProba(benchmark::State& state) {
+  Dataset data = StaggerData(5000);
+  NaiveBayes nb(data.schema());
+  (void)nb.Train(DatasetView(&data));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nb.PredictProba(data.record(i++ % data.size())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveBayesPredictProba);
+
+void BM_ActiveProbabilityObserve(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto stats = ConceptStats::FromLengthsAndFrequencies(
+      std::vector<double>(n, 500.0),
+      std::vector<double>(n, 1.0 / static_cast<double>(n)));
+  ActiveProbabilityTracker tracker(*stats);
+  std::vector<double> psi(n, 0.5);
+  psi[0] = 0.95;
+  for (auto _ : state) {
+    tracker.Observe(psi);
+    benchmark::DoNotOptimize(tracker.posterior());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActiveProbabilityObserve)->Arg(3)->Arg(10)->Arg(50);
+
+void BM_StaggerGenerate(benchmark::State& state) {
+  StaggerGenerator gen(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StaggerGenerate);
+
+void BM_IntrusionGenerate(benchmark::State& state) {
+  IntrusionGenerator gen(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntrusionGenerate);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(static_cast<size_t>(state.range(0)), 1.0);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace hom
+
+BENCHMARK_MAIN();

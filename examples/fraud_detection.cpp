@@ -1,0 +1,147 @@
+// Fraud detection with delayed, partial labels — the paper's Section III-A
+// scenario: "in financial fraud detection, a small subset of transactions
+// are investigated and labeled. Thus, the labeled data usually lags behind
+// the unlabeled data due to the labeling overhead."
+//
+// Fraud rings rotate between known modus operandi (card testing, account
+// takeover, merchant collusion) — recurring concepts. This example shows
+// the high-order model holding its accuracy when only a small fraction of
+// the stream is ever labeled, and contrasts it with RePro, which must
+// re-learn from those scarce labels.
+
+#include <cstdio>
+
+#include "baselines/repro.h"
+#include "classifiers/decision_tree.h"
+#include "common/rng.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "streams/concept_schedule.h"
+
+namespace {
+
+using namespace hom;
+
+SchemaPtr FraudSchema() {
+  return Schema::Make(
+             {
+                 Attribute::Numeric("amount_usd"),
+                 Attribute::Numeric("minutes_since_last_txn"),
+                 Attribute::Numeric("distance_from_home_km"),
+                 Attribute::Numeric("merchant_risk_score"),
+                 Attribute::Categorical("channel",
+                                        {"chip", "online", "phone"}),
+                 Attribute::Categorical("first_time_merchant", {"no", "yes"}),
+             },
+             {"legit", "fraud"})
+      .ValueOrDie();
+}
+
+enum Ring { kCardTesting = 0, kAccountTakeover = 1, kCollusion = 2 };
+
+// The transaction mix is the same in every period: ordinary purchases plus
+// three recurring "suspicious-looking" patterns (online micro-charges,
+// big-ticket remote buys, charges at high-risk merchants). What rotates is
+// WHICH pattern is currently being exploited: during a card-testing wave
+// the micro-charges are overwhelmingly fraud, while in other periods the
+// very same pattern is legitimate trial subscriptions. Identical inputs,
+// different labels — a classifier must know the active regime.
+Record Sample(Ring ring, Rng* rng) {
+  int pattern = static_cast<int>(rng->NextBounded(4));  // 3 == ordinary
+  double amount, gap, distance, risk;
+  int channel, first_time;
+  switch (pattern) {
+    case kCardTesting:  // online micro-charges at first-time merchants
+      amount = 0.5 + 2.0 * rng->NextDouble();
+      gap = 0.2 + 2.0 * rng->NextDouble();
+      distance = 20 * rng->NextDouble();
+      risk = 0.3 + 0.3 * rng->NextDouble();
+      channel = 1;
+      first_time = 1;
+      break;
+    case kAccountTakeover:  // big-ticket buys far from home
+      amount = 600 + 900 * rng->NextDouble();
+      gap = 30 + 200 * rng->NextDouble();
+      distance = 500 + 2000 * rng->NextDouble();
+      risk = 0.3 + 0.3 * rng->NextDouble();
+      channel = static_cast<int>(rng->NextBounded(2));
+      first_time = 1;
+      break;
+    case kCollusion:  // repeated charges at one risky merchant
+      amount = 150 + 100 * rng->NextDouble();
+      gap = 20 + 60 * rng->NextDouble();
+      distance = 10 * rng->NextDouble();
+      risk = 0.85 + 0.12 * rng->NextDouble();
+      channel = 0;
+      first_time = 0;
+      break;
+    default:  // ordinary purchase, never fraudulent
+      amount = 5 + 120 * rng->NextDouble();
+      gap = 60 + 600 * rng->NextDouble();
+      distance = 20 * rng->NextDouble();
+      risk = 0.2 + 0.2 * rng->NextDouble();
+      channel = static_cast<int>(rng->NextBounded(3));
+      first_time = rng->NextBernoulli(0.2) ? 1 : 0;
+      break;
+  }
+  // Only the ring currently operating turns its pattern into fraud.
+  bool fraud = pattern == static_cast<int>(ring) && rng->NextBernoulli(0.9);
+  return Record({amount, gap, distance, risk, static_cast<double>(channel),
+                 static_cast<double>(first_time)},
+                fraud ? 1 : 0);
+}
+
+Dataset GenerateTransactions(size_t n, uint64_t seed) {
+  Dataset stream(FraudSchema());
+  Rng rng(seed);
+  ConceptSchedule schedule(3, 0.0015, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    schedule.Step(&rng);
+    stream.AppendUnchecked(
+        Sample(static_cast<Ring>(schedule.current()), &rng));
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  // The historical archive IS fully labeled (investigations completed).
+  Dataset history = GenerateTransactions(40000, 777);
+  Dataset live = GenerateTransactions(30000, 778);
+
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(13);
+  HighOrderBuildReport report;
+  auto model = builder.Build(history, &rng, &report);
+  if (!model.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("discovered %zu fraud regimes from %zu transactions "
+              "(true: 3)\n",
+              report.num_concepts, history.size());
+
+  // Live traffic: only a sliver of transactions is ever investigated.
+  for (double labeled : {1.0, 0.10, 0.02}) {
+    PrequentialOptions options;
+    options.labeled_fraction = labeled;
+
+    auto ho_model = builder.Build(history, &rng, nullptr);
+    PrequentialResult ho = RunPrequential(ho_model->get(), live, options);
+
+    RePro repro(FraudSchema(), DecisionTree::Factory());
+    for (const Record& r : history.records()) repro.ObserveLabeled(r);
+    PrequentialResult rp = RunPrequential(&repro, live, options);
+
+    std::printf("labels on %5.1f%% of stream: High-order err %.4f | "
+                "RePro err %.4f\n",
+                100 * labeled, ho.error_rate(), rp.error_rate());
+  }
+  std::printf(
+      "\nThe high-order model only needs labels to *identify* the active\n"
+      "regime (a few bits), not to re-train classifiers, so sparse labels\n"
+      "cost it little.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Traffic prediction — the paper's second motivating example: "we predict
+// traffic patterns in a metropolitan road network. Under normal conditions,
+// traffic behaves in one way, and under other conditions, e.g., after an
+// accident, traffic behaves in another way."
+//
+// The task: predict whether a road segment will be congested in the next
+// interval, from loop-detector features. Conditions (normal / accident /
+// stadium event) recur but switch at unpredictable times — exactly the
+// regime the high-order model was designed for. The example also compares
+// against WCE under the identical protocol and persists the historical
+// stream to CSV to demonstrate the I/O layer.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/wce.h"
+#include "classifiers/decision_tree.h"
+#include "common/rng.h"
+#include "data/io.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "streams/concept_schedule.h"
+
+namespace {
+
+using namespace hom;
+
+SchemaPtr TrafficSchema() {
+  return Schema::Make(
+             {
+                 Attribute::Numeric("flow_veh_per_min"),
+                 Attribute::Numeric("occupancy"),
+                 Attribute::Numeric("avg_speed_kmh"),
+                 Attribute::Categorical("daypart",
+                                        {"night", "am_peak", "midday",
+                                         "pm_peak"}),
+                 Attribute::Categorical("weather", {"dry", "rain"}),
+             },
+             {"free_flow", "congested"})
+      .ValueOrDie();
+}
+
+enum Condition { kNormal = 0, kAccident = 1, kEvent = 2 };
+
+// Loop-detector readings come from the same distribution under every
+// condition — what changes is how they translate into next-interval
+// congestion, because the road's effective capacity changed. The same
+// occupancy that flows freely on a normal day jams after an accident.
+Record Sample(Condition condition, Rng* rng) {
+  int daypart = static_cast<int>(rng->NextBounded(4));
+  int rain = rng->NextBernoulli(0.25) ? 1 : 0;
+  bool peak = daypart == 1 || daypart == 3;
+  double flow = 60.0 * rng->NextDouble();
+  double occ = 0.6 * rng->NextDouble();
+  double speed = 90.0 - 90.0 * occ + 5.0 * rng->NextGaussian();
+  bool congested = false;
+  switch (condition) {
+    case kNormal:  // full capacity: only peak-hour saturation jams
+      congested = occ > 0.35 && peak;
+      break;
+    case kAccident:  // lane closed: light demand jams, rain compounds it
+      congested = occ > 0.20 || (rain == 1 && flow > 30);
+      break;
+    case kEvent:  // stadium egress: off-peak surges overwhelm the ramp
+      congested = !peak && flow > 30;
+      break;
+  }
+  return Record({flow, occ, speed, static_cast<double>(daypart),
+                 static_cast<double>(rain)},
+                congested ? 1 : 0);
+}
+
+Dataset GenerateTraffic(size_t n, uint64_t seed) {
+  Dataset stream(TrafficSchema());
+  Rng rng(seed);
+  // Conditions switch per the paper's schedule: Markov with Zipf-skewed
+  // successor choice — normal is the most common condition.
+  ConceptSchedule schedule(3, 0.002, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    schedule.Step(&rng);
+    stream.AppendUnchecked(
+        Sample(static_cast<Condition>(schedule.current()), &rng));
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  Dataset history = GenerateTraffic(40000, 404);
+  Dataset live = GenerateTraffic(30000, 405);
+
+  // Persist the historical stream (and read it back) to show the CSV layer
+  // that real deployments would use for their archived detector logs.
+  std::string csv =
+      (std::filesystem::temp_directory_path() / "traffic_history.csv")
+          .string();
+  if (Status st = WriteCsv(history, csv); !st.ok()) {
+    std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = ReadCsv(TrafficSchema(), csv);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "csv read failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("archived %zu detector records to %s and reloaded %zu\n",
+              history.size(), csv.c_str(), reloaded->size());
+
+  // Offline phase on the reloaded archive.
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(11);
+  HighOrderBuildReport report;
+  auto model = builder.Build(*reloaded, &rng, &report);
+  if (!model.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("discovered %zu traffic conditions in %.2fs (true: 3)\n",
+              report.num_concepts, report.build_seconds);
+
+  // Online comparison under the identical prequential protocol.
+  PrequentialResult ho = RunPrequential(model->get(), live);
+  std::printf("[High-order] congestion prediction error %.4f (%.3fs)\n",
+              ho.error_rate(), ho.seconds);
+
+  Wce wce(TrafficSchema(), DecisionTree::Factory());
+  for (const Record& r : history.records()) wce.ObserveLabeled(r);
+  PrequentialResult wc = RunPrequential(&wce, live);
+  std::printf("[WCE       ] congestion prediction error %.4f (%.3fs)\n",
+              wc.error_rate(), wc.seconds);
+
+  std::remove(csv.c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "baselines/dwm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hom {
+
+Dwm::Dwm(SchemaPtr schema, IncrementalClassifierFactory expert_factory,
+         DwmConfig config)
+    : schema_(std::move(schema)),
+      expert_factory_(std::move(expert_factory)),
+      config_(config) {
+  HOM_CHECK(expert_factory_ != nullptr);
+  HOM_CHECK_GT(config_.beta, 0.0);
+  HOM_CHECK_LT(config_.beta, 1.0);
+  HOM_CHECK_GE(config_.period, 1u);
+  HOM_CHECK_GE(config_.max_experts, 1u);
+  SpawnExpert();
+}
+
+void Dwm::SpawnExpert() {
+  Expert expert;
+  expert.model = expert_factory_(schema_);
+  expert.weight = 1.0;
+  experts_.push_back(std::move(expert));
+}
+
+std::vector<double> Dwm::WeightedVote(const Record& x) const {
+  std::vector<double> votes(schema_->num_classes(), 0.0);
+  for (const Expert& e : experts_) {
+    Label l = e.model->Predict(x);
+    if (l >= 0 && static_cast<size_t>(l) < votes.size()) {
+      votes[static_cast<size_t>(l)] += e.weight;
+    }
+  }
+  return votes;
+}
+
+Label Dwm::Predict(const Record& x) {
+  std::vector<double> votes = WeightedVote(x);
+  return static_cast<Label>(std::max_element(votes.begin(), votes.end()) -
+                            votes.begin());
+}
+
+std::vector<double> Dwm::PredictProba(const Record& x) {
+  std::vector<double> votes = WeightedVote(x);
+  double total = 0.0;
+  for (double v : votes) total += v;
+  if (total > 0.0) {
+    for (double& v : votes) v /= total;
+  }
+  return votes;
+}
+
+void Dwm::ObserveLabeled(const Record& y) {
+  HOM_DCHECK(y.is_labeled());
+  ++ticks_;
+  bool update_point = ticks_ % config_.period == 0;
+
+  // Global (ensemble) prediction before training, for the expert-spawn
+  // rule; expert-local errors drive the weight decay.
+  std::vector<double> votes(schema_->num_classes(), 0.0);
+  for (Expert& e : experts_) {
+    Label l = e.model->Predict(y);
+    bool wrong = l != y.label;
+    if (wrong && update_point) e.weight *= config_.beta;
+    if (l >= 0 && static_cast<size_t>(l) < votes.size()) {
+      votes[static_cast<size_t>(l)] += e.weight;
+    }
+  }
+  Label global = static_cast<Label>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+
+  if (update_point) {
+    // Normalize, drop feeble experts, and spawn a fresh one if the
+    // ensemble as a whole was wrong.
+    double max_w = 0.0;
+    for (const Expert& e : experts_) max_w = std::max(max_w, e.weight);
+    if (max_w > 0.0) {
+      for (Expert& e : experts_) e.weight /= max_w;
+    }
+    experts_.erase(
+        std::remove_if(experts_.begin(), experts_.end(),
+                       [&](const Expert& e) {
+                         return e.weight < config_.removal_threshold;
+                       }),
+        experts_.end());
+    if (global != y.label && experts_.size() < config_.max_experts) {
+      SpawnExpert();
+    }
+    if (experts_.empty()) SpawnExpert();
+  }
+
+  for (Expert& e : experts_) {
+    Status st = e.model->Update(y);
+    HOM_DCHECK(st.ok()) << st.ToString();
+  }
+}
+
+}  // namespace hom

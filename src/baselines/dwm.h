@@ -1,0 +1,65 @@
+#ifndef HOM_BASELINES_DWM_H_
+#define HOM_BASELINES_DWM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifiers/incremental.h"
+#include "eval/stream_classifier.h"
+
+namespace hom {
+
+/// Parameters of Dynamic Weighted Majority; defaults follow Kolter & Maloof.
+struct DwmConfig {
+  /// Multiplicative penalty applied to an expert's weight when it errs.
+  double beta = 0.5;
+  /// Experts whose (normalized) weight falls below this are removed.
+  double removal_threshold = 0.01;
+  /// Weight updates / expert addition-removal happen every `period`
+  /// records (p in the paper); 1 = every record.
+  size_t period = 50;
+  /// Hard cap on the expert count (the original algorithm is unbounded).
+  size_t max_experts = 25;
+};
+
+/// \brief Dynamic Weighted Majority (Kolter & Maloof, ICDM 2003 — the
+/// paper's reference [15]): an online ensemble of incremental experts whose
+/// weights are multiplicatively punished for mistakes; a new expert is
+/// spawned whenever the weighted ensemble itself errs at an update point.
+///
+/// DWM is the classic "chasing trends" online ensemble: it adapts to any
+/// drift but never remembers that a concept has been seen before — the
+/// behaviour the high-order model is designed to improve on.
+class Dwm : public StreamClassifier {
+ public:
+  Dwm(SchemaPtr schema, IncrementalClassifierFactory expert_factory,
+      DwmConfig config = {});
+
+  Label Predict(const Record& x) override;
+  std::vector<double> PredictProba(const Record& x) override;
+  void ObserveLabeled(const Record& y) override;
+  std::string name() const override { return "DWM"; }
+  size_t num_classes() const override { return schema_->num_classes(); }
+
+  size_t num_experts() const { return experts_.size(); }
+
+ private:
+  struct Expert {
+    std::unique_ptr<IncrementalClassifier> model;
+    double weight = 1.0;
+  };
+
+  std::vector<double> WeightedVote(const Record& x) const;
+  void SpawnExpert();
+
+  SchemaPtr schema_;
+  IncrementalClassifierFactory expert_factory_;
+  DwmConfig config_;
+  std::vector<Expert> experts_;
+  size_t ticks_ = 0;
+};
+
+}  // namespace hom
+
+#endif  // HOM_BASELINES_DWM_H_

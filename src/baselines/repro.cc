@@ -1,0 +1,212 @@
+#include "baselines/repro.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace hom {
+
+RePro::RePro(SchemaPtr schema, ClassifierFactory base_factory,
+             ReProConfig config)
+    : schema_(std::move(schema)),
+      base_factory_(std::move(base_factory)),
+      config_(config),
+      buffer_(schema_),
+      buffer_class_counts_(schema_->num_classes(), 0) {
+  HOM_CHECK(base_factory_ != nullptr);
+  HOM_CHECK_GE(config_.trigger_window, 1u);
+  HOM_CHECK_GE(config_.stable_size, 2u);
+  HOM_CHECK_GT(config_.trigger_threshold, 0.0);
+}
+
+Label RePro::Predict(const Record& x) {
+  if (current_ >= 0) {
+    return concepts_[static_cast<size_t>(current_)].model->Predict(x);
+  }
+  // Bootstrap (or failed proactive state): majority of the records seen so
+  // far.
+  size_t best = 0;
+  for (size_t c = 1; c < buffer_class_counts_.size(); ++c) {
+    if (buffer_class_counts_[c] > buffer_class_counts_[best]) best = c;
+  }
+  return static_cast<Label>(best);
+}
+
+void RePro::ObserveLabeled(const Record& y) {
+  HOM_DCHECK(y.is_labeled());
+  switch (mode_) {
+    case Mode::kBootstrap: {
+      ++buffer_class_counts_[static_cast<size_t>(y.label)];
+      buffer_.AppendUnchecked(y);
+      if (buffer_.size() >= config_.stable_size) {
+        Concept first;
+        first.model = base_factory_(schema_);
+        Status st = first.model->Train(DatasetView(&buffer_));
+        HOM_CHECK(st.ok()) << st.ToString();
+        concepts_.push_back(std::move(first));
+        transitions_.emplace_back(1, 0);
+        for (auto& row : transitions_) row.resize(1, 0);
+        current_ = 0;
+        buffer_ = Dataset(schema_);
+        std::fill(buffer_class_counts_.begin(), buffer_class_counts_.end(),
+                  0);
+        mode_ = Mode::kStable;
+      }
+      return;
+    }
+    case Mode::kStable: {
+      // Trigger detection: error of the current classifier over the last
+      // `trigger_window` labeled records.
+      bool wrong =
+          concepts_[static_cast<size_t>(current_)].model->Predict(y) !=
+          y.label;
+      window_.push_back(wrong ? 1 : 0);
+      window_errors_ += wrong ? 1 : 0;
+      if (window_.size() > config_.trigger_window) {
+        window_errors_ -= window_.front();
+        window_.pop_front();
+      }
+      if (window_.size() == config_.trigger_window &&
+          static_cast<double>(window_errors_) /
+                  static_cast<double>(window_.size()) >=
+              config_.trigger_threshold) {
+        HandleTrigger();
+      }
+      return;
+    }
+    case Mode::kLearning: {
+      ++buffer_class_counts_[static_cast<size_t>(y.label)];
+      buffer_.AppendUnchecked(y);
+      ++since_recheck_;
+      // Periodically scan the concept history for a reappearing concept so
+      // recovery does not have to wait for the full stable buffer.
+      if (since_recheck_ >= config_.recheck_interval &&
+          buffer_.size() >= config_.trigger_window) {
+        since_recheck_ = 0;
+        int match = FindReappearing();
+        if (match >= 0) {
+          RecordTransition(pre_trigger_, match);
+          current_ = match;
+          buffer_ = Dataset(schema_);
+          std::fill(buffer_class_counts_.begin(),
+                    buffer_class_counts_.end(), 0);
+          mode_ = Mode::kStable;
+          window_.clear();
+          window_errors_ = 0;
+          return;
+        }
+      }
+      if (buffer_.size() >= config_.stable_size) {
+        ConcludeLearning();
+      }
+      return;
+    }
+  }
+}
+
+void RePro::HandleTrigger() {
+  ++num_triggers_;
+  pre_trigger_ = current_;
+  mode_ = Mode::kLearning;
+  buffer_ = Dataset(schema_);
+  std::fill(buffer_class_counts_.begin(), buffer_class_counts_.end(), 0);
+  window_.clear();
+  window_errors_ = 0;
+  since_recheck_ = 0;
+  // Proactive jump: if the transition history is confident about the
+  // successor, start predicting with it immediately instead of clinging to
+  // the outdated classifier.
+  int successor = ProactiveSuccessor(pre_trigger_);
+  if (successor >= 0) current_ = successor;
+}
+
+int RePro::FindReappearing() const {
+  DatasetView view(&buffer_);
+  int best = -1;
+  double best_acc = 0.0;
+  for (size_t c = 0; c < concepts_.size(); ++c) {
+    size_t correct = 0;
+    for (size_t i = 0; i < view.size(); ++i) {
+      const Record& r = view.record(i);
+      if (concepts_[c].model->Predict(r) == r.label) ++correct;
+    }
+    double acc = static_cast<double>(correct) /
+                 static_cast<double>(view.size());
+    if (acc >= config_.reuse_threshold && acc > best_acc) {
+      best_acc = acc;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void RePro::ConcludeLearning() {
+  int match = FindReappearing();
+  if (match < 0) {
+    // Learn a brand-new concept, then make sure it is not conceptually
+    // equivalent to a historical one (agreement on the learning buffer).
+    Concept fresh;
+    fresh.model = base_factory_(schema_);
+    Status st = fresh.model->Train(DatasetView(&buffer_));
+    if (!st.ok()) {
+      HOM_LOG(kWarning) << "RePro concept training failed: " << st.ToString();
+      // Stay with the current concept rather than install a broken model.
+      match = current_ >= 0 ? current_ : 0;
+    } else {
+      DatasetView view(&buffer_);
+      for (size_t c = 0; c < concepts_.size() && match < 0; ++c) {
+        size_t agree = 0;
+        for (size_t i = 0; i < view.size(); ++i) {
+          if (concepts_[c].model->Predict(view.record(i)) ==
+              fresh.model->Predict(view.record(i))) {
+            ++agree;
+          }
+        }
+        if (static_cast<double>(agree) / static_cast<double>(view.size()) >=
+            config_.equivalence_threshold) {
+          match = static_cast<int>(c);
+        }
+      }
+      if (match < 0) {
+        concepts_.push_back(std::move(fresh));
+        for (auto& row : transitions_) row.resize(concepts_.size(), 0);
+        transitions_.emplace_back(concepts_.size(), 0);
+        match = static_cast<int>(concepts_.size() - 1);
+      }
+    }
+  }
+  RecordTransition(pre_trigger_, match);
+  current_ = match;
+  buffer_ = Dataset(schema_);
+  std::fill(buffer_class_counts_.begin(), buffer_class_counts_.end(), 0);
+  mode_ = Mode::kStable;
+  window_.clear();
+  window_errors_ = 0;
+}
+
+void RePro::RecordTransition(int from, int to) {
+  if (from < 0 || to < 0 || from == to) return;
+  ++transitions_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+}
+
+int RePro::ProactiveSuccessor(int from) const {
+  if (from < 0) return -1;
+  const std::vector<size_t>& row = transitions_[static_cast<size_t>(from)];
+  size_t total = 0;
+  size_t best_count = 0;
+  int best = -1;
+  for (size_t to = 0; to < row.size(); ++to) {
+    total += row[to];
+    if (row[to] > best_count) {
+      best_count = row[to];
+      best = static_cast<int>(to);
+    }
+  }
+  if (total == 0 || best < 0) return -1;
+  double confidence =
+      static_cast<double>(best_count) / static_cast<double>(total);
+  return confidence >= config_.proactive_threshold ? best : -1;
+}
+
+}  // namespace hom

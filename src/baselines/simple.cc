@@ -1,0 +1,99 @@
+#include "baselines/simple.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "data/dataset_view.h"
+
+namespace hom {
+
+StaticBaseline::StaticBaseline(SchemaPtr schema, ClassifierFactory factory,
+                               size_t bootstrap_size)
+    : schema_(std::move(schema)),
+      factory_(std::move(factory)),
+      bootstrap_size_(bootstrap_size),
+      buffer_(schema_) {
+  HOM_CHECK(factory_ != nullptr);
+  HOM_CHECK_GE(bootstrap_size, 1u);
+}
+
+Label StaticBaseline::Predict(const Record& x) {
+  if (model_ != nullptr) return model_->Predict(x);
+  return DatasetView(&buffer_).MajorityClass();
+}
+
+std::vector<double> StaticBaseline::PredictProba(const Record& x) {
+  if (model_ != nullptr) return model_->PredictProba(x);
+  return StreamClassifier::PredictProba(x);
+}
+
+void StaticBaseline::ObserveLabeled(const Record& y) {
+  if (model_ != nullptr) return;  // frozen forever after bootstrap
+  buffer_.AppendUnchecked(y);
+  if (buffer_.size() >= bootstrap_size_) {
+    model_ = factory_(schema_);
+    Status st = model_->Train(DatasetView(&buffer_));
+    if (!st.ok()) {
+      HOM_LOG(kWarning) << "static baseline training failed: "
+                        << st.ToString();
+      model_.reset();
+    }
+    buffer_ = Dataset(schema_);
+  }
+}
+
+SlidingWindowBaseline::SlidingWindowBaseline(SchemaPtr schema,
+                                             ClassifierFactory factory,
+                                             size_t window_size,
+                                             size_t retrain_interval)
+    : schema_(std::move(schema)),
+      factory_(std::move(factory)),
+      window_size_(window_size),
+      retrain_interval_(retrain_interval) {
+  HOM_CHECK(factory_ != nullptr);
+  HOM_CHECK_GE(window_size, 2u);
+  HOM_CHECK_GE(retrain_interval, 1u);
+}
+
+Label SlidingWindowBaseline::Predict(const Record& x) {
+  if (model_ != nullptr) return model_->Predict(x);
+  // Majority of the (partial) window before the first retrain.
+  std::vector<size_t> counts(schema_->num_classes(), 0);
+  for (const Record& r : window_) ++counts[static_cast<size_t>(r.label)];
+  size_t best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return static_cast<Label>(best);
+}
+
+std::vector<double> SlidingWindowBaseline::PredictProba(const Record& x) {
+  if (model_ != nullptr) return model_->PredictProba(x);
+  return StreamClassifier::PredictProba(x);
+}
+
+void SlidingWindowBaseline::Retrain() {
+  Dataset snapshot(schema_);
+  snapshot.Reserve(window_.size());
+  for (const Record& r : window_) snapshot.AppendUnchecked(r);
+  std::unique_ptr<Classifier> fresh = factory_(schema_);
+  Status st = fresh->Train(DatasetView(&snapshot));
+  if (st.ok()) {
+    model_ = std::move(fresh);
+    ++retrains_;
+  } else {
+    HOM_LOG(kWarning) << "window retrain failed: " << st.ToString();
+  }
+}
+
+void SlidingWindowBaseline::ObserveLabeled(const Record& y) {
+  HOM_DCHECK(y.is_labeled());
+  window_.push_back(y);
+  if (window_.size() > window_size_) window_.pop_front();
+  if (++since_retrain_ >= retrain_interval_ &&
+      window_.size() >= window_size_ / 2) {
+    since_retrain_ = 0;
+    Retrain();
+  }
+}
+
+}  // namespace hom

@@ -1,0 +1,74 @@
+#ifndef HOM_BASELINES_SIMPLE_H_
+#define HOM_BASELINES_SIMPLE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "classifiers/classifier.h"
+#include "eval/stream_classifier.h"
+
+namespace hom {
+
+/// \brief The "train once, never adapt" floor: fits one batch model on the
+/// first `bootstrap_size` labeled records and uses it forever.
+///
+/// On a stationary stream this is optimal; on an evolving stream it decays
+/// — the degenerate end of the design space the paper argues against.
+class StaticBaseline : public StreamClassifier {
+ public:
+  StaticBaseline(SchemaPtr schema, ClassifierFactory factory,
+                 size_t bootstrap_size = 1000);
+
+  Label Predict(const Record& x) override;
+  std::vector<double> PredictProba(const Record& x) override;
+  void ObserveLabeled(const Record& y) override;
+  std::string name() const override { return "Static"; }
+  size_t num_classes() const override { return schema_->num_classes(); }
+
+  bool trained() const { return model_ != nullptr; }
+
+ private:
+  SchemaPtr schema_;
+  ClassifierFactory factory_;
+  size_t bootstrap_size_;
+  Dataset buffer_;
+  std::unique_ptr<Classifier> model_;
+};
+
+/// \brief The archetypal trend chaser: keep the last `window_size` labeled
+/// records and retrain a fresh model every `retrain_interval` records.
+///
+/// This is the "endless snapshots" strategy of the paper's introduction:
+/// it adapts, but each snapshot is trained on little data, it forgets
+/// recurring concepts, and it pays a retraining bill forever.
+class SlidingWindowBaseline : public StreamClassifier {
+ public:
+  SlidingWindowBaseline(SchemaPtr schema, ClassifierFactory factory,
+                        size_t window_size = 500,
+                        size_t retrain_interval = 100);
+
+  Label Predict(const Record& x) override;
+  std::vector<double> PredictProba(const Record& x) override;
+  void ObserveLabeled(const Record& y) override;
+  std::string name() const override { return "SlidingWindow"; }
+  size_t num_classes() const override { return schema_->num_classes(); }
+
+  size_t retrain_count() const { return retrains_; }
+
+ private:
+  void Retrain();
+
+  SchemaPtr schema_;
+  ClassifierFactory factory_;
+  size_t window_size_;
+  size_t retrain_interval_;
+  std::deque<Record> window_;
+  std::unique_ptr<Classifier> model_;
+  size_t since_retrain_ = 0;
+  size_t retrains_ = 0;
+};
+
+}  // namespace hom
+
+#endif  // HOM_BASELINES_SIMPLE_H_

@@ -1,0 +1,178 @@
+#include "baselines/wce.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace hom {
+
+namespace {
+
+/// Mean squared error of probabilistic predictions on `data`:
+/// mean of (1 - f^{true class}(x))² (WCE's benefit measure).
+double MeanSquaredError(const Classifier& model, const DatasetView& data) {
+  if (data.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Record& r = data.record(i);
+    std::vector<double> proba = model.PredictProba(r);
+    double miss = 1.0 - proba[static_cast<size_t>(r.label)];
+    total += miss * miss;
+  }
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+Wce::Wce(SchemaPtr schema, ClassifierFactory base_factory, WceConfig config)
+    : schema_(std::move(schema)),
+      base_factory_(std::move(base_factory)),
+      config_(config),
+      rng_(config.seed),
+      buffer_(schema_),
+      buffer_class_counts_(schema_->num_classes(), 0) {
+  HOM_CHECK(base_factory_ != nullptr);
+  HOM_CHECK_GE(config_.chunk_size, 2u);
+  HOM_CHECK_GE(config_.ensemble_size, 1u);
+}
+
+void Wce::FinishChunk() {
+  DatasetView chunk(&buffer_);
+
+  // MSE_r: the expected squared error of random guessing under the chunk's
+  // class distribution, Σ_c p(c)(1 - p(c))².
+  std::vector<size_t> counts = buffer_.ClassCounts();
+  double total = static_cast<double>(buffer_.size());
+  double mse_r = 0.0;
+  for (size_t c : counts) {
+    double p = static_cast<double>(c) / total;
+    mse_r += p * (1.0 - p) * (1.0 - p);
+  }
+
+  // Reweigh the existing members against the newest chunk.
+  for (Member& m : members_) {
+    m.weight = mse_r - MeanSquaredError(*m.model, chunk);
+  }
+
+  // The newest classifier cannot honestly score itself on its own training
+  // chunk; estimate its MSE by cross-validation first, then train the
+  // deployed model on the whole chunk.
+  double cv_mse = 0.0;
+  size_t folds = std::min(config_.cv_folds, buffer_.size());
+  if (folds >= 2) {
+    std::vector<uint32_t> shuffled = chunk.indices();
+    rng_.Shuffle(&shuffled);
+    double sum = 0.0;
+    size_t evaluated = 0;
+    for (size_t f = 0; f < folds; ++f) {
+      std::vector<uint32_t> train_idx;
+      std::vector<uint32_t> test_idx;
+      for (size_t i = 0; i < shuffled.size(); ++i) {
+        (i % folds == f ? test_idx : train_idx).push_back(shuffled[i]);
+      }
+      DatasetView train(&buffer_, std::move(train_idx));
+      DatasetView test(&buffer_, std::move(test_idx));
+      std::unique_ptr<Classifier> fold_model = base_factory_(schema_);
+      if (!fold_model->Train(train).ok()) continue;
+      sum += MeanSquaredError(*fold_model, test) *
+             static_cast<double>(test.size());
+      evaluated += test.size();
+    }
+    cv_mse = evaluated > 0 ? sum / static_cast<double>(evaluated) : mse_r;
+  }
+
+  Member fresh;
+  fresh.model = base_factory_(schema_);
+  Status st = fresh.model->Train(chunk);
+  if (st.ok()) {
+    fresh.weight = mse_r - cv_mse;
+    members_.push_back(std::move(fresh));
+  } else {
+    HOM_LOG(kWarning) << "WCE chunk training failed: " << st.ToString();
+  }
+
+  std::sort(members_.begin(), members_.end(),
+            [](const Member& a, const Member& b) {
+              return a.weight > b.weight;
+            });
+  if (members_.size() > config_.ensemble_size) {
+    members_.resize(config_.ensemble_size);
+  }
+
+  buffer_ = Dataset(schema_);
+  std::fill(buffer_class_counts_.begin(), buffer_class_counts_.end(), 0);
+}
+
+void Wce::ObserveLabeled(const Record& y) {
+  HOM_DCHECK(y.is_labeled());
+  ++buffer_class_counts_[static_cast<size_t>(y.label)];
+  buffer_.AppendUnchecked(y);
+  if (buffer_.size() >= config_.chunk_size) FinishChunk();
+}
+
+std::vector<double> Wce::Score(const Record& x) {
+  std::vector<double> score(schema_->num_classes(), 0.0);
+  bool any = false;
+  double consumed = 0.0;
+  double positive_total = 0.0;
+  for (const Member& m : members_) {
+    if (m.weight > 0.0) positive_total += m.weight;
+  }
+  for (const Member& m : members_) {  // sorted by weight, descending
+    if (m.weight <= 0.0) break;
+    std::vector<double> proba = m.model->PredictProba(x);
+    ++base_evaluations_;
+    for (size_t l = 0; l < score.size(); ++l) {
+      score[l] += m.weight * proba[l];
+    }
+    any = true;
+    consumed += m.weight;
+    if (config_.instance_pruning) {
+      // Remaining members can add at most (positive_total - consumed) to
+      // any single class; stop once the leader's margin exceeds that.
+      double remaining = positive_total - consumed;
+      double best = -1.0;
+      double second = -1.0;
+      for (double s : score) {
+        if (s > best) {
+          second = best;
+          best = s;
+        } else if (s > second) {
+          second = s;
+        }
+      }
+      if (best - second > remaining) break;
+    }
+  }
+  if (!any) {
+    // No usable member yet (cold start): vote with the running class
+    // distribution of the chunk under construction.
+    size_t seen = 0;
+    for (size_t c : buffer_class_counts_) seen += c;
+    for (size_t l = 0; l < score.size(); ++l) {
+      score[l] = seen > 0 ? static_cast<double>(buffer_class_counts_[l]) /
+                                static_cast<double>(seen)
+                          : 1.0 / static_cast<double>(score.size());
+    }
+  }
+  return score;
+}
+
+Label Wce::Predict(const Record& x) {
+  std::vector<double> score = Score(x);
+  return static_cast<Label>(std::max_element(score.begin(), score.end()) -
+                            score.begin());
+}
+
+std::vector<double> Wce::PredictProba(const Record& x) {
+  std::vector<double> score = Score(x);
+  double total = 0.0;
+  for (double s : score) total += s;
+  if (total > 0.0) {
+    for (double& s : score) s /= total;
+  }
+  return score;
+}
+
+}  // namespace hom

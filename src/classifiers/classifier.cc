@@ -1,0 +1,14 @@
+#include "classifiers/classifier.h"
+
+namespace hom {
+
+std::vector<double> Classifier::PredictProba(const Record& record) const {
+  std::vector<double> proba(num_classes(), 0.0);
+  Label l = Predict(record);
+  if (l >= 0 && static_cast<size_t>(l) < proba.size()) {
+    proba[static_cast<size_t>(l)] = 1.0;
+  }
+  return proba;
+}
+
+}  // namespace hom

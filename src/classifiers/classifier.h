@@ -1,0 +1,63 @@
+#ifndef HOM_CLASSIFIERS_CLASSIFIER_H_
+#define HOM_CLASSIFIERS_CLASSIFIER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "data/dataset_view.h"
+#include "data/record.h"
+
+namespace hom {
+
+/// \brief Interface of a base model M_i trained on stationary data
+/// (Section II-B: "any method designed for mining stationary data").
+///
+/// The high-order model, RePro and WCE are all parameterized over this
+/// interface, so any learner (decision tree, Naive Bayes, ...) can serve as
+/// the common base classifier, mirroring the paper's use of C4.5 everywhere.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Fits the model to the labeled records in `data`. Records must all be
+  /// labeled; fails on an empty view.
+  virtual Status Train(const DatasetView& data) = 0;
+
+  /// Predicts the class label of one record. Requires a prior Train().
+  virtual Label Predict(const Record& record) const = 0;
+
+  /// Per-class probability estimates M(l|x) (Eq. 10). The default
+  /// implementation puts mass 1 on Predict()'s answer.
+  virtual std::vector<double> PredictProba(const Record& record) const;
+
+  /// Number of classes this model distinguishes.
+  virtual size_t num_classes() const = 0;
+
+  /// Rough model size (nodes for trees, parameters for NB); used by
+  /// efficiency diagnostics.
+  virtual size_t ComplexityHint() const { return 1; }
+
+  /// Stable type tag for polymorphic serialization ("dtree", "nbayes",
+  /// "majority"); empty when the type does not support persistence.
+  virtual std::string TypeTag() const { return ""; }
+
+  /// Writes the trained model's payload (not the tag). Types that return
+  /// an empty TypeTag() keep the default NotImplemented.
+  virtual Status SaveTo(BinaryWriter* writer) const {
+    (void)writer;
+    return Status::NotImplemented("this classifier is not serializable");
+  }
+};
+
+/// Creates fresh untrained classifiers; this is how callers choose the base
+/// learner for the high-order model and the baselines.
+using ClassifierFactory =
+    std::function<std::unique_ptr<Classifier>(const SchemaPtr& schema)>;
+
+}  // namespace hom
+
+#endif  // HOM_CLASSIFIERS_CLASSIFIER_H_

@@ -1,0 +1,529 @@
+#include "classifiers/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+
+double Entropy(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      double p = c / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+/// C4.5 release 8 "AddErrs": the expected number of extra errors at a leaf
+/// with `n` cases and `e` observed errors, at confidence factor `cf`
+/// (upper bound of the binomial error rate, normal approximation with the
+/// original interpolation table).
+double AddErrs(double n, double e, double cf) {
+  static const double kVal[] = {0,    0.001, 0.005, 0.01, 0.05,
+                                0.10, 0.20,  0.40,  1.00};
+  static const double kDev[] = {4.0,  3.09, 2.58, 2.33, 1.65,
+                                1.28, 0.84, 0.25, 0.00};
+  int i = 0;
+  while (cf > kVal[i]) ++i;
+  double coeff = kDev[i - 1] +
+                 (kDev[i] - kDev[i - 1]) * (cf - kVal[i - 1]) /
+                     (kVal[i] - kVal[i - 1]);
+  coeff = coeff * coeff;
+
+  if (e < 1e-6) {
+    return n * (1.0 - std::exp(std::log(cf) / n));
+  }
+  if (e < 0.9999) {
+    double val0 = n * (1.0 - std::exp(std::log(cf) / n));
+    return val0 + e * (AddErrs(n, 1.0, cf) - val0);
+  }
+  if (e + 0.5 >= n) {
+    return 0.67 * (n - e);
+  }
+  double pr =
+      (e + 0.5 + coeff / 2 +
+       std::sqrt(coeff * ((e + 0.5) * (1 - (e + 0.5) / n) + coeff / 4))) /
+      (n + coeff);
+  return n * pr - e;
+}
+
+Label ArgMax(const std::vector<double>& counts) {
+  size_t best = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<Label>(best);
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(SchemaPtr schema, DecisionTreeConfig config)
+    : schema_(std::move(schema)), config_(config) {
+  HOM_CHECK(schema_ != nullptr);
+  HOM_CHECK_GE(config_.min_leaf_size, 1u);
+  HOM_CHECK_GT(config_.pruning_confidence, 0.0);
+  HOM_CHECK_LE(config_.pruning_confidence, 1.0);
+}
+
+Status DecisionTree::Train(const DatasetView& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot train a tree on an empty view");
+  }
+  nodes_.clear();
+  std::vector<const Record*> rows;
+  rows.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Record& r = data.record(i);
+    if (!r.is_labeled()) {
+      return Status::InvalidArgument("training data contains unlabeled record");
+    }
+    rows.push_back(&r);
+  }
+  BuildNode(&rows, 0, rows.size(), 0);
+  if (config_.prune) {
+    PruneSubtree(0);
+    // Drop orphaned nodes so num_nodes()/depth() reflect the pruned tree.
+    std::vector<Node> compact;
+    compact.reserve(nodes_.size());
+    // Iterative DFS remap from the root.
+    std::vector<int32_t> stack = {0};
+    std::vector<int32_t> remap(nodes_.size(), -1);
+    while (!stack.empty()) {
+      int32_t old = stack.back();
+      stack.pop_back();
+      if (remap[old] >= 0) continue;
+      remap[old] = static_cast<int32_t>(compact.size());
+      compact.push_back(nodes_[old]);
+      for (int32_t child : nodes_[old].children) stack.push_back(child);
+    }
+    for (Node& node : compact) {
+      for (int32_t& child : node.children) child = remap[child];
+    }
+    // DFS order above does not preserve child-before-parent ordering, but
+    // remap is complete, so pointers are consistent.
+    nodes_ = std::move(compact);
+  }
+  return Status::OK();
+}
+
+int32_t DecisionTree::MakeLeaf(const std::vector<double>& counts) {
+  Node leaf;
+  leaf.class_counts = counts;
+  leaf.total = 0.0;
+  for (double c : counts) leaf.total += c;
+  leaf.majority = ArgMax(counts);
+  nodes_.push_back(std::move(leaf));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t DecisionTree::BuildNode(std::vector<const Record*>* rows,
+                                size_t begin, size_t end, size_t depth) {
+  HOM_DCHECK(begin < end);
+  std::vector<double> counts(schema_->num_classes(), 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    counts[static_cast<size_t>((*rows)[i]->label)] += 1.0;
+  }
+  size_t n = end - begin;
+  bool pure = false;
+  for (double c : counts) {
+    if (c == static_cast<double>(n)) pure = true;
+  }
+  bool depth_capped = config_.max_depth > 0 && depth >= config_.max_depth;
+  if (pure || n < 2 * config_.min_leaf_size || depth_capped) {
+    return MakeLeaf(counts);
+  }
+
+  SplitChoice split = ChooseSplit(*rows, begin, end, counts);
+  if (split.attribute < 0) {
+    return MakeLeaf(counts);
+  }
+
+  const Attribute& attr = schema_->attribute(split.attribute);
+  int32_t me = -1;
+  {
+    Node node;
+    node.attribute = split.attribute;
+    node.threshold = split.threshold;
+    node.class_counts = counts;
+    node.total = static_cast<double>(n);
+    node.majority = ArgMax(counts);
+    nodes_.push_back(std::move(node));
+    me = static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  std::vector<int32_t> children;
+  if (attr.is_numeric()) {
+    auto mid = std::stable_partition(
+        rows->begin() + begin, rows->begin() + end,
+        [&](const Record* r) {
+          return r->values[split.attribute] <= split.threshold;
+        });
+    size_t cut = static_cast<size_t>(mid - rows->begin());
+    HOM_DCHECK(cut > begin && cut < end);
+    children.push_back(BuildNode(rows, begin, cut, depth + 1));
+    children.push_back(BuildNode(rows, cut, end, depth + 1));
+  } else {
+    // Counting sort of the subrange by category.
+    size_t k = attr.cardinality();
+    std::vector<std::vector<const Record*>> buckets(k);
+    for (size_t i = begin; i < end; ++i) {
+      buckets[static_cast<size_t>((*rows)[i]->category(split.attribute))]
+          .push_back((*rows)[i]);
+    }
+    size_t pos = begin;
+    std::vector<std::pair<size_t, size_t>> ranges(k);
+    for (size_t v = 0; v < k; ++v) {
+      size_t start = pos;
+      for (const Record* r : buckets[v]) (*rows)[pos++] = r;
+      ranges[v] = {start, pos};
+    }
+    for (size_t v = 0; v < k; ++v) {
+      if (ranges[v].first == ranges[v].second) {
+        // Empty branch: a weightless leaf predicting the parent majority
+        // (C4.5 behaviour). Contributes no errors to pruning.
+        Node leaf;
+        leaf.class_counts.assign(schema_->num_classes(), 0.0);
+        leaf.total = 0.0;
+        leaf.majority = nodes_[me].majority;
+        nodes_.push_back(std::move(leaf));
+        children.push_back(static_cast<int32_t>(nodes_.size() - 1));
+      } else {
+        children.push_back(
+            BuildNode(rows, ranges[v].first, ranges[v].second, depth + 1));
+      }
+    }
+  }
+  nodes_[me].children = std::move(children);
+  return me;
+}
+
+DecisionTree::SplitChoice DecisionTree::ChooseSplit(
+    const std::vector<const Record*>& rows, size_t begin, size_t end,
+    const std::vector<double>& counts) const {
+  size_t n = end - begin;
+  double total = static_cast<double>(n);
+  double base_entropy = Entropy(counts, total);
+  size_t num_classes = schema_->num_classes();
+
+  struct Candidate {
+    int attribute = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+    double split_info = 0.0;
+  };
+  std::vector<Candidate> candidates;
+
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      std::vector<double> branch_counts(k * num_classes, 0.0);
+      std::vector<double> branch_totals(k, 0.0);
+      for (size_t i = begin; i < end; ++i) {
+        size_t v = static_cast<size_t>(rows[i]->category(a));
+        branch_counts[v * num_classes +
+                      static_cast<size_t>(rows[i]->label)] += 1.0;
+        branch_totals[v] += 1.0;
+      }
+      size_t populated = 0;
+      size_t big_enough = 0;
+      for (size_t v = 0; v < k; ++v) {
+        if (branch_totals[v] > 0) ++populated;
+        if (branch_totals[v] >= static_cast<double>(config_.min_leaf_size)) {
+          ++big_enough;
+        }
+      }
+      // C4.5 requires a genuine partition: >= 2 populated branches, at
+      // least 2 of them with the minimum number of objects.
+      if (populated < 2 || big_enough < 2) continue;
+      double cond = 0.0;
+      double split_info = 0.0;
+      for (size_t v = 0; v < k; ++v) {
+        if (branch_totals[v] <= 0) continue;
+        std::vector<double> bc(branch_counts.begin() + v * num_classes,
+                               branch_counts.begin() + (v + 1) * num_classes);
+        cond += (branch_totals[v] / total) * Entropy(bc, branch_totals[v]);
+        double p = branch_totals[v] / total;
+        split_info -= p * std::log2(p);
+      }
+      double gain = base_entropy - cond;
+      if (gain <= 1e-12) continue;
+      candidates.push_back({static_cast<int>(a), 0.0, gain, split_info});
+    } else {
+      // Numeric attribute: sort (value, label) and sweep thresholds.
+      std::vector<std::pair<double, Label>> vals;
+      vals.reserve(n);
+      for (size_t i = begin; i < end; ++i) {
+        vals.emplace_back(rows[i]->values[a], rows[i]->label);
+      }
+      std::sort(vals.begin(), vals.end());
+      if (vals.front().first == vals.back().first) continue;  // constant
+
+      std::vector<double> left(num_classes, 0.0);
+      std::vector<double> right = counts;
+      double best_gain = -1.0;
+      double best_threshold = 0.0;
+      double best_split_info = 0.0;
+      size_t distinct_cuts = 0;
+      double min_leaf = static_cast<double>(config_.min_leaf_size);
+      double left_total = 0.0;
+      for (size_t i = 0; i + 1 < vals.size(); ++i) {
+        left[static_cast<size_t>(vals[i].second)] += 1.0;
+        right[static_cast<size_t>(vals[i].second)] -= 1.0;
+        left_total += 1.0;
+        if (vals[i].first == vals[i + 1].first) continue;
+        ++distinct_cuts;
+        double right_total = total - left_total;
+        if (left_total < min_leaf || right_total < min_leaf) continue;
+        double cond = (left_total / total) * Entropy(left, left_total) +
+                      (right_total / total) * Entropy(right, right_total);
+        double gain = base_entropy - cond;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_threshold = (vals[i].first + vals[i + 1].first) / 2.0;
+          double pl = left_total / total;
+          double pr = right_total / total;
+          best_split_info = -(pl * std::log2(pl) + pr * std::log2(pr));
+        }
+      }
+      if (best_gain < 0) continue;
+      // C4.5 release 8 MDL correction for continuous thresholds: charge
+      // log2(#candidate cuts)/n against the gain.
+      best_gain -=
+          std::log2(static_cast<double>(std::max<size_t>(distinct_cuts, 1))) /
+          total;
+      if (best_gain <= 1e-12) continue;
+      candidates.push_back(
+          {static_cast<int>(a), best_threshold, best_gain, best_split_info});
+    }
+  }
+
+  SplitChoice choice;
+  if (candidates.empty()) return choice;
+
+  double avg_gain = 0.0;
+  for (const Candidate& c : candidates) avg_gain += c.gain;
+  avg_gain /= static_cast<double>(candidates.size());
+
+  double best_score = -1.0;
+  for (const Candidate& c : candidates) {
+    double score;
+    if (config_.use_gain_ratio) {
+      // C4.5: maximize gain ratio among splits with at-least-average gain
+      // (guards against near-zero split info).
+      if (c.gain + 1e-12 < avg_gain) continue;
+      score = c.split_info > 1e-12 ? c.gain / c.split_info : c.gain;
+    } else {
+      score = c.gain;
+    }
+    if (score > best_score) {
+      best_score = score;
+      choice.attribute = c.attribute;
+      choice.threshold = c.threshold;
+      choice.score = score;
+    }
+  }
+  return choice;
+}
+
+double DecisionTree::PruneSubtree(int32_t node_idx) {
+  Node& node = nodes_[static_cast<size_t>(node_idx)];
+  double observed_errors =
+      node.total - node.class_counts[static_cast<size_t>(node.majority)];
+  double as_leaf =
+      node.total > 0
+          ? observed_errors +
+                AddErrs(node.total, observed_errors, config_.pruning_confidence)
+          : 0.0;
+  if (node.attribute < 0) return as_leaf;
+
+  double as_subtree = 0.0;
+  for (int32_t child : node.children) {
+    as_subtree += PruneSubtree(child);
+  }
+  if (as_leaf <= as_subtree + 0.1) {
+    node.attribute = -1;
+    node.children.clear();
+    return as_leaf;
+  }
+  return as_subtree;
+}
+
+const DecisionTree::Node& DecisionTree::Walk(const Record& record) const {
+  HOM_CHECK(!nodes_.empty()) << "Predict before Train";
+  const Node* node = &nodes_[0];
+  while (node->attribute >= 0) {
+    const Attribute& attr = schema_->attribute(node->attribute);
+    size_t child;
+    if (attr.is_numeric()) {
+      child = record.values[static_cast<size_t>(node->attribute)] <=
+                      node->threshold
+                  ? 0
+                  : 1;
+    } else {
+      int v = record.category(static_cast<size_t>(node->attribute));
+      if (v < 0 || static_cast<size_t>(v) >= node->children.size()) {
+        break;  // unseen category: answer with this node's majority
+      }
+      child = static_cast<size_t>(v);
+    }
+    node = &nodes_[static_cast<size_t>(node->children[child])];
+  }
+  return *node;
+}
+
+Label DecisionTree::Predict(const Record& record) const {
+  return Walk(record).majority;
+}
+
+std::vector<double> DecisionTree::PredictProba(const Record& record) const {
+  const Node& leaf = Walk(record);
+  std::vector<double> proba(schema_->num_classes(), 0.0);
+  if (leaf.total <= 0.0) {
+    proba[static_cast<size_t>(leaf.majority)] = 1.0;
+    return proba;
+  }
+  // Laplace-corrected leaf distribution.
+  double denom = leaf.total + static_cast<double>(proba.size());
+  for (size_t c = 0; c < proba.size(); ++c) {
+    proba[c] = (leaf.class_counts[c] + 1.0) / denom;
+  }
+  return proba;
+}
+
+size_t DecisionTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.attribute < 0) ++leaves;
+  }
+  return leaves;
+}
+
+size_t DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative DFS carrying depth.
+  size_t max_depth = 0;
+  std::vector<std::pair<int32_t, size_t>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    for (int32_t child : nodes_[static_cast<size_t>(idx)].children) {
+      stack.push_back({child, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTree::Dump(int32_t node_idx, int indent, std::string* out) const {
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  std::ostringstream line;
+  line << std::string(static_cast<size_t>(indent) * 2, ' ');
+  if (node.attribute < 0) {
+    line << "-> " << schema_->class_name(node.majority) << " (n=" << node.total
+         << ")\n";
+    *out += line.str();
+    return;
+  }
+  const Attribute& attr = schema_->attribute(node.attribute);
+  if (attr.is_numeric()) {
+    line << attr.name << " <= " << node.threshold << "?\n";
+    *out += line.str();
+    Dump(node.children[0], indent + 1, out);
+    Dump(node.children[1], indent + 1, out);
+  } else {
+    line << attr.name << "?\n";
+    *out += line.str();
+    for (size_t v = 0; v < node.children.size(); ++v) {
+      std::ostringstream branch;
+      branch << std::string(static_cast<size_t>(indent + 1) * 2, ' ') << "= "
+             << attr.categories[v] << ":\n";
+      *out += branch.str();
+      Dump(node.children[v], indent + 2, out);
+    }
+  }
+}
+
+std::string DecisionTree::ToString() const {
+  if (nodes_.empty()) return "(untrained)";
+  std::string out;
+  Dump(0, 0, &out);
+  return out;
+}
+
+Status DecisionTree::SaveTo(BinaryWriter* writer) const {
+  HOM_RETURN_NOT_OK(writer->WriteU32(static_cast<uint32_t>(nodes_.size())));
+  for (const Node& node : nodes_) {
+    HOM_RETURN_NOT_OK(writer->WriteI32(node.attribute));
+    HOM_RETURN_NOT_OK(writer->WriteDouble(node.threshold));
+    HOM_RETURN_NOT_OK(writer->WriteI32(node.majority));
+    HOM_RETURN_NOT_OK(writer->WriteDouble(node.total));
+    HOM_RETURN_NOT_OK(writer->WriteDoubleVector(node.class_counts));
+    HOM_RETURN_NOT_OK(
+        writer->WriteU32(static_cast<uint32_t>(node.children.size())));
+    for (int32_t child : node.children) {
+      HOM_RETURN_NOT_OK(writer->WriteI32(child));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DecisionTree>> DecisionTree::LoadFrom(
+    BinaryReader* reader, SchemaPtr schema) {
+  auto tree = std::make_unique<DecisionTree>(schema);
+  HOM_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  if (count == 0) {
+    return Status::InvalidArgument("serialized tree has no nodes");
+  }
+  tree->nodes_.resize(count);
+  for (Node& node : tree->nodes_) {
+    HOM_ASSIGN_OR_RETURN(node.attribute, reader->ReadI32());
+    HOM_ASSIGN_OR_RETURN(node.threshold, reader->ReadDouble());
+    HOM_ASSIGN_OR_RETURN(node.majority, reader->ReadI32());
+    HOM_ASSIGN_OR_RETURN(node.total, reader->ReadDouble());
+    HOM_ASSIGN_OR_RETURN(node.class_counts, reader->ReadDoubleVector());
+    if (node.class_counts.size() != schema->num_classes()) {
+      return Status::InvalidArgument("node class-count arity mismatch");
+    }
+    HOM_ASSIGN_OR_RETURN(uint32_t fanout, reader->ReadU32());
+    node.children.resize(fanout);
+    for (int32_t& child : node.children) {
+      HOM_ASSIGN_OR_RETURN(child, reader->ReadI32());
+      if (child < 0 || static_cast<uint32_t>(child) >= count) {
+        return Status::InvalidArgument("child index out of range");
+      }
+    }
+    if (node.attribute >= 0) {
+      if (static_cast<size_t>(node.attribute) >= schema->num_attributes()) {
+        return Status::InvalidArgument("split attribute out of range");
+      }
+      const Attribute& attr =
+          schema->attribute(static_cast<size_t>(node.attribute));
+      size_t expected = attr.is_numeric() ? 2 : attr.cardinality();
+      if (node.children.size() != expected) {
+        return Status::InvalidArgument("split fanout mismatch");
+      }
+    }
+    if (node.majority < 0 ||
+        static_cast<size_t>(node.majority) >= schema->num_classes()) {
+      return Status::InvalidArgument("node majority out of range");
+    }
+  }
+  return tree;
+}
+
+ClassifierFactory DecisionTree::Factory(DecisionTreeConfig config) {
+  return [config](const SchemaPtr& schema) -> std::unique_ptr<Classifier> {
+    return std::make_unique<DecisionTree>(schema, config);
+  };
+}
+
+}  // namespace hom

@@ -1,0 +1,146 @@
+#include "classifiers/evaluation.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hom {
+
+double ErrorRate(const Classifier& model, const DatasetView& data) {
+  size_t labeled = 0;
+  size_t errors = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Record& r = data.record(i);
+    if (!r.is_labeled()) continue;
+    ++labeled;
+    if (model.Predict(r) != r.label) ++errors;
+  }
+  if (labeled == 0) return 0.0;
+  return static_cast<double>(errors) / static_cast<double>(labeled);
+}
+
+ConfusionMatrix::ConfusionMatrix(size_t num_classes)
+    : num_classes_(num_classes), cells_(num_classes * num_classes, 0) {
+  HOM_CHECK_GE(num_classes, 2u);
+}
+
+void ConfusionMatrix::Add(Label actual, Label predicted) {
+  HOM_CHECK_GE(actual, 0);
+  HOM_CHECK_GE(predicted, 0);
+  HOM_CHECK_LT(static_cast<size_t>(actual), num_classes_);
+  HOM_CHECK_LT(static_cast<size_t>(predicted), num_classes_);
+  ++cells_[static_cast<size_t>(actual) * num_classes_ +
+           static_cast<size_t>(predicted)];
+  ++total_;
+}
+
+size_t ConfusionMatrix::count(Label actual, Label predicted) const {
+  return cells_[static_cast<size_t>(actual) * num_classes_ +
+                static_cast<size_t>(predicted)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    correct += cells_[c * num_classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Recall(Label c) const {
+  size_t actual = 0;
+  for (size_t p = 0; p < num_classes_; ++p) {
+    actual += count(c, static_cast<Label>(p));
+  }
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::Precision(Label c) const {
+  size_t predicted = 0;
+  for (size_t a = 0; a < num_classes_; ++a) {
+    predicted += count(static_cast<Label>(a), c);
+  }
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(predicted);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "actual\\predicted\n";
+  for (size_t a = 0; a < num_classes_; ++a) {
+    for (size_t p = 0; p < num_classes_; ++p) {
+      out << count(static_cast<Label>(a), static_cast<Label>(p)) << "\t";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+ConfusionMatrix Evaluate(const Classifier& model, const DatasetView& data) {
+  ConfusionMatrix cm(model.num_classes());
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Record& r = data.record(i);
+    if (!r.is_labeled()) continue;
+    cm.Add(r.label, model.Predict(r));
+  }
+  return cm;
+}
+
+Result<HoldoutModel> TrainHoldout(const ClassifierFactory& factory,
+                                  const DatasetView& data, Rng* rng) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument(
+        "holdout validation needs at least 2 records, got " +
+        std::to_string(data.size()));
+  }
+  auto [train, test] = data.SplitHoldout(rng);
+  HoldoutModel out;
+  out.model = factory(data.schema());
+  HOM_RETURN_NOT_OK(out.model->Train(train));
+  out.error = ErrorRate(*out.model, test);
+  out.train = std::move(train);
+  out.test = std::move(test);
+  return out;
+}
+
+Result<double> KFoldError(const ClassifierFactory& factory,
+                          const DatasetView& data, size_t folds, Rng* rng) {
+  if (folds < 2) {
+    return Status::InvalidArgument("k-fold needs folds >= 2");
+  }
+  if (data.size() < folds) {
+    return Status::InvalidArgument("k-fold needs at least `folds` records");
+  }
+  std::vector<uint32_t> shuffled = data.indices();
+  rng->Shuffle(&shuffled);
+
+  size_t errors = 0;
+  size_t evaluated = 0;
+  for (size_t f = 0; f < folds; ++f) {
+    std::vector<uint32_t> train_idx;
+    std::vector<uint32_t> test_idx;
+    for (size_t i = 0; i < shuffled.size(); ++i) {
+      if (i % folds == f) {
+        test_idx.push_back(shuffled[i]);
+      } else {
+        train_idx.push_back(shuffled[i]);
+      }
+    }
+    DatasetView train(data.dataset(), std::move(train_idx));
+    DatasetView test(data.dataset(), std::move(test_idx));
+    std::unique_ptr<Classifier> model = factory(data.schema());
+    HOM_RETURN_NOT_OK(model->Train(train));
+    for (size_t i = 0; i < test.size(); ++i) {
+      const Record& r = test.record(i);
+      if (!r.is_labeled()) continue;
+      ++evaluated;
+      if (model->Predict(r) != r.label) ++errors;
+    }
+  }
+  if (evaluated == 0) return 0.0;
+  return static_cast<double>(errors) / static_cast<double>(evaluated);
+}
+
+}  // namespace hom

@@ -1,0 +1,69 @@
+#ifndef HOM_CLASSIFIERS_EVALUATION_H_
+#define HOM_CLASSIFIERS_EVALUATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifiers/classifier.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset_view.h"
+
+namespace hom {
+
+/// Fraction of records in `data` misclassified by `model`. Unlabeled
+/// records are skipped; returns 0 on an empty/unlabeled view.
+double ErrorRate(const Classifier& model, const DatasetView& data);
+
+/// \brief Square table of (actual class, predicted class) counts.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes);
+
+  void Add(Label actual, Label predicted);
+  size_t count(Label actual, Label predicted) const;
+  size_t total() const { return total_; }
+
+  double Accuracy() const;
+  /// Recall of class `c`: correct(c) / actual(c); 0 when the class never
+  /// occurs.
+  double Recall(Label c) const;
+  /// Precision of class `c`: correct(c) / predicted(c); 0 when never
+  /// predicted.
+  double Precision(Label c) const;
+
+  std::string ToString() const;
+
+ private:
+  size_t num_classes_;
+  std::vector<size_t> cells_;
+  size_t total_ = 0;
+};
+
+/// Evaluates `model` over `data`, producing the confusion matrix.
+ConfusionMatrix Evaluate(const Classifier& model, const DatasetView& data);
+
+/// \brief A trained model plus its holdout validation error — the (M_i,
+/// Err_i) pair the objective function Q (Eq. 1) is built from.
+struct HoldoutModel {
+  std::unique_ptr<Classifier> model;
+  double error = 0.0;
+  DatasetView train;
+  DatasetView test;
+};
+
+/// Section II-B holdout: randomly split `data` in half, train on one half,
+/// measure error on the other. Requires |data| >= 2.
+Result<HoldoutModel> TrainHoldout(const ClassifierFactory& factory,
+                                  const DatasetView& data, Rng* rng);
+
+/// k-fold cross-validation error estimate (the paper's footnote-1
+/// alternative to holdout; compared in the ablation bench). Requires
+/// |data| >= folds >= 2.
+Result<double> KFoldError(const ClassifierFactory& factory,
+                          const DatasetView& data, size_t folds, Rng* rng);
+
+}  // namespace hom
+
+#endif  // HOM_CLASSIFIERS_EVALUATION_H_

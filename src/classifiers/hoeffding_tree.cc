@@ -1,0 +1,386 @@
+#include "classifiers/hoeffding_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+
+double Entropy(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0.0) {
+      double p = c / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+/// Φ(z): standard normal CDF.
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+void HoeffdingTree::Moments::Add(double x) {
+  if (count == 0.0) {
+    min = x;
+    max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  count += 1.0;
+  double delta = x - mean;
+  mean += delta / count;
+  m2 += delta * (x - mean);
+}
+
+double HoeffdingTree::Moments::variance() const {
+  if (count < 2.0) return 1e-9;
+  return std::max(m2 / count, 1e-9);
+}
+
+HoeffdingTree::HoeffdingTree(SchemaPtr schema, HoeffdingTreeConfig config)
+    : schema_(std::move(schema)), config_(config) {
+  HOM_CHECK(schema_ != nullptr);
+  HOM_CHECK_GE(config_.grace_period, 1u);
+  HOM_CHECK_GT(config_.split_confidence, 0.0);
+  HOM_CHECK_LT(config_.split_confidence, 1.0);
+  HOM_CHECK_GE(config_.numeric_candidates, 1u);
+  Reset();
+}
+
+void HoeffdingTree::Reset() {
+  nodes_.clear();
+  leaf_stats_.clear();
+  records_seen_ = 0;
+  NewLeaf(0);
+}
+
+int32_t HoeffdingTree::NewLeaf(Label majority) {
+  Node leaf;
+  leaf.majority = majority;
+  leaf.stats = static_cast<int32_t>(leaf_stats_.size());
+  LeafStats stats;
+  size_t num_classes = schema_->num_classes();
+  stats.class_counts.assign(num_classes, 0.0);
+  stats.cat_counts.assign(schema_->num_attributes(), {});
+  stats.numeric.assign(schema_->num_attributes(), {});
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      stats.cat_counts[a].assign(num_classes * attr.cardinality(), 0.0);
+    } else {
+      stats.numeric[a].assign(num_classes, Moments{});
+    }
+  }
+  leaf_stats_.push_back(std::move(stats));
+  nodes_.push_back(leaf);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t HoeffdingTree::Sink(const Record& record) const {
+  int32_t idx = 0;
+  while (nodes_[static_cast<size_t>(idx)].attribute >= 0) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    const Attribute& attr = schema_->attribute(node.attribute);
+    size_t child;
+    if (attr.is_numeric()) {
+      child = record.values[static_cast<size_t>(node.attribute)] <=
+                      node.threshold
+                  ? 0
+                  : 1;
+    } else {
+      int v = record.category(static_cast<size_t>(node.attribute));
+      if (v < 0 || static_cast<size_t>(v) >= node.children.size()) {
+        return idx;  // unseen category: stop at this internal node
+      }
+      child = static_cast<size_t>(v);
+    }
+    idx = node.children[child];
+  }
+  return idx;
+}
+
+Status HoeffdingTree::Update(const Record& record) {
+  if (!record.is_labeled()) {
+    return Status::InvalidArgument("cannot update from an unlabeled record");
+  }
+  if (record.values.size() != schema_->num_attributes()) {
+    return Status::InvalidArgument("record arity mismatch");
+  }
+  size_t c = static_cast<size_t>(record.label);
+  if (c >= schema_->num_classes()) {
+    return Status::OutOfRange("label out of range");
+  }
+  ++records_seen_;
+
+  int32_t leaf_idx = Sink(record);
+  Node& leaf = nodes_[static_cast<size_t>(leaf_idx)];
+  if (leaf.attribute >= 0) return Status::OK();  // routed to internal node
+  LeafStats& stats = leaf_stats_[static_cast<size_t>(leaf.stats)];
+  stats.class_counts[c] += 1.0;
+  stats.total += 1.0;
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t v = static_cast<size_t>(record.category(a));
+      if (v >= attr.cardinality()) {
+        return Status::OutOfRange("categorical value out of range");
+      }
+      stats.cat_counts[a][c * attr.cardinality() + v] += 1.0;
+    } else {
+      stats.numeric[a][c].Add(record.values[a]);
+    }
+  }
+  // Keep the leaf's majority current so prediction never needs the stats.
+  if (stats.class_counts[c] >
+      stats.class_counts[static_cast<size_t>(leaf.majority)]) {
+    leaf.majority = static_cast<Label>(c);
+  }
+
+  if (++stats.since_last_attempt >= config_.grace_period) {
+    stats.since_last_attempt = 0;
+    AttemptSplit(leaf_idx);
+  }
+  return Status::OK();
+}
+
+std::vector<HoeffdingTree::SplitCandidate> HoeffdingTree::EvaluateSplits(
+    const LeafStats& stats) const {
+  std::vector<SplitCandidate> candidates;
+  double total = stats.total;
+  double base = Entropy(stats.class_counts, total);
+  size_t num_classes = schema_->num_classes();
+
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      std::vector<double> branch_totals(k, 0.0);
+      for (size_t v = 0; v < k; ++v) {
+        for (size_t c = 0; c < num_classes; ++c) {
+          branch_totals[v] += stats.cat_counts[a][c * k + v];
+        }
+      }
+      size_t populated = 0;
+      for (double bt : branch_totals) {
+        if (bt > 0) ++populated;
+      }
+      if (populated < 2) continue;
+      double cond = 0.0;
+      for (size_t v = 0; v < k; ++v) {
+        if (branch_totals[v] <= 0) continue;
+        std::vector<double> bc(num_classes);
+        for (size_t c = 0; c < num_classes; ++c) {
+          bc[c] = stats.cat_counts[a][c * k + v];
+        }
+        cond += (branch_totals[v] / total) * Entropy(bc, branch_totals[v]);
+      }
+      candidates.push_back({static_cast<int>(a), 0.0, base - cond});
+    } else {
+      // Gaussian approximation observer: per class we know (count, mean,
+      // variance, min, max). Candidate thresholds are equally spaced over
+      // the observed range; class mass on each side comes from the CDF.
+      double lo = 0.0, hi = 0.0;
+      bool any = false;
+      for (size_t c = 0; c < num_classes; ++c) {
+        const Moments& m = stats.numeric[a][c];
+        if (m.count <= 0) continue;
+        if (!any) {
+          lo = m.min;
+          hi = m.max;
+          any = true;
+        } else {
+          lo = std::min(lo, m.min);
+          hi = std::max(hi, m.max);
+        }
+      }
+      if (!any || hi <= lo) continue;
+      SplitCandidate best{static_cast<int>(a), 0.0, -1.0};
+      for (size_t i = 1; i <= config_.numeric_candidates; ++i) {
+        double t = lo + (hi - lo) * static_cast<double>(i) /
+                            static_cast<double>(config_.numeric_candidates + 1);
+        std::vector<double> left(num_classes, 0.0);
+        std::vector<double> right(num_classes, 0.0);
+        double lt = 0.0, rt = 0.0;
+        for (size_t c = 0; c < num_classes; ++c) {
+          const Moments& m = stats.numeric[a][c];
+          if (m.count <= 0) continue;
+          double frac =
+              NormalCdf((t - m.mean) / std::sqrt(m.variance()));
+          left[c] = m.count * frac;
+          right[c] = m.count * (1.0 - frac);
+          lt += left[c];
+          rt += right[c];
+        }
+        if (lt <= 0 || rt <= 0) continue;
+        double cond = (lt / total) * Entropy(left, lt) +
+                      (rt / total) * Entropy(right, rt);
+        double gain = base - cond;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.threshold = t;
+        }
+      }
+      if (best.gain >= 0.0) candidates.push_back(best);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SplitCandidate& x, const SplitCandidate& y) {
+              return x.gain > y.gain;
+            });
+  return candidates;
+}
+
+void HoeffdingTree::AttemptSplit(int32_t node_idx) {
+  if (config_.max_nodes > 0 && nodes_.size() >= config_.max_nodes) return;
+  LeafStats& stats =
+      leaf_stats_[static_cast<size_t>(nodes_[static_cast<size_t>(node_idx)].stats)];
+  // Pure leaves cannot benefit from splitting.
+  size_t live_classes = 0;
+  for (double c : stats.class_counts) {
+    if (c > 0) ++live_classes;
+  }
+  if (live_classes < 2) return;
+
+  std::vector<SplitCandidate> candidates = EvaluateSplits(stats);
+  if (candidates.empty()) return;
+
+  double range = std::log2(static_cast<double>(schema_->num_classes()));
+  double epsilon = std::sqrt(range * range *
+                             std::log(1.0 / config_.split_confidence) /
+                             (2.0 * stats.total));
+  double second = candidates.size() > 1 ? candidates[1].gain : 0.0;
+  bool confident = candidates[0].gain - second > epsilon;
+  bool tie = epsilon < config_.tie_threshold;
+  if (candidates[0].gain <= 0.0 || (!confident && !tie)) return;
+
+  const SplitCandidate& chosen = candidates[0];
+  const Attribute& attr = schema_->attribute(chosen.attribute);
+  size_t fanout = attr.is_numeric() ? 2 : attr.cardinality();
+
+  // Children inherit branch-wise majorities estimated from the leaf stats.
+  std::vector<int32_t> children;
+  size_t num_classes = schema_->num_classes();
+  for (size_t b = 0; b < fanout; ++b) {
+    std::vector<double> branch(num_classes, 0.0);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      for (size_t c = 0; c < num_classes; ++c) {
+        branch[c] = stats.cat_counts[static_cast<size_t>(chosen.attribute)]
+                                    [c * k + b];
+      }
+    } else {
+      for (size_t c = 0; c < num_classes; ++c) {
+        const Moments& m =
+            stats.numeric[static_cast<size_t>(chosen.attribute)][c];
+        if (m.count <= 0) continue;
+        double frac = NormalCdf((chosen.threshold - m.mean) /
+                                std::sqrt(m.variance()));
+        branch[c] = b == 0 ? m.count * frac : m.count * (1.0 - frac);
+      }
+    }
+    Label majority = static_cast<Label>(
+        std::max_element(branch.begin(), branch.end()) - branch.begin());
+    children.push_back(NewLeaf(majority));
+  }
+  Node& node = nodes_[static_cast<size_t>(node_idx)];
+  node.attribute = chosen.attribute;
+  node.threshold = chosen.threshold;
+  node.children = std::move(children);
+  node.stats = -1;  // statistics are dropped after the split (VFDT)
+}
+
+Label HoeffdingTree::Predict(const Record& record) const {
+  const Node& node = nodes_[static_cast<size_t>(Sink(record))];
+  if (config_.naive_bayes_leaves && node.attribute < 0) {
+    std::vector<double> proba = PredictProba(record);
+    return static_cast<Label>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
+  }
+  return node.majority;
+}
+
+std::vector<double> HoeffdingTree::PredictProba(const Record& record) const {
+  const Node& node = nodes_[static_cast<size_t>(Sink(record))];
+  size_t num_classes = schema_->num_classes();
+  std::vector<double> proba(num_classes, 0.0);
+  if (node.attribute >= 0 || node.stats < 0) {
+    proba[static_cast<size_t>(node.majority)] = 1.0;
+    return proba;
+  }
+  const LeafStats& stats = leaf_stats_[static_cast<size_t>(node.stats)];
+  if (!config_.naive_bayes_leaves) {
+    // Laplace-corrected leaf class distribution.
+    double denom = stats.total + static_cast<double>(num_classes);
+    for (size_t c = 0; c < num_classes; ++c) {
+      proba[c] = (stats.class_counts[c] + 1.0) / denom;
+    }
+    return proba;
+  }
+  // VFDT-NB: Naive Bayes over the leaf's sufficient statistics.
+  std::vector<double> log_joint(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    log_joint[c] = std::log((stats.class_counts[c] + 1.0) /
+                            (stats.total + static_cast<double>(num_classes)));
+  }
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      size_t v = static_cast<size_t>(record.category(a));
+      if (v >= k) continue;
+      for (size_t c = 0; c < num_classes; ++c) {
+        log_joint[c] +=
+            std::log((stats.cat_counts[a][c * k + v] + 1.0) /
+                     (stats.class_counts[c] + static_cast<double>(k)));
+      }
+    } else {
+      for (size_t c = 0; c < num_classes; ++c) {
+        const Moments& m = stats.numeric[a][c];
+        double var = m.count >= 2 ? m.variance() : 1.0;
+        double d = record.values[a] - m.mean;
+        log_joint[c] +=
+            -0.5 * std::log(2.0 * M_PI * var) - d * d / (2.0 * var);
+      }
+    }
+  }
+  double max_lj = *std::max_element(log_joint.begin(), log_joint.end());
+  double denom = 0.0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    proba[c] = std::exp(log_joint[c] - max_lj);
+    denom += proba[c];
+  }
+  for (double& p : proba) p /= denom;
+  return proba;
+}
+
+size_t HoeffdingTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.attribute < 0) ++leaves;
+  }
+  return leaves;
+}
+
+IncrementalClassifierFactory HoeffdingTree::Factory(
+    HoeffdingTreeConfig config) {
+  return [config](const SchemaPtr& schema)
+             -> std::unique_ptr<IncrementalClassifier> {
+    return std::make_unique<HoeffdingTree>(schema, config);
+  };
+}
+
+ClassifierFactory HoeffdingTree::BatchFactory(HoeffdingTreeConfig config) {
+  return [config](const SchemaPtr& schema) -> std::unique_ptr<Classifier> {
+    return std::make_unique<HoeffdingTree>(schema, config);
+  };
+}
+
+}  // namespace hom

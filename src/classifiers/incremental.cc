@@ -1,0 +1,16 @@
+#include "classifiers/incremental.h"
+
+namespace hom {
+
+Status IncrementalClassifier::Train(const DatasetView& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot train on an empty view");
+  }
+  Reset();
+  for (size_t i = 0; i < data.size(); ++i) {
+    HOM_RETURN_NOT_OK(Update(data.record(i)));
+  }
+  return Status::OK();
+}
+
+}  // namespace hom

@@ -1,0 +1,34 @@
+#ifndef HOM_CLASSIFIERS_INCREMENTAL_H_
+#define HOM_CLASSIFIERS_INCREMENTAL_H_
+
+#include "classifiers/classifier.h"
+
+namespace hom {
+
+/// \brief A classifier that can additionally learn one record at a time.
+///
+/// Section II-D notes that the clustering cost analysis changes "unless the
+/// base classifier supports incremental learning"; online ensemble methods
+/// like DWM also require per-record updates. Train() on a view is provided
+/// by default as a loop over Update().
+class IncrementalClassifier : public Classifier {
+ public:
+  /// Folds one labeled record into the model. Unlabeled records are
+  /// rejected.
+  virtual Status Update(const Record& record) = 0;
+
+  /// Batch training = incremental training over the view, after Reset().
+  Status Train(const DatasetView& data) override;
+
+  /// Clears the model back to its untrained state.
+  virtual void Reset() = 0;
+};
+
+/// Factory for incremental learners (DWM experts, etc.).
+using IncrementalClassifierFactory =
+    std::function<std::unique_ptr<IncrementalClassifier>(
+        const SchemaPtr& schema)>;
+
+}  // namespace hom
+
+#endif  // HOM_CLASSIFIERS_INCREMENTAL_H_

@@ -1,0 +1,138 @@
+#include "classifiers/incremental_naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+constexpr double kMinVariance = 1e-9;
+}  // namespace
+
+double IncrementalNaiveBayes::Moments::variance() const {
+  if (count < 2.0) return 1.0;
+  return std::max(m2 / count, kMinVariance);
+}
+
+IncrementalNaiveBayes::IncrementalNaiveBayes(SchemaPtr schema)
+    : schema_(std::move(schema)) {
+  HOM_CHECK(schema_ != nullptr);
+  Reset();
+}
+
+void IncrementalNaiveBayes::Reset() {
+  total_ = 0.0;
+  size_t num_classes = schema_->num_classes();
+  class_counts_.assign(num_classes, 0.0);
+  cat_counts_.assign(schema_->num_attributes(), {});
+  numeric_.assign(schema_->num_attributes(), {});
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      cat_counts_[a].assign(num_classes * attr.cardinality(), 0.0);
+    } else {
+      numeric_[a].assign(num_classes, Moments{});
+    }
+  }
+}
+
+Status IncrementalNaiveBayes::Update(const Record& record) {
+  if (!record.is_labeled()) {
+    return Status::InvalidArgument("cannot update from an unlabeled record");
+  }
+  size_t c = static_cast<size_t>(record.label);
+  if (c >= schema_->num_classes()) {
+    return Status::OutOfRange("label out of range");
+  }
+  total_ += 1.0;
+  class_counts_[c] += 1.0;
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t v = static_cast<size_t>(record.category(a));
+      if (v >= attr.cardinality()) {
+        return Status::OutOfRange("categorical value out of range");
+      }
+      cat_counts_[a][c * attr.cardinality() + v] += 1.0;
+    } else {
+      Moments& m = numeric_[a][c];
+      m.count += 1.0;
+      double delta = record.values[a] - m.mean;
+      m.mean += delta / m.count;
+      m.m2 += delta * (record.values[a] - m.mean);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> IncrementalNaiveBayes::LogJoint(
+    const Record& record) const {
+  size_t num_classes = schema_->num_classes();
+  std::vector<double> log_joint(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    log_joint[c] =
+        std::log((class_counts_[c] + 1.0) /
+                 (total_ + static_cast<double>(num_classes)));
+  }
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      size_t v = static_cast<size_t>(record.category(a));
+      if (v >= k) continue;
+      for (size_t c = 0; c < num_classes; ++c) {
+        log_joint[c] += std::log(
+            (cat_counts_[a][c * k + v] + 1.0) /
+            (class_counts_[c] + static_cast<double>(k)));
+      }
+    } else {
+      double x = record.values[a];
+      for (size_t c = 0; c < num_classes; ++c) {
+        const Moments& m = numeric_[a][c];
+        double var = m.variance();
+        double d = x - m.mean;
+        log_joint[c] +=
+            -0.5 * std::log(2.0 * M_PI * var) - d * d / (2.0 * var);
+      }
+    }
+  }
+  return log_joint;
+}
+
+Label IncrementalNaiveBayes::Predict(const Record& record) const {
+  std::vector<double> log_joint = LogJoint(record);
+  return static_cast<Label>(
+      std::max_element(log_joint.begin(), log_joint.end()) -
+      log_joint.begin());
+}
+
+std::vector<double> IncrementalNaiveBayes::PredictProba(
+    const Record& record) const {
+  std::vector<double> log_joint = LogJoint(record);
+  double max_lj = *std::max_element(log_joint.begin(), log_joint.end());
+  double denom = 0.0;
+  for (double& lj : log_joint) {
+    lj = std::exp(lj - max_lj);
+    denom += lj;
+  }
+  for (double& lj : log_joint) lj /= denom;
+  return log_joint;
+}
+
+size_t IncrementalNaiveBayes::ComplexityHint() const {
+  size_t params = class_counts_.size();
+  for (const auto& table : cat_counts_) params += table.size();
+  for (const auto& table : numeric_) params += 2 * table.size();
+  return params;
+}
+
+IncrementalClassifierFactory IncrementalNaiveBayes::Factory() {
+  return [](const SchemaPtr& schema)
+             -> std::unique_ptr<IncrementalClassifier> {
+    return std::make_unique<IncrementalNaiveBayes>(schema);
+  };
+}
+
+}  // namespace hom

@@ -1,0 +1,55 @@
+#ifndef HOM_CLASSIFIERS_INCREMENTAL_NAIVE_BAYES_H_
+#define HOM_CLASSIFIERS_INCREMENTAL_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "classifiers/incremental.h"
+
+namespace hom {
+
+/// \brief Naive Bayes with purely incremental sufficient statistics:
+/// Laplace-smoothed categorical counts and Welford-style Gaussian moments
+/// per (attribute, class).
+///
+/// Functionally equivalent to NaiveBayes but updatable one record at a
+/// time, which makes it the default expert for Dynamic Weighted Majority
+/// and the leaf predictor of the Hoeffding tree.
+class IncrementalNaiveBayes : public IncrementalClassifier {
+ public:
+  explicit IncrementalNaiveBayes(SchemaPtr schema);
+
+  Status Update(const Record& record) override;
+  void Reset() override;
+
+  Label Predict(const Record& record) const override;
+  std::vector<double> PredictProba(const Record& record) const override;
+  size_t num_classes() const override { return schema_->num_classes(); }
+  size_t ComplexityHint() const override;
+
+  /// Number of records folded in so far.
+  size_t records_seen() const { return static_cast<size_t>(total_); }
+
+  /// Factory adapter.
+  static IncrementalClassifierFactory Factory();
+
+ private:
+  struct Moments {
+    double count = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;  ///< sum of squared deviations (Welford)
+
+    double variance() const;
+  };
+
+  std::vector<double> LogJoint(const Record& record) const;
+
+  SchemaPtr schema_;
+  double total_ = 0.0;
+  std::vector<double> class_counts_;               ///< [class]
+  std::vector<std::vector<double>> cat_counts_;    ///< [attr][class*card+v]
+  std::vector<std::vector<Moments>> numeric_;      ///< [attr][class]
+};
+
+}  // namespace hom
+
+#endif  // HOM_CLASSIFIERS_INCREMENTAL_NAIVE_BAYES_H_

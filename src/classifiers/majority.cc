@@ -1,0 +1,69 @@
+#include "classifiers/majority.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+MajorityClassifier::MajorityClassifier(SchemaPtr schema)
+    : schema_(std::move(schema)) {
+  HOM_CHECK(schema_ != nullptr);
+}
+
+Status MajorityClassifier::Train(const DatasetView& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot train on empty view");
+  }
+  std::vector<size_t> counts = data.ClassCounts();
+  size_t labeled = 0;
+  for (size_t c : counts) labeled += c;
+  if (labeled == 0) {
+    return Status::InvalidArgument("training data has no labeled records");
+  }
+  majority_ = data.MajorityClass();
+  proba_.assign(schema_->num_classes(), 0.0);
+  for (size_t c = 0; c < counts.size(); ++c) {
+    proba_[c] = static_cast<double>(counts[c]) / static_cast<double>(labeled);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Label MajorityClassifier::Predict(const Record&) const {
+  HOM_CHECK(trained_) << "Predict before Train";
+  return majority_;
+}
+
+std::vector<double> MajorityClassifier::PredictProba(const Record&) const {
+  HOM_CHECK(trained_) << "Predict before Train";
+  return proba_;
+}
+
+Status MajorityClassifier::SaveTo(BinaryWriter* writer) const {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  HOM_RETURN_NOT_OK(writer->WriteI32(majority_));
+  return writer->WriteDoubleVector(proba_);
+}
+
+Result<std::unique_ptr<MajorityClassifier>> MajorityClassifier::LoadFrom(
+    BinaryReader* reader, SchemaPtr schema) {
+  auto model = std::make_unique<MajorityClassifier>(schema);
+  HOM_ASSIGN_OR_RETURN(model->majority_, reader->ReadI32());
+  HOM_ASSIGN_OR_RETURN(model->proba_, reader->ReadDoubleVector());
+  if (model->proba_.size() != schema->num_classes()) {
+    return Status::InvalidArgument("proba arity mismatch");
+  }
+  if (model->majority_ < 0 ||
+      static_cast<size_t>(model->majority_) >= schema->num_classes()) {
+    return Status::InvalidArgument("majority label out of range");
+  }
+  model->trained_ = true;
+  return model;
+}
+
+ClassifierFactory MajorityClassifier::Factory() {
+  return [](const SchemaPtr& schema) -> std::unique_ptr<Classifier> {
+    return std::make_unique<MajorityClassifier>(schema);
+  };
+}
+
+}  // namespace hom

@@ -1,0 +1,39 @@
+#ifndef HOM_CLASSIFIERS_MAJORITY_H_
+#define HOM_CLASSIFIERS_MAJORITY_H_
+
+#include <vector>
+
+#include "classifiers/classifier.h"
+
+namespace hom {
+
+/// \brief Predicts the majority class of its training data; the floor any
+/// real learner must beat, and a cheap stand-in in unit tests.
+class MajorityClassifier : public Classifier {
+ public:
+  explicit MajorityClassifier(SchemaPtr schema);
+
+  Status Train(const DatasetView& data) override;
+  Label Predict(const Record& record) const override;
+  std::vector<double> PredictProba(const Record& record) const override;
+  size_t num_classes() const override { return schema_->num_classes(); }
+
+  std::string TypeTag() const override { return "majority"; }
+  Status SaveTo(BinaryWriter* writer) const override;
+  /// Reconstructs a trained model saved by SaveTo.
+  static Result<std::unique_ptr<MajorityClassifier>> LoadFrom(
+      BinaryReader* reader, SchemaPtr schema);
+
+  /// Factory adapter for ClassifierFactory.
+  static ClassifierFactory Factory();
+
+ private:
+  SchemaPtr schema_;
+  bool trained_ = false;
+  Label majority_ = 0;
+  std::vector<double> proba_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_CLASSIFIERS_MAJORITY_H_

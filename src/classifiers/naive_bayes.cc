@@ -1,0 +1,211 @@
+#include "classifiers/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+// Variance floor keeps degenerate (constant-valued) Gaussians finite.
+constexpr double kMinVariance = 1e-9;
+}  // namespace
+
+NaiveBayes::NaiveBayes(SchemaPtr schema) : schema_(std::move(schema)) {
+  HOM_CHECK(schema_ != nullptr);
+}
+
+Status NaiveBayes::Train(const DatasetView& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot train NaiveBayes on empty view");
+  }
+  size_t num_classes = schema_->num_classes();
+  size_t num_attrs = schema_->num_attributes();
+
+  std::vector<double> class_counts(num_classes, 0.0);
+  // Raw counts / moment accumulators.
+  std::vector<std::vector<double>> cat_counts(num_attrs);
+  std::vector<std::vector<double>> sum(num_attrs);
+  std::vector<std::vector<double>> sum_sq(num_attrs);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      cat_counts[a].assign(num_classes * attr.cardinality(), 0.0);
+    } else {
+      sum[a].assign(num_classes, 0.0);
+      sum_sq[a].assign(num_classes, 0.0);
+    }
+  }
+
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Record& r = data.record(i);
+    if (!r.is_labeled()) {
+      return Status::InvalidArgument("training data contains unlabeled record");
+    }
+    size_t c = static_cast<size_t>(r.label);
+    class_counts[c] += 1.0;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const Attribute& attr = schema_->attribute(a);
+      if (attr.is_categorical()) {
+        cat_counts[a][c * attr.cardinality() +
+                      static_cast<size_t>(r.category(a))] += 1.0;
+      } else {
+        sum[a][c] += r.values[a];
+        sum_sq[a][c] += r.values[a] * r.values[a];
+      }
+    }
+  }
+
+  double total = static_cast<double>(data.size());
+  log_prior_.assign(num_classes, 0.0);
+  for (size_t c = 0; c < num_classes; ++c) {
+    // Laplace prior smoothing so unseen classes keep nonzero mass.
+    log_prior_[c] = std::log((class_counts[c] + 1.0) /
+                             (total + static_cast<double>(num_classes)));
+  }
+
+  cat_log_likelihood_.assign(num_attrs, {});
+  gaussians_.assign(num_attrs, {});
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      cat_log_likelihood_[a].assign(num_classes * k, 0.0);
+      for (size_t c = 0; c < num_classes; ++c) {
+        for (size_t v = 0; v < k; ++v) {
+          double count = cat_counts[a][c * k + v];
+          cat_log_likelihood_[a][c * k + v] = std::log(
+              (count + 1.0) / (class_counts[c] + static_cast<double>(k)));
+        }
+      }
+    } else {
+      gaussians_[a].assign(num_classes, GaussianStats{});
+      for (size_t c = 0; c < num_classes; ++c) {
+        if (class_counts[c] < 1.0) continue;
+        double mean = sum[a][c] / class_counts[c];
+        double var = sum_sq[a][c] / class_counts[c] - mean * mean;
+        gaussians_[a][c].mean = mean;
+        gaussians_[a][c].variance = std::max(var, kMinVariance);
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> NaiveBayes::LogJoint(const Record& record) const {
+  HOM_CHECK(trained_) << "Predict before Train";
+  size_t num_classes = schema_->num_classes();
+  std::vector<double> log_joint = log_prior_;
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    const Attribute& attr = schema_->attribute(a);
+    if (attr.is_categorical()) {
+      size_t k = attr.cardinality();
+      size_t v = static_cast<size_t>(record.category(a));
+      if (v >= k) continue;  // unseen category: uninformative
+      for (size_t c = 0; c < num_classes; ++c) {
+        log_joint[c] += cat_log_likelihood_[a][c * k + v];
+      }
+    } else {
+      double x = record.values[a];
+      for (size_t c = 0; c < num_classes; ++c) {
+        const GaussianStats& g = gaussians_[a][c];
+        double d = x - g.mean;
+        log_joint[c] +=
+            -0.5 * std::log(2.0 * M_PI * g.variance) - d * d / (2.0 * g.variance);
+      }
+    }
+  }
+  return log_joint;
+}
+
+Label NaiveBayes::Predict(const Record& record) const {
+  std::vector<double> log_joint = LogJoint(record);
+  return static_cast<Label>(std::max_element(log_joint.begin(),
+                                             log_joint.end()) -
+                            log_joint.begin());
+}
+
+std::vector<double> NaiveBayes::PredictProba(const Record& record) const {
+  std::vector<double> log_joint = LogJoint(record);
+  double max_lj = *std::max_element(log_joint.begin(), log_joint.end());
+  double denom = 0.0;
+  for (double& lj : log_joint) {
+    lj = std::exp(lj - max_lj);
+    denom += lj;
+  }
+  for (double& lj : log_joint) lj /= denom;
+  return log_joint;
+}
+
+size_t NaiveBayes::ComplexityHint() const {
+  size_t params = log_prior_.size();
+  for (const auto& table : cat_log_likelihood_) params += table.size();
+  for (const auto& table : gaussians_) params += 2 * table.size();
+  return params;
+}
+
+Status NaiveBayes::SaveTo(BinaryWriter* writer) const {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  HOM_RETURN_NOT_OK(writer->WriteDoubleVector(log_prior_));
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    if (schema_->attribute(a).is_categorical()) {
+      HOM_RETURN_NOT_OK(writer->WriteDoubleVector(cat_log_likelihood_[a]));
+    } else {
+      std::vector<double> flat;
+      flat.reserve(2 * gaussians_[a].size());
+      for (const GaussianStats& g : gaussians_[a]) {
+        flat.push_back(g.mean);
+        flat.push_back(g.variance);
+      }
+      HOM_RETURN_NOT_OK(writer->WriteDoubleVector(flat));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<NaiveBayes>> NaiveBayes::LoadFrom(BinaryReader* reader,
+                                                         SchemaPtr schema) {
+  auto model = std::make_unique<NaiveBayes>(schema);
+  size_t num_classes = schema->num_classes();
+  HOM_ASSIGN_OR_RETURN(model->log_prior_, reader->ReadDoubleVector());
+  if (model->log_prior_.size() != num_classes) {
+    return Status::InvalidArgument("prior arity mismatch");
+  }
+  model->cat_log_likelihood_.assign(schema->num_attributes(), {});
+  model->gaussians_.assign(schema->num_attributes(), {});
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    const Attribute& attr = schema->attribute(a);
+    HOM_ASSIGN_OR_RETURN(std::vector<double> flat,
+                         reader->ReadDoubleVector());
+    if (attr.is_categorical()) {
+      if (flat.size() != num_classes * attr.cardinality()) {
+        return Status::InvalidArgument("categorical table arity mismatch");
+      }
+      model->cat_log_likelihood_[a] = std::move(flat);
+    } else {
+      if (flat.size() != 2 * num_classes) {
+        return Status::InvalidArgument("gaussian table arity mismatch");
+      }
+      model->gaussians_[a].resize(num_classes);
+      for (size_t c = 0; c < num_classes; ++c) {
+        model->gaussians_[a][c].mean = flat[2 * c];
+        model->gaussians_[a][c].variance = flat[2 * c + 1];
+        if (model->gaussians_[a][c].variance <= 0.0) {
+          return Status::InvalidArgument("non-positive variance");
+        }
+      }
+    }
+  }
+  model->trained_ = true;
+  return model;
+}
+
+ClassifierFactory NaiveBayes::Factory() {
+  return [](const SchemaPtr& schema) -> std::unique_ptr<Classifier> {
+    return std::make_unique<NaiveBayes>(schema);
+  };
+}
+
+}  // namespace hom

@@ -1,0 +1,57 @@
+#ifndef HOM_CLASSIFIERS_NAIVE_BAYES_H_
+#define HOM_CLASSIFIERS_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "classifiers/classifier.h"
+
+namespace hom {
+
+/// \brief Naive Bayes with Laplace-smoothed categorical likelihoods and
+/// Gaussian numeric likelihoods.
+///
+/// Section II-B allows any stationary learner as the base model; Naive
+/// Bayes is the cheap alternative to the C4.5 tree and is what the ablation
+/// benchmarks swap in.
+class NaiveBayes : public Classifier {
+ public:
+  explicit NaiveBayes(SchemaPtr schema);
+
+  Status Train(const DatasetView& data) override;
+  Label Predict(const Record& record) const override;
+  std::vector<double> PredictProba(const Record& record) const override;
+  size_t num_classes() const override { return schema_->num_classes(); }
+  size_t ComplexityHint() const override;
+
+  std::string TypeTag() const override { return "nbayes"; }
+  Status SaveTo(BinaryWriter* writer) const override;
+  /// Reconstructs a trained model saved by SaveTo.
+  static Result<std::unique_ptr<NaiveBayes>> LoadFrom(BinaryReader* reader,
+                                                      SchemaPtr schema);
+
+  /// Factory adapter for ClassifierFactory.
+  static ClassifierFactory Factory();
+
+ private:
+  /// Per-class, per-attribute sufficient statistics.
+  struct GaussianStats {
+    double mean = 0.0;
+    double variance = 1.0;
+  };
+
+  std::vector<double> LogJoint(const Record& record) const;
+
+  SchemaPtr schema_;
+  bool trained_ = false;
+  std::vector<double> log_prior_;  ///< [class]
+  /// Categorical: log P(value | class), flattened [attr][class][value]
+  /// (empty vector at numeric positions).
+  std::vector<std::vector<double>> cat_log_likelihood_;
+  /// Numeric: Gaussian fit per [attr][class] (empty at categorical
+  /// positions).
+  std::vector<std::vector<GaussianStats>> gaussians_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_CLASSIFIERS_NAIVE_BAYES_H_

@@ -1,0 +1,105 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+
+namespace hom {
+
+namespace {
+// The on-disk format is little-endian; this library targets little-endian
+// hosts (x86-64, AArch64 in LE mode), so raw copies are correct.
+static_assert(sizeof(double) == 8, "expect IEEE-754 binary64 doubles");
+}  // namespace
+
+Status BinaryWriter::WriteBytes(const void* data, size_t n) {
+  out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!*out_) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteU8(uint8_t v) { return WriteBytes(&v, 1); }
+
+Status BinaryWriter::WriteU32(uint32_t v) { return WriteBytes(&v, 4); }
+
+Status BinaryWriter::WriteU64(uint64_t v) { return WriteBytes(&v, 8); }
+
+Status BinaryWriter::WriteI32(int32_t v) { return WriteBytes(&v, 4); }
+
+Status BinaryWriter::WriteDouble(double v) { return WriteBytes(&v, 8); }
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  HOM_RETURN_NOT_OK(WriteU32(static_cast<uint32_t>(s.size())));
+  if (!s.empty()) HOM_RETURN_NOT_OK(WriteBytes(s.data(), s.size()));
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  HOM_RETURN_NOT_OK(WriteU32(static_cast<uint32_t>(v.size())));
+  if (!v.empty()) {
+    HOM_RETURN_NOT_OK(WriteBytes(v.data(), v.size() * sizeof(double)));
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_->gcount()) != n) {
+    return Status::IoError("unexpected end of stream");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  uint8_t v = 0;
+  HOM_RETURN_NOT_OK(ReadBytes(&v, 1));
+  return v;
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  HOM_RETURN_NOT_OK(ReadBytes(&v, 4));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  HOM_RETURN_NOT_OK(ReadBytes(&v, 8));
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  int32_t v = 0;
+  HOM_RETURN_NOT_OK(ReadBytes(&v, 4));
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double v = 0;
+  HOM_RETURN_NOT_OK(ReadBytes(&v, 8));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString(size_t limit) {
+  HOM_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  if (size > limit) {
+    return Status::InvalidArgument("string length " + std::to_string(size) +
+                                   " exceeds limit");
+  }
+  std::string s(size, '\0');
+  if (size > 0) HOM_RETURN_NOT_OK(ReadBytes(s.data(), size));
+  return s;
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector(size_t limit) {
+  HOM_ASSIGN_OR_RETURN(uint32_t size, ReadU32());
+  if (size > limit) {
+    return Status::InvalidArgument("vector length " + std::to_string(size) +
+                                   " exceeds limit");
+  }
+  std::vector<double> v(size);
+  if (size > 0) {
+    HOM_RETURN_NOT_OK(ReadBytes(v.data(), size * sizeof(double)));
+  }
+  return v;
+}
+
+}  // namespace hom

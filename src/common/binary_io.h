@@ -1,0 +1,59 @@
+#ifndef HOM_COMMON_BINARY_IO_H_
+#define HOM_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hom {
+
+/// \brief Little-endian primitive writer for model serialization.
+///
+/// Serialization keeps the offline-trained high-order model deployable:
+/// build once on the archive machine, ship the bytes, load in the online
+/// service. Format details live with the writers/readers of each type.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  Status WriteU8(uint8_t v);
+  Status WriteU32(uint32_t v);
+  Status WriteU64(uint64_t v);
+  Status WriteI32(int32_t v);
+  Status WriteDouble(double v);
+  Status WriteString(const std::string& s);
+  Status WriteDoubleVector(const std::vector<double>& v);
+
+ private:
+  Status WriteBytes(const void* data, size_t n);
+  std::ostream* out_;
+};
+
+/// \brief Little-endian primitive reader; every method validates stream
+/// state and returns IoError on truncation.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadDouble();
+  /// Strings and vectors are length-prefixed; `limit` bounds the length so
+  /// corrupted files cannot trigger huge allocations.
+  Result<std::string> ReadString(size_t limit = 1 << 20);
+  Result<std::vector<double>> ReadDoubleVector(size_t limit = 1 << 26);
+
+ private:
+  Status ReadBytes(void* data, size_t n);
+  std::istream* in_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_BINARY_IO_H_

@@ -1,0 +1,70 @@
+#ifndef HOM_COMMON_CHECK_H_
+#define HOM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hom::internal {
+
+/// Accumulates a failure message and aborts the process when destroyed (at
+/// the end of the full expression). Used only via the HOM_CHECK family.
+class CheckFailMessage {
+ public:
+  CheckFailMessage(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+
+  CheckFailMessage(const CheckFailMessage&) = delete;
+  CheckFailMessage& operator=(const CheckFailMessage&) = delete;
+
+  [[noreturn]] ~CheckFailMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< sink that turns the streamed chain into void,
+/// so HOM_CHECK can sit inside a ternary expression.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace hom::internal
+
+/// Aborts with a diagnostic when `cond` is false; extra context can be
+/// streamed: HOM_CHECK(a < b) << "a=" << a;
+/// For invariants and programmer errors; recoverable conditions use
+/// Status/Result instead.
+#define HOM_CHECK(cond)                                         \
+  (cond) ? (void)0                                              \
+         : ::hom::internal::Voidify() &                         \
+               ::hom::internal::CheckFailMessage(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#define HOM_CHECK_EQ(a, b) \
+  HOM_CHECK((a) == (b)) << #a << "=" << (a) << " vs " << #b << "=" << (b)
+#define HOM_CHECK_NE(a, b) HOM_CHECK((a) != (b))
+#define HOM_CHECK_LT(a, b) \
+  HOM_CHECK((a) < (b)) << #a << "=" << (a) << " vs " << #b << "=" << (b)
+#define HOM_CHECK_LE(a, b) \
+  HOM_CHECK((a) <= (b)) << #a << "=" << (a) << " vs " << #b << "=" << (b)
+#define HOM_CHECK_GT(a, b) \
+  HOM_CHECK((a) > (b)) << #a << "=" << (a) << " vs " << #b << "=" << (b)
+#define HOM_CHECK_GE(a, b) \
+  HOM_CHECK((a) >= (b)) << #a << "=" << (a) << " vs " << #b << "=" << (b)
+
+#ifdef NDEBUG
+#define HOM_DCHECK(cond) HOM_CHECK(true)
+#else
+/// Debug-only invariant check; compiles to a no-op in NDEBUG builds.
+#define HOM_DCHECK(cond) HOM_CHECK(cond)
+#endif
+
+#endif  // HOM_COMMON_CHECK_H_

@@ -1,0 +1,53 @@
+#ifndef HOM_COMMON_LOGGING_H_
+#define HOM_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hom {
+
+/// Severity of a log line; lines below the global threshold are dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global logging threshold (default: kWarning, so library code is
+/// silent in tests and benchmarks unless something is wrong).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global logging threshold.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log line; flushed to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hom
+
+#define HOM_LOG(level) \
+  ::hom::internal::LogMessage(::hom::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // HOM_COMMON_LOGGING_H_

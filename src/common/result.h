@@ -1,0 +1,74 @@
+#ifndef HOM_COMMON_RESULT_H_
+#define HOM_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace hom {
+
+/// \brief Value-or-Status holder for fallible producers.
+///
+/// Mirrors arrow::Result: construct from a value or from a non-OK Status;
+/// `ok()` selects which side is live. Accessing the wrong side aborts via
+/// HOM_CHECK (programming error, not a recoverable condition).
+template <typename T>
+class Result {
+ public:
+  /// Wraps a successful value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Wraps a failure. `status` must be non-OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    HOM_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  T& ValueOrDie() & {
+    HOM_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  const T& ValueOrDie() const& {
+    HOM_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    HOM_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace hom
+
+/// Unwraps a Result into `lhs`, propagating a failure Status to the caller.
+#define HOM_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  HOM_ASSIGN_OR_RETURN_IMPL_(                            \
+      HOM_CONCAT_(_hom_result_, __LINE__), lhs, rexpr)
+
+#define HOM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HOM_CONCAT_(a, b) HOM_CONCAT_IMPL_(a, b)
+#define HOM_CONCAT_IMPL_(a, b) a##b
+
+#endif  // HOM_COMMON_RESULT_H_

@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+uint32_t Rng::NextUint32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+uint32_t Rng::NextBounded(uint32_t bound) {
+  HOM_CHECK_GT(bound, 0u);
+  // Rejection sampling: discard the low remainder region so every value in
+  // [0, bound) is equally likely.
+  uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  uint64_t hi = NextUint32();
+  uint64_t lo = NextUint32();
+  uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+int Rng::NextInt(int lo, int hi) {
+  HOM_CHECK_LE(lo, hi);
+  return lo + static_cast<int>(
+                  NextBounded(static_cast<uint32_t>(hi - lo + 1)));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork() {
+  uint64_t seed = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+  uint64_t stream = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+  return Rng(seed, stream);
+}
+
+}  // namespace hom

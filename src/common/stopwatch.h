@@ -1,0 +1,55 @@
+#ifndef HOM_COMMON_STOPWATCH_H_
+#define HOM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hom {
+
+/// \brief Wall-clock timer used by the benchmark harnesses to reproduce the
+/// paper's build-time / test-time tables.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the accumulated time and starts a fresh measurement.
+  void Restart() {
+    accumulated_ = Duration::zero();
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Pauses accumulation (e.g., to exclude data-generation time).
+  void Pause() {
+    if (running_) {
+      accumulated_ += Clock::now() - start_;
+      running_ = false;
+    }
+  }
+
+  /// Resumes after Pause().
+  void Resume() {
+    if (!running_) {
+      start_ = Clock::now();
+      running_ = true;
+    }
+  }
+
+  /// Seconds elapsed while running since the last Restart().
+  double ElapsedSeconds() const {
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+
+  Duration accumulated_{};
+  Clock::time_point start_;
+  bool running_ = false;
+};
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+ZipfDistribution::ZipfDistribution(size_t n, double z) {
+  HOM_CHECK_GE(n, 1u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), z);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  HOM_CHECK_LT(k, cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace hom

@@ -1,0 +1,36 @@
+#ifndef HOM_COMMON_ZIPF_H_
+#define HOM_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hom {
+
+/// \brief Samples ranks from a Zipf distribution.
+///
+/// P(rank = k) ∝ 1 / k^z for k in [1, n]. The paper's Stagger and
+/// Hyperplane generators pick the *next* concept from a Zipf law with
+/// exponent z = 1 (Section IV-A), so concept popularity is skewed.
+class ZipfDistribution {
+ public:
+  /// \param n number of ranks (must be >= 1)
+  /// \param z skew exponent; z = 0 degenerates to uniform.
+  ZipfDistribution(size_t n, double z);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `k` (0-based).
+  double Pmf(size_t k) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative masses, cdf_.back() == 1.0
+};
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_ZIPF_H_

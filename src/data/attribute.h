@@ -1,0 +1,50 @@
+#ifndef HOM_DATA_ATTRIBUTE_H_
+#define HOM_DATA_ATTRIBUTE_H_
+
+#include <string>
+#include <vector>
+
+namespace hom {
+
+/// Kind of a feature column. The paper's benchmark streams mix both:
+/// Stagger is all-categorical, Hyperplane all-numeric, the intrusion stream
+/// has 34 continuous and 7 discrete attributes (Table I).
+enum class AttributeType {
+  kNumeric,
+  kCategorical,
+};
+
+/// \brief One feature column: a name, a type, and (for categorical columns)
+/// the value vocabulary.
+///
+/// Attribute is a passive descriptor; values themselves live in Record as
+/// doubles (categorical values are stored as 0-based category indices).
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kNumeric;
+  /// Category names; empty for numeric attributes. The index of a name in
+  /// this vector is the encoded value stored in Record.
+  std::vector<std::string> categories;
+
+  /// Creates a continuous attribute.
+  static Attribute Numeric(std::string name) {
+    return Attribute{std::move(name), AttributeType::kNumeric, {}};
+  }
+
+  /// Creates a discrete attribute with the given vocabulary.
+  static Attribute Categorical(std::string name,
+                               std::vector<std::string> categories) {
+    return Attribute{std::move(name), AttributeType::kCategorical,
+                     std::move(categories)};
+  }
+
+  bool is_numeric() const { return type == AttributeType::kNumeric; }
+  bool is_categorical() const { return type == AttributeType::kCategorical; }
+
+  /// Number of distinct values of a categorical attribute; 0 for numeric.
+  size_t cardinality() const { return categories.size(); }
+};
+
+}  // namespace hom
+
+#endif  // HOM_DATA_ATTRIBUTE_H_

@@ -1,0 +1,41 @@
+#include "data/dataset.h"
+
+namespace hom {
+
+Status Dataset::Append(Record record) {
+  if (record.values.size() != schema_->num_attributes()) {
+    return Status::InvalidArgument("record has " +
+                                   std::to_string(record.values.size()) +
+                                   " values, schema expects " +
+                                   std::to_string(schema_->num_attributes()));
+  }
+  for (size_t i = 0; i < record.values.size(); ++i) {
+    const Attribute& attr = schema_->attribute(i);
+    if (attr.is_categorical()) {
+      int v = record.category(i);
+      if (v < 0 || static_cast<size_t>(v) >= attr.cardinality()) {
+        return Status::OutOfRange("categorical value " + std::to_string(v) +
+                                  " out of range for attribute '" +
+                                  attr.name + "'");
+      }
+    }
+  }
+  if (record.label != kUnlabeled &&
+      (record.label < 0 ||
+       static_cast<size_t>(record.label) >= schema_->num_classes())) {
+    return Status::OutOfRange("label " + std::to_string(record.label) +
+                              " out of range");
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(schema_->num_classes(), 0);
+  for (const Record& r : records_) {
+    if (r.is_labeled()) ++counts[static_cast<size_t>(r.label)];
+  }
+  return counts;
+}
+
+}  // namespace hom

@@ -1,0 +1,55 @@
+#ifndef HOM_DATA_DATASET_H_
+#define HOM_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/record.h"
+#include "data/schema.h"
+
+namespace hom {
+
+/// \brief An in-memory, time-ordered collection of records sharing a schema.
+///
+/// The historical stream D of Section II is materialized as a Dataset; all
+/// clustering structures reference its rows through DatasetView without
+/// copying.
+class Dataset {
+ public:
+  explicit Dataset(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  /// Appends a record. Fails if the value count does not match the schema,
+  /// a categorical value is outside its vocabulary, or the label is outside
+  /// the class vocabulary (kUnlabeled is allowed).
+  Status Append(Record record);
+
+  /// Appends without validation; used by generators that produce
+  /// schema-conformant records by construction.
+  void AppendUnchecked(Record record) {
+    records_.push_back(std::move(record));
+  }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& record(size_t i) const {
+    HOM_DCHECK(i < records_.size());
+    return records_[i];
+  }
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Count of each class label among labeled records.
+  std::vector<size_t> ClassCounts() const;
+
+  void Reserve(size_t n) { records_.reserve(n); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Record> records_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_DATA_DATASET_H_

@@ -1,0 +1,58 @@
+#include "data/dataset_view.h"
+
+#include <numeric>
+
+namespace hom {
+
+DatasetView::DatasetView(const Dataset* dataset)
+    : DatasetView(dataset, 0, dataset->size()) {}
+
+DatasetView::DatasetView(const Dataset* dataset, size_t begin, size_t end)
+    : dataset_(dataset) {
+  HOM_CHECK_LE(begin, end);
+  HOM_CHECK_LE(end, dataset->size());
+  indices_.resize(end - begin);
+  std::iota(indices_.begin(), indices_.end(), static_cast<uint32_t>(begin));
+}
+
+DatasetView DatasetView::Union(const DatasetView& a, const DatasetView& b) {
+  HOM_CHECK(a.dataset_ == b.dataset_)
+      << "cannot union views over different datasets";
+  std::vector<uint32_t> merged;
+  merged.reserve(a.indices_.size() + b.indices_.size());
+  merged.insert(merged.end(), a.indices_.begin(), a.indices_.end());
+  merged.insert(merged.end(), b.indices_.begin(), b.indices_.end());
+  return DatasetView(a.dataset_, std::move(merged));
+}
+
+std::pair<DatasetView, DatasetView> DatasetView::SplitHoldout(
+    Rng* rng) const {
+  std::vector<uint32_t> shuffled = indices_;
+  rng->Shuffle(&shuffled);
+  size_t train_size = (shuffled.size() + 1) / 2;
+  std::vector<uint32_t> train(shuffled.begin(),
+                              shuffled.begin() + train_size);
+  std::vector<uint32_t> test(shuffled.begin() + train_size, shuffled.end());
+  return {DatasetView(dataset_, std::move(train)),
+          DatasetView(dataset_, std::move(test))};
+}
+
+std::vector<size_t> DatasetView::ClassCounts() const {
+  std::vector<size_t> counts(schema()->num_classes(), 0);
+  for (uint32_t idx : indices_) {
+    const Record& r = dataset_->record(idx);
+    if (r.is_labeled()) ++counts[static_cast<size_t>(r.label)];
+  }
+  return counts;
+}
+
+Label DatasetView::MajorityClass() const {
+  std::vector<size_t> counts = ClassCounts();
+  size_t best = 0;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return static_cast<Label>(best);
+}
+
+}  // namespace hom

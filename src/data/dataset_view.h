@@ -1,0 +1,72 @@
+#ifndef HOM_DATA_DATASET_VIEW_H_
+#define HOM_DATA_DATASET_VIEW_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace hom {
+
+/// \brief Zero-copy subset of a Dataset: a list of row indices.
+///
+/// Concept clustering repeatedly forms unions of clusters (Algorithm 1,
+/// lines 14-16); views make those unions O(|u|+|v|) index appends instead of
+/// record copies. Indices preserve stream order unless explicitly shuffled.
+class DatasetView {
+ public:
+  DatasetView() : dataset_(nullptr) {}
+
+  /// View over the whole dataset, in stream order.
+  explicit DatasetView(const Dataset* dataset);
+
+  /// View over rows [begin, end) of the dataset.
+  DatasetView(const Dataset* dataset, size_t begin, size_t end);
+
+  /// View over an explicit index list.
+  DatasetView(const Dataset* dataset, std::vector<uint32_t> indices)
+      : dataset_(dataset), indices_(std::move(indices)) {}
+
+  size_t size() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+
+  const Record& record(size_t i) const {
+    HOM_DCHECK(i < indices_.size());
+    return dataset_->record(indices_[i]);
+  }
+
+  /// Global row index of the i-th record in this view.
+  uint32_t row_index(size_t i) const {
+    HOM_DCHECK(i < indices_.size());
+    return indices_[i];
+  }
+
+  const Dataset* dataset() const { return dataset_; }
+  const SchemaPtr& schema() const { return dataset_->schema(); }
+  const std::vector<uint32_t>& indices() const { return indices_; }
+
+  /// Concatenation of two views over the same dataset (cluster merge).
+  static DatasetView Union(const DatasetView& a, const DatasetView& b);
+
+  /// Randomly splits the view into (train, test) halves for the holdout
+  /// validation of Section II-B. With n records, train gets ceil(n/2) and
+  /// test gets floor(n/2); both non-empty when n >= 2.
+  std::pair<DatasetView, DatasetView> SplitHoldout(Rng* rng) const;
+
+  /// Count of each class label among labeled records in the view.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Label of the most frequent class (ties broken toward the smaller
+  /// label); 0 if the view has no labeled records.
+  Label MajorityClass() const;
+
+ private:
+  const Dataset* dataset_;
+  std::vector<uint32_t> indices_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_DATA_DATASET_VIEW_H_

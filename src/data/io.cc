@@ -1,0 +1,107 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hom {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  const Schema& schema = *dataset.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    out << schema.attribute(i).name << ",";
+  }
+  out << "class\n";
+  for (const Record& r : dataset.records()) {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      const Attribute& attr = schema.attribute(i);
+      if (attr.is_categorical()) {
+        out << attr.categories[static_cast<size_t>(r.category(i))];
+      } else {
+        out << r.values[i];
+      }
+      out << ",";
+    }
+    if (r.is_labeled()) {
+      out << schema.class_name(r.label);
+    } else {
+      out << "?";
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  Dataset dataset(schema);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty (missing header)");
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != schema->num_attributes() + 1) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected " +
+          std::to_string(schema->num_attributes() + 1) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    Record record;
+    record.values.reserve(schema->num_attributes());
+    for (size_t i = 0; i < schema->num_attributes(); ++i) {
+      const Attribute& attr = schema->attribute(i);
+      if (attr.is_categorical()) {
+        int code = -1;
+        for (size_t c = 0; c < attr.categories.size(); ++c) {
+          if (attr.categories[c] == fields[i]) {
+            code = static_cast<int>(c);
+            break;
+          }
+        }
+        if (code < 0) {
+          return Status::InvalidArgument(
+              path + ":" + std::to_string(line_no) + ": unknown category '" +
+              fields[i] + "' for attribute '" + attr.name + "'");
+        }
+        record.values.push_back(code);
+      } else {
+        try {
+          record.values.push_back(std::stod(fields[i]));
+        } catch (...) {
+          return Status::InvalidArgument(
+              path + ":" + std::to_string(line_no) +
+              ": non-numeric value '" + fields[i] + "'");
+        }
+      }
+    }
+    const std::string& label_field = fields.back();
+    if (label_field == "?") {
+      record.label = kUnlabeled;
+    } else {
+      HOM_ASSIGN_OR_RETURN(record.label, schema->ClassIndex(label_field));
+    }
+    HOM_RETURN_NOT_OK(dataset.Append(std::move(record)));
+  }
+  return dataset;
+}
+
+}  // namespace hom

@@ -1,0 +1,22 @@
+#ifndef HOM_DATA_IO_H_
+#define HOM_DATA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace hom {
+
+/// \brief Writes a dataset as CSV: a header row of attribute names plus
+/// "class", then one row per record. Categorical values and labels are
+/// written as their names; unlabeled records write "?".
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// \brief Reads a CSV produced by WriteCsv back into a Dataset under the
+/// given schema. Column order must match the schema.
+Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path);
+
+}  // namespace hom
+
+#endif  // HOM_DATA_IO_H_

@@ -1,0 +1,35 @@
+#ifndef HOM_DATA_RECORD_H_
+#define HOM_DATA_RECORD_H_
+
+#include <vector>
+
+namespace hom {
+
+/// Class label encoded as an index into Schema::classes(). -1 means
+/// "unlabeled" (the X stream of Section III-A).
+using Label = int;
+
+inline constexpr Label kUnlabeled = -1;
+
+/// \brief One stream tuple: feature values plus an optional class label.
+///
+/// All attribute values are stored as doubles; a categorical attribute
+/// stores its 0-based category index. This keeps the hot training/prediction
+/// loops branch-free on storage and mirrors how most ML runtimes encode
+/// mixed tabular data.
+struct Record {
+  std::vector<double> values;
+  Label label = kUnlabeled;
+
+  Record() = default;
+  Record(std::vector<double> v, Label l) : values(std::move(v)), label(l) {}
+
+  bool is_labeled() const { return label != kUnlabeled; }
+
+  /// Categorical accessor: the encoded category index of attribute `attr`.
+  int category(size_t attr) const { return static_cast<int>(values[attr]); }
+};
+
+}  // namespace hom
+
+#endif  // HOM_DATA_RECORD_H_

@@ -1,0 +1,41 @@
+#include "eval/prequential.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace hom {
+
+PrequentialResult RunPrequential(StreamClassifier* classifier,
+                                 const Dataset& test,
+                                 PrequentialOptions options) {
+  HOM_CHECK(classifier != nullptr);
+  HOM_CHECK_GT(options.labeled_fraction, 0.0);
+  HOM_CHECK_LE(options.labeled_fraction, 1.0);
+
+  PrequentialResult result;
+  if (options.record_trace) result.errors.reserve(test.size());
+  Rng label_rng(options.label_seed);
+
+  Stopwatch timer;
+  for (const Record& r : test.records()) {
+    HOM_DCHECK(r.is_labeled());
+    // Predict with the label hidden: x_t.
+    Record unlabeled = r;
+    unlabeled.label = kUnlabeled;
+    Label predicted = classifier->Predict(unlabeled);
+    bool wrong = predicted != r.label;
+    ++result.num_records;
+    if (wrong) ++result.num_errors;
+    if (options.record_trace) result.errors.push_back(wrong ? 1 : 0);
+    // Reveal y_t (possibly subsampled to model labeling overhead).
+    if (options.labeled_fraction >= 1.0 ||
+        label_rng.NextBernoulli(options.labeled_fraction)) {
+      classifier->ObserveLabeled(r);
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace hom

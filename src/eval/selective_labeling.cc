@@ -1,0 +1,41 @@
+#include "eval/selective_labeling.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+RandomLabelingPolicy::RandomLabelingPolicy(double fraction, uint64_t seed)
+    : fraction_(fraction), rng_(seed) {
+  HOM_CHECK_GE(fraction, 0.0);
+  HOM_CHECK_LE(fraction, 1.0);
+}
+
+bool RandomLabelingPolicy::ShouldRequestLabel(StreamClassifier*,
+                                              const Record&) {
+  return rng_.NextBernoulli(fraction_);
+}
+
+SelectiveResult RunSelectivePrequential(StreamClassifier* classifier,
+                                        const Dataset& test,
+                                        LabelingPolicy* policy) {
+  HOM_CHECK(classifier != nullptr);
+  HOM_CHECK(policy != nullptr);
+  SelectiveResult result;
+  for (const Record& r : test.records()) {
+    HOM_DCHECK(r.is_labeled());
+    Record unlabeled = r;
+    unlabeled.label = kUnlabeled;
+    bool want_label = policy->ShouldRequestLabel(classifier, unlabeled);
+    Label predicted = classifier->Predict(unlabeled);
+    ++result.num_records;
+    if (predicted != r.label) ++result.num_errors;
+    if (want_label) {
+      ++result.labels_requested;
+      policy->OnLabelRevealed(classifier, r, predicted);
+      classifier->ObserveLabeled(r);
+    }
+  }
+  return result;
+}
+
+}  // namespace hom

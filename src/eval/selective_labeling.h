@@ -1,0 +1,84 @@
+#ifndef HOM_EVAL_SELECTIVE_LABELING_H_
+#define HOM_EVAL_SELECTIVE_LABELING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "eval/stream_classifier.h"
+
+namespace hom {
+
+/// \brief Online decision rule for *which* records to pay the labeling cost
+/// for (Section III-A: "in practice, Y is usually created by labeling a
+/// subset of X online... a small subset of transactions are investigated
+/// and labeled").
+///
+/// The policy is consulted once per record, before prediction feedback; if
+/// it returns true, the ground-truth label is revealed to the classifier
+/// after prediction.
+class LabelingPolicy {
+ public:
+  virtual ~LabelingPolicy() = default;
+
+  /// Decide for the record about to be processed. `classifier` may be
+  /// inspected but must not be mutated.
+  virtual bool ShouldRequestLabel(StreamClassifier* classifier,
+                                  const Record& x) = 0;
+
+  /// Feedback hook: called after a requested label is revealed, with the
+  /// classifier state *before* it consumed the label. Lets policies react
+  /// to surprises (e.g. burst-sample after a contradicting label).
+  virtual void OnLabelRevealed(StreamClassifier* classifier, const Record& y,
+                               Label predicted) {
+    (void)classifier;
+    (void)y;
+    (void)predicted;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Labels a fixed random fraction of the stream — the baseline every
+/// smarter policy must beat at equal budget.
+class RandomLabelingPolicy : public LabelingPolicy {
+ public:
+  RandomLabelingPolicy(double fraction, uint64_t seed);
+
+  bool ShouldRequestLabel(StreamClassifier* classifier,
+                          const Record& x) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  double fraction_;
+  Rng rng_;
+};
+
+/// Outcome of a selective-labeling prequential run.
+struct SelectiveResult {
+  size_t num_records = 0;
+  size_t num_errors = 0;
+  size_t labels_requested = 0;
+
+  double error_rate() const {
+    return num_records == 0 ? 0.0
+                            : static_cast<double>(num_errors) /
+                                  static_cast<double>(num_records);
+  }
+  double label_fraction() const {
+    return num_records == 0 ? 0.0
+                            : static_cast<double>(labels_requested) /
+                                  static_cast<double>(num_records);
+  }
+};
+
+/// Prequential protocol with a labeling budget: predict every record with
+/// the label hidden, then reveal the label only when `policy` asked for it.
+SelectiveResult RunSelectivePrequential(StreamClassifier* classifier,
+                                        const Dataset& test,
+                                        LabelingPolicy* policy);
+
+}  // namespace hom
+
+#endif  // HOM_EVAL_SELECTIVE_LABELING_H_

@@ -1,0 +1,14 @@
+#include "eval/stream_classifier.h"
+
+namespace hom {
+
+std::vector<double> StreamClassifier::PredictProba(const Record& x) {
+  std::vector<double> proba(num_classes(), 0.0);
+  Label l = Predict(x);
+  if (l >= 0 && static_cast<size_t>(l) < proba.size()) {
+    proba[static_cast<size_t>(l)] = 1.0;
+  }
+  return proba;
+}
+
+}  // namespace hom

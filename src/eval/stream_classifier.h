@@ -1,0 +1,41 @@
+#ifndef HOM_EVAL_STREAM_CLASSIFIER_H_
+#define HOM_EVAL_STREAM_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+namespace hom {
+
+/// \brief The dual-stream online protocol of Section III-A: a classifier
+/// predicts an unlabeled stream X while consuming a parallel labeled stream
+/// Y, with the prediction of x_t using labels {y_1, ..., y_{t-1}}.
+///
+/// The high-order model, RePro and WCE all implement this interface; the
+/// prequential harness drives them identically, which is what makes the
+/// paper's Tables II/III an apples-to-apples comparison.
+class StreamClassifier {
+ public:
+  virtual ~StreamClassifier() = default;
+
+  /// Classifies one unlabeled record. Non-const because online methods may
+  /// lazily reorganize internal state during prediction.
+  virtual Label Predict(const Record& x) = 0;
+
+  /// Per-class probability estimate; defaults to a one-hot of Predict().
+  virtual std::vector<double> PredictProba(const Record& x);
+
+  /// Feeds one labeled record from the online training stream Y.
+  virtual void ObserveLabeled(const Record& y) = 0;
+
+  /// Display name used in benchmark tables ("High-order", "RePro", "WCE").
+  virtual std::string name() const = 0;
+
+  /// Number of classes of the underlying schema.
+  virtual size_t num_classes() const = 0;
+};
+
+}  // namespace hom
+
+#endif  // HOM_EVAL_STREAM_CLASSIFIER_H_

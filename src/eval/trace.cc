@@ -1,0 +1,50 @@
+#include "eval/trace.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+AlignedTraceAccumulator::AlignedTraceAccumulator(size_t before, size_t after)
+    : before_(before),
+      after_(after),
+      sums_(before + after, 0.0),
+      counts_(before + after, 0) {
+  HOM_CHECK_GT(after, 0u);
+}
+
+void AlignedTraceAccumulator::AddSeries(
+    const std::vector<double>& series,
+    const std::vector<size_t>& change_points) {
+  for (size_t k = 0; k < change_points.size(); ++k) {
+    size_t cp = change_points[k];
+    if (cp < before_) continue;
+    if (cp + after_ > series.size()) continue;
+    // Require the next change to be far enough away that the window shows
+    // one clean transition.
+    if (k + 1 < change_points.size() && change_points[k + 1] < cp + after_) {
+      continue;
+    }
+    ++windows_;
+    for (size_t i = 0; i < before_ + after_; ++i) {
+      sums_[i] += series[cp - before_ + i];
+      ++counts_[i];
+    }
+  }
+}
+
+void AlignedTraceAccumulator::AddSeries(
+    const std::vector<uint8_t>& series,
+    const std::vector<size_t>& change_points) {
+  std::vector<double> as_double(series.begin(), series.end());
+  AddSeries(as_double, change_points);
+}
+
+std::vector<double> AlignedTraceAccumulator::Mean() const {
+  std::vector<double> mean(sums_.size(), 0.0);
+  for (size_t i = 0; i < sums_.size(); ++i) {
+    if (counts_[i] > 0) mean[i] = sums_[i] / static_cast<double>(counts_[i]);
+  }
+  return mean;
+}
+
+}  // namespace hom

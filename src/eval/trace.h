@@ -1,0 +1,55 @@
+#ifndef HOM_EVAL_TRACE_H_
+#define HOM_EVAL_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hom {
+
+/// \brief Averages per-record series in windows aligned to concept change
+/// points — the machinery behind Figures 5 and 6 ("error rates during
+/// concept change", "probabilities of stable concepts during concept
+/// change", averaged over many runs).
+///
+/// Slot `before` of the output corresponds to the change point itself;
+/// slots [0, before) are pre-change records and slots (before, before+after)
+/// post-change records.
+class AlignedTraceAccumulator {
+ public:
+  /// \param before records to keep before each change point
+  /// \param after records to keep from the change point on
+  AlignedTraceAccumulator(size_t before, size_t after);
+
+  /// Adds one run: `series` is a per-record value (0/1 error flag,
+  /// probability, ...) and `change_points` the indices where a new concept
+  /// begins. Windows that would cross the series boundary, and change
+  /// points closer than `after` to the next change, are skipped so the
+  /// average reflects clean transitions.
+  void AddSeries(const std::vector<double>& series,
+                 const std::vector<size_t>& change_points);
+
+  /// Convenience overload for 0/1 error traces.
+  void AddSeries(const std::vector<uint8_t>& series,
+                 const std::vector<size_t>& change_points);
+
+  /// Per-slot mean; slots that never received a sample are 0.
+  std::vector<double> Mean() const;
+
+  /// Number of aligned windows accumulated.
+  size_t num_windows() const { return windows_; }
+
+  size_t window_size() const { return before_ + after_; }
+  size_t before() const { return before_; }
+
+ private:
+  size_t before_;
+  size_t after_;
+  size_t windows_ = 0;
+  std::vector<double> sums_;
+  std::vector<size_t> counts_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_EVAL_TRACE_H_

@@ -1,0 +1,70 @@
+#include "highorder/active_probability.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hom {
+
+ActiveProbabilityTracker::ActiveProbabilityTracker(ConceptStats stats)
+    : stats_(std::move(stats)) {
+  Reset();
+}
+
+void ActiveProbabilityTracker::Reset() {
+  size_t n = stats_.num_concepts();
+  prior_.assign(n, 1.0 / static_cast<double>(n));
+  posterior_ = prior_;
+}
+
+void ActiveProbabilityTracker::Observe(const std::vector<double>& psi) {
+  size_t n = stats_.num_concepts();
+  HOM_CHECK_EQ(psi.size(), n);
+  // Eq. 5: P_t−(c) = Σ_i P_{t-1}(i) χ(i, c).
+  prior_ = stats_.Propagate(posterior_);
+  // Eq. 9: P_t(c) ∝ P_t−(c) ψ(c, y_t).
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    HOM_DCHECK(psi[c] >= 0.0);
+    posterior_[c] = prior_[c] * psi[c];
+    total += posterior_[c];
+  }
+  if (total <= 1e-300) {
+    // All concepts assigned (numerically) zero likelihood: fall back to the
+    // propagated prior rather than a NaN distribution.
+    posterior_ = prior_;
+    return;
+  }
+  for (double& p : posterior_) p /= total;
+}
+
+void ActiveProbabilityTracker::ObserveAfterGap(const std::vector<double>& psi,
+                                               size_t gap) {
+  size_t n = stats_.num_concepts();
+  HOM_CHECK_EQ(psi.size(), n);
+  HOM_CHECK_GE(gap, 1u);
+  prior_ = stats_.PropagateSteps(posterior_, gap);
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    HOM_DCHECK(psi[c] >= 0.0);
+    posterior_[c] = prior_[c] * psi[c];
+    total += posterior_[c];
+  }
+  if (total <= 1e-300) {
+    posterior_ = prior_;
+    return;
+  }
+  for (double& p : posterior_) p /= total;
+}
+
+void ActiveProbabilityTracker::AdvanceWithoutEvidence() {
+  prior_ = stats_.Propagate(posterior_);
+  posterior_ = prior_;
+}
+
+size_t ActiveProbabilityTracker::MostLikelyConcept() const {
+  return static_cast<size_t>(
+      std::max_element(prior_.begin(), prior_.end()) - prior_.begin());
+}
+
+}  // namespace hom

@@ -1,0 +1,62 @@
+#ifndef HOM_HIGHORDER_ACTIVE_PROBABILITY_H_
+#define HOM_HIGHORDER_ACTIVE_PROBABILITY_H_
+
+#include <vector>
+
+#include "highorder/concept_stats.h"
+
+namespace hom {
+
+/// \brief The online concept filter of Section III-B: tracks each concept's
+/// active probability — P_t−(c) before seeing y_t (Eq. 5) and P_t(c) after
+/// (Eqs. 7-9).
+///
+/// This is the forward pass of an HMM whose states are the stable concepts
+/// and whose emission model is the per-concept classifier correctness
+/// likelihood ψ (Eq. 8). The tracker itself is emission-agnostic: callers
+/// supply ψ(c, y_t) values and it handles propagation + Bayes update.
+class ActiveProbabilityTracker {
+ public:
+  /// Starts at the uniform prior P_1(c) = 1/N (Section III-B).
+  explicit ActiveProbabilityTracker(ConceptStats stats);
+
+  /// Prior active probabilities P_t−(c) — the weights Eq. 10 uses to
+  /// classify the unlabeled record at time t.
+  const std::vector<double>& prior() const { return prior_; }
+
+  /// Posterior active probabilities P_t(c) after the last Observe().
+  const std::vector<double>& posterior() const { return posterior_; }
+
+  /// Consumes one labeled record's evidence: `psi[c]` = ψ(c, y_t) from
+  /// Eq. 8 (1 - Err_c if M_c classified y_t correctly, else Err_c).
+  /// Computes P_t−  from the previous posterior via χ, multiplies in the
+  /// evidence, and renormalizes.
+  void Observe(const std::vector<double>& psi);
+
+  /// Advances the prior one step without evidence (used when labeled data
+  /// stalls but time passes).
+  void AdvanceWithoutEvidence();
+
+  /// Consumes evidence that arrives after a `gap`-record silence (the
+  /// Section III-B variable-rate setting): the prior is propagated through
+  /// all `gap` elapsed ticks before the Bayes update. gap = 1 is Observe().
+  void ObserveAfterGap(const std::vector<double>& psi, size_t gap);
+
+  /// Resets to the uniform prior.
+  void Reset();
+
+  /// Index of the most probable current concept (by prior).
+  size_t MostLikelyConcept() const;
+
+  size_t num_concepts() const { return stats_.num_concepts(); }
+  const ConceptStats& stats() const { return stats_; }
+
+ private:
+  ConceptStats stats_;
+  std::vector<double> prior_;
+  std::vector<double> posterior_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_ACTIVE_PROBABILITY_H_

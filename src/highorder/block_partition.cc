@@ -1,0 +1,31 @@
+#include "highorder/block_partition.h"
+
+namespace hom {
+
+Result<std::vector<DatasetView>> PartitionIntoBlocks(
+    const DatasetView& history, size_t block_size) {
+  if (block_size < 2) {
+    return Status::InvalidArgument("block_size must be >= 2 (got " +
+                                   std::to_string(block_size) + ")");
+  }
+  if (history.size() < 2) {
+    return Status::InvalidArgument(
+        "historical stream needs at least 2 records");
+  }
+  std::vector<DatasetView> blocks;
+  blocks.reserve(history.size() / block_size + 1);
+  const std::vector<uint32_t>& idx = history.indices();
+  size_t pos = 0;
+  while (pos < idx.size()) {
+    size_t end = std::min(pos + block_size, idx.size());
+    // Do not leave a 1-record tail: it could not be holdout-split.
+    if (idx.size() - end == 1) end = idx.size();
+    blocks.emplace_back(
+        history.dataset(),
+        std::vector<uint32_t>(idx.begin() + pos, idx.begin() + end));
+    pos = end;
+  }
+  return blocks;
+}
+
+}  // namespace hom

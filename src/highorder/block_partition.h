@@ -1,0 +1,24 @@
+#ifndef HOM_HIGHORDER_BLOCK_PARTITION_H_
+#define HOM_HIGHORDER_BLOCK_PARTITION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset_view.h"
+
+namespace hom {
+
+/// \brief Splits the time-ordered historical stream into contiguous blocks
+/// of `block_size` records (Section II-A step 1: "small enough (e.g., 2-20)
+/// such that data within a block represents a same concept with high
+/// probability").
+///
+/// A trailing remainder of fewer than 2 records is folded into the last
+/// block so every block supports a holdout split. Fails if `history` has
+/// fewer than 2 records or `block_size` < 2.
+Result<std::vector<DatasetView>> PartitionIntoBlocks(
+    const DatasetView& history, size_t block_size);
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_BLOCK_PARTITION_H_

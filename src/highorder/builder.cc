@@ -1,0 +1,76 @@
+#include "highorder/builder.h"
+
+#include "classifiers/evaluation.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace hom {
+
+HighOrderModelBuilder::HighOrderModelBuilder(ClassifierFactory base_factory,
+                                             HighOrderBuildConfig config)
+    : base_factory_(std::move(base_factory)), config_(config) {
+  HOM_CHECK(base_factory_ != nullptr);
+}
+
+Result<std::unique_ptr<HighOrderClassifier>> HighOrderModelBuilder::Build(
+    const Dataset& history, Rng* rng, HighOrderBuildReport* report) const {
+  if (history.size() < 2) {
+    return Status::InvalidArgument(
+        "historical dataset needs at least 2 records");
+  }
+  Stopwatch timer;
+
+  ConceptClusterer clusterer(base_factory_, config_.clustering);
+  DatasetView full(&history);
+  HOM_ASSIGN_OR_RETURN(ConceptClusteringResult clustering,
+                       clusterer.Cluster(full, rng));
+
+  HOM_ASSIGN_OR_RETURN(ConceptStats stats,
+                       ConceptStats::FromOccurrences(
+                           clustering.occurrences,
+                           clustering.concept_data.size()));
+
+  // Final per-concept classifiers: by default trained on every record of
+  // the concept (all occurrences pooled), with Err_c taken from the
+  // clustering holdout so ψ stays an honest error estimate.
+  std::vector<ConceptModel> concepts;
+  concepts.reserve(clustering.concept_data.size());
+  for (size_t c = 0; c < clustering.concept_data.size(); ++c) {
+    ConceptModel cm;
+    cm.training_records = clustering.concept_data[c].size();
+    if (config_.train_on_full_data) {
+      cm.model = base_factory_(history.schema());
+      HOM_RETURN_NOT_OK(cm.model->Train(clustering.concept_data[c]));
+      cm.error = clustering.concept_errors[c];
+    } else {
+      HOM_ASSIGN_OR_RETURN(
+          HoldoutModel holdout,
+          TrainHoldout(base_factory_, clustering.concept_data[c], rng));
+      cm.model = std::move(holdout.model);
+      cm.error = holdout.error;
+    }
+    concepts.push_back(std::move(cm));
+  }
+
+  HOM_ASSIGN_OR_RETURN(
+      std::unique_ptr<HighOrderClassifier> classifier,
+      HighOrderClassifier::Make(history.schema(), std::move(concepts),
+                                std::move(stats), config_.options));
+
+  if (report != nullptr) {
+    report->num_records = history.size();
+    report->num_chunks = clustering.num_chunks;
+    report->num_concepts = clustering.concept_data.size();
+    report->build_seconds = timer.ElapsedSeconds();
+    report->final_q = clustering.final_q;
+    report->occurrences = clustering.occurrences;
+    report->concept_errors = clustering.concept_errors;
+    report->concept_sizes.clear();
+    for (const DatasetView& v : clustering.concept_data) {
+      report->concept_sizes.push_back(v.size());
+    }
+  }
+  return classifier;
+}
+
+}  // namespace hom

@@ -1,0 +1,389 @@
+#include "highorder/concept_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "classifiers/evaluation.h"
+#include "common/check.h"
+#include "common/logging.h"
+#include "highorder/block_partition.h"
+#include "highorder/merge_queue.h"
+
+namespace hom {
+
+namespace {
+
+// Safety valve: step 2 is quadratic in the number of chunks. With the
+// paper's parameters (block size 20, lambda 0.001) chunk counts are a few
+// hundred; hitting this cap means step 1 over-fragmented.
+constexpr size_t kMaxChunksForStep2 = 4000;
+
+/// Collects the input-leaf descendants of `id`, left to right.
+void CollectLeaves(const Dendrogram& dendro, int32_t id,
+                   std::vector<int32_t>* leaves) {
+  const ClusterNode& n = dendro.node(id);
+  if (n.left < 0) {
+    leaves->push_back(id);
+    return;
+  }
+  CollectLeaves(dendro, n.left, leaves);
+  CollectLeaves(dendro, n.right, leaves);
+}
+
+/// Model-similarity distance of Eq. 3/4 evaluated on the shared sample
+/// list: sim is the agreement fraction over the first
+/// min(|D_u^test|, |D_v^test|) shared samples.
+double ModelDistance(const ClusterNode& u, const ClusterNode& v) {
+  size_t k = std::min(u.sample_predictions.size(), v.sample_predictions.size());
+  double sim = 0.0;
+  if (k > 0) {
+    size_t agree = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (u.sample_predictions[i] == v.sample_predictions[i]) ++agree;
+    }
+    sim = static_cast<double>(agree) / static_cast<double>(k);
+  }
+  return static_cast<double>(u.data.size() + v.data.size()) * (1.0 - sim);
+}
+
+}  // namespace
+
+ConceptClusterer::ConceptClusterer(ClassifierFactory base_factory,
+                                   ConceptClusteringConfig config)
+    : base_factory_(std::move(base_factory)), config_(config) {
+  HOM_CHECK(base_factory_ != nullptr);
+  HOM_CHECK_GE(config_.block_size, 2u);
+  HOM_CHECK_GT(config_.early_stop_ratio, 1.0);
+}
+
+double ConceptClusterer::EstimateError(const Classifier& model,
+                                       const DatasetView& test) const {
+  size_t errors = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const Record& r = test.record(i);
+    if (model.Predict(r) != r.label) ++errors;
+  }
+  if (config_.laplace_error_smoothing) {
+    return (static_cast<double>(errors) + 1.0) /
+           (static_cast<double>(test.size()) + 2.0);
+  }
+  return test.empty() ? 0.0
+                      : static_cast<double>(errors) /
+                            static_cast<double>(test.size());
+}
+
+Result<ClusterNode> ConceptClusterer::MakeLeaf(const DatasetView& data,
+                                               Rng* rng) const {
+  ClusterNode node;
+  node.data = data;
+  auto [train, test] = data.SplitHoldout(rng);
+  node.train = std::move(train);
+  node.test = std::move(test);
+  node.model = base_factory_(data.schema());
+  HOM_RETURN_NOT_OK(node.model->Train(node.train));
+  node.err = EstimateError(*node.model, node.test);
+  node.err_star = node.err;
+  return node;
+}
+
+Result<ClusterNode> ConceptClusterer::MergeNodes(const ClusterNode& u,
+                                                 const ClusterNode& v) const {
+  ClusterNode w;
+  w.data = DatasetView::Union(u.data, v.data);
+  w.train = DatasetView::Union(u.train, v.train);
+  w.test = DatasetView::Union(u.test, v.test);
+  const ClusterNode& large = u.data.size() >= v.data.size() ? u : v;
+  const ClusterNode& small = u.data.size() >= v.data.size() ? v : u;
+  if (config_.reuse_on_unbalanced_merge &&
+      static_cast<double>(large.data.size()) >=
+          config_.reuse_ratio * static_cast<double>(small.data.size())) {
+    // Section II-D: the tiny side barely changes the model; reuse the
+    // large cluster's classifier instead of retraining on the union.
+    w.model = large.model;
+  } else {
+    std::unique_ptr<Classifier> fresh = base_factory_(w.data.schema());
+    HOM_RETURN_NOT_OK(fresh->Train(w.train));
+    w.model = std::move(fresh);
+  }
+  w.err = EstimateError(*w.model, w.test);
+  double nu = static_cast<double>(u.data.size());
+  double nv = static_cast<double>(v.data.size());
+  // Err* recursion (Algorithm 1 line 19): the best partition of D_w either
+  // keeps D_w whole or combines the best partitions of its halves.
+  w.err_star =
+      std::min(w.err, (nu * u.err_star + nv * v.err_star) / (nu + nv));
+  return w;
+}
+
+bool ConceptClusterer::ShouldStopMerging(const ClusterNode& node) const {
+  if (!config_.early_stop) return false;
+  if (node.data.size() < config_.early_stop_min_size) return false;
+  if (node.err <= node.err_star * config_.early_stop_ratio + 1e-12) {
+    return false;
+  }
+  // The ratio alone misfires when both errors are near zero; also require
+  // the gap to be statistically meaningful at this holdout size.
+  double p = std::min(std::max(node.err, 1e-6), 1.0 - 1e-6);
+  double margin =
+      config_.early_stop_z *
+      std::sqrt(p * (1.0 - p) /
+                static_cast<double>(std::max<size_t>(node.test.size(), 1)));
+  return node.err - node.err_star > margin;
+}
+
+Result<ConceptClusteringResult> ConceptClusterer::Cluster(
+    const DatasetView& history, Rng* rng) const {
+  // ---------------------------------------------------------------- Step 1
+  HOM_ASSIGN_OR_RETURN(std::vector<DatasetView> blocks,
+                       PartitionIntoBlocks(history, config_.block_size));
+
+  Dendrogram dendro1;
+  // Record-position extent of every cluster within the history view;
+  // step-1 merges are adjacency-only, so extents stay contiguous.
+  std::vector<std::pair<size_t, size_t>> extent;
+
+  std::vector<int32_t> block_ids;
+  size_t pos = 0;
+  for (const DatasetView& block : blocks) {
+    HOM_ASSIGN_OR_RETURN(ClusterNode leaf, MakeLeaf(block, rng));
+    int32_t id = dendro1.AddLeaf(std::move(leaf));
+    block_ids.push_back(id);
+    extent.emplace_back(pos, pos + block.size());
+    pos += block.size();
+  }
+
+  MergeQueue queue1;
+  for (int32_t id : block_ids) queue1.RegisterCluster(id);
+
+  // Chain adjacency: left/right neighbour ids per cluster (-1 at the ends).
+  std::vector<int32_t> left_of(dendro1.size(), -1);
+  std::vector<int32_t> right_of(dendro1.size(), -1);
+  for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
+    right_of[static_cast<size_t>(block_ids[i])] = block_ids[i + 1];
+    left_of[static_cast<size_t>(block_ids[i + 1])] = block_ids[i];
+  }
+
+  // Pushes the ΔQ candidate (Eq. 2) for adjacent clusters (u, v). Training
+  // the union classifier here is what makes step-1 candidates expensive;
+  // the trained error is kept in the heap entry so the eventual merge can
+  // assert consistency.
+  auto push_delta_q = [&](int32_t u, int32_t v) -> Status {
+    const ClusterNode& nu = dendro1.node(u);
+    const ClusterNode& nv = dendro1.node(v);
+    DatasetView train = DatasetView::Union(nu.train, nv.train);
+    DatasetView test = DatasetView::Union(nu.test, nv.test);
+    double err_w;
+    const ClusterNode* big = nu.data.size() >= nv.data.size() ? &nu : &nv;
+    const ClusterNode* tiny = nu.data.size() >= nv.data.size() ? &nv : &nu;
+    if (config_.reuse_on_unbalanced_merge &&
+        static_cast<double>(big->data.size()) >=
+            config_.reuse_ratio * static_cast<double>(tiny->data.size())) {
+      err_w = EstimateError(*big->model, test);
+    } else {
+      std::unique_ptr<Classifier> model = base_factory_(train.schema());
+      HOM_RETURN_NOT_OK(model->Train(train));
+      err_w = EstimateError(*model, test);
+    }
+    double size_w = static_cast<double>(nu.data.size() + nv.data.size());
+    double delta_q = size_w * err_w -
+                     static_cast<double>(nu.data.size()) * nu.err -
+                     static_cast<double>(nv.data.size()) * nv.err;
+    queue1.Push({delta_q, u, v, err_w});
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
+    HOM_RETURN_NOT_OK(push_delta_q(block_ids[i], block_ids[i + 1]));
+  }
+
+  CandidateMerge cand;
+  while (queue1.Pop(&cand)) {
+    HOM_ASSIGN_OR_RETURN(
+        ClusterNode merged,
+        MergeNodes(dendro1.node(cand.u), dendro1.node(cand.v)));
+    int32_t wid = dendro1.AddMerge(cand.u, cand.v, std::move(merged));
+    queue1.Retire(cand.u);
+    queue1.Retire(cand.v);
+    queue1.RegisterCluster(wid);
+
+    left_of.resize(dendro1.size(), -1);
+    right_of.resize(dendro1.size(), -1);
+    extent.emplace_back(extent[static_cast<size_t>(cand.u)].first,
+                        extent[static_cast<size_t>(cand.v)].second);
+    int32_t lhs = left_of[static_cast<size_t>(cand.u)];
+    int32_t rhs = right_of[static_cast<size_t>(cand.v)];
+    left_of[static_cast<size_t>(wid)] = lhs;
+    right_of[static_cast<size_t>(wid)] = rhs;
+    if (lhs >= 0) right_of[static_cast<size_t>(lhs)] = wid;
+    if (rhs >= 0) left_of[static_cast<size_t>(rhs)] = wid;
+
+    if (ShouldStopMerging(dendro1.node(wid))) {
+      // Section II-D: no further mergers involving this cluster; its final
+      // cut will be decided purely from its Err* history.
+      continue;
+    }
+    if (lhs >= 0 && queue1.IsLive(lhs)) {
+      HOM_RETURN_NOT_OK(push_delta_q(lhs, wid));
+    }
+    if (rhs >= 0 && queue1.IsLive(rhs)) {
+      HOM_RETURN_NOT_OK(push_delta_q(wid, rhs));
+    }
+  }
+
+  // Roots of step 1 = clusters never merged away.
+  std::vector<int32_t> roots1;
+  for (size_t id = 0; id < dendro1.size(); ++id) {
+    if (queue1.IsLive(static_cast<int32_t>(id))) {
+      roots1.push_back(static_cast<int32_t>(id));
+    }
+  }
+  std::vector<int32_t> chunk_ids =
+      dendro1.FinalCut(roots1, config_.step1_cut_z);
+  // Stream order.
+  std::sort(chunk_ids.begin(), chunk_ids.end(), [&](int32_t a, int32_t b) {
+    return extent[static_cast<size_t>(a)].first <
+           extent[static_cast<size_t>(b)].first;
+  });
+  if (chunk_ids.size() > kMaxChunksForStep2) {
+    return Status::FailedPrecondition(
+        "step 1 produced " + std::to_string(chunk_ids.size()) +
+        " chunks (> " + std::to_string(kMaxChunksForStep2) +
+        "); increase block_size or provide more stable history");
+  }
+  HOM_LOG(kInfo) << "concept clustering: " << blocks.size() << " blocks -> "
+                 << chunk_ids.size() << " chunks";
+
+  // ---------------------------------------------------------------- Step 2
+  // Chunks become the leaves of a fresh dendrogram; their models and
+  // holdout splits are moved over, and Err* restarts at Err.
+  Dendrogram dendro2;
+  std::vector<std::pair<size_t, size_t>> chunk_extent;
+  std::vector<int32_t> leaf_ids;
+  for (int32_t cid : chunk_ids) {
+    ClusterNode& src = dendro1.node(cid);
+    ClusterNode leaf;
+    leaf.data = src.data;
+    leaf.train = src.train;
+    leaf.test = src.test;
+    leaf.model = src.model;
+    leaf.err = src.err;
+    leaf.err_star = src.err;
+    leaf_ids.push_back(dendro2.AddLeaf(std::move(leaf)));
+    chunk_extent.push_back(extent[static_cast<size_t>(cid)]);
+  }
+
+  // Shared sample list L (Section II-C.1): all holdout halves, shuffled
+  // once, so every similarity evaluation sees the same distribution.
+  std::vector<uint32_t> sample_rows;
+  for (int32_t id : leaf_ids) {
+    const DatasetView& test = dendro2.node(id).test;
+    sample_rows.insert(sample_rows.end(), test.indices().begin(),
+                       test.indices().end());
+  }
+  rng->Shuffle(&sample_rows);
+  const Dataset* base = history.dataset();
+
+  auto fill_sample_predictions = [&](ClusterNode* node) {
+    size_t k = std::min(node->test.size(), sample_rows.size());
+    node->sample_predictions.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      node->sample_predictions[i] =
+          node->model->Predict(base->record(sample_rows[i]));
+    }
+  };
+  for (int32_t id : leaf_ids) fill_sample_predictions(&dendro2.node(id));
+
+  MergeQueue queue2;
+  for (int32_t id : leaf_ids) queue2.RegisterCluster(id);
+  std::vector<int32_t> live = leaf_ids;
+
+  for (size_t i = 0; i < leaf_ids.size(); ++i) {
+    if (ShouldStopMerging(dendro2.node(leaf_ids[i]))) continue;
+    for (size_t j = i + 1; j < leaf_ids.size(); ++j) {
+      if (ShouldStopMerging(dendro2.node(leaf_ids[j]))) continue;
+      queue2.Push({ModelDistance(dendro2.node(leaf_ids[i]),
+                                 dendro2.node(leaf_ids[j])),
+                   leaf_ids[i], leaf_ids[j], 0.0});
+    }
+  }
+
+  while (queue2.Pop(&cand)) {
+    HOM_ASSIGN_OR_RETURN(
+        ClusterNode merged,
+        MergeNodes(dendro2.node(cand.u), dendro2.node(cand.v)));
+    HOM_LOG(kDebug) << "step2 merge " << cand.u << "(|D|="
+                    << dendro2.node(cand.u).data.size()
+                    << ",err=" << dendro2.node(cand.u).err << ") + " << cand.v
+                    << "(|D|=" << dendro2.node(cand.v).data.size()
+                    << ",err=" << dendro2.node(cand.v).err
+                    << ") dist=" << cand.distance << " -> err=" << merged.err
+                    << " err*=" << merged.err_star;
+    fill_sample_predictions(&merged);
+    int32_t wid = dendro2.AddMerge(cand.u, cand.v, std::move(merged));
+    queue2.Retire(cand.u);
+    queue2.Retire(cand.v);
+    queue2.RegisterCluster(wid);
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](int32_t id) {
+                                return id == cand.u || id == cand.v;
+                              }),
+               live.end());
+    if (!ShouldStopMerging(dendro2.node(wid))) {
+      for (int32_t other : live) {
+        if (ShouldStopMerging(dendro2.node(other))) continue;
+        queue2.Push({ModelDistance(dendro2.node(wid), dendro2.node(other)),
+                     wid, other, 0.0});
+      }
+    }
+    live.push_back(wid);
+  }
+
+  std::vector<int32_t> concept_ids =
+      dendro2.FinalCut(live, config_.step2_cut_z);
+
+  // ------------------------------------------------------------- Assemble
+  ConceptClusteringResult result;
+  result.num_chunks = chunk_ids.size();
+
+  // Map each step-2 leaf (chunk) to its concept.
+  std::vector<int> chunk_concept(leaf_ids.size(), -1);
+  for (size_t c = 0; c < concept_ids.size(); ++c) {
+    std::vector<int32_t> members;
+    CollectLeaves(dendro2, concept_ids[c], &members);
+    for (int32_t leaf : members) {
+      auto it = std::find(leaf_ids.begin(), leaf_ids.end(), leaf);
+      HOM_CHECK(it != leaf_ids.end());
+      chunk_concept[static_cast<size_t>(it - leaf_ids.begin())] =
+          static_cast<int>(c);
+    }
+  }
+
+  // Occurrences: chunks in stream order, adjacent same-concept chunks fused.
+  for (size_t i = 0; i < leaf_ids.size(); ++i) {
+    int cid = chunk_concept[i];
+    HOM_CHECK_GE(cid, 0);
+    if (!result.occurrences.empty() &&
+        result.occurrences.back().concept_id == cid &&
+        result.occurrences.back().end == chunk_extent[i].first) {
+      result.occurrences.back().end = chunk_extent[i].second;
+    } else {
+      result.occurrences.push_back(
+          {chunk_extent[i].first, chunk_extent[i].second, cid});
+    }
+  }
+
+  result.final_q = 0.0;
+  for (size_t c = 0; c < concept_ids.size(); ++c) {
+    const ClusterNode& node = dendro2.node(concept_ids[c]);
+    result.concept_data.push_back(node.data);
+    result.concept_errors.push_back(node.err);
+    result.final_q += static_cast<double>(node.data.size()) * node.err;
+  }
+  HOM_LOG(kInfo) << "concept clustering: " << result.num_chunks
+                 << " chunks -> " << result.concept_data.size()
+                 << " concepts (Q=" << result.final_q << ")";
+  return result;
+}
+
+}  // namespace hom

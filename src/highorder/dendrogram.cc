@@ -1,0 +1,70 @@
+#include "highorder/dendrogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+// Err* <= Err always holds (Err* minimizes over partitions including the
+// trivial one); a node is split when Err* is meaningfully below Err.
+constexpr double kCutTolerance = 1e-12;
+}  // namespace
+
+int32_t Dendrogram::AddLeaf(ClusterNode node) {
+  node.left = -1;
+  node.right = -1;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t Dendrogram::AddMerge(int32_t left, int32_t right, ClusterNode node) {
+  HOM_CHECK_GE(left, 0);
+  HOM_CHECK_GE(right, 0);
+  HOM_CHECK_LT(static_cast<size_t>(left), nodes_.size());
+  HOM_CHECK_LT(static_cast<size_t>(right), nodes_.size());
+  node.left = left;
+  node.right = right;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+ClusterNode& Dendrogram::node(int32_t id) {
+  HOM_CHECK_GE(id, 0);
+  HOM_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const ClusterNode& Dendrogram::node(int32_t id) const {
+  HOM_CHECK_GE(id, 0);
+  HOM_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+std::vector<int32_t> Dendrogram::FinalCut(const std::vector<int32_t>& roots,
+                                          double significance_z) const {
+  std::vector<int32_t> partition;
+  std::vector<int32_t> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const ClusterNode& n = node(id);
+    double margin = kCutTolerance;
+    if (significance_z > 0.0 && !n.test.empty()) {
+      double p = std::min(std::max(n.err, 1e-6), 1.0 - 1e-6);
+      margin += significance_z *
+                std::sqrt(p * (1.0 - p) / static_cast<double>(n.test.size()));
+    }
+    if (n.left >= 0 && n.err_star < n.err - margin) {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    } else {
+      partition.push_back(id);
+    }
+  }
+  return partition;
+}
+
+}  // namespace hom

@@ -1,0 +1,71 @@
+#ifndef HOM_HIGHORDER_DENDROGRAM_H_
+#define HOM_HIGHORDER_DENDROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "classifiers/classifier.h"
+#include "data/dataset_view.h"
+
+namespace hom {
+
+/// \brief One cluster in the agglomerative process of Algorithm 1: its
+/// data, its holdout split, its base model M_i with validation error
+/// Err_i, and the optimal-partition error Err*_i maintained during merging.
+struct ClusterNode {
+  DatasetView data;   ///< D_i — all records of the cluster.
+  DatasetView train;  ///< D_i^train (random half).
+  DatasetView test;   ///< D_i^test (the other half).
+  /// M_i trained on `train`. Shared because the Section II-D unbalanced-
+  /// merge optimization lets a merged cluster reuse its large child's
+  /// classifier instead of retraining.
+  std::shared_ptr<Classifier> model;
+  double err = 0.0;        ///< Err_i: error of `model` on `test`.
+  double err_star = 0.0;   ///< Err*_i: error of the best partition of D_i.
+  int32_t left = -1;       ///< child cluster ids; -1 for input leaves.
+  int32_t right = -1;
+  /// Step-2 similarity cache: model predictions on the shared sample list
+  /// L[0 .. |test|) (Section II-C.1).
+  std::vector<Label> sample_predictions;
+};
+
+/// \brief The merge tree built by concept clustering, plus the top-down
+/// "final cut" (Section II-C.2) that extracts the best partition.
+///
+/// Nodes are owned in an arena indexed by int32_t ids; leaves are the input
+/// clusters, internal nodes record which pair merged into them.
+class Dendrogram {
+ public:
+  /// Adds an input cluster; returns its id.
+  int32_t AddLeaf(ClusterNode node);
+
+  /// Adds the merger of `left` and `right`; `node.left/right` are set by
+  /// this call. Returns the new cluster's id.
+  int32_t AddMerge(int32_t left, int32_t right, ClusterNode node);
+
+  ClusterNode& node(int32_t id);
+  const ClusterNode& node(int32_t id) const;
+  size_t size() const { return nodes_.size(); }
+
+  /// The final cut: starting from `roots` (the clusters still unmerged when
+  /// merging stopped), split every node whose Err* is below its Err,
+  /// repeating until no split is warranted. Returns the ids of the
+  /// resulting partition.
+  ///
+  /// `significance_z` guards the split decision against holdout sampling
+  /// noise: a node is split only when Err - Err* exceeds z standard errors
+  /// of the node's error estimate (SE = sqrt(Err(1-Err)/|D^test|)). z = 0
+  /// reproduces the paper's literal rule; the clusterer defaults to z > 0
+  /// because at small cluster sizes the raw rule shatters correct merges on
+  /// lucky zero-error holdout samples.
+  std::vector<int32_t> FinalCut(const std::vector<int32_t>& roots,
+                                double significance_z = 0.0) const;
+
+ private:
+  std::vector<ClusterNode> nodes_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_DENDROGRAM_H_

@@ -1,0 +1,138 @@
+#include "highorder/highorder_classifier.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace hom {
+
+Result<std::unique_ptr<HighOrderClassifier>> HighOrderClassifier::Make(
+    SchemaPtr schema, std::vector<ConceptModel> concepts, ConceptStats stats,
+    HighOrderOptions options) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  if (concepts.empty()) {
+    return Status::InvalidArgument("need at least one concept model");
+  }
+  if (concepts.size() != stats.num_concepts()) {
+    return Status::InvalidArgument(
+        "concept count mismatch: " + std::to_string(concepts.size()) +
+        " models vs " + std::to_string(stats.num_concepts()) + " stats");
+  }
+  for (const ConceptModel& c : concepts) {
+    if (c.model == nullptr) {
+      return Status::InvalidArgument("concept model must not be null");
+    }
+    if (c.error < 0.0 || c.error > 1.0) {
+      return Status::InvalidArgument("concept error must be in [0, 1]");
+    }
+  }
+  return std::unique_ptr<HighOrderClassifier>(new HighOrderClassifier(
+      std::move(schema), std::move(concepts), std::move(stats), options));
+}
+
+HighOrderClassifier::HighOrderClassifier(SchemaPtr schema,
+                                         std::vector<ConceptModel> concepts,
+                                         ConceptStats stats,
+                                         HighOrderOptions options)
+    : schema_(std::move(schema)),
+      concepts_(std::move(concepts)),
+      tracker_(std::move(stats)),
+      options_(options) {
+  weights_ = tracker_.prior();
+  weight_order_.resize(concepts_.size());
+  std::iota(weight_order_.begin(), weight_order_.end(), 0);
+}
+
+void HighOrderClassifier::ObserveLabeled(const Record& y) {
+  HOM_DCHECK(y.is_labeled());
+  // ψ(c, y_t) of Eq. 8: the concept's classifier vouches for the record
+  // with probability 1 - Err_c when it gets it right, Err_c otherwise.
+  std::vector<double> psi(concepts_.size());
+  for (size_t c = 0; c < concepts_.size(); ++c) {
+    bool correct = concepts_[c].model->Predict(y) == y.label;
+    psi[c] = correct ? 1.0 - concepts_[c].error : concepts_[c].error;
+  }
+  tracker_.Observe(psi);
+  weights_stale_ = true;
+}
+
+void HighOrderClassifier::RefreshWeights() {
+  if (!weights_stale_) return;
+  weights_stale_ = false;
+  // Eq. 10 weighs by the prior P_t− of the *next* timestamp, i.e. the
+  // propagated posterior; the ablation flag weighs by the posterior P_t.
+  if (options_.weight_by_prior) {
+    weights_ = tracker_.stats().Propagate(tracker_.posterior());
+  } else {
+    weights_ = tracker_.posterior();
+  }
+  std::iota(weight_order_.begin(), weight_order_.end(), 0);
+  std::sort(weight_order_.begin(), weight_order_.end(),
+            [&](size_t a, size_t b) { return weights_[a] > weights_[b]; });
+}
+
+const std::vector<double>& HighOrderClassifier::active_probabilities() {
+  RefreshWeights();
+  return weights_;
+}
+
+std::vector<double> HighOrderClassifier::PredictProba(const Record& x) {
+  RefreshWeights();
+  std::vector<double> proba(schema_->num_classes(), 0.0);
+  for (size_t c = 0; c < concepts_.size(); ++c) {
+    if (weights_[c] <= 0.0) continue;
+    std::vector<double> mc = concepts_[c].model->PredictProba(x);
+    ++base_evaluations_;
+    for (size_t l = 0; l < proba.size(); ++l) {
+      proba[l] += weights_[c] * mc[l];
+    }
+  }
+  return proba;
+}
+
+Label HighOrderClassifier::Predict(const Record& x) {
+  RefreshWeights();
+  ++predictions_;
+  if (!options_.prune_prediction) {
+    std::vector<double> proba = PredictProba(x);
+    return static_cast<Label>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
+  }
+  // Section III-C pruning: walk concepts from the most to the least active.
+  // After consuming probability mass `seen`, no trailing concept can add
+  // more than (1 - seen) to any class score; once the leader's margin over
+  // the runner-up exceeds that, the answer is final. With a clear current
+  // concept this evaluates a single base classifier.
+  std::vector<double> proba(schema_->num_classes(), 0.0);
+  double seen = 0.0;
+  for (size_t rank = 0; rank < weight_order_.size(); ++rank) {
+    size_t c = weight_order_[rank];
+    if (weights_[c] <= 0.0) break;  // sorted: the rest are zero too
+    std::vector<double> mc = concepts_[c].model->PredictProba(x);
+    ++base_evaluations_;
+    for (size_t l = 0; l < proba.size(); ++l) {
+      proba[l] += weights_[c] * mc[l];
+    }
+    seen += weights_[c];
+    double remaining = 1.0 - seen;
+    if (remaining <= 0.0) break;
+    double best = -1.0;
+    double second = -1.0;
+    for (double p : proba) {
+      if (p > best) {
+        second = best;
+        best = p;
+      } else if (p > second) {
+        second = p;
+      }
+    }
+    if (best - second > remaining) break;
+  }
+  return static_cast<Label>(std::max_element(proba.begin(), proba.end()) -
+                            proba.begin());
+}
+
+}  // namespace hom

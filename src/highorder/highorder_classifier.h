@@ -1,0 +1,95 @@
+#ifndef HOM_HIGHORDER_HIGHORDER_CLASSIFIER_H_
+#define HOM_HIGHORDER_HIGHORDER_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifiers/classifier.h"
+#include "common/result.h"
+#include "eval/stream_classifier.h"
+#include "highorder/active_probability.h"
+
+namespace hom {
+
+/// One stable concept of the high-order model: its offline-trained base
+/// classifier M_c and its validation error Err_c (used by the likelihood
+/// ψ of Eq. 8).
+struct ConceptModel {
+  std::unique_ptr<Classifier> model;
+  double error = 0.0;
+  size_t training_records = 0;  ///< diagnostic: |D_c|
+};
+
+/// Behaviour switches of the online phase. All default to the paper's
+/// choices; the alternatives exist for the ablation benchmarks.
+struct HighOrderOptions {
+  /// Weigh concept classifiers by the prior P_t− (Eq. 10). When false, the
+  /// posterior P_t is used instead (ablation).
+  bool weight_by_prior = true;
+  /// Section III-C speedup: when only the argmax label is needed, evaluate
+  /// concepts in decreasing active probability and stop once the answer
+  /// can no longer change.
+  bool prune_prediction = true;
+};
+
+/// \brief The online high-order classifier of Section III: a Markov filter
+/// over the discovered stable concepts plus a probability-weighted ensemble
+/// of their offline-trained classifiers.
+///
+/// ObserveLabeled() consumes the online training stream Y and maintains
+/// each concept's active probability; Predict()/PredictProba() classify the
+/// unlabeled stream X via Eq. 10/11. Unlike the baselines, no classifier is
+/// ever trained online — that is the entire point of the paper.
+class HighOrderClassifier : public StreamClassifier {
+ public:
+  /// Validates inputs and assembles the classifier. `concepts` and `stats`
+  /// must agree on the number of concepts; every error must be in [0, 1].
+  static Result<std::unique_ptr<HighOrderClassifier>> Make(
+      SchemaPtr schema, std::vector<ConceptModel> concepts,
+      ConceptStats stats, HighOrderOptions options = {});
+
+  Label Predict(const Record& x) override;
+  std::vector<double> PredictProba(const Record& x) override;
+  void ObserveLabeled(const Record& y) override;
+  std::string name() const override { return "High-order"; }
+  size_t num_classes() const override { return schema_->num_classes(); }
+
+  size_t num_concepts() const { return concepts_.size(); }
+  const ConceptModel& concept_model(size_t c) const { return concepts_[c]; }
+  const ActiveProbabilityTracker& tracker() const { return tracker_; }
+  const HighOrderOptions& options() const { return options_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Active probabilities P_t−(c) used to weigh the next prediction.
+  const std::vector<double>& active_probabilities();
+
+  /// Diagnostics for the pruning ablation: base-model evaluations spent in
+  /// Predict() so far, and Predict() call count.
+  size_t base_evaluations() const { return base_evaluations_; }
+  size_t predictions() const { return predictions_; }
+
+ private:
+  HighOrderClassifier(SchemaPtr schema, std::vector<ConceptModel> concepts,
+                      ConceptStats stats, HighOrderOptions options);
+
+  /// Recomputes the cached prior if a labeled record arrived since the
+  /// last prediction.
+  void RefreshWeights();
+
+  SchemaPtr schema_;
+  std::vector<ConceptModel> concepts_;
+  ActiveProbabilityTracker tracker_;
+  HighOrderOptions options_;
+  /// Concept weights for the current timestamp (P_t− by default), cached
+  /// across the unlabeled records sharing that timestamp.
+  std::vector<double> weights_;
+  bool weights_stale_ = false;
+  std::vector<size_t> weight_order_;  ///< concepts sorted by weight, desc.
+  size_t base_evaluations_ = 0;
+  size_t predictions_ = 0;
+};
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_HIGHORDER_CLASSIFIER_H_

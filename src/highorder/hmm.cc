@@ -1,0 +1,298 @@
+#include "highorder/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+constexpr double kTiny = 1e-300;
+constexpr double kLogTiny = -1e18;
+}  // namespace
+
+ConceptHmm::ConceptHmm(ConceptStats stats) : stats_(std::move(stats)) {}
+
+Status ConceptHmm::ValidatePsi(
+    const std::vector<std::vector<double>>& psi) const {
+  if (psi.empty()) {
+    return Status::InvalidArgument("empty emission sequence");
+  }
+  for (const std::vector<double>& row : psi) {
+    if (row.size() != num_concepts()) {
+      return Status::InvalidArgument("psi row arity mismatch");
+    }
+    double best = 0.0;
+    for (double p : row) {
+      if (p < 0.0) {
+        return Status::InvalidArgument("negative emission likelihood");
+      }
+      best = std::max(best, p);
+    }
+    if (best <= 0.0) {
+      return Status::InvalidArgument(
+          "emission row with no positive likelihood");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> ConceptHmm::Viterbi(
+    const std::vector<std::vector<double>>& psi) const {
+  HOM_RETURN_NOT_OK(ValidatePsi(psi));
+  size_t n = num_concepts();
+  size_t t_max = psi.size();
+
+  std::vector<std::vector<double>> delta(t_max, std::vector<double>(n));
+  std::vector<std::vector<int>> argmax(t_max, std::vector<int>(n, 0));
+
+  auto log_or_tiny = [](double v) {
+    return v > kTiny ? std::log(v) : kLogTiny;
+  };
+
+  double log_uniform = -std::log(static_cast<double>(n));
+  for (size_t c = 0; c < n; ++c) {
+    delta[0][c] = log_uniform + log_or_tiny(psi[0][c]);
+  }
+  // Precompute log χ.
+  std::vector<double> log_chi(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      log_chi[i * n + j] = log_or_tiny(stats_.Chi(i, j));
+    }
+  }
+  for (size_t t = 1; t < t_max; ++t) {
+    for (size_t j = 0; j < n; ++j) {
+      double best = delta[t - 1][0] + log_chi[j];  // i = 0
+      int best_i = 0;
+      for (size_t i = 1; i < n; ++i) {
+        double v = delta[t - 1][i] + log_chi[i * n + j];
+        if (v > best) {
+          best = v;
+          best_i = static_cast<int>(i);
+        }
+      }
+      delta[t][j] = best + log_or_tiny(psi[t][j]);
+      argmax[t][j] = best_i;
+    }
+  }
+  std::vector<int> path(t_max);
+  path[t_max - 1] = static_cast<int>(
+      std::max_element(delta[t_max - 1].begin(), delta[t_max - 1].end()) -
+      delta[t_max - 1].begin());
+  for (size_t t = t_max - 1; t > 0; --t) {
+    path[t - 1] = argmax[t][static_cast<size_t>(path[t])];
+  }
+  return path;
+}
+
+Status ConceptHmm::Forward(const std::vector<std::vector<double>>& psi,
+                           std::vector<std::vector<double>>* alpha,
+                           std::vector<double>* log_scale) const {
+  size_t n = num_concepts();
+  size_t t_max = psi.size();
+  alpha->assign(t_max, std::vector<double>(n, 0.0));
+  log_scale->assign(t_max, 0.0);
+
+  double total = 0.0;
+  for (size_t c = 0; c < n; ++c) {
+    (*alpha)[0][c] = psi[0][c] / static_cast<double>(n);
+    total += (*alpha)[0][c];
+  }
+  if (total <= kTiny) return Status::Internal("forward underflow at t=0");
+  for (double& a : (*alpha)[0]) a /= total;
+  (*log_scale)[0] = std::log(total);
+
+  for (size_t t = 1; t < t_max; ++t) {
+    std::vector<double> propagated = stats_.Propagate((*alpha)[t - 1]);
+    total = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      (*alpha)[t][c] = propagated[c] * psi[t][c];
+      total += (*alpha)[t][c];
+    }
+    if (total <= kTiny) {
+      return Status::Internal("forward underflow at t=" + std::to_string(t));
+    }
+    for (double& a : (*alpha)[t]) a /= total;
+    (*log_scale)[t] = std::log(total);
+  }
+  return Status::OK();
+}
+
+Result<double> ConceptHmm::LogLikelihood(
+    const std::vector<std::vector<double>>& psi) const {
+  HOM_RETURN_NOT_OK(ValidatePsi(psi));
+  std::vector<std::vector<double>> alpha;
+  std::vector<double> log_scale;
+  HOM_RETURN_NOT_OK(Forward(psi, &alpha, &log_scale));
+  double ll = 0.0;
+  for (double s : log_scale) ll += s;
+  return ll;
+}
+
+Result<std::vector<std::vector<double>>> ConceptHmm::ForwardBackward(
+    const std::vector<std::vector<double>>& psi) const {
+  HOM_RETURN_NOT_OK(ValidatePsi(psi));
+  size_t n = num_concepts();
+  size_t t_max = psi.size();
+
+  std::vector<std::vector<double>> alpha;
+  std::vector<double> log_scale;
+  HOM_RETURN_NOT_OK(Forward(psi, &alpha, &log_scale));
+
+  // Scaled backward pass (same scales).
+  std::vector<std::vector<double>> beta(t_max, std::vector<double>(n, 1.0));
+  for (size_t t = t_max - 1; t > 0; --t) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        sum += stats_.Chi(i, j) * psi[t][j] * beta[t][j];
+      }
+      beta[t - 1][i] = sum;
+      total += sum;
+    }
+    if (total <= kTiny) {
+      return Status::Internal("backward underflow at t=" +
+                              std::to_string(t));
+    }
+    for (double& b : beta[t - 1]) b /= total;
+  }
+
+  std::vector<std::vector<double>> gamma(t_max, std::vector<double>(n));
+  for (size_t t = 0; t < t_max; ++t) {
+    double total = 0.0;
+    for (size_t c = 0; c < n; ++c) {
+      gamma[t][c] = alpha[t][c] * beta[t][c];
+      total += gamma[t][c];
+    }
+    HOM_CHECK_GT(total, 0.0);
+    for (double& g : gamma[t]) g /= total;
+  }
+  return gamma;
+}
+
+Result<ConceptHmm> ConceptHmm::BaumWelchStep(
+    const std::vector<std::vector<double>>& psi) const {
+  HOM_RETURN_NOT_OK(ValidatePsi(psi));
+  size_t n = num_concepts();
+  size_t t_max = psi.size();
+  if (t_max < 2) {
+    return Status::InvalidArgument(
+        "Baum-Welch needs at least two observations");
+  }
+
+  std::vector<std::vector<double>> alpha;
+  std::vector<double> log_scale;
+  HOM_RETURN_NOT_OK(Forward(psi, &alpha, &log_scale));
+  std::vector<std::vector<double>> beta(t_max, std::vector<double>(n, 1.0));
+  for (size_t t = t_max - 1; t > 0; --t) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        sum += stats_.Chi(i, j) * psi[t][j] * beta[t][j];
+      }
+      beta[t - 1][i] = sum;
+      total += sum;
+    }
+    if (total <= kTiny) {
+      return Status::Internal("backward underflow");
+    }
+    for (double& b : beta[t - 1]) b /= total;
+  }
+
+  // Expected transition counts ξ summed over time (unnormalized rows).
+  std::vector<std::vector<double>> counts(n, std::vector<double>(n, 1e-9));
+  for (size_t t = 0; t + 1 < t_max; ++t) {
+    double total = 0.0;
+    std::vector<double> xi(n * n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double v = alpha[t][i] * stats_.Chi(i, j) * psi[t + 1][j] *
+                   beta[t + 1][j];
+        xi[i * n + j] = v;
+        total += v;
+      }
+    }
+    if (total <= kTiny) continue;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        counts[i][j] += xi[i * n + j] / total;
+      }
+    }
+  }
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (double c : counts[i]) row += c;
+    for (size_t j = 0; j < n; ++j) matrix[i][j] = counts[i][j] / row;
+  }
+  HOM_ASSIGN_OR_RETURN(ConceptStats refined,
+                       StatsFromTransitionMatrix(matrix));
+  return ConceptHmm(std::move(refined));
+}
+
+Result<ConceptStats> ConceptHmm::StatsFromTransitionMatrix(
+    const std::vector<std::vector<double>>& matrix) {
+  size_t n = matrix.size();
+  if (n == 0) return Status::InvalidArgument("empty transition matrix");
+  for (const std::vector<double>& row : matrix) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("transition matrix must be square");
+    }
+    double sum = 0.0;
+    for (double v : row) {
+      if (v < -1e-9) {
+        return Status::InvalidArgument("negative transition probability");
+      }
+      sum += v;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      return Status::InvalidArgument("transition rows must sum to 1");
+    }
+  }
+
+  // Len_i from the self-loop; the jump chain J_ij = a_ij / (1 - a_ii)
+  // yields the occurrence-level frequencies as its stationary vector.
+  std::vector<double> lengths(n);
+  std::vector<std::vector<double>> jump(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    double stay = std::min(matrix[i][i], 1.0 - 1e-9);
+    lengths[i] = 1.0 / (1.0 - stay);
+    double leave = 1.0 - matrix[i][i];
+    if (leave <= 1e-12) {
+      // Absorbing state: pretend a uniform jump so the chain stays ergodic.
+      for (size_t j = 0; j < n; ++j) {
+        jump[i][j] = i == j ? 0.0 : 1.0 / static_cast<double>(n - 1);
+      }
+      if (n == 1) jump[i][i] = 1.0;
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        jump[i][j] = i == j ? 0.0 : matrix[i][j] / leave;
+      }
+    }
+  }
+  std::vector<double> freq(n, 1.0 / static_cast<double>(n));
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> next(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        next[j] += freq[i] * jump[i][j];
+      }
+    }
+    double total = 0.0;
+    for (double v : next) total += v;
+    if (total <= 0.0) break;
+    for (double& v : next) v /= total;
+    double diff = 0.0;
+    for (size_t c = 0; c < n; ++c) diff += std::abs(next[c] - freq[c]);
+    freq = std::move(next);
+    if (diff < 1e-12) break;
+  }
+  return ConceptStats::FromLengthsAndFrequencies(std::move(lengths),
+                                                 std::move(freq));
+}
+
+}  // namespace hom

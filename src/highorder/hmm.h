@@ -1,0 +1,78 @@
+#ifndef HOM_HIGHORDER_HMM_H_
+#define HOM_HIGHORDER_HMM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "highorder/concept_stats.h"
+
+namespace hom {
+
+/// \brief The hidden Markov model view of concept-shifting streams that
+/// Section III-A sketches and leaves to future work: "To certain extent, we
+/// are training a Hidden Markov Model from concept changing data streams...
+/// given a sequence of observations, we can use a Viterbi-like algorithm to
+/// find the most likely sequence of underlying concepts."
+///
+/// States are the stable concepts; the transition kernel is χ (Eq. 6); the
+/// emission likelihood of a labeled record under concept c is the ψ proxy
+/// of Eq. 8 (supplied by the caller as `psi[t][c]`). The online
+/// ActiveProbabilityTracker is exactly the forward filter of this model —
+/// ConceptHmm adds the offline-capable pieces: Viterbi decoding, smoothed
+/// (forward-backward) posteriors, sequence likelihood, and a Baum-Welch
+/// refinement of the transition statistics from unsegmented streams.
+class ConceptHmm {
+ public:
+  explicit ConceptHmm(ConceptStats stats);
+
+  size_t num_concepts() const { return stats_.num_concepts(); }
+  const ConceptStats& stats() const { return stats_; }
+
+  /// Most likely concept sequence given per-record emission likelihoods
+  /// `psi[t][c]` (each row must have num_concepts() entries and at least
+  /// one positive value). Uniform initial distribution, log-space dynamic
+  /// program.
+  Result<std::vector<int>> Viterbi(
+      const std::vector<std::vector<double>>& psi) const;
+
+  /// Smoothed posteriors γ[t][c] = p(C_t = c | ψ_1..T) via the scaled
+  /// forward-backward recursion. Unlike the online filter, record t's
+  /// posterior uses evidence from the *future* too — useful for offline
+  /// relabeling of a historical stream.
+  Result<std::vector<std::vector<double>>> ForwardBackward(
+      const std::vector<std::vector<double>>& psi) const;
+
+  /// Log-likelihood of the emission sequence under the model (scaled
+  /// forward pass).
+  Result<double> LogLikelihood(
+      const std::vector<std::vector<double>>& psi) const;
+
+  /// One Baum-Welch expectation-maximization pass over the sequence:
+  /// re-estimates the transition matrix from expected transition counts
+  /// and re-derives ConceptStats from it (Len_i = 1/(1 - a_ii); Freq from
+  /// the stationary distribution of the jump chain). Returns the refined
+  /// model; `this` is unchanged.
+  Result<ConceptHmm> BaumWelchStep(
+      const std::vector<std::vector<double>>& psi) const;
+
+  /// Converts an arbitrary row-stochastic transition matrix back into the
+  /// paper's (Len, Freq) parameterization: Len_i = 1/(1 - a_ii), Freq =
+  /// stationary distribution of the occurrence-level jump chain (power
+  /// iteration). Exposed for tests and for importing externally learned
+  /// transition matrices.
+  static Result<ConceptStats> StatsFromTransitionMatrix(
+      const std::vector<std::vector<double>>& matrix);
+
+ private:
+  Status ValidatePsi(const std::vector<std::vector<double>>& psi) const;
+  /// Scaled forward pass; fills alpha (normalized) and per-step scales.
+  Status Forward(const std::vector<std::vector<double>>& psi,
+                 std::vector<std::vector<double>>* alpha,
+                 std::vector<double>* log_scale) const;
+
+  ConceptStats stats_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_HMM_H_

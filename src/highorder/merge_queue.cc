@@ -1,0 +1,44 @@
+#include "highorder/merge_queue.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+void MergeQueue::RegisterCluster(int32_t id) {
+  HOM_CHECK_GE(id, 0);
+  if (static_cast<size_t>(id) >= live_.size()) {
+    live_.resize(static_cast<size_t>(id) + 1, false);
+  }
+  live_[static_cast<size_t>(id)] = true;
+}
+
+void MergeQueue::Retire(int32_t id) {
+  HOM_CHECK_GE(id, 0);
+  HOM_CHECK_LT(static_cast<size_t>(id), live_.size());
+  live_[static_cast<size_t>(id)] = false;
+}
+
+bool MergeQueue::IsLive(int32_t id) const {
+  return id >= 0 && static_cast<size_t>(id) < live_.size() &&
+         live_[static_cast<size_t>(id)];
+}
+
+void MergeQueue::Push(CandidateMerge candidate) {
+  HOM_CHECK(IsLive(candidate.u)) << "candidate with retired cluster";
+  HOM_CHECK(IsLive(candidate.v)) << "candidate with retired cluster";
+  heap_.push(candidate);
+}
+
+bool MergeQueue::Pop(CandidateMerge* out) {
+  while (!heap_.empty()) {
+    CandidateMerge top = heap_.top();
+    heap_.pop();
+    if (IsLive(top.u) && IsLive(top.v)) {
+      *out = top;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hom

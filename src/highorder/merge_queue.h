@@ -1,0 +1,67 @@
+#ifndef HOM_HIGHORDER_MERGE_QUEUE_H_
+#define HOM_HIGHORDER_MERGE_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace hom {
+
+/// One candidate merger (u, v) with its distance key, plus whatever
+/// precomputed merge statistics the clustering step wants to carry (the
+/// step-1 strategy stores the merged holdout error so it is not recomputed).
+struct CandidateMerge {
+  double distance = 0.0;
+  int32_t u = -1;
+  int32_t v = -1;
+  double merged_err = 0.0;  ///< Err_w of the candidate union (step 1 only).
+};
+
+/// \brief The min-heap of candidate mergers from Section II-C.1 ("a
+/// min-heap is maintained to manage all candidate mergers with their
+/// distances as keys"), with lazy invalidation.
+///
+/// When a cluster is merged away it is Retire()d; stale heap entries that
+/// mention it are discarded on Pop instead of being searched for and
+/// erased, which keeps every operation O(log n).
+class MergeQueue {
+ public:
+  /// Declares a cluster id as live. Ids must be registered before they
+  /// appear in Push/Retire.
+  void RegisterCluster(int32_t id);
+
+  /// Marks a cluster as merged-away; all its pending candidates become
+  /// stale.
+  void Retire(int32_t id);
+
+  bool IsLive(int32_t id) const;
+
+  /// Adds a candidate merger between two live clusters.
+  void Push(CandidateMerge candidate);
+
+  /// Pops the smallest-distance candidate whose two clusters are both
+  /// still live. Returns false when no valid candidate remains.
+  bool Pop(CandidateMerge* out);
+
+  /// Number of entries currently stored (including stale ones).
+  size_t raw_size() const { return heap_.size(); }
+
+ private:
+  struct ByDistance {
+    bool operator()(const CandidateMerge& a, const CandidateMerge& b) const {
+      if (a.distance != b.distance) return a.distance > b.distance;
+      // Deterministic tie-break so runs are reproducible.
+      if (a.u != b.u) return a.u > b.u;
+      return a.v > b.v;
+    }
+  };
+
+  std::priority_queue<CandidateMerge, std::vector<CandidateMerge>, ByDistance>
+      heap_;
+  std::vector<bool> live_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_MERGE_QUEUE_H_

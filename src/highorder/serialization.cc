@@ -1,0 +1,197 @@
+#include "highorder/serialization.h"
+
+#include <fstream>
+
+#include "classifiers/decision_tree.h"
+#include "classifiers/majority.h"
+#include "classifiers/naive_bayes.h"
+
+namespace hom {
+
+namespace {
+constexpr char kMagic[] = "HOM1";
+}  // namespace
+
+Status SaveSchema(BinaryWriter* writer, const Schema& schema) {
+  HOM_RETURN_NOT_OK(
+      writer->WriteU32(static_cast<uint32_t>(schema.num_attributes())));
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    HOM_RETURN_NOT_OK(writer->WriteString(attr.name));
+    HOM_RETURN_NOT_OK(
+        writer->WriteU8(attr.is_categorical() ? 1 : 0));
+    if (attr.is_categorical()) {
+      HOM_RETURN_NOT_OK(
+          writer->WriteU32(static_cast<uint32_t>(attr.cardinality())));
+      for (const std::string& name : attr.categories) {
+        HOM_RETURN_NOT_OK(writer->WriteString(name));
+      }
+    }
+  }
+  HOM_RETURN_NOT_OK(
+      writer->WriteU32(static_cast<uint32_t>(schema.num_classes())));
+  for (const std::string& name : schema.classes()) {
+    HOM_RETURN_NOT_OK(writer->WriteString(name));
+  }
+  return Status::OK();
+}
+
+Result<SchemaPtr> LoadSchema(BinaryReader* reader) {
+  HOM_ASSIGN_OR_RETURN(uint32_t num_attrs, reader->ReadU32());
+  if (num_attrs == 0 || num_attrs > 100000) {
+    return Status::InvalidArgument("implausible attribute count");
+  }
+  std::vector<Attribute> attrs;
+  attrs.reserve(num_attrs);
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    HOM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    HOM_ASSIGN_OR_RETURN(uint8_t categorical, reader->ReadU8());
+    if (categorical != 0) {
+      HOM_ASSIGN_OR_RETURN(uint32_t card, reader->ReadU32());
+      if (card < 2 || card > 1000000) {
+        return Status::InvalidArgument("implausible cardinality");
+      }
+      std::vector<std::string> categories;
+      categories.reserve(card);
+      for (uint32_t v = 0; v < card; ++v) {
+        HOM_ASSIGN_OR_RETURN(std::string cat, reader->ReadString());
+        categories.push_back(std::move(cat));
+      }
+      attrs.push_back(Attribute::Categorical(std::move(name),
+                                             std::move(categories)));
+    } else {
+      attrs.push_back(Attribute::Numeric(std::move(name)));
+    }
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t num_classes, reader->ReadU32());
+  if (num_classes < 2 || num_classes > 1000000) {
+    return Status::InvalidArgument("implausible class count");
+  }
+  std::vector<std::string> classes;
+  classes.reserve(num_classes);
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    HOM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    classes.push_back(std::move(name));
+  }
+  return Schema::Make(std::move(attrs), std::move(classes));
+}
+
+Status SaveClassifier(BinaryWriter* writer, const Classifier& classifier) {
+  std::string tag = classifier.TypeTag();
+  if (tag.empty()) {
+    return Status::NotImplemented("classifier type is not serializable");
+  }
+  HOM_RETURN_NOT_OK(writer->WriteString(tag));
+  return classifier.SaveTo(writer);
+}
+
+Result<std::unique_ptr<Classifier>> LoadClassifier(BinaryReader* reader,
+                                                   SchemaPtr schema) {
+  HOM_ASSIGN_OR_RETURN(std::string tag, reader->ReadString(64));
+  if (tag == "dtree") {
+    HOM_ASSIGN_OR_RETURN(std::unique_ptr<DecisionTree> tree,
+                         DecisionTree::LoadFrom(reader, schema));
+    return std::unique_ptr<Classifier>(std::move(tree));
+  }
+  if (tag == "nbayes") {
+    HOM_ASSIGN_OR_RETURN(std::unique_ptr<NaiveBayes> nb,
+                         NaiveBayes::LoadFrom(reader, schema));
+    return std::unique_ptr<Classifier>(std::move(nb));
+  }
+  if (tag == "majority") {
+    HOM_ASSIGN_OR_RETURN(std::unique_ptr<MajorityClassifier> mc,
+                         MajorityClassifier::LoadFrom(reader, schema));
+    return std::unique_ptr<Classifier>(std::move(mc));
+  }
+  return Status::InvalidArgument("unknown classifier tag '" + tag + "'");
+}
+
+Status SaveHighOrderModel(std::ostream* out,
+                          const HighOrderClassifier& model) {
+  BinaryWriter writer(out);
+  HOM_RETURN_NOT_OK(writer.WriteString(kMagic));
+  HOM_RETURN_NOT_OK(SaveSchema(&writer, *model.schema()));
+  HOM_RETURN_NOT_OK(
+      writer.WriteU8(model.options().weight_by_prior ? 1 : 0));
+  HOM_RETURN_NOT_OK(
+      writer.WriteU8(model.options().prune_prediction ? 1 : 0));
+
+  const ConceptStats& stats = model.tracker().stats();
+  size_t n = model.num_concepts();
+  std::vector<double> lengths(n);
+  std::vector<double> freqs(n);
+  for (size_t c = 0; c < n; ++c) {
+    lengths[c] = stats.mean_length(c);
+    freqs[c] = stats.frequency(c);
+  }
+  HOM_RETURN_NOT_OK(writer.WriteDoubleVector(lengths));
+  HOM_RETURN_NOT_OK(writer.WriteDoubleVector(freqs));
+
+  HOM_RETURN_NOT_OK(writer.WriteU32(static_cast<uint32_t>(n)));
+  for (size_t c = 0; c < n; ++c) {
+    const ConceptModel& cm = model.concept_model(c);
+    HOM_RETURN_NOT_OK(writer.WriteDouble(cm.error));
+    HOM_RETURN_NOT_OK(
+        writer.WriteU64(static_cast<uint64_t>(cm.training_records)));
+    HOM_RETURN_NOT_OK(SaveClassifier(&writer, *cm.model));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModel(
+    std::istream* in) {
+  BinaryReader reader(in);
+  HOM_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(16));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic: not a hom model file");
+  }
+  HOM_ASSIGN_OR_RETURN(SchemaPtr schema, LoadSchema(&reader));
+  HighOrderOptions options;
+  HOM_ASSIGN_OR_RETURN(uint8_t weight_by_prior, reader.ReadU8());
+  HOM_ASSIGN_OR_RETURN(uint8_t prune, reader.ReadU8());
+  options.weight_by_prior = weight_by_prior != 0;
+  options.prune_prediction = prune != 0;
+
+  HOM_ASSIGN_OR_RETURN(std::vector<double> lengths,
+                       reader.ReadDoubleVector());
+  HOM_ASSIGN_OR_RETURN(std::vector<double> freqs, reader.ReadDoubleVector());
+  HOM_ASSIGN_OR_RETURN(
+      ConceptStats stats,
+      ConceptStats::FromLengthsAndFrequencies(lengths, freqs));
+
+  HOM_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  if (n != lengths.size()) {
+    return Status::InvalidArgument("concept count mismatch");
+  }
+  std::vector<ConceptModel> concepts;
+  concepts.reserve(n);
+  for (uint32_t c = 0; c < n; ++c) {
+    ConceptModel cm;
+    HOM_ASSIGN_OR_RETURN(cm.error, reader.ReadDouble());
+    HOM_ASSIGN_OR_RETURN(uint64_t records, reader.ReadU64());
+    cm.training_records = static_cast<size_t>(records);
+    HOM_ASSIGN_OR_RETURN(cm.model, LoadClassifier(&reader, schema));
+    concepts.push_back(std::move(cm));
+  }
+  return HighOrderClassifier::Make(std::move(schema), std::move(concepts),
+                                   std::move(stats), options);
+}
+
+Status SaveHighOrderModelToFile(const std::string& path,
+                                const HighOrderClassifier& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  HOM_RETURN_NOT_OK(SaveHighOrderModel(&out, model));
+  out.flush();
+  if (!out) return Status::IoError("flush of '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModelFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return LoadHighOrderModel(&in);
+}
+
+}  // namespace hom

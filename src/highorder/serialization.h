@@ -1,0 +1,53 @@
+#ifndef HOM_HIGHORDER_SERIALIZATION_H_
+#define HOM_HIGHORDER_SERIALIZATION_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "classifiers/classifier.h"
+#include "common/result.h"
+#include "highorder/highorder_classifier.h"
+
+namespace hom {
+
+/// \brief Persistence for the offline-trained high-order model, so the
+/// expensive building phase (Table IV: minutes at paper scale) runs once
+/// and the resulting model ships to online services as a byte stream.
+///
+/// Format: magic "HOM1", schema, options, concept statistics, then each
+/// concept's error and base classifier (type-tagged payload; decision
+/// tree, Naive Bayes and majority models are supported).
+
+/// Writes the schema (attributes, vocabularies, classes).
+Status SaveSchema(BinaryWriter* writer, const Schema& schema);
+
+/// Reads a schema written by SaveSchema.
+Result<SchemaPtr> LoadSchema(BinaryReader* reader);
+
+/// Writes `classifier` with its type tag. Fails (NotImplemented) for
+/// non-serializable classifier types.
+Status SaveClassifier(BinaryWriter* writer, const Classifier& classifier);
+
+/// Reads any classifier written by SaveClassifier.
+Result<std::unique_ptr<Classifier>> LoadClassifier(BinaryReader* reader,
+                                                   SchemaPtr schema);
+
+/// Writes the complete high-order model.
+Status SaveHighOrderModel(std::ostream* out,
+                          const HighOrderClassifier& model);
+
+/// Reads a model written by SaveHighOrderModel. The loaded model starts
+/// from the uniform concept prior (run-time state is not persisted).
+Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModel(
+    std::istream* in);
+
+/// Convenience file wrappers.
+Status SaveHighOrderModelToFile(const std::string& path,
+                                const HighOrderClassifier& model);
+Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModelFromFile(
+    const std::string& path);
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_SERIALIZATION_H_

@@ -1,0 +1,48 @@
+#include "highorder/uncertainty_labeling.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hom {
+
+UncertaintyLabelingPolicy::UncertaintyLabelingPolicy(
+    UncertaintyLabelingConfig config)
+    : config_(config), rng_(config.seed) {
+  HOM_CHECK_GE(config_.entropy_threshold, 0.0);
+  HOM_CHECK_LE(config_.entropy_threshold, 1.0);
+  HOM_CHECK_GE(config_.trickle, 0.0);
+  HOM_CHECK_LE(config_.trickle, 1.0);
+}
+
+bool UncertaintyLabelingPolicy::ShouldRequestLabel(
+    StreamClassifier* classifier, const Record&) {
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    return true;
+  }
+  auto* highorder = dynamic_cast<HighOrderClassifier*>(classifier);
+  if (highorder != nullptr && highorder->num_concepts() > 1) {
+    const std::vector<double>& active = highorder->active_probabilities();
+    double entropy = 0.0;
+    for (double p : active) {
+      if (p > 0.0) entropy -= p * std::log2(p);
+    }
+    double normalized =
+        entropy / std::log2(static_cast<double>(active.size()));
+    if (normalized > config_.entropy_threshold) return true;
+  }
+  return rng_.NextBernoulli(config_.trickle);
+}
+
+void UncertaintyLabelingPolicy::OnLabelRevealed(StreamClassifier* classifier,
+                                                const Record& y, Label) {
+  auto* highorder = dynamic_cast<HighOrderClassifier*>(classifier);
+  if (highorder == nullptr) return;
+  size_t map_concept = highorder->tracker().MostLikelyConcept();
+  if (highorder->concept_model(map_concept).model->Predict(y) != y.label) {
+    burst_remaining_ = config_.surprise_burst;
+  }
+}
+
+}  // namespace hom

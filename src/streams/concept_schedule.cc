@@ -1,0 +1,35 @@
+#include "streams/concept_schedule.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+ConceptSchedule::ConceptSchedule(size_t num_concepts, double lambda,
+                                 double zipf_z, int initial)
+    : zipf_(num_concepts, zipf_z), lambda_(lambda), current_(initial) {
+  HOM_CHECK_GE(num_concepts, 2u);
+  HOM_CHECK_GE(lambda, 0.0);
+  HOM_CHECK_LE(lambda, 1.0);
+  HOM_CHECK_GE(initial, 0);
+  HOM_CHECK_LT(static_cast<size_t>(initial), num_concepts);
+}
+
+bool ConceptSchedule::Step(Rng* rng) {
+  if (!rng->NextBernoulli(lambda_)) return false;
+  // Draw the next concept from the Zipf law, excluding the current one so a
+  // "change" always changes something.
+  int next = current_;
+  while (next == current_) {
+    next = static_cast<int>(zipf_.Sample(rng));
+  }
+  current_ = next;
+  return true;
+}
+
+void ConceptSchedule::SetCurrent(int concept_id) {
+  HOM_CHECK_GE(concept_id, 0);
+  HOM_CHECK_LT(static_cast<size_t>(concept_id), zipf_.n());
+  current_ = concept_id;
+}
+
+}  // namespace hom

@@ -1,0 +1,45 @@
+#ifndef HOM_STREAMS_CONCEPT_SCHEDULE_H_
+#define HOM_STREAMS_CONCEPT_SCHEDULE_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace hom {
+
+/// \brief The paper's concept switching process (Section IV-A): before each
+/// record there is probability λ of leaving the current concept, and the
+/// next concept is drawn from a Zipf(z) law over the remaining concepts.
+///
+/// λ = 0.001 and z = 1 are the paper's defaults; 1/λ is the expected
+/// occurrence length plotted on the x-axis of Figure 3.
+class ConceptSchedule {
+ public:
+  /// \param num_concepts number of stable concepts (>= 2)
+  /// \param lambda per-record change probability in [0, 1]
+  /// \param zipf_z skew of the next-concept distribution
+  /// \param initial starting concept (defaults to 0)
+  ConceptSchedule(size_t num_concepts, double lambda, double zipf_z,
+                  int initial = 0);
+
+  /// Advances one record tick; returns true when a concept change fired
+  /// (current() then already names the new concept_id).
+  bool Step(Rng* rng);
+
+  int current() const { return current_; }
+  size_t num_concepts() const { return zipf_.n(); }
+  double lambda() const { return lambda_; }
+
+  /// Forces the current concept (used by tests to script transitions).
+  void SetCurrent(int concept_id);
+
+ private:
+  ZipfDistribution zipf_;
+  double lambda_;
+  int current_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_STREAMS_CONCEPT_SCHEDULE_H_

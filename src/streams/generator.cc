@@ -1,0 +1,27 @@
+#include "streams/generator.h"
+
+namespace hom {
+
+Dataset StreamGenerator::Generate(size_t n, StreamTrace* trace) {
+  Dataset dataset(schema());
+  dataset.Reserve(n);
+  int previous = -1;
+  if (trace != nullptr && !trace->concept_ids.empty()) {
+    previous = trace->concept_ids.back();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    dataset.AppendUnchecked(Next());
+    if (trace != nullptr) {
+      int concept_id = current_concept();
+      if (concept_id != previous) {
+        trace->change_points.push_back(trace->concept_ids.size());
+        previous = concept_id;
+      }
+      trace->concept_ids.push_back(concept_id);
+      trace->drifting.push_back(is_drifting());
+    }
+  }
+  return dataset;
+}
+
+}  // namespace hom

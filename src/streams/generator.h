@@ -1,0 +1,60 @@
+#ifndef HOM_STREAMS_GENERATOR_H_
+#define HOM_STREAMS_GENERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/record.h"
+#include "data/schema.h"
+
+namespace hom {
+
+/// \brief Ground-truth annotations emitted alongside a generated stream.
+///
+/// The benchmark figures (Fig. 5/6) align error traces to the true concept
+/// change points; generators record them here. Real deployments do not have
+/// this information — it is strictly evaluation metadata.
+struct StreamTrace {
+  /// True concept id of each record (for drifting streams: the drift
+  /// target once a transition starts).
+  std::vector<int> concept_ids;
+  /// Indices where a new concept (occurrence) begins; index 0 is always a
+  /// change point.
+  std::vector<size_t> change_points;
+  /// True when the record was generated mid-drift (Hyperplane only; empty
+  /// for abrupt-shift streams).
+  std::vector<bool> drifting;
+};
+
+/// \brief Source of an endless labeled evolving stream over a fixed schema.
+///
+/// Implementations are deterministic given their constructor seed; Next()
+/// advances both the concept schedule and the record sampler.
+class StreamGenerator {
+ public:
+  virtual ~StreamGenerator() = default;
+
+  virtual SchemaPtr schema() const = 0;
+
+  /// Generates the next labeled record and advances the stream clock.
+  virtual Record Next() = 0;
+
+  /// Ground-truth concept id of the record most recently returned by
+  /// Next(); meaningful only after the first Next().
+  virtual int current_concept() const = 0;
+
+  /// True if the most recent record was generated during a drift interval.
+  virtual bool is_drifting() const { return false; }
+
+  /// Number of distinct stable concepts the generator switches between.
+  virtual size_t num_concepts() const = 0;
+
+  /// Materializes `n` records into a Dataset, optionally filling ground
+  /// truth (appended, so one trace can span several Generate calls).
+  Dataset Generate(size_t n, StreamTrace* trace = nullptr);
+};
+
+}  // namespace hom
+
+#endif  // HOM_STREAMS_GENERATOR_H_

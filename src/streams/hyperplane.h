@@ -1,0 +1,67 @@
+#ifndef HOM_STREAMS_HYPERPLANE_H_
+#define HOM_STREAMS_HYPERPLANE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "streams/concept_schedule.h"
+#include "streams/generator.h"
+
+namespace hom {
+
+/// Parameters of the Hyperplane stream; defaults are the paper's (Section
+/// IV-A: d = 3, four concepts, λ = 0.001, ~100-step drifts, z = 1).
+struct HyperplaneConfig {
+  size_t dims = 3;
+  size_t num_concepts = 4;
+  double lambda = 0.001;
+  double zipf_z = 1.0;
+  /// Drift duration is drawn uniformly from [min, max]; the paper states
+  /// drifting "finishes within an average of 100 steps".
+  size_t drift_steps_min = 50;
+  size_t drift_steps_max = 150;
+  /// Label noise probability (paper runs are noise-free).
+  double noise = 0.0;
+};
+
+/// \brief The concept-drifting Hyperplane benchmark (Section IV-A).
+///
+/// Records are uniform in [0,1]^d; a record is positive iff
+/// Σ a_i x_i >= a_0 with a_0 = ½ Σ a_i (so each concept splits the space in
+/// half). Each concept is a randomly drawn weight vector. When the schedule
+/// fires a change, the active hyperplane drifts *linearly* to the next
+/// concept's hyperplane over ~100 records, then stabilizes.
+class HyperplaneGenerator : public StreamGenerator {
+ public:
+  explicit HyperplaneGenerator(uint64_t seed, HyperplaneConfig config = {});
+
+  SchemaPtr schema() const override { return schema_; }
+  Record Next() override;
+  /// During a drift this reports the drift *target* concept.
+  int current_concept() const override { return schedule_.current(); }
+  bool is_drifting() const override { return drift_remaining_ > 0; }
+  size_t num_concepts() const override { return config_.num_concepts; }
+
+  /// Weight vector of stable concept `c` (exposed for tests and the
+  /// optimal-error oracle).
+  const std::vector<double>& concept_weights(int c) const;
+
+  /// Label of `x` under weight vector `w` (threshold at ½ Σ w_i).
+  static Label LabelFor(const std::vector<double>& x,
+                        const std::vector<double>& w);
+
+ private:
+  SchemaPtr schema_;
+  HyperplaneConfig config_;
+  Rng rng_;
+  ConceptSchedule schedule_;
+  std::vector<std::vector<double>> weights_;  ///< per-concept hyperplanes
+  std::vector<double> active_;                ///< currently used weights
+  std::vector<double> drift_from_;
+  size_t drift_total_ = 0;
+  size_t drift_remaining_ = 0;
+};
+
+}  // namespace hom
+
+#endif  // HOM_STREAMS_HYPERPLANE_H_

@@ -1,0 +1,175 @@
+#include "streams/intrusion.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+
+constexpr size_t kNumNumeric = 34;
+constexpr size_t kNumClasses = 5;  // normal, dos, probe, r2l, u2r
+
+// Category vocabularies of the 7 discrete attributes (modeled after
+// KDD-99's protocol_type / service / flag / binary indicator columns).
+const char* const kProtocols[] = {"tcp", "udp", "icmp"};
+const char* const kServices[] = {"http", "smtp", "ftp", "dns", "other"};
+const char* const kFlags[] = {"SF", "S0", "REJ", "RSTO"};
+
+std::vector<std::string> ToVector(const char* const* names, size_t n) {
+  return std::vector<std::string>(names, names + n);
+}
+
+}  // namespace
+
+SchemaPtr IntrusionGenerator::MakeSchema() {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < kNumNumeric; ++i) {
+    attrs.push_back(Attribute::Numeric("num" + std::to_string(i)));
+  }
+  attrs.push_back(Attribute::Categorical("protocol", ToVector(kProtocols, 3)));
+  attrs.push_back(Attribute::Categorical("service", ToVector(kServices, 5)));
+  attrs.push_back(Attribute::Categorical("flag", ToVector(kFlags, 4)));
+  attrs.push_back(Attribute::Categorical("land", {"0", "1"}));
+  attrs.push_back(Attribute::Categorical("logged_in", {"0", "1"}));
+  attrs.push_back(Attribute::Categorical("is_guest", {"0", "1"}));
+  attrs.push_back(Attribute::Categorical("root_shell", {"0", "1"}));
+  return Schema::Make(std::move(attrs),
+                      {"normal", "dos", "probe", "r2l", "u2r"})
+      .ValueOrDie();
+}
+
+IntrusionGenerator::IntrusionGenerator(uint64_t seed, IntrusionConfig config)
+    : schema_(MakeSchema()),
+      config_(config),
+      rng_(seed),
+      schedule_(config.num_regimes, config.lambda, config.zipf_z) {
+  HOM_CHECK_GE(config_.num_regimes, 2u);
+  HOM_CHECK_GE(config_.num_patterns, kNumClasses);
+  num_numeric_ = 0;
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    if (schema_->attribute(a).is_numeric()) {
+      ++num_numeric_;
+    } else {
+      cat_attr_indices_.push_back(a);
+    }
+  }
+
+  // Shared traffic patterns: signatures in attribute space. The patterns
+  // themselves never change — what changes across regimes is which class a
+  // pattern belongs to.
+  patterns_.resize(config_.num_patterns);
+  for (Pattern& pattern : patterns_) {
+    pattern.numeric_means.resize(num_numeric_);
+    for (double& m : pattern.numeric_means) m = 10.0 * rng_.NextDouble();
+    pattern.cat_cdf.resize(cat_attr_indices_.size());
+    for (size_t k = 0; k < cat_attr_indices_.size(); ++k) {
+      const Attribute& attr = schema_->attribute(cat_attr_indices_[k]);
+      std::vector<double> weights(attr.cardinality());
+      for (double& w : weights) w = 0.1 + rng_.NextDouble();
+      // Every pattern has one strongly preferred category per attribute.
+      weights[rng_.NextBounded(static_cast<uint32_t>(attr.cardinality()))] +=
+          3.0;
+      double wsum = 0.0;
+      for (double w : weights) wsum += w;
+      pattern.cat_cdf[k].resize(attr.cardinality());
+      double cum = 0.0;
+      for (size_t v = 0; v < attr.cardinality(); ++v) {
+        cum += weights[v] / wsum;
+        pattern.cat_cdf[k][v] = cum;
+      }
+      pattern.cat_cdf[k].back() = 1.0;
+    }
+  }
+
+  mixtures_.resize(config_.num_regimes);
+  mixture_pmf_.resize(config_.num_regimes);
+  rotation_.resize(config_.num_regimes);
+  for (size_t r = 0; r < config_.num_regimes; ++r) {
+    // The class-to-pattern rotation: regime r maps class c to pattern
+    // (c + r) mod P, so two regimes conflict on every shared pattern and
+    // regimes r and r+P recur as the same concept.
+    rotation_[r] = r % config_.num_patterns;
+
+    // Bursty class mixture: one dominant class per regime (rotating), the
+    // rest of the mass mostly on `normal` background traffic.
+    size_t dominant = r % kNumClasses;
+    std::vector<double> pmf(kNumClasses, 0.05);
+    pmf[dominant] += 0.55;
+    pmf[0] += 0.20;
+    double total = 0.0;
+    for (double p : pmf) total += p;
+    for (double& p : pmf) p /= total;
+    mixture_pmf_[r] = pmf;
+    mixtures_[r].resize(kNumClasses);
+    double cum = 0.0;
+    for (size_t c = 0; c < kNumClasses; ++c) {
+      cum += pmf[c];
+      mixtures_[r][c] = cum;
+    }
+    mixtures_[r].back() = 1.0;
+  }
+}
+
+const std::vector<double>& IntrusionGenerator::regime_mixture(int r) const {
+  HOM_CHECK_GE(r, 0);
+  HOM_CHECK_LT(static_cast<size_t>(r), mixture_pmf_.size());
+  return mixture_pmf_[static_cast<size_t>(r)];
+}
+
+size_t IntrusionGenerator::PatternOf(int r, int c) const {
+  HOM_CHECK_GE(r, 0);
+  HOM_CHECK_LT(static_cast<size_t>(r), rotation_.size());
+  HOM_CHECK_GE(c, 0);
+  HOM_CHECK_LT(static_cast<size_t>(c), kNumClasses);
+  return (static_cast<size_t>(c) + rotation_[static_cast<size_t>(r)]) %
+         config_.num_patterns;
+}
+
+size_t IntrusionGenerator::num_distinct_mappings() const {
+  std::set<size_t> rotations(rotation_.begin(), rotation_.end());
+  return rotations.size();
+}
+
+Record IntrusionGenerator::Next() {
+  schedule_.Step(&rng_);
+  int regime = schedule_.current();
+
+  // Draw the class from the regime's bursty mixture.
+  double u = rng_.NextDouble();
+  size_t cls = 0;
+  while (cls + 1 < kNumClasses &&
+         u > mixtures_[static_cast<size_t>(regime)][cls]) {
+    ++cls;
+  }
+
+  const Pattern& pattern =
+      patterns_[PatternOf(regime, static_cast<int>(cls))];
+  Record record;
+  record.values.resize(schema_->num_attributes());
+  size_t numeric_pos = 0;
+  size_t cat_pos = 0;
+  for (size_t a = 0; a < schema_->num_attributes(); ++a) {
+    if (schema_->attribute(a).is_numeric()) {
+      record.values[a] = pattern.numeric_means[numeric_pos++] +
+                         config_.numeric_sigma * rng_.NextGaussian();
+    } else {
+      double v = rng_.NextDouble();
+      const std::vector<double>& cdf = pattern.cat_cdf[cat_pos++];
+      size_t code = 0;
+      while (code + 1 < cdf.size() && v > cdf[code]) ++code;
+      record.values[a] = static_cast<double>(code);
+    }
+  }
+  record.label = static_cast<Label>(cls);
+  if (config_.noise > 0.0 && rng_.NextBernoulli(config_.noise)) {
+    record.label = static_cast<Label>(
+        (cls + 1 + rng_.NextBounded(kNumClasses - 1)) % kNumClasses);
+  }
+  return record;
+}
+
+}  // namespace hom

@@ -1,0 +1,51 @@
+#include "streams/sea.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+constexpr Label kNegative = 0;
+constexpr Label kPositive = 1;
+}  // namespace
+
+SchemaPtr SeaGenerator::MakeSchema() {
+  return Schema::Make(
+             {Attribute::Numeric("x0"), Attribute::Numeric("x1"),
+              Attribute::Numeric("x2")},
+             {"negative", "positive"})
+      .ValueOrDie();
+}
+
+SeaGenerator::SeaGenerator(uint64_t seed, SeaConfig config)
+    : schema_(MakeSchema()),
+      config_(std::move(config)),
+      rng_(seed),
+      schedule_(config_.thresholds.size(), config_.lambda, config_.zipf_z) {
+  HOM_CHECK_GE(config_.thresholds.size(), 2u);
+  HOM_CHECK_GE(config_.noise, 0.0);
+  HOM_CHECK_LT(config_.noise, 1.0);
+}
+
+Label SeaGenerator::TrueLabel(const Record& record, int concept_id) const {
+  HOM_CHECK_GE(concept_id, 0);
+  HOM_CHECK_LT(static_cast<size_t>(concept_id), config_.thresholds.size());
+  return record.values[0] + record.values[1] <=
+                 config_.thresholds[static_cast<size_t>(concept_id)]
+             ? kPositive
+             : kNegative;
+}
+
+Record SeaGenerator::Next() {
+  schedule_.Step(&rng_);
+  Record record;
+  record.values = {10.0 * rng_.NextDouble(), 10.0 * rng_.NextDouble(),
+                   10.0 * rng_.NextDouble()};
+  record.label = TrueLabel(record, schedule_.current());
+  if (config_.noise > 0.0 && rng_.NextBernoulli(config_.noise)) {
+    record.label = record.label == kPositive ? kNegative : kPositive;
+  }
+  return record;
+}
+
+}  // namespace hom

@@ -1,0 +1,73 @@
+#include "streams/stagger.h"
+
+#include "common/check.h"
+
+namespace hom {
+
+namespace {
+// Attribute indices and the category codes the concepts test.
+constexpr size_t kColor = 0;
+constexpr size_t kShape = 1;
+constexpr size_t kSize = 2;
+constexpr int kGreen = 0;
+constexpr int kRed = 2;
+constexpr int kCircle = 1;
+constexpr int kSmall = 0;
+constexpr int kMedium = 1;
+constexpr int kLarge = 2;
+constexpr Label kNegative = 0;
+constexpr Label kPositive = 1;
+}  // namespace
+
+SchemaPtr StaggerGenerator::MakeSchema() {
+  auto schema = Schema::Make(
+      {
+          Attribute::Categorical("color", {"green", "blue", "red"}),
+          Attribute::Categorical("shape", {"triangle", "circle", "rectangle"}),
+          Attribute::Categorical("size", {"small", "medium", "large"}),
+      },
+      {"negative", "positive"});
+  return schema.ValueOrDie();
+}
+
+StaggerGenerator::StaggerGenerator(uint64_t seed, StaggerConfig config)
+    : schema_(MakeSchema()),
+      config_(config),
+      rng_(seed),
+      schedule_(3, config.lambda, config.zipf_z) {}
+
+Label StaggerGenerator::TrueLabel(const Record& record, int concept_id) {
+  int color = record.category(kColor);
+  int shape = record.category(kShape);
+  int size = record.category(kSize);
+  bool positive = false;
+  switch (concept_id) {
+    case 0:  // A: color = red and size = small
+      positive = color == kRed && size == kSmall;
+      break;
+    case 1:  // B: color = green or shape = circle
+      positive = color == kGreen || shape == kCircle;
+      break;
+    case 2:  // C: size = medium or large
+      positive = size == kMedium || size == kLarge;
+      break;
+    default:
+      HOM_CHECK(false) << "invalid Stagger concept " << concept_id;
+  }
+  return positive ? kPositive : kNegative;
+}
+
+Record StaggerGenerator::Next() {
+  schedule_.Step(&rng_);
+  Record record;
+  record.values = {static_cast<double>(rng_.NextBounded(3)),
+                   static_cast<double>(rng_.NextBounded(3)),
+                   static_cast<double>(rng_.NextBounded(3))};
+  record.label = TrueLabel(record, schedule_.current());
+  if (config_.noise > 0.0 && rng_.NextBernoulli(config_.noise)) {
+    record.label = record.label == kPositive ? kNegative : kPositive;
+  }
+  return record;
+}
+
+}  // namespace hom

@@ -1,0 +1,54 @@
+#ifndef HOM_STREAMS_STAGGER_H_
+#define HOM_STREAMS_STAGGER_H_
+
+#include "common/rng.h"
+#include "streams/concept_schedule.h"
+#include "streams/generator.h"
+
+namespace hom {
+
+/// Parameters of the Stagger stream; defaults are the paper's (Section
+/// IV-A: λ = 0.001, Zipf z = 1).
+struct StaggerConfig {
+  double lambda = 0.001;
+  double zipf_z = 1.0;
+  /// Label noise: probability of flipping the class of an emitted record.
+  /// The paper's runs are noise-free; tests use this to stress robustness.
+  double noise = 0.0;
+};
+
+/// \brief The Stagger concept-shifting benchmark (Schlimmer & Granger,
+/// 1986; used in Section IV-A).
+///
+/// Three categorical attributes — color ∈ {green, blue, red}, shape ∈
+/// {triangle, circle, rectangle}, size ∈ {small, medium, large} — and three
+/// alternating target concepts:
+///   A: positive iff color = red and size = small
+///   B: positive iff color = green or shape = circle
+///   C: positive iff size = medium or large
+class StaggerGenerator : public StreamGenerator {
+ public:
+  explicit StaggerGenerator(uint64_t seed, StaggerConfig config = {});
+
+  SchemaPtr schema() const override { return schema_; }
+  Record Next() override;
+  int current_concept() const override { return schedule_.current(); }
+  size_t num_concepts() const override { return 3; }
+
+  /// True label of `record` under concept `concept` (noise-free oracle;
+  /// used by tests and by the optimal-error baseline).
+  static Label TrueLabel(const Record& record, int concept_id);
+
+  /// The shared Stagger schema.
+  static SchemaPtr MakeSchema();
+
+ private:
+  SchemaPtr schema_;
+  StaggerConfig config_;
+  Rng rng_;
+  ConceptSchedule schedule_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_STREAMS_STAGGER_H_

@@ -1,0 +1,234 @@
+// Tests for the RePro and WCE baselines: state machines, concept reuse,
+// ensemble weighting, and pruning behaviour.
+
+#include <gtest/gtest.h>
+
+#include "baselines/repro.h"
+#include "baselines/wce.h"
+#include "classifiers/decision_tree.h"
+#include "common/rng.h"
+#include "eval/prequential.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+Record StaggerRecord(Rng* rng, int concept_id) {
+  Record r({static_cast<double>(rng->NextBounded(3)),
+            static_cast<double>(rng->NextBounded(3)),
+            static_cast<double>(rng->NextBounded(3))},
+           0);
+  r.label = StaggerGenerator::TrueLabel(r, concept_id);
+  return r;
+}
+
+// ------------------------------------------------------------------ WCE
+
+TEST(WceTest, ColdStartPredictsWithoutMembers) {
+  Wce wce(StaggerGenerator::MakeSchema(), DecisionTree::Factory());
+  Record x({0, 0, 0}, kUnlabeled);
+  EXPECT_GE(wce.Predict(x), 0);  // any valid label, no crash
+  EXPECT_EQ(wce.ensemble_count(), 0u);
+}
+
+TEST(WceTest, TrainsOneMemberPerChunk) {
+  WceConfig config;
+  config.chunk_size = 50;
+  Wce wce(StaggerGenerator::MakeSchema(), DecisionTree::Factory(), config);
+  Rng rng(1);
+  for (int i = 0; i < 49; ++i) wce.ObserveLabeled(StaggerRecord(&rng, 0));
+  EXPECT_EQ(wce.ensemble_count(), 0u);
+  wce.ObserveLabeled(StaggerRecord(&rng, 0));  // completes the chunk
+  EXPECT_EQ(wce.ensemble_count(), 1u);
+  for (int i = 0; i < 100; ++i) wce.ObserveLabeled(StaggerRecord(&rng, 0));
+  EXPECT_EQ(wce.ensemble_count(), 3u);
+}
+
+TEST(WceTest, EnsembleSizeIsCapped) {
+  WceConfig config;
+  config.chunk_size = 20;
+  config.ensemble_size = 5;
+  Wce wce(StaggerGenerator::MakeSchema(), DecisionTree::Factory(), config);
+  Rng rng(2);
+  for (int i = 0; i < 20 * 12; ++i) {
+    wce.ObserveLabeled(StaggerRecord(&rng, 0));
+  }
+  EXPECT_LE(wce.ensemble_count(), 5u);
+}
+
+TEST(WceTest, LearnsStationaryConcept) {
+  Wce wce(StaggerGenerator::MakeSchema(), DecisionTree::Factory());
+  Rng rng(3);
+  for (int i = 0; i < 600; ++i) wce.ObserveLabeled(StaggerRecord(&rng, 1));
+  int errors = 0;
+  for (int i = 0; i < 500; ++i) {
+    Record r = StaggerRecord(&rng, 1);
+    Record x = r;
+    x.label = kUnlabeled;
+    if (wce.Predict(x) != r.label) ++errors;
+  }
+  EXPECT_LT(errors, 25);  // < 5%
+}
+
+TEST(WceTest, RecoversAfterConceptShift) {
+  Wce wce(StaggerGenerator::MakeSchema(), DecisionTree::Factory());
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) wce.ObserveLabeled(StaggerRecord(&rng, 0));
+  // Shift to concept 2; feed several chunks so reweighting kicks in.
+  for (int i = 0; i < 600; ++i) wce.ObserveLabeled(StaggerRecord(&rng, 2));
+  int errors = 0;
+  for (int i = 0; i < 500; ++i) {
+    Record r = StaggerRecord(&rng, 2);
+    Record x = r;
+    x.label = kUnlabeled;
+    if (wce.Predict(x) != r.label) ++errors;
+  }
+  EXPECT_LT(errors, 50);  // recovered to < 10%
+}
+
+TEST(WceTest, PruningDoesNotChangePredictions) {
+  WceConfig pruned_cfg;
+  pruned_cfg.instance_pruning = true;
+  WceConfig full_cfg;
+  full_cfg.instance_pruning = false;
+  Wce pruned(StaggerGenerator::MakeSchema(), DecisionTree::Factory(),
+             pruned_cfg);
+  Wce full(StaggerGenerator::MakeSchema(), DecisionTree::Factory(), full_cfg);
+  Rng rng(5);
+  for (int i = 0; i < 800; ++i) {
+    Record r = StaggerRecord(&rng, i < 400 ? 0 : 1);
+    Record x = r;
+    x.label = kUnlabeled;
+    ASSERT_EQ(pruned.Predict(x), full.Predict(x)) << "record " << i;
+    pruned.ObserveLabeled(r);
+    full.ObserveLabeled(r);
+  }
+  EXPECT_LE(pruned.base_evaluations(), full.base_evaluations());
+}
+
+TEST(WceTest, ProbaIsNormalized) {
+  Wce wce(StaggerGenerator::MakeSchema(), DecisionTree::Factory());
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) wce.ObserveLabeled(StaggerRecord(&rng, 0));
+  Record x({1, 1, 1}, kUnlabeled);
+  std::vector<double> p = wce.PredictProba(x);
+  double total = 0;
+  for (double pi : p) total += pi;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- RePro
+
+TEST(ReProTest, BootstrapThenStable) {
+  ReProConfig config;
+  config.stable_size = 100;
+  RePro repro(StaggerGenerator::MakeSchema(), DecisionTree::Factory(),
+              config);
+  Rng rng(7);
+  EXPECT_EQ(repro.num_concepts(), 0u);
+  for (int i = 0; i < 99; ++i) repro.ObserveLabeled(StaggerRecord(&rng, 0));
+  EXPECT_EQ(repro.num_concepts(), 0u);  // still bootstrapping
+  repro.ObserveLabeled(StaggerRecord(&rng, 0));
+  EXPECT_EQ(repro.num_concepts(), 1u);
+  // Stable predictions on the learned concept.
+  int errors = 0;
+  for (int i = 0; i < 300; ++i) {
+    Record r = StaggerRecord(&rng, 0);
+    Record x = r;
+    x.label = kUnlabeled;
+    if (repro.Predict(x) != r.label) ++errors;
+    repro.ObserveLabeled(r);
+  }
+  EXPECT_LT(errors, 15);
+}
+
+TEST(ReProTest, TriggerFiresOnConceptShift) {
+  ReProConfig config;
+  config.stable_size = 100;
+  RePro repro(StaggerGenerator::MakeSchema(), DecisionTree::Factory(),
+              config);
+  Rng rng(8);
+  for (int i = 0; i < 400; ++i) repro.ObserveLabeled(StaggerRecord(&rng, 0));
+  EXPECT_EQ(repro.num_triggers(), 0u);
+  for (int i = 0; i < 100; ++i) repro.ObserveLabeled(StaggerRecord(&rng, 2));
+  EXPECT_GE(repro.num_triggers(), 1u);
+}
+
+TEST(ReProTest, LearnsSecondConceptAfterShift) {
+  ReProConfig config;
+  config.stable_size = 100;
+  RePro repro(StaggerGenerator::MakeSchema(), DecisionTree::Factory(),
+              config);
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) repro.ObserveLabeled(StaggerRecord(&rng, 0));
+  for (int i = 0; i < 400; ++i) repro.ObserveLabeled(StaggerRecord(&rng, 2));
+  EXPECT_EQ(repro.num_concepts(), 2u);
+  int errors = 0;
+  for (int i = 0; i < 300; ++i) {
+    Record r = StaggerRecord(&rng, 2);
+    Record x = r;
+    x.label = kUnlabeled;
+    if (repro.Predict(x) != r.label) ++errors;
+    repro.ObserveLabeled(r);
+  }
+  EXPECT_LT(errors, 15);
+}
+
+TEST(ReProTest, ReusesHistoricalConceptInsteadOfRelearning) {
+  ReProConfig config;
+  config.stable_size = 100;
+  RePro repro(StaggerGenerator::MakeSchema(), DecisionTree::Factory(),
+              config);
+  Rng rng(10);
+  // A -> C -> A -> C: only two distinct concepts should ever exist.
+  for (int phase = 0; phase < 4; ++phase) {
+    int concept_id = (phase % 2 == 0) ? 0 : 2;
+    for (int i = 0; i < 400; ++i) {
+      repro.ObserveLabeled(StaggerRecord(&rng, concept_id));
+    }
+  }
+  EXPECT_EQ(repro.num_concepts(), 2u);
+  EXPECT_GE(repro.num_triggers(), 3u);
+}
+
+TEST(ReProTest, RecoveryIsFasterOnReappearance) {
+  // Once A<->C transitions are in the history, recovery from a change
+  // should be quicker than the very first time (reuse + proactive jump).
+  ReProConfig config;
+  config.stable_size = 100;
+  RePro repro(StaggerGenerator::MakeSchema(), DecisionTree::Factory(),
+              config);
+  Rng rng(11);
+
+  auto errors_in_first_n_after_shift = [&](int concept_id, int n) {
+    int errors = 0;
+    for (int i = 0; i < 400; ++i) {
+      Record r = StaggerRecord(&rng, concept_id);
+      Record x = r;
+      x.label = kUnlabeled;
+      if (i < n && repro.Predict(x) != r.label) ++errors;
+      repro.ObserveLabeled(r);
+    }
+    return errors;
+  };
+
+  errors_in_first_n_after_shift(0, 0);           // learn A
+  int first = errors_in_first_n_after_shift(2, 150);   // first ever C
+  errors_in_first_n_after_shift(0, 0);           // back to A
+  int second = errors_in_first_n_after_shift(2, 150);  // C reappears
+  EXPECT_LE(second, first);
+}
+
+TEST(ReProTest, PrequentialOnStationaryStaggerIsAccurate) {
+  StaggerConfig sc;
+  sc.lambda = 0.0;
+  StaggerGenerator gen(12, sc);
+  Dataset test = gen.Generate(3000);
+  RePro repro(StaggerGenerator::MakeSchema(), DecisionTree::Factory());
+  PrequentialResult result = RunPrequential(&repro, test);
+  // Bootstrap costs ~200 records; afterwards errors should be rare.
+  EXPECT_LT(result.error_rate(), 0.1);
+}
+
+}  // namespace
+}  // namespace hom

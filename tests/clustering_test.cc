@@ -1,0 +1,264 @@
+// Tests for the two-step concept clustering (Section II) and the end-to-end
+// HighOrderModelBuilder: does the pipeline recover planted concepts, their
+// occurrence boundaries, and sensible change statistics?
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "classifiers/decision_tree.h"
+#include "classifiers/naive_bayes.h"
+#include "common/rng.h"
+#include "highorder/builder.h"
+#include "highorder/concept_clustering.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+/// Builds a Stagger history with *scripted* concept segments so ground
+/// truth is exact: `segments` is a list of (concept id, length).
+Dataset ScriptedStagger(const std::vector<std::pair<int, size_t>>& segments,
+                        uint64_t seed) {
+  Dataset d(StaggerGenerator::MakeSchema());
+  Rng rng(seed);
+  for (const auto& [concept_id, length] : segments) {
+    for (size_t i = 0; i < length; ++i) {
+      Record r({static_cast<double>(rng.NextBounded(3)),
+                static_cast<double>(rng.NextBounded(3)),
+                static_cast<double>(rng.NextBounded(3))},
+               0);
+      r.label = StaggerGenerator::TrueLabel(r, concept_id);
+      d.AppendUnchecked(r);
+    }
+  }
+  return d;
+}
+
+ConceptClusteringConfig SmallBlocks() {
+  ConceptClusteringConfig config;
+  config.block_size = 20;
+  return config;
+}
+
+TEST(ConceptClusteringTest, RecoversTwoPlantedConcepts) {
+  // A=400, B=400, A=400, B=400: two concepts, four occurrences.
+  Dataset history = ScriptedStagger(
+      {{0, 400}, {1, 400}, {0, 400}, {1, 400}}, 71);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(72);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->concept_data.size(), 2u);
+  ASSERT_EQ(result->occurrences.size(), 4u);
+  // Alternating concept ids.
+  EXPECT_EQ(result->occurrences[0].concept_id,
+            result->occurrences[2].concept_id);
+  EXPECT_EQ(result->occurrences[1].concept_id,
+            result->occurrences[3].concept_id);
+  EXPECT_NE(result->occurrences[0].concept_id,
+            result->occurrences[1].concept_id);
+}
+
+TEST(ConceptClusteringTest, OccurrenceBoundariesNearTruth) {
+  Dataset history = ScriptedStagger({{0, 600}, {2, 600}}, 73);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(74);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->occurrences.size(), 2u);
+  // The discovered boundary is quantized to blocks; allow one block slack.
+  EXPECT_NEAR(static_cast<double>(result->occurrences[0].end), 600.0, 20.0);
+  EXPECT_EQ(result->occurrences[0].begin, 0u);
+  EXPECT_EQ(result->occurrences[1].end, 1200u);
+}
+
+TEST(ConceptClusteringTest, OccurrencesPartitionTheStream) {
+  Dataset history = ScriptedStagger(
+      {{0, 300}, {1, 500}, {2, 300}, {0, 400}}, 75);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(76);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  size_t covered = 0;
+  size_t prev_end = 0;
+  for (const ConceptOccurrence& occ : result->occurrences) {
+    EXPECT_EQ(occ.begin, prev_end);  // contiguous, no gaps
+    prev_end = occ.end;
+    covered += occ.length();
+  }
+  EXPECT_EQ(covered, history.size());
+  // Adjacent occurrences must differ in concept (else they'd be fused).
+  for (size_t i = 1; i < result->occurrences.size(); ++i) {
+    EXPECT_NE(result->occurrences[i].concept_id,
+              result->occurrences[i - 1].concept_id);
+  }
+}
+
+TEST(ConceptClusteringTest, ConceptDataSizesMatchOccurrences) {
+  Dataset history = ScriptedStagger({{0, 400}, {1, 400}, {0, 400}}, 77);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(78);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> per_concept(result->concept_data.size(), 0);
+  for (const ConceptOccurrence& occ : result->occurrences) {
+    per_concept[static_cast<size_t>(occ.concept_id)] += occ.length();
+  }
+  for (size_t c = 0; c < per_concept.size(); ++c) {
+    EXPECT_EQ(per_concept[c], result->concept_data[c].size());
+  }
+}
+
+TEST(ConceptClusteringTest, StationaryStreamIsOneConcept) {
+  Dataset history = ScriptedStagger({{1, 1500}}, 79);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(80);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->concept_data.size(), 1u);
+  EXPECT_EQ(result->occurrences.size(), 1u);
+  EXPECT_EQ(result->num_chunks, 1u);
+}
+
+TEST(ConceptClusteringTest, DeterministicGivenSeed) {
+  Dataset history = ScriptedStagger({{0, 400}, {2, 400}}, 81);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng r1(82), r2(82);
+  auto a = clusterer.Cluster(DatasetView(&history), &r1);
+  auto b = clusterer.Cluster(DatasetView(&history), &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->concept_data.size(), b->concept_data.size());
+  ASSERT_EQ(a->occurrences.size(), b->occurrences.size());
+  for (size_t i = 0; i < a->occurrences.size(); ++i) {
+    EXPECT_EQ(a->occurrences[i].begin, b->occurrences[i].begin);
+    EXPECT_EQ(a->occurrences[i].concept_id, b->occurrences[i].concept_id);
+  }
+  EXPECT_DOUBLE_EQ(a->final_q, b->final_q);
+}
+
+TEST(ConceptClusteringTest, QOfPartitionIsConsistent) {
+  Dataset history = ScriptedStagger({{0, 500}, {1, 500}}, 83);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(84);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  double q = 0.0;
+  for (size_t c = 0; c < result->concept_data.size(); ++c) {
+    q += static_cast<double>(result->concept_data[c].size()) *
+         result->concept_errors[c];
+  }
+  EXPECT_NEAR(q, result->final_q, 1e-9);
+}
+
+TEST(ConceptClusteringTest, WorksWithNaiveBayesBase) {
+  Dataset history = ScriptedStagger({{0, 400}, {2, 400}, {0, 400}}, 85);
+  ConceptClusterer clusterer(NaiveBayes::Factory(), SmallBlocks());
+  Rng rng(86);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->concept_data.size(), 2u);
+}
+
+TEST(ConceptClusteringTest, TinyHistoryStillClusters) {
+  Dataset history = ScriptedStagger({{0, 30}}, 87);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(88);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->concept_data.size(), 1u);
+}
+
+TEST(ConceptClusteringTest, RejectsDegenerateInputs) {
+  Dataset empty(StaggerGenerator::MakeSchema());
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(89);
+  EXPECT_FALSE(clusterer.Cluster(DatasetView(&empty), &rng).ok());
+}
+
+TEST(ConceptClusteringTest, NoisyLabelsDoNotExplodeConceptCount) {
+  StaggerConfig sc;
+  sc.lambda = 0.005;
+  sc.noise = 0.05;
+  StaggerGenerator gen(90, sc);
+  Dataset history = gen.Generate(6000);
+  ConceptClusterer clusterer(DecisionTree::Factory(), SmallBlocks());
+  Rng rng(91);
+  auto result = clusterer.Cluster(DatasetView(&history), &rng);
+  ASSERT_TRUE(result.ok());
+  // There are only 3 true concepts; noise may add a few spurious ones but
+  // the count must stay small — the paper's core robustness claim.
+  EXPECT_LE(result->concept_data.size(), 10u);
+  EXPECT_GE(result->concept_data.size(), 2u);
+}
+
+// ------------------------------------------------------------- Builder
+
+TEST(BuilderTest, EndToEndStagger) {
+  StaggerConfig sc;
+  sc.lambda = 0.01;
+  StaggerGenerator gen(92, sc);
+  Dataset history = gen.Generate(8000);
+
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(93);
+  HighOrderBuildReport report;
+  auto clf = builder.Build(history, &rng, &report);
+  ASSERT_TRUE(clf.ok()) << clf.status().ToString();
+  EXPECT_EQ(report.num_records, 8000u);
+  EXPECT_GE(report.num_concepts, 3u);
+  EXPECT_GT(report.num_chunks, report.num_concepts - 1);
+  EXPECT_GT(report.build_seconds, 0.0);
+  EXPECT_EQ((*clf)->num_concepts(), report.num_concepts);
+  // The three real Stagger concepts dominate: the three largest concepts
+  // should hold nearly all records.
+  std::vector<size_t> sizes = report.concept_sizes;
+  std::sort(sizes.rbegin(), sizes.rend());
+  size_t top3 = sizes[0] + (sizes.size() > 1 ? sizes[1] : 0) +
+                (sizes.size() > 2 ? sizes[2] : 0);
+  EXPECT_GT(top3, history.size() * 9 / 10);
+}
+
+TEST(BuilderTest, ReportOccurrencesCoverHistory) {
+  StaggerConfig sc;
+  sc.lambda = 0.01;
+  StaggerGenerator gen(94, sc);
+  Dataset history = gen.Generate(5000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(95);
+  HighOrderBuildReport report;
+  auto clf = builder.Build(history, &rng, &report);
+  ASSERT_TRUE(clf.ok());
+  size_t covered = 0;
+  for (const ConceptOccurrence& occ : report.occurrences) {
+    covered += occ.length();
+  }
+  EXPECT_EQ(covered, history.size());
+}
+
+TEST(BuilderTest, HoldoutVariantAlsoBuilds) {
+  StaggerConfig sc;
+  sc.lambda = 0.01;
+  StaggerGenerator gen(96, sc);
+  Dataset history = gen.Generate(4000);
+  HighOrderBuildConfig config;
+  config.train_on_full_data = false;
+  HighOrderModelBuilder builder(DecisionTree::Factory(), config);
+  Rng rng(97);
+  auto clf = builder.Build(history, &rng);
+  ASSERT_TRUE(clf.ok());
+  EXPECT_GE((*clf)->num_concepts(), 1u);
+}
+
+TEST(BuilderTest, RejectsTinyHistory) {
+  Dataset history(StaggerGenerator::MakeSchema());
+  history.AppendUnchecked(Record({0, 0, 0}, 0));
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(98);
+  EXPECT_FALSE(builder.Build(history, &rng).ok());
+}
+
+}  // namespace
+}  // namespace hom

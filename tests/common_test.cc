@@ -1,0 +1,333 @@
+// Tests for src/common: Status/Result plumbing, the deterministic RNG, the
+// Zipf sampler, and the stopwatch.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/zipf.h"
+
+namespace hom {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad block size");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad block size");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad block size");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("x");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "x");
+  // Original unaffected by copy.
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status st = Status::Internal("boom");
+  Status moved = std::move(st);
+  EXPECT_EQ(moved.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    HOM_RETURN_NOT_OK(Status::IoError("disk"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIoError);
+  auto passes = []() -> Status {
+    HOM_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached");
+  };
+  EXPECT_EQ(passes().code(), StatusCode::kAlreadyExists);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("inner");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    HOM_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, 500);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.NextInt(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(RngTest, BernoulliEdgesAndRate) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(21);
+  double sum = 0, sum_sq = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.Fork();
+  // Child differs from a fresh parent continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint32() == child.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+// ------------------------------------------------------------------ Zipf
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(8, 1.0);
+  double total = 0;
+  for (size_t k = 0; k < 8; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution zipf(5, 0.0);
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.2, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PositiveSkewFavorsLowRanks) {
+  ZipfDistribution zipf(6, 1.0);
+  for (size_t k = 1; k < 6; ++k) {
+    EXPECT_GT(zipf.Pmf(k - 1), zipf.Pmf(k));
+  }
+  // z = 1: pmf(k) proportional to 1/(k+1).
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution zipf(4, 1.0);
+  Rng rng(1);
+  std::vector<int> counts(4, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(kDraws), zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleRank) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(2);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, ThresholdFiltersLevels) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HOM_LOG(kInfo) << "should be dropped";
+  HOM_LOG(kWarning) << "also dropped";
+  HOM_LOG(kError) << "kept";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured.find("dropped"), std::string::npos);
+  EXPECT_NE(captured.find("kept"), std::string::npos);
+  EXPECT_NE(captured.find("[ERROR"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, DebugVisibleWhenEnabled) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  HOM_LOG(kDebug) << "verbose " << 42;
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("verbose 42"), std::string::npos);
+  SetLogLevel(old_level);
+}
+
+// ------------------------------------------------------------ HOM_CHECK
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedCheckAbortsWithMessage) {
+  EXPECT_DEATH({ HOM_CHECK(1 == 2) << "context " << 99; },
+               "CHECK failed.*1 == 2.*context 99");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosIncludeOperands) {
+  int a = 3, b = 7;
+  EXPECT_DEATH({ HOM_CHECK_EQ(a, b); }, "a=3 vs b=7");
+  EXPECT_DEATH({ HOM_CHECK_GT(a, b); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  HOM_CHECK(true) << "never evaluated";
+  HOM_CHECK_LE(1, 2);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, ResultValueOrDieOnErrorAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie");
+}
+
+// ------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, AccumulatesAndPauses) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  sw.Pause();
+  double paused = sw.ElapsedSeconds();
+  // Busy-wait a little; paused time must not grow.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_DOUBLE_EQ(sw.ElapsedSeconds(), paused);
+  sw.Resume();
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(sw.ElapsedSeconds(), paused);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), paused + 1.0);
+}
+
+}  // namespace
+}  // namespace hom

@@ -1,0 +1,248 @@
+// Tests for src/data: schema validation, dataset append rules, view
+// algebra (union, holdout split), and CSV round-tripping.
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/dataset_view.h"
+#include "data/io.h"
+#include "data/schema.h"
+
+namespace hom {
+namespace {
+
+SchemaPtr MixedSchema() {
+  return Schema::Make(
+             {Attribute::Numeric("x"),
+              Attribute::Categorical("color", {"red", "green", "blue"})},
+             {"no", "yes"})
+      .ValueOrDie();
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, MakeValidatesAttributeCount) {
+  auto r = Schema::Make({}, {"a", "b"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, MakeValidatesClassCount) {
+  auto r = Schema::Make({Attribute::Numeric("x")}, {"only"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, MakeRejectsDegenerateCategorical) {
+  auto r = Schema::Make({Attribute::Categorical("c", {"solo"})}, {"a", "b"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, MakeRejectsDuplicateAttributeNames) {
+  auto r = Schema::Make({Attribute::Numeric("x"), Attribute::Numeric("x")},
+                        {"a", "b"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, MakeRejectsDuplicateClassNames) {
+  auto r = Schema::Make({Attribute::Numeric("x")}, {"a", "a"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, AccessorsAndLookup) {
+  SchemaPtr schema = MixedSchema();
+  EXPECT_EQ(schema->num_attributes(), 2u);
+  EXPECT_EQ(schema->num_classes(), 2u);
+  EXPECT_TRUE(schema->attribute(0).is_numeric());
+  EXPECT_TRUE(schema->attribute(1).is_categorical());
+  EXPECT_EQ(schema->attribute(1).cardinality(), 3u);
+  EXPECT_EQ(schema->class_name(1), "yes");
+  EXPECT_EQ(*schema->ClassIndex("no"), 0);
+  EXPECT_FALSE(schema->ClassIndex("maybe").ok());
+  EXPECT_EQ(*schema->AttributeIndex("color"), 1u);
+  EXPECT_FALSE(schema->AttributeIndex("shape").ok());
+}
+
+TEST(SchemaTest, ToStringSummarizes) {
+  EXPECT_EQ(MixedSchema()->ToString(),
+            "2 attrs (1 numeric, 1 categorical), 2 classes");
+}
+
+// --------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AppendValidatesArity) {
+  Dataset d(MixedSchema());
+  EXPECT_FALSE(d.Append(Record({1.0}, 0)).ok());
+  EXPECT_TRUE(d.Append(Record({1.0, 2.0}, 0)).ok());
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DatasetTest, AppendValidatesCategoricalRange) {
+  Dataset d(MixedSchema());
+  EXPECT_FALSE(d.Append(Record({1.0, 3.0}, 0)).ok());   // color code 3
+  EXPECT_FALSE(d.Append(Record({1.0, -1.0}, 0)).ok());  // color code -1
+  EXPECT_TRUE(d.Append(Record({1.0, 2.0}, 1)).ok());
+}
+
+TEST(DatasetTest, AppendValidatesLabel) {
+  Dataset d(MixedSchema());
+  EXPECT_FALSE(d.Append(Record({0.0, 0.0}, 2)).ok());
+  EXPECT_TRUE(d.Append(Record({0.0, 0.0}, kUnlabeled)).ok());
+  EXPECT_FALSE(d.record(0).is_labeled());
+}
+
+TEST(DatasetTest, ClassCountsSkipUnlabeled) {
+  Dataset d(MixedSchema());
+  ASSERT_TRUE(d.Append(Record({0, 0}, 0)).ok());
+  ASSERT_TRUE(d.Append(Record({0, 0}, 1)).ok());
+  ASSERT_TRUE(d.Append(Record({0, 0}, 1)).ok());
+  ASSERT_TRUE(d.Append(Record({0, 0}, kUnlabeled)).ok());
+  std::vector<size_t> counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+// ----------------------------------------------------------- DatasetView
+
+Dataset SmallDataset(size_t n) {
+  Dataset d(MixedSchema());
+  for (size_t i = 0; i < n; ++i) {
+    d.AppendUnchecked(Record({static_cast<double>(i), 0.0},
+                             static_cast<Label>(i % 2)));
+  }
+  return d;
+}
+
+TEST(DatasetViewTest, WholeDatasetView) {
+  Dataset d = SmallDataset(5);
+  DatasetView v(&d);
+  EXPECT_EQ(v.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(v.record(i).values[0], static_cast<double>(i));
+    EXPECT_EQ(v.row_index(i), i);
+  }
+}
+
+TEST(DatasetViewTest, RangeView) {
+  Dataset d = SmallDataset(10);
+  DatasetView v(&d, 3, 7);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.record(0).values[0], 3.0);
+  EXPECT_EQ(v.record(3).values[0], 6.0);
+}
+
+TEST(DatasetViewTest, UnionConcatenatesInOrder) {
+  Dataset d = SmallDataset(10);
+  DatasetView a(&d, 0, 3);
+  DatasetView b(&d, 5, 8);
+  DatasetView u = DatasetView::Union(a, b);
+  ASSERT_EQ(u.size(), 6u);
+  EXPECT_EQ(u.record(0).values[0], 0.0);
+  EXPECT_EQ(u.record(3).values[0], 5.0);
+}
+
+TEST(DatasetViewTest, HoldoutSplitPartitionsExactly) {
+  Dataset d = SmallDataset(11);
+  DatasetView v(&d);
+  Rng rng(4);
+  auto [train, test] = v.SplitHoldout(&rng);
+  // ceil/floor halves.
+  EXPECT_EQ(train.size(), 6u);
+  EXPECT_EQ(test.size(), 5u);
+  std::set<uint32_t> all;
+  for (size_t i = 0; i < train.size(); ++i) all.insert(train.row_index(i));
+  for (size_t i = 0; i < test.size(); ++i) all.insert(test.row_index(i));
+  EXPECT_EQ(all.size(), 11u);  // disjoint and covering
+}
+
+TEST(DatasetViewTest, HoldoutSplitOfTwoRecordsIsOneOne) {
+  Dataset d = SmallDataset(2);
+  DatasetView v(&d);
+  Rng rng(1);
+  auto [train, test] = v.SplitHoldout(&rng);
+  EXPECT_EQ(train.size(), 1u);
+  EXPECT_EQ(test.size(), 1u);
+}
+
+TEST(DatasetViewTest, HoldoutSplitIsSeedDeterministic) {
+  Dataset d = SmallDataset(20);
+  DatasetView v(&d);
+  Rng r1(9), r2(9);
+  auto [t1, s1] = v.SplitHoldout(&r1);
+  auto [t2, s2] = v.SplitHoldout(&r2);
+  EXPECT_EQ(t1.indices(), t2.indices());
+  EXPECT_EQ(s1.indices(), s2.indices());
+}
+
+TEST(DatasetViewTest, MajorityClassAndCounts) {
+  Dataset d(MixedSchema());
+  d.AppendUnchecked(Record({0, 0}, 1));
+  d.AppendUnchecked(Record({0, 0}, 1));
+  d.AppendUnchecked(Record({0, 0}, 0));
+  DatasetView v(&d);
+  EXPECT_EQ(v.MajorityClass(), 1);
+  EXPECT_EQ(v.ClassCounts()[1], 2u);
+}
+
+TEST(DatasetViewTest, EmptyViewBasics) {
+  Dataset d = SmallDataset(3);
+  DatasetView v(&d, 1, 1);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.MajorityClass(), 0);
+}
+
+// -------------------------------------------------------------------- IO
+
+TEST(IoTest, CsvRoundTrip) {
+  Dataset d(MixedSchema());
+  d.AppendUnchecked(Record({1.5, 0.0}, 0));
+  d.AppendUnchecked(Record({-2.25, 2.0}, 1));
+  d.AppendUnchecked(Record({0.0, 1.0}, kUnlabeled));
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hom_io_test.csv").string();
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  auto back = ReadCsv(d.schema(), path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_DOUBLE_EQ(back->record(0).values[0], 1.5);
+  EXPECT_EQ(back->record(1).category(1), 2);
+  EXPECT_EQ(back->record(1).label, 1);
+  EXPECT_FALSE(back->record(2).is_labeled());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadRejectsUnknownCategory) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hom_io_bad.csv").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("x,color,class\n1.0,purple,no\n", f);
+  fclose(f);
+  auto r = ReadCsv(MixedSchema(), path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadRejectsWrongFieldCount) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hom_io_bad2.csv").string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("x,color,class\n1.0,no\n", f);
+  fclose(f);
+  auto r = ReadCsv(MixedSchema(), path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ReadMissingFileFails) {
+  auto r = ReadCsv(MixedSchema(), "/nonexistent/hom.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace hom

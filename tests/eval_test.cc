@@ -1,0 +1,139 @@
+// Tests for the evaluation harness: the prequential protocol (labels must
+// stay hidden at prediction time) and the change-aligned trace averaging.
+
+#include <gtest/gtest.h>
+
+#include "eval/prequential.h"
+#include "eval/stream_classifier.h"
+#include "eval/trace.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+/// Spy classifier that records exactly what the harness shows it.
+class SpyClassifier : public StreamClassifier {
+ public:
+  explicit SpyClassifier(size_t num_classes) : num_classes_(num_classes) {}
+
+  Label Predict(const Record& x) override {
+    ++predictions_;
+    saw_labeled_predict_ |= x.is_labeled();
+    return 0;
+  }
+  void ObserveLabeled(const Record& y) override {
+    ++observations_;
+    saw_unlabeled_observe_ |= !y.is_labeled();
+  }
+  std::string name() const override { return "spy"; }
+  size_t num_classes() const override { return num_classes_; }
+
+  size_t predictions_ = 0;
+  size_t observations_ = 0;
+  bool saw_labeled_predict_ = false;
+  bool saw_unlabeled_observe_ = false;
+
+ private:
+  size_t num_classes_;
+};
+
+Dataset LabeledStream(size_t n) {
+  StaggerGenerator gen(1);
+  return gen.Generate(n);
+}
+
+TEST(PrequentialTest, HidesLabelsAtPredictionTime) {
+  Dataset test = LabeledStream(500);
+  SpyClassifier spy(2);
+  PrequentialResult result = RunPrequential(&spy, test);
+  EXPECT_FALSE(spy.saw_labeled_predict_);   // x_t arrives unlabeled
+  EXPECT_FALSE(spy.saw_unlabeled_observe_); // y_t arrives labeled
+  EXPECT_EQ(spy.predictions_, 500u);
+  EXPECT_EQ(spy.observations_, 500u);
+  EXPECT_EQ(result.num_records, 500u);
+}
+
+TEST(PrequentialTest, ErrorRateOfConstantPredictor) {
+  Dataset test = LabeledStream(2000);
+  size_t zeros = test.ClassCounts()[0];
+  SpyClassifier spy(2);  // always predicts 0
+  PrequentialResult result = RunPrequential(&spy, test);
+  EXPECT_NEAR(result.error_rate(),
+              1.0 - static_cast<double>(zeros) / 2000.0, 1e-12);
+}
+
+TEST(PrequentialTest, TraceRecordsPerRecordErrors) {
+  Dataset test = LabeledStream(100);
+  SpyClassifier spy(2);
+  PrequentialOptions options;
+  options.record_trace = true;
+  PrequentialResult result = RunPrequential(&spy, test, options);
+  ASSERT_EQ(result.errors.size(), 100u);
+  size_t errors = 0;
+  for (uint8_t e : result.errors) errors += e;
+  EXPECT_EQ(errors, result.num_errors);
+}
+
+TEST(PrequentialTest, LabeledFractionSubsamplesObservations) {
+  Dataset test = LabeledStream(4000);
+  SpyClassifier spy(2);
+  PrequentialOptions options;
+  options.labeled_fraction = 0.25;
+  RunPrequential(&spy, test, options);
+  EXPECT_EQ(spy.predictions_, 4000u);  // every record still predicted
+  EXPECT_NEAR(static_cast<double>(spy.observations_), 1000.0, 120.0);
+}
+
+// ------------------------------------------------- AlignedTraceAccumulator
+
+TEST(TraceAccumulatorTest, AlignsWindowsAtChangePoint) {
+  AlignedTraceAccumulator acc(2, 3);
+  // Series: value jumps from 0 to 1 at index 5.
+  std::vector<double> series = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  acc.AddSeries(series, {5});
+  EXPECT_EQ(acc.num_windows(), 1u);
+  std::vector<double> mean = acc.Mean();
+  ASSERT_EQ(mean.size(), 5u);
+  EXPECT_DOUBLE_EQ(mean[0], 0.0);  // cp-2
+  EXPECT_DOUBLE_EQ(mean[1], 0.0);  // cp-1
+  EXPECT_DOUBLE_EQ(mean[2], 1.0);  // cp
+  EXPECT_DOUBLE_EQ(mean[3], 1.0);
+  EXPECT_DOUBLE_EQ(mean[4], 1.0);
+}
+
+TEST(TraceAccumulatorTest, AveragesAcrossWindows) {
+  AlignedTraceAccumulator acc(1, 1);
+  acc.AddSeries(std::vector<double>{0, 1, 0, 0}, {1});
+  acc.AddSeries(std::vector<double>{0, 0, 0, 0}, {1});
+  EXPECT_EQ(acc.num_windows(), 2u);
+  std::vector<double> mean = acc.Mean();
+  EXPECT_DOUBLE_EQ(mean[0], 0.0);
+  EXPECT_DOUBLE_EQ(mean[1], 0.5);
+}
+
+TEST(TraceAccumulatorTest, SkipsWindowsCrossingBoundaries) {
+  AlignedTraceAccumulator acc(5, 5);
+  std::vector<double> series(8, 0.0);
+  acc.AddSeries(series, {2});  // needs 5 before and 5 after; has neither
+  EXPECT_EQ(acc.num_windows(), 0u);
+}
+
+TEST(TraceAccumulatorTest, SkipsOverlappingChanges) {
+  AlignedTraceAccumulator acc(2, 10);
+  std::vector<double> series(100, 0.0);
+  // Two changes only 4 records apart: the first window would contain the
+  // second transition, so it must be dropped; the second is clean.
+  acc.AddSeries(series, {20, 24});
+  EXPECT_EQ(acc.num_windows(), 1u);
+}
+
+TEST(TraceAccumulatorTest, AcceptsUint8Series) {
+  AlignedTraceAccumulator acc(1, 2);
+  std::vector<uint8_t> series = {0, 0, 1, 1, 0};
+  acc.AddSeries(series, {2});
+  std::vector<double> mean = acc.Mean();
+  EXPECT_DOUBLE_EQ(mean[1], 1.0);
+}
+
+}  // namespace
+}  // namespace hom

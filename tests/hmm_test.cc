@@ -1,0 +1,263 @@
+// Tests for the HMM view of concept streams (the paper's declared future
+// work): Viterbi decoding, forward-backward smoothing, Baum-Welch
+// refinement, and the variable-rate propagation of Section III-B.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "highorder/active_probability.h"
+#include "highorder/hmm.h"
+
+namespace hom {
+namespace {
+
+ConceptStats TwoState(double len0 = 10, double len1 = 10, double f0 = 0.5) {
+  return *ConceptStats::FromLengthsAndFrequencies({len0, len1},
+                                                  {f0, 1.0 - f0});
+}
+
+/// Log-probability of one complete path under the model (uniform init).
+double PathLogProb(const ConceptStats& stats,
+                   const std::vector<std::vector<double>>& psi,
+                   const std::vector<int>& path) {
+  double lp = std::log(1.0 / static_cast<double>(stats.num_concepts()));
+  lp += std::log(psi[0][static_cast<size_t>(path[0])]);
+  for (size_t t = 1; t < psi.size(); ++t) {
+    lp += std::log(stats.Chi(static_cast<size_t>(path[t - 1]),
+                             static_cast<size_t>(path[t])));
+    lp += std::log(psi[t][static_cast<size_t>(path[t])]);
+  }
+  return lp;
+}
+
+/// Brute-force best path by enumeration (n^T paths).
+std::vector<int> BruteForceViterbi(
+    const ConceptStats& stats,
+    const std::vector<std::vector<double>>& psi) {
+  size_t n = stats.num_concepts();
+  size_t t_max = psi.size();
+  size_t total = 1;
+  for (size_t t = 0; t < t_max; ++t) total *= n;
+  double best_lp = -1e300;
+  std::vector<int> best;
+  for (size_t code = 0; code < total; ++code) {
+    std::vector<int> path(t_max);
+    size_t c = code;
+    for (size_t t = 0; t < t_max; ++t) {
+      path[t] = static_cast<int>(c % n);
+      c /= n;
+    }
+    double lp = PathLogProb(stats, psi, path);
+    if (lp > best_lp) {
+      best_lp = lp;
+      best = path;
+    }
+  }
+  return best;
+}
+
+TEST(ConceptHmmTest, ViterbiFollowsClearEvidence) {
+  ConceptHmm hmm(TwoState());
+  std::vector<std::vector<double>> psi = {
+      {0.9, 0.1}, {0.9, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.1, 0.9}};
+  auto path = hmm.Viterbi(psi);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<int>{0, 0, 0, 1, 1}));
+}
+
+TEST(ConceptHmmTest, ViterbiMatchesBruteForce) {
+  // Property: on every random instance the DP equals exhaustive search (in
+  // path probability; ties may differ in argmax).
+  Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    ConceptStats stats = *ConceptStats::FromLengthsAndFrequencies(
+        {2.0 + 20 * rng.NextDouble(), 2.0 + 20 * rng.NextDouble(),
+         2.0 + 20 * rng.NextDouble()},
+        {0.1 + rng.NextDouble(), 0.1 + rng.NextDouble(),
+         0.1 + rng.NextDouble()});
+    ConceptHmm hmm(stats);
+    size_t t_max = 6;
+    std::vector<std::vector<double>> psi(t_max, std::vector<double>(3));
+    for (auto& row : psi) {
+      for (double& v : row) v = 0.05 + rng.NextDouble();
+    }
+    auto dp = hmm.Viterbi(psi);
+    ASSERT_TRUE(dp.ok());
+    std::vector<int> brute = BruteForceViterbi(stats, psi);
+    EXPECT_NEAR(PathLogProb(stats, psi, *dp),
+                PathLogProb(stats, psi, brute), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ConceptHmmTest, ViterbiPrefersStayingOnWeakEvidence) {
+  // With long mean occupancy, one ambiguous record should not cause a
+  // concept change in the decoded path.
+  ConceptHmm hmm(TwoState(200, 200));
+  std::vector<std::vector<double>> psi = {
+      {0.9, 0.1}, {0.9, 0.1}, {0.45, 0.55}, {0.9, 0.1}, {0.9, 0.1}};
+  auto path = hmm.Viterbi(psi);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<int>{0, 0, 0, 0, 0}));
+}
+
+TEST(ConceptHmmTest, ForwardBackwardRowsAreDistributions) {
+  ConceptHmm hmm(TwoState());
+  Rng rng(22);
+  std::vector<std::vector<double>> psi(50, std::vector<double>(2));
+  for (auto& row : psi) {
+    row[0] = 0.05 + rng.NextDouble();
+    row[1] = 0.05 + rng.NextDouble();
+  }
+  auto gamma = hmm.ForwardBackward(psi);
+  ASSERT_TRUE(gamma.ok());
+  for (const auto& row : *gamma) {
+    EXPECT_NEAR(row[0] + row[1], 1.0, 1e-9);
+    EXPECT_GE(row[0], 0.0);
+    EXPECT_GE(row[1], 0.0);
+  }
+}
+
+TEST(ConceptHmmTest, SmoothingUsesFutureEvidence) {
+  // At the record just before overwhelming evidence for concept 1, the
+  // smoothed posterior should already lean toward 1 more than the pure
+  // forward filter does.
+  ConceptStats stats = TwoState(20, 20);
+  ConceptHmm hmm(stats);
+  std::vector<std::vector<double>> psi = {
+      {0.5, 0.5}, {0.5, 0.5}, {0.01, 0.99}, {0.01, 0.99}, {0.01, 0.99}};
+  auto gamma = hmm.ForwardBackward(psi);
+  ASSERT_TRUE(gamma.ok());
+
+  ActiveProbabilityTracker filter(stats);
+  filter.Observe(psi[0]);
+  filter.Observe(psi[1]);
+  double filtered_p1 = filter.posterior()[1];
+  EXPECT_GT((*gamma)[1][1], filtered_p1);
+}
+
+TEST(ConceptHmmTest, LogLikelihoodRanksModels) {
+  // The sequence alternates every 5 records; a model with Len=5 must
+  // explain it better than a model with Len=500.
+  std::vector<std::vector<double>> psi;
+  for (int block = 0; block < 8; ++block) {
+    for (int i = 0; i < 5; ++i) {
+      psi.push_back(block % 2 == 0
+                        ? std::vector<double>{0.95, 0.05}
+                        : std::vector<double>{0.05, 0.95});
+    }
+  }
+  ConceptHmm matched(TwoState(5, 5));
+  ConceptHmm mismatched(TwoState(500, 500));
+  auto ll_match = matched.LogLikelihood(psi);
+  auto ll_mismatch = mismatched.LogLikelihood(psi);
+  ASSERT_TRUE(ll_match.ok());
+  ASSERT_TRUE(ll_mismatch.ok());
+  EXPECT_GT(*ll_match, *ll_mismatch);
+}
+
+TEST(ConceptHmmTest, BaumWelchImprovesLikelihood) {
+  std::vector<std::vector<double>> psi;
+  Rng rng(23);
+  for (int block = 0; block < 10; ++block) {
+    for (int i = 0; i < 8; ++i) {
+      double strong = 0.85 + 0.1 * rng.NextDouble();
+      psi.push_back(block % 2 == 0
+                        ? std::vector<double>{strong, 1 - strong}
+                        : std::vector<double>{1 - strong, strong});
+    }
+  }
+  ConceptHmm initial(TwoState(100, 100));  // wrong occupancy
+  auto refined = initial.BaumWelchStep(psi);
+  ASSERT_TRUE(refined.ok());
+  auto ll0 = initial.LogLikelihood(psi);
+  auto ll1 = refined->LogLikelihood(psi);
+  ASSERT_TRUE(ll0.ok());
+  ASSERT_TRUE(ll1.ok());
+  EXPECT_GT(*ll1, *ll0);
+  // And the learned occupancy moved toward the true 8-record blocks.
+  EXPECT_LT(refined->stats().mean_length(0), 60.0);
+}
+
+TEST(ConceptHmmTest, StatsFromTransitionMatrix) {
+  auto stats = ConceptHmm::StatsFromTransitionMatrix(
+      {{0.9, 0.1}, {0.05, 0.95}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->mean_length(0), 10.0, 1e-9);
+  EXPECT_NEAR(stats->mean_length(1), 20.0, 1e-9);
+  // Jump chain here is deterministic 0->1->0, so occurrence frequencies
+  // are equal.
+  EXPECT_NEAR(stats->frequency(0), 0.5, 1e-9);
+}
+
+TEST(ConceptHmmTest, TransitionMatrixValidation) {
+  EXPECT_FALSE(ConceptHmm::StatsFromTransitionMatrix({}).ok());
+  EXPECT_FALSE(
+      ConceptHmm::StatsFromTransitionMatrix({{0.5, 0.4}, {0.5, 0.5}}).ok());
+  // A single absorbing state is representable.
+  EXPECT_TRUE(ConceptHmm::StatsFromTransitionMatrix({{1.0}}).ok());
+}
+
+TEST(ConceptHmmTest, PsiValidation) {
+  ConceptHmm hmm(TwoState());
+  EXPECT_FALSE(hmm.Viterbi({}).ok());
+  EXPECT_FALSE(hmm.Viterbi({{0.5}}).ok());                 // arity
+  EXPECT_FALSE(hmm.Viterbi({{0.0, 0.0}}).ok());            // all-zero row
+  EXPECT_FALSE(hmm.Viterbi({{0.5, -0.1}}).ok());           // negative
+  EXPECT_FALSE(hmm.BaumWelchStep({{0.5, 0.5}}).ok());      // too short
+}
+
+// ------------------------------------------- Variable-rate propagation
+
+TEST(VariableRateTest, PropagateStepsMatchesRepeatedPropagate) {
+  ConceptStats stats = *ConceptStats::FromLengthsAndFrequencies(
+      {30, 70, 15}, {0.5, 0.2, 0.3});
+  std::vector<double> p = {0.7, 0.2, 0.1};
+  for (size_t steps : {1u, 2u, 7u, 8u, 9u, 33u, 200u}) {
+    std::vector<double> sequential = p;
+    for (size_t s = 0; s < steps; ++s) {
+      sequential = stats.Propagate(sequential);
+    }
+    std::vector<double> batched = stats.PropagateSteps(p, steps);
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(batched[c], sequential[c], 1e-12)
+          << "steps=" << steps << " c=" << c;
+    }
+  }
+}
+
+TEST(VariableRateTest, ZeroStepsIsIdentity) {
+  ConceptStats stats = TwoState();
+  std::vector<double> p = {0.3, 0.7};
+  EXPECT_EQ(stats.PropagateSteps(p, 0), p);
+}
+
+TEST(VariableRateTest, ObserveAfterGapEqualsSilenceThenObserve) {
+  ConceptStats stats = TwoState(25, 40, 0.6);
+  ActiveProbabilityTracker a(stats);
+  ActiveProbabilityTracker b(stats);
+  a.Observe({0.9, 0.2});
+  b.Observe({0.9, 0.2});
+  // a: 4 silent ticks then evidence; b: gap-aware single call.
+  for (int i = 0; i < 4; ++i) a.AdvanceWithoutEvidence();
+  a.Observe({0.3, 0.8});
+  b.ObserveAfterGap({0.3, 0.8}, 5);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(a.posterior()[c], b.posterior()[c], 1e-12);
+  }
+}
+
+TEST(VariableRateTest, LongGapForgetsTowardStationary) {
+  ConceptStats stats = TwoState(10, 10);
+  ActiveProbabilityTracker tracker(stats);
+  for (int i = 0; i < 30; ++i) tracker.Observe({0.99, 0.01});
+  ASSERT_GT(tracker.posterior()[0], 0.95);
+  tracker.ObserveAfterGap({0.5, 0.5}, 10000);  // uninformative, huge gap
+  // After thousands of chain steps the prior is near stationary (0.5).
+  EXPECT_NEAR(tracker.posterior()[0], 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace hom

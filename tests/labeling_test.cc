@@ -1,0 +1,173 @@
+// Tests for the selective-labeling extension: the harness, the random
+// budget policy, and the uncertainty policy built on the concept posterior.
+
+#include <gtest/gtest.h>
+
+#include "classifiers/decision_tree.h"
+#include "common/rng.h"
+#include "eval/selective_labeling.h"
+#include "highorder/builder.h"
+#include "highorder/uncertainty_labeling.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+/// Classifier stub that counts what it was shown.
+class CountingClassifier : public StreamClassifier {
+ public:
+  Label Predict(const Record&) override {
+    ++predictions;
+    return 0;
+  }
+  void ObserveLabeled(const Record&) override { ++observations; }
+  std::string name() const override { return "counting"; }
+  size_t num_classes() const override { return 2; }
+
+  size_t predictions = 0;
+  size_t observations = 0;
+};
+
+Dataset SmallStream(size_t n) {
+  StaggerGenerator gen(3);
+  return gen.Generate(n);
+}
+
+TEST(SelectiveLabelingTest, AlwaysPolicyLabelsEverything) {
+  Dataset stream = SmallStream(500);
+  CountingClassifier clf;
+  RandomLabelingPolicy policy(1.0, 1);
+  SelectiveResult res = RunSelectivePrequential(&clf, stream, &policy);
+  EXPECT_EQ(res.labels_requested, 500u);
+  EXPECT_EQ(clf.observations, 500u);
+  EXPECT_EQ(clf.predictions, 500u);
+  EXPECT_NEAR(res.label_fraction(), 1.0, 1e-12);
+}
+
+TEST(SelectiveLabelingTest, NeverPolicyLabelsNothing) {
+  Dataset stream = SmallStream(500);
+  CountingClassifier clf;
+  RandomLabelingPolicy policy(0.0, 1);
+  SelectiveResult res = RunSelectivePrequential(&clf, stream, &policy);
+  EXPECT_EQ(res.labels_requested, 0u);
+  EXPECT_EQ(clf.observations, 0u);
+  EXPECT_EQ(clf.predictions, 500u);  // everything still predicted
+}
+
+TEST(SelectiveLabelingTest, FractionIsRespected) {
+  Dataset stream = SmallStream(8000);
+  CountingClassifier clf;
+  RandomLabelingPolicy policy(0.25, 2);
+  SelectiveResult res = RunSelectivePrequential(&clf, stream, &policy);
+  EXPECT_NEAR(res.label_fraction(), 0.25, 0.03);
+}
+
+TEST(SelectiveLabelingTest, ErrorsCountedAgainstTruth) {
+  Dataset stream = SmallStream(1000);
+  size_t zeros = stream.ClassCounts()[0];
+  CountingClassifier clf;  // always predicts 0
+  RandomLabelingPolicy policy(0.5, 3);
+  SelectiveResult res = RunSelectivePrequential(&clf, stream, &policy);
+  EXPECT_EQ(res.num_errors, 1000u - zeros);
+}
+
+TEST(UncertaintyPolicyTest, FallsBackToTrickleForForeignClassifier) {
+  CountingClassifier clf;
+  UncertaintyLabelingConfig config;
+  config.trickle = 0.2;
+  UncertaintyLabelingPolicy policy(config);
+  size_t requests = 0;
+  Record x({0, 0, 0}, kUnlabeled);
+  for (int i = 0; i < 5000; ++i) {
+    if (policy.ShouldRequestLabel(&clf, x)) ++requests;
+  }
+  EXPECT_NEAR(static_cast<double>(requests) / 5000.0, 0.2, 0.03);
+}
+
+TEST(UncertaintyPolicyTest, RequestsLabelsWhileUncertain) {
+  StaggerGenerator gen(1301);
+  Dataset history = gen.Generate(10000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(4);
+  auto clf = builder.Build(history, &rng);
+  ASSERT_TRUE(clf.ok());
+  ASSERT_GT((*clf)->num_concepts(), 1u);
+
+  UncertaintyLabelingConfig config;
+  config.trickle = 0.0;  // isolate the entropy trigger
+  config.entropy_threshold = 0.3;
+  UncertaintyLabelingPolicy policy(config);
+  // Fresh model: uniform prior = maximal entropy => labels requested.
+  Record x({0, 0, 0}, kUnlabeled);
+  EXPECT_TRUE(policy.ShouldRequestLabel(clf->get(), x));
+
+  // After a confident stretch the entropy trigger goes quiet.
+  Dataset warmup = gen.Generate(300);
+  for (const Record& r : warmup.records()) (*clf)->ObserveLabeled(r);
+  int requests = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (policy.ShouldRequestLabel(clf->get(), x)) ++requests;
+  }
+  EXPECT_EQ(requests, 0);
+}
+
+TEST(UncertaintyPolicyTest, SurpriseTriggersBurst) {
+  StaggerGenerator gen(1302);
+  Dataset history = gen.Generate(10000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(5);
+  auto clf = builder.Build(history, &rng);
+  ASSERT_TRUE(clf.ok());
+  // Make the tracker confident in whatever it currently believes.
+  Dataset warmup = gen.Generate(300);
+  for (const Record& r : warmup.records()) (*clf)->ObserveLabeled(r);
+
+  UncertaintyLabelingConfig config;
+  config.trickle = 0.0;
+  config.surprise_burst = 7;
+  UncertaintyLabelingPolicy policy(config);
+
+  // Fabricate a contradicting labeled record: whatever the MAP concept
+  // predicts, claim the opposite.
+  size_t map_concept = (*clf)->tracker().MostLikelyConcept();
+  Record y({0, 0, 0}, 0);
+  y.label = 1 - (*clf)->concept_model(map_concept).model->Predict(y);
+  policy.OnLabelRevealed(clf->get(), y, 0);
+
+  Record x({0, 0, 0}, kUnlabeled);
+  int granted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (policy.ShouldRequestLabel(clf->get(), x)) ++granted;
+  }
+  EXPECT_EQ(granted, 7);  // exactly the burst length, then quiet
+}
+
+TEST(UncertaintyPolicyTest, BeatsEqualBudgetRandomOnEvolvingStream) {
+  StaggerConfig sc;
+  sc.lambda = 0.001;
+  StaggerGenerator gen(1303, sc);
+  Dataset history = gen.Generate(15000);
+  Dataset test = gen.Generate(20000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+
+  Rng rng1(6);
+  auto smart_clf = builder.Build(history, &rng1);
+  ASSERT_TRUE(smart_clf.ok());
+  UncertaintyLabelingConfig config;
+  config.trickle = 0.05;
+  UncertaintyLabelingPolicy smart(config);
+  SelectiveResult smart_res =
+      RunSelectivePrequential(smart_clf->get(), test, &smart);
+
+  Rng rng2(6);
+  auto random_clf = builder.Build(history, &rng2);
+  ASSERT_TRUE(random_clf.ok());
+  RandomLabelingPolicy random(smart_res.label_fraction(), 7);
+  SelectiveResult random_res =
+      RunSelectivePrequential(random_clf->get(), test, &random);
+
+  EXPECT_LE(smart_res.error_rate(), random_res.error_rate() * 1.1);
+}
+
+}  // namespace
+}  // namespace hom

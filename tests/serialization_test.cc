@@ -1,0 +1,247 @@
+// Tests for binary I/O and model persistence: primitive round trips, schema
+// and classifier round trips, full high-order model round trips, and
+// corruption handling.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "classifiers/decision_tree.h"
+#include "classifiers/evaluation.h"
+#include "classifiers/majority.h"
+#include "classifiers/naive_bayes.h"
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "highorder/serialization.h"
+#include "streams/intrusion.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+// ---------------------------------------------------------- BinaryIo
+
+TEST(BinaryIoTest, PrimitiveRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(w.WriteU8(200).ok());
+  ASSERT_TRUE(w.WriteU32(0xDEADBEEF).ok());
+  ASSERT_TRUE(w.WriteU64(0x0123456789ABCDEFull).ok());
+  ASSERT_TRUE(w.WriteI32(-42).ok());
+  ASSERT_TRUE(w.WriteDouble(3.25).ok());
+  ASSERT_TRUE(w.WriteString("hello").ok());
+  ASSERT_TRUE(w.WriteDoubleVector({1.0, -2.5, 1e300}).ok());
+
+  BinaryReader r(&buffer);
+  EXPECT_EQ(*r.ReadU8(), 200);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*r.ReadI32(), -42);
+  EXPECT_DOUBLE_EQ(*r.ReadDouble(), 3.25);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  std::vector<double> v = *r.ReadDoubleVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 1e300);
+}
+
+TEST(BinaryIoTest, TruncationIsIoError) {
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(w.WriteU32(7).ok());
+  BinaryReader r(&buffer);
+  ASSERT_TRUE(r.ReadU32().ok());
+  auto eof = r.ReadU32();
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, LengthLimitsGuardCorruption) {
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(w.WriteU32(0xFFFFFFFF).ok());  // absurd length prefix
+  BinaryReader r(&buffer);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+// ------------------------------------------------------------- Schema
+
+TEST(SerializationTest, SchemaRoundTrip) {
+  SchemaPtr schema = IntrusionGenerator::MakeSchema();
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(SaveSchema(&w, *schema).ok());
+  BinaryReader r(&buffer);
+  auto back = LoadSchema(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)->num_attributes(), schema->num_attributes());
+  EXPECT_EQ((*back)->num_classes(), schema->num_classes());
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    EXPECT_EQ((*back)->attribute(a).name, schema->attribute(a).name);
+    EXPECT_EQ((*back)->attribute(a).type, schema->attribute(a).type);
+    EXPECT_EQ((*back)->attribute(a).categories,
+              schema->attribute(a).categories);
+  }
+  EXPECT_EQ((*back)->classes(), schema->classes());
+}
+
+// -------------------------------------------------------- Classifiers
+
+Dataset StaggerData(int concept_id, size_t n, uint64_t seed) {
+  Dataset d(StaggerGenerator::MakeSchema());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Record r({static_cast<double>(rng.NextBounded(3)),
+              static_cast<double>(rng.NextBounded(3)),
+              static_cast<double>(rng.NextBounded(3))},
+             0);
+    r.label = StaggerGenerator::TrueLabel(r, concept_id);
+    d.AppendUnchecked(r);
+  }
+  return d;
+}
+
+template <typename Maker>
+void RoundTripAndCompare(Maker make_model, const Dataset& probe) {
+  std::unique_ptr<Classifier> original = make_model();
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(SaveClassifier(&w, *original).ok());
+  BinaryReader r(&buffer);
+  auto loaded = LoadClassifier(&r, probe.schema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const Record& rec : probe.records()) {
+    Record x = rec;
+    x.label = kUnlabeled;
+    ASSERT_EQ(original->Predict(x), (*loaded)->Predict(x));
+    std::vector<double> p0 = original->PredictProba(x);
+    std::vector<double> p1 = (*loaded)->PredictProba(x);
+    for (size_t c = 0; c < p0.size(); ++c) {
+      ASSERT_NEAR(p0[c], p1[c], 1e-12);
+    }
+  }
+}
+
+TEST(SerializationTest, DecisionTreeRoundTrip) {
+  Dataset train = StaggerData(0, 1000, 31);
+  Dataset probe = StaggerData(0, 300, 32);
+  RoundTripAndCompare(
+      [&]() {
+        auto tree = std::make_unique<DecisionTree>(train.schema());
+        EXPECT_TRUE(tree->Train(DatasetView(&train)).ok());
+        return tree;
+      },
+      probe);
+}
+
+TEST(SerializationTest, NaiveBayesRoundTrip) {
+  Dataset train = StaggerData(2, 1000, 33);
+  Dataset probe = StaggerData(2, 300, 34);
+  RoundTripAndCompare(
+      [&]() {
+        auto nb = std::make_unique<NaiveBayes>(train.schema());
+        EXPECT_TRUE(nb->Train(DatasetView(&train)).ok());
+        return nb;
+      },
+      probe);
+}
+
+TEST(SerializationTest, MajorityRoundTrip) {
+  Dataset train = StaggerData(1, 200, 35);
+  Dataset probe = StaggerData(1, 100, 36);
+  RoundTripAndCompare(
+      [&]() {
+        auto m = std::make_unique<MajorityClassifier>(train.schema());
+        EXPECT_TRUE(m->Train(DatasetView(&train)).ok());
+        return m;
+      },
+      probe);
+}
+
+TEST(SerializationTest, UntrainedNaiveBayesRefusesToSave) {
+  NaiveBayes nb(StaggerGenerator::MakeSchema());
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  EXPECT_TRUE(nb.SaveTo(&w).IsFailedPrecondition());
+}
+
+TEST(SerializationTest, UnknownTagRejected) {
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(w.WriteString("mystery").ok());
+  BinaryReader r(&buffer);
+  EXPECT_FALSE(LoadClassifier(&r, StaggerGenerator::MakeSchema()).ok());
+}
+
+// ---------------------------------------------------- High-order model
+
+TEST(SerializationTest, HighOrderModelRoundTripPredictsIdentically) {
+  StaggerGenerator gen(1201);
+  Dataset history = gen.Generate(12000);
+  Dataset test = gen.Generate(8000);
+
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(41);
+  auto model = builder.Build(history, &rng);
+  ASSERT_TRUE(model.ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveHighOrderModel(&buffer, **model).ok());
+  auto loaded = LoadHighOrderModel(&buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ((*loaded)->num_concepts(), (*model)->num_concepts());
+  // Both start from the uniform prior, so the full prequential runs match
+  // exactly.
+  PrequentialResult a = RunPrequential(model->get(), test);
+  PrequentialResult b = RunPrequential(loaded->get(), test);
+  EXPECT_EQ(a.num_errors, b.num_errors);
+}
+
+TEST(SerializationTest, HighOrderModelFileRoundTrip) {
+  StaggerGenerator gen(1202);
+  Dataset history = gen.Generate(8000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(42);
+  auto model = builder.Build(history, &rng);
+  ASSERT_TRUE(model.ok());
+
+  std::string path = ::testing::TempDir() + "/hom_model_roundtrip.hom";
+  ASSERT_TRUE(SaveHighOrderModelToFile(path, **model).ok());
+  auto loaded = LoadHighOrderModelFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_concepts(), (*model)->num_concepts());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  std::stringstream buffer;
+  BinaryWriter w(&buffer);
+  ASSERT_TRUE(w.WriteString("NOPE").ok());
+  EXPECT_FALSE(LoadHighOrderModel(&buffer).ok());
+}
+
+TEST(SerializationTest, TruncatedModelRejected) {
+  StaggerGenerator gen(1203);
+  Dataset history = gen.Generate(6000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(43);
+  auto model = builder.Build(history, &rng);
+  ASSERT_TRUE(model.ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveHighOrderModel(&buffer, **model).ok());
+  std::string bytes = buffer.str();
+  // Chop the tail off: must fail cleanly, not crash.
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(LoadHighOrderModel(&truncated).ok());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  auto r = LoadHighOrderModelFromFile("/nonexistent/m.hom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace hom

@@ -1,0 +1,376 @@
+// Tests for src/streams: the concept schedule, the three benchmark
+// generators, and the ground-truth trace machinery.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "streams/concept_schedule.h"
+#include "streams/hyperplane.h"
+#include "streams/intrusion.h"
+#include "streams/sea.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+// -------------------------------------------------------- ConceptSchedule
+
+TEST(ConceptScheduleTest, ZeroLambdaNeverChanges) {
+  ConceptSchedule sched(3, 0.0, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(sched.Step(&rng));
+    EXPECT_EQ(sched.current(), 0);
+  }
+}
+
+TEST(ConceptScheduleTest, LambdaOneChangesEveryStep) {
+  ConceptSchedule sched(3, 1.0, 1.0);
+  Rng rng(2);
+  int prev = sched.current();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sched.Step(&rng));
+    EXPECT_NE(sched.current(), prev);  // change always changes something
+    prev = sched.current();
+  }
+}
+
+TEST(ConceptScheduleTest, ChangeRateMatchesLambda) {
+  ConceptSchedule sched(4, 0.01, 1.0);
+  Rng rng(3);
+  int changes = 0;
+  const int kSteps = 100000;
+  for (int i = 0; i < kSteps; ++i) {
+    if (sched.Step(&rng)) ++changes;
+  }
+  EXPECT_NEAR(changes / static_cast<double>(kSteps), 0.01, 0.002);
+}
+
+TEST(ConceptScheduleTest, ZipfSkewFavorsLowConcepts) {
+  ConceptSchedule sched(4, 1.0, 1.0);
+  Rng rng(4);
+  std::vector<int> visits(4, 0);
+  for (int i = 0; i < 20000; ++i) {
+    sched.Step(&rng);
+    ++visits[static_cast<size_t>(sched.current())];
+  }
+  // Concept 0 is the most popular Zipf rank; concept 3 the least.
+  EXPECT_GT(visits[0], visits[3]);
+}
+
+TEST(ConceptScheduleTest, SetCurrentOverrides) {
+  ConceptSchedule sched(5, 0.0, 1.0);
+  sched.SetCurrent(3);
+  EXPECT_EQ(sched.current(), 3);
+}
+
+// ---------------------------------------------------------------- Stagger
+
+TEST(StaggerTest, SchemaShape) {
+  SchemaPtr schema = StaggerGenerator::MakeSchema();
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  EXPECT_EQ(schema->num_classes(), 2u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_TRUE(schema->attribute(a).is_categorical());
+    EXPECT_EQ(schema->attribute(a).cardinality(), 3u);
+  }
+}
+
+TEST(StaggerTest, LabelsMatchOracle) {
+  StaggerConfig config;
+  config.lambda = 0.01;
+  StaggerGenerator gen(99, config);
+  for (int i = 0; i < 5000; ++i) {
+    Record r = gen.Next();
+    EXPECT_EQ(r.label, StaggerGenerator::TrueLabel(r, gen.current_concept()));
+  }
+}
+
+TEST(StaggerTest, OracleDefinitionsSpotChecks) {
+  // Concept A: positive iff color=red and size=small.
+  Record red_small({2, 0, 0}, kUnlabeled);
+  Record red_large({2, 0, 2}, kUnlabeled);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(red_small, 0), 1);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(red_large, 0), 0);
+  // Concept B: positive iff color=green or shape=circle.
+  Record green({0, 0, 0}, kUnlabeled);
+  Record blue_circle({1, 1, 0}, kUnlabeled);
+  Record blue_triangle({1, 0, 0}, kUnlabeled);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(green, 1), 1);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(blue_circle, 1), 1);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(blue_triangle, 1), 0);
+  // Concept C: positive iff size=medium or large.
+  Record medium({1, 0, 1}, kUnlabeled);
+  Record small({1, 0, 0}, kUnlabeled);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(medium, 2), 1);
+  EXPECT_EQ(StaggerGenerator::TrueLabel(small, 2), 0);
+}
+
+TEST(StaggerTest, DeterministicGivenSeed) {
+  StaggerGenerator a(5), b(5);
+  for (int i = 0; i < 1000; ++i) {
+    Record ra = a.Next();
+    Record rb = b.Next();
+    EXPECT_EQ(ra.values, rb.values);
+    EXPECT_EQ(ra.label, rb.label);
+  }
+}
+
+TEST(StaggerTest, NoiseFlipsLabels) {
+  StaggerConfig noisy;
+  noisy.noise = 0.5;
+  noisy.lambda = 0.0;
+  StaggerGenerator gen(6, noisy);
+  int flips = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    Record r = gen.Next();
+    if (r.label != StaggerGenerator::TrueLabel(r, 0)) ++flips;
+  }
+  EXPECT_NEAR(flips / static_cast<double>(kDraws), 0.5, 0.03);
+}
+
+// ------------------------------------------------------------- Hyperplane
+
+TEST(HyperplaneTest, SchemaIsAllNumeric) {
+  HyperplaneGenerator gen(1);
+  SchemaPtr schema = gen.schema();
+  EXPECT_EQ(schema->num_attributes(), 3u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_TRUE(schema->attribute(a).is_numeric());
+  }
+}
+
+TEST(HyperplaneTest, StableConceptMatchesOracle) {
+  HyperplaneConfig config;
+  config.lambda = 0.0;  // never drift away from concept 0
+  HyperplaneGenerator gen(7, config);
+  const std::vector<double>& w = gen.concept_weights(0);
+  for (int i = 0; i < 2000; ++i) {
+    Record r = gen.Next();
+    EXPECT_EQ(r.label, HyperplaneGenerator::LabelFor(r.values, w));
+    EXPECT_FALSE(gen.is_drifting());
+  }
+}
+
+TEST(HyperplaneTest, RoughlyBalancedClasses) {
+  HyperplaneConfig config;
+  config.lambda = 0.0;
+  HyperplaneGenerator gen(8, config);
+  int pos = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.Next().label == 1) ++pos;
+  }
+  // a_0 = half the weight mass cuts [0,1]^d into equal volumes.
+  EXPECT_NEAR(pos / static_cast<double>(kDraws), 0.5, 0.03);
+}
+
+TEST(HyperplaneTest, DriftLastsConfiguredSteps) {
+  HyperplaneConfig config;
+  config.lambda = 1.0;  // force a change at the first record
+  config.drift_steps_min = 80;
+  config.drift_steps_max = 80;
+  HyperplaneGenerator gen(9, config);
+  gen.Next();  // change fires here; drift starts on the next record
+  ASSERT_TRUE(gen.is_drifting());
+  int drift_records = 0;
+  while (gen.is_drifting() && drift_records < 1000) {
+    gen.Next();
+    ++drift_records;
+  }
+  EXPECT_EQ(drift_records, 80);
+}
+
+TEST(HyperplaneTest, AfterDriftLabelsMatchTargetConcept) {
+  HyperplaneConfig config;
+  config.lambda = 0.005;
+  HyperplaneGenerator gen(10, config);
+  // Run until we see a completed drift, then verify stability.
+  for (int i = 0; i < 5000; ++i) gen.Next();
+  while (gen.is_drifting()) gen.Next();
+  const std::vector<double>& w = gen.concept_weights(gen.current_concept());
+  for (int i = 0; i < 200 && !gen.is_drifting(); ++i) {
+    Record r = gen.Next();
+    if (gen.is_drifting()) break;  // schedule may fire again
+    EXPECT_EQ(r.label, HyperplaneGenerator::LabelFor(r.values, w));
+  }
+}
+
+TEST(HyperplaneTest, ValuesInUnitCube) {
+  HyperplaneGenerator gen(11);
+  for (int i = 0; i < 1000; ++i) {
+    Record r = gen.Next();
+    for (double v : r.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+    }
+  }
+}
+
+// -------------------------------------------------------------- Intrusion
+
+TEST(IntrusionTest, SchemaMatchesTableOne) {
+  SchemaPtr schema = IntrusionGenerator::MakeSchema();
+  size_t numeric = 0, categorical = 0;
+  for (size_t a = 0; a < schema->num_attributes(); ++a) {
+    if (schema->attribute(a).is_numeric()) {
+      ++numeric;
+    } else {
+      ++categorical;
+    }
+  }
+  EXPECT_EQ(numeric, 34u);      // Table I: 34 continuous attributes
+  EXPECT_EQ(categorical, 7u);   // Table I: 7 discrete attributes
+  EXPECT_EQ(schema->num_classes(), 5u);
+  EXPECT_EQ(schema->class_name(0), "normal");
+}
+
+TEST(IntrusionTest, RegimeMixturesAreDistributions) {
+  IntrusionGenerator gen(12);
+  for (size_t r = 0; r < gen.num_concepts(); ++r) {
+    const std::vector<double>& pmf = gen.regime_mixture(static_cast<int>(r));
+    double total = 0;
+    for (double p : pmf) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(IntrusionTest, ClassDrawsFollowRegimeMixture) {
+  IntrusionConfig config;
+  config.lambda = 0.0;  // stay in regime 0
+  IntrusionGenerator gen(13, config);
+  std::vector<int> counts(5, 0);
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<size_t>(gen.Next().label)];
+  }
+  const std::vector<double>& pmf = gen.regime_mixture(0);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_NEAR(counts[c] / static_cast<double>(kDraws), pmf[c], 0.02);
+  }
+}
+
+TEST(IntrusionTest, RegimesDifferInDominantClass) {
+  IntrusionGenerator gen(14);
+  std::set<size_t> dominants;
+  for (size_t r = 0; r < gen.num_concepts(); ++r) {
+    const std::vector<double>& pmf = gen.regime_mixture(static_cast<int>(r));
+    size_t best = 0;
+    for (size_t c = 1; c < pmf.size(); ++c) {
+      if (pmf[c] > pmf[best]) best = c;
+    }
+    dominants.insert(best);
+  }
+  EXPECT_GT(dominants.size(), 2u);  // bursts of different classes
+}
+
+TEST(IntrusionTest, DeterministicGivenSeed) {
+  IntrusionGenerator a(15), b(15);
+  for (int i = 0; i < 500; ++i) {
+    Record ra = a.Next();
+    Record rb = b.Next();
+    EXPECT_EQ(ra.values, rb.values);
+    EXPECT_EQ(ra.label, rb.label);
+  }
+}
+
+// -------------------------------------------------------------------- SEA
+
+TEST(SeaTest, SchemaAndOracle) {
+  SeaGenerator gen(51);
+  EXPECT_EQ(gen.schema()->num_attributes(), 3u);
+  EXPECT_EQ(gen.num_concepts(), 4u);
+  // Concept 0: positive iff x0 + x1 <= 8.
+  Record low({3.0, 4.0, 9.0}, kUnlabeled);
+  Record high({6.0, 5.0, 0.0}, kUnlabeled);
+  EXPECT_EQ(gen.TrueLabel(low, 0), 1);
+  EXPECT_EQ(gen.TrueLabel(high, 0), 0);
+  // Concept 3 (θ = 9.5) flips the borderline record.
+  Record border({4.0, 5.0, 1.0}, kUnlabeled);
+  EXPECT_EQ(gen.TrueLabel(border, 0), 0);
+  EXPECT_EQ(gen.TrueLabel(border, 3), 1);
+}
+
+TEST(SeaTest, NoiseRateMatchesConfig) {
+  SeaConfig config;
+  config.lambda = 0.0;
+  config.noise = 0.10;
+  SeaGenerator gen(52, config);
+  int flips = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    Record r = gen.Next();
+    if (r.label != gen.TrueLabel(r, 0)) ++flips;
+  }
+  EXPECT_NEAR(flips / static_cast<double>(kDraws), 0.10, 0.01);
+}
+
+TEST(SeaTest, ValuesInRangeAndDeterministic) {
+  SeaGenerator a(53), b(53);
+  for (int i = 0; i < 500; ++i) {
+    Record ra = a.Next();
+    Record rb = b.Next();
+    ASSERT_EQ(ra.values, rb.values);
+    for (double v : ra.values) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 10.0);
+    }
+  }
+}
+
+TEST(SeaTest, CustomThresholds) {
+  SeaConfig config;
+  config.thresholds = {2.0, 18.0};
+  config.lambda = 0.0;
+  config.noise = 0.0;
+  SeaGenerator gen(54, config);
+  EXPECT_EQ(gen.num_concepts(), 2u);
+  // θ = 18 labels everything positive (max sum is 20, most below 18).
+  Record r({9.0, 8.0, 0.0}, kUnlabeled);
+  EXPECT_EQ(gen.TrueLabel(r, 1), 1);
+  EXPECT_EQ(gen.TrueLabel(r, 0), 0);
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(TraceTest, ChangePointsAlignWithConceptIds) {
+  StaggerConfig config;
+  config.lambda = 0.02;
+  StaggerGenerator gen(16, config);
+  StreamTrace trace;
+  Dataset data = gen.Generate(5000, &trace);
+  ASSERT_EQ(trace.concept_ids.size(), 5000u);
+  ASSERT_EQ(trace.drifting.size(), 5000u);
+  ASSERT_FALSE(trace.change_points.empty());
+  EXPECT_EQ(trace.change_points[0], 0u);  // the first record starts a run
+  for (size_t k = 1; k < trace.change_points.size(); ++k) {
+    size_t cp = trace.change_points[k];
+    ASSERT_GT(cp, 0u);
+    EXPECT_NE(trace.concept_ids[cp], trace.concept_ids[cp - 1]);
+  }
+}
+
+TEST(TraceTest, TraceSpansMultipleGenerateCalls) {
+  StaggerConfig config;
+  config.lambda = 0.05;
+  StaggerGenerator gen(17, config);
+  StreamTrace trace;
+  gen.Generate(500, &trace);
+  gen.Generate(500, &trace);
+  EXPECT_EQ(trace.concept_ids.size(), 1000u);
+  // No spurious duplicate change point at the call boundary unless the
+  // concept actually changed there.
+  for (size_t k = 1; k < trace.change_points.size(); ++k) {
+    EXPECT_GT(trace.change_points[k], trace.change_points[k - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace hom
