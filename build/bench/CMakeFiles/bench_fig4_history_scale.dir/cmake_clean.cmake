@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_history_scale.dir/bench_fig4_history_scale.cc.o"
+  "CMakeFiles/bench_fig4_history_scale.dir/bench_fig4_history_scale.cc.o.d"
+  "bench_fig4_history_scale"
+  "bench_fig4_history_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_history_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/hom_bench_harness.dir/harness.cc.o.d"
+  "libhom_bench_harness.a"
+  "libhom_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

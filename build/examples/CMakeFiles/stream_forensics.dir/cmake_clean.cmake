@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_forensics.dir/stream_forensics.cpp.o"
+  "CMakeFiles/stream_forensics.dir/stream_forensics.cpp.o.d"
+  "stream_forensics"
+  "stream_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_monitoring.dir/system_monitoring.cpp.o"
+  "CMakeFiles/system_monitoring.dir/system_monitoring.cpp.o.d"
+  "system_monitoring"
+  "system_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

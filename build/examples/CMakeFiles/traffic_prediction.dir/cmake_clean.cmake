@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_prediction.dir/traffic_prediction.cpp.o"
+  "CMakeFiles/traffic_prediction.dir/traffic_prediction.cpp.o.d"
+  "traffic_prediction"
+  "traffic_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

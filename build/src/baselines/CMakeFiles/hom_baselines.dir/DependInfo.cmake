@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dwm.cc" "src/baselines/CMakeFiles/hom_baselines.dir/dwm.cc.o" "gcc" "src/baselines/CMakeFiles/hom_baselines.dir/dwm.cc.o.d"
+  "/root/repo/src/baselines/repro.cc" "src/baselines/CMakeFiles/hom_baselines.dir/repro.cc.o" "gcc" "src/baselines/CMakeFiles/hom_baselines.dir/repro.cc.o.d"
+  "/root/repo/src/baselines/simple.cc" "src/baselines/CMakeFiles/hom_baselines.dir/simple.cc.o" "gcc" "src/baselines/CMakeFiles/hom_baselines.dir/simple.cc.o.d"
+  "/root/repo/src/baselines/wce.cc" "src/baselines/CMakeFiles/hom_baselines.dir/wce.cc.o" "gcc" "src/baselines/CMakeFiles/hom_baselines.dir/wce.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hom_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/classifiers/CMakeFiles/hom_classifiers.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hom_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_baselines.dir/dwm.cc.o"
+  "CMakeFiles/hom_baselines.dir/dwm.cc.o.d"
+  "CMakeFiles/hom_baselines.dir/repro.cc.o"
+  "CMakeFiles/hom_baselines.dir/repro.cc.o.d"
+  "CMakeFiles/hom_baselines.dir/simple.cc.o"
+  "CMakeFiles/hom_baselines.dir/simple.cc.o.d"
+  "CMakeFiles/hom_baselines.dir/wce.cc.o"
+  "CMakeFiles/hom_baselines.dir/wce.cc.o.d"
+  "libhom_baselines.a"
+  "libhom_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhom_baselines.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classifiers/classifier.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/classifier.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/classifier.cc.o.d"
+  "/root/repo/src/classifiers/decision_tree.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/decision_tree.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/decision_tree.cc.o.d"
+  "/root/repo/src/classifiers/evaluation.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/evaluation.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/evaluation.cc.o.d"
+  "/root/repo/src/classifiers/hoeffding_tree.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/hoeffding_tree.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/hoeffding_tree.cc.o.d"
+  "/root/repo/src/classifiers/incremental.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/incremental.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/incremental.cc.o.d"
+  "/root/repo/src/classifiers/incremental_naive_bayes.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/incremental_naive_bayes.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/incremental_naive_bayes.cc.o.d"
+  "/root/repo/src/classifiers/majority.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/majority.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/majority.cc.o.d"
+  "/root/repo/src/classifiers/naive_bayes.cc" "src/classifiers/CMakeFiles/hom_classifiers.dir/naive_bayes.cc.o" "gcc" "src/classifiers/CMakeFiles/hom_classifiers.dir/naive_bayes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hom_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

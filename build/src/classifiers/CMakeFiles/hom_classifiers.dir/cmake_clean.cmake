@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_classifiers.dir/classifier.cc.o"
+  "CMakeFiles/hom_classifiers.dir/classifier.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/decision_tree.cc.o"
+  "CMakeFiles/hom_classifiers.dir/decision_tree.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/evaluation.cc.o"
+  "CMakeFiles/hom_classifiers.dir/evaluation.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/hoeffding_tree.cc.o"
+  "CMakeFiles/hom_classifiers.dir/hoeffding_tree.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/incremental.cc.o"
+  "CMakeFiles/hom_classifiers.dir/incremental.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/incremental_naive_bayes.cc.o"
+  "CMakeFiles/hom_classifiers.dir/incremental_naive_bayes.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/majority.cc.o"
+  "CMakeFiles/hom_classifiers.dir/majority.cc.o.d"
+  "CMakeFiles/hom_classifiers.dir/naive_bayes.cc.o"
+  "CMakeFiles/hom_classifiers.dir/naive_bayes.cc.o.d"
+  "libhom_classifiers.a"
+  "libhom_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

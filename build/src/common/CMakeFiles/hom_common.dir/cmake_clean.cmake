@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_common.dir/binary_io.cc.o"
+  "CMakeFiles/hom_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/hom_common.dir/logging.cc.o"
+  "CMakeFiles/hom_common.dir/logging.cc.o.d"
+  "CMakeFiles/hom_common.dir/rng.cc.o"
+  "CMakeFiles/hom_common.dir/rng.cc.o.d"
+  "CMakeFiles/hom_common.dir/status.cc.o"
+  "CMakeFiles/hom_common.dir/status.cc.o.d"
+  "CMakeFiles/hom_common.dir/zipf.cc.o"
+  "CMakeFiles/hom_common.dir/zipf.cc.o.d"
+  "libhom_common.a"
+  "libhom_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

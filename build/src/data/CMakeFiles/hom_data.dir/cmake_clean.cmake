@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_data.dir/dataset.cc.o"
+  "CMakeFiles/hom_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hom_data.dir/dataset_view.cc.o"
+  "CMakeFiles/hom_data.dir/dataset_view.cc.o.d"
+  "CMakeFiles/hom_data.dir/io.cc.o"
+  "CMakeFiles/hom_data.dir/io.cc.o.d"
+  "CMakeFiles/hom_data.dir/schema.cc.o"
+  "CMakeFiles/hom_data.dir/schema.cc.o.d"
+  "libhom_data.a"
+  "libhom_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

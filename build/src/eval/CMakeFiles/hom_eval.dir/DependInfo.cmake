@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/prequential.cc" "src/eval/CMakeFiles/hom_eval.dir/prequential.cc.o" "gcc" "src/eval/CMakeFiles/hom_eval.dir/prequential.cc.o.d"
+  "/root/repo/src/eval/selective_labeling.cc" "src/eval/CMakeFiles/hom_eval.dir/selective_labeling.cc.o" "gcc" "src/eval/CMakeFiles/hom_eval.dir/selective_labeling.cc.o.d"
+  "/root/repo/src/eval/stream_classifier.cc" "src/eval/CMakeFiles/hom_eval.dir/stream_classifier.cc.o" "gcc" "src/eval/CMakeFiles/hom_eval.dir/stream_classifier.cc.o.d"
+  "/root/repo/src/eval/trace.cc" "src/eval/CMakeFiles/hom_eval.dir/trace.cc.o" "gcc" "src/eval/CMakeFiles/hom_eval.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hom_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

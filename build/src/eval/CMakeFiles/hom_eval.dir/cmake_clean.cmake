@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_eval.dir/prequential.cc.o"
+  "CMakeFiles/hom_eval.dir/prequential.cc.o.d"
+  "CMakeFiles/hom_eval.dir/selective_labeling.cc.o"
+  "CMakeFiles/hom_eval.dir/selective_labeling.cc.o.d"
+  "CMakeFiles/hom_eval.dir/stream_classifier.cc.o"
+  "CMakeFiles/hom_eval.dir/stream_classifier.cc.o.d"
+  "CMakeFiles/hom_eval.dir/trace.cc.o"
+  "CMakeFiles/hom_eval.dir/trace.cc.o.d"
+  "libhom_eval.a"
+  "libhom_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/highorder/active_probability.cc" "src/highorder/CMakeFiles/hom_highorder.dir/active_probability.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/active_probability.cc.o.d"
+  "/root/repo/src/highorder/block_partition.cc" "src/highorder/CMakeFiles/hom_highorder.dir/block_partition.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/block_partition.cc.o.d"
+  "/root/repo/src/highorder/builder.cc" "src/highorder/CMakeFiles/hom_highorder.dir/builder.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/builder.cc.o.d"
+  "/root/repo/src/highorder/concept_clustering.cc" "src/highorder/CMakeFiles/hom_highorder.dir/concept_clustering.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/concept_clustering.cc.o.d"
+  "/root/repo/src/highorder/concept_stats.cc" "src/highorder/CMakeFiles/hom_highorder.dir/concept_stats.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/concept_stats.cc.o.d"
+  "/root/repo/src/highorder/dendrogram.cc" "src/highorder/CMakeFiles/hom_highorder.dir/dendrogram.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/dendrogram.cc.o.d"
+  "/root/repo/src/highorder/highorder_classifier.cc" "src/highorder/CMakeFiles/hom_highorder.dir/highorder_classifier.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/highorder_classifier.cc.o.d"
+  "/root/repo/src/highorder/hmm.cc" "src/highorder/CMakeFiles/hom_highorder.dir/hmm.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/hmm.cc.o.d"
+  "/root/repo/src/highorder/merge_queue.cc" "src/highorder/CMakeFiles/hom_highorder.dir/merge_queue.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/merge_queue.cc.o.d"
+  "/root/repo/src/highorder/serialization.cc" "src/highorder/CMakeFiles/hom_highorder.dir/serialization.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/serialization.cc.o.d"
+  "/root/repo/src/highorder/uncertainty_labeling.cc" "src/highorder/CMakeFiles/hom_highorder.dir/uncertainty_labeling.cc.o" "gcc" "src/highorder/CMakeFiles/hom_highorder.dir/uncertainty_labeling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hom_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/classifiers/CMakeFiles/hom_classifiers.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hom_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_highorder.dir/active_probability.cc.o"
+  "CMakeFiles/hom_highorder.dir/active_probability.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/block_partition.cc.o"
+  "CMakeFiles/hom_highorder.dir/block_partition.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/builder.cc.o"
+  "CMakeFiles/hom_highorder.dir/builder.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/concept_clustering.cc.o"
+  "CMakeFiles/hom_highorder.dir/concept_clustering.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/concept_stats.cc.o"
+  "CMakeFiles/hom_highorder.dir/concept_stats.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/dendrogram.cc.o"
+  "CMakeFiles/hom_highorder.dir/dendrogram.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/highorder_classifier.cc.o"
+  "CMakeFiles/hom_highorder.dir/highorder_classifier.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/hmm.cc.o"
+  "CMakeFiles/hom_highorder.dir/hmm.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/merge_queue.cc.o"
+  "CMakeFiles/hom_highorder.dir/merge_queue.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/serialization.cc.o"
+  "CMakeFiles/hom_highorder.dir/serialization.cc.o.d"
+  "CMakeFiles/hom_highorder.dir/uncertainty_labeling.cc.o"
+  "CMakeFiles/hom_highorder.dir/uncertainty_labeling.cc.o.d"
+  "libhom_highorder.a"
+  "libhom_highorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_highorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

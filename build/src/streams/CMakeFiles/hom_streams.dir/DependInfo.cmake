@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streams/concept_schedule.cc" "src/streams/CMakeFiles/hom_streams.dir/concept_schedule.cc.o" "gcc" "src/streams/CMakeFiles/hom_streams.dir/concept_schedule.cc.o.d"
+  "/root/repo/src/streams/generator.cc" "src/streams/CMakeFiles/hom_streams.dir/generator.cc.o" "gcc" "src/streams/CMakeFiles/hom_streams.dir/generator.cc.o.d"
+  "/root/repo/src/streams/hyperplane.cc" "src/streams/CMakeFiles/hom_streams.dir/hyperplane.cc.o" "gcc" "src/streams/CMakeFiles/hom_streams.dir/hyperplane.cc.o.d"
+  "/root/repo/src/streams/intrusion.cc" "src/streams/CMakeFiles/hom_streams.dir/intrusion.cc.o" "gcc" "src/streams/CMakeFiles/hom_streams.dir/intrusion.cc.o.d"
+  "/root/repo/src/streams/sea.cc" "src/streams/CMakeFiles/hom_streams.dir/sea.cc.o" "gcc" "src/streams/CMakeFiles/hom_streams.dir/sea.cc.o.d"
+  "/root/repo/src/streams/stagger.cc" "src/streams/CMakeFiles/hom_streams.dir/stagger.cc.o" "gcc" "src/streams/CMakeFiles/hom_streams.dir/stagger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hom_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

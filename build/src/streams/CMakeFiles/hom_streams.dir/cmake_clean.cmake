@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hom_streams.dir/concept_schedule.cc.o"
+  "CMakeFiles/hom_streams.dir/concept_schedule.cc.o.d"
+  "CMakeFiles/hom_streams.dir/generator.cc.o"
+  "CMakeFiles/hom_streams.dir/generator.cc.o.d"
+  "CMakeFiles/hom_streams.dir/hyperplane.cc.o"
+  "CMakeFiles/hom_streams.dir/hyperplane.cc.o.d"
+  "CMakeFiles/hom_streams.dir/intrusion.cc.o"
+  "CMakeFiles/hom_streams.dir/intrusion.cc.o.d"
+  "CMakeFiles/hom_streams.dir/sea.cc.o"
+  "CMakeFiles/hom_streams.dir/sea.cc.o.d"
+  "CMakeFiles/hom_streams.dir/stagger.cc.o"
+  "CMakeFiles/hom_streams.dir/stagger.cc.o.d"
+  "libhom_streams.a"
+  "libhom_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hom_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highorder_test.dir/highorder_test.cc.o"
+  "CMakeFiles/highorder_test.dir/highorder_test.cc.o.d"
+  "highorder_test"
+  "highorder_test.pdb"
+  "highorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_baselines_test.dir/online_baselines_test.cc.o"
+  "CMakeFiles/online_baselines_test.dir/online_baselines_test.cc.o.d"
+  "online_baselines_test"
+  "online_baselines_test.pdb"
+  "online_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

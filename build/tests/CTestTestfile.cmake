@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/classifiers_test[1]_include.cmake")
+include("/root/repo/build/tests/streams_test[1]_include.cmake")
+include("/root/repo/build/tests/highorder_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/hmm_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/online_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/labeling_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homctl.dir/homctl.cc.o"
+  "CMakeFiles/homctl.dir/homctl.cc.o.d"
+  "homctl"
+  "homctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
