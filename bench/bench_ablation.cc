@@ -31,6 +31,7 @@ using hom::Rng;
 using hom::RunPrequential;
 using hom::Stopwatch;
 using hom::TrainHoldout;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
@@ -40,7 +41,7 @@ struct Variant {
 };
 
 void RunVariant(const Variant& variant, const Dataset& history,
-                const Dataset& test) {
+                const Dataset& test, BenchReporter* reporter) {
   Rng rng(99);
   HighOrderModelBuilder builder(DecisionTree::Factory(), variant.config);
   HighOrderBuildReport report;
@@ -50,6 +51,7 @@ void RunVariant(const Variant& variant, const Dataset& history,
                 clf.status().ToString().c_str());
     return;
   }
+  hom::bench::AccumulatedBuildPhases().MergeFrom(report.phases);
   auto result = RunPrequential(clf->get(), test);
   double evals_per_record =
       static_cast<double>((*clf)->base_evaluations()) /
@@ -58,6 +60,12 @@ void RunVariant(const Variant& variant, const Dataset& history,
               "evals/rec=%.2f\n",
               variant.name, result.error_rate(), result.seconds,
               report.build_seconds, report.num_concepts, evals_per_record);
+  reporter->AddValue(variant.name, "error", result.error_rate());
+  reporter->AddValue(variant.name, "test_seconds", result.seconds);
+  reporter->AddValue(variant.name, "build_seconds", report.build_seconds);
+  reporter->AddValue(variant.name, "num_concepts",
+                     static_cast<double>(report.num_concepts));
+  reporter->AddValue(variant.name, "evals_per_record", evals_per_record);
 }
 
 }  // namespace
@@ -117,7 +125,9 @@ int main() {
     v.config.clustering.reuse_on_unbalanced_merge = false;
     variants.push_back(v);
   }
-  for (const Variant& v : variants) RunVariant(v, history, test);
+  BenchReporter reporter("bench_ablation");
+  reporter.SetScale(scale);
+  for (const Variant& v : variants) RunVariant(v, history, test, &reporter);
 
   // Holdout vs k-fold scoring cost (footnote 1 of the paper): score the
   // same 2000-record cluster both ways.
@@ -138,5 +148,11 @@ int main() {
   double kfold_s = sw.ElapsedSeconds() / 20;
   std::printf("holdout: %.4fs per evaluation; 5-fold: %.4fs (%.1fx)\n",
               holdout_s, kfold_s, kfold_s / holdout_s);
+  reporter.AddValue("objective_scoring", "holdout_seconds", holdout_s);
+  reporter.AddValue("objective_scoring", "kfold_seconds", kfold_s);
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -24,6 +24,7 @@
 namespace {
 
 using namespace hom;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
@@ -34,7 +35,7 @@ struct Row {
 };
 
 void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
-               size_t test_size, uint64_t seed) {
+               size_t test_size, uint64_t seed, BenchReporter* reporter) {
   Dataset history = gen->Generate(history_size);
   Dataset test = gen->Generate(test_size);
   std::vector<Row> rows;
@@ -91,6 +92,9 @@ void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
   PrintRule(46);
   for (const Row& row : rows) {
     std::printf("%-20s %12.5f %12.4f\n", row.name, row.error, row.seconds);
+    std::string key = std::string(name) + "/" + row.name;
+    reporter->AddValue(key, "error", row.error);
+    reporter->AddValue(key, "test_seconds", row.seconds);
   }
   std::printf("\n");
 }
@@ -99,22 +103,24 @@ void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
 
 int main() {
   Scale scale = Scale::FromEnvironment();
+  BenchReporter reporter("bench_extended");
+  reporter.SetScale(scale);
   {
     StaggerGenerator gen(81001);
     RunStream("Stagger", &gen, scale.stagger_history, scale.stagger_test,
-              91);
+              91, &reporter);
   }
   {
     HyperplaneGenerator gen(81002);
     RunStream("Hyperplane", &gen, scale.hyperplane_history,
-              scale.hyperplane_test, 92);
+              scale.hyperplane_test, 92, &reporter);
   }
   {
     IntrusionConfig config;
     config.lambda = scale.intrusion_lambda;
     IntrusionGenerator gen(81003, config);
     RunStream("Intrusion", &gen, scale.intrusion_history,
-              scale.intrusion_test, 93);
+              scale.intrusion_test, 93, &reporter);
   }
   {
     // SEA (Street & Kim, the paper's reference [2]): 10% class noise
@@ -123,7 +129,11 @@ int main() {
     config.lambda = 0.002;
     SeaGenerator gen(81004, config);
     RunStream("SEA (10% noise)", &gen, scale.stagger_history,
-              scale.stagger_test, 94);
+              scale.stagger_test, 94, &reporter);
+  }
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -30,6 +30,7 @@ using hom::Rng;
 using hom::RunPrequential;
 using hom::StreamGenerator;
 using hom::Wce;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
@@ -70,7 +71,8 @@ Point RunPoint(StreamGenerator* gen, size_t history_size, size_t test_size,
 void Sweep(const char* stream, size_t history_size, size_t test_size,
            size_t runs,
            const std::function<std::unique_ptr<StreamGenerator>(
-               double lambda, uint64_t seed)>& make) {
+               double lambda, uint64_t seed)>& make,
+           BenchReporter* reporter) {
   std::printf("== Figure 3 (%s): error & test time vs 1/changing-rate ==\n",
               stream);
   std::printf("%10s | %12s %12s %12s | %10s %10s %10s\n", "1/rate",
@@ -92,6 +94,15 @@ void Sweep(const char* stream, size_t history_size, size_t test_size,
     std::printf("%10zu | %12.5f %12.5f %12.5f | %10.4f %10.4f %10.4f\n",
                 inv_rate, avg.error[0], avg.error[1], avg.error[2],
                 avg.seconds[0], avg.seconds[1], avg.seconds[2]);
+    std::string row = std::string(stream) + "/inv_rate=" +
+                      std::to_string(inv_rate);
+    const char* algos[] = {"high_order", "repro", "wce"};
+    for (size_t a = 0; a < 3; ++a) {
+      reporter->AddValue(row, std::string(algos[a]) + "_error",
+                         avg.error[a]);
+      reporter->AddValue(row, std::string(algos[a]) + "_seconds",
+                         avg.seconds[a]);
+    }
   }
   std::printf("\n");
 }
@@ -100,18 +111,26 @@ void Sweep(const char* stream, size_t history_size, size_t test_size,
 
 int main() {
   Scale scale = Scale::FromEnvironment();
+  BenchReporter reporter("bench_fig3_changing_rate");
+  reporter.SetScale(scale);
   Sweep("Stagger", scale.stagger_history, scale.stagger_test, scale.runs,
         [](double lambda, uint64_t seed) -> std::unique_ptr<StreamGenerator> {
           hom::StaggerConfig config;
           config.lambda = lambda;
           return std::make_unique<hom::StaggerGenerator>(seed, config);
-        });
+        },
+        &reporter);
   Sweep("Hyperplane", scale.hyperplane_history, scale.hyperplane_test,
         scale.runs,
         [](double lambda, uint64_t seed) -> std::unique_ptr<StreamGenerator> {
           hom::HyperplaneConfig config;
           config.lambda = lambda;
           return std::make_unique<hom::HyperplaneGenerator>(seed, config);
-        });
+        },
+        &reporter);
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

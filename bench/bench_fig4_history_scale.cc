@@ -17,6 +17,7 @@
 namespace {
 
 using hom::StreamGenerator;
+using hom::bench::BenchReporter;
 using hom::bench::CellResult;
 using hom::bench::PrintRule;
 using hom::bench::RunHighOrderOnly;
@@ -24,7 +25,8 @@ using hom::bench::Scale;
 
 void Sweep(const char* stream, const std::vector<size_t>& sizes,
            size_t test_size, size_t runs,
-           const hom::bench::GeneratorFactory& make) {
+           const hom::bench::GeneratorFactory& make,
+           BenchReporter* reporter) {
   std::printf(
       "== Figure 4 (%s): error / build time / test time vs history size "
       "==\n",
@@ -37,6 +39,8 @@ void Sweep(const char* stream, const std::vector<size_t>& sizes,
                                        41000 + size);
     std::printf("%12zu %12.5f %12.4f %12.4f %12.1f\n", size, cell.error,
                 cell.build_seconds, cell.test_seconds, cell.num_concepts);
+    reporter->AddCell(
+        std::string(stream) + "/history=" + std::to_string(size), cell);
   }
   std::printf("\n");
 }
@@ -52,13 +56,21 @@ int main() {
     sizes = {2500, 5000, 10000, 20000, 30000, 40000};
   }
 
+  BenchReporter reporter("bench_fig4_history_scale");
+  reporter.SetScale(scale);
   Sweep("Stagger", sizes, scale.stagger_test, scale.runs,
         [](uint64_t seed) -> std::unique_ptr<StreamGenerator> {
           return std::make_unique<hom::StaggerGenerator>(seed);
-        });
+        },
+        &reporter);
   Sweep("Hyperplane", sizes, scale.hyperplane_test, scale.runs,
         [](uint64_t seed) -> std::unique_ptr<StreamGenerator> {
           return std::make_unique<hom::HyperplaneGenerator>(seed);
-        });
+        },
+        &reporter);
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

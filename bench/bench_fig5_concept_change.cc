@@ -34,12 +34,13 @@ using hom::StreamClassifier;
 using hom::StreamGenerator;
 using hom::StreamTrace;
 using hom::Wce;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
 void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
                size_t test_size, size_t before, size_t after,
-               uint64_t seed) {
+               uint64_t seed, BenchReporter* reporter) {
   Dataset history = gen->Generate(history_size);
   StreamTrace trace;
   Dataset test = gen->Generate(test_size, &trace);
@@ -94,12 +95,29 @@ void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
                 avg[0], avg[1], avg[2]);
   }
   std::printf("\n");
+
+  const char* algos[] = {"high_order", "repro", "wce"};
+  for (size_t a = 0; a < 3; ++a) {
+    double pre = 0.0;
+    double post = 0.0;
+    for (size_t i = 0; i < before; ++i) pre += means[a][i];
+    for (size_t i = before; i < before + after; ++i) post += means[a][i];
+    std::string row = std::string(name) + "/" + algos[a];
+    reporter->AddValue(row, "mean_error_before_change",
+                       pre / static_cast<double>(before));
+    reporter->AddValue(row, "mean_error_after_change",
+                       post / static_cast<double>(after));
+    reporter->AddValue(row, "aligned_windows",
+                       static_cast<double>(accs[a].num_windows()));
+  }
 }
 
 }  // namespace
 
 int main() {
   Scale scale = Scale::FromEnvironment();
+  BenchReporter reporter("bench_fig5_concept_change");
+  reporter.SetScale(scale);
   {
     // More frequent changes than the default stream so a reduced-scale run
     // still aligns many windows (the paper averages 1000 runs instead).
@@ -107,14 +125,18 @@ int main() {
     config.lambda = 0.002;
     hom::StaggerGenerator gen(51001, config);
     RunStream("Stagger", &gen, scale.stagger_history,
-              scale.stagger_test, 50, 150, 61);
+              scale.stagger_test, 50, 150, 61, &reporter);
   }
   {
     hom::HyperplaneConfig config;
     config.lambda = 0.002;
     hom::HyperplaneGenerator gen(51002, config);
     RunStream("Hyperplane", &gen, scale.hyperplane_history,
-              scale.hyperplane_test, 50, 250, 62);
+              scale.hyperplane_test, 50, 250, 62, &reporter);
+  }
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -28,6 +28,7 @@ using hom::Record;
 using hom::Rng;
 using hom::StreamGenerator;
 using hom::StreamTrace;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
@@ -57,7 +58,8 @@ std::vector<int> MapConceptsToTruth(
 
 void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
                size_t test_size, size_t before, size_t after, uint64_t seed,
-               const std::function<hom::Label(const Record&, int)>& oracle) {
+               const std::function<hom::Label(const Record&, int)>& oracle,
+               BenchReporter* reporter) {
   Dataset history = gen->Generate(history_size);
   StreamTrace trace;
   Dataset test = gen->Generate(test_size, &trace);
@@ -135,12 +137,27 @@ void RunStream(const char* name, StreamGenerator* gen, size_t history_size,
                 ao / kBucket, an / kBucket);
   }
   std::printf("\n");
+
+  double old_after = 0.0;
+  double new_after = 0.0;
+  for (size_t i = before; i < before + after; ++i) {
+    old_after += mo[i];
+    new_after += mn[i];
+  }
+  reporter->AddValue(name, "p_old_after_change",
+                     old_after / static_cast<double>(after));
+  reporter->AddValue(name, "p_new_after_change",
+                     new_after / static_cast<double>(after));
+  reporter->AddValue(name, "aligned_windows",
+                     static_cast<double>(acc_new.num_windows()));
 }
 
 }  // namespace
 
 int main() {
   Scale scale = Scale::FromEnvironment();
+  BenchReporter reporter("bench_fig6_active_probability");
+  reporter.SetScale(scale);
   {
     hom::StaggerConfig config;
     config.lambda = 0.002;
@@ -149,7 +166,8 @@ int main() {
               20, 60, 71,
               [](const Record& r, int c) {
                 return hom::StaggerGenerator::TrueLabel(r, c);
-              });
+              },
+              &reporter);
   }
   {
     hom::HyperplaneConfig config;
@@ -162,7 +180,12 @@ int main() {
               [&oracle_gen](const Record& r, int c) {
                 return hom::HyperplaneGenerator::LabelFor(
                     r.values, oracle_gen.concept_weights(c));
-              });
+              },
+              &reporter);
+  }
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -24,6 +24,7 @@
 namespace {
 
 using namespace hom;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
@@ -129,19 +130,27 @@ int main() {
   // Decoder 3: Viterbi path.
   auto viterbi = hmm.Viterbi(psi);
 
+  BenchReporter reporter("bench_hmm");
+  reporter.SetScale(scale);
   std::printf("== HMM extension: concept identification accuracy "
               "(%zu records, %zu concepts) ==\n",
               test.size(), n);
   PrintRule(60);
   std::printf("%-28s %10.4f\n", "online filter (paper)",
               Accuracy(filtered, mapping, trace.concept_ids));
+  reporter.AddValue("decoder/online_filter", "accuracy",
+                    Accuracy(filtered, mapping, trace.concept_ids));
   if (gamma.ok()) {
     std::printf("%-28s %10.4f\n", "forward-backward smoothing",
                 Accuracy(smoothed, mapping, trace.concept_ids));
+    reporter.AddValue("decoder/forward_backward", "accuracy",
+                      Accuracy(smoothed, mapping, trace.concept_ids));
   }
   if (viterbi.ok()) {
     std::printf("%-28s %10.4f\n", "Viterbi path",
                 Accuracy(*viterbi, mapping, trace.concept_ids));
+    reporter.AddValue("decoder/viterbi", "accuracy",
+                      Accuracy(*viterbi, mapping, trace.concept_ids));
   }
 
   // Baum-Welch: refine Len/Freq from the unsegmented stream and check the
@@ -152,6 +161,8 @@ int main() {
     auto ll = model.LogLikelihood(psi);
     std::printf("iteration %d: log-likelihood %.1f", iter,
                 ll.ok() ? *ll : 0.0);
+    reporter.AddValue("baum_welch/iteration=" + std::to_string(iter),
+                      "log_likelihood", ll.ok() ? *ll : 0.0);
     for (size_t c = 0; c < n; ++c) {
       std::printf("  Len[%zu]=%.0f", c, model.stats().mean_length(c));
     }
@@ -159,6 +170,10 @@ int main() {
     auto refined = model.BaumWelchStep(psi);
     if (!refined.ok()) break;
     model = std::move(*refined);
+  }
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
   }
   return 0;
 }

@@ -20,6 +20,7 @@
 namespace {
 
 using namespace hom;
+using hom::bench::BenchReporter;
 using hom::bench::PrintRule;
 using hom::bench::Scale;
 
@@ -34,6 +35,8 @@ int main() {
   Dataset test = gen.Generate(scale.stagger_test);
 
   HighOrderModelBuilder builder(DecisionTree::Factory());
+  BenchReporter reporter("bench_labeling");
+  reporter.SetScale(scale);
 
   std::printf("== Labeling budget vs error (Stagger, %zu test records) ==\n",
               test.size());
@@ -50,6 +53,8 @@ int main() {
     std::snprintf(label, sizeof(label), "random %.1f%%", 100 * fraction);
     std::printf("%-24s %13.1f%% %12.5f\n", label,
                 100 * res.label_fraction(), res.error_rate());
+    reporter.AddValue(label, "label_fraction", res.label_fraction());
+    reporter.AddValue(label, "error", res.error_rate());
   }
 
   for (double trickle : {0.05, 0.02, 0.005}) {
@@ -64,11 +69,17 @@ int main() {
     std::snprintf(label, sizeof(label), "uncertainty (t=%.3f)", trickle);
     std::printf("%-24s %13.1f%% %12.5f\n", label,
                 100 * res.label_fraction(), res.error_rate());
+    reporter.AddValue(label, "label_fraction", res.label_fraction());
+    reporter.AddValue(label, "error", res.error_rate());
   }
   std::printf(
       "\nReading: with label-only feedback, detection delay ~1/trickle"
       "\ndominates the error, so compare each uncertainty row against the"
       "\nrandom row of EQUAL budget: the burst resolves a detected change"
       "\nin ~15 records where random needs ~3/fraction records.\n");
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

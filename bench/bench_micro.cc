@@ -1,14 +1,23 @@
 // Micro-benchmarks (google-benchmark) for the hot paths: base classifier
 // training and prediction, the active-probability tracker, the stream
-// generators, and the Zipf sampler.
+// generators, and the Zipf sampler — plus one end-to-end high-order build.
+//
+// After the google-benchmark run, main() executes an instrumented
+// default-scale Stagger build + prequential evaluation and writes the
+// telemetry (per-phase build timings, step-1/step-2 optimization counters,
+// similarity-cache hit rate) to bench_output/bench_micro.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench/harness.h"
 #include "classifiers/decision_tree.h"
 #include "classifiers/naive_bayes.h"
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "highorder/active_probability.h"
+#include "highorder/builder.h"
 #include "streams/hyperplane.h"
 #include "streams/intrusion.h"
 #include "streams/stagger.h"
@@ -128,7 +137,44 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample)->Arg(4)->Arg(64);
 
+void BM_HighOrderBuildStagger(benchmark::State& state) {
+  StaggerGenerator gen(6);
+  Dataset history = gen.Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(7);
+    HighOrderModelBuilder builder(DecisionTree::Factory());
+    auto clf = builder.Build(history, &rng);
+    benchmark::DoNotOptimize(clf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HighOrderBuildStagger)->Arg(2000)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace hom
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Telemetry pass: one instrumented default-scale Stagger pipeline run
+  // (build + prequential), reported with the process-wide metrics snapshot
+  // and the merged build phase tree.
+  hom::bench::Scale scale = hom::bench::Scale::FromEnvironment();
+  hom::bench::CellResult cell = hom::bench::RunHighOrderOnly(
+      [](uint64_t seed) -> std::unique_ptr<hom::StreamGenerator> {
+        return std::make_unique<hom::StaggerGenerator>(seed);
+      },
+      scale.stagger_history, scale.stagger_test, 1, 9500);
+
+  hom::bench::BenchReporter reporter("bench_micro");
+  reporter.SetScale(scale);
+  reporter.AddCell("Stagger/High-order", cell);
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

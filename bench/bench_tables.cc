@@ -17,6 +17,7 @@
 
 namespace {
 
+using hom::bench::BenchReporter;
 using hom::bench::CellResult;
 using hom::bench::GeneratorFactory;
 using hom::bench::kAlgorithms;
@@ -116,5 +117,18 @@ int main() {
   }
   std::printf("\n(RePro concepts discovered online: Stagger %.1f)\n",
               cells[0][1].num_concepts);
+
+  BenchReporter reporter("bench_tables");
+  reporter.SetScale(scale);
+  for (size_t i = 0; i < streams.size(); ++i) {
+    for (size_t a = 0; a < 3; ++a) {
+      reporter.AddCell(std::string(streams[i].name) + "/" + kAlgorithms[a],
+                       cells[i][a]);
+    }
+  }
+  if (auto status = reporter.WriteJson(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -3,11 +3,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "baselines/repro.h"
 #include "baselines/wce.h"
 #include "classifiers/decision_tree.h"
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace hom::bench {
 
@@ -44,6 +47,7 @@ CellResult BuildAndRunHighOrder(const Dataset& history, const Dataset& test,
   HighOrderBuildReport report;
   auto clf = builder.Build(history, &rng, &report);
   HOM_CHECK(clf.ok()) << clf.status().ToString();
+  AccumulatedBuildPhases().MergeFrom(report.phases);
   PrequentialResult result = RunPrequential(clf->get(), test);
   CellResult cell;
   cell.error = result.error_rate();
@@ -130,6 +134,82 @@ CellResult RunHighOrderOnly(const GeneratorFactory& make_generator,
 void PrintRule(size_t width) {
   for (size_t i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+obs::PhaseNode& AccumulatedBuildPhases() {
+  static obs::PhaseNode* accumulated = [] {
+    auto* node = new obs::PhaseNode;
+    node->name = "build";
+    return node;
+  }();
+  return *accumulated;
+}
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
+
+void BenchReporter::SetScale(const Scale& scale) {
+  scale_ = obs::JsonValue::Object();
+  scale_.Set("mode", scale.is_paper_scale ? "paper" : "reduced");
+  scale_.Set("runs", static_cast<uint64_t>(scale.runs));
+}
+
+void BenchReporter::AddValue(const std::string& result_name,
+                             const std::string& key, double value) {
+  for (auto& [row_name, values] : results_) {
+    if (row_name == result_name) {
+      values.Set(key, value);
+      return;
+    }
+  }
+  obs::JsonValue values = obs::JsonValue::Object();
+  values.Set(key, value);
+  results_.emplace_back(result_name, std::move(values));
+}
+
+void BenchReporter::AddCell(const std::string& result_name,
+                            const CellResult& cell) {
+  AddValue(result_name, "error", cell.error);
+  AddValue(result_name, "test_seconds", cell.test_seconds);
+  AddValue(result_name, "build_seconds", cell.build_seconds);
+  AddValue(result_name, "num_concepts", cell.num_concepts);
+  AddValue(result_name, "major_concepts", cell.major_concepts);
+}
+
+std::string BenchReporter::output_path() const {
+  return "bench_output/" + name_ + ".json";
+}
+
+Status BenchReporter::WriteJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("name", name_);
+  doc.Set("scale", scale_);
+  obs::JsonValue results = obs::JsonValue::Array();
+  for (const auto& [row_name, values] : results_) {
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("name", row_name);
+    row.Set("values", values);
+    results.Append(std::move(row));
+  }
+  doc.Set("results", std::move(results));
+  doc.Set("metrics", obs::MetricsRegistry::Global().Snapshot().ToJson());
+  const obs::PhaseNode& phases = AccumulatedBuildPhases();
+  doc.Set("phases",
+          phases.count > 0 ? phases.ToJson() : obs::JsonValue());
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_output", ec);
+  if (ec) {
+    return Status::Internal("cannot create bench_output/: " + ec.message());
+  }
+  std::string path = output_path();
+  std::ofstream out(path, std::ios::trunc);
+  out << doc.Dump(2) << "\n";
+  if (!out) {
+    return Status::Internal("failed writing " + path);
+  }
+  std::printf("telemetry: wrote %s\n", path.c_str());
+  return Status::OK();
 }
 
 }  // namespace hom::bench

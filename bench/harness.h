@@ -4,11 +4,15 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
 #include "eval/prequential.h"
 #include "highorder/builder.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 #include "streams/generator.h"
 
 namespace hom::bench {
@@ -65,6 +69,57 @@ CellResult RunHighOrderOnly(const GeneratorFactory& make_generator,
 
 /// Prints a one-line table header/divider helper.
 void PrintRule(size_t width);
+
+/// Phase tree accumulated (PhaseNode::MergeFrom) across every high-order
+/// build this process has run; feeds the "phases" field of the bench JSON.
+/// Root name "build"; count 0 until the first instrumented build.
+obs::PhaseNode& AccumulatedBuildPhases();
+
+/// \brief Collects a bench binary's measurements and writes them as
+/// machine-readable telemetry to `bench_output/<name>.json` in the current
+/// working directory (validated by tools/check_bench_json.py).
+///
+/// Schema (schema_version 1):
+///   {
+///     "schema_version": 1,
+///     "name": "<bench binary>",
+///     "scale": {"mode": "reduced"|"paper", "runs": N},
+///     "results": [{"name": "<row>", "values": {"<key>": number, ...}}],
+///     "metrics": <MetricsSnapshot::ToJson()>,
+///     "phases": <PhaseNode::ToJson() of the merged build tree> | null
+///   }
+///
+/// Rows appear in first-AddValue order, keys in insertion order, so the
+/// emitted file diffs cleanly between runs.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name);
+
+  /// Records the run scale in the output header.
+  void SetScale(const Scale& scale);
+
+  /// Adds `key = value` to the row `result_name`, creating the row on
+  /// first use. Re-setting a key overwrites it.
+  void AddValue(const std::string& result_name, const std::string& key,
+                double value);
+
+  /// Expands a table cell into the row `result_name` (error, test_seconds,
+  /// build_seconds, num_concepts, major_concepts).
+  void AddCell(const std::string& result_name, const CellResult& cell);
+
+  /// Serializes results + the global metrics snapshot + the accumulated
+  /// build phase tree to bench_output/<name>.json (directory created on
+  /// demand) and prints the path.
+  Status WriteJson() const;
+
+  /// The file WriteJson targets: bench_output/<name>.json.
+  std::string output_path() const;
+
+ private:
+  std::string name_;
+  obs::JsonValue scale_;  ///< null until SetScale.
+  std::vector<std::pair<std::string, obs::JsonValue>> results_;
+};
 
 }  // namespace hom::bench
 

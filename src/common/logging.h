@@ -1,9 +1,11 @@
 #ifndef HOM_COMMON_LOGGING_H_
 #define HOM_COMMON_LOGGING_H_
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hom {
 
@@ -22,9 +24,25 @@ void SetLogLevel(LogLevel level);
 /// Returns the current global logging threshold.
 LogLevel GetLogLevel();
 
+/// Receives every emitted log line: its severity and the formatted text
+/// (prefix included, no trailing newline). Must be callable from any
+/// thread that logs.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Routes emitted lines to `sink` instead of stderr; pass nullptr to
+/// restore the default stderr sink. Embedders use this to forward library
+/// logs into their own logging system.
+void SetLogSink(LogSink sink);
+
+/// Prefixes each line with a wall-clock timestamp
+/// ("2026-08-07 14:03:07.123"). Off by default, so existing output (and
+/// tests that scrape it) is unchanged.
+void SetLogTimestamps(bool enabled);
+
 namespace internal {
 
-/// One log line; flushed to stderr on destruction if enabled.
+/// One log line; flushed to the active sink (stderr by default) on
+/// destruction if enabled.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -41,6 +59,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -3,6 +3,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hom {
 
@@ -18,6 +20,7 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
   Rng label_rng(options.label_seed);
 
   Stopwatch timer;
+  obs::ScopedSpan span("prequential_eval");
   for (const Record& r : test.records()) {
     HOM_DCHECK(r.is_labeled());
     // Predict with the label hidden: x_t.
@@ -35,6 +38,11 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
     }
   }
   result.seconds = timer.ElapsedSeconds();
+  HOM_COUNTER_ADD("hom.eval.records", result.num_records);
+  if (result.seconds > 0.0) {
+    HOM_GAUGE_SET("hom.eval.records_per_sec",
+                  static_cast<double>(result.num_records) / result.seconds);
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include "classifiers/evaluation.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace hom {
 
@@ -19,37 +20,46 @@ Result<std::unique_ptr<HighOrderClassifier>> HighOrderModelBuilder::Build(
         "historical dataset needs at least 2 records");
   }
   Stopwatch timer;
+  obs::PhaseTracer tracer("build");
+  obs::ScopedTracer activate(&tracer);
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
 
   ConceptClusterer clusterer(base_factory_, config_.clustering);
   DatasetView full(&history);
   HOM_ASSIGN_OR_RETURN(ConceptClusteringResult clustering,
                        clusterer.Cluster(full, rng));
 
-  HOM_ASSIGN_OR_RETURN(ConceptStats stats,
-                       ConceptStats::FromOccurrences(
-                           clustering.occurrences,
-                           clustering.concept_data.size()));
+  auto fit_stats = [&]() -> Result<ConceptStats> {
+    obs::ScopedSpan span("hmm_fitting");
+    return ConceptStats::FromOccurrences(clustering.occurrences,
+                                         clustering.concept_data.size());
+  };
+  HOM_ASSIGN_OR_RETURN(ConceptStats stats, fit_stats());
 
   // Final per-concept classifiers: by default trained on every record of
   // the concept (all occurrences pooled), with Err_c taken from the
   // clustering holdout so ψ stays an honest error estimate.
   std::vector<ConceptModel> concepts;
   concepts.reserve(clustering.concept_data.size());
-  for (size_t c = 0; c < clustering.concept_data.size(); ++c) {
-    ConceptModel cm;
-    cm.training_records = clustering.concept_data[c].size();
-    if (config_.train_on_full_data) {
-      cm.model = base_factory_(history.schema());
-      HOM_RETURN_NOT_OK(cm.model->Train(clustering.concept_data[c]));
-      cm.error = clustering.concept_errors[c];
-    } else {
-      HOM_ASSIGN_OR_RETURN(
-          HoldoutModel holdout,
-          TrainHoldout(base_factory_, clustering.concept_data[c], rng));
-      cm.model = std::move(holdout.model);
-      cm.error = holdout.error;
+  {
+    obs::ScopedSpan span("classifier_training");
+    for (size_t c = 0; c < clustering.concept_data.size(); ++c) {
+      ConceptModel cm;
+      cm.training_records = clustering.concept_data[c].size();
+      if (config_.train_on_full_data) {
+        cm.model = base_factory_(history.schema());
+        HOM_RETURN_NOT_OK(cm.model->Train(clustering.concept_data[c]));
+        cm.error = clustering.concept_errors[c];
+      } else {
+        HOM_ASSIGN_OR_RETURN(
+            HoldoutModel holdout,
+            TrainHoldout(base_factory_, clustering.concept_data[c], rng));
+        cm.model = std::move(holdout.model);
+        cm.error = holdout.error;
+      }
+      HOM_COUNTER_INC("hom.build.final_classifiers_trained");
+      concepts.push_back(std::move(cm));
     }
-    concepts.push_back(std::move(cm));
   }
 
   HOM_ASSIGN_OR_RETURN(
@@ -57,11 +67,16 @@ Result<std::unique_ptr<HighOrderClassifier>> HighOrderModelBuilder::Build(
       HighOrderClassifier::Make(history.schema(), std::move(concepts),
                                 std::move(stats), config_.options));
 
+  double build_seconds = timer.ElapsedSeconds();
+  HOM_COUNTER_INC("hom.build.count");
+  HOM_COUNTER_ADD("hom.build.records", history.size());
+  HOM_GAUGE_SET("hom.build.last_seconds", build_seconds);
+
   if (report != nullptr) {
     report->num_records = history.size();
     report->num_chunks = clustering.num_chunks;
     report->num_concepts = clustering.concept_data.size();
-    report->build_seconds = timer.ElapsedSeconds();
+    report->build_seconds = build_seconds;
     report->final_q = clustering.final_q;
     report->occurrences = clustering.occurrences;
     report->concept_errors = clustering.concept_errors;
@@ -69,6 +84,12 @@ Result<std::unique_ptr<HighOrderClassifier>> HighOrderModelBuilder::Build(
     for (const DatasetView& v : clustering.concept_data) {
       report->concept_sizes.push_back(v.size());
     }
+    report->phases = tracer.root();
+    // The tracer's root total includes Snapshot() overhead and report
+    // assembly; pin it to the measured build time instead.
+    report->phases.seconds = build_seconds;
+    report->counters =
+        obs::MetricsRegistry::Global().Snapshot().DeltaSince(before).counters;
   }
   return classifier;
 }

@@ -1,7 +1,10 @@
 #ifndef HOM_HIGHORDER_BUILDER_H_
 #define HOM_HIGHORDER_BUILDER_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -9,6 +12,7 @@
 #include "data/dataset.h"
 #include "highorder/concept_clustering.h"
 #include "highorder/highorder_classifier.h"
+#include "obs/trace.h"
 
 namespace hom {
 
@@ -33,6 +37,14 @@ struct HighOrderBuildReport {
   std::vector<ConceptOccurrence> occurrences;
   std::vector<double> concept_errors;
   std::vector<size_t> concept_sizes;
+  /// Wall-clock phase tree of this build (root "build": block_partition,
+  /// step1_chunk_merging, step2_concept_merging, classifier_training,
+  /// hmm_fitting, ...). Empty-named root when tracing was unavailable.
+  obs::PhaseNode phases;
+  /// Registry counter activity attributed to this build (snapshot delta),
+  /// e.g. "hom.cluster.classifiers_trained". Empty under
+  /// HOM_DISABLE_METRICS.
+  std::map<std::string, uint64_t> counters;
 };
 
 /// \brief The offline phase of Section II end to end: cluster the

@@ -9,6 +9,8 @@
 #include "common/logging.h"
 #include "highorder/block_partition.h"
 #include "highorder/merge_queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hom {
 
@@ -33,8 +35,11 @@ void CollectLeaves(const Dendrogram& dendro, int32_t id,
 
 /// Model-similarity distance of Eq. 3/4 evaluated on the shared sample
 /// list: sim is the agreement fraction over the first
-/// min(|D_u^test|, |D_v^test|) shared samples.
-double ModelDistance(const ClusterNode& u, const ClusterNode& v) {
+/// min(|D_u^test|, |D_v^test|) shared samples. Every compared prediction
+/// is served from the nodes' sample caches; `sim_cache_hits` tallies the
+/// lookups that would otherwise have been base-model evaluations.
+double ModelDistance(const ClusterNode& u, const ClusterNode& v,
+                     size_t* sim_cache_hits) {
   size_t k = std::min(u.sample_predictions.size(), v.sample_predictions.size());
   double sim = 0.0;
   if (k > 0) {
@@ -44,6 +49,7 @@ double ModelDistance(const ClusterNode& u, const ClusterNode& v) {
     }
     sim = static_cast<double>(agree) / static_cast<double>(k);
   }
+  *sim_cache_hits += 2 * k;
   return static_cast<double>(u.data.size() + v.data.size()) * (1.0 - sim);
 }
 
@@ -82,6 +88,7 @@ Result<ClusterNode> ConceptClusterer::MakeLeaf(const DatasetView& data,
   node.test = std::move(test);
   node.model = base_factory_(data.schema());
   HOM_RETURN_NOT_OK(node.model->Train(node.train));
+  HOM_COUNTER_INC("hom.cluster.classifiers_trained");
   node.err = EstimateError(*node.model, node.test);
   node.err_star = node.err;
   return node;
@@ -101,9 +108,11 @@ Result<ClusterNode> ConceptClusterer::MergeNodes(const ClusterNode& u,
     // Section II-D: the tiny side barely changes the model; reuse the
     // large cluster's classifier instead of retraining on the union.
     w.model = large.model;
+    HOM_COUNTER_INC("hom.cluster.classifiers_reused");
   } else {
     std::unique_ptr<Classifier> fresh = base_factory_(w.data.schema());
     HOM_RETURN_NOT_OK(fresh->Train(w.train));
+    HOM_COUNTER_INC("hom.cluster.classifiers_trained");
     w.model = std::move(fresh);
   }
   w.err = EstimateError(*w.model, w.test);
@@ -135,116 +144,132 @@ bool ConceptClusterer::ShouldStopMerging(const ClusterNode& node) const {
 Result<ConceptClusteringResult> ConceptClusterer::Cluster(
     const DatasetView& history, Rng* rng) const {
   // ---------------------------------------------------------------- Step 1
-  HOM_ASSIGN_OR_RETURN(std::vector<DatasetView> blocks,
-                       PartitionIntoBlocks(history, config_.block_size));
-
+  std::vector<DatasetView> blocks;
   Dendrogram dendro1;
   // Record-position extent of every cluster within the history view;
   // step-1 merges are adjacency-only, so extents stay contiguous.
   std::vector<std::pair<size_t, size_t>> extent;
-
   std::vector<int32_t> block_ids;
-  size_t pos = 0;
-  for (const DatasetView& block : blocks) {
-    HOM_ASSIGN_OR_RETURN(ClusterNode leaf, MakeLeaf(block, rng));
-    int32_t id = dendro1.AddLeaf(std::move(leaf));
-    block_ids.push_back(id);
-    extent.emplace_back(pos, pos + block.size());
-    pos += block.size();
-  }
+  {
+    obs::ScopedSpan span("block_partition");
+    HOM_ASSIGN_OR_RETURN(blocks,
+                         PartitionIntoBlocks(history, config_.block_size));
 
-  MergeQueue queue1;
-  for (int32_t id : block_ids) queue1.RegisterCluster(id);
-
-  // Chain adjacency: left/right neighbour ids per cluster (-1 at the ends).
-  std::vector<int32_t> left_of(dendro1.size(), -1);
-  std::vector<int32_t> right_of(dendro1.size(), -1);
-  for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
-    right_of[static_cast<size_t>(block_ids[i])] = block_ids[i + 1];
-    left_of[static_cast<size_t>(block_ids[i + 1])] = block_ids[i];
-  }
-
-  // Pushes the ΔQ candidate (Eq. 2) for adjacent clusters (u, v). Training
-  // the union classifier here is what makes step-1 candidates expensive;
-  // the trained error is kept in the heap entry so the eventual merge can
-  // assert consistency.
-  auto push_delta_q = [&](int32_t u, int32_t v) -> Status {
-    const ClusterNode& nu = dendro1.node(u);
-    const ClusterNode& nv = dendro1.node(v);
-    DatasetView train = DatasetView::Union(nu.train, nv.train);
-    DatasetView test = DatasetView::Union(nu.test, nv.test);
-    double err_w;
-    const ClusterNode* big = nu.data.size() >= nv.data.size() ? &nu : &nv;
-    const ClusterNode* tiny = nu.data.size() >= nv.data.size() ? &nv : &nu;
-    if (config_.reuse_on_unbalanced_merge &&
-        static_cast<double>(big->data.size()) >=
-            config_.reuse_ratio * static_cast<double>(tiny->data.size())) {
-      err_w = EstimateError(*big->model, test);
-    } else {
-      std::unique_ptr<Classifier> model = base_factory_(train.schema());
-      HOM_RETURN_NOT_OK(model->Train(train));
-      err_w = EstimateError(*model, test);
-    }
-    double size_w = static_cast<double>(nu.data.size() + nv.data.size());
-    double delta_q = size_w * err_w -
-                     static_cast<double>(nu.data.size()) * nu.err -
-                     static_cast<double>(nv.data.size()) * nv.err;
-    queue1.Push({delta_q, u, v, err_w});
-    return Status::OK();
-  };
-
-  for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
-    HOM_RETURN_NOT_OK(push_delta_q(block_ids[i], block_ids[i + 1]));
-  }
-
-  CandidateMerge cand;
-  while (queue1.Pop(&cand)) {
-    HOM_ASSIGN_OR_RETURN(
-        ClusterNode merged,
-        MergeNodes(dendro1.node(cand.u), dendro1.node(cand.v)));
-    int32_t wid = dendro1.AddMerge(cand.u, cand.v, std::move(merged));
-    queue1.Retire(cand.u);
-    queue1.Retire(cand.v);
-    queue1.RegisterCluster(wid);
-
-    left_of.resize(dendro1.size(), -1);
-    right_of.resize(dendro1.size(), -1);
-    extent.emplace_back(extent[static_cast<size_t>(cand.u)].first,
-                        extent[static_cast<size_t>(cand.v)].second);
-    int32_t lhs = left_of[static_cast<size_t>(cand.u)];
-    int32_t rhs = right_of[static_cast<size_t>(cand.v)];
-    left_of[static_cast<size_t>(wid)] = lhs;
-    right_of[static_cast<size_t>(wid)] = rhs;
-    if (lhs >= 0) right_of[static_cast<size_t>(lhs)] = wid;
-    if (rhs >= 0) left_of[static_cast<size_t>(rhs)] = wid;
-
-    if (ShouldStopMerging(dendro1.node(wid))) {
-      // Section II-D: no further mergers involving this cluster; its final
-      // cut will be decided purely from its Err* history.
-      continue;
-    }
-    if (lhs >= 0 && queue1.IsLive(lhs)) {
-      HOM_RETURN_NOT_OK(push_delta_q(lhs, wid));
-    }
-    if (rhs >= 0 && queue1.IsLive(rhs)) {
-      HOM_RETURN_NOT_OK(push_delta_q(wid, rhs));
+    size_t pos = 0;
+    for (const DatasetView& block : blocks) {
+      HOM_ASSIGN_OR_RETURN(ClusterNode leaf, MakeLeaf(block, rng));
+      int32_t id = dendro1.AddLeaf(std::move(leaf));
+      block_ids.push_back(id);
+      extent.emplace_back(pos, pos + block.size());
+      pos += block.size();
     }
   }
 
-  // Roots of step 1 = clusters never merged away.
-  std::vector<int32_t> roots1;
-  for (size_t id = 0; id < dendro1.size(); ++id) {
-    if (queue1.IsLive(static_cast<int32_t>(id))) {
-      roots1.push_back(static_cast<int32_t>(id));
+  std::vector<int32_t> chunk_ids;
+  {
+    obs::ScopedSpan span("step1_chunk_merging");
+    MergeQueue queue1;
+    for (int32_t id : block_ids) queue1.RegisterCluster(id);
+
+    // Chain adjacency: left/right neighbour ids per cluster (-1 at the
+    // ends).
+    std::vector<int32_t> left_of(dendro1.size(), -1);
+    std::vector<int32_t> right_of(dendro1.size(), -1);
+    for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
+      right_of[static_cast<size_t>(block_ids[i])] = block_ids[i + 1];
+      left_of[static_cast<size_t>(block_ids[i + 1])] = block_ids[i];
+    }
+
+    // Pushes the ΔQ candidate (Eq. 2) for adjacent clusters (u, v).
+    // Training the union classifier here is what makes step-1 candidates
+    // expensive; the trained error is kept in the heap entry so the
+    // eventual merge can assert consistency.
+    auto push_delta_q = [&](int32_t u, int32_t v) -> Status {
+      HOM_COUNTER_INC("hom.cluster.step1.candidates");
+      const ClusterNode& nu = dendro1.node(u);
+      const ClusterNode& nv = dendro1.node(v);
+      DatasetView train = DatasetView::Union(nu.train, nv.train);
+      DatasetView test = DatasetView::Union(nu.test, nv.test);
+      double err_w;
+      const ClusterNode* big = nu.data.size() >= nv.data.size() ? &nu : &nv;
+      const ClusterNode* tiny = nu.data.size() >= nv.data.size() ? &nv : &nu;
+      if (config_.reuse_on_unbalanced_merge &&
+          static_cast<double>(big->data.size()) >=
+              config_.reuse_ratio * static_cast<double>(tiny->data.size())) {
+        HOM_COUNTER_INC("hom.cluster.classifiers_reused");
+        err_w = EstimateError(*big->model, test);
+      } else {
+        std::unique_ptr<Classifier> model = base_factory_(train.schema());
+        HOM_RETURN_NOT_OK(model->Train(train));
+        HOM_COUNTER_INC("hom.cluster.classifiers_trained");
+        err_w = EstimateError(*model, test);
+      }
+      double size_w = static_cast<double>(nu.data.size() + nv.data.size());
+      double delta_q = size_w * err_w -
+                       static_cast<double>(nu.data.size()) * nu.err -
+                       static_cast<double>(nv.data.size()) * nv.err;
+      queue1.Push({delta_q, u, v, err_w});
+      return Status::OK();
+    };
+
+    for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
+      HOM_RETURN_NOT_OK(push_delta_q(block_ids[i], block_ids[i + 1]));
+    }
+
+    CandidateMerge cand;
+    while (queue1.Pop(&cand)) {
+      HOM_ASSIGN_OR_RETURN(
+          ClusterNode merged,
+          MergeNodes(dendro1.node(cand.u), dendro1.node(cand.v)));
+      int32_t wid = dendro1.AddMerge(cand.u, cand.v, std::move(merged));
+      HOM_COUNTER_INC("hom.cluster.step1.merges");
+      queue1.Retire(cand.u);
+      queue1.Retire(cand.v);
+      queue1.RegisterCluster(wid);
+
+      left_of.resize(dendro1.size(), -1);
+      right_of.resize(dendro1.size(), -1);
+      extent.emplace_back(extent[static_cast<size_t>(cand.u)].first,
+                          extent[static_cast<size_t>(cand.v)].second);
+      int32_t lhs = left_of[static_cast<size_t>(cand.u)];
+      int32_t rhs = right_of[static_cast<size_t>(cand.v)];
+      left_of[static_cast<size_t>(wid)] = lhs;
+      right_of[static_cast<size_t>(wid)] = rhs;
+      if (lhs >= 0) right_of[static_cast<size_t>(lhs)] = wid;
+      if (rhs >= 0) left_of[static_cast<size_t>(rhs)] = wid;
+
+      if (ShouldStopMerging(dendro1.node(wid))) {
+        // Section II-D: no further mergers involving this cluster; its
+        // final cut will be decided purely from its Err* history.
+        HOM_COUNTER_INC("hom.cluster.early_terminations");
+        continue;
+      }
+      if (lhs >= 0 && queue1.IsLive(lhs)) {
+        HOM_RETURN_NOT_OK(push_delta_q(lhs, wid));
+      }
+      if (rhs >= 0 && queue1.IsLive(rhs)) {
+        HOM_RETURN_NOT_OK(push_delta_q(wid, rhs));
+      }
+    }
+
+    {
+      obs::ScopedSpan cut_span("final_cut");
+      // Roots of step 1 = clusters never merged away.
+      std::vector<int32_t> roots1;
+      for (size_t id = 0; id < dendro1.size(); ++id) {
+        if (queue1.IsLive(static_cast<int32_t>(id))) {
+          roots1.push_back(static_cast<int32_t>(id));
+        }
+      }
+      chunk_ids = dendro1.FinalCut(roots1, config_.step1_cut_z);
+      // Stream order.
+      std::sort(chunk_ids.begin(), chunk_ids.end(),
+                [&](int32_t a, int32_t b) {
+                  return extent[static_cast<size_t>(a)].first <
+                         extent[static_cast<size_t>(b)].first;
+                });
     }
   }
-  std::vector<int32_t> chunk_ids =
-      dendro1.FinalCut(roots1, config_.step1_cut_z);
-  // Stream order.
-  std::sort(chunk_ids.begin(), chunk_ids.end(), [&](int32_t a, int32_t b) {
-    return extent[static_cast<size_t>(a)].first <
-           extent[static_cast<size_t>(b)].first;
-  });
   if (chunk_ids.size() > kMaxChunksForStep2) {
     return Status::FailedPrecondition(
         "step 1 produced " + std::to_string(chunk_ids.size()) +
@@ -257,119 +282,158 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
   // ---------------------------------------------------------------- Step 2
   // Chunks become the leaves of a fresh dendrogram; their models and
   // holdout splits are moved over, and Err* restarts at Err.
+  // The per-node sample-prediction lists act as a similarity cache: every
+  // ModelDistance evaluation reads 2·k cached predictions (hits) that
+  // each replaced a base-model evaluation; the cache is filled once per
+  // node (misses).
+  size_t sim_cache_hits = 0;
+  size_t sim_cache_misses = 0;
   Dendrogram dendro2;
-  std::vector<std::pair<size_t, size_t>> chunk_extent;
-  std::vector<int32_t> leaf_ids;
-  for (int32_t cid : chunk_ids) {
-    ClusterNode& src = dendro1.node(cid);
-    ClusterNode leaf;
-    leaf.data = src.data;
-    leaf.train = src.train;
-    leaf.test = src.test;
-    leaf.model = src.model;
-    leaf.err = src.err;
-    leaf.err_star = src.err;
-    leaf_ids.push_back(dendro2.AddLeaf(std::move(leaf)));
-    chunk_extent.push_back(extent[static_cast<size_t>(cid)]);
-  }
-
-  // Shared sample list L (Section II-C.1): all holdout halves, shuffled
-  // once, so every similarity evaluation sees the same distribution.
-  std::vector<uint32_t> sample_rows;
-  for (int32_t id : leaf_ids) {
-    const DatasetView& test = dendro2.node(id).test;
-    sample_rows.insert(sample_rows.end(), test.indices().begin(),
-                       test.indices().end());
-  }
-  rng->Shuffle(&sample_rows);
-  const Dataset* base = history.dataset();
-
-  auto fill_sample_predictions = [&](ClusterNode* node) {
-    size_t k = std::min(node->test.size(), sample_rows.size());
-    node->sample_predictions.resize(k);
-    for (size_t i = 0; i < k; ++i) {
-      node->sample_predictions[i] =
-          node->model->Predict(base->record(sample_rows[i]));
+  std::vector<int32_t> live;
+  {
+    obs::ScopedSpan span("step2_concept_merging");
+    std::vector<std::pair<size_t, size_t>> chunk_extent;
+    std::vector<int32_t> leaf_ids;
+    for (int32_t cid : chunk_ids) {
+      ClusterNode& src = dendro1.node(cid);
+      ClusterNode leaf;
+      leaf.data = src.data;
+      leaf.train = src.train;
+      leaf.test = src.test;
+      leaf.model = src.model;
+      leaf.err = src.err;
+      leaf.err_star = src.err;
+      leaf_ids.push_back(dendro2.AddLeaf(std::move(leaf)));
+      chunk_extent.push_back(extent[static_cast<size_t>(cid)]);
     }
-  };
-  for (int32_t id : leaf_ids) fill_sample_predictions(&dendro2.node(id));
 
-  MergeQueue queue2;
-  for (int32_t id : leaf_ids) queue2.RegisterCluster(id);
-  std::vector<int32_t> live = leaf_ids;
-
-  for (size_t i = 0; i < leaf_ids.size(); ++i) {
-    if (ShouldStopMerging(dendro2.node(leaf_ids[i]))) continue;
-    for (size_t j = i + 1; j < leaf_ids.size(); ++j) {
-      if (ShouldStopMerging(dendro2.node(leaf_ids[j]))) continue;
-      queue2.Push({ModelDistance(dendro2.node(leaf_ids[i]),
-                                 dendro2.node(leaf_ids[j])),
-                   leaf_ids[i], leaf_ids[j], 0.0});
+    // Shared sample list L (Section II-C.1): all holdout halves, shuffled
+    // once, so every similarity evaluation sees the same distribution.
+    std::vector<uint32_t> sample_rows;
+    for (int32_t id : leaf_ids) {
+      const DatasetView& test = dendro2.node(id).test;
+      sample_rows.insert(sample_rows.end(), test.indices().begin(),
+                         test.indices().end());
     }
-  }
+    rng->Shuffle(&sample_rows);
+    const Dataset* base = history.dataset();
 
-  while (queue2.Pop(&cand)) {
-    HOM_ASSIGN_OR_RETURN(
-        ClusterNode merged,
-        MergeNodes(dendro2.node(cand.u), dendro2.node(cand.v)));
-    HOM_LOG(kDebug) << "step2 merge " << cand.u << "(|D|="
-                    << dendro2.node(cand.u).data.size()
-                    << ",err=" << dendro2.node(cand.u).err << ") + " << cand.v
-                    << "(|D|=" << dendro2.node(cand.v).data.size()
-                    << ",err=" << dendro2.node(cand.v).err
-                    << ") dist=" << cand.distance << " -> err=" << merged.err
-                    << " err*=" << merged.err_star;
-    fill_sample_predictions(&merged);
-    int32_t wid = dendro2.AddMerge(cand.u, cand.v, std::move(merged));
-    queue2.Retire(cand.u);
-    queue2.Retire(cand.v);
-    queue2.RegisterCluster(wid);
-    live.erase(std::remove_if(live.begin(), live.end(),
-                              [&](int32_t id) {
-                                return id == cand.u || id == cand.v;
-                              }),
-               live.end());
-    if (!ShouldStopMerging(dendro2.node(wid))) {
-      for (int32_t other : live) {
-        if (ShouldStopMerging(dendro2.node(other))) continue;
-        queue2.Push({ModelDistance(dendro2.node(wid), dendro2.node(other)),
-                     wid, other, 0.0});
+    auto fill_sample_predictions = [&](ClusterNode* node) {
+      size_t k = std::min(node->test.size(), sample_rows.size());
+      node->sample_predictions.resize(k);
+      for (size_t i = 0; i < k; ++i) {
+        node->sample_predictions[i] =
+            node->model->Predict(base->record(sample_rows[i]));
+      }
+      sim_cache_misses += k;
+    };
+    {
+      obs::ScopedSpan samples_span("similarity_samples");
+      for (int32_t id : leaf_ids) fill_sample_predictions(&dendro2.node(id));
+    }
+
+    MergeQueue queue2;
+    for (int32_t id : leaf_ids) queue2.RegisterCluster(id);
+    live = leaf_ids;
+
+    size_t step2_candidates = 0;
+    for (size_t i = 0; i < leaf_ids.size(); ++i) {
+      if (ShouldStopMerging(dendro2.node(leaf_ids[i]))) continue;
+      for (size_t j = i + 1; j < leaf_ids.size(); ++j) {
+        if (ShouldStopMerging(dendro2.node(leaf_ids[j]))) continue;
+        ++step2_candidates;
+        queue2.Push({ModelDistance(dendro2.node(leaf_ids[i]),
+                                   dendro2.node(leaf_ids[j]),
+                                   &sim_cache_hits),
+                     leaf_ids[i], leaf_ids[j], 0.0});
       }
     }
-    live.push_back(wid);
+
+    CandidateMerge cand;
+    while (queue2.Pop(&cand)) {
+      HOM_ASSIGN_OR_RETURN(
+          ClusterNode merged,
+          MergeNodes(dendro2.node(cand.u), dendro2.node(cand.v)));
+      HOM_LOG(kDebug) << "step2 merge " << cand.u << "(|D|="
+                      << dendro2.node(cand.u).data.size()
+                      << ",err=" << dendro2.node(cand.u).err << ") + "
+                      << cand.v << "(|D|="
+                      << dendro2.node(cand.v).data.size()
+                      << ",err=" << dendro2.node(cand.v).err
+                      << ") dist=" << cand.distance << " -> err="
+                      << merged.err << " err*=" << merged.err_star;
+      fill_sample_predictions(&merged);
+      int32_t wid = dendro2.AddMerge(cand.u, cand.v, std::move(merged));
+      HOM_COUNTER_INC("hom.cluster.step2.merges");
+      queue2.Retire(cand.u);
+      queue2.Retire(cand.v);
+      queue2.RegisterCluster(wid);
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](int32_t id) {
+                                  return id == cand.u || id == cand.v;
+                                }),
+                 live.end());
+      if (!ShouldStopMerging(dendro2.node(wid))) {
+        for (int32_t other : live) {
+          if (ShouldStopMerging(dendro2.node(other))) continue;
+          ++step2_candidates;
+          queue2.Push({ModelDistance(dendro2.node(wid), dendro2.node(other),
+                                     &sim_cache_hits),
+                       wid, other, 0.0});
+        }
+      } else {
+        HOM_COUNTER_INC("hom.cluster.early_terminations");
+      }
+      live.push_back(wid);
+    }
+    HOM_COUNTER_ADD("hom.cluster.step2.candidates", step2_candidates);
   }
 
-  std::vector<int32_t> concept_ids =
-      dendro2.FinalCut(live, config_.step2_cut_z);
+  std::vector<int32_t> concept_ids;
+  {
+    obs::ScopedSpan cut_span("final_cut");
+    concept_ids = dendro2.FinalCut(live, config_.step2_cut_z);
+  }
+
+  HOM_COUNTER_ADD("hom.cluster.simcache.hits", sim_cache_hits);
+  HOM_COUNTER_ADD("hom.cluster.simcache.misses", sim_cache_misses);
+  if (sim_cache_hits + sim_cache_misses > 0) {
+    HOM_GAUGE_SET("hom.cluster.simcache.hit_rate",
+                  static_cast<double>(sim_cache_hits) /
+                      static_cast<double>(sim_cache_hits + sim_cache_misses));
+  }
 
   // ------------------------------------------------------------- Assemble
   ConceptClusteringResult result;
   result.num_chunks = chunk_ids.size();
 
-  // Map each step-2 leaf (chunk) to its concept.
-  std::vector<int> chunk_concept(leaf_ids.size(), -1);
+  // Map each step-2 leaf (chunk) to its concept. Step-2 leaves occupy ids
+  // [0, chunk_ids.size()) of dendro2 in stream order.
+  size_t num_leaves = chunk_ids.size();
+  std::vector<int> chunk_concept(num_leaves, -1);
   for (size_t c = 0; c < concept_ids.size(); ++c) {
     std::vector<int32_t> members;
     CollectLeaves(dendro2, concept_ids[c], &members);
     for (int32_t leaf : members) {
-      auto it = std::find(leaf_ids.begin(), leaf_ids.end(), leaf);
-      HOM_CHECK(it != leaf_ids.end());
-      chunk_concept[static_cast<size_t>(it - leaf_ids.begin())] =
-          static_cast<int>(c);
+      HOM_CHECK_GE(leaf, 0);
+      HOM_CHECK_LT(static_cast<size_t>(leaf), num_leaves);
+      chunk_concept[static_cast<size_t>(leaf)] = static_cast<int>(c);
     }
   }
 
-  // Occurrences: chunks in stream order, adjacent same-concept chunks fused.
-  for (size_t i = 0; i < leaf_ids.size(); ++i) {
+  // Occurrences: chunks in stream order, adjacent same-concept chunks
+  // fused. chunk_ids is in stream order and step-2 leaf i came from
+  // chunk_ids[i], so extent lookup goes through chunk_ids.
+  for (size_t i = 0; i < num_leaves; ++i) {
     int cid = chunk_concept[i];
     HOM_CHECK_GE(cid, 0);
+    const auto& ext = extent[static_cast<size_t>(chunk_ids[i])];
     if (!result.occurrences.empty() &&
         result.occurrences.back().concept_id == cid &&
-        result.occurrences.back().end == chunk_extent[i].first) {
-      result.occurrences.back().end = chunk_extent[i].second;
+        result.occurrences.back().end == ext.first) {
+      result.occurrences.back().end = ext.second;
     } else {
-      result.occurrences.push_back(
-          {chunk_extent[i].first, chunk_extent[i].second, cid});
+      result.occurrences.push_back({ext.first, ext.second, cid});
     }
   }
 
@@ -380,6 +444,8 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
     result.concept_errors.push_back(node.err);
     result.final_q += static_cast<double>(node.data.size()) * node.err;
   }
+  HOM_COUNTER_ADD("hom.cluster.chunks", result.num_chunks);
+  HOM_COUNTER_ADD("hom.cluster.concepts", result.concept_data.size());
   HOM_LOG(kInfo) << "concept clustering: " << result.num_chunks
                  << " chunks -> " << result.concept_data.size()
                  << " concepts (Q=" << result.final_q << ")";

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace hom {
 
@@ -58,9 +59,11 @@ std::vector<int32_t> Dendrogram::FinalCut(const std::vector<int32_t>& roots,
                 std::sqrt(p * (1.0 - p) / static_cast<double>(n.test.size()));
     }
     if (n.left >= 0 && n.err_star < n.err - margin) {
+      HOM_COUNTER_INC("hom.dendrogram.cut_splits");
       stack.push_back(n.left);
       stack.push_back(n.right);
     } else {
+      HOM_COUNTER_INC("hom.dendrogram.cut_keeps");
       partition.push_back(id);
     }
   }

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace hom {
 
@@ -57,6 +59,8 @@ void HighOrderClassifier::ObserveLabeled(const Record& y) {
   }
   tracker_.Observe(psi);
   weights_stale_ = true;
+  HOM_COUNTER_INC("hom.online.observations");
+  HOM_COUNTER_ADD("hom.online.psi_evaluations", concepts_.size());
 }
 
 void HighOrderClassifier::RefreshWeights() {
@@ -72,6 +76,14 @@ void HighOrderClassifier::RefreshWeights() {
   std::iota(weight_order_.begin(), weight_order_.end(), 0);
   std::sort(weight_order_.begin(), weight_order_.end(),
             [&](size_t a, size_t b) { return weights_[a] > weights_[b]; });
+  if (!weight_order_.empty()) {
+    size_t top = weight_order_[0];
+    if (last_top_concept_ != static_cast<size_t>(-1) &&
+        top != last_top_concept_) {
+      HOM_COUNTER_INC("hom.online.concept_switches");
+    }
+    last_top_concept_ = top;
+  }
 }
 
 const std::vector<double>& HighOrderClassifier::active_probabilities() {
@@ -86,6 +98,7 @@ std::vector<double> HighOrderClassifier::PredictProba(const Record& x) {
     if (weights_[c] <= 0.0) continue;
     std::vector<double> mc = concepts_[c].model->PredictProba(x);
     ++base_evaluations_;
+    HOM_COUNTER_INC("hom.online.base_evaluations");
     for (size_t l = 0; l < proba.size(); ++l) {
       proba[l] += weights_[c] * mc[l];
     }
@@ -94,8 +107,25 @@ std::vector<double> HighOrderClassifier::PredictProba(const Record& x) {
 }
 
 Label HighOrderClassifier::Predict(const Record& x) {
-  RefreshWeights();
   ++predictions_;
+#ifndef HOM_DISABLE_METRICS
+  // Sampled latency: timing every record would cost two clock reads per
+  // prediction, which alone can break the <5% overhead budget on cheap
+  // base models. Every 64th call is plenty for a stable histogram.
+  if ((predictions_ & 63u) == 0) {
+    Stopwatch sw;
+    Label out = PredictImpl(x);
+    HOM_HISTOGRAM_RECORD("hom.online.predict_latency_us",
+                         sw.ElapsedSeconds() * 1e6,
+                         ::hom::obs::Histogram::DefaultLatencyBoundsUs());
+    return out;
+  }
+#endif
+  return PredictImpl(x);
+}
+
+Label HighOrderClassifier::PredictImpl(const Record& x) {
+  RefreshWeights();
   if (!options_.prune_prediction) {
     std::vector<double> proba = PredictProba(x);
     return static_cast<Label>(
@@ -113,6 +143,7 @@ Label HighOrderClassifier::Predict(const Record& x) {
     if (weights_[c] <= 0.0) break;  // sorted: the rest are zero too
     std::vector<double> mc = concepts_[c].model->PredictProba(x);
     ++base_evaluations_;
+    HOM_COUNTER_INC("hom.online.base_evaluations");
     for (size_t l = 0; l < proba.size(); ++l) {
       proba[l] += weights_[c] * mc[l];
     }

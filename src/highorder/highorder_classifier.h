@@ -77,6 +77,10 @@ class HighOrderClassifier : public StreamClassifier {
   /// last prediction.
   void RefreshWeights();
 
+  /// Predict() body; split out so the public entry point can time a
+  /// sampled subset of calls without paying for a clock on every record.
+  Label PredictImpl(const Record& x);
+
   SchemaPtr schema_;
   std::vector<ConceptModel> concepts_;
   ActiveProbabilityTracker tracker_;
@@ -88,6 +92,9 @@ class HighOrderClassifier : public StreamClassifier {
   std::vector<size_t> weight_order_;  ///< concepts sorted by weight, desc.
   size_t base_evaluations_ = 0;
   size_t predictions_ = 0;
+  /// Most recent argmax of the concept weights; tracks concept switches
+  /// for the "hom.online.concept_switches" counter.
+  size_t last_top_concept_ = static_cast<size_t>(-1);
 };
 
 }  // namespace hom

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace hom {
 
@@ -40,6 +41,7 @@ Status ConceptHmm::ValidatePsi(
 
 Result<std::vector<int>> ConceptHmm::Viterbi(
     const std::vector<std::vector<double>>& psi) const {
+  HOM_COUNTER_INC("hom.hmm.viterbi_calls");
   HOM_RETURN_NOT_OK(ValidatePsi(psi));
   size_t n = num_concepts();
   size_t t_max = psi.size();
@@ -90,6 +92,7 @@ Result<std::vector<int>> ConceptHmm::Viterbi(
 Status ConceptHmm::Forward(const std::vector<std::vector<double>>& psi,
                            std::vector<std::vector<double>>* alpha,
                            std::vector<double>* log_scale) const {
+  HOM_COUNTER_INC("hom.hmm.forward_calls");
   size_t n = num_concepts();
   size_t t_max = psi.size();
   alpha->assign(t_max, std::vector<double>(n, 0.0));
@@ -175,6 +178,7 @@ Result<std::vector<std::vector<double>>> ConceptHmm::ForwardBackward(
 
 Result<ConceptHmm> ConceptHmm::BaumWelchStep(
     const std::vector<std::vector<double>>& psi) const {
+  HOM_COUNTER_INC("hom.hmm.baum_welch_steps");
   HOM_RETURN_NOT_OK(ValidatePsi(psi));
   size_t n = num_concepts();
   size_t t_max = psi.size();

@@ -1,6 +1,7 @@
 #include "highorder/merge_queue.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace hom {
 
@@ -26,6 +27,7 @@ bool MergeQueue::IsLive(int32_t id) const {
 void MergeQueue::Push(CandidateMerge candidate) {
   HOM_CHECK(IsLive(candidate.u)) << "candidate with retired cluster";
   HOM_CHECK(IsLive(candidate.v)) << "candidate with retired cluster";
+  HOM_COUNTER_INC("hom.merge_queue.pushes");
   heap_.push(candidate);
 }
 
@@ -34,9 +36,13 @@ bool MergeQueue::Pop(CandidateMerge* out) {
     CandidateMerge top = heap_.top();
     heap_.pop();
     if (IsLive(top.u) && IsLive(top.v)) {
+      HOM_COUNTER_INC("hom.merge_queue.pops");
       *out = top;
       return true;
     }
+    // Lazy deletion: entries referring to retired clusters are discarded
+    // on the way out instead of being rebuilt into the heap.
+    HOM_COUNTER_INC("hom.merge_queue.stale_pops");
   }
   return false;
 }

@@ -1,0 +1,372 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hom::obs {
+
+namespace {
+
+// Parser depth cap: the telemetry schema is ~4 levels deep; anything past
+// this is a malformed or adversarial document, not ours.
+constexpr int kMaxDepth = 64;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip representation.
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec == std::errc()) {
+    out->append(buf, ptr);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out += buf;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    HOM_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        HOM_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        return Fail("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        return Fail("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Fail("malformed number '" + token + "'");
+    }
+    return JsonValue(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("invalid \\u escape");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our emitter, so reject them instead of guessing).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              return Fail("surrogate \\u escapes unsupported");
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      HOM_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      arr.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      HOM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      HOM_ASSIGN_OR_RETURN(JsonValue v, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Append(JsonValue v) {
+  if (is_null()) type_ = Type::kArray;
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  if (is_null()) type_ = Type::kObject;
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(v));
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        AppendEscaped(out, object_[i].first);
+        *out += indent > 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace hom::obs

@@ -1,0 +1,96 @@
+#ifndef HOM_OBS_JSON_H_
+#define HOM_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hom::obs {
+
+/// \brief A minimal JSON document model for the observability layer: the
+/// metrics snapshots, phase trees, and bench results that the harness and
+/// `homctl` exchange as machine-readable telemetry.
+///
+/// Design constraints: no external dependencies, insertion-ordered objects
+/// (so emitted files diff cleanly run over run), and round-trip fidelity
+/// for doubles (shortest representation that parses back to the same
+/// value). This is deliberately not a general-purpose JSON library — just
+/// enough for `Dump(Parse(x)) == Dump(x)` on the telemetry schema.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Null by default.
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}    // NOLINT
+  JsonValue(int n) : JsonValue(static_cast<double>(n)) {}      // NOLINT
+  JsonValue(int64_t n) : JsonValue(static_cast<double>(n)) {}  // NOLINT
+  JsonValue(uint64_t n) : JsonValue(static_cast<double>(n)) {} // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}      // NOLINT
+
+  static JsonValue Array() { return JsonValue(Type::kArray); }
+  static JsonValue Object() { return JsonValue(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the caller is responsible for checking the type
+  /// first (wrong-type access returns a zero value, not UB).
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  double as_double() const { return is_number() ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+
+  /// Array/object element count (0 for scalars).
+  size_t size() const;
+
+  /// Array element access; id must be < size().
+  const JsonValue& at(size_t i) const { return array_[i]; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Appends to an array (converts a null value into an array first).
+  void Append(JsonValue v);
+
+  /// Sets an object member, replacing an existing key (converts a null
+  /// value into an object first). Insertion order is preserved.
+  void Set(std::string key, JsonValue v);
+
+  /// Serializes. indent = 0 emits a single line; indent > 0 pretty-prints
+  /// with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Type type) : type_(type) {}
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_JSON_H_

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hom::obs {
+
+namespace {
+
+/// CAS loop add for pre-C++20-style atomic<double> accumulation.
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(cur, v,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(cur, v,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HOM_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    HOM_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+void Histogram::Record(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsUs() {
+  std::vector<double> bounds;
+  double b = 0.25;
+  for (int i = 0; i < 13; ++i) {
+    bounds.push_back(b);
+    b *= 4.0;
+  }
+  return bounds;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::min() const {
+  double v = min_.load(std::memory_order_relaxed);
+  return count() == 0 ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  double v = max_.load(std::memory_order_relaxed);
+  return count() == 0 ? 0.0 : v;
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) {
+      value = value >= it->second ? value - it->second : 0;
+    }
+  }
+  return delta;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue counters_json = JsonValue::Object();
+  for (const auto& [name, value] : counters) {
+    counters_json.Set(name, JsonValue(value));
+  }
+  JsonValue gauges_json = JsonValue::Object();
+  for (const auto& [name, value] : gauges) {
+    gauges_json.Set(name, JsonValue(value));
+  }
+  JsonValue histograms_json = JsonValue::Object();
+  for (const auto& [name, h] : histograms) {
+    JsonValue hj = JsonValue::Object();
+    hj.Set("count", JsonValue(h.count));
+    hj.Set("sum", JsonValue(h.sum));
+    hj.Set("min", JsonValue(h.min));
+    hj.Set("max", JsonValue(h.max));
+    JsonValue bounds_json = JsonValue::Array();
+    for (double b : h.bounds) bounds_json.Append(JsonValue(b));
+    hj.Set("bounds", std::move(bounds_json));
+    JsonValue counts_json = JsonValue::Array();
+    for (uint64_t c : h.counts) counts_json.Append(JsonValue(c));
+    hj.Set("bucket_counts", std::move(counts_json));
+    histograms_json.Set(name, std::move(hj));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("counters", std::move(counters_json));
+  out.Set("gauges", std::move(gauges_json));
+  out.Set("histograms", std::move(histograms_json));
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumented code may run during static
+  // destruction; the registry must outlive every handle user.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = histogram->bounds();
+    data.counts = histogram->bucket_counts();
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    data.min = histogram->min();
+    data.max = histogram->max();
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace hom::obs

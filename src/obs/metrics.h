@@ -1,0 +1,187 @@
+#ifndef HOM_OBS_METRICS_H_
+#define HOM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hom::obs {
+
+/// \brief Monotonic event counter. Increments are single relaxed atomic
+/// adds (~1 ns), safe from any thread; reads are approximate under
+/// concurrent writers, exact once writers quiesce.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value (throughput, hit rates,
+/// queue depths). Set/read are relaxed atomics.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram: bucket bounds are set at registration and
+/// never change, so Record() is a binary search plus one relaxed atomic add
+/// (no locks, no allocation). Tracks count/sum/min/max alongside the
+/// buckets; bucket i counts values <= bounds[i], the final implicit bucket
+/// counts the overflow.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  /// Default bounds for microsecond-scale latencies: 0.25us .. 4s in
+  /// powers of 4 (13 buckets + overflow).
+  static std::vector<double> DefaultLatencyBoundsUs();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size is bounds().size() + 1 (last = overflow).
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Point-in-time copy of every registered metric. Two snapshots taken
+/// around an operation can be diffed to attribute counter activity to it.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 entries.
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counter deltas relative to `earlier` (gauges and histograms are
+  /// copied as-is: they are not monotonic). Counters absent from
+  /// `earlier` count from zero.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  JsonValue ToJson() const;
+};
+
+/// \brief Process-wide registry of named metrics.
+///
+/// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex once per
+/// call site — instrumented code caches the returned handle in a
+/// function-local static — after which all metric updates are lock-free
+/// atomics on the handle. Handles stay valid for the process lifetime.
+///
+/// Naming scheme: dot-separated `hom.<area>.<metric>`, e.g.
+/// `hom.cluster.classifiers_trained` (see DESIGN.md "Observability").
+///
+/// Compiling with -DHOM_DISABLE_METRICS turns the HOM_COUNTER_* /
+/// HOM_GAUGE_* / HOM_HISTOGRAM_* macros below into no-ops, removing every
+/// instrumentation site from the hot paths; the registry itself stays
+/// linkable so snapshot consumers build unchanged (they see no metrics).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. Never returns nullptr.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram regardless of `bounds`.
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid). Tests only —
+  /// concurrent writers may resurrect partial values.
+  void ResetForTesting();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hom::obs
+
+// Instrumentation macros: the only metrics API hot paths should use. Each
+// call site resolves its handle once (function-local static) and then pays
+// a single relaxed atomic per hit. All of it compiles away under
+// HOM_DISABLE_METRICS.
+#ifdef HOM_DISABLE_METRICS
+
+#define HOM_COUNTER_INC(name) ((void)0)
+#define HOM_COUNTER_ADD(name, n) ((void)sizeof(n))
+#define HOM_GAUGE_SET(name, v) ((void)sizeof(v))
+#define HOM_HISTOGRAM_RECORD(name, value, bounds) ((void)sizeof(value))
+
+#else
+
+#define HOM_COUNTER_INC(name) HOM_COUNTER_ADD(name, 1)
+
+#define HOM_COUNTER_ADD(name, n)                                    \
+  do {                                                              \
+    static ::hom::obs::Counter* _hom_counter =                      \
+        ::hom::obs::MetricsRegistry::Global().GetCounter(name);     \
+    _hom_counter->Add(static_cast<uint64_t>(n));                    \
+  } while (0)
+
+#define HOM_GAUGE_SET(name, v)                                      \
+  do {                                                              \
+    static ::hom::obs::Gauge* _hom_gauge =                          \
+        ::hom::obs::MetricsRegistry::Global().GetGauge(name);       \
+    _hom_gauge->Set(static_cast<double>(v));                        \
+  } while (0)
+
+/// `bounds` is any expression yielding std::vector<double>; it is
+/// evaluated once, at handle registration.
+#define HOM_HISTOGRAM_RECORD(name, value, bounds)                   \
+  do {                                                              \
+    static ::hom::obs::Histogram* _hom_histogram =                  \
+        ::hom::obs::MetricsRegistry::Global().GetHistogram(name,    \
+                                                           bounds); \
+    _hom_histogram->Record(static_cast<double>(value));             \
+  } while (0)
+
+#endif  // HOM_DISABLE_METRICS
+
+#endif  // HOM_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace hom::obs {
+
+namespace {
+
+thread_local PhaseTracer* g_active_tracer = nullptr;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void AppendTreeLines(const PhaseNode& node, const std::string& indent,
+                     double root_seconds, std::string* out) {
+  char line[256];
+  double share = root_seconds > 0.0 ? 100.0 * node.seconds / root_seconds
+                                    : 0.0;
+  std::snprintf(line, sizeof(line), "%s%-28s %10.4fs %6.1f%%  x%llu\n",
+                indent.c_str(), node.name.c_str(), node.seconds, share,
+                static_cast<unsigned long long>(node.count));
+  *out += line;
+  for (const PhaseNode& child : node.children) {
+    AppendTreeLines(child, indent + "  ", root_seconds, out);
+  }
+}
+
+}  // namespace
+
+const PhaseNode* PhaseNode::FindChild(std::string_view child_name) const {
+  for (const PhaseNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+PhaseNode* PhaseNode::FindOrAddChild(std::string_view child_name) {
+  for (PhaseNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  children.emplace_back();
+  children.back().name = std::string(child_name);
+  return &children.back();
+}
+
+void PhaseNode::MergeFrom(const PhaseNode& other) {
+  seconds += other.seconds;
+  count += other.count;
+  for (const PhaseNode& theirs : other.children) {
+    FindOrAddChild(theirs.name)->MergeFrom(theirs);
+  }
+}
+
+std::string PhaseNode::ToTreeString() const {
+  std::string out;
+  AppendTreeLines(*this, "", seconds, &out);
+  return out;
+}
+
+JsonValue PhaseNode::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue(name));
+  out.Set("seconds", JsonValue(seconds));
+  out.Set("count", JsonValue(count));
+  JsonValue kids = JsonValue::Array();
+  for (const PhaseNode& c : children) kids.Append(c.ToJson());
+  out.Set("children", std::move(kids));
+  return out;
+}
+
+Result<PhaseNode> PhaseNode::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("phase node must be a JSON object");
+  }
+  const JsonValue* name = json.Find("name");
+  const JsonValue* seconds = json.Find("seconds");
+  if (name == nullptr || !name->is_string() || seconds == nullptr ||
+      !seconds->is_number()) {
+    return Status::InvalidArgument(
+        "phase node needs a string 'name' and numeric 'seconds'");
+  }
+  PhaseNode node;
+  node.name = name->as_string();
+  node.seconds = seconds->as_double();
+  if (const JsonValue* count = json.Find("count");
+      count != nullptr && count->is_number()) {
+    node.count = static_cast<uint64_t>(count->as_double());
+  }
+  if (const JsonValue* kids = json.Find("children"); kids != nullptr) {
+    if (!kids->is_array()) {
+      return Status::InvalidArgument("'children' must be an array");
+    }
+    for (size_t i = 0; i < kids->size(); ++i) {
+      HOM_ASSIGN_OR_RETURN(PhaseNode child, FromJson(kids->at(i)));
+      node.children.push_back(std::move(child));
+    }
+  }
+  return node;
+}
+
+PhaseTracer::PhaseTracer(std::string root_name)
+    : started_(std::chrono::steady_clock::now()) {
+  root_.name = std::move(root_name);
+  root_.count = 1;
+}
+
+void PhaseTracer::BeginSpan(std::string_view name) {
+  PhaseNode* open = &root_;
+  for (size_t idx : open_path_) open = &open->children[idx];
+  PhaseNode* child = open->FindOrAddChild(name);
+  open_path_.push_back(
+      static_cast<size_t>(child - open->children.data()));
+}
+
+void PhaseTracer::EndSpan(double seconds) {
+  HOM_CHECK(!open_path_.empty()) << "EndSpan without matching BeginSpan";
+  PhaseNode* open = &root_;
+  for (size_t idx : open_path_) open = &open->children[idx];
+  open->seconds += seconds;
+  open->count += 1;
+  open_path_.pop_back();
+  // Keep the root total live so partially-traced trees still report a
+  // meaningful share denominator.
+  root_.seconds = SecondsSince(started_);
+}
+
+ScopedTracer::ScopedTracer(PhaseTracer* tracer) : previous_(g_active_tracer) {
+  g_active_tracer = tracer;
+}
+
+ScopedTracer::~ScopedTracer() { g_active_tracer = previous_; }
+
+PhaseTracer* ScopedTracer::Active() { return g_active_tracer; }
+
+ScopedSpan::ScopedSpan(const char* name)
+    : tracer_(g_active_tracer),
+      started_(std::chrono::steady_clock::now()) {
+  if (tracer_ != nullptr) tracer_->BeginSpan(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ != nullptr) tracer_->EndSpan(SecondsSince(started_));
+}
+
+}  // namespace hom::obs

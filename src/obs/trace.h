@@ -1,0 +1,110 @@
+#ifndef HOM_OBS_TRACE_H_
+#define HOM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace hom::obs {
+
+/// \brief One node of a wall-clock phase tree: a named phase, the seconds
+/// spent inside it (including children), how many times it ran, and its
+/// sub-phases in first-entered order. Plain value type — copy it into
+/// reports freely.
+struct PhaseNode {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t count = 0;
+  std::vector<PhaseNode> children;
+
+  /// Child lookup by name; nullptr when absent.
+  const PhaseNode* FindChild(std::string_view child_name) const;
+
+  /// Child lookup by name, appending an empty child when absent. The
+  /// returned pointer is invalidated by the next FindOrAddChild call on
+  /// the same node.
+  PhaseNode* FindOrAddChild(std::string_view child_name);
+
+  /// Accumulates another tree into this one: matching names (recursively)
+  /// sum their seconds/counts; unmatched children are appended. Used to
+  /// aggregate phase timings across repeated builds in a bench run.
+  void MergeFrom(const PhaseNode& other);
+
+  /// Human-readable indented tree, one phase per line with seconds, share
+  /// of the root, and entry count.
+  std::string ToTreeString() const;
+
+  /// {"name": ..., "seconds": ..., "count": ..., "children": [...]}.
+  JsonValue ToJson() const;
+  static Result<PhaseNode> FromJson(const JsonValue& json);
+};
+
+/// \brief Records nested wall-clock phases into a PhaseNode tree.
+///
+/// A tracer is single-threaded and owned by the operation being traced
+/// (the model builder creates one per Build call). Deep library code does
+/// not take a tracer parameter; instead the owner activates the tracer on
+/// the current thread (ScopedTracer) and the library opens ScopedSpans,
+/// which attach to whatever tracer is active — or do nothing when none
+/// is, so instrumented code runs un-traced at zero configuration.
+class PhaseTracer {
+ public:
+  explicit PhaseTracer(std::string root_name);
+
+  /// The tree built so far. The root's `seconds` is the total time between
+  /// tracer construction and the last span end (kept live as spans close).
+  const PhaseNode& root() const { return root_; }
+  PhaseNode& mutable_root() { return root_; }
+
+  /// Opens a nested phase; pair with EndSpan. Prefer ScopedSpan.
+  void BeginSpan(std::string_view name);
+  void EndSpan(double seconds);
+
+ private:
+  PhaseNode root_;
+  /// Index path from the root to the open span (child indices, not
+  /// pointers: sibling insertion reallocates `children`).
+  std::vector<size_t> open_path_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+/// \brief RAII: makes `tracer` the calling thread's active tracer for the
+/// enclosing scope (restores the previous one on destruction).
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(PhaseTracer* tracer);
+  ~ScopedTracer();
+
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+  /// The calling thread's active tracer, or nullptr.
+  static PhaseTracer* Active();
+
+ private:
+  PhaseTracer* previous_;
+};
+
+/// \brief RAII span on the thread's active tracer. `name` must outlive the
+/// span (string literals in practice). No-op when no tracer is active.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  PhaseTracer* tracer_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_TRACE_H_

@@ -2,9 +2,14 @@
 // Zipf sampler, and the stopwatch.
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -282,6 +287,62 @@ TEST(LoggingTest, DebugVisibleWhenEnabled) {
   std::string captured = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(captured.find("verbose 42"), std::string::npos);
   SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, SinkReceivesLinesInsteadOfStderr) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured_lines;
+  SetLogSink([&captured_lines](LogLevel level, std::string_view line) {
+    captured_lines.emplace_back(level, std::string(line));
+  });
+  ::testing::internal::CaptureStderr();
+  HOM_LOG(kInfo) << "to the sink";
+  HOM_LOG(kError) << "also to the sink";
+  std::string stderr_out = ::testing::internal::GetCapturedStderr();
+  SetLogSink(nullptr);
+  SetLogLevel(old_level);
+
+  EXPECT_EQ(stderr_out, "");  // Sink replaces stderr entirely.
+  ASSERT_EQ(captured_lines.size(), 2u);
+  EXPECT_EQ(captured_lines[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured_lines[0].second.find("to the sink"), std::string::npos);
+  EXPECT_NE(captured_lines[0].second.find("[INFO"), std::string::npos);
+  EXPECT_EQ(captured_lines[1].first, LogLevel::kError);
+}
+
+TEST(LoggingTest, NullSinkRestoresStderr) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  SetLogSink([](LogLevel, std::string_view) {});
+  SetLogSink(nullptr);
+  ::testing::internal::CaptureStderr();
+  HOM_LOG(kInfo) << "back on stderr";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(old_level);
+  EXPECT_NE(captured.find("back on stderr"), std::string::npos);
+}
+
+TEST(LoggingTest, TimestampPrefixTogglesOnAndOff) {
+  LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  SetLogTimestamps(true);
+  ::testing::internal::CaptureStderr();
+  HOM_LOG(kInfo) << "stamped";
+  std::string with_ts = ::testing::internal::GetCapturedStderr();
+  SetLogTimestamps(false);
+  ::testing::internal::CaptureStderr();
+  HOM_LOG(kInfo) << "unstamped";
+  std::string without_ts = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(old_level);
+
+  // "YYYY-MM-DD HH:MM:SS.mmm [INFO ...": the line starts with a year digit,
+  // not the bracket, and contains a time-of-day separator before it.
+  ASSERT_FALSE(with_ts.empty());
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(with_ts[0])));
+  EXPECT_LT(with_ts.find(':'), with_ts.find("[INFO"));
+  EXPECT_EQ(without_ts.find("[INFO"), 0u);
+  SetLogTimestamps(false);
 }
 
 // ------------------------------------------------------------ HOM_CHECK

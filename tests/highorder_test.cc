@@ -15,7 +15,9 @@
 #include "highorder/concept_stats.h"
 #include "highorder/dendrogram.h"
 #include "highorder/highorder_classifier.h"
+#include "highorder/builder.h"
 #include "highorder/merge_queue.h"
+#include "obs/metrics.h"
 #include "streams/stagger.h"
 
 namespace hom {
@@ -446,6 +448,99 @@ TEST(HighOrderClassifierTest, PrunedPredictionMatchesExhaustive) {
   // concept is clear.
   EXPECT_LT(pruned->base_evaluations(), exhaustive->base_evaluations());
 }
+
+// --------------------------------------------------------- Observability
+
+/// Two scripted Stagger concepts in long alternating runs; long
+/// single-concept stretches give step 1 the unbalanced merges that trigger
+/// classifier reuse, and the cross-concept merges it must reject feed the
+/// early-termination freeze.
+Dataset TwoConceptHistory(size_t total, uint64_t seed) {
+  Dataset d(StaggerGenerator::MakeSchema());
+  Rng rng(seed);
+  for (size_t i = 0; i < total; ++i) {
+    int concept_id = (i / 1500) % 2 == 0 ? 0 : 1;
+    Record r({static_cast<double>(rng.NextBounded(3)),
+              static_cast<double>(rng.NextBounded(3)),
+              static_cast<double>(rng.NextBounded(3))},
+             0);
+    r.label = StaggerGenerator::TrueLabel(r, concept_id);
+    d.AppendUnchecked(r);
+  }
+  return d;
+}
+
+TEST(BuildReportObservabilityTest, BuildPopulatesPhaseTree) {
+  Dataset history = TwoConceptHistory(3000, 120);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(121);
+  HighOrderBuildReport report;
+  auto clf = builder.Build(history, &rng, &report);
+  ASSERT_TRUE(clf.ok()) << clf.status().ToString();
+
+  EXPECT_EQ(report.phases.name, "build");
+  EXPECT_GT(report.phases.seconds, 0.0);
+  for (const char* phase :
+       {"block_partition", "step1_chunk_merging", "step2_concept_merging",
+        "final_cut", "hmm_fitting", "classifier_training"}) {
+    const obs::PhaseNode* child = report.phases.FindChild(phase);
+    ASSERT_NE(child, nullptr) << "missing phase: " << phase;
+    EXPECT_GE(child->count, 1u) << phase;
+    EXPECT_GE(child->seconds, 0.0) << phase;
+  }
+  // Children are real sub-phases: none can exceed the whole build.
+  for (const obs::PhaseNode& child : report.phases.children) {
+    EXPECT_LE(child.seconds, report.phases.seconds + 1e-9) << child.name;
+  }
+}
+
+#ifndef HOM_DISABLE_METRICS
+
+TEST(BuildReportObservabilityTest, OptimizationCountersFire) {
+  Dataset history = TwoConceptHistory(6000, 122);
+  HighOrderBuildConfig config;
+  // Make the Section II-D optimizations eager enough to observe on a small
+  // stream: reuse on mildly unbalanced merges, freeze clusters early.
+  config.clustering.reuse_ratio = 4.0;
+  config.clustering.early_stop_min_size = 100;
+  config.clustering.early_stop_ratio = 1.05;
+  config.clustering.early_stop_z = 0.0;
+  HighOrderModelBuilder builder(DecisionTree::Factory(), config);
+  Rng rng(123);
+  HighOrderBuildReport report;
+  auto clf = builder.Build(history, &rng, &report);
+  ASSERT_TRUE(clf.ok()) << clf.status().ToString();
+
+  auto counter = [&report](const char* name) -> uint64_t {
+    auto it = report.counters.find(name);
+    return it == report.counters.end() ? 0 : it->second;
+  };
+  EXPECT_GT(counter("hom.cluster.classifiers_trained"), 0u);
+  EXPECT_GT(counter("hom.cluster.classifiers_reused"), 0u);
+  EXPECT_GT(counter("hom.cluster.early_terminations"), 0u);
+  EXPECT_GT(counter("hom.cluster.step1.candidates"), 0u);
+  EXPECT_GT(counter("hom.cluster.step1.merges"), 0u);
+  EXPECT_EQ(counter("hom.cluster.chunks"), report.num_chunks);
+  EXPECT_EQ(counter("hom.cluster.concepts"), report.num_concepts);
+  EXPECT_EQ(counter("hom.build.records"), 6000u);
+}
+
+TEST(OnlineObservabilityTest, ObservationsAndEvaluationsAreCounted) {
+  SchemaPtr schema = TinySchema();
+  auto clf = HighOrderClassifier::Make(schema, TwoConstantConcepts(0.05, 0.05),
+                                       TwoConceptStats());
+  ASSERT_TRUE(clf.ok());
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  Record labeled({0.0}, 1);
+  for (int t = 0; t < 10; ++t) (*clf)->ObserveLabeled(labeled);
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("hom.online.observations"), 10u);
+  // Each observation evaluates psi for both concepts of the ensemble.
+  EXPECT_EQ(delta.counters.at("hom.online.psi_evaluations"), 20u);
+}
+
+#endif  // HOM_DISABLE_METRICS
 
 }  // namespace
 }  // namespace hom

@@ -1,0 +1,351 @@
+/// \file
+/// Tests for the observability layer: metric primitives and registry
+/// (obs/metrics.h), phase tracing (obs/trace.h), and the JSON document
+/// model (obs/json.h) they serialize through.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hom::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge.
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreNotLost) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  Counter c;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Record(0.5);    // <= 1      -> bucket 0
+  h.Record(1.0);    // == bound  -> bucket 0 (inclusive)
+  h.Record(5.0);    // <= 10     -> bucket 1
+  h.Record(100.0);  // == bound  -> bucket 2
+  h.Record(101.0);  // overflow  -> bucket 3
+
+  std::vector<uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow.
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 101.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 101.0);
+  EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 5.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  h.Record(3.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  for (uint64_t n : h.bucket_counts()) EXPECT_EQ(n, 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreNotLost) {
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 10000;
+  Histogram h({1.0, 2.0, 4.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.Record(static_cast<double>(t % 4));  // 0,1,2,3 across threads.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(),
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  uint64_t total = 0;
+  for (uint64_t n : h.bucket_counts()) total += n;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(HistogramTest, DefaultLatencyBoundsAreStrictlyIncreasing) {
+  std::vector<double> bounds = Histogram::DefaultLatencyBoundsUs();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry + snapshots.
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test.registry.same_handle");
+  Counter* b = reg.GetCounter("test.registry.same_handle");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = reg.GetHistogram("test.registry.hist", {1.0, 2.0});
+  Histogram* h2 = reg.GetHistogram("test.registry.hist", {99.0});
+  EXPECT_EQ(h1, h2);  // First registration fixes the bounds.
+  ASSERT_EQ(h1->bounds().size(), 2u);
+  EXPECT_EQ(h1->bounds()[0], 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndDeltaAttributeActivity) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.registry.delta_counter");
+  c->Add(10);
+  MetricsSnapshot before = reg.Snapshot();
+  c->Add(7);
+  reg.GetGauge("test.registry.delta_gauge")->Set(2.5);
+  MetricsSnapshot delta = reg.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("test.registry.delta_counter"), 7u);
+  // Gauges are copied as-is, not diffed.
+  EXPECT_EQ(delta.gauges.at("test.registry.delta_gauge"), 2.5);
+}
+
+TEST(MetricsRegistryTest, MacrosFeedTheGlobalRegistry) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t before = reg.GetCounter("test.registry.macro_counter")->value();
+  for (int i = 0; i < 3; ++i) {
+    HOM_COUNTER_INC("test.registry.macro_counter");
+  }
+  HOM_COUNTER_ADD("test.registry.macro_counter", 4);
+  HOM_GAUGE_SET("test.registry.macro_gauge", 1.5);
+  HOM_HISTOGRAM_RECORD("test.registry.macro_hist", 0.5,
+                       (std::vector<double>{1.0, 2.0}));
+  MetricsSnapshot snap = reg.Snapshot();
+#ifdef HOM_DISABLE_METRICS
+  EXPECT_EQ(snap.counters.at("test.registry.macro_counter"), before);
+#else
+  EXPECT_EQ(snap.counters.at("test.registry.macro_counter"), before + 7);
+  EXPECT_EQ(snap.gauges.at("test.registry.macro_gauge"), 1.5);
+  EXPECT_EQ(snap.histograms.at("test.registry.macro_hist").count, 1u);
+#endif
+}
+
+TEST(MetricsRegistryTest, SnapshotToJsonHasAllSections) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.registry.json_counter")->Add(3);
+  JsonValue json = reg.Snapshot().ToJson();
+  ASSERT_TRUE(json.is_object());
+  ASSERT_NE(json.Find("counters"), nullptr);
+  ASSERT_NE(json.Find("gauges"), nullptr);
+  ASSERT_NE(json.Find("histograms"), nullptr);
+  const JsonValue* c = json.Find("counters")->Find("test.registry.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->as_double(), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Phase tracing.
+
+TEST(PhaseTracerTest, SpansNestIntoATree) {
+  PhaseTracer tracer("root");
+  {
+    ScopedTracer active(&tracer);
+    {
+      ScopedSpan outer("outer");
+      { ScopedSpan inner("inner"); }
+      { ScopedSpan inner("inner"); }  // Same name: merged, count 2.
+    }
+    { ScopedSpan sibling("sibling"); }
+  }
+
+  const PhaseNode& root = tracer.root();
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 2u);
+
+  const PhaseNode* outer = root.FindChild("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0].name, "inner");
+  EXPECT_EQ(outer->children[0].count, 2u);
+  EXPECT_LE(outer->children[0].seconds, outer->seconds + 1e-9);
+
+  const PhaseNode* sibling = root.FindChild("sibling");
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(sibling->count, 1u);
+  EXPECT_EQ(root.FindChild("absent"), nullptr);
+}
+
+TEST(PhaseTracerTest, SpanWithoutActiveTracerIsANoOp) {
+  // Must not crash or record anywhere.
+  ScopedSpan span("orphan");
+  SUCCEED();
+}
+
+TEST(PhaseTracerTest, ScopedTracerRestoresPreviousTracer) {
+  EXPECT_EQ(ScopedTracer::Active(), nullptr);
+  PhaseTracer a("a");
+  {
+    ScopedTracer sa(&a);
+    EXPECT_EQ(ScopedTracer::Active(), &a);
+    PhaseTracer b("b");
+    {
+      ScopedTracer sb(&b);
+      EXPECT_EQ(ScopedTracer::Active(), &b);
+      { ScopedSpan span("goes_to_b"); }
+    }
+    EXPECT_EQ(ScopedTracer::Active(), &a);
+  }
+  EXPECT_EQ(ScopedTracer::Active(), nullptr);
+  EXPECT_EQ(a.root().FindChild("goes_to_b"), nullptr);
+}
+
+TEST(PhaseNodeTest, MergeFromSumsMatchingNamesRecursively) {
+  PhaseNode a{"build", 1.0, 1, {{"fit", 0.4, 1, {}}, {"train", 0.5, 2, {}}}};
+  PhaseNode b{"build", 2.0, 1, {{"fit", 0.6, 1, {}}, {"cut", 0.1, 1, {}}}};
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.seconds, 3.0);
+  EXPECT_EQ(a.count, 2u);
+  ASSERT_EQ(a.children.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.FindChild("fit")->seconds, 1.0);
+  EXPECT_EQ(a.FindChild("fit")->count, 2u);
+  EXPECT_DOUBLE_EQ(a.FindChild("train")->seconds, 0.5);
+  ASSERT_NE(a.FindChild("cut"), nullptr);  // Unmatched child appended.
+}
+
+TEST(PhaseNodeTest, JsonRoundTrip) {
+  PhaseNode node{"build", 1.5, 2, {{"fit", 0.25, 2, {{"inner", 0.125, 4, {}}}}}};
+  JsonValue json = node.ToJson();
+  Result<PhaseNode> back = PhaseNode::FromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->name, "build");
+  EXPECT_DOUBLE_EQ(back->seconds, 1.5);
+  EXPECT_EQ(back->count, 2u);
+  ASSERT_EQ(back->children.size(), 1u);
+  ASSERT_EQ(back->children[0].children.size(), 1u);
+  EXPECT_EQ(back->children[0].children[0].name, "inner");
+  EXPECT_EQ(back->ToJson().Dump(), json.Dump());
+}
+
+TEST(PhaseNodeTest, ToTreeStringMentionsEveryPhase) {
+  PhaseNode node{"build", 1.0, 1, {{"fit", 0.5, 3, {}}}};
+  std::string tree = node.ToTreeString();
+  EXPECT_NE(tree.find("build"), std::string::npos);
+  EXPECT_NE(tree.find("fit"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON document model.
+
+TEST(JsonValueTest, ScalarsAndContainers) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", true);
+  obj.Set("n", 2.5);
+  obj.Set("i", uint64_t{7});
+  obj.Set("s", "hi");
+  obj.Set("null", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append(2);
+  obj.Set("a", arr);
+
+  EXPECT_EQ(obj.size(), 6u);
+  EXPECT_TRUE(obj.Find("b")->as_bool());
+  EXPECT_EQ(obj.Find("n")->as_double(), 2.5);
+  EXPECT_EQ(obj.Find("s")->as_string(), "hi");
+  EXPECT_TRUE(obj.Find("null")->is_null());
+  ASSERT_EQ(obj.Find("a")->size(), 2u);
+  EXPECT_EQ(obj.Find("a")->at(1).as_double(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, SetReplacesExistingKeyInPlace) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", 1);
+  obj.Set("other", 2);
+  obj.Set("k", 3);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.Find("k")->as_double(), 3.0);
+  EXPECT_EQ(obj.members()[0].first, "k");  // Insertion order preserved.
+}
+
+TEST(JsonValueTest, DumpParseRoundTrip) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("text", "line1\nline2\t\"quoted\" back\\slash");
+  obj.Set("pi", 3.141592653589793);
+  obj.Set("tiny", 1e-12);
+  obj.Set("negative", -42);
+  obj.Set("flag", false);
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue());
+  arr.Append("x");
+  obj.Set("arr", arr);
+
+  for (int indent : {0, 2}) {
+    std::string text = obj.Dump(indent);
+    Result<JsonValue> back = JsonValue::Parse(text);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->Dump(), obj.Dump()) << "indent=" << indent;
+    EXPECT_EQ(back->Find("text")->as_string(),
+              "line1\nline2\t\"quoted\" back\\slash");
+    EXPECT_EQ(back->Find("pi")->as_double(), 3.141592653589793);
+    EXPECT_EQ(back->Find("tiny")->as_double(), 1e-12);
+  }
+}
+
+TEST(JsonValueTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("{}extra").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'single': 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonValueTest, ParseAcceptsStandardDocuments) {
+  Result<JsonValue> doc = JsonValue::Parse(
+      R"({"a": [1, 2.5, -3e2, true, false, null], "b": {"nested": "A"}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("a")->at(2).as_double(), -300.0);
+  EXPECT_EQ(doc->Find("b")->Find("nested")->as_string(), "A");
+}
+
+}  // namespace
+}  // namespace hom::obs

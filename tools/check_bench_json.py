@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validates the schema_version-1 telemetry JSON emitted by the bench
+harness (bench_output/<name>.json) and by `homctl --metrics-out`.
+
+Usage:
+    tools/check_bench_json.py FILE [FILE ...]
+
+Exits 0 when every file conforms, 1 otherwise, printing one line per
+problem. Only the Python standard library is used.
+"""
+
+import json
+import sys
+
+
+def _err(path, message):
+    print(f"{path}: {message}")
+    return 1
+
+
+def _check_number(path, value, where):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return _err(path, f"{where}: expected a number, got {type(value).__name__}")
+    return 0
+
+
+def _check_phase_node(path, node, where, depth=0):
+    failures = 0
+    if depth > 64:
+        return _err(path, f"{where}: phase tree deeper than 64 levels")
+    if not isinstance(node, dict):
+        return _err(path, f"{where}: expected an object")
+    if not isinstance(node.get("name"), str) or not node.get("name"):
+        failures += _err(path, f"{where}: missing non-empty string 'name'")
+    failures += _check_number(path, node.get("seconds"), f"{where}.seconds")
+    failures += _check_number(path, node.get("count"), f"{where}.count")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        failures += _err(path, f"{where}.children: expected an array")
+    else:
+        for i, child in enumerate(children):
+            failures += _check_phase_node(
+                path, child, f"{where}.children[{i}]", depth + 1
+            )
+    return failures
+
+
+def _check_metrics(path, metrics):
+    failures = 0
+    if not isinstance(metrics, dict):
+        return _err(path, "metrics: expected an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            failures += _err(path, f"metrics.{section}: missing")
+            continue
+        if not isinstance(metrics[section], dict):
+            failures += _err(path, f"metrics.{section}: expected an object")
+    for name, value in metrics.get("counters", {}).items():
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            failures += _err(
+                path, f"metrics.counters[{name!r}]: expected a non-negative integer"
+            )
+    for name, value in metrics.get("gauges", {}).items():
+        failures += _check_number(path, value, f"metrics.gauges[{name!r}]")
+    for name, hist in metrics.get("histograms", {}).items():
+        where = f"metrics.histograms[{name!r}]"
+        if not isinstance(hist, dict):
+            failures += _err(path, f"{where}: expected an object")
+            continue
+        for key in ("count", "sum", "min", "max"):
+            failures += _check_number(path, hist.get(key), f"{where}.{key}")
+        bounds = hist.get("bounds")
+        counts = hist.get("bucket_counts")
+        if not isinstance(bounds, list) or not bounds:
+            failures += _err(path, f"{where}.bounds: expected a non-empty array")
+        elif any(b >= a for a, b in zip(bounds[1:], bounds)):
+            failures += _err(path, f"{where}.bounds: not strictly increasing")
+        if not isinstance(counts, list):
+            failures += _err(path, f"{where}.bucket_counts: expected an array")
+        elif isinstance(bounds, list) and len(counts) != len(bounds) + 1:
+            failures += _err(
+                path,
+                f"{where}.bucket_counts: expected {len(bounds) + 1} entries "
+                f"(len(bounds) + 1 overflow bucket), got {len(counts)}",
+            )
+    return failures
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return _err(path, str(e))
+
+    failures = 0
+    if not isinstance(doc, dict):
+        return _err(path, "top level: expected an object")
+    if doc.get("schema_version") != 1:
+        failures += _err(path, f"schema_version: expected 1, got {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        failures += _err(path, "name: missing non-empty string")
+
+    scale = doc.get("scale")
+    if scale is not None:
+        if not isinstance(scale, dict):
+            failures += _err(path, "scale: expected an object or null")
+        else:
+            if scale.get("mode") not in ("reduced", "paper"):
+                failures += _err(path, f"scale.mode: expected 'reduced' or 'paper', got {scale.get('mode')!r}")
+            failures += _check_number(path, scale.get("runs"), "scale.runs")
+
+    results = doc.get("results")
+    if not isinstance(results, list):
+        failures += _err(path, "results: expected an array")
+    else:
+        for i, row in enumerate(results):
+            where = f"results[{i}]"
+            if not isinstance(row, dict):
+                failures += _err(path, f"{where}: expected an object")
+                continue
+            if not isinstance(row.get("name"), str) or not row.get("name"):
+                failures += _err(path, f"{where}.name: missing non-empty string")
+            values = row.get("values")
+            if not isinstance(values, dict) or not values:
+                failures += _err(path, f"{where}.values: expected a non-empty object")
+            else:
+                for key, value in values.items():
+                    failures += _check_number(path, value, f"{where}.values[{key!r}]")
+
+    if "metrics" not in doc:
+        failures += _err(path, "metrics: missing")
+    else:
+        failures += _check_metrics(path, doc["metrics"])
+
+    phases = doc.get("phases")
+    if phases is not None:
+        failures += _check_phase_node(path, phases, "phases")
+
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        n = check_file(path)
+        if n == 0:
+            print(f"{path}: OK")
+        failures += n
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

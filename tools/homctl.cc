@@ -2,26 +2,44 @@
 //
 //   homctl generate --stream stagger --n 20000 --seed 1 --out hist.csv
 //   homctl build    --stream stagger --in hist.csv --out model.hom
+//                   [--metrics-out build_metrics.json]
 //   homctl evaluate --stream stagger --model model.hom --in test.csv
+//                   [--metrics-out eval_metrics.json]
 //   homctl inspect  --model model.hom
+//   homctl stats    build_metrics.json
 //
 // Streams name one of the built-in benchmark generators (stagger,
-// hyperplane, intrusion); their schema travels inside the model file, so
-// `evaluate`/`inspect` work on any saved model.
+// hyperplane, intrusion, sea); their schema travels inside the model file,
+// so `evaluate`/`inspect` work on any saved model.
+//
+// `--metrics-out <file>` writes the run's telemetry — per-phase build
+// timings, the optimization counters of Section II-D (classifiers trained
+// vs. reused, early terminations, similarity-cache hit rate), and the
+// prediction-latency histogram — as JSON in the same schema_version-1
+// format the bench harness emits (see tools/check_bench_json.py).
+// `stats` pretty-prints such a file: result rows, counters, and the phase
+// tree. The boolean flag `--verbose` raises the log level to debug and
+// timestamps every line.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "classifiers/decision_tree.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "data/io.h"
 #include "eval/prequential.h"
 #include "highorder/builder.h"
 #include "highorder/serialization.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "streams/hyperplane.h"
 #include "streams/intrusion.h"
 #include "streams/sea.h"
@@ -34,6 +52,7 @@ using namespace hom;
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::string positional;  ///< bare argument, commands in TakesPositional only
 
   const char* Get(const std::string& key, const char* fallback) const {
     auto it = options.find(key);
@@ -42,13 +61,47 @@ struct Args {
   bool Has(const std::string& key) const { return options.count(key) > 0; }
 };
 
-Args ParseArgs(int argc, char** argv) {
+/// Commands that accept one bare (non `--key value`) argument; everywhere
+/// else a bare token is a typo and parsing fails loudly.
+bool TakesPositional(const std::string& command) {
+  return command == "stats";
+}
+
+/// Flags that take no value; their presence sets the option to "1".
+bool IsBooleanFlag(const std::string& key) {
+  return key == "verbose";
+}
+
+/// Parses `homctl <command> [--flag] [--key value ...]`. Every option must
+/// start with "--"; a non-boolean option missing its value is an error
+/// (it used to be dropped silently, which hid typos like a trailing
+/// `--metrics-out`).
+Result<Args> ParseArgs(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
+    if (key.rfind("--", 0) != 0) {
+      if (TakesPositional(args.command) && args.positional.empty()) {
+        args.positional = key;
+        continue;
+      }
+      return Status::InvalidArgument("expected an option, got '" + key +
+                                     "' (options start with --)");
+    }
+    key = key.substr(2);
+    if (key.empty()) {
+      return Status::InvalidArgument("empty option name '--'");
+    }
+    if (IsBooleanFlag(key)) {
+      args.options[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("option --" + key +
+                                     " is missing its value");
+    }
+    args.options[key] = argv[++i];
   }
   return args;
 }
@@ -81,6 +134,33 @@ std::unique_ptr<StreamGenerator> MakeGenerator(const std::string& stream,
 int Fail(const std::string& message) {
   std::fprintf(stderr, "homctl: %s\n", message.c_str());
   return 1;
+}
+
+/// Writes one telemetry document in the bench-harness schema
+/// (schema_version 1): a single result row plus the process metrics
+/// snapshot and an optional phase tree.
+Status WriteMetricsFile(const std::string& path, const std::string& name,
+                        const obs::JsonValue& row_values,
+                        const obs::PhaseNode* phases) {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("name", name);
+  doc.Set("scale", obs::JsonValue());
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("name", name);
+  row.Set("values", row_values);
+  obs::JsonValue results = obs::JsonValue::Array();
+  results.Append(std::move(row));
+  doc.Set("results", std::move(results));
+  doc.Set("metrics", obs::MetricsRegistry::Global().Snapshot().ToJson());
+  doc.Set("phases", phases != nullptr && phases->count > 0
+                        ? phases->ToJson()
+                        : obs::JsonValue());
+  std::ofstream out(path, std::ios::trunc);
+  out << doc.Dump(2) << "\n";
+  if (!out) return Status::Internal("failed writing " + path);
+  std::printf("telemetry: wrote %s\n", path.c_str());
+  return Status::OK();
 }
 
 int CmdGenerate(const Args& args) {
@@ -123,6 +203,19 @@ int CmdBuild(const Args& args) {
               "%.2fs -> %s\n",
               report.num_records, report.num_concepts, report.build_seconds,
               out.c_str());
+  if (args.Has("metrics-out")) {
+    obs::JsonValue values = obs::JsonValue::Object();
+    values.Set("num_records", static_cast<uint64_t>(report.num_records));
+    values.Set("num_chunks", static_cast<uint64_t>(report.num_chunks));
+    values.Set("num_concepts", static_cast<uint64_t>(report.num_concepts));
+    values.Set("build_seconds", report.build_seconds);
+    values.Set("final_q", report.final_q);
+    if (Status st = WriteMetricsFile(args.Get("metrics-out", ""), "build",
+                                     values, &report.phases);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
   return 0;
 }
 
@@ -144,6 +237,19 @@ int CmdEvaluate(const Args& args) {
               "concepts)\n",
               result.error_rate(), result.num_records, result.seconds,
               (*model)->num_concepts());
+  if (args.Has("metrics-out")) {
+    obs::JsonValue values = obs::JsonValue::Object();
+    values.Set("error", result.error_rate());
+    values.Set("num_records", static_cast<uint64_t>(result.num_records));
+    values.Set("seconds", result.seconds);
+    values.Set("num_concepts",
+               static_cast<uint64_t>((*model)->num_concepts()));
+    if (Status st = WriteMetricsFile(args.Get("metrics-out", ""), "evaluate",
+                                     values, nullptr);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
   return 0;
 }
 
@@ -171,20 +277,113 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+/// `homctl stats telemetry.json` (or `--in telemetry.json`): human-readable
+/// digest of a schema_version-1 telemetry file (bench harness or
+/// --metrics-out).
+int CmdStats(const Args& args) {
+  std::string in = args.Get("in", args.positional.c_str());
+  if (in.empty()) return Fail("stats requires a telemetry file");
+  std::ifstream file(in);
+  if (!file) return Fail("cannot open " + in);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+
+  auto doc = obs::JsonValue::Parse(buffer.str());
+  if (!doc.ok()) return Fail(in + ": " + doc.status().ToString());
+  const obs::JsonValue* version = doc->Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return Fail(in + ": missing schema_version (not a telemetry file?)");
+  }
+  const obs::JsonValue* name = doc->Find("name");
+  std::printf("telemetry: %s (schema v%.0f)\n",
+              name != nullptr && name->is_string() ? name->as_string().c_str()
+                                                   : "?",
+              version->as_double());
+
+  if (const obs::JsonValue* results = doc->Find("results");
+      results != nullptr && results->is_array() && results->size() > 0) {
+    std::printf("\nresults:\n");
+    for (size_t i = 0; i < results->size(); ++i) {
+      const obs::JsonValue& row = results->at(i);
+      const obs::JsonValue* row_name = row.Find("name");
+      std::printf("  %s\n", row_name != nullptr && row_name->is_string()
+                                ? row_name->as_string().c_str()
+                                : "?");
+      if (const obs::JsonValue* values = row.Find("values");
+          values != nullptr && values->is_object()) {
+        for (const auto& [key, value] : values->members()) {
+          std::printf("    %-28s %.6g\n", key.c_str(), value.as_double());
+        }
+      }
+    }
+  }
+
+  if (const obs::JsonValue* metrics = doc->Find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    if (const obs::JsonValue* counters = metrics->Find("counters");
+        counters != nullptr && counters->size() > 0) {
+      std::printf("\ncounters:\n");
+      for (const auto& [key, value] : counters->members()) {
+        std::printf("  %-40s %12.0f\n", key.c_str(), value.as_double());
+      }
+    }
+    if (const obs::JsonValue* gauges = metrics->Find("gauges");
+        gauges != nullptr && gauges->size() > 0) {
+      std::printf("\ngauges:\n");
+      for (const auto& [key, value] : gauges->members()) {
+        std::printf("  %-40s %12.4f\n", key.c_str(), value.as_double());
+      }
+    }
+    if (const obs::JsonValue* histograms = metrics->Find("histograms");
+        histograms != nullptr && histograms->size() > 0) {
+      std::printf("\nhistograms:\n");
+      for (const auto& [key, value] : histograms->members()) {
+        const obs::JsonValue* count = value.Find("count");
+        const obs::JsonValue* sum = value.Find("sum");
+        const obs::JsonValue* min = value.Find("min");
+        const obs::JsonValue* max = value.Find("max");
+        double n = count != nullptr ? count->as_double() : 0.0;
+        std::printf("  %-40s n=%.0f mean=%.3f min=%.3f max=%.3f\n",
+                    key.c_str(), n,
+                    n > 0 && sum != nullptr ? sum->as_double() / n : 0.0,
+                    min != nullptr ? min->as_double() : 0.0,
+                    max != nullptr ? max->as_double() : 0.0);
+      }
+    }
+  }
+
+  if (const obs::JsonValue* phases = doc->Find("phases");
+      phases != nullptr && phases->is_object()) {
+    auto tree = obs::PhaseNode::FromJson(*phases);
+    if (!tree.ok()) return Fail(in + ": " + tree.status().ToString());
+    std::printf("\nphases:\n%s", tree->ToTreeString().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args = ParseArgs(argc, argv);
-  if (args.command == "generate") return CmdGenerate(args);
-  if (args.command == "build") return CmdBuild(args);
-  if (args.command == "evaluate") return CmdEvaluate(args);
-  if (args.command == "inspect") return CmdInspect(args);
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) return Fail(args.status().ToString());
+  if (args->Has("verbose")) {
+    SetLogLevel(LogLevel::kDebug);
+    SetLogTimestamps(true);
+  }
+  if (args->command == "generate") return CmdGenerate(*args);
+  if (args->command == "build") return CmdBuild(*args);
+  if (args->command == "evaluate") return CmdEvaluate(*args);
+  if (args->command == "inspect") return CmdInspect(*args);
+  if (args->command == "stats") return CmdStats(*args);
   std::fprintf(stderr,
-               "usage: homctl <generate|build|evaluate|inspect> [--key "
-               "value ...]\n"
+               "usage: homctl <generate|build|evaluate|inspect|stats> "
+               "[--verbose] [--key value ...]\n"
                "  generate --stream s --n N --seed S [--lambda L] --out f.csv\n"
-               "  build    --stream s --in hist.csv --out model.hom\n"
-               "  evaluate --model model.hom --in test.csv [--labeled 0.1]\n"
-               "  inspect  --model model.hom\n");
-  return args.command.empty() ? 1 : 2;
+               "  build    --stream s --in hist.csv --out model.hom"
+               " [--metrics-out m.json]\n"
+               "  evaluate --model model.hom --in test.csv [--labeled 0.1]"
+               " [--metrics-out m.json]\n"
+               "  inspect  --model model.hom\n"
+               "  stats    m.json\n");
+  return args->command.empty() ? 1 : 2;
 }
