@@ -11,6 +11,7 @@
 #include "classifiers/decision_tree.h"
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 
 namespace hom::bench {
 
@@ -84,6 +85,7 @@ void Normalize(CellResult* total, size_t runs) {
 std::vector<CellResult> RunComparison(const GeneratorFactory& make_generator,
                                       size_t history_size, size_t test_size,
                                       size_t runs, uint64_t seed_base) {
+  obs::ScopedJournal journal(&GlobalJournal());
   std::vector<CellResult> totals(3);
   for (size_t run = 0; run < runs; ++run) {
     uint64_t seed = seed_base + run * 1000;
@@ -119,6 +121,7 @@ std::vector<CellResult> RunComparison(const GeneratorFactory& make_generator,
 CellResult RunHighOrderOnly(const GeneratorFactory& make_generator,
                             size_t history_size, size_t test_size,
                             size_t runs, uint64_t seed_base) {
+  obs::ScopedJournal journal(&GlobalJournal());
   CellResult total;
   for (size_t run = 0; run < runs; ++run) {
     uint64_t seed = seed_base + run * 1000;
@@ -143,6 +146,13 @@ obs::PhaseNode& AccumulatedBuildPhases() {
     return node;
   }();
   return *accumulated;
+}
+
+obs::EventJournal& GlobalJournal() {
+  // Leaked like the metrics registry: bench code may emit during static
+  // destruction of generators and classifiers.
+  static obs::EventJournal* journal = new obs::EventJournal();
+  return *journal;
 }
 
 BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
@@ -181,7 +191,7 @@ std::string BenchReporter::output_path() const {
 
 Status BenchReporter::WriteJson() const {
   obs::JsonValue doc = obs::JsonValue::Object();
-  doc.Set("schema_version", 1);
+  doc.Set("schema_version", 2);
   doc.Set("name", name_);
   doc.Set("scale", scale_);
   obs::JsonValue results = obs::JsonValue::Array();
@@ -196,6 +206,9 @@ Status BenchReporter::WriteJson() const {
   const obs::PhaseNode& phases = AccumulatedBuildPhases();
   doc.Set("phases",
           phases.count > 0 ? phases.ToJson() : obs::JsonValue());
+  const obs::EventJournal& journal = GlobalJournal();
+  doc.Set("journal", journal.emitted() > 0 ? journal.SummaryJson()
+                                           : obs::JsonValue());
 
   std::error_code ec;
   std::filesystem::create_directories("bench_output", ec);
@@ -209,6 +222,13 @@ Status BenchReporter::WriteJson() const {
     return Status::Internal("failed writing " + path);
   }
   std::printf("telemetry: wrote %s\n", path.c_str());
+  if (std::getenv("HOM_BENCH_TRACE") != nullptr) {
+    std::string trace_path = "bench_output/" + name_ + "_trace.json";
+    Status st = obs::WriteChromeTrace(
+        trace_path, phases.count > 0 ? &phases : nullptr, &journal);
+    if (!st.ok()) return st;
+    std::printf("telemetry: wrote %s\n", trace_path.c_str());
+  }
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "eval/prequential.h"
 #include "highorder/builder.h"
+#include "obs/event_journal.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "streams/generator.h"
@@ -75,22 +76,33 @@ void PrintRule(size_t width);
 /// Root name "build"; count 0 until the first instrumented build.
 obs::PhaseNode& AccumulatedBuildPhases();
 
+/// Process-wide event journal the comparison/sweep drivers install while
+/// they run, so the classifiers' online events (concept switches, drift
+/// pairs, relearns) land in the bench telemetry. Summarized into the
+/// "journal" field of the bench JSON.
+obs::EventJournal& GlobalJournal();
+
 /// \brief Collects a bench binary's measurements and writes them as
 /// machine-readable telemetry to `bench_output/<name>.json` in the current
 /// working directory (validated by tools/check_bench_json.py).
 ///
-/// Schema (schema_version 1):
+/// Schema (schema_version 2):
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "name": "<bench binary>",
 ///     "scale": {"mode": "reduced"|"paper", "runs": N},
 ///     "results": [{"name": "<row>", "values": {"<key>": number, ...}}],
-///     "metrics": <MetricsSnapshot::ToJson()>,
-///     "phases": <PhaseNode::ToJson() of the merged build tree> | null
+///     "metrics": <MetricsSnapshot::ToJson()>,   // histograms now carry
+///                                               // p50/p95/p99 estimates
+///     "phases": <PhaseNode::ToJson() of the merged build tree> | null,
+///     "journal": <EventJournal::SummaryJson() of GlobalJournal()> | null
 ///   }
 ///
 /// Rows appear in first-AddValue order, keys in insertion order, so the
-/// emitted file diffs cleanly between runs.
+/// emitted file diffs cleanly between runs. Setting HOM_BENCH_TRACE in the
+/// environment additionally writes bench_output/<name>_trace.json, a
+/// Chrome trace-event timeline of the build phases + journal events
+/// (load in Perfetto / chrome://tracing).
 class BenchReporter {
  public:
   explicit BenchReporter(std::string name);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/event_journal.h"
 
 namespace hom {
 
@@ -87,6 +88,12 @@ void Dwm::ObserveLabeled(const Record& y) {
                        }),
         experts_.end());
     if (global != y.label && experts_.size() < config_.max_experts) {
+      // A spawned expert is DWM's relearn: the ensemble erred, so a blank
+      // model starts over on the current trend.
+      obs::EmitIfActive(obs::EventType::kModelRelearn, "dwm",
+                        static_cast<int64_t>(ticks_), -1,
+                        static_cast<int64_t>(experts_.size()),
+                        static_cast<double>(experts_.size() + 1));
       SpawnExpert();
     }
     if (experts_.empty()) SpawnExpert();

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/event_journal.h"
 
 namespace hom {
 
@@ -35,6 +36,7 @@ Label RePro::Predict(const Record& x) {
 
 void RePro::ObserveLabeled(const Record& y) {
   HOM_DCHECK(y.is_labeled());
+  ++ticks_;
   switch (mode_) {
     case Mode::kBootstrap: {
       ++buffer_class_counts_[static_cast<size_t>(y.label)];
@@ -47,6 +49,9 @@ void RePro::ObserveLabeled(const Record& y) {
         concepts_.push_back(std::move(first));
         transitions_.emplace_back(1, 0);
         for (auto& row : transitions_) row.resize(1, 0);
+        obs::EmitIfActive(obs::EventType::kModelRelearn, "repro",
+                          static_cast<int64_t>(ticks_), -1, 0,
+                          static_cast<double>(buffer_.size()));
         current_ = 0;
         buffer_ = Dataset(schema_);
         std::fill(buffer_class_counts_.begin(), buffer_class_counts_.end(),
@@ -84,9 +89,11 @@ void RePro::ObserveLabeled(const Record& y) {
       if (since_recheck_ >= config_.recheck_interval &&
           buffer_.size() >= config_.trigger_window) {
         since_recheck_ = 0;
-        int match = FindReappearing();
+        double acc = 0.0;
+        int match = FindReappearing(&acc);
         if (match >= 0) {
           RecordTransition(pre_trigger_, match);
+          JournalAdoption(match, /*relearned=*/false, acc);
           current_ = match;
           buffer_ = Dataset(schema_);
           std::fill(buffer_class_counts_.begin(),
@@ -107,6 +114,12 @@ void RePro::ObserveLabeled(const Record& y) {
 
 void RePro::HandleTrigger() {
   ++num_triggers_;
+  // The trigger IS RePro's drift suspicion: journal it with the window
+  // error that fired it, before the window is cleared.
+  obs::EmitIfActive(obs::EventType::kDriftSuspected, "repro",
+                    static_cast<int64_t>(ticks_), current_, -1,
+                    static_cast<double>(window_errors_) /
+                        static_cast<double>(window_.size()));
   pre_trigger_ = current_;
   mode_ = Mode::kLearning;
   buffer_ = Dataset(schema_);
@@ -117,11 +130,17 @@ void RePro::HandleTrigger() {
   // Proactive jump: if the transition history is confident about the
   // successor, start predicting with it immediately instead of clinging to
   // the outdated classifier.
-  int successor = ProactiveSuccessor(pre_trigger_);
-  if (successor >= 0) current_ = successor;
+  double confidence = 0.0;
+  int successor = ProactiveSuccessor(pre_trigger_, &confidence);
+  if (successor >= 0) {
+    obs::EmitIfActive(obs::EventType::kHmmPrediction, "repro",
+                      static_cast<int64_t>(ticks_), pre_trigger_, successor,
+                      confidence);
+    current_ = successor;
+  }
 }
 
-int RePro::FindReappearing() const {
+int RePro::FindReappearing(double* acc) const {
   DatasetView view(&buffer_);
   int best = -1;
   double best_acc = 0.0;
@@ -131,18 +150,21 @@ int RePro::FindReappearing() const {
       const Record& r = view.record(i);
       if (concepts_[c].model->Predict(r) == r.label) ++correct;
     }
-    double acc = static_cast<double>(correct) /
-                 static_cast<double>(view.size());
-    if (acc >= config_.reuse_threshold && acc > best_acc) {
-      best_acc = acc;
+    double a = static_cast<double>(correct) /
+               static_cast<double>(view.size());
+    if (a >= config_.reuse_threshold && a > best_acc) {
+      best_acc = a;
       best = static_cast<int>(c);
     }
   }
+  if (acc != nullptr) *acc = best_acc;
   return best;
 }
 
 void RePro::ConcludeLearning() {
-  int match = FindReappearing();
+  double acc = 0.0;
+  bool relearned = false;
+  int match = FindReappearing(&acc);
   if (match < 0) {
     // Learn a brand-new concept, then make sure it is not conceptually
     // equivalent to a historical one (agreement on the learning buffer).
@@ -173,10 +195,13 @@ void RePro::ConcludeLearning() {
         for (auto& row : transitions_) row.resize(concepts_.size(), 0);
         transitions_.emplace_back(concepts_.size(), 0);
         match = static_cast<int>(concepts_.size() - 1);
+        relearned = true;
+        acc = static_cast<double>(buffer_.size());
       }
     }
   }
   RecordTransition(pre_trigger_, match);
+  JournalAdoption(match, relearned, acc);
   current_ = match;
   buffer_ = Dataset(schema_);
   std::fill(buffer_class_counts_.begin(), buffer_class_counts_.end(), 0);
@@ -190,7 +215,21 @@ void RePro::RecordTransition(int from, int to) {
   ++transitions_[static_cast<size_t>(from)][static_cast<size_t>(to)];
 }
 
-int RePro::ProactiveSuccessor(int from) const {
+void RePro::JournalAdoption(int adopted, bool relearned, double value) const {
+  obs::EmitIfActive(obs::EventType::kDriftConfirmed, "repro",
+                    static_cast<int64_t>(ticks_), pre_trigger_, adopted,
+                    value);
+  obs::EmitIfActive(relearned ? obs::EventType::kModelRelearn
+                              : obs::EventType::kModelReuse,
+                    "repro", static_cast<int64_t>(ticks_), pre_trigger_,
+                    adopted, value);
+  if (adopted != current_) {
+    obs::EmitIfActive(obs::EventType::kConceptSwitch, "repro",
+                      static_cast<int64_t>(ticks_), current_, adopted, value);
+  }
+}
+
+int RePro::ProactiveSuccessor(int from, double* confidence) const {
   if (from < 0) return -1;
   const std::vector<size_t>& row = transitions_[static_cast<size_t>(from)];
   size_t total = 0;
@@ -204,9 +243,9 @@ int RePro::ProactiveSuccessor(int from) const {
     }
   }
   if (total == 0 || best < 0) return -1;
-  double confidence =
-      static_cast<double>(best_count) / static_cast<double>(total);
-  return confidence >= config_.proactive_threshold ? best : -1;
+  double conf = static_cast<double>(best_count) / static_cast<double>(total);
+  if (confidence != nullptr) *confidence = conf;
+  return conf >= config_.proactive_threshold ? best : -1;
 }
 
 }  // namespace hom

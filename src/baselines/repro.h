@@ -59,6 +59,9 @@ class RePro : public StreamClassifier {
   void ObserveLabeled(const Record& y) override;
   std::string name() const override { return "RePro"; }
   size_t num_classes() const override { return schema_->num_classes(); }
+  /// The historical concept whose classifier currently predicts (-1 while
+  /// bootstrapping).
+  int64_t ActiveConcept() const override { return current_; }
 
   /// Number of distinct concepts in the history (diagnostic; RePro's
   /// weakness is that this can grow with noise).
@@ -77,14 +80,20 @@ class RePro : public StreamClassifier {
 
   void HandleTrigger();
   /// Scans history for a concept whose classifier explains the learning
-  /// buffer; returns its index or -1.
-  int FindReappearing() const;
+  /// buffer; returns its index or -1, with its buffer accuracy in `acc`
+  /// when non-null.
+  int FindReappearing(double* acc = nullptr) const;
   /// Finishes learning: adopt a reappearing concept or install a new one,
   /// then record the transition.
   void ConcludeLearning();
   void RecordTransition(int from, int to);
-  /// Most confident successor of `from` per the transition history, or -1.
-  int ProactiveSuccessor(int from) const;
+  /// Most confident successor of `from` per the transition history, or -1;
+  /// the winning confidence lands in `confidence` when non-null.
+  int ProactiveSuccessor(int from, double* confidence = nullptr) const;
+  /// Journals the end of a learning episode: DriftConfirmed plus
+  /// ModelReuse/ModelRelearn plus (on an actual model change) a
+  /// ConceptSwitch.
+  void JournalAdoption(int adopted, bool relearned, double value) const;
 
   SchemaPtr schema_;
   ClassifierFactory base_factory_;
@@ -101,6 +110,7 @@ class RePro : public StreamClassifier {
   std::vector<std::vector<size_t>> transitions_;  ///< counts [from][to]
   size_t num_triggers_ = 0;
   size_t since_recheck_ = 0;
+  size_t ticks_ = 0;  ///< labeled records consumed; journal `record` field
 };
 
 }  // namespace hom

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "data/dataset_view.h"
+#include "obs/event_journal.h"
 
 namespace hom {
 
@@ -36,6 +37,11 @@ void StaticBaseline::ObserveLabeled(const Record& y) {
       HOM_LOG(kWarning) << "static baseline training failed: "
                         << st.ToString();
       model_.reset();
+    } else {
+      // The one and only training this baseline ever does.
+      obs::EmitIfActive(obs::EventType::kModelRelearn, "static",
+                        static_cast<int64_t>(buffer_.size()), -1, 0,
+                        static_cast<double>(buffer_.size()));
     }
     buffer_ = Dataset(schema_);
   }
@@ -80,6 +86,10 @@ void SlidingWindowBaseline::Retrain() {
   if (st.ok()) {
     model_ = std::move(fresh);
     ++retrains_;
+    obs::EmitIfActive(obs::EventType::kModelRelearn, "sliding_window",
+                      static_cast<int64_t>(seen_), -1,
+                      static_cast<int64_t>(retrains_),
+                      static_cast<double>(window_.size()));
   } else {
     HOM_LOG(kWarning) << "window retrain failed: " << st.ToString();
   }
@@ -87,6 +97,7 @@ void SlidingWindowBaseline::Retrain() {
 
 void SlidingWindowBaseline::ObserveLabeled(const Record& y) {
   HOM_DCHECK(y.is_labeled());
+  ++seen_;
   window_.push_back(y);
   if (window_.size() > window_size_) window_.pop_front();
   if (++since_retrain_ >= retrain_interval_ &&

@@ -67,6 +67,7 @@ class SlidingWindowBaseline : public StreamClassifier {
   std::unique_ptr<Classifier> model_;
   size_t since_retrain_ = 0;
   size_t retrains_ = 0;
+  size_t seen_ = 0;  ///< labeled records consumed; journal `record` field
 };
 
 }  // namespace hom

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/event_journal.h"
 
 namespace hom {
 
@@ -87,10 +88,16 @@ void Wce::FinishChunk() {
   Status st = fresh.model->Train(chunk);
   if (st.ok()) {
     fresh.weight = mse_r - cv_mse;
+    // Every finished chunk trains a member from scratch — WCE's answer to
+    // drift is always a relearn, never reuse.
+    obs::EmitIfActive(obs::EventType::kModelRelearn, "wce",
+                      static_cast<int64_t>(ticks_), -1,
+                      static_cast<int64_t>(chunks_), fresh.weight);
     members_.push_back(std::move(fresh));
   } else {
     HOM_LOG(kWarning) << "WCE chunk training failed: " << st.ToString();
   }
+  ++chunks_;
 
   std::sort(members_.begin(), members_.end(),
             [](const Member& a, const Member& b) {
@@ -106,6 +113,7 @@ void Wce::FinishChunk() {
 
 void Wce::ObserveLabeled(const Record& y) {
   HOM_DCHECK(y.is_labeled());
+  ++ticks_;
   ++buffer_class_counts_[static_cast<size_t>(y.label)];
   buffer_.AppendUnchecked(y);
   if (buffer_.size() >= config_.chunk_size) FinishChunk();

@@ -73,6 +73,8 @@ class Wce : public StreamClassifier {
   std::vector<Member> members_;
   std::vector<size_t> buffer_class_counts_;
   size_t base_evaluations_ = 0;
+  size_t ticks_ = 0;   ///< labeled records consumed; journal `record` field
+  size_t chunks_ = 0;  ///< chunks completed; journal member id
 };
 
 }  // namespace hom

@@ -1,0 +1,83 @@
+#include "eval/online_stats.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace hom {
+
+OnlineConceptStats::OnlineConceptStats(size_t num_classes, size_t window)
+    : num_classes_(num_classes), window_(window) {
+  HOM_CHECK_GT(num_classes, 0u);
+}
+
+void OnlineConceptStats::Observe(int64_t concept_id, Label truth,
+                                 Label predicted) {
+  ConceptEntry& entry = concepts_[concept_id];
+  if (entry.confusion.empty()) {
+    entry.confusion.assign(num_classes_ * num_classes_, 0);
+  }
+  if (!any_ || concept_id != current_concept_) {
+    ++entry.activations;
+    if (any_) ++total_switches_;
+    any_ = true;
+    current_concept_ = concept_id;
+  }
+  ++entry.records;
+  ++total_records_;
+  bool wrong = predicted != truth;
+  if (wrong) ++entry.errors;
+  if (window_ > 0) {
+    uint8_t flag = wrong ? 1 : 0;
+    if (entry.recent.size() < window_) {
+      entry.recent.push_back(flag);
+      entry.recent_errors += flag;
+    } else {
+      entry.recent_errors -= entry.recent[entry.recent_head];
+      entry.recent[entry.recent_head] = flag;
+      entry.recent_errors += flag;
+      entry.recent_head = (entry.recent_head + 1) % window_;
+    }
+  }
+  if (truth >= 0 && static_cast<size_t>(truth) < num_classes_ &&
+      predicted >= 0 && static_cast<size_t>(predicted) < num_classes_) {
+    ++entry.confusion[static_cast<size_t>(truth) * num_classes_ +
+                      static_cast<size_t>(predicted)];
+  }
+}
+
+obs::JsonValue OnlineConceptStats::ToJson() const {
+  using obs::JsonValue;
+  JsonValue concepts_json = JsonValue::Object();
+  for (const auto& [id, entry] : concepts_) {
+    JsonValue cj = JsonValue::Object();
+    cj.Set("activations", JsonValue(entry.activations));
+    cj.Set("records", JsonValue(entry.records));
+    cj.Set("errors", JsonValue(entry.errors));
+    cj.Set("error_rate", JsonValue(entry.error_rate()));
+    cj.Set("windowed_error_rate", JsonValue(entry.windowed_error_rate()));
+    cj.Set("mean_dwell",
+           JsonValue(entry.activations == 0
+                         ? 0.0
+                         : static_cast<double>(entry.records) /
+                               static_cast<double>(entry.activations)));
+    JsonValue confusion = JsonValue::Array();
+    for (size_t t = 0; t < num_classes_; ++t) {
+      JsonValue row = JsonValue::Array();
+      for (size_t p = 0; p < num_classes_; ++p) {
+        row.Append(JsonValue(entry.confusion[t * num_classes_ + p]));
+      }
+      confusion.Append(std::move(row));
+    }
+    cj.Set("confusion", std::move(confusion));
+    concepts_json.Set(std::to_string(id), std::move(cj));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("window", JsonValue(static_cast<uint64_t>(window_)));
+  out.Set("records", JsonValue(total_records_));
+  out.Set("switches", JsonValue(total_switches_));
+  out.Set("concepts", std::move(concepts_json));
+  return out;
+}
+
+}  // namespace hom

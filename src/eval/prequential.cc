@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,7 +18,16 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
 
   PrequentialResult result;
   if (options.record_trace) result.errors.reserve(test.size());
+  if (options.track_concept_stats) {
+    result.concept_stats = std::make_shared<OnlineConceptStats>(
+        classifier->num_classes(), options.journal_error_window);
+  }
   Rng label_rng(options.label_seed);
+  // Block-error accounting for the journal's WindowError events; only paid
+  // for when a journal is installed.
+  obs::EventJournal* journal = obs::EventJournal::Active();
+  size_t window_errors = 0;
+  size_t window_fill = 0;
 
   Stopwatch timer;
   obs::ScopedSpan span("prequential_eval");
@@ -31,11 +41,35 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
     ++result.num_records;
     if (wrong) ++result.num_errors;
     if (options.record_trace) result.errors.push_back(wrong ? 1 : 0);
+    if (result.concept_stats != nullptr) {
+      result.concept_stats->Observe(classifier->ActiveConcept(), r.label,
+                                    predicted);
+    }
+    if (journal != nullptr && options.journal_error_window > 0) {
+      if (wrong) ++window_errors;
+      if (++window_fill == options.journal_error_window) {
+        journal->Emit(obs::EventType::kWindowError, "prequential",
+                      static_cast<int64_t>(result.num_records),
+                      classifier->ActiveConcept(), -1,
+                      static_cast<double>(window_errors) /
+                          static_cast<double>(window_fill));
+        window_errors = 0;
+        window_fill = 0;
+      }
+    }
     // Reveal y_t (possibly subsampled to model labeling overhead).
     if (options.labeled_fraction >= 1.0 ||
         label_rng.NextBernoulli(options.labeled_fraction)) {
       classifier->ObserveLabeled(r);
     }
+  }
+  if (journal != nullptr && window_fill > 0) {
+    // Flush the ragged tail block so short streams still journal an error.
+    journal->Emit(obs::EventType::kWindowError, "prequential",
+                  static_cast<int64_t>(result.num_records),
+                  classifier->ActiveConcept(), -1,
+                  static_cast<double>(window_errors) /
+                      static_cast<double>(window_fill));
   }
   result.seconds = timer.ElapsedSeconds();
   HOM_COUNTER_ADD("hom.eval.records", result.num_records);

@@ -1,8 +1,15 @@
 #include "eval/selective_labeling.h"
 
 #include "common/check.h"
+#include "obs/event_journal.h"
 
 namespace hom {
+
+namespace {
+/// Block size of the WindowError events journaled by the selective harness
+/// (matches PrequentialOptions::journal_error_window's default).
+constexpr size_t kJournalErrorWindow = 500;
+}  // namespace
 
 RandomLabelingPolicy::RandomLabelingPolicy(double fraction, uint64_t seed)
     : fraction_(fraction), rng_(seed) {
@@ -21,6 +28,9 @@ SelectiveResult RunSelectivePrequential(StreamClassifier* classifier,
   HOM_CHECK(classifier != nullptr);
   HOM_CHECK(policy != nullptr);
   SelectiveResult result;
+  obs::EventJournal* journal = obs::EventJournal::Active();
+  size_t window_errors = 0;
+  size_t window_fill = 0;
   for (const Record& r : test.records()) {
     HOM_DCHECK(r.is_labeled());
     Record unlabeled = r;
@@ -28,12 +38,32 @@ SelectiveResult RunSelectivePrequential(StreamClassifier* classifier,
     bool want_label = policy->ShouldRequestLabel(classifier, unlabeled);
     Label predicted = classifier->Predict(unlabeled);
     ++result.num_records;
-    if (predicted != r.label) ++result.num_errors;
+    bool wrong = predicted != r.label;
+    if (wrong) ++result.num_errors;
+    if (journal != nullptr) {
+      if (wrong) ++window_errors;
+      if (++window_fill == kJournalErrorWindow) {
+        journal->Emit(obs::EventType::kWindowError, "selective",
+                      static_cast<int64_t>(result.num_records),
+                      classifier->ActiveConcept(), -1,
+                      static_cast<double>(window_errors) /
+                          static_cast<double>(window_fill));
+        window_errors = 0;
+        window_fill = 0;
+      }
+    }
     if (want_label) {
       ++result.labels_requested;
       policy->OnLabelRevealed(classifier, r, predicted);
       classifier->ObserveLabeled(r);
     }
+  }
+  if (journal != nullptr && window_fill > 0) {
+    journal->Emit(obs::EventType::kWindowError, "selective",
+                  static_cast<int64_t>(result.num_records),
+                  classifier->ActiveConcept(), -1,
+                  static_cast<double>(window_errors) /
+                      static_cast<double>(window_fill));
   }
   return result;
 }

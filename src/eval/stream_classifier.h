@@ -34,6 +34,12 @@ class StreamClassifier {
 
   /// Number of classes of the underlying schema.
   virtual size_t num_classes() const = 0;
+
+  /// Identifier of the concept/model currently driving predictions, or -1
+  /// when the method has no such notion (chunk ensembles, static models).
+  /// The prequential harness uses this to attribute per-concept online
+  /// statistics (OnlineConceptStats).
+  virtual int64_t ActiveConcept() const { return -1; }
 };
 
 }  // namespace hom

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/event_journal.h"
 
 namespace hom {
 
@@ -43,7 +44,17 @@ void ActiveProbabilityTracker::ObserveAfterGap(const std::vector<double>& psi,
   size_t n = stats_.num_concepts();
   HOM_CHECK_EQ(psi.size(), n);
   HOM_CHECK_GE(gap, 1u);
+  size_t before = MostLikelyConceptPosterior();
   prior_ = stats_.PropagateSteps(posterior_, gap);
+  // Bridging a label gap is pure chain prediction: record it when the
+  // propagation alone moved the belief to another concept.
+  size_t after = static_cast<size_t>(
+      std::max_element(prior_.begin(), prior_.end()) - prior_.begin());
+  if (after != before) {
+    obs::EmitIfActive(obs::EventType::kHmmPrediction, "active_probability",
+                      static_cast<int64_t>(gap), static_cast<int64_t>(before),
+                      static_cast<int64_t>(after), prior_[after]);
+  }
   double total = 0.0;
   for (size_t c = 0; c < n; ++c) {
     HOM_DCHECK(psi[c] >= 0.0);
@@ -58,13 +69,26 @@ void ActiveProbabilityTracker::ObserveAfterGap(const std::vector<double>& psi,
 }
 
 void ActiveProbabilityTracker::AdvanceWithoutEvidence() {
+  size_t before = MostLikelyConceptPosterior();
   prior_ = stats_.Propagate(posterior_);
   posterior_ = prior_;
+  size_t after = MostLikelyConcept();
+  if (after != before) {
+    obs::EmitIfActive(obs::EventType::kHmmPrediction, "active_probability",
+                      /*record=*/1, static_cast<int64_t>(before),
+                      static_cast<int64_t>(after), prior_[after]);
+  }
 }
 
 size_t ActiveProbabilityTracker::MostLikelyConcept() const {
   return static_cast<size_t>(
       std::max_element(prior_.begin(), prior_.end()) - prior_.begin());
+}
+
+size_t ActiveProbabilityTracker::MostLikelyConceptPosterior() const {
+  return static_cast<size_t>(
+      std::max_element(posterior_.begin(), posterior_.end()) -
+      posterior_.begin());
 }
 
 }  // namespace hom

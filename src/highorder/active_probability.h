@@ -48,6 +48,9 @@ class ActiveProbabilityTracker {
   /// Index of the most probable current concept (by prior).
   size_t MostLikelyConcept() const;
 
+  /// Index of the most probable current concept (by posterior).
+  size_t MostLikelyConceptPosterior() const;
+
   size_t num_concepts() const { return stats_.num_concepts(); }
   const ConceptStats& stats() const { return stats_; }
 

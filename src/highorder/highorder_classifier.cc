@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 
 namespace hom {
@@ -42,7 +43,8 @@ HighOrderClassifier::HighOrderClassifier(SchemaPtr schema,
     : schema_(std::move(schema)),
       concepts_(std::move(concepts)),
       tracker_(std::move(stats)),
-      options_(options) {
+      options_(options),
+      until_latency_sample_(options.latency_sample_period) {
   weights_ = tracker_.prior();
   weight_order_.resize(concepts_.size());
   std::iota(weight_order_.begin(), weight_order_.end(), 0);
@@ -59,6 +61,7 @@ void HighOrderClassifier::ObserveLabeled(const Record& y) {
   }
   tracker_.Observe(psi);
   weights_stale_ = true;
+  ++observations_;
   HOM_COUNTER_INC("hom.online.observations");
   HOM_COUNTER_ADD("hom.online.psi_evaluations", concepts_.size());
 }
@@ -76,14 +79,61 @@ void HighOrderClassifier::RefreshWeights() {
   std::iota(weight_order_.begin(), weight_order_.end(), 0);
   std::sort(weight_order_.begin(), weight_order_.end(),
             [&](size_t a, size_t b) { return weights_[a] > weights_[b]; });
-  if (!weight_order_.empty()) {
-    size_t top = weight_order_[0];
-    if (last_top_concept_ != static_cast<size_t>(-1) &&
-        top != last_top_concept_) {
-      HOM_COUNTER_INC("hom.online.concept_switches");
+  if (weight_order_.empty()) return;
+  size_t top = weight_order_[0];
+  double top_weight = weights_[top];
+  int64_t record = static_cast<int64_t>(observations_);
+  if (options_.weight_by_prior) {
+    // When the weights come from the propagated prior, a weight argmax that
+    // disagrees with the posterior argmax is the Markov chain predicting the
+    // next concept ahead of the evidence — the paper's proactive adaptation.
+    const std::vector<double>& post = tracker_.posterior();
+    size_t post_top = static_cast<size_t>(
+        std::max_element(post.begin(), post.end()) - post.begin());
+    if (top != post_top) {
+      obs::EmitIfActive(obs::EventType::kHmmPrediction, "highorder", record,
+                        static_cast<int64_t>(post_top),
+                        static_cast<int64_t>(top), top_weight);
     }
-    last_top_concept_ = top;
   }
+  if (last_top_concept_ != static_cast<size_t>(-1) &&
+      top != last_top_concept_) {
+    // A switch confirms the drift whether or not the weight dipped first;
+    // emit the suspicion late if the hysteresis never caught it so a
+    // ConceptSwitch is always preceded by a DriftSuspected/Confirmed pair.
+    if (!drift_suspected_) {
+      obs::EmitIfActive(obs::EventType::kDriftSuspected, "highorder", record,
+                        static_cast<int64_t>(last_top_concept_), -1,
+                        top_weight);
+    }
+    obs::EmitIfActive(obs::EventType::kDriftConfirmed, "highorder", record,
+                      static_cast<int64_t>(last_top_concept_),
+                      static_cast<int64_t>(top), top_weight);
+    obs::EmitIfActive(obs::EventType::kConceptSwitch, "highorder", record,
+                      static_cast<int64_t>(last_top_concept_),
+                      static_cast<int64_t>(top), top_weight);
+    drift_suspected_ = false;
+    HOM_COUNTER_INC("hom.online.concept_switches");
+  } else if (!drift_suspected_ && top_weight < options_.drift_suspect_weight) {
+    obs::EmitIfActive(obs::EventType::kDriftSuspected, "highorder", record,
+                      static_cast<int64_t>(top), -1, top_weight);
+    drift_suspected_ = true;
+  } else if (drift_suspected_ && top_weight >= options_.drift_clear_weight) {
+    // The incumbent recovered its grip; withdraw the suspicion silently.
+    drift_suspected_ = false;
+  }
+  last_top_concept_ = top;
+}
+
+int64_t HighOrderClassifier::ActiveConcept() const {
+  return last_top_concept_ == static_cast<size_t>(-1)
+             ? -1
+             : static_cast<int64_t>(last_top_concept_);
+}
+
+void HighOrderClassifier::set_latency_sample_period(size_t period) {
+  options_.latency_sample_period = period;
+  until_latency_sample_ = period;
 }
 
 const std::vector<double>& HighOrderClassifier::active_probabilities() {
@@ -111,8 +161,10 @@ Label HighOrderClassifier::Predict(const Record& x) {
 #ifndef HOM_DISABLE_METRICS
   // Sampled latency: timing every record would cost two clock reads per
   // prediction, which alone can break the <5% overhead budget on cheap
-  // base models. Every 64th call is plenty for a stable histogram.
-  if ((predictions_ & 63u) == 0) {
+  // base models. Every latency_sample_period-th call (default 64) is
+  // plenty for a stable histogram; 0 disables the clock entirely.
+  if (options_.latency_sample_period != 0 && --until_latency_sample_ == 0) {
+    until_latency_sample_ = options_.latency_sample_period;
     Stopwatch sw;
     Label out = PredictImpl(x);
     HOM_HISTOGRAM_RECORD("hom.online.predict_latency_us",

@@ -31,6 +31,22 @@ struct HighOrderOptions {
   /// concepts in decreasing active probability and stop once the answer
   /// can no longer change.
   bool prune_prediction = true;
+  /// Every `latency_sample_period`-th Predict() is wall-clock timed into
+  /// the "hom.online.predict_latency_us" histogram; 0 disables sampling
+  /// entirely. The default (64) keeps the two clock reads per sample well
+  /// inside the 5% instrumentation budget even on trivial base models
+  /// while still filling the histogram quickly. Also settable after model
+  /// load via set_latency_sample_period() (homctl --latency-sample).
+  size_t latency_sample_period = 64;
+  /// Drift event hysteresis for the journal (obs::EventJournal): a
+  /// DriftSuspected fires when the top concept's prediction weight sinks
+  /// below `drift_suspect_weight` (its grip on the stream is slipping);
+  /// the suspicion is withdrawn once the weight recovers above
+  /// `drift_clear_weight`. A weight-argmax change always emits
+  /// DriftSuspected (if not already pending) + DriftConfirmed +
+  /// ConceptSwitch, in that order.
+  double drift_suspect_weight = 0.55;
+  double drift_clear_weight = 0.70;
 };
 
 /// \brief The online high-order classifier of Section III: a Markov filter
@@ -54,6 +70,13 @@ class HighOrderClassifier : public StreamClassifier {
   void ObserveLabeled(const Record& y) override;
   std::string name() const override { return "High-order"; }
   size_t num_classes() const override { return schema_->num_classes(); }
+  /// The concept currently holding the largest prediction weight (as of
+  /// the last weight refresh), or -1 before the first one.
+  int64_t ActiveConcept() const override;
+
+  /// Runtime override of HighOrderOptions::latency_sample_period (0
+  /// disables latency sampling); applies from the next Predict().
+  void set_latency_sample_period(size_t period);
 
   size_t num_concepts() const { return concepts_.size(); }
   const ConceptModel& concept_model(size_t c) const { return concepts_[c]; }
@@ -92,9 +115,18 @@ class HighOrderClassifier : public StreamClassifier {
   std::vector<size_t> weight_order_;  ///< concepts sorted by weight, desc.
   size_t base_evaluations_ = 0;
   size_t predictions_ = 0;
+  /// Labeled records consumed so far; the `record` field of emitted
+  /// journal events.
+  size_t observations_ = 0;
   /// Most recent argmax of the concept weights; tracks concept switches
-  /// for the "hom.online.concept_switches" counter.
+  /// for the "hom.online.concept_switches" counter and the journal's
+  /// ConceptSwitch events.
   size_t last_top_concept_ = static_cast<size_t>(-1);
+  /// Whether a DriftSuspected is pending (emitted, not yet confirmed or
+  /// withdrawn) — see HighOrderOptions::drift_suspect_weight.
+  bool drift_suspected_ = false;
+  /// Predictions left until the next sampled latency measurement.
+  size_t until_latency_sample_ = 0;
 };
 
 }  // namespace hom

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 
 namespace hom {
@@ -85,6 +86,16 @@ Result<std::vector<int>> ConceptHmm::Viterbi(
       delta[t_max - 1].begin());
   for (size_t t = t_max - 1; t > 0; --t) {
     path[t - 1] = argmax[t][static_cast<size_t>(path[t])];
+  }
+  // Journal each decoded transition: the HMM's retrospective verdict on
+  // where the concept chain jumped. `record` is the position in the
+  // decoded sequence, `value` the step's best log-probability.
+  for (size_t t = 1; t < t_max; ++t) {
+    if (path[t] != path[t - 1]) {
+      obs::EmitIfActive(obs::EventType::kHmmPrediction, "hmm",
+                        static_cast<int64_t>(t), path[t - 1], path[t],
+                        delta[t][static_cast<size_t>(path[t])]);
+    }
   }
   return path;
 }

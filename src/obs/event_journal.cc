@@ -1,0 +1,183 @@
+#include "obs/event_journal.h"
+
+#include "common/check.h"
+
+namespace hom::obs {
+
+namespace {
+
+thread_local EventJournal* g_active_journal = nullptr;
+
+constexpr std::string_view kTypeNames[kNumEventTypes] = {
+    "concept_switch", "drift_suspected",  "drift_confirmed", "model_reuse",
+    "model_relearn",  "hmm_prediction",   "window_error",
+};
+
+}  // namespace
+
+std::string_view EventTypeName(EventType type) {
+  size_t i = static_cast<size_t>(type);
+  HOM_DCHECK(i < kNumEventTypes);
+  return kTypeNames[i];
+}
+
+Result<EventType> EventTypeFromName(std::string_view name) {
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    if (kTypeNames[i] == name) return static_cast<EventType>(i);
+  }
+  return Status::InvalidArgument("unknown event type '" + std::string(name) +
+                                 "'");
+}
+
+EventJournal::EventJournal(size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  HOM_CHECK_GE(capacity, 1u) << "journal needs at least one slot";
+  ring_.reserve(capacity_);
+}
+
+EventJournal::~EventJournal() { CloseSink(); }
+
+void EventJournal::Emit(EventType type, std::string_view source,
+                        int64_t record, int64_t from, int64_t to,
+                        double value) {
+  Event event;
+  event.type = type;
+  event.source = std::string(source);
+  event.record = record;
+  event.from = from;
+  event.to = to;
+  event.value = value;
+  event.t_us = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  ++per_type_[static_cast<size_t>(type)];
+  if (sink_.is_open()) {
+    sink_ << ToJsonl(event) << "\n";
+    sink_.flush();  // tail --follow must see the line immediately
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[event.seq % capacity_] = std::move(event);
+  }
+}
+
+std::vector<Event> EventJournal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // Oldest retained seq is next_seq_ - ring_.size(); slots are seq-keyed.
+  uint64_t first = next_seq_ - ring_.size();
+  for (uint64_t seq = first; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+uint64_t EventJournal::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - ring_.size();
+}
+
+std::array<uint64_t, kNumEventTypes> EventJournal::per_type_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_type_;
+}
+
+Status EventJournal::AttachJsonlSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_.open(path, std::ios::trunc);
+  if (!sink_) {
+    return Status::Internal("cannot open journal sink " + path);
+  }
+  return Status::OK();
+}
+
+void EventJournal::CloseSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) sink_.close();
+}
+
+Status EventJournal::WriteJsonl(const std::string& path) const {
+  std::vector<Event> events = Snapshot();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path);
+  for (const Event& e : events) out << ToJsonl(e) << "\n";
+  if (!out) return Status::Internal("failed writing " + path);
+  return Status::OK();
+}
+
+JsonValue EventJournal::SummaryJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue by_type = JsonValue::Object();
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    if (per_type_[i] > 0) {
+      by_type.Set(std::string(kTypeNames[i]), JsonValue(per_type_[i]));
+    }
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("emitted", JsonValue(next_seq_));
+  out.Set("dropped", JsonValue(next_seq_ - ring_.size()));
+  out.Set("capacity", JsonValue(static_cast<uint64_t>(capacity_)));
+  out.Set("by_type", std::move(by_type));
+  return out;
+}
+
+EventJournal* EventJournal::Active() { return g_active_journal; }
+
+std::string EventJournal::ToJsonl(const Event& event) {
+  JsonValue line = JsonValue::Object();
+  line.Set("seq", JsonValue(event.seq));
+  line.Set("t_us", JsonValue(event.t_us));
+  line.Set("type", JsonValue(std::string(EventTypeName(event.type))));
+  line.Set("source", JsonValue(event.source));
+  line.Set("record", JsonValue(static_cast<int64_t>(event.record)));
+  line.Set("from", JsonValue(static_cast<int64_t>(event.from)));
+  line.Set("to", JsonValue(static_cast<int64_t>(event.to)));
+  line.Set("value", JsonValue(event.value));
+  return line.Dump();
+}
+
+Result<Event> EventJournal::FromJsonl(std::string_view line) {
+  HOM_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("journal line must be a JSON object");
+  }
+  const JsonValue* type = doc.Find("type");
+  if (type == nullptr || !type->is_string()) {
+    return Status::InvalidArgument("journal line is missing 'type'");
+  }
+  Event event;
+  HOM_ASSIGN_OR_RETURN(event.type, EventTypeFromName(type->as_string()));
+  if (const JsonValue* v = doc.Find("source"); v != nullptr && v->is_string()) {
+    event.source = v->as_string();
+  }
+  auto number = [&doc](const char* key, double fallback) {
+    const JsonValue* v = doc.Find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : fallback;
+  };
+  event.seq = static_cast<uint64_t>(number("seq", 0.0));
+  event.t_us = number("t_us", 0.0);
+  event.record = static_cast<int64_t>(number("record", -1.0));
+  event.from = static_cast<int64_t>(number("from", -1.0));
+  event.to = static_cast<int64_t>(number("to", -1.0));
+  event.value = number("value", 0.0);
+  return event;
+}
+
+ScopedJournal::ScopedJournal(EventJournal* journal)
+    : previous_(g_active_journal) {
+  g_active_journal = journal;
+}
+
+ScopedJournal::~ScopedJournal() { g_active_journal = previous_; }
+
+}  // namespace hom::obs

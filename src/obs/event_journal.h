@@ -1,0 +1,155 @@
+#ifndef HOM_OBS_EVENT_JOURNAL_H_
+#define HOM_OBS_EVENT_JOURNAL_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace hom::obs {
+
+/// The online-phase event taxonomy (DESIGN.md §7). Counters tell you *how
+/// often* something happened; these events tell you *when*, *from where to
+/// where*, and *with what evidence* — the transition dynamics the paper's
+/// whole online phase is about.
+enum class EventType : uint8_t {
+  kConceptSwitch = 0,  ///< the predicting model changed its active concept
+  kDriftSuspected,     ///< early warning: current concept losing support
+  kDriftConfirmed,     ///< the evidence settled on a different concept
+  kModelReuse,         ///< a historical model was re-activated (no training)
+  kModelRelearn,       ///< a model was (re)trained online (chasing trends)
+  kHmmPrediction,      ///< the transition chain proactively predicted a state
+  kWindowError,        ///< periodic windowed-error report from a harness
+};
+
+inline constexpr size_t kNumEventTypes = 7;
+
+/// Stable wire name of an event type ("concept_switch", ...).
+std::string_view EventTypeName(EventType type);
+
+/// Inverse of EventTypeName; error on unknown names.
+Result<EventType> EventTypeFromName(std::string_view name);
+
+/// One journal entry. `seq` and `t_us` are assigned by the journal at emit
+/// time; everything else is the emitter's claim. Unknown/inapplicable ids
+/// are -1. `value` is event-specific: the active probability or windowed
+/// error rate backing the event (see the taxonomy table in DESIGN.md §7).
+struct Event {
+  EventType type = EventType::kConceptSwitch;
+  std::string source;  ///< short emitter tag: "highorder", "repro", ...
+  uint64_t seq = 0;    ///< global emit order within the journal
+  double t_us = 0.0;   ///< microseconds since journal construction
+  int64_t record = -1; ///< emitter-local stream position (labeled records)
+  int64_t from = -1;   ///< concept id before the event
+  int64_t to = -1;     ///< concept id after the event
+  double value = 0.0;  ///< evidence payload (probability, error rate, ...)
+};
+
+/// \brief Bounded, timestamped, thread-safe journal of typed online-phase
+/// events, with an optional streaming JSONL sink.
+///
+/// The ring buffer keeps the most recent `capacity` events; older entries
+/// are overwritten and counted in dropped(). Emit() is a short critical
+/// section (sequence assignment + one slot write; plus one buffered line
+/// write when a sink is attached). Events fire at concept-transition
+/// granularity — orders of magnitude rarer than records — so journal cost
+/// is invisible next to the 5% instrumentation budget; instrumented code
+/// that may run with no journal installed pays a single thread-local load
+/// (see Active()/EmitIfActive).
+///
+/// Like PhaseTracer, a journal is activated on the current thread with the
+/// ScopedJournal RAII; library code emits through EmitIfActive() and does
+/// nothing when no journal is installed.
+class EventJournal {
+ public:
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit EventJournal(size_t capacity = kDefaultCapacity);
+  ~EventJournal();
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Appends one event; fills seq/t_us. Thread-safe.
+  void Emit(EventType type, std::string_view source, int64_t record = -1,
+            int64_t from = -1, int64_t to = -1, double value = 0.0);
+
+  /// The retained events, oldest first (at most capacity(), in seq order).
+  std::vector<Event> Snapshot() const;
+
+  /// Total events emitted since construction.
+  uint64_t emitted() const;
+  /// Events evicted from the ring by overflow (still on the JSONL sink if
+  /// one was attached before they fired).
+  uint64_t dropped() const;
+  /// Emit counts per event type, indexed by EventType.
+  std::array<uint64_t, kNumEventTypes> per_type_counts() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Streams every subsequent Emit() as one JSON line to `path`
+  /// (truncating). Lines are flushed per event so `homctl tail --follow`
+  /// sees them live.
+  Status AttachJsonlSink(const std::string& path);
+  /// Flushes and detaches the sink (also done by the destructor).
+  void CloseSink();
+
+  /// Dumps the current Snapshot() as JSONL to `path` (truncating).
+  Status WriteJsonl(const std::string& path) const;
+
+  /// {"emitted": N, "dropped": N, "capacity": N, "by_type": {...}} —
+  /// the summary embedded in telemetry files.
+  JsonValue SummaryJson() const;
+
+  /// The calling thread's active journal, or nullptr (see ScopedJournal).
+  static EventJournal* Active();
+
+  /// One-line JSON serialization of an event / its inverse. A round trip
+  /// preserves every field.
+  static std::string ToJsonl(const Event& event);
+  static Result<Event> FromJsonl(std::string_view line);
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;      ///< slot = seq % capacity_
+  uint64_t next_seq_ = 0;
+  std::array<uint64_t, kNumEventTypes> per_type_{};
+  std::ofstream sink_;
+};
+
+/// \brief RAII: makes `journal` the calling thread's active journal for the
+/// enclosing scope (restores the previous one on destruction), mirroring
+/// ScopedTracer.
+class ScopedJournal {
+ public:
+  explicit ScopedJournal(EventJournal* journal);
+  ~ScopedJournal();
+
+  ScopedJournal(const ScopedJournal&) = delete;
+  ScopedJournal& operator=(const ScopedJournal&) = delete;
+
+ private:
+  EventJournal* previous_;
+};
+
+/// Emission helper for instrumented code: one thread-local load when no
+/// journal is active, a full Emit() otherwise.
+inline void EmitIfActive(EventType type, std::string_view source,
+                         int64_t record = -1, int64_t from = -1,
+                         int64_t to = -1, double value = 0.0) {
+  if (EventJournal* journal = EventJournal::Active()) {
+    journal->Emit(type, source, record, from, to, value);
+  }
+}
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_EVENT_JOURNAL_H_

@@ -95,6 +95,26 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
 }
 
+double MetricsSnapshot::HistogramData::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      double lower = i == 0 ? std::min(min, bounds.front()) : bounds[i - 1];
+      double upper = i < bounds.size() ? bounds[i] : max;
+      double fraction = (target - cumulative) / in_bucket;
+      double estimate = lower + fraction * (upper - lower);
+      return std::clamp(estimate, min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
 MetricsSnapshot MetricsSnapshot::DeltaSince(
     const MetricsSnapshot& earlier) const {
   MetricsSnapshot delta = *this;
@@ -123,6 +143,9 @@ JsonValue MetricsSnapshot::ToJson() const {
     hj.Set("sum", JsonValue(h.sum));
     hj.Set("min", JsonValue(h.min));
     hj.Set("max", JsonValue(h.max));
+    hj.Set("p50", JsonValue(h.Quantile(0.50)));
+    hj.Set("p95", JsonValue(h.Quantile(0.95)));
+    hj.Set("p99", JsonValue(h.Quantile(0.99)));
     JsonValue bounds_json = JsonValue::Array();
     for (double b : h.bounds) bounds_json.Append(JsonValue(b));
     hj.Set("bounds", std::move(bounds_json));

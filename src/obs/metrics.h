@@ -85,6 +85,12 @@ struct MetricsSnapshot {
     double sum = 0.0;
     double min = 0.0;
     double max = 0.0;
+
+    /// Quantile estimate from the bucket counts, q in [0, 1]: linear
+    /// interpolation inside the bucket holding the q-th observation,
+    /// clamped to [min, max] (the overflow bucket interpolates toward
+    /// max). Exact only up to bucket resolution. 0 when empty.
+    double Quantile(double q) const;
   };
 
   std::map<std::string, uint64_t> counters;

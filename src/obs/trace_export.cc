@@ -1,0 +1,101 @@
+#include "obs/trace_export.h"
+
+#include <fstream>
+
+namespace hom::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kPhaseTid = 1;    ///< "offline phases" track
+constexpr int kJournalTid = 2;  ///< "online events" track
+
+JsonValue ThreadNameEvent(int tid, const char* name) {
+  JsonValue args = JsonValue::Object();
+  args.Set("name", JsonValue(name));
+  JsonValue event = JsonValue::Object();
+  event.Set("name", JsonValue("thread_name"));
+  event.Set("ph", JsonValue("M"));
+  event.Set("pid", JsonValue(kPid));
+  event.Set("tid", JsonValue(tid));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+/// Emits `node` as an "X" slice starting at `start_us` and recurses into
+/// its children laid out back to back from the same start.
+void AppendPhaseSlices(const PhaseNode& node, double start_us,
+                       JsonValue* events) {
+  JsonValue args = JsonValue::Object();
+  args.Set("count", JsonValue(node.count));
+  JsonValue slice = JsonValue::Object();
+  slice.Set("name", JsonValue(node.name));
+  slice.Set("cat", JsonValue("phase"));
+  slice.Set("ph", JsonValue("X"));
+  slice.Set("ts", JsonValue(start_us));
+  slice.Set("dur", JsonValue(node.seconds * 1e6));
+  slice.Set("pid", JsonValue(kPid));
+  slice.Set("tid", JsonValue(kPhaseTid));
+  slice.Set("args", std::move(args));
+  events->Append(std::move(slice));
+  double child_start = start_us;
+  for (const PhaseNode& child : node.children) {
+    AppendPhaseSlices(child, child_start, events);
+    child_start += child.seconds * 1e6;
+  }
+}
+
+JsonValue InstantEvent(const Event& event) {
+  JsonValue args = JsonValue::Object();
+  args.Set("seq", JsonValue(event.seq));
+  args.Set("source", JsonValue(event.source));
+  args.Set("record", JsonValue(static_cast<int64_t>(event.record)));
+  args.Set("from", JsonValue(static_cast<int64_t>(event.from)));
+  args.Set("to", JsonValue(static_cast<int64_t>(event.to)));
+  args.Set("value", JsonValue(event.value));
+  JsonValue instant = JsonValue::Object();
+  instant.Set("name", JsonValue(std::string(EventTypeName(event.type))));
+  instant.Set("cat", JsonValue("journal"));
+  instant.Set("ph", JsonValue("i"));
+  instant.Set("ts", JsonValue(event.t_us));
+  instant.Set("pid", JsonValue(kPid));
+  instant.Set("tid", JsonValue(kJournalTid));
+  instant.Set("s", JsonValue("t"));  // thread-scoped instant mark
+  instant.Set("args", std::move(args));
+  return instant;
+}
+
+}  // namespace
+
+JsonValue ChromeTraceDocument(const PhaseNode* phases,
+                              const std::vector<Event>& events) {
+  JsonValue trace_events = JsonValue::Array();
+  if (phases != nullptr && phases->count > 0) {
+    trace_events.Append(ThreadNameEvent(kPhaseTid, "offline phases"));
+    AppendPhaseSlices(*phases, 0.0, &trace_events);
+  }
+  if (!events.empty()) {
+    trace_events.Append(ThreadNameEvent(kJournalTid, "online events"));
+    for (const Event& event : events) {
+      trace_events.Append(InstantEvent(event));
+    }
+  }
+  JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", JsonValue("ms"));
+  return doc;
+}
+
+Status WriteChromeTrace(const std::string& path, const PhaseNode* phases,
+                        const EventJournal* journal) {
+  std::vector<Event> events;
+  if (journal != nullptr) events = journal->Snapshot();
+  JsonValue doc = ChromeTraceDocument(phases, events);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path);
+  out << doc.Dump(2) << "\n";
+  if (!out) return Status::Internal("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace hom::obs

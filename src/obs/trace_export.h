@@ -1,0 +1,37 @@
+#ifndef HOM_OBS_TRACE_EXPORT_H_
+#define HOM_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/event_journal.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace hom::obs {
+
+/// \brief Merges a PhaseNode tree and an event-journal snapshot into one
+/// Chrome trace-event document (the JSON Object Format understood by
+/// chrome://tracing and Perfetto's legacy importer).
+///
+/// Offline phases become complete ("X") slices on track "offline phases".
+/// PhaseNode stores aggregate durations, not start timestamps, so slice
+/// starts are synthesized: each child starts where its previous sibling
+/// ended, inside its parent — nesting and relative magnitude are exact,
+/// absolute offsets within a phase are not. Journal events become instant
+/// ("i") marks on track "online events" at their real (journal-epoch)
+/// microsecond timestamps, with source/record/from/to/value under "args".
+///
+/// Pass nullptr / an empty vector to export only one of the two inputs.
+JsonValue ChromeTraceDocument(const PhaseNode* phases,
+                              const std::vector<Event>& events);
+
+/// ChromeTraceDocument() written to `path` (truncating). `phases` and
+/// `journal` may each be nullptr.
+Status WriteChromeTrace(const std::string& path, const PhaseNode* phases,
+                        const EventJournal* journal);
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_TRACE_EXPORT_H_

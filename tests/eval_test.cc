@@ -1,11 +1,14 @@
 // Tests for the evaluation harness: the prequential protocol (labels must
-// stay hidden at prediction time) and the change-aligned trace averaging.
+// stay hidden at prediction time), the change-aligned trace averaging, and
+// the per-concept online accounting fed from ActiveConcept().
 
 #include <gtest/gtest.h>
 
+#include "eval/online_stats.h"
 #include "eval/prequential.h"
 #include "eval/stream_classifier.h"
 #include "eval/trace.h"
+#include "obs/event_journal.h"
 #include "streams/stagger.h"
 
 namespace hom {
@@ -82,6 +85,94 @@ TEST(PrequentialTest, LabeledFractionSubsamplesObservations) {
   RunPrequential(&spy, test, options);
   EXPECT_EQ(spy.predictions_, 4000u);  // every record still predicted
   EXPECT_NEAR(static_cast<double>(spy.observations_), 1000.0, 120.0);
+}
+
+TEST(PrequentialTest, EmitsWindowErrorEventsWhenJournalActive) {
+  Dataset test = LabeledStream(1050);
+  SpyClassifier spy(2);
+  PrequentialOptions options;
+  options.journal_error_window = 500;
+  obs::EventJournal journal;
+  {
+    obs::ScopedJournal scoped(&journal);
+    RunPrequential(&spy, test, options);
+  }
+  // Two full 500-record blocks plus the 50-record ragged tail.
+  std::vector<obs::Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, obs::EventType::kWindowError);
+  EXPECT_EQ(events[0].source, "prequential");
+  EXPECT_EQ(events[0].record, 500);
+  EXPECT_EQ(events[1].record, 1000);
+  EXPECT_EQ(events[2].record, 1050);
+  // The spy always predicts 0, so each block error is the fraction of 1s.
+  EXPECT_GE(events[0].value, 0.0);
+  EXPECT_LE(events[0].value, 1.0);
+}
+
+TEST(PrequentialTest, ConceptStatsTrackedOnRequest) {
+  Dataset test = LabeledStream(300);
+  SpyClassifier spy(2);
+  PrequentialOptions options;
+  options.track_concept_stats = true;
+  PrequentialResult result = RunPrequential(&spy, test, options);
+  ASSERT_NE(result.concept_stats, nullptr);
+  EXPECT_EQ(result.concept_stats->total_records(), 300u);
+  // SpyClassifier never reports a concept, so everything lands on -1.
+  ASSERT_EQ(result.concept_stats->concepts().size(), 1u);
+  EXPECT_EQ(result.concept_stats->concepts().begin()->first, -1);
+}
+
+// ------------------------------------------------------ OnlineConceptStats
+
+TEST(OnlineStatsTest, AttributesRecordsAndSwitchesPerConcept) {
+  OnlineConceptStats stats(/*num_classes=*/2, /*window=*/4);
+  // Concept 0 holds 3 records (1 error), then concept 1 holds 2 (all wrong),
+  // then back to concept 0 for 1 correct record.
+  stats.Observe(0, 0, 0);
+  stats.Observe(0, 1, 1);
+  stats.Observe(0, 1, 0);
+  stats.Observe(1, 0, 1);
+  stats.Observe(1, 1, 0);
+  stats.Observe(0, 0, 0);
+  EXPECT_EQ(stats.total_records(), 6u);
+  EXPECT_EQ(stats.total_switches(), 2u);
+  EXPECT_EQ(stats.current_concept(), 0);
+  const auto& c0 = stats.concepts().at(0);
+  EXPECT_EQ(c0.activations, 2u);
+  EXPECT_EQ(c0.records, 4u);
+  EXPECT_EQ(c0.errors, 1u);
+  EXPECT_DOUBLE_EQ(c0.error_rate(), 0.25);
+  const auto& c1 = stats.concepts().at(1);
+  EXPECT_EQ(c1.activations, 1u);
+  EXPECT_DOUBLE_EQ(c1.error_rate(), 1.0);
+  // Confusion for concept 1: both records wrong, truth 0->pred 1, 1->pred 0.
+  EXPECT_EQ(c1.confusion[0 * 2 + 1], 1u);
+  EXPECT_EQ(c1.confusion[1 * 2 + 0], 1u);
+}
+
+TEST(OnlineStatsTest, WindowedErrorRateForgetsOldMistakes) {
+  OnlineConceptStats stats(/*num_classes=*/2, /*window=*/3);
+  stats.Observe(0, 1, 0);  // wrong
+  stats.Observe(0, 1, 0);  // wrong
+  stats.Observe(0, 0, 0);
+  stats.Observe(0, 0, 0);
+  stats.Observe(0, 0, 0);  // ring now holds the last 3 (all correct)
+  const auto& c0 = stats.concepts().at(0);
+  EXPECT_DOUBLE_EQ(c0.error_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(c0.windowed_error_rate(), 0.0);
+}
+
+TEST(OnlineStatsTest, ToJsonCarriesTheSnapshot) {
+  OnlineConceptStats stats(/*num_classes=*/2, /*window=*/10);
+  stats.Observe(3, 1, 0);
+  stats.Observe(3, 1, 1);
+  obs::JsonValue json = stats.ToJson();
+  std::string dumped = json.Dump();
+  EXPECT_NE(dumped.find("\"records\":2"), std::string::npos);
+  EXPECT_NE(dumped.find("\"3\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"mean_dwell\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"confusion\""), std::string::npos);
 }
 
 // ------------------------------------------------- AlignedTraceAccumulator

@@ -1,0 +1,386 @@
+/// \file
+/// Tests for the online-phase event journal (obs/event_journal.h): typed
+/// emission, ring-buffer overflow accounting, concurrent ordering, JSONL
+/// round-trips and sinks, ScopedJournal activation, and the Chrome
+/// trace-event export (obs/trace_export.h).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/event_journal.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace hom::obs {
+namespace {
+
+/// Unique temp-file path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               (stem + "_" + std::to_string(::getpid()) + ".tmp"))
+                  .string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Event type names.
+
+TEST(EventTypeTest, NamesRoundTrip) {
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    EventType type = static_cast<EventType>(i);
+    auto parsed = EventTypeFromName(EventTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(EventTypeFromName("no_such_event").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Emission and accounting.
+
+TEST(EventJournalTest, EmitAssignsSequentialSeqAndMonotonicTime) {
+  EventJournal journal;
+  journal.Emit(EventType::kDriftSuspected, "test", 10, 0, -1, 0.4);
+  journal.Emit(EventType::kDriftConfirmed, "test", 12, 0, 1, 0.9);
+  journal.Emit(EventType::kConceptSwitch, "test", 12, 0, 1, 0.9);
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_GE(events[i].t_us, 0.0);
+    if (i > 0) EXPECT_GE(events[i].t_us, events[i - 1].t_us);
+  }
+  EXPECT_EQ(events[0].type, EventType::kDriftSuspected);
+  EXPECT_EQ(events[0].source, "test");
+  EXPECT_EQ(events[0].record, 10);
+  EXPECT_EQ(events[0].from, 0);
+  EXPECT_EQ(events[0].to, -1);
+  EXPECT_DOUBLE_EQ(events[0].value, 0.4);
+  EXPECT_EQ(journal.emitted(), 3u);
+  EXPECT_EQ(journal.dropped(), 0u);
+}
+
+TEST(EventJournalTest, PerTypeCountsTrackEveryEmit) {
+  EventJournal journal;
+  journal.Emit(EventType::kModelReuse, "a");
+  journal.Emit(EventType::kModelReuse, "b");
+  journal.Emit(EventType::kWindowError, "c");
+  auto counts = journal.per_type_counts();
+  EXPECT_EQ(counts[static_cast<size_t>(EventType::kModelReuse)], 2u);
+  EXPECT_EQ(counts[static_cast<size_t>(EventType::kWindowError)], 1u);
+  EXPECT_EQ(counts[static_cast<size_t>(EventType::kConceptSwitch)], 0u);
+}
+
+TEST(EventJournalTest, RingOverflowDropsOldestAndCountsThem) {
+  EventJournal journal(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    journal.Emit(EventType::kWindowError, "test", i);
+  }
+  EXPECT_EQ(journal.emitted(), 10u);
+  EXPECT_EQ(journal.dropped(), 6u);
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The four newest survive, in seq order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].record, static_cast<int64_t>(6 + i));
+  }
+}
+
+TEST(EventJournalTest, ConcurrentEmitsGetUniqueSeqsAndAllSurviveAccounting) {
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 2000;
+  EventJournal journal(kThreads * kEventsPerThread);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        journal.Emit(EventType::kHmmPrediction, "thread", t, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(journal.emitted(),
+            static_cast<uint64_t>(kThreads) * kEventsPerThread);
+  EXPECT_EQ(journal.dropped(), 0u);
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * kEventsPerThread);
+  // Every seq appears exactly once and the snapshot is sorted by seq.
+  std::set<uint64_t> seqs;
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    seqs.insert(events[i].seq);
+  }
+  EXPECT_EQ(seqs.size(), events.size());
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round trips.
+
+TEST(EventJournalTest, JsonlRoundTripPreservesEveryField) {
+  Event event;
+  event.type = EventType::kDriftConfirmed;
+  event.source = "highorder";
+  event.seq = 42;
+  event.t_us = 12345.625;  // representable exactly in a double
+  event.record = 1840;
+  event.from = 2;
+  event.to = 0;
+  event.value = 0.8125;
+  auto parsed = EventJournal::FromJsonl(EventJournal::ToJsonl(event));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, event.type);
+  EXPECT_EQ(parsed->source, event.source);
+  EXPECT_EQ(parsed->seq, event.seq);
+  EXPECT_DOUBLE_EQ(parsed->t_us, event.t_us);
+  EXPECT_EQ(parsed->record, event.record);
+  EXPECT_EQ(parsed->from, event.from);
+  EXPECT_EQ(parsed->to, event.to);
+  EXPECT_DOUBLE_EQ(parsed->value, event.value);
+}
+
+TEST(EventJournalTest, FromJsonlRejectsGarbage) {
+  EXPECT_FALSE(EventJournal::FromJsonl("not json").ok());
+  EXPECT_FALSE(EventJournal::FromJsonl("{\"seq\": 1}").ok());  // no type
+  EXPECT_FALSE(EventJournal::FromJsonl("{\"type\": \"bogus\"}").ok());
+}
+
+TEST(EventJournalTest, WriteJsonlDumpsTheSnapshot) {
+  TempFile file("journal_dump");
+  EventJournal journal;
+  journal.Emit(EventType::kModelRelearn, "wce", 100, -1, 0, 0.5);
+  journal.Emit(EventType::kConceptSwitch, "repro", 200, 0, 1, 0.9);
+  ASSERT_TRUE(journal.WriteJsonl(file.path()).ok());
+  std::vector<std::string> lines = ReadLines(file.path());
+  ASSERT_EQ(lines.size(), 2u);
+  auto first = EventJournal::FromJsonl(lines[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, EventType::kModelRelearn);
+  EXPECT_EQ(first->source, "wce");
+}
+
+TEST(EventJournalTest, AttachedSinkStreamsEventsAsTheyFire) {
+  TempFile file("journal_sink");
+  EventJournal journal;
+  ASSERT_TRUE(journal.AttachJsonlSink(file.path()).ok());
+  journal.Emit(EventType::kDriftSuspected, "repro", 7, 1, -1, 0.35);
+  // Per-event flush: the line is on disk before CloseSink.
+  ASSERT_EQ(ReadLines(file.path()).size(), 1u);
+  journal.Emit(EventType::kDriftConfirmed, "repro", 9, 1, 2, 0.9);
+  journal.CloseSink();
+  std::vector<std::string> lines = ReadLines(file.path());
+  ASSERT_EQ(lines.size(), 2u);
+  auto second = EventJournal::FromJsonl(lines[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, EventType::kDriftConfirmed);
+  EXPECT_EQ(second->to, 2);
+}
+
+TEST(EventJournalTest, SinkKeepsLinesTheRingAlreadyDropped) {
+  TempFile file("journal_sink_overflow");
+  EventJournal journal(/*capacity=*/2);
+  ASSERT_TRUE(journal.AttachJsonlSink(file.path()).ok());
+  for (int i = 0; i < 5; ++i) {
+    journal.Emit(EventType::kWindowError, "test", i);
+  }
+  journal.CloseSink();
+  EXPECT_EQ(journal.dropped(), 3u);
+  EXPECT_EQ(ReadLines(file.path()).size(), 5u);  // sink saw everything
+}
+
+TEST(EventJournalTest, SummaryJsonReportsCountsAndDrops) {
+  EventJournal journal(/*capacity=*/2);
+  journal.Emit(EventType::kConceptSwitch, "a");
+  journal.Emit(EventType::kConceptSwitch, "b");
+  journal.Emit(EventType::kModelReuse, "c");
+  JsonValue summary = journal.SummaryJson();
+  EXPECT_EQ(summary.Find("emitted")->as_double(), 3.0);
+  EXPECT_EQ(summary.Find("dropped")->as_double(), 1.0);
+  EXPECT_EQ(summary.Find("capacity")->as_double(), 2.0);
+  const JsonValue* by_type = summary.Find("by_type");
+  ASSERT_NE(by_type, nullptr);
+  EXPECT_EQ(by_type->Find("concept_switch")->as_double(), 2.0);
+  EXPECT_EQ(by_type->Find("model_reuse")->as_double(), 1.0);
+  // Zero-count types are omitted.
+  EXPECT_EQ(by_type->Find("window_error"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local activation.
+
+TEST(ScopedJournalTest, ActivatesAndRestoresNesting) {
+  EXPECT_EQ(EventJournal::Active(), nullptr);
+  EmitIfActive(EventType::kConceptSwitch, "noop");  // no journal: no crash
+  EventJournal outer;
+  {
+    ScopedJournal scoped_outer(&outer);
+    EXPECT_EQ(EventJournal::Active(), &outer);
+    EmitIfActive(EventType::kConceptSwitch, "outer");
+    EventJournal inner;
+    {
+      ScopedJournal scoped_inner(&inner);
+      EXPECT_EQ(EventJournal::Active(), &inner);
+      EmitIfActive(EventType::kModelReuse, "inner");
+    }
+    EXPECT_EQ(EventJournal::Active(), &outer);
+  }
+  EXPECT_EQ(EventJournal::Active(), nullptr);
+  EXPECT_EQ(outer.emitted(), 1u);
+  EXPECT_EQ(outer.Snapshot()[0].source, "outer");
+}
+
+TEST(ScopedJournalTest, ActivationIsPerThread) {
+  EventJournal journal;
+  ScopedJournal scoped(&journal);
+  EventJournal* seen_on_other_thread = &journal;  // sentinel: must change
+  std::thread([&seen_on_other_thread] {
+    seen_on_other_thread = EventJournal::Active();
+  }).join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+  EXPECT_EQ(EventJournal::Active(), &journal);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export.
+
+TEST(TraceExportTest, DocumentMergesPhasesAndJournalEvents) {
+  PhaseNode root;
+  root.name = "build";
+  root.seconds = 1.0;
+  root.count = 1;
+  PhaseNode child;
+  child.name = "clustering";
+  child.seconds = 0.25;
+  child.count = 1;
+  root.children.push_back(child);
+
+  EventJournal journal;
+  journal.Emit(EventType::kConceptSwitch, "highorder", 500, 0, 1, 0.9);
+
+  JsonValue doc = ChromeTraceDocument(&root, journal.Snapshot());
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 2 thread_name metadata + 2 phase slices + 1 instant.
+  ASSERT_EQ(events->size(), 5u);
+  size_t slices = 0;
+  size_t instants = 0;
+  size_t metadata = 0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string& ph = event.Find("ph")->as_string();
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    if (ph == "X") {
+      ++slices;
+      EXPECT_NE(event.Find("dur"), nullptr);
+      EXPECT_NE(event.Find("ts"), nullptr);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(event.Find("name")->as_string(), "concept_switch");
+      EXPECT_EQ(event.Find("args")->Find("to")->as_double(), 1.0);
+    } else {
+      EXPECT_EQ(ph, "M");
+      ++metadata;
+    }
+  }
+  EXPECT_EQ(slices, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(doc.Find("displayTimeUnit")->as_string(), "ms");
+}
+
+TEST(TraceExportTest, ChildSlicesNestInsideTheParent) {
+  PhaseNode root;
+  root.name = "build";
+  root.seconds = 2.0;
+  root.count = 1;
+  PhaseNode a;
+  a.name = "a";
+  a.seconds = 0.5;
+  a.count = 1;
+  PhaseNode b;
+  b.name = "b";
+  b.seconds = 0.75;
+  b.count = 1;
+  root.children.push_back(a);
+  root.children.push_back(b);
+
+  JsonValue doc = ChromeTraceDocument(&root, {});
+  const JsonValue* events = doc.Find("traceEvents");
+  double root_start = -1.0, root_dur = 0.0;
+  double a_start = -1.0, a_dur = 0.0;
+  double b_start = -1.0;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    if (event.Find("ph")->as_string() != "X") continue;
+    const std::string& name = event.Find("name")->as_string();
+    double ts = event.Find("ts")->as_double();
+    double dur = event.Find("dur")->as_double();
+    if (name == "build") {
+      root_start = ts;
+      root_dur = dur;
+    } else if (name == "a") {
+      a_start = ts;
+      a_dur = dur;
+    } else if (name == "b") {
+      b_start = ts;
+    }
+  }
+  // Children are laid back-to-back from the parent's start and stay inside
+  // its duration, so Perfetto renders them as a nested flame.
+  EXPECT_EQ(a_start, root_start);
+  EXPECT_DOUBLE_EQ(b_start, a_start + a_dur);
+  EXPECT_LE(b_start, root_start + root_dur);
+}
+
+TEST(TraceExportTest, WriteChromeTraceProducesParseableJson) {
+  TempFile file("trace_export");
+  PhaseNode root;
+  root.name = "build";
+  root.seconds = 0.5;
+  root.count = 1;
+  EventJournal journal;
+  journal.Emit(EventType::kDriftSuspected, "repro", 10, 0, -1, 0.3);
+  ASSERT_TRUE(WriteChromeTrace(file.path(), &root, &journal).ok());
+  std::ifstream in(file.path());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_NE(parsed->Find("traceEvents"), nullptr);
+}
+
+TEST(TraceExportTest, EmptyInputsYieldEmptyEventArray) {
+  JsonValue doc = ChromeTraceDocument(nullptr, {});
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->size(), 0u);
+}
+
+}  // namespace
+}  // namespace hom::obs

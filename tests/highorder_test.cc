@@ -17,6 +17,7 @@
 #include "highorder/highorder_classifier.h"
 #include "highorder/builder.h"
 #include "highorder/merge_queue.h"
+#include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "streams/stagger.h"
 
@@ -541,6 +542,102 @@ TEST(OnlineObservabilityTest, ObservationsAndEvaluationsAreCounted) {
 }
 
 #endif  // HOM_DISABLE_METRICS
+
+TEST(OnlineObservabilityTest, ConceptSwitchIsAlwaysPrecededByDriftEvents) {
+  SchemaPtr schema = TinySchema();
+  auto clf = HighOrderClassifier::Make(schema, TwoConstantConcepts(0.05, 0.05),
+                                       TwoConceptStats());
+  ASSERT_TRUE(clf.ok());
+  obs::EventJournal journal;
+  {
+    obs::ScopedJournal scoped(&journal);
+    // Drive the label stream through three regimes so the weight argmax
+    // flips twice: class 1, then class 0, then class 1 again. Predicting
+    // after each observation mirrors the prequential loop and forces the
+    // lazy weight refresh where the drift machine lives.
+    Record one({0.0}, 1);
+    Record zero({0.0}, 0);
+    Record x({0.0}, kUnlabeled);
+    for (int t = 0; t < 30; ++t) {
+      (*clf)->ObserveLabeled(one);
+      (*clf)->Predict(x);
+    }
+    for (int t = 0; t < 30; ++t) {
+      (*clf)->ObserveLabeled(zero);
+      (*clf)->Predict(x);
+    }
+    for (int t = 0; t < 30; ++t) {
+      (*clf)->ObserveLabeled(one);
+      (*clf)->Predict(x);
+    }
+  }
+  size_t switches = 0;
+  bool suspected_since_switch = false;
+  bool confirmed_since_switch = false;
+  for (const obs::Event& e : journal.Snapshot()) {
+    if (e.source != "highorder") continue;
+    switch (e.type) {
+      case obs::EventType::kDriftSuspected:
+        suspected_since_switch = true;
+        break;
+      case obs::EventType::kDriftConfirmed:
+        confirmed_since_switch = true;
+        break;
+      case obs::EventType::kConceptSwitch:
+        ++switches;
+        EXPECT_TRUE(suspected_since_switch)
+            << "switch at record " << e.record << " had no DriftSuspected";
+        EXPECT_TRUE(confirmed_since_switch)
+            << "switch at record " << e.record << " had no DriftConfirmed";
+        suspected_since_switch = false;
+        confirmed_since_switch = false;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GE(switches, 2u);
+}
+
+TEST(OnlineObservabilityTest, ActiveConceptFollowsTheDominantWeight) {
+  SchemaPtr schema = TinySchema();
+  auto clf = HighOrderClassifier::Make(schema, TwoConstantConcepts(0.05, 0.05),
+                                       TwoConceptStats());
+  ASSERT_TRUE(clf.ok());
+  EXPECT_EQ((*clf)->ActiveConcept(), -1);  // nothing observed yet
+  Record one({0.0}, 1);
+  Record x({0.0}, kUnlabeled);
+  for (int t = 0; t < 10; ++t) (*clf)->ObserveLabeled(one);
+  (*clf)->Predict(x);  // the weight refresh that tracks the argmax is lazy
+  EXPECT_EQ((*clf)->ActiveConcept(), 1);
+}
+
+TEST(OnlineObservabilityTest, LatencySamplePeriodIsConfigurable) {
+  SchemaPtr schema = TinySchema();
+  HighOrderOptions options;
+  options.latency_sample_period = 1;  // sample every Predict call
+  auto clf = HighOrderClassifier::Make(schema, TwoConstantConcepts(0.05, 0.05),
+                                       TwoConceptStats(), options);
+  ASSERT_TRUE(clf.ok());
+#ifndef HOM_DISABLE_METRICS
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+#endif
+  Record x({0.0}, kUnlabeled);
+  for (int t = 0; t < 8; ++t) (*clf)->Predict(x);
+#ifndef HOM_DISABLE_METRICS
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.histograms.at("hom.online.predict_latency_us").count, 8u);
+#endif
+  // Period 0 disables sampling entirely; the countdown must not underflow.
+  (*clf)->set_latency_sample_period(0);
+  for (int t = 0; t < 8; ++t) (*clf)->Predict(x);
+#ifndef HOM_DISABLE_METRICS
+  obs::MetricsSnapshot after =
+      obs::MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  EXPECT_EQ(after.histograms.at("hom.online.predict_latency_us").count, 8u);
+#endif
+}
 
 }  // namespace
 }  // namespace hom

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Regression gate: diffs fresh bench telemetry against committed baselines.
+
+Usage:
+    tools/bench_compare.py [--baseline-dir bench_baselines]
+                           [--output-dir bench_output] [NAME ...]
+
+With no NAME arguments, every baseline in --baseline-dir is compared
+against the same-named file in --output-dir. Each comparison walks the
+"results" rows and applies a per-key policy:
+
+  error-like   (key contains "error", "loss" or "regret"; lower = better)
+      FAIL if new > base + max(0.02, 0.25 * base)
+  accuracy-like (key contains "accuracy", "likelihood" or "hit_rate";
+                 higher = better)
+      FAIL if new < base - max(0.02, 0.25 * abs(base))
+  time-like    (key contains "seconds", "latency", "_ms" or "_us";
+                noisy across machines)
+      FAIL if new > base * 1.5 + 0.05
+  anything else (counts, configuration echoes)
+      WARN on change, never fails
+
+A row or key present in the baseline but missing from the fresh output
+is a FAIL (a silently vanished measurement is itself a regression).
+New rows/keys in the fresh output are fine. Exits 1 when any
+comparison fails, 0 otherwise. Only the Python standard library is
+used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ERROR_HINTS = ("error", "loss", "regret")
+ACCURACY_HINTS = ("accuracy", "likelihood", "hit_rate")
+TIME_HINTS = ("seconds", "latency", "_ms", "_us")
+
+# Error-like keys tolerate an absolute slack of this much even when the
+# baseline is tiny, so a 0.00 -> 0.01 flutter on an easy stream doesn't gate.
+ABS_SLACK = 0.02
+REL_SLACK = 0.25
+TIME_FACTOR = 1.5
+TIME_ABS_SLACK = 0.05
+
+
+def classify(key):
+    lowered = key.lower()
+    if any(h in lowered for h in ERROR_HINTS):
+        return "error"
+    if any(h in lowered for h in ACCURACY_HINTS):
+        return "accuracy"
+    if any(h in lowered for h in TIME_HINTS):
+        return "time"
+    return "other"
+
+
+def load_results(path):
+    """Returns {row_name: {key: value}} from a telemetry file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        if isinstance(row, dict) and isinstance(row.get("name"), str):
+            values = row.get("values")
+            if isinstance(values, dict):
+                rows[row["name"]] = values
+    return rows
+
+
+def compare_values(name, row, key, base, new, report):
+    kind = classify(key)
+    where = f"{name}: {row}.{key}"
+    if kind == "error":
+        limit = base + max(ABS_SLACK, REL_SLACK * base)
+        if new > limit:
+            report["fail"].append(
+                f"{where}: {new:.4f} exceeds baseline {base:.4f} "
+                f"(limit {limit:.4f})"
+            )
+    elif kind == "accuracy":
+        floor = base - max(ABS_SLACK, REL_SLACK * abs(base))
+        if new < floor:
+            report["fail"].append(
+                f"{where}: {new:.4f} below baseline {base:.4f} "
+                f"(floor {floor:.4f})"
+            )
+    elif kind == "time":
+        limit = base * TIME_FACTOR + TIME_ABS_SLACK
+        if new > limit:
+            report["fail"].append(
+                f"{where}: {new:.3f}s exceeds baseline {base:.3f}s "
+                f"(limit {limit:.3f}s)"
+            )
+    else:
+        if new != base:
+            report["warn"].append(f"{where}: changed {base!r} -> {new!r}")
+
+
+def compare_file(name, base_path, new_path, report):
+    try:
+        base_rows = load_results(base_path)
+    except (OSError, json.JSONDecodeError) as e:
+        report["fail"].append(f"{name}: cannot read baseline: {e}")
+        return
+    try:
+        new_rows = load_results(new_path)
+    except (OSError, json.JSONDecodeError) as e:
+        report["fail"].append(f"{name}: cannot read fresh output: {e}")
+        return
+    for row_name, base_values in base_rows.items():
+        new_values = new_rows.get(row_name)
+        if new_values is None:
+            report["fail"].append(f"{name}: row {row_name!r} missing from output")
+            continue
+        for key, base_value in base_values.items():
+            if key not in new_values:
+                report["fail"].append(
+                    f"{name}: {row_name}.{key} missing from output"
+                )
+                continue
+            compare_values(name, row_name, key, base_value, new_values[key],
+                           report)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Compare bench telemetry against committed baselines."
+    )
+    parser.add_argument("--baseline-dir", default="bench_baselines")
+    parser.add_argument("--output-dir", default="bench_output")
+    parser.add_argument("names", nargs="*",
+                        help="bench names (default: every baseline)")
+    args = parser.parse_args(argv[1:])
+
+    if args.names:
+        names = args.names
+    else:
+        try:
+            names = sorted(
+                os.path.splitext(f)[0]
+                for f in os.listdir(args.baseline_dir)
+                if f.endswith(".json")
+            )
+        except OSError as e:
+            print(f"cannot list {args.baseline_dir}: {e}")
+            return 2
+    if not names:
+        print(f"no baselines found in {args.baseline_dir}")
+        return 2
+
+    report = {"fail": [], "warn": []}
+    for name in names:
+        compare_file(
+            name,
+            os.path.join(args.baseline_dir, name + ".json"),
+            os.path.join(args.output_dir, name + ".json"),
+            report,
+        )
+
+    for line in report["warn"]:
+        print(f"WARN  {line}")
+    for line in report["fail"]:
+        print(f"FAIL  {line}")
+    if report["fail"]:
+        print(f"{len(report['fail'])} regression(s) across {len(names)} bench(es)")
+        return 1
+    print(f"OK: {len(names)} bench(es) within tolerance "
+          f"({len(report['warn'])} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,10 @@
 #!/usr/bin/env python3
-"""Validates the schema_version-1 telemetry JSON emitted by the bench
+"""Validates the schema_version-2 telemetry JSON emitted by the bench
 harness (bench_output/<name>.json) and by `homctl --metrics-out`.
+
+Schema v2 adds histogram quantiles (p50/p95/p99) and two optional
+sections: "journal" (EventJournal summary) and "concept_stats"
+(per-concept online accounting).
 
 Usage:
     tools/check_bench_json.py FILE [FILE ...]
@@ -67,7 +71,7 @@ def _check_metrics(path, metrics):
         if not isinstance(hist, dict):
             failures += _err(path, f"{where}: expected an object")
             continue
-        for key in ("count", "sum", "min", "max"):
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
             failures += _check_number(path, hist.get(key), f"{where}.{key}")
         bounds = hist.get("bounds")
         counts = hist.get("bucket_counts")
@@ -86,6 +90,63 @@ def _check_metrics(path, metrics):
     return failures
 
 
+def _check_journal(path, journal):
+    """Validates the optional EventJournal summary section."""
+    failures = 0
+    if journal is None:
+        return 0
+    if not isinstance(journal, dict):
+        return _err(path, "journal: expected an object or null")
+    if not journal:  # empty object = journal installed but no events
+        return 0
+    for key in ("emitted", "dropped", "capacity"):
+        value = journal.get(key)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            failures += _err(
+                path, f"journal.{key}: expected a non-negative integer"
+            )
+    by_type = journal.get("by_type")
+    if not isinstance(by_type, dict):
+        failures += _err(path, "journal.by_type: expected an object")
+    else:
+        for name, count in by_type.items():
+            if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+                failures += _err(
+                    path, f"journal.by_type[{name!r}]: expected a positive integer"
+                )
+    return failures
+
+
+def _check_concept_stats(path, stats):
+    """Validates the optional per-concept accounting section."""
+    failures = 0
+    if stats is None:
+        return 0
+    if not isinstance(stats, dict):
+        return _err(path, "concept_stats: expected an object or null")
+    if not stats:
+        return 0
+    for key in ("window", "records", "switches"):
+        failures += _check_number(path, stats.get(key), f"concept_stats.{key}")
+    concepts = stats.get("concepts")
+    if not isinstance(concepts, dict):
+        return failures + _err(path, "concept_stats.concepts: expected an object")
+    for cid, entry in concepts.items():
+        where = f"concept_stats.concepts[{cid!r}]"
+        if not isinstance(entry, dict):
+            failures += _err(path, f"{where}: expected an object")
+            continue
+        for key in ("activations", "records", "errors", "error_rate",
+                    "windowed_error_rate", "mean_dwell"):
+            failures += _check_number(path, entry.get(key), f"{where}.{key}")
+        confusion = entry.get("confusion")
+        if not isinstance(confusion, list) or not all(
+            isinstance(row, list) for row in confusion
+        ):
+            failures += _err(path, f"{where}.confusion: expected an array of arrays")
+    return failures
+
+
 def check_file(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -96,8 +157,8 @@ def check_file(path):
     failures = 0
     if not isinstance(doc, dict):
         return _err(path, "top level: expected an object")
-    if doc.get("schema_version") != 1:
-        failures += _err(path, f"schema_version: expected 1, got {doc.get('schema_version')!r}")
+    if doc.get("schema_version") != 2:
+        failures += _err(path, f"schema_version: expected 2, got {doc.get('schema_version')!r}")
     if not isinstance(doc.get("name"), str) or not doc.get("name"):
         failures += _err(path, "name: missing non-empty string")
 
@@ -136,6 +197,9 @@ def check_file(path):
     phases = doc.get("phases")
     if phases is not None:
         failures += _check_phase_node(path, phases, "phases")
+
+    failures += _check_journal(path, doc.get("journal"))
+    failures += _check_concept_stats(path, doc.get("concept_stats"))
 
     return failures
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Structurally validates a Chrome trace-event file exported by
+hom::obs::WriteChromeTrace (homctl --trace-out, HOM_BENCH_TRACE=1).
+
+Checks the JSON object format that chrome://tracing and Perfetto accept:
+a top-level object with a "traceEvents" array where every event has a
+string "ph" in {X, i, M}, numeric "pid"/"tid", numeric "ts" (except
+metadata), "dur" on complete slices, and monotone-sane values.
+
+Usage:
+    tools/check_trace_json.py FILE [FILE ...]
+
+Exits 0 when every file conforms, 1 otherwise. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def _err(path, message):
+    print(f"{path}: {message}")
+    return 1
+
+
+def _is_number(value):
+    return not isinstance(value, bool) and isinstance(value, (int, float))
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return _err(path, str(e))
+
+    failures = 0
+    if not isinstance(doc, dict):
+        return _err(path, "top level: expected an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return _err(path, "traceEvents: expected an array")
+
+    slices = 0
+    instants = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            failures += _err(path, f"{where}: expected an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            failures += _err(path, f"{where}.ph: expected X, i or M, got {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            failures += _err(path, f"{where}.name: missing non-empty string")
+        for key in ("pid", "tid"):
+            if not _is_number(ev.get(key)):
+                failures += _err(path, f"{where}.{key}: expected a number")
+        if ph == "M":
+            continue  # metadata records carry args, not timestamps
+        if not _is_number(ev.get("ts")) or ev.get("ts", -1) < 0:
+            failures += _err(path, f"{where}.ts: expected a non-negative number")
+        if ph == "X":
+            slices += 1
+            if not _is_number(ev.get("dur")) or ev.get("dur", -1) < 0:
+                failures += _err(
+                    path, f"{where}.dur: complete slice needs a non-negative dur"
+                )
+        elif ph == "i":
+            instants += 1
+            if ev.get("s") not in ("t", "p", "g"):
+                failures += _err(
+                    path, f"{where}.s: instant scope must be t, p or g"
+                )
+
+    if failures == 0:
+        print(f"{path}: OK ({slices} slices, {instants} instants, "
+              f"{len(events)} events)")
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        failures += check_file(path)
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,11 +2,15 @@
 //
 //   homctl generate --stream stagger --n 20000 --seed 1 --out hist.csv
 //   homctl build    --stream stagger --in hist.csv --out model.hom
-//                   [--metrics-out build_metrics.json]
+//                   [--metrics-out build_metrics.json] [--trace-out t.json]
 //   homctl evaluate --stream stagger --model model.hom --in test.csv
 //                   [--metrics-out eval_metrics.json]
+//                   [--journal-out events.jsonl] [--trace-out t.json]
+//                   [--latency-sample N]
 //   homctl inspect  --model model.hom
 //   homctl stats    build_metrics.json
+//   homctl tail     events.jsonl [--follow]
+//   homctl monitor  events.jsonl
 //
 // Streams name one of the built-in benchmark generators (stagger,
 // hyperplane, intrusion, sea); their schema travels inside the model file,
@@ -14,13 +18,23 @@
 //
 // `--metrics-out <file>` writes the run's telemetry — per-phase build
 // timings, the optimization counters of Section II-D (classifiers trained
-// vs. reused, early terminations, similarity-cache hit rate), and the
-// prediction-latency histogram — as JSON in the same schema_version-1
-// format the bench harness emits (see tools/check_bench_json.py).
-// `stats` pretty-prints such a file: result rows, counters, and the phase
-// tree. The boolean flag `--verbose` raises the log level to debug and
+// vs. reused, early terminations, similarity-cache hit rate), the
+// prediction-latency histogram (with p50/p95/p99), the per-concept online
+// stats, and the event-journal summary — as JSON in the same
+// schema_version-2 format the bench harness emits (see
+// tools/check_bench_json.py). `stats` pretty-prints such a file.
+//
+// `--journal-out <file>` streams the online phase's event journal (concept
+// switches, drift suspicion/confirmation, model reuse/relearn, HMM
+// predictions, windowed errors) as JSON lines; `tail` pretty-prints such a
+// file and `tail --follow` (alias: `monitor`) keeps watching it, so a
+// long evaluate in one terminal can be observed live from another.
+// `--trace-out <file>` exports a Chrome trace-event timeline (open in
+// Perfetto or chrome://tracing) of the build phases and/or journal events.
+// The boolean flag `--verbose` raises the log level to debug and
 // timestamps every line.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +43,9 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "classifiers/decision_tree.h"
 #include "common/logging.h"
@@ -37,9 +54,11 @@
 #include "eval/prequential.h"
 #include "highorder/builder.h"
 #include "highorder/serialization.h"
+#include "obs/event_journal.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "streams/hyperplane.h"
 #include "streams/intrusion.h"
 #include "streams/sea.h"
@@ -64,12 +83,12 @@ struct Args {
 /// Commands that accept one bare (non `--key value`) argument; everywhere
 /// else a bare token is a typo and parsing fails loudly.
 bool TakesPositional(const std::string& command) {
-  return command == "stats";
+  return command == "stats" || command == "tail" || command == "monitor";
 }
 
 /// Flags that take no value; their presence sets the option to "1".
 bool IsBooleanFlag(const std::string& key) {
-  return key == "verbose";
+  return key == "verbose" || key == "follow";
 }
 
 /// Parses `homctl <command> [--flag] [--key value ...]`. Every option must
@@ -137,13 +156,15 @@ int Fail(const std::string& message) {
 }
 
 /// Writes one telemetry document in the bench-harness schema
-/// (schema_version 1): a single result row plus the process metrics
-/// snapshot and an optional phase tree.
-Status WriteMetricsFile(const std::string& path, const std::string& name,
-                        const obs::JsonValue& row_values,
-                        const obs::PhaseNode* phases) {
+/// (schema_version 2): a single result row plus the process metrics
+/// snapshot, an optional phase tree, and any extra top-level sections
+/// ("journal", "concept_stats", ...) appended in order.
+Status WriteMetricsFile(
+    const std::string& path, const std::string& name,
+    const obs::JsonValue& row_values, const obs::PhaseNode* phases,
+    std::vector<std::pair<std::string, obs::JsonValue>> extra_sections = {}) {
   obs::JsonValue doc = obs::JsonValue::Object();
-  doc.Set("schema_version", 1);
+  doc.Set("schema_version", 2);
   doc.Set("name", name);
   doc.Set("scale", obs::JsonValue());
   obs::JsonValue row = obs::JsonValue::Object();
@@ -156,6 +177,9 @@ Status WriteMetricsFile(const std::string& path, const std::string& name,
   doc.Set("phases", phases != nullptr && phases->count > 0
                         ? phases->ToJson()
                         : obs::JsonValue());
+  for (auto& [section, json] : extra_sections) {
+    doc.Set(section, std::move(json));
+  }
   std::ofstream out(path, std::ios::trunc);
   out << doc.Dump(2) << "\n";
   if (!out) return Status::Internal("failed writing " + path);
@@ -216,6 +240,15 @@ int CmdBuild(const Args& args) {
       return Fail(st.ToString());
     }
   }
+  if (args.Has("trace-out")) {
+    std::string trace_path = args.Get("trace-out", "");
+    if (Status st = obs::WriteChromeTrace(trace_path, &report.phases,
+                                          /*journal=*/nullptr);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("telemetry: wrote %s\n", trace_path.c_str());
+  }
   return 0;
 }
 
@@ -230,13 +263,36 @@ int CmdEvaluate(const Args& args) {
   auto test = ReadCsv((*model)->schema(), in);
   if (!test.ok()) return Fail(test.status().ToString());
 
+  if (args.Has("latency-sample")) {
+    (*model)->set_latency_sample_period(
+        static_cast<size_t>(std::atoll(args.Get("latency-sample", "64"))));
+  }
+
+  // One journal serves --journal-out (streamed live), --trace-out (dumped
+  // after the run) and the "journal" telemetry section.
+  obs::EventJournal journal;
+  if (args.Has("journal-out")) {
+    if (Status st = journal.AttachJsonlSink(args.Get("journal-out", ""));
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
+  obs::ScopedJournal scoped(&journal);
+
   PrequentialOptions options;
   options.labeled_fraction = labeled > 0 ? labeled : 1.0;
+  options.track_concept_stats = true;
   PrequentialResult result = RunPrequential(model->get(), *test, options);
   std::printf("prequential error %.5f over %zu records (%.3fs, %zu "
               "concepts)\n",
               result.error_rate(), result.num_records, result.seconds,
               (*model)->num_concepts());
+  if (args.Has("journal-out")) {
+    journal.CloseSink();
+    std::printf("journal: %llu events -> %s\n",
+                static_cast<unsigned long long>(journal.emitted()),
+                args.Get("journal-out", ""));
+  }
   if (args.Has("metrics-out")) {
     obs::JsonValue values = obs::JsonValue::Object();
     values.Set("error", result.error_rate());
@@ -244,11 +300,26 @@ int CmdEvaluate(const Args& args) {
     values.Set("seconds", result.seconds);
     values.Set("num_concepts",
                static_cast<uint64_t>((*model)->num_concepts()));
+    std::vector<std::pair<std::string, obs::JsonValue>> extra;
+    extra.emplace_back("journal", journal.SummaryJson());
+    extra.emplace_back("concept_stats",
+                       result.concept_stats != nullptr
+                           ? result.concept_stats->ToJson()
+                           : obs::JsonValue());
     if (Status st = WriteMetricsFile(args.Get("metrics-out", ""), "evaluate",
-                                     values, nullptr);
+                                     values, nullptr, std::move(extra));
         !st.ok()) {
       return Fail(st.ToString());
     }
+  }
+  if (args.Has("trace-out")) {
+    std::string trace_path = args.Get("trace-out", "");
+    if (Status st = obs::WriteChromeTrace(trace_path, /*phases=*/nullptr,
+                                          &journal);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("telemetry: wrote %s\n", trace_path.c_str());
   }
   return 0;
 }
@@ -278,7 +349,7 @@ int CmdInspect(const Args& args) {
 }
 
 /// `homctl stats telemetry.json` (or `--in telemetry.json`): human-readable
-/// digest of a schema_version-1 telemetry file (bench harness or
+/// digest of a schema_version-2 telemetry file (bench harness or
 /// --metrics-out).
 int CmdStats(const Args& args) {
   std::string in = args.Get("in", args.positional.c_str());
@@ -358,6 +429,116 @@ int CmdStats(const Args& args) {
     if (!tree.ok()) return Fail(in + ": " + tree.status().ToString());
     std::printf("\nphases:\n%s", tree->ToTreeString().c_str());
   }
+
+  if (const obs::JsonValue* journal = doc->Find("journal");
+      journal != nullptr && journal->is_object()) {
+    std::printf("\njournal:\n");
+    const obs::JsonValue* emitted = journal->Find("emitted");
+    const obs::JsonValue* dropped = journal->Find("dropped");
+    std::printf("  emitted %.0f, dropped %.0f\n",
+                emitted != nullptr ? emitted->as_double() : 0.0,
+                dropped != nullptr ? dropped->as_double() : 0.0);
+    if (const obs::JsonValue* by_type = journal->Find("by_type");
+        by_type != nullptr && by_type->is_object()) {
+      for (const auto& [key, value] : by_type->members()) {
+        std::printf("  %-40s %12.0f\n", key.c_str(), value.as_double());
+      }
+    }
+  }
+
+  if (const obs::JsonValue* stats = doc->Find("concept_stats");
+      stats != nullptr && stats->is_object()) {
+    std::printf("\nconcept stats:\n");
+    if (const obs::JsonValue* concepts = stats->Find("concepts");
+        concepts != nullptr && concepts->is_object()) {
+      for (const auto& [id, entry] : concepts->members()) {
+        const obs::JsonValue* activations = entry.Find("activations");
+        const obs::JsonValue* records = entry.Find("records");
+        const obs::JsonValue* err = entry.Find("error_rate");
+        const obs::JsonValue* werr = entry.Find("windowed_error_rate");
+        const obs::JsonValue* dwell = entry.Find("mean_dwell");
+        std::printf("  concept %-4s activations=%-4.0f records=%-8.0f "
+                    "err=%-8.5f recent_err=%-8.5f mean_dwell=%.1f\n",
+                    id.c_str(),
+                    activations != nullptr ? activations->as_double() : 0.0,
+                    records != nullptr ? records->as_double() : 0.0,
+                    err != nullptr ? err->as_double() : 0.0,
+                    werr != nullptr ? werr->as_double() : 0.0,
+                    dwell != nullptr ? dwell->as_double() : 0.0);
+      }
+    }
+  }
+  return 0;
+}
+
+/// One pretty line per journal event, aligned for scanning:
+///   [   12]     84.3ms concept_switch   highorder    #1840  2 -> 0  w=0.81
+void PrintJournalLine(const obs::Event& event) {
+  std::string transition;
+  if (event.from >= 0 || event.to >= 0) {
+    transition = (event.from >= 0 ? std::to_string(event.from) : "?") +
+                 " -> " + (event.to >= 0 ? std::to_string(event.to) : "?");
+  }
+  std::printf("[%6llu] %10.1fms %-16s %-18s #%-8lld %-10s v=%.4f\n",
+              static_cast<unsigned long long>(event.seq),
+              event.t_us / 1000.0,
+              std::string(obs::EventTypeName(event.type)).c_str(),
+              event.source.c_str(), static_cast<long long>(event.record),
+              transition.c_str(), event.value);
+}
+
+/// `homctl tail events.jsonl [--follow]` / `homctl monitor events.jsonl`:
+/// renders a --journal-out file; with --follow, keeps polling for appended
+/// lines (the evaluate side flushes per event) until interrupted.
+int CmdTail(const Args& args, bool follow) {
+  std::string in = args.Get("in", args.positional.c_str());
+  if (in.empty()) return Fail("tail requires a journal file (.jsonl)");
+  follow = follow || args.Has("follow");
+  std::ifstream file(in);
+  if (!file && !follow) return Fail("cannot open " + in);
+
+  size_t bad_lines = 0;
+  std::string line;
+  while (true) {
+    while (true) {
+      std::streampos line_start = file.tellg();
+      if (!std::getline(file, line)) break;
+      if (follow && file.eof()) {
+        // The last line has no trailing newline yet: a partially flushed
+        // write. Rewind and wait for the rest instead of rendering half
+        // an event (and misparsing the other half on the next poll).
+        file.clear();
+        file.seekg(line_start);
+        break;
+      }
+      if (line.empty()) continue;
+      auto event = obs::EventJournal::FromJsonl(line);
+      if (!event.ok()) {
+        ++bad_lines;
+        continue;
+      }
+      PrintJournalLine(*event);
+    }
+    // Journal consumers are often pipes (`homctl monitor j.jsonl | ...`),
+    // where stdout is block-buffered; flush per drained batch so events
+    // appear as they fire.
+    std::fflush(stdout);
+    if (!follow) break;
+    // Poll for growth; reopen if the file did not exist yet.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (!file.is_open() || !file) {
+      file.clear();
+      if (!file.is_open()) {
+        file.open(in);
+        continue;
+      }
+    }
+    file.clear();  // clear EOF so getline retries from the same offset
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "homctl: %zu malformed journal line(s) skipped\n",
+                 bad_lines);
+  }
   return 0;
 }
 
@@ -375,15 +556,21 @@ int main(int argc, char** argv) {
   if (args->command == "evaluate") return CmdEvaluate(*args);
   if (args->command == "inspect") return CmdInspect(*args);
   if (args->command == "stats") return CmdStats(*args);
+  if (args->command == "tail") return CmdTail(*args, /*follow=*/false);
+  if (args->command == "monitor") return CmdTail(*args, /*follow=*/true);
   std::fprintf(stderr,
-               "usage: homctl <generate|build|evaluate|inspect|stats> "
-               "[--verbose] [--key value ...]\n"
+               "usage: homctl <generate|build|evaluate|inspect|stats|tail|"
+               "monitor> [--verbose] [--key value ...]\n"
                "  generate --stream s --n N --seed S [--lambda L] --out f.csv\n"
                "  build    --stream s --in hist.csv --out model.hom"
-               " [--metrics-out m.json]\n"
+               " [--metrics-out m.json] [--trace-out t.json]\n"
                "  evaluate --model model.hom --in test.csv [--labeled 0.1]"
                " [--metrics-out m.json]\n"
+               "           [--journal-out e.jsonl] [--trace-out t.json]"
+               " [--latency-sample N]\n"
                "  inspect  --model model.hom\n"
-               "  stats    m.json\n");
+               "  stats    m.json\n"
+               "  tail     e.jsonl [--follow]\n"
+               "  monitor  e.jsonl\n");
   return args->command.empty() ? 1 : 2;
 }
