@@ -266,7 +266,10 @@ void HoeffdingTree::AttemptSplit(int32_t node_idx) {
   size_t fanout = attr.is_numeric() ? 2 : attr.cardinality();
 
   // Children inherit branch-wise majorities estimated from the leaf stats.
-  std::vector<int32_t> children;
+  // All reads of `stats` must finish before the NewLeaf calls below:
+  // NewLeaf appends to leaf_stats_, which may reallocate and leave `stats`
+  // dangling.
+  std::vector<Label> majorities;
   size_t num_classes = schema_->num_classes();
   for (size_t b = 0; b < fanout; ++b) {
     std::vector<double> branch(num_classes, 0.0);
@@ -286,10 +289,12 @@ void HoeffdingTree::AttemptSplit(int32_t node_idx) {
         branch[c] = b == 0 ? m.count * frac : m.count * (1.0 - frac);
       }
     }
-    Label majority = static_cast<Label>(
-        std::max_element(branch.begin(), branch.end()) - branch.begin());
-    children.push_back(NewLeaf(majority));
+    majorities.push_back(static_cast<Label>(
+        std::max_element(branch.begin(), branch.end()) - branch.begin()));
   }
+  std::vector<int32_t> children;
+  children.reserve(fanout);
+  for (Label majority : majorities) children.push_back(NewLeaf(majority));
   Node& node = nodes_[static_cast<size_t>(node_idx)];
   node.attribute = chosen.attribute;
   node.threshold = chosen.threshold;

@@ -8,6 +8,17 @@ namespace hom {
 
 namespace {
 constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+
+/// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators"): bijective avalanche mixer, the standard choice for
+/// turning structured integers (ids, counters) into seed material.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
@@ -75,6 +86,12 @@ Rng Rng::Fork() {
   uint64_t seed = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
   uint64_t stream = (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
   return Rng(seed, stream);
+}
+
+Rng Rng::Derive(uint64_t seed, uint64_t domain, uint64_t index) {
+  uint64_t mixed = SplitMix64(seed ^ SplitMix64(domain));
+  mixed = SplitMix64(mixed ^ SplitMix64(index));
+  return Rng(mixed, SplitMix64(mixed));
 }
 
 }  // namespace hom

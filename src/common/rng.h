@@ -52,6 +52,15 @@ class Rng {
   /// experiment run its own stream while keeping top-level determinism.
   Rng Fork();
 
+  /// Stateless derivation of an independent generator from a (seed, domain,
+  /// index) triple, via SplitMix64 hashing. Unlike Fork(), the result does
+  /// not depend on any generator's mutable state, so work items scheduled
+  /// in any order — or on any number of threads — draw identical streams:
+  /// `Derive(s, d, i)` is a pure function. `domain` separates independent
+  /// uses of the same index space (e.g. leaf holdout splits vs. sample
+  /// shuffles) so they never correlate.
+  static Rng Derive(uint64_t seed, uint64_t domain, uint64_t index);
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -80,6 +80,8 @@ Result<std::unique_ptr<HighOrderClassifier>> HighOrderModelBuilder::Build(
     report->final_q = clustering.final_q;
     report->occurrences = clustering.occurrences;
     report->concept_errors = clustering.concept_errors;
+    report->effective_threads = clustering.threads_used;
+    report->pool_tasks = clustering.pool_tasks;
     report->concept_sizes.clear();
     for (const DatasetView& v : clustering.concept_data) {
       report->concept_sizes.push_back(v.size());

@@ -37,6 +37,12 @@ struct HighOrderBuildReport {
   std::vector<ConceptOccurrence> occurrences;
   std::vector<double> concept_errors;
   std::vector<size_t> concept_sizes;
+  /// Effective thread-pool size the clustering ran with (>= 1; see
+  /// ConceptClusteringConfig::num_threads).
+  size_t effective_threads = 1;
+  /// Tasks executed on pool worker threads during clustering (0 when
+  /// single-threaded).
+  uint64_t pool_tasks = 0;
   /// Wall-clock phase tree of this build (root "build": block_partition,
   /// step1_chunk_merging, step2_concept_merging, classifier_training,
   /// hmm_fitting, ...). Empty-named root when tracing was unavailable.

@@ -1,8 +1,10 @@
 #include "highorder/concept_clustering.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "classifiers/evaluation.h"
 #include "common/check.h"
@@ -11,6 +13,7 @@
 #include "highorder/merge_queue.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 
 namespace hom {
 
@@ -20,6 +23,11 @@ namespace {
 // paper's parameters (block size 20, lambda 0.001) chunk counts are a few
 // hundred; hitting this cap means step 1 over-fragmented.
 constexpr size_t kMaxChunksForStep2 = 4000;
+
+// Rng::Derive domains: independent uses of the same index space must not
+// correlate, so each draws from its own domain of the build seed.
+constexpr uint64_t kLeafSplitDomain = 1;      ///< per-block holdout splits
+constexpr uint64_t kSampleShuffleDomain = 2;  ///< step-2 shared sample list
 
 /// Collects the input-leaf descendants of `id`, left to right.
 void CollectLeaves(const Dendrogram& dendro, int32_t id,
@@ -33,14 +41,19 @@ void CollectLeaves(const Dendrogram& dendro, int32_t id,
   CollectLeaves(dendro, n.right, leaves);
 }
 
+/// Number of shared-sample predictions a ModelDistance(u, v) call compares
+/// from each cache; callers tally 2x this as similarity-cache hits.
+size_t SharedSamples(const ClusterNode& u, const ClusterNode& v) {
+  return std::min(u.sample_predictions.size(), v.sample_predictions.size());
+}
+
 /// Model-similarity distance of Eq. 3/4 evaluated on the shared sample
 /// list: sim is the agreement fraction over the first
 /// min(|D_u^test|, |D_v^test|) shared samples. Every compared prediction
-/// is served from the nodes' sample caches; `sim_cache_hits` tallies the
-/// lookups that would otherwise have been base-model evaluations.
-double ModelDistance(const ClusterNode& u, const ClusterNode& v,
-                     size_t* sim_cache_hits) {
-  size_t k = std::min(u.sample_predictions.size(), v.sample_predictions.size());
+/// is served from the nodes' sample caches, so this is a pure read of the
+/// two nodes and safe to evaluate concurrently for disjoint pairs.
+double ModelDistance(const ClusterNode& u, const ClusterNode& v) {
+  size_t k = SharedSamples(u, v);
   double sim = 0.0;
   if (k > 0) {
     size_t agree = 0;
@@ -49,7 +62,6 @@ double ModelDistance(const ClusterNode& u, const ClusterNode& v,
     }
     sim = static_cast<double>(agree) / static_cast<double>(k);
   }
-  *sim_cache_hits += 2 * k;
   return static_cast<double>(u.data.size() + v.data.size()) * (1.0 - sim);
 }
 
@@ -125,6 +137,36 @@ Result<ClusterNode> ConceptClusterer::MergeNodes(const ClusterNode& u,
   return w;
 }
 
+Result<CandidateMerge> ConceptClusterer::ScoreAdjacentMerge(
+    const ClusterNode& nu, const ClusterNode& nv, int32_t u,
+    int32_t v) const {
+  HOM_COUNTER_INC("hom.cluster.step1.candidates");
+  DatasetView train = DatasetView::Union(nu.train, nv.train);
+  DatasetView test = DatasetView::Union(nu.test, nv.test);
+  // Training the union classifier here is what makes step-1 candidates
+  // expensive; the trained error is kept in the heap entry so the eventual
+  // merge can reuse it.
+  double err_w;
+  const ClusterNode* big = nu.data.size() >= nv.data.size() ? &nu : &nv;
+  const ClusterNode* tiny = nu.data.size() >= nv.data.size() ? &nv : &nu;
+  if (config_.reuse_on_unbalanced_merge &&
+      static_cast<double>(big->data.size()) >=
+          config_.reuse_ratio * static_cast<double>(tiny->data.size())) {
+    HOM_COUNTER_INC("hom.cluster.classifiers_reused");
+    err_w = EstimateError(*big->model, test);
+  } else {
+    std::unique_ptr<Classifier> model = base_factory_(train.schema());
+    HOM_RETURN_NOT_OK(model->Train(train));
+    HOM_COUNTER_INC("hom.cluster.classifiers_trained");
+    err_w = EstimateError(*model, test);
+  }
+  double size_w = static_cast<double>(nu.data.size() + nv.data.size());
+  double delta_q = size_w * err_w -
+                   static_cast<double>(nu.data.size()) * nu.err -
+                   static_cast<double>(nv.data.size()) * nv.err;
+  return CandidateMerge{delta_q, u, v, err_w};
+}
+
 bool ConceptClusterer::ShouldStopMerging(const ClusterNode& node) const {
   if (!config_.early_stop) return false;
   if (node.data.size() < config_.early_stop_min_size) return false;
@@ -143,6 +185,16 @@ bool ConceptClusterer::ShouldStopMerging(const ClusterNode& node) const {
 
 Result<ConceptClusteringResult> ConceptClusterer::Cluster(
     const DatasetView& history, Rng* rng) const {
+  par::ThreadPool pool(par::ResolveThreadCount(config_.num_threads));
+  // The two draws below are the only reads of `rng` in this function. All
+  // build randomness is derived statelessly from this one seed as
+  // Rng::Derive(build_seed, domain, index), so a work item draws the same
+  // stream no matter which lane runs it or in what order — the dendrogram,
+  // final cut, and serialized model are bit-identical at every thread
+  // count.
+  const uint64_t build_seed =
+      (static_cast<uint64_t>(rng->NextUint32()) << 32) | rng->NextUint32();
+
   // ---------------------------------------------------------------- Step 1
   std::vector<DatasetView> blocks;
   Dendrogram dendro1;
@@ -154,14 +206,29 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
     obs::ScopedSpan span("block_partition");
     HOM_ASSIGN_OR_RETURN(blocks,
                          PartitionIntoBlocks(history, config_.block_size));
-
+  }
+  {
+    obs::ScopedSpan span("leaf_training");
+    // Leaves are independent: each block's holdout split draws from its own
+    // derived stream and its classifier trains on that block alone.
+    HOM_ASSIGN_OR_RETURN(
+        std::vector<ClusterNode> leaves,
+        par::ParallelMap<ClusterNode>(
+            &pool, blocks.size(), [&](size_t i) -> Result<ClusterNode> {
+              Rng leaf_rng = Rng::Derive(build_seed, kLeafSplitDomain, i);
+              return MakeLeaf(blocks[i], &leaf_rng);
+            }));
+    // An agglomeration over n leaves builds at most 2n-1 nodes; reserving
+    // the ceiling once keeps AddLeaf/AddMerge from ever reallocating.
+    dendro1.Reserve(2 * blocks.size());
+    extent.reserve(2 * blocks.size());
+    block_ids.reserve(blocks.size());
     size_t pos = 0;
-    for (const DatasetView& block : blocks) {
-      HOM_ASSIGN_OR_RETURN(ClusterNode leaf, MakeLeaf(block, rng));
-      int32_t id = dendro1.AddLeaf(std::move(leaf));
-      block_ids.push_back(id);
-      extent.emplace_back(pos, pos + block.size());
-      pos += block.size();
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      size_t len = blocks[i].size();
+      block_ids.push_back(dendro1.AddLeaf(std::move(leaves[i])));
+      extent.emplace_back(pos, pos + len);
+      pos += len;
     }
   }
 
@@ -169,53 +236,42 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
   {
     obs::ScopedSpan span("step1_chunk_merging");
     MergeQueue queue1;
+    // n-1 initial candidates plus at most 2 per merge over <= n-1 merges.
+    queue1.Reserve(3 * block_ids.size());
     for (int32_t id : block_ids) queue1.RegisterCluster(id);
 
     // Chain adjacency: left/right neighbour ids per cluster (-1 at the
-    // ends).
-    std::vector<int32_t> left_of(dendro1.size(), -1);
-    std::vector<int32_t> right_of(dendro1.size(), -1);
+    // ends), pre-sized to the 2n-1 node ceiling so the merge loop never
+    // pays a per-merge resize.
+    std::vector<int32_t> left_of(2 * block_ids.size(), -1);
+    std::vector<int32_t> right_of(2 * block_ids.size(), -1);
     for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
       right_of[static_cast<size_t>(block_ids[i])] = block_ids[i + 1];
       left_of[static_cast<size_t>(block_ids[i + 1])] = block_ids[i];
     }
 
-    // Pushes the ΔQ candidate (Eq. 2) for adjacent clusters (u, v).
-    // Training the union classifier here is what makes step-1 candidates
-    // expensive; the trained error is kept in the heap entry so the
-    // eventual merge can assert consistency.
-    auto push_delta_q = [&](int32_t u, int32_t v) -> Status {
-      HOM_COUNTER_INC("hom.cluster.step1.candidates");
-      const ClusterNode& nu = dendro1.node(u);
-      const ClusterNode& nv = dendro1.node(v);
-      DatasetView train = DatasetView::Union(nu.train, nv.train);
-      DatasetView test = DatasetView::Union(nu.test, nv.test);
-      double err_w;
-      const ClusterNode* big = nu.data.size() >= nv.data.size() ? &nu : &nv;
-      const ClusterNode* tiny = nu.data.size() >= nv.data.size() ? &nv : &nu;
-      if (config_.reuse_on_unbalanced_merge &&
-          static_cast<double>(big->data.size()) >=
-              config_.reuse_ratio * static_cast<double>(tiny->data.size())) {
-        HOM_COUNTER_INC("hom.cluster.classifiers_reused");
-        err_w = EstimateError(*big->model, test);
-      } else {
-        std::unique_ptr<Classifier> model = base_factory_(train.schema());
-        HOM_RETURN_NOT_OK(model->Train(train));
-        HOM_COUNTER_INC("hom.cluster.classifiers_trained");
-        err_w = EstimateError(*model, test);
-      }
-      double size_w = static_cast<double>(nu.data.size() + nv.data.size());
-      double delta_q = size_w * err_w -
-                       static_cast<double>(nu.data.size()) * nu.err -
-                       static_cast<double>(nv.data.size()) * nv.err;
-      queue1.Push({delta_q, u, v, err_w});
-      return Status::OK();
-    };
-
-    for (size_t i = 0; i + 1 < block_ids.size(); ++i) {
-      HOM_RETURN_NOT_OK(push_delta_q(block_ids[i], block_ids[i + 1]));
+    {
+      obs::ScopedSpan cand_span("initial_candidates");
+      // The initial adjacent ΔQ candidates only read their two leaves, so
+      // the whole batch is scored concurrently; pushes happen afterwards in
+      // index order (heap contents are order-sensitive only through the
+      // deterministic tie-break, but keeping insertion order fixed makes
+      // the heap layout itself reproducible too).
+      size_t num_pairs = block_ids.empty() ? 0 : block_ids.size() - 1;
+      HOM_ASSIGN_OR_RETURN(
+          std::vector<CandidateMerge> initial,
+          par::ParallelMap<CandidateMerge>(
+              &pool, num_pairs, [&](size_t i) -> Result<CandidateMerge> {
+                return ScoreAdjacentMerge(dendro1.node(block_ids[i]),
+                                          dendro1.node(block_ids[i + 1]),
+                                          block_ids[i], block_ids[i + 1]);
+              }));
+      for (const CandidateMerge& c : initial) queue1.Push(c);
     }
 
+    // The merge loop itself is inherently sequential: each Pop depends on
+    // every prior merge through heap contents, adjacency, and early-stop
+    // state, and post-merge candidates are at most two per iteration.
     CandidateMerge cand;
     while (queue1.Pop(&cand)) {
       HOM_ASSIGN_OR_RETURN(
@@ -227,8 +283,7 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
       queue1.Retire(cand.v);
       queue1.RegisterCluster(wid);
 
-      left_of.resize(dendro1.size(), -1);
-      right_of.resize(dendro1.size(), -1);
+      HOM_CHECK_LT(static_cast<size_t>(wid), left_of.size());
       extent.emplace_back(extent[static_cast<size_t>(cand.u)].first,
                           extent[static_cast<size_t>(cand.v)].second);
       int32_t lhs = left_of[static_cast<size_t>(cand.u)];
@@ -245,10 +300,18 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
         continue;
       }
       if (lhs >= 0 && queue1.IsLive(lhs)) {
-        HOM_RETURN_NOT_OK(push_delta_q(lhs, wid));
+        HOM_ASSIGN_OR_RETURN(
+            CandidateMerge c,
+            ScoreAdjacentMerge(dendro1.node(lhs), dendro1.node(wid), lhs,
+                               wid));
+        queue1.Push(c);
       }
       if (rhs >= 0 && queue1.IsLive(rhs)) {
-        HOM_RETURN_NOT_OK(push_delta_q(wid, rhs));
+        HOM_ASSIGN_OR_RETURN(
+            CandidateMerge c,
+            ScoreAdjacentMerge(dendro1.node(wid), dendro1.node(rhs), wid,
+                               rhs));
+        queue1.Push(c);
       }
     }
 
@@ -292,8 +355,9 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
   std::vector<int32_t> live;
   {
     obs::ScopedSpan span("step2_concept_merging");
-    std::vector<std::pair<size_t, size_t>> chunk_extent;
     std::vector<int32_t> leaf_ids;
+    dendro2.Reserve(2 * chunk_ids.size());
+    leaf_ids.reserve(chunk_ids.size());
     for (int32_t cid : chunk_ids) {
       ClusterNode& src = dendro1.node(cid);
       ClusterNode leaf;
@@ -304,7 +368,6 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
       leaf.err = src.err;
       leaf.err_star = src.err;
       leaf_ids.push_back(dendro2.AddLeaf(std::move(leaf)));
-      chunk_extent.push_back(extent[static_cast<size_t>(cid)]);
     }
 
     // Shared sample list L (Section II-C.1): all holdout halves, shuffled
@@ -315,21 +378,33 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
       sample_rows.insert(sample_rows.end(), test.indices().begin(),
                          test.indices().end());
     }
-    rng->Shuffle(&sample_rows);
+    Rng shuffle_rng = Rng::Derive(build_seed, kSampleShuffleDomain, 0);
+    shuffle_rng.Shuffle(&sample_rows);
     const Dataset* base = history.dataset();
 
-    auto fill_sample_predictions = [&](ClusterNode* node) {
+    // Returns the number of predictions cached (the cache misses).
+    auto fill_sample_predictions = [&](ClusterNode* node) -> size_t {
       size_t k = std::min(node->test.size(), sample_rows.size());
       node->sample_predictions.resize(k);
       for (size_t i = 0; i < k; ++i) {
         node->sample_predictions[i] =
             node->model->Predict(base->record(sample_rows[i]));
       }
-      sim_cache_misses += k;
+      return k;
     };
     {
       obs::ScopedSpan samples_span("similarity_samples");
-      for (int32_t id : leaf_ids) fill_sample_predictions(&dendro2.node(id));
+      // Each leaf's cache is filled over L independently — only the node's
+      // own prediction vector is written.
+      std::atomic<size_t> misses{0};
+      HOM_RETURN_NOT_OK(par::ParallelFor(
+          &pool, leaf_ids.size(), /*grain=*/1, [&](size_t i) -> Status {
+            misses.fetch_add(
+                fill_sample_predictions(&dendro2.node(leaf_ids[i])),
+                std::memory_order_relaxed);
+            return Status::OK();
+          }));
+      sim_cache_misses += misses.load(std::memory_order_relaxed);
     }
 
     MergeQueue queue2;
@@ -337,18 +412,43 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
     live = leaf_ids;
 
     size_t step2_candidates = 0;
-    for (size_t i = 0; i < leaf_ids.size(); ++i) {
-      if (ShouldStopMerging(dendro2.node(leaf_ids[i]))) continue;
-      for (size_t j = i + 1; j < leaf_ids.size(); ++j) {
-        if (ShouldStopMerging(dendro2.node(leaf_ids[j]))) continue;
-        ++step2_candidates;
-        queue2.Push({ModelDistance(dendro2.node(leaf_ids[i]),
-                                   dendro2.node(leaf_ids[j]),
-                                   &sim_cache_hits),
-                     leaf_ids[i], leaf_ids[j], 0.0});
+    {
+      obs::ScopedSpan pair_span("pairwise_distances");
+      // The complete graph over non-frozen leaves (Section II-C.1). Each
+      // distance is a pure read of two prediction caches, so the whole
+      // O(k^2) batch is scored in parallel into a flat array, then pushed
+      // in pair order.
+      std::vector<std::pair<int32_t, int32_t>> pairs;
+      for (size_t i = 0; i < leaf_ids.size(); ++i) {
+        if (ShouldStopMerging(dendro2.node(leaf_ids[i]))) continue;
+        for (size_t j = i + 1; j < leaf_ids.size(); ++j) {
+          if (ShouldStopMerging(dendro2.node(leaf_ids[j]))) continue;
+          pairs.emplace_back(leaf_ids[i], leaf_ids[j]);
+        }
       }
+      std::vector<double> dists(pairs.size());
+      // Individual distances are cheap; chunk the cursor so lanes grab
+      // batches instead of contending per pair.
+      size_t grain =
+          std::max<size_t>(1, pairs.size() / (pool.num_threads() * 16));
+      HOM_RETURN_NOT_OK(par::ParallelFor(
+          &pool, pairs.size(), grain, [&](size_t i) -> Status {
+            dists[i] = ModelDistance(dendro2.node(pairs[i].first),
+                                     dendro2.node(pairs[i].second));
+            return Status::OK();
+          }));
+      queue2.Reserve(pairs.size());
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        sim_cache_hits += 2 * SharedSamples(dendro2.node(pairs[i].first),
+                                            dendro2.node(pairs[i].second));
+        queue2.Push({dists[i], pairs[i].first, pairs[i].second, 0.0});
+      }
+      step2_candidates += pairs.size();
     }
 
+    // Sequential from here: each merge invalidates candidates and emits
+    // fresh ones against every live cluster, so iteration order is the
+    // algorithm.
     CandidateMerge cand;
     while (queue2.Pop(&cand)) {
       HOM_ASSIGN_OR_RETURN(
@@ -362,7 +462,7 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
                       << ",err=" << dendro2.node(cand.v).err
                       << ") dist=" << cand.distance << " -> err="
                       << merged.err << " err*=" << merged.err_star;
-      fill_sample_predictions(&merged);
+      sim_cache_misses += fill_sample_predictions(&merged);
       int32_t wid = dendro2.AddMerge(cand.u, cand.v, std::move(merged));
       HOM_COUNTER_INC("hom.cluster.step2.merges");
       queue2.Retire(cand.u);
@@ -377,8 +477,9 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
         for (int32_t other : live) {
           if (ShouldStopMerging(dendro2.node(other))) continue;
           ++step2_candidates;
-          queue2.Push({ModelDistance(dendro2.node(wid), dendro2.node(other),
-                                     &sim_cache_hits),
+          sim_cache_hits +=
+              2 * SharedSamples(dendro2.node(wid), dendro2.node(other));
+          queue2.Push({ModelDistance(dendro2.node(wid), dendro2.node(other)),
                        wid, other, 0.0});
         }
       } else {
@@ -406,6 +507,9 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
   // ------------------------------------------------------------- Assemble
   ConceptClusteringResult result;
   result.num_chunks = chunk_ids.size();
+  result.threads_used = pool.num_threads();
+  result.pool_tasks = pool.tasks_executed();
+  HOM_GAUGE_SET("hom.par.threads", static_cast<double>(result.threads_used));
 
   // Map each step-2 leaf (chunk) to its concept. Step-2 leaves occupy ids
   // [0, chunk_ids.size()) of dendro2 in stream order.

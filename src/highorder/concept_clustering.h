@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "data/dataset_view.h"
 #include "highorder/dendrogram.h"
+#include "highorder/merge_queue.h"
 
 namespace hom {
 
@@ -54,6 +55,15 @@ struct ConceptClusteringConfig {
   /// recurring concepts into fragments at reduced data scale.
   double step1_cut_z = 1.0;
   double step2_cut_z = 2.0;
+  /// Thread-pool size for the offline build's parallel loops (leaf
+  /// training, the initial batch of adjacent ΔQ candidates, step-2 sample
+  /// prediction and pairwise distances). 0 = auto: the HOM_THREADS
+  /// environment variable when set, else std::thread::hardware_concurrency.
+  /// 1 runs everything inline on the calling thread. The clustering result
+  /// — dendrogram, final cut, serialized model — is bit-identical at every
+  /// thread count: all randomness is derived per node as
+  /// hash(build_seed, node_id), never from scheduling order.
+  size_t num_threads = 0;
 };
 
 /// One maximal run of records assigned to a single concept — the "concept
@@ -81,6 +91,11 @@ struct ConceptClusteringResult {
   size_t num_chunks = 0;
   /// Q(P) of the final partition (Eq. 1, diagnostic).
   double final_q = 0.0;
+  /// Effective thread-pool size the build ran with (>= 1).
+  size_t threads_used = 1;
+  /// Tasks executed on pool worker threads during this clustering (0 when
+  /// single-threaded; the calling thread's inline work is not counted).
+  uint64_t pool_tasks = 0;
 };
 
 /// \brief The two-step agglomerative concept clustering of Section II.
@@ -109,6 +124,15 @@ class ConceptClusterer {
   /// and applies the Err* recursion (Algorithm 1 lines 11-19).
   Result<ClusterNode> MergeNodes(const ClusterNode& u,
                                  const ClusterNode& v) const;
+
+  /// Scores the ΔQ candidate (Eq. 2) for adjacent clusters (u, v): trains
+  /// (or reuses, Section II-D) the union classifier and returns the heap
+  /// entry carrying ΔQ and the trained error. Thread-safe: reads the nodes
+  /// and the factory only, so the initial batch of adjacent candidates is
+  /// scored concurrently.
+  Result<CandidateMerge> ScoreAdjacentMerge(const ClusterNode& u_node,
+                                            const ClusterNode& v_node,
+                                            int32_t u, int32_t v) const;
 
   /// True when Section II-D early termination removes `node` from play.
   bool ShouldStopMerging(const ClusterNode& node) const;

@@ -37,6 +37,12 @@ struct ClusterNode {
 /// clusters, internal nodes record which pair merged into them.
 class Dendrogram {
  public:
+  /// Pre-allocates node storage. An agglomeration over n leaves builds at
+  /// most 2n-1 nodes; reserving that once spares every AddLeaf/AddMerge
+  /// the amortized reallocation (each of which copies DatasetViews and
+  /// sample caches).
+  void Reserve(size_t num_nodes) { nodes_.reserve(num_nodes); }
+
   /// Adds an input cluster; returns its id.
   int32_t AddLeaf(ClusterNode node);
 

@@ -1,5 +1,7 @@
 #include "highorder/merge_queue.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "obs/metrics.h"
 
@@ -28,13 +30,15 @@ void MergeQueue::Push(CandidateMerge candidate) {
   HOM_CHECK(IsLive(candidate.u)) << "candidate with retired cluster";
   HOM_CHECK(IsLive(candidate.v)) << "candidate with retired cluster";
   HOM_COUNTER_INC("hom.merge_queue.pushes");
-  heap_.push(candidate);
+  heap_.push_back(candidate);
+  std::push_heap(heap_.begin(), heap_.end(), ByDistance());
 }
 
 bool MergeQueue::Pop(CandidateMerge* out) {
   while (!heap_.empty()) {
-    CandidateMerge top = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), ByDistance());
+    CandidateMerge top = heap_.back();
+    heap_.pop_back();
     if (IsLive(top.u) && IsLive(top.v)) {
       HOM_COUNTER_INC("hom.merge_queue.pops");
       *out = top;

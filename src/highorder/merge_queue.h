@@ -3,7 +3,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace hom {
@@ -27,6 +26,11 @@ struct CandidateMerge {
 /// erased, which keeps every operation O(log n).
 class MergeQueue {
  public:
+  /// Pre-allocates heap storage for `num_candidates` entries; the batch
+  /// loaders (initial adjacent candidates, the step-2 complete graph) know
+  /// their exact candidate count up front.
+  void Reserve(size_t num_candidates) { heap_.reserve(num_candidates); }
+
   /// Declares a cluster id as live. Ids must be registered before they
   /// appear in Push/Retire.
   void RegisterCluster(int32_t id);
@@ -57,8 +61,9 @@ class MergeQueue {
     }
   };
 
-  std::priority_queue<CandidateMerge, std::vector<CandidateMerge>, ByDistance>
-      heap_;
+  /// Min-heap via std::push_heap/pop_heap on a plain vector (rather than
+  /// std::priority_queue) so Reserve can pre-size the backing store.
+  std::vector<CandidateMerge> heap_;
   std::vector<bool> live_;
 };
 

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+#include <ctime>
 
 #include "common/check.h"
 
@@ -21,8 +22,10 @@ void AppendTreeLines(const PhaseNode& node, const std::string& indent,
   char line[256];
   double share = root_seconds > 0.0 ? 100.0 * node.seconds / root_seconds
                                     : 0.0;
-  std::snprintf(line, sizeof(line), "%s%-28s %10.4fs %6.1f%%  x%llu\n",
+  std::snprintf(line, sizeof(line),
+                "%s%-28s %10.4fs %6.1f%%  cpu %9.4fs  x%llu\n",
                 indent.c_str(), node.name.c_str(), node.seconds, share,
+                node.cpu_seconds,
                 static_cast<unsigned long long>(node.count));
   *out += line;
   for (const PhaseNode& child : node.children) {
@@ -50,6 +53,7 @@ PhaseNode* PhaseNode::FindOrAddChild(std::string_view child_name) {
 
 void PhaseNode::MergeFrom(const PhaseNode& other) {
   seconds += other.seconds;
+  cpu_seconds += other.cpu_seconds;
   count += other.count;
   for (const PhaseNode& theirs : other.children) {
     FindOrAddChild(theirs.name)->MergeFrom(theirs);
@@ -66,6 +70,7 @@ JsonValue PhaseNode::ToJson() const {
   JsonValue out = JsonValue::Object();
   out.Set("name", JsonValue(name));
   out.Set("seconds", JsonValue(seconds));
+  out.Set("cpu_seconds", JsonValue(cpu_seconds));
   out.Set("count", JsonValue(count));
   JsonValue kids = JsonValue::Array();
   for (const PhaseNode& c : children) kids.Append(c.ToJson());
@@ -87,6 +92,10 @@ Result<PhaseNode> PhaseNode::FromJson(const JsonValue& json) {
   PhaseNode node;
   node.name = name->as_string();
   node.seconds = seconds->as_double();
+  if (const JsonValue* cpu = json.Find("cpu_seconds");
+      cpu != nullptr && cpu->is_number()) {
+    node.cpu_seconds = cpu->as_double();
+  }
   if (const JsonValue* count = json.Find("count");
       count != nullptr && count->is_number()) {
     node.count = static_cast<uint64_t>(count->as_double());
@@ -117,16 +126,26 @@ void PhaseTracer::BeginSpan(std::string_view name) {
       static_cast<size_t>(child - open->children.data()));
 }
 
-void PhaseTracer::EndSpan(double seconds) {
+void PhaseTracer::EndSpan(double seconds, double cpu_seconds) {
   HOM_CHECK(!open_path_.empty()) << "EndSpan without matching BeginSpan";
   PhaseNode* open = &root_;
   for (size_t idx : open_path_) open = &open->children[idx];
   open->seconds += seconds;
+  open->cpu_seconds += cpu_seconds;
   open->count += 1;
   open_path_.pop_back();
   // Keep the root total live so partially-traced trees still report a
   // meaningful share denominator.
   root_.seconds = SecondsSince(started_);
+}
+
+void PhaseTracer::MergeAtOpenSpan(const PhaseNode& subtree) {
+  PhaseNode* open = &root_;
+  for (size_t idx : open_path_) open = &open->children[idx];
+  open->FindOrAddChild(subtree.name)->MergeFrom(subtree);
+  // Worker CPU time rolls up into the open span so the wall/CPU ratio of
+  // the enclosing phase reflects pooled work too.
+  open->cpu_seconds += subtree.cpu_seconds;
 }
 
 ScopedTracer::ScopedTracer(PhaseTracer* tracer) : previous_(g_active_tracer) {
@@ -139,12 +158,26 @@ PhaseTracer* ScopedTracer::Active() { return g_active_tracer; }
 
 ScopedSpan::ScopedSpan(const char* name)
     : tracer_(g_active_tracer),
-      started_(std::chrono::steady_clock::now()) {
+      started_(std::chrono::steady_clock::now()),
+      started_cpu_(tracer_ != nullptr ? ThreadCpuSeconds() : 0.0) {
   if (tracer_ != nullptr) tracer_->BeginSpan(name);
 }
 
 ScopedSpan::~ScopedSpan() {
-  if (tracer_ != nullptr) tracer_->EndSpan(SecondsSince(started_));
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(SecondsSince(started_),
+                     ThreadCpuSeconds() - started_cpu_);
+  }
+}
+
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+#endif
+  return 0.0;
 }
 
 }  // namespace hom::obs

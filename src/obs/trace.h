@@ -19,6 +19,12 @@ namespace hom::obs {
 struct PhaseNode {
   std::string name;
   double seconds = 0.0;
+  /// Thread CPU time spent inside the phase, summed over every thread that
+  /// executed it. For a serial phase this tracks `seconds`; for a phase
+  /// whose work fanned out to a thread pool it exceeds `seconds` by the
+  /// achieved parallelism (the wall/CPU ratio is the speedup actually
+  /// realized). 0 when the platform offers no per-thread CPU clock.
+  double cpu_seconds = 0.0;
   uint64_t count = 0;
   std::vector<PhaseNode> children;
 
@@ -39,7 +45,8 @@ struct PhaseNode {
   /// of the root, and entry count.
   std::string ToTreeString() const;
 
-  /// {"name": ..., "seconds": ..., "count": ..., "children": [...]}.
+  /// {"name": ..., "seconds": ..., "cpu_seconds": ..., "count": ...,
+  /// "children": [...]}.
   JsonValue ToJson() const;
   static Result<PhaseNode> FromJson(const JsonValue& json);
 };
@@ -63,7 +70,13 @@ class PhaseTracer {
 
   /// Opens a nested phase; pair with EndSpan. Prefer ScopedSpan.
   void BeginSpan(std::string_view name);
-  void EndSpan(double seconds);
+  void EndSpan(double seconds, double cpu_seconds = 0.0);
+
+  /// Merges `subtree` as a child of the currently open span (the root when
+  /// no span is open). This is how a parallel region hands the per-worker
+  /// span trees recorded on pool threads back to the owner's tracer: call
+  /// it from the owning thread after the workers have been joined.
+  void MergeAtOpenSpan(const PhaseNode& subtree);
 
  private:
   PhaseNode root_;
@@ -103,7 +116,18 @@ class ScopedSpan {
  private:
   PhaseTracer* tracer_;
   std::chrono::steady_clock::time_point started_;
+  double started_cpu_ = 0.0;
 };
+
+/// CPU time consumed by the calling thread, in seconds; 0 when the
+/// platform has no per-thread CPU clock. Used by spans and the thread-pool
+/// workers to report wall vs. CPU per phase.
+double ThreadCpuSeconds();
+
+/// Prefix that marks a phase subtree as one pool worker's span tree
+/// ("worker:<slot>"). The Chrome trace exporter lays such subtrees out on
+/// their own tracks instead of serializing them after their siblings.
+inline constexpr const char* kWorkerPhasePrefix = "worker:";
 
 }  // namespace hom::obs
 

@@ -1,14 +1,18 @@
 #include "obs/trace_export.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <map>
 
 namespace hom::obs {
 
 namespace {
 
 constexpr int kPid = 1;
-constexpr int kPhaseTid = 1;    ///< "offline phases" track
-constexpr int kJournalTid = 2;  ///< "online events" track
+constexpr int kPhaseTid = 1;      ///< "offline phases" track
+constexpr int kJournalTid = 2;    ///< "online events" track
+constexpr int kWorkerTidBase = 16;  ///< pool worker k renders on tid 16+k
 
 JsonValue ThreadNameEvent(int tid, const char* name) {
   JsonValue args = JsonValue::Object();
@@ -22,12 +26,24 @@ JsonValue ThreadNameEvent(int tid, const char* name) {
   return event;
 }
 
-/// Emits `node` as an "X" slice starting at `start_us` and recurses into
-/// its children laid out back to back from the same start.
-void AppendPhaseSlices(const PhaseNode& node, double start_us,
-                       JsonValue* events) {
+/// Worker subtrees ("worker:<slot>") recorded by the thread pool; returns
+/// the slot, or -1 when `node` is an ordinary phase.
+int WorkerSlot(const PhaseNode& node) {
+  size_t prefix_len = std::strlen(kWorkerPhasePrefix);
+  if (node.name.compare(0, prefix_len, kWorkerPhasePrefix) != 0) return -1;
+  return std::atoi(node.name.c_str() + prefix_len);
+}
+
+/// Emits `node` as an "X" slice starting at `start_us` on `tid` and
+/// recurses into its children laid out back to back from the same start.
+/// Worker subtrees instead open at the parent's start on their own track
+/// (tid 16+slot), so pooled phases render as parallel lanes; `worker_tids`
+/// collects the lanes used so they can be named once at the end.
+void AppendPhaseSlices(const PhaseNode& node, double start_us, int tid,
+                       JsonValue* events, std::map<int, int>* worker_tids) {
   JsonValue args = JsonValue::Object();
   args.Set("count", JsonValue(node.count));
+  args.Set("cpu_seconds", JsonValue(node.cpu_seconds));
   JsonValue slice = JsonValue::Object();
   slice.Set("name", JsonValue(node.name));
   slice.Set("cat", JsonValue("phase"));
@@ -35,12 +51,19 @@ void AppendPhaseSlices(const PhaseNode& node, double start_us,
   slice.Set("ts", JsonValue(start_us));
   slice.Set("dur", JsonValue(node.seconds * 1e6));
   slice.Set("pid", JsonValue(kPid));
-  slice.Set("tid", JsonValue(kPhaseTid));
+  slice.Set("tid", JsonValue(tid));
   slice.Set("args", std::move(args));
   events->Append(std::move(slice));
   double child_start = start_us;
   for (const PhaseNode& child : node.children) {
-    AppendPhaseSlices(child, child_start, events);
+    int slot = WorkerSlot(child);
+    if (slot >= 0) {
+      int worker_tid = kWorkerTidBase + slot;
+      (*worker_tids)[worker_tid] = slot;
+      AppendPhaseSlices(child, start_us, worker_tid, events, worker_tids);
+      continue;  // parallel lane: does not consume sequential budget
+    }
+    AppendPhaseSlices(child, child_start, tid, events, worker_tids);
     child_start += child.seconds * 1e6;
   }
 }
@@ -72,7 +95,12 @@ JsonValue ChromeTraceDocument(const PhaseNode* phases,
   JsonValue trace_events = JsonValue::Array();
   if (phases != nullptr && phases->count > 0) {
     trace_events.Append(ThreadNameEvent(kPhaseTid, "offline phases"));
-    AppendPhaseSlices(*phases, 0.0, &trace_events);
+    std::map<int, int> worker_tids;
+    AppendPhaseSlices(*phases, 0.0, kPhaseTid, &trace_events, &worker_tids);
+    for (const auto& [tid, slot] : worker_tids) {
+      std::string name = "pool worker " + std::to_string(slot);
+      trace_events.Append(ThreadNameEvent(tid, name.c_str()));
+    }
   }
   if (!events.empty()) {
     trace_events.Append(ThreadNameEvent(kJournalTid, "online events"));

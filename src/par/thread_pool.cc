@@ -1,0 +1,207 @@
+#include "par/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hom::par {
+
+size_t HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+size_t ResolveThreadCount(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("HOM_THREADS")) {
+    long value = std::atol(env);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  return HardwareConcurrency();
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    task();
+  }
+}
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Shared state of one ParallelFor call: the index cursor, cancellation
+/// flag, first error (smallest failing index wins, so the reported Status
+/// does not depend on lane scheduling), and the helper-completion latch.
+struct LoopState {
+  LoopState(size_t n, size_t grain, const std::function<Status(size_t)>& fn)
+      : n(n), grain(grain), fn(fn) {}
+
+  const size_t n;
+  const size_t grain;
+  const std::function<Status(size_t)>& fn;
+
+  std::atomic<size_t> next{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t helpers_running = 0;
+  Status first_error;                 // guarded by mu
+  size_t first_error_index = SIZE_MAX;
+
+  void RecordError(size_t index, Status status) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (index < first_error_index) {
+      first_error_index = index;
+      first_error = std::move(status);
+    }
+    cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// One lane's share of the loop: grab chunks until the cursor runs out
+  /// or a failure cancels the loop.
+  void RunChunks() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      size_t start = next.fetch_add(grain, std::memory_order_relaxed);
+      if (start >= n) return;
+      size_t end = std::min(n, start + grain);
+      for (size_t i = start; i < end; ++i) {
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        Status status = fn(i);
+        if (!status.ok()) {
+          RecordError(i, std::move(status));
+          return;
+        }
+      }
+    }
+  }
+
+  void FinishHelper() {
+    std::lock_guard<std::mutex> lock(mu);
+    --helpers_running;
+    done_cv.notify_all();
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                   const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  size_t chunks = (n + grain - 1) / grain;
+  size_t helpers =
+      pool != nullptr ? std::min(chunks - 1, pool->num_threads() - 1) : 0;
+
+  if (helpers == 0) {
+    // Serial fast path: no shared cursor, no latch — the 1-thread build is
+    // the old serial loop plus one std::function call per item.
+    for (size_t i = 0; i < n; ++i) {
+      Status status = fn(i);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  HOM_COUNTER_INC("hom.par.parallel_loops");
+  HOM_COUNTER_ADD("hom.par.items", n);
+
+  LoopState state(n, grain, fn);
+  state.helpers_running = helpers;
+
+  // When the caller is tracing, each helper lane records spans into its own
+  // tracer; the trees come back as "worker:<slot>" children of the caller's
+  // open span once everyone has joined (PhaseTracer itself is
+  // single-threaded, so lanes never share one).
+  obs::PhaseTracer* parent_tracer = obs::ScopedTracer::Active();
+  std::vector<std::unique_ptr<obs::PhaseTracer>> lane_tracers(helpers);
+  for (size_t slot = 0; slot < helpers; ++slot) {
+    if (parent_tracer != nullptr) {
+      lane_tracers[slot] = std::make_unique<obs::PhaseTracer>(
+          obs::kWorkerPhasePrefix + std::to_string(slot));
+    }
+    obs::PhaseTracer* lane_tracer = lane_tracers[slot].get();
+    pool->Submit([&state, lane_tracer] {
+      auto started = std::chrono::steady_clock::now();
+      double started_cpu = obs::ThreadCpuSeconds();
+      {
+        obs::ScopedTracer activate(lane_tracer);
+        state.RunChunks();
+      }
+      if (lane_tracer != nullptr) {
+        // The lane root's totals are its busy time in this region, not
+        // time-since-construction (the lane may have started late).
+        lane_tracer->mutable_root().seconds = SecondsSince(started);
+        lane_tracer->mutable_root().cpu_seconds =
+            obs::ThreadCpuSeconds() - started_cpu;
+      }
+      state.FinishHelper();
+    });
+  }
+
+  // The calling thread is a lane too, under its own (already active)
+  // tracer: its spans land directly in the enclosing phase.
+  state.RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.helpers_running == 0; });
+    // Helpers are joined; reads below are ordered after their writes.
+  }
+  if (parent_tracer != nullptr) {
+    for (const auto& lane_tracer : lane_tracers) {
+      if (lane_tracer != nullptr && lane_tracer->root().seconds > 0.0) {
+        parent_tracer->MergeAtOpenSpan(lane_tracer->root());
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.first_error_index == SIZE_MAX ? Status::OK()
+                                             : state.first_error;
+}
+
+}  // namespace hom::par

@@ -1,0 +1,101 @@
+#ifndef HOM_PAR_THREAD_POOL_H_
+#define HOM_PAR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hom::par {
+
+/// Number of hardware threads, never less than 1.
+size_t HardwareConcurrency();
+
+/// Resolves a configured thread count to an effective one: a positive
+/// `configured` wins; 0 falls back to the HOM_THREADS environment variable
+/// when it holds a positive integer, then to HardwareConcurrency().
+size_t ResolveThreadCount(size_t configured);
+
+/// \brief Fixed-size pool of worker threads draining one FIFO task queue.
+///
+/// Deliberately minimal — no work stealing, no priorities: the offline
+/// build's parallel loops are embarrassingly parallel batches of
+/// comparable-cost items, so a shared queue with ParallelFor's dynamic
+/// index chunking already balances load. A pool of size n spawns n-1
+/// workers; the caller of ParallelFor is the n-th lane, so size 1 runs
+/// everything inline with no threads, no queue traffic, and no atomics on
+/// the items (the "parallelism off" configuration benchmarks within noise
+/// of the pre-pool serial code).
+class ThreadPool {
+ public:
+  /// `num_threads` is the effective lane count (already resolved via
+  /// ResolveThreadCount); `num_threads - 1` workers are spawned.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes available to ParallelFor: workers + the calling thread.
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Tasks drained by worker threads so far (telemetry).
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueues a task for a worker thread. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::atomic<uint64_t> tasks_executed_{0};
+};
+
+/// Runs `fn(i)` for every i in [0, n) across the pool's lanes and the
+/// calling thread, dispatching indices in contiguous chunks of `grain`
+/// from a shared cursor. Blocks until every index has run or the loop is
+/// cancelled by a failure: the first non-OK Status (ties broken toward the
+/// smallest index) stops further dispatch and is returned once in-flight
+/// items drain.
+///
+/// `fn` runs concurrently with itself and must only touch disjoint state
+/// per index (or synchronize). If the calling thread has an active
+/// obs::PhaseTracer, each worker lane records its own span tree, and the
+/// trees are merged back into the caller's open span as "worker:<slot>"
+/// children after the join — metrics macros are safe from any lane as-is.
+Status ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                   const std::function<Status(size_t)>& fn);
+
+/// ParallelFor returning values: out[i] = fn(i), order-stable regardless
+/// of scheduling. T must be default-constructible and movable.
+template <typename T>
+Result<std::vector<T>> ParallelMap(
+    ThreadPool* pool, size_t n,
+    const std::function<Result<T>(size_t)>& fn) {
+  std::vector<T> out(n);
+  Status status = ParallelFor(pool, n, /*grain=*/1, [&](size_t i) -> Status {
+    HOM_ASSIGN_OR_RETURN(out[i], fn(i));
+    return Status::OK();
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace hom::par
+
+#endif  // HOM_PAR_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+
+namespace hom::par {
+namespace {
+
+TEST(ResolveThreadCountTest, PositiveConfiguredWins) {
+  setenv("HOM_THREADS", "7", 1);
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  unsetenv("HOM_THREADS");
+}
+
+TEST(ResolveThreadCountTest, ZeroFallsBackToEnvironment) {
+  setenv("HOM_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 5u);
+  unsetenv("HOM_THREADS");
+}
+
+TEST(ResolveThreadCountTest, BadEnvironmentFallsBackToHardware) {
+  setenv("HOM_THREADS", "not-a-number", 1);
+  EXPECT_EQ(ResolveThreadCount(0), HardwareConcurrency());
+  setenv("HOM_THREADS", "0", 1);
+  EXPECT_EQ(ResolveThreadCount(0), HardwareConcurrency());
+  unsetenv("HOM_THREADS");
+  EXPECT_EQ(ResolveThreadCount(0), HardwareConcurrency());
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, SizeOneSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    Status status = ParallelFor(&pool, kN, /*grain=*/7, [&](size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsOk) {
+  ThreadPool pool(4);
+  Status status = ParallelFor(&pool, 0, 1, [&](size_t) {
+    ADD_FAILURE() << "body ran on an empty range";
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(ThreadPoolTest, FirstErrorBySmallestIndexWins) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    Status status = ParallelFor(&pool, 100, /*grain=*/1, [&](size_t i) {
+      if (i == 17 || i == 63) {
+        return Status::Internal("failed at " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.ToString().find("failed at 17"), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, CancellationSkipsLaterChunks) {
+  ThreadPool pool(2);
+  std::atomic<size_t> ran{0};
+  Status status = ParallelFor(&pool, 100000, /*grain=*/1, [&](size_t i) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (i == 0) return Status::Internal("cancel");
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  // The error at index 0 stops dispatch; in-flight items may still finish,
+  // but nothing close to the full range should have run.
+  EXPECT_LT(ran.load(), 100000u);
+}
+
+TEST(ThreadPoolTest, ParallelMapIsOrderStable) {
+  ThreadPool pool(4);
+  auto result = ParallelMap<int>(&pool, 257, [](size_t i) -> Result<int> {
+    return static_cast<int>(i * 3);
+  });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 257u);
+  for (size_t i = 0; i < result->size(); ++i) {
+    EXPECT_EQ((*result)[i], static_cast<int>(i * 3));
+  }
+}
+
+TEST(ThreadPoolTest, WorkerTasksAreCounted) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  Status status = ParallelFor(&pool, 64, /*grain=*/1, [&](size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(ran.load(), 64u);
+  // Each of the 3 helper lanes is submitted as exactly one task, and
+  // ParallelFor does not return before all of them have drained.
+  EXPECT_EQ(pool.tasks_executed(), 3u);
+}
+
+TEST(ThreadPoolTest, WorkerSpansMergeIntoCallersOpenSpan) {
+  ThreadPool pool(4);
+  obs::PhaseTracer tracer("test");
+  {
+    obs::ScopedTracer activate(&tracer);
+    obs::ScopedSpan span("parallel_region");
+    Status status = ParallelFor(&pool, 5000, /*grain=*/1, [&](size_t) {
+      obs::ScopedSpan inner("item");
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok());
+  }
+  const obs::PhaseNode* region = tracer.root().FindChild("parallel_region");
+  ASSERT_NE(region, nullptr);
+  // The caller lane records "item" spans directly under the region; helper
+  // lanes appear as worker:<slot> subtrees (when they won any chunk).
+  uint64_t items = 0;
+  if (const obs::PhaseNode* direct = region->FindChild("item")) {
+    items += direct->count;
+  }
+  for (const obs::PhaseNode& child : region->children) {
+    if (child.name.rfind(obs::kWorkerPhasePrefix, 0) == 0) {
+      const obs::PhaseNode* worker_items = child.FindChild("item");
+      if (worker_items != nullptr) items += worker_items->count;
+    }
+  }
+  EXPECT_EQ(items, 5000u);
+}
+
+}  // namespace
+}  // namespace hom::par

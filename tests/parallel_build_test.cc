@@ -1,0 +1,101 @@
+// Determinism of the parallel offline build (the sharded-RNG scheme): the
+// same seed must produce the same dendrogram, concept boundaries, and
+// byte-identical serialized model at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "classifiers/decision_tree.h"
+#include "common/rng.h"
+#include "highorder/builder.h"
+#include "highorder/serialization.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+struct BuildOutcome {
+  HighOrderBuildReport report;
+  std::string serialized;
+};
+
+BuildOutcome BuildAt(size_t threads, const Dataset& history) {
+  HighOrderBuildConfig config;
+  config.clustering.num_threads = threads;
+  HighOrderModelBuilder builder(DecisionTree::Factory(), config);
+  Rng rng(42);
+  BuildOutcome out;
+  auto model = builder.Build(history, &rng, &out.report);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  if (model.ok()) {
+    std::ostringstream bytes;
+    EXPECT_TRUE(SaveHighOrderModel(&bytes, **model).ok());
+    out.serialized = bytes.str();
+  }
+  return out;
+}
+
+TEST(ParallelBuildTest, ModelIsBitIdenticalAcrossThreadCounts) {
+  StaggerGenerator gen(1001);
+  Dataset history = gen.Generate(12000);
+
+  BuildOutcome serial = BuildAt(1, history);
+  ASSERT_FALSE(serial.serialized.empty());
+  EXPECT_EQ(serial.report.effective_threads, 1u);
+  EXPECT_EQ(serial.report.pool_tasks, 0u);
+
+  for (size_t threads : {2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    BuildOutcome parallel = BuildAt(threads, history);
+    EXPECT_EQ(parallel.report.effective_threads, threads);
+
+    EXPECT_EQ(parallel.report.num_chunks, serial.report.num_chunks);
+    EXPECT_EQ(parallel.report.num_concepts, serial.report.num_concepts);
+    EXPECT_DOUBLE_EQ(parallel.report.final_q, serial.report.final_q);
+
+    ASSERT_EQ(parallel.report.occurrences.size(),
+              serial.report.occurrences.size());
+    for (size_t i = 0; i < serial.report.occurrences.size(); ++i) {
+      EXPECT_EQ(parallel.report.occurrences[i].begin,
+                serial.report.occurrences[i].begin);
+      EXPECT_EQ(parallel.report.occurrences[i].end,
+                serial.report.occurrences[i].end);
+      EXPECT_EQ(parallel.report.occurrences[i].concept_id,
+                serial.report.occurrences[i].concept_id);
+    }
+
+    EXPECT_EQ(parallel.serialized, serial.serialized)
+        << "serialized model bytes differ from the single-threaded build";
+  }
+}
+
+TEST(ParallelBuildTest, ReportCarriesPoolTelemetry) {
+  StaggerGenerator gen(1002);
+  Dataset history = gen.Generate(4000);
+  BuildOutcome out = BuildAt(4, history);
+  EXPECT_EQ(out.report.effective_threads, 4u);
+  // With 3 helper lanes and hundreds of leaf blocks, every lane is
+  // submitted at least once across the build's parallel loops.
+  EXPECT_GT(out.report.pool_tasks, 0u);
+}
+
+TEST(ParallelBuildTest, PhaseTreeRecordsParallelSpans) {
+  StaggerGenerator gen(1003);
+  Dataset history = gen.Generate(4000);
+  BuildOutcome out = BuildAt(2, history);
+  const obs::PhaseNode* leaf_training =
+      out.report.phases.FindChild("leaf_training");
+  ASSERT_NE(leaf_training, nullptr);
+  EXPECT_GT(leaf_training->seconds, 0.0);
+  const obs::PhaseNode* step2 =
+      out.report.phases.FindChild("step2_concept_merging");
+  ASSERT_NE(step2, nullptr);
+  EXPECT_NE(step2->FindChild("similarity_samples"), nullptr);
+  EXPECT_NE(step2->FindChild("pairwise_distances"), nullptr);
+}
+
+}  // namespace
+}  // namespace hom

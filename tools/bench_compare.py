@@ -17,6 +17,10 @@ against the same-named file in --output-dir. Each comparison walks the
   time-like    (key contains "seconds", "latency", "_ms" or "_us";
                 noisy across machines)
       FAIL if new > base * 1.5 + 0.05
+  thread-config (key is "threads" or ends in "_threads"; a configuration
+                echo, not a measurement — the sweep row names the thread
+                count and the value must agree with the baseline exactly)
+      FAIL on any change
   anything else (counts, configuration echoes)
       WARN on change, never fails
 
@@ -46,6 +50,8 @@ TIME_ABS_SLACK = 0.05
 
 def classify(key):
     lowered = key.lower()
+    if lowered == "threads" or lowered.endswith("_threads"):
+        return "threads"
     if any(h in lowered for h in ERROR_HINTS):
         return "error"
     if any(h in lowered for h in ACCURACY_HINTS):
@@ -91,6 +97,12 @@ def compare_values(name, row, key, base, new, report):
             report["fail"].append(
                 f"{where}: {new:.3f}s exceeds baseline {base:.3f}s "
                 f"(limit {limit:.3f}s)"
+            )
+    elif kind == "threads":
+        if new != base:
+            report["fail"].append(
+                f"{where}: thread-count echo changed {base!r} -> {new!r} "
+                f"(the sweep row must run at its named thread count)"
             )
     else:
         if new != base:

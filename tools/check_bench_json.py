@@ -37,6 +37,10 @@ def _check_phase_node(path, node, where, depth=0):
     if not isinstance(node.get("name"), str) or not node.get("name"):
         failures += _err(path, f"{where}: missing non-empty string 'name'")
     failures += _check_number(path, node.get("seconds"), f"{where}.seconds")
+    if "cpu_seconds" in node:  # optional: absent in pre-parallel documents
+        failures += _check_number(
+            path, node.get("cpu_seconds"), f"{where}.cpu_seconds"
+        )
     failures += _check_number(path, node.get("count"), f"{where}.count")
     children = node.get("children", [])
     if not isinstance(children, list):
@@ -188,6 +192,17 @@ def check_file(path):
             else:
                 for key, value in values.items():
                     failures += _check_number(path, value, f"{where}.values[{key!r}]")
+                    if key == "threads" and (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or not float(value).is_integer()
+                        or value < 1
+                    ):
+                        failures += _err(
+                            path,
+                            f"{where}.values['threads']: expected a positive "
+                            f"integer thread count, got {value!r}",
+                        )
 
     if "metrics" not in doc:
         failures += _err(path, "metrics: missing")

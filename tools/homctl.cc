@@ -2,7 +2,8 @@
 //
 //   homctl generate --stream stagger --n 20000 --seed 1 --out hist.csv
 //   homctl build    --stream stagger --in hist.csv --out model.hom
-//                   [--metrics-out build_metrics.json] [--trace-out t.json]
+//                   [--threads N] [--metrics-out build_metrics.json]
+//                   [--trace-out t.json]
 //   homctl evaluate --stream stagger --model model.hom --in test.csv
 //                   [--metrics-out eval_metrics.json]
 //                   [--journal-out events.jsonl] [--trace-out t.json]
@@ -33,6 +34,11 @@
 // Perfetto or chrome://tracing) of the build phases and/or journal events.
 // The boolean flag `--verbose` raises the log level to debug and
 // timestamps every line.
+//
+// `build --threads N` sizes the offline build's thread pool (0 or absent =
+// auto: the HOM_THREADS environment variable, then the hardware thread
+// count; 1 = fully serial). The built model is bit-identical at every
+// thread count.
 
 #include <chrono>
 #include <cstdio>
@@ -215,7 +221,10 @@ int CmdBuild(const Args& args) {
   auto history = ReadCsv(gen->schema(), in);
   if (!history.ok()) return Fail(history.status().ToString());
 
-  HighOrderModelBuilder builder(DecisionTree::Factory());
+  HighOrderBuildConfig config;
+  config.clustering.num_threads =
+      static_cast<size_t>(std::atoll(args.Get("threads", "0")));
+  HighOrderModelBuilder builder(DecisionTree::Factory(), config);
   Rng rng(seed);
   HighOrderBuildReport report;
   auto model = builder.Build(*history, &rng, &report);
@@ -224,9 +233,10 @@ int CmdBuild(const Args& args) {
     return Fail(st.ToString());
   }
   std::printf("built high-order model from %zu records: %zu concepts in "
-              "%.2fs -> %s\n",
+              "%.2fs (%zu threads, %llu pool tasks) -> %s\n",
               report.num_records, report.num_concepts, report.build_seconds,
-              out.c_str());
+              report.effective_threads,
+              static_cast<unsigned long long>(report.pool_tasks), out.c_str());
   if (args.Has("metrics-out")) {
     obs::JsonValue values = obs::JsonValue::Object();
     values.Set("num_records", static_cast<uint64_t>(report.num_records));
@@ -234,6 +244,8 @@ int CmdBuild(const Args& args) {
     values.Set("num_concepts", static_cast<uint64_t>(report.num_concepts));
     values.Set("build_seconds", report.build_seconds);
     values.Set("final_q", report.final_q);
+    values.Set("threads", static_cast<uint64_t>(report.effective_threads));
+    values.Set("pool_tasks", report.pool_tasks);
     if (Status st = WriteMetricsFile(args.Get("metrics-out", ""), "build",
                                      values, &report.phases);
         !st.ok()) {
@@ -563,7 +575,7 @@ int main(int argc, char** argv) {
                "monitor> [--verbose] [--key value ...]\n"
                "  generate --stream s --n N --seed S [--lambda L] --out f.csv\n"
                "  build    --stream s --in hist.csv --out model.hom"
-               " [--metrics-out m.json] [--trace-out t.json]\n"
+               " [--threads N] [--metrics-out m.json] [--trace-out t.json]\n"
                "  evaluate --model model.hom --in test.csv [--labeled 0.1]"
                " [--metrics-out m.json]\n"
                "           [--journal-out e.jsonl] [--trace-out t.json]"
