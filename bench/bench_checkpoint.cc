@@ -1,0 +1,198 @@
+// Serving-checkpoint microbench (PR4 robustness): what does fault
+// tolerance cost? Measures the capture/save/load/apply path of
+// highorder/checkpoint.h, the file-size footprint, the overhead periodic
+// checkpointing adds to a prequential run, and — as a correctness anchor
+// the baseline gate watches — that a stop+resume run reproduces the
+// uninterrupted run's error exactly.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "common/check.h"
+#include "common/file_io.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "highorder/checkpoint.h"
+#include "highorder/serialization.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using namespace hom;
+using hom::bench::BenchReporter;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::unique_ptr<HighOrderClassifier> Reload(const std::string& bytes) {
+  std::stringstream buffer(bytes);
+  auto model = LoadHighOrderModel(&buffer);
+  HOM_CHECK(model.ok());
+  return std::move(*model);
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  StaggerGenerator gen(77001);
+  Dataset history = gen.Generate(scale.stagger_history);
+  Dataset test = gen.Generate(scale.stagger_test);
+
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(23);
+  auto built = builder.Build(history, &rng);
+  if (!built.ok()) {
+    std::printf("build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  HOM_CHECK(SaveHighOrderModel(&buffer, **built).ok());
+  const std::string model_bytes = buffer.str();
+
+  std::string path = "bench_checkpoint.tmp.homc";
+  BenchReporter reporter("bench_checkpoint");
+  reporter.SetScale(scale);
+  std::printf("== serving checkpoint: cost of fault tolerance ==\n");
+  PrintRule(64);
+
+  // --- capture + save / load + apply latency over repeated round trips.
+  auto model = Reload(model_bytes);
+  auto stats = std::make_shared<OnlineConceptStats>(model->num_classes());
+  PrequentialOptions warm_options;
+  warm_options.resume_concept_stats = stats;
+  PrequentialResult warm =
+      RunPrequential(model.get(), test, warm_options);
+
+  const size_t reps = 200;
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t bytes_written = 0;
+  for (size_t i = 0; i < reps; ++i) {
+    auto ckpt = CaptureCheckpoint(*model);
+    HOM_CHECK(ckpt.ok());
+    ckpt->stream_offset = warm.num_records;
+    ckpt->num_errors = warm.num_errors;
+    ckpt->concept_stats = stats;
+    HOM_CHECK(SaveCheckpointToFile(path, *ckpt).ok());
+  }
+  double save_ms = MsSince(t0) / static_cast<double>(reps);
+  {
+    auto size = ReadFileToString(path);
+    HOM_CHECK(size.ok());
+    bytes_written = size->size();
+  }
+  t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < reps; ++i) {
+    auto ckpt = LoadCheckpointFromFile(path);
+    HOM_CHECK(ckpt.ok());
+    HOM_CHECK(ApplyCheckpoint(*ckpt, model.get()).ok());
+  }
+  double load_ms = MsSince(t0) / static_cast<double>(reps);
+  std::printf("%-36s %10.4f ms\n", "capture + save", save_ms);
+  std::printf("%-36s %10.4f ms\n", "load + apply", load_ms);
+  std::printf("%-36s %10llu bytes\n", "checkpoint size",
+              static_cast<unsigned long long>(bytes_written));
+  reporter.AddValue("checkpoint/save", "latency_ms", save_ms);
+  reporter.AddValue("checkpoint/save", "bytes",
+                    static_cast<double>(bytes_written));
+  reporter.AddValue("checkpoint/load_apply", "latency_ms", load_ms);
+
+  // --- overhead of checkpointing every 1000 records during evaluation.
+  auto plain_model = Reload(model_bytes);
+  auto t1 = std::chrono::steady_clock::now();
+  PrequentialResult plain = RunPrequential(plain_model.get(), test, {});
+  double plain_s = MsSince(t1) / 1000.0;
+
+  auto ckpt_model = Reload(model_bytes);
+  auto ckpt_stats =
+      std::make_shared<OnlineConceptStats>(ckpt_model->num_classes());
+  PrequentialOptions periodic;
+  periodic.resume_concept_stats = ckpt_stats;
+  periodic.checkpoint_every = 1000;
+  periodic.on_checkpoint = [&](const PrequentialProgress& progress) {
+    auto ckpt = CaptureCheckpoint(*ckpt_model);
+    HOM_CHECK(ckpt.ok());
+    ckpt->stream_offset = progress.record;
+    ckpt->num_errors = progress.num_errors;
+    ckpt->window_errors = progress.window_errors;
+    ckpt->window_fill = progress.window_fill;
+    ckpt->concept_stats = ckpt_stats;
+    HOM_CHECK(SaveCheckpointToFile(path, *ckpt).ok());
+  };
+  t1 = std::chrono::steady_clock::now();
+  PrequentialResult periodic_result =
+      RunPrequential(ckpt_model.get(), test, periodic);
+  double periodic_s = MsSince(t1) / 1000.0;
+  std::printf("%-36s %10.4f s\n", "evaluate (no checkpoints)", plain_s);
+  std::printf("%-36s %10.4f s\n", "evaluate (every 1000 records)",
+              periodic_s);
+  reporter.AddValue("evaluate/plain", "seconds", plain_s);
+  reporter.AddValue("evaluate/plain", "error", plain.error_rate());
+  reporter.AddValue("evaluate/checkpoint_every_1000", "seconds", periodic_s);
+  reporter.AddValue("evaluate/checkpoint_every_1000", "error",
+                    periodic_result.error_rate());
+
+  // --- correctness anchor: stop at the midpoint, checkpoint, resume on a
+  // fresh instance; the gate fails if resume ever drifts from the
+  // uninterrupted run.
+  uint64_t midpoint = test.size() / 2;
+  auto first = Reload(model_bytes);
+  auto first_stats =
+      std::make_shared<OnlineConceptStats>(first->num_classes());
+  PrequentialOptions head;
+  head.stop_after = midpoint;
+  head.resume_concept_stats = first_stats;
+  PrequentialResult head_result = RunPrequential(first.get(), test, head);
+  auto ckpt = CaptureCheckpoint(*first);
+  HOM_CHECK(ckpt.ok());
+  ckpt->stream_offset = head_result.num_records;
+  ckpt->num_errors = head_result.num_errors;
+  ckpt->window_errors = head_result.window_errors_carry;
+  ckpt->window_fill = head_result.window_fill_carry;
+  ckpt->concept_stats = first_stats;
+  HOM_CHECK(SaveCheckpointToFile(path, *ckpt).ok());
+
+  auto second = Reload(model_bytes);
+  auto restored = LoadCheckpointFromFile(path);
+  HOM_CHECK(restored.ok());
+  HOM_CHECK(ApplyCheckpoint(*restored, second.get()).ok());
+  PrequentialOptions tail;
+  tail.start_record = restored->stream_offset;
+  tail.carry_errors = restored->num_errors;
+  tail.carry_window_errors = restored->window_errors;
+  tail.carry_window_fill = restored->window_fill;
+  tail.resume_concept_stats = restored->concept_stats;
+  PrequentialResult resumed = RunPrequential(second.get(), test, tail);
+  std::printf("%-36s %10.5f\n", "uninterrupted error", plain.error_rate());
+  std::printf("%-36s %10.5f\n", "stop+resume error", resumed.error_rate());
+  reporter.AddValue("resume/determinism", "uninterrupted_error",
+                    plain.error_rate());
+  reporter.AddValue("resume/determinism", "resumed_error",
+                    resumed.error_rate());
+  // The binary exits nonzero on divergence, so CI fails even though this
+  // config-echo key only warns in the baseline gate.
+  reporter.AddValue("resume/determinism", "match",
+                    plain.num_errors == resumed.num_errors ? 1.0 : 0.0);
+  if (plain.num_errors != resumed.num_errors) {
+    std::printf("RESUME DIVERGED: %zu vs %zu errors\n", plain.num_errors,
+                resumed.num_errors);
+    return 1;
+  }
+
+  std::remove(path.c_str());
+  if (Status st = reporter.WriteJson(); !st.ok()) {
+    std::printf("telemetry write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

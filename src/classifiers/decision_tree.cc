@@ -478,10 +478,18 @@ Status DecisionTree::SaveTo(BinaryWriter* writer) const {
 
 Result<std::unique_ptr<DecisionTree>> DecisionTree::LoadFrom(
     BinaryReader* reader, SchemaPtr schema) {
+  // Bounds a corrupt count field: 2M nodes is far past any tree this
+  // builder produces, yet keeps the worst-case allocation in the MBs.
+  constexpr uint32_t kMaxNodes = 2u << 20;
   auto tree = std::make_unique<DecisionTree>(schema);
   HOM_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
   if (count == 0) {
     return Status::InvalidArgument("serialized tree has no nodes");
+  }
+  if (count > kMaxNodes) {
+    return Status::InvalidArgument("serialized tree declares " +
+                                   std::to_string(count) +
+                                   " nodes, over the cap (corrupt file?)");
   }
   tree->nodes_.resize(count);
   for (Node& node : tree->nodes_) {
@@ -493,7 +501,18 @@ Result<std::unique_ptr<DecisionTree>> DecisionTree::LoadFrom(
     if (node.class_counts.size() != schema->num_classes()) {
       return Status::InvalidArgument("node class-count arity mismatch");
     }
+    if (!std::isfinite(node.total)) {
+      return Status::InvalidArgument("node total is not finite");
+    }
+    for (double c : node.class_counts) {
+      if (!std::isfinite(c)) {
+        return Status::InvalidArgument("node class count is not finite");
+      }
+    }
     HOM_ASSIGN_OR_RETURN(uint32_t fanout, reader->ReadU32());
+    if (fanout > count) {
+      return Status::InvalidArgument("node fanout exceeds node count");
+    }
     node.children.resize(fanout);
     for (int32_t& child : node.children) {
       HOM_ASSIGN_OR_RETURN(child, reader->ReadI32());

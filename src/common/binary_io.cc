@@ -1,6 +1,9 @@
 #include "common/binary_io.h"
 
+#include <cctype>
 #include <cstring>
+
+#include "common/crc32.h"
 
 namespace hom {
 
@@ -23,6 +26,13 @@ Status BinaryWriter::WriteU32(uint32_t v) { return WriteBytes(&v, 4); }
 Status BinaryWriter::WriteU64(uint64_t v) { return WriteBytes(&v, 8); }
 
 Status BinaryWriter::WriteI32(int32_t v) { return WriteBytes(&v, 4); }
+
+Status BinaryWriter::WriteI64(int64_t v) { return WriteBytes(&v, 8); }
+
+Status BinaryWriter::WriteRaw(const void* data, size_t n) {
+  if (n == 0) return Status::OK();
+  return WriteBytes(data, n);
+}
 
 Status BinaryWriter::WriteDouble(double v) { return WriteBytes(&v, 8); }
 
@@ -72,6 +82,12 @@ Result<int32_t> BinaryReader::ReadI32() {
   return v;
 }
 
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t v = 0;
+  HOM_RETURN_NOT_OK(ReadBytes(&v, 8));
+  return v;
+}
+
 Result<double> BinaryReader::ReadDouble() {
   double v = 0;
   HOM_RETURN_NOT_OK(ReadBytes(&v, 8));
@@ -100,6 +116,55 @@ Result<std::vector<double>> BinaryReader::ReadDoubleVector(size_t limit) {
     HOM_RETURN_NOT_OK(ReadBytes(v.data(), size * sizeof(double)));
   }
   return v;
+}
+
+Result<std::string> BinaryReader::ReadBlob(size_t n) {
+  std::string bytes(n, '\0');
+  if (n > 0) HOM_RETURN_NOT_OK(ReadBytes(bytes.data(), n));
+  return bytes;
+}
+
+bool BinaryReader::AtEof() const {
+  return in_->peek() == std::istream::traits_type::eof();
+}
+
+std::string SectionTagName(uint32_t tag) {
+  std::string name(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    if (std::isprint(static_cast<unsigned char>(c))) name[i] = c;
+  }
+  return name;
+}
+
+Status WriteSection(BinaryWriter* writer, uint32_t tag,
+                    std::string_view payload) {
+  HOM_RETURN_NOT_OK(writer->WriteU32(tag));
+  HOM_RETURN_NOT_OK(writer->WriteU64(payload.size()));
+  HOM_RETURN_NOT_OK(writer->WriteRaw(payload.data(), payload.size()));
+  return writer->WriteU32(Crc32(payload));
+}
+
+Result<Section> ReadSection(BinaryReader* reader, size_t max_payload) {
+  Section section;
+  HOM_ASSIGN_OR_RETURN(section.tag, reader->ReadU32());
+  HOM_ASSIGN_OR_RETURN(uint64_t size, reader->ReadU64());
+  if (size > max_payload) {
+    return Status::InvalidArgument(
+        "section " + SectionTagName(section.tag) + " declares " +
+        std::to_string(size) + " bytes, over the " +
+        std::to_string(max_payload) + " byte cap (corrupt length field?)");
+  }
+  HOM_ASSIGN_OR_RETURN(section.payload,
+                       reader->ReadBlob(static_cast<size_t>(size)));
+  HOM_ASSIGN_OR_RETURN(uint32_t expected, reader->ReadU32());
+  uint32_t actual = Crc32(section.payload);
+  if (actual != expected) {
+    return Status::InvalidArgument(
+        "section " + SectionTagName(section.tag) +
+        " failed its CRC32 check (file corrupted)");
+  }
+  return section;
 }
 
 }  // namespace hom

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -24,9 +25,12 @@ class BinaryWriter {
   Status WriteU32(uint32_t v);
   Status WriteU64(uint64_t v);
   Status WriteI32(int32_t v);
+  Status WriteI64(int64_t v);
   Status WriteDouble(double v);
   Status WriteString(const std::string& s);
   Status WriteDoubleVector(const std::vector<double>& v);
+  /// Writes `n` raw bytes with no length prefix (section payloads).
+  Status WriteRaw(const void* data, size_t n);
 
  private:
   Status WriteBytes(const void* data, size_t n);
@@ -43,16 +47,57 @@ class BinaryReader {
   Result<uint32_t> ReadU32();
   Result<uint64_t> ReadU64();
   Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
   Result<double> ReadDouble();
   /// Strings and vectors are length-prefixed; `limit` bounds the length so
   /// corrupted files cannot trigger huge allocations.
   Result<std::string> ReadString(size_t limit = 1 << 20);
   Result<std::vector<double>> ReadDoubleVector(size_t limit = 1 << 26);
+  /// Reads exactly `n` raw bytes (no length prefix); IoError on truncation.
+  Result<std::string> ReadBlob(size_t n);
+  /// True once the underlying stream is exhausted (peek hits EOF).
+  bool AtEof() const;
 
  private:
   Status ReadBytes(void* data, size_t n);
   std::istream* in_;
 };
+
+// ---------------------------------------------------------------------------
+// CRC-framed sections (model format v2, serving checkpoints)
+//
+// A section is {u32 tag, u64 payload_size, payload bytes, u32 crc32}.
+// The CRC covers the payload only; the reader verifies it BEFORE any
+// structural parsing, so a bit-flipped or truncated file is rejected while
+// its bytes are still an opaque blob — no length field or index inside a
+// corrupt payload is ever trusted.
+
+/// Four-character section tag packed little-endian ("SCHM" et al.).
+constexpr uint32_t SectionTag(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+/// Renders a tag for error messages ("SCHM"; non-printable bytes as '?').
+std::string SectionTagName(uint32_t tag);
+
+/// One decoded section: its tag and the CRC-verified payload bytes.
+struct Section {
+  uint32_t tag = 0;
+  std::string payload;
+};
+
+/// Frames `payload` under `tag` with its CRC32.
+Status WriteSection(BinaryWriter* writer, uint32_t tag,
+                    std::string_view payload);
+
+/// Reads one section and verifies its CRC. `max_payload` bounds the
+/// declared size so a corrupt length field cannot trigger a huge
+/// allocation; truncation and CRC mismatch both surface as error Status.
+Result<Section> ReadSection(BinaryReader* reader,
+                            size_t max_payload = size_t{1} << 30);
 
 }  // namespace hom
 

@@ -1,0 +1,31 @@
+#ifndef HOM_COMMON_CRC32_H_
+#define HOM_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hom {
+
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+/// integrity check behind the v2 model format and the serving checkpoints.
+///
+/// A corrupted model file must never reach the deserializers' structural
+/// parsing with silently flipped bits: every framed section (binary_io.h)
+/// carries the CRC of its payload, so any single-bit flip, byte smear, or
+/// splice is detected before a length field or index is trusted. CRC-32 is
+/// not cryptographic — it guards against storage/transport corruption, not
+/// adversaries.
+
+/// CRC of `n` bytes. `seed` is the running CRC of the preceding bytes
+/// (0 to start), so large buffers can be folded incrementally:
+/// `Crc32(b, m, Crc32(a, n))` == CRC of a||b.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_CRC32_H_

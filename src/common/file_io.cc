@@ -1,0 +1,93 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace hom {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Directory part of `path` ("." when there is no separator); the rename
+/// durability fsync targets this.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path,
+                                     size_t max_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read of '" + path + "' failed");
+  std::string bytes = std::move(buffer).str();
+  if (bytes.size() > max_bytes) {
+    return Status::InvalidArgument("'" + path + "' is " +
+                                   std::to_string(bytes.size()) +
+                                   " bytes, larger than the " +
+                                   std::to_string(max_bytes) + " byte cap");
+  }
+  return bytes;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("cannot create", tmp));
+
+  Status failure;
+  const char* data = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      failure = Status::IoError(ErrnoMessage("write to", tmp));
+      break;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (failure.ok() && ::fsync(fd) != 0) {
+    failure = Status::IoError(ErrnoMessage("fsync of", tmp));
+  }
+  if (::close(fd) != 0 && failure.ok()) {
+    failure = Status::IoError(ErrnoMessage("close of", tmp));
+  }
+  if (failure.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    failure = Status::IoError(ErrnoMessage("rename to", path));
+  }
+  if (!failure.ok()) {
+    ::unlink(tmp.c_str());
+    return failure;
+  }
+  // Persist the rename: fsync the directory entry. Failure here is
+  // reported (the data may not survive power loss) but the file content
+  // itself is already complete and visible.
+  int dir_fd = ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    bool synced = ::fsync(dir_fd) == 0;
+    ::close(dir_fd);
+    if (!synced) {
+      return Status::IoError(ErrnoMessage("directory fsync for", path));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hom

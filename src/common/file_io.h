@@ -1,0 +1,35 @@
+#ifndef HOM_COMMON_FILE_IO_H_
+#define HOM_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hom {
+
+/// \brief Crash-safe whole-file helpers for model files and serving
+/// checkpoints.
+///
+/// A serving process that dies mid-checkpoint must never leave a torn file
+/// where the previous good checkpoint used to be: AtomicWriteFile stages
+/// the bytes in a sibling temp file, fsyncs it, and renames it over the
+/// destination, so readers observe either the old complete file or the new
+/// complete file — never a prefix.
+
+/// Reads the entire file into a string. IoError if the file cannot be
+/// opened or read; `max_bytes` guards against slurping an unexpectedly
+/// huge path into memory.
+Result<std::string> ReadFileToString(const std::string& path,
+                                     size_t max_bytes = size_t{1} << 31);
+
+/// Atomically replaces `path` with `bytes`: writes `path`.tmp.<pid>,
+/// fsyncs, renames over `path`, then fsyncs the containing directory so
+/// the rename itself survives a power loss. On any failure the temp file
+/// is removed and `path` is untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_FILE_IO_H_

@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,12 +8,26 @@ namespace hom {
 
 namespace {
 
+/// Splits on ',' keeping empty fields — including a trailing one, so a
+/// stray trailing comma surfaces as a ragged row instead of silently
+/// vanishing.
 std::vector<std::string> SplitLine(const std::string& line) {
   std::vector<std::string> fields;
-  std::string field;
-  std::istringstream in(line);
-  while (std::getline(in, field, ',')) fields.push_back(field);
-  return fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+/// "path:line: " prefix every malformed-row message carries.
+std::string RowContext(const std::string& path, size_t line_no) {
+  return path + ":" + std::to_string(line_no) + ": ";
 }
 
 }  // namespace
@@ -47,9 +62,19 @@ Status WriteCsv(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path) {
+  return ReadCsv(std::move(schema), path, CsvReadOptions{}, nullptr);
+}
+
+Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path,
+                        const CsvReadOptions& options, CsvReadReport* report) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   Dataset dataset(schema);
+  InputSanitizer sanitizer(schema);
+  CsvReadReport local_report;
+  CsvReadReport* rep = report != nullptr ? report : &local_report;
+  *rep = CsvReadReport{};
+
   std::string line;
   if (!std::getline(in, line)) {
     return Status::IoError("'" + path + "' is empty (missing header)");
@@ -57,49 +82,115 @@ Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path) {
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+    if (line.empty()) continue;  // blank/trailing-newline lines
+    ++rep->rows_read;
+
     std::vector<std::string> fields = SplitLine(line);
-    if (fields.size() != schema->num_attributes() + 1) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_no) + ": expected " +
-          std::to_string(schema->num_attributes() + 1) + " fields, got " +
-          std::to_string(fields.size()));
-    }
+    // `row_error` carries the first defect; `repairable` says whether
+    // imputation can keep the row (a wrong field count cannot be fixed).
+    std::string row_error;
+    bool repairable = true;
     Record record;
-    record.values.reserve(schema->num_attributes());
-    for (size_t i = 0; i < schema->num_attributes(); ++i) {
-      const Attribute& attr = schema->attribute(i);
-      if (attr.is_categorical()) {
-        int code = -1;
-        for (size_t c = 0; c < attr.categories.size(); ++c) {
-          if (attr.categories[c] == fields[i]) {
-            code = static_cast<int>(c);
-            break;
+    if (fields.size() != schema->num_attributes() + 1) {
+      row_error = RowContext(path, line_no) + "expected " +
+                  std::to_string(schema->num_attributes() + 1) +
+                  " fields, got " + std::to_string(fields.size());
+      repairable = false;
+    } else {
+      record.values.reserve(schema->num_attributes());
+      for (size_t i = 0; i < schema->num_attributes(); ++i) {
+        const Attribute& attr = schema->attribute(i);
+        const std::string& field = fields[i];
+        // NaN marks a field the sanitizer must fill; Repair() replaces it
+        // before anything casts it (the cast of a NaN is UB).
+        double value = std::nan("");
+        if (field.empty() || field == "?") {
+          if (row_error.empty()) {
+            row_error = RowContext(path, line_no) +
+                        "missing value for attribute '" + attr.name + "'";
+          }
+        } else if (attr.is_categorical()) {
+          int code = -1;
+          for (size_t c = 0; c < attr.categories.size(); ++c) {
+            if (attr.categories[c] == field) {
+              code = static_cast<int>(c);
+              break;
+            }
+          }
+          if (code >= 0) {
+            value = code;
+          } else if (row_error.empty()) {
+            row_error = RowContext(path, line_no) + "unknown category '" +
+                        field + "' for attribute '" + attr.name + "'";
+          }
+        } else {
+          size_t parsed = 0;
+          bool ok = false;
+          double v = 0.0;
+          try {
+            v = std::stod(field, &parsed);
+            ok = parsed == field.size();
+          } catch (...) {
+            ok = false;
+          }
+          if (!ok) {
+            if (row_error.empty()) {
+              row_error = RowContext(path, line_no) + "non-numeric value '" +
+                          field + "'";
+            }
+          } else if (!std::isfinite(v)) {
+            if (row_error.empty()) {
+              row_error = RowContext(path, line_no) + "non-finite value '" +
+                          field + "'";
+            }
+          } else {
+            value = v;
           }
         }
-        if (code < 0) {
-          return Status::InvalidArgument(
-              path + ":" + std::to_string(line_no) + ": unknown category '" +
-              fields[i] + "' for attribute '" + attr.name + "'");
-        }
-        record.values.push_back(code);
+        record.values.push_back(value);
+      }
+      const std::string& label_field = fields.back();
+      if (label_field == "?") {
+        record.label = kUnlabeled;
       } else {
-        try {
-          record.values.push_back(std::stod(fields[i]));
-        } catch (...) {
-          return Status::InvalidArgument(
-              path + ":" + std::to_string(line_no) +
-              ": non-numeric value '" + fields[i] + "'");
+        auto label = schema->ClassIndex(label_field);
+        if (label.ok()) {
+          record.label = *label;
+        } else {
+          // -2: labeled-but-invalid, distinct from kUnlabeled so Repair()
+          // knows to impute the majority class.
+          record.label = -2;
+          if (row_error.empty()) {
+            row_error = RowContext(path, line_no) + "unknown class label '" +
+                        label_field + "'";
+          }
         }
       }
     }
-    const std::string& label_field = fields.back();
-    if (label_field == "?") {
-      record.label = kUnlabeled;
-    } else {
-      HOM_ASSIGN_OR_RETURN(record.label, schema->ClassIndex(label_field));
+
+    if (row_error.empty()) {
+      sanitizer.Learn(record);
+      HOM_RETURN_NOT_OK(dataset.Append(std::move(record)));
+      ++rep->rows_kept;
+      continue;
     }
+    if (options.policy == InputPolicy::kError) {
+      return Status::InvalidArgument(row_error);
+    }
+    if (rep->sample_errors.size() < options.max_sample_errors) {
+      rep->sample_errors.push_back(row_error);
+    }
+    if (!repairable || options.policy == InputPolicy::kSkip) {
+      ++rep->rows_skipped;
+      continue;
+    }
+    InputSanitizer::Report repair = sanitizer.Repair(&record);
+    ++rep->rows_imputed;
+    rep->values_imputed +=
+        repair.repaired_fields + (repair.label_repaired ? 1 : 0);
     HOM_RETURN_NOT_OK(dataset.Append(std::move(record)));
+    ++rep->rows_kept;
   }
   return dataset;
 }

@@ -1,10 +1,13 @@
 #ifndef HOM_DATA_IO_H_
 #define HOM_DATA_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/dataset.h"
+#include "data/sanitize.h"
 
 namespace hom {
 
@@ -13,9 +16,42 @@ namespace hom {
 /// written as their names; unlabeled records write "?".
 Status WriteCsv(const Dataset& dataset, const std::string& path);
 
+/// How ReadCsv treats malformed rows.
+struct CsvReadOptions {
+  /// kError (default): the first malformed row fails the whole read with a
+  /// file:line InvalidArgument. kSkip: drop malformed rows, count them.
+  /// kImputeMajority: repair repairable rows (missing/"?"/non-numeric
+  /// values, unknown categories, bad labels) from statistics over the
+  /// clean rows read so far; rows with the wrong field count are still
+  /// skipped (arity cannot be imputed).
+  InputPolicy policy = InputPolicy::kError;
+  /// Cap on the per-row messages retained in CsvReadReport::sample_errors.
+  size_t max_sample_errors = 10;
+};
+
+/// What a tolerant read did to the file.
+struct CsvReadReport {
+  uint64_t rows_read = 0;      ///< data rows parsed (header excluded)
+  uint64_t rows_kept = 0;      ///< rows appended to the dataset
+  uint64_t rows_skipped = 0;   ///< malformed rows dropped
+  uint64_t rows_imputed = 0;   ///< rows kept after repair
+  uint64_t values_imputed = 0; ///< individual field repairs
+  /// file:line description of the first few malformed rows.
+  std::vector<std::string> sample_errors;
+};
+
 /// \brief Reads a CSV produced by WriteCsv back into a Dataset under the
-/// given schema. Column order must match the schema.
+/// given schema. Column order must match the schema; rows ending in CRLF
+/// and a trailing newline are accepted. Strict: any malformed row
+/// (ragged field count, empty or non-numeric value, unknown category or
+/// class) fails with a file:line InvalidArgument.
 Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path);
+
+/// Policy-driven variant. `report`, when non-null, receives the
+/// kept/skipped/imputed accounting regardless of outcome.
+Result<Dataset> ReadCsv(SchemaPtr schema, const std::string& path,
+                        const CsvReadOptions& options,
+                        CsvReadReport* report = nullptr);
 
 }  // namespace hom
 

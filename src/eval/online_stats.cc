@@ -1,5 +1,7 @@
 #include "eval/online_stats.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "common/check.h"
@@ -44,6 +46,107 @@ void OnlineConceptStats::Observe(int64_t concept_id, Label truth,
     ++entry.confusion[static_cast<size_t>(truth) * num_classes_ +
                       static_cast<size_t>(predicted)];
   }
+}
+
+Status OnlineConceptStats::SaveTo(BinaryWriter* writer) const {
+  HOM_RETURN_NOT_OK(writer->WriteU32(static_cast<uint32_t>(num_classes_)));
+  HOM_RETURN_NOT_OK(writer->WriteU64(window_));
+  HOM_RETURN_NOT_OK(writer->WriteU64(total_records_));
+  HOM_RETURN_NOT_OK(writer->WriteU64(total_switches_));
+  HOM_RETURN_NOT_OK(writer->WriteI64(current_concept_));
+  HOM_RETURN_NOT_OK(writer->WriteU8(any_ ? 1 : 0));
+  HOM_RETURN_NOT_OK(writer->WriteU32(static_cast<uint32_t>(concepts_.size())));
+  for (const auto& [id, entry] : concepts_) {
+    HOM_RETURN_NOT_OK(writer->WriteI64(id));
+    HOM_RETURN_NOT_OK(writer->WriteU64(entry.activations));
+    HOM_RETURN_NOT_OK(writer->WriteU64(entry.records));
+    HOM_RETURN_NOT_OK(writer->WriteU64(entry.errors));
+    HOM_RETURN_NOT_OK(writer->WriteU64(entry.recent_errors));
+    HOM_RETURN_NOT_OK(writer->WriteU64(entry.recent_head));
+    HOM_RETURN_NOT_OK(
+        writer->WriteU32(static_cast<uint32_t>(entry.recent.size())));
+    HOM_RETURN_NOT_OK(writer->WriteRaw(entry.recent.data(),
+                                       entry.recent.size()));
+    HOM_RETURN_NOT_OK(
+        writer->WriteU32(static_cast<uint32_t>(entry.confusion.size())));
+    HOM_RETURN_NOT_OK(writer->WriteRaw(
+        entry.confusion.data(), entry.confusion.size() * sizeof(uint64_t)));
+  }
+  return Status::OK();
+}
+
+Result<OnlineConceptStats> OnlineConceptStats::LoadFrom(BinaryReader* reader) {
+  constexpr uint32_t kMaxClasses = 1u << 12;
+  constexpr uint64_t kMaxWindow = 1u << 20;
+  constexpr uint32_t kMaxConcepts = 1u << 20;
+  HOM_ASSIGN_OR_RETURN(uint32_t num_classes, reader->ReadU32());
+  if (num_classes == 0 || num_classes > kMaxClasses) {
+    return Status::InvalidArgument("concept-stats class count out of range");
+  }
+  HOM_ASSIGN_OR_RETURN(uint64_t window, reader->ReadU64());
+  if (window > kMaxWindow) {
+    return Status::InvalidArgument("concept-stats window over cap");
+  }
+  OnlineConceptStats stats(num_classes, static_cast<size_t>(window));
+  HOM_ASSIGN_OR_RETURN(stats.total_records_, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(stats.total_switches_, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(stats.current_concept_, reader->ReadI64());
+  HOM_ASSIGN_OR_RETURN(uint8_t any, reader->ReadU8());
+  if (any > 1) {
+    return Status::InvalidArgument("concept-stats flag must be 0 or 1");
+  }
+  stats.any_ = any != 0;
+  HOM_ASSIGN_OR_RETURN(uint32_t count, reader->ReadU32());
+  if (count > kMaxConcepts) {
+    return Status::InvalidArgument("concept-stats concept count over cap");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    HOM_ASSIGN_OR_RETURN(int64_t id, reader->ReadI64());
+    if (stats.concepts_.count(id) > 0) {
+      return Status::InvalidArgument("concept-stats duplicate concept id");
+    }
+    ConceptEntry entry;
+    HOM_ASSIGN_OR_RETURN(entry.activations, reader->ReadU64());
+    HOM_ASSIGN_OR_RETURN(entry.records, reader->ReadU64());
+    HOM_ASSIGN_OR_RETURN(entry.errors, reader->ReadU64());
+    HOM_ASSIGN_OR_RETURN(entry.recent_errors, reader->ReadU64());
+    HOM_ASSIGN_OR_RETURN(uint64_t recent_head, reader->ReadU64());
+    HOM_ASSIGN_OR_RETURN(uint32_t recent_size, reader->ReadU32());
+    if (recent_size > window) {
+      return Status::InvalidArgument(
+          "concept-stats error ring larger than its window");
+    }
+    if (recent_head >= std::max<uint64_t>(recent_size, 1)) {
+      return Status::InvalidArgument("concept-stats ring head out of range");
+    }
+    entry.recent_head = static_cast<size_t>(recent_head);
+    HOM_ASSIGN_OR_RETURN(std::string recent_bytes,
+                         reader->ReadBlob(recent_size));
+    entry.recent.resize(recent_size);
+    for (uint32_t b = 0; b < recent_size; ++b) {
+      uint8_t flag = static_cast<uint8_t>(recent_bytes[b]);
+      if (flag > 1) {
+        return Status::InvalidArgument(
+            "concept-stats error flag must be 0 or 1");
+      }
+      entry.recent[b] = flag;
+    }
+    HOM_ASSIGN_OR_RETURN(uint32_t confusion_size, reader->ReadU32());
+    if (confusion_size !=
+        static_cast<uint64_t>(num_classes) * num_classes) {
+      return Status::InvalidArgument(
+          "concept-stats confusion matrix arity mismatch");
+    }
+    HOM_ASSIGN_OR_RETURN(
+        std::string confusion_bytes,
+        reader->ReadBlob(static_cast<size_t>(confusion_size) *
+                         sizeof(uint64_t)));
+    entry.confusion.resize(confusion_size);
+    std::memcpy(entry.confusion.data(), confusion_bytes.data(),
+                confusion_bytes.size());
+    stats.concepts_.emplace(id, std::move(entry));
+  }
+  return stats;
 }
 
 obs::JsonValue OnlineConceptStats::ToJson() const {

@@ -6,6 +6,8 @@
 #include <map>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/result.h"
 #include "data/record.h"
 #include "obs/json.h"
 
@@ -66,6 +68,15 @@ class OnlineConceptStats {
   const std::map<int64_t, ConceptEntry>& concepts() const {
     return concepts_;
   }
+
+  /// Serializes the full accounting (counters, rings, confusion matrices)
+  /// so a serving checkpoint can resume attribution mid-stream.
+  Status SaveTo(BinaryWriter* writer) const;
+
+  /// Reads a snapshot written by SaveTo. Every length field is bounded and
+  /// cross-checked (ring ≤ window, confusion = num_classes², flags 0/1),
+  /// so a corrupted checkpoint yields an error Status, never a bad alloc.
+  static Result<OnlineConceptStats> LoadFrom(BinaryReader* reader);
 
   /// {"window": ..., "records": ..., "switches": ...,
   ///  "concepts": {"<id>": {"activations", "records", "errors",

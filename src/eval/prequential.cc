@@ -18,7 +18,9 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
 
   PrequentialResult result;
   if (options.record_trace) result.errors.reserve(test.size());
-  if (options.track_concept_stats) {
+  if (options.resume_concept_stats != nullptr) {
+    result.concept_stats = options.resume_concept_stats;
+  } else if (options.track_concept_stats) {
     result.concept_stats = std::make_shared<OnlineConceptStats>(
         classifier->num_classes(), options.journal_error_window);
   }
@@ -26,13 +28,33 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
   // Block-error accounting for the journal's WindowError events; only paid
   // for when a journal is installed.
   obs::EventJournal* journal = obs::EventJournal::Active();
-  size_t window_errors = 0;
-  size_t window_fill = 0;
+  // Resume support: record/error counts are absolute stream positions and
+  // the in-flight WindowError block carries over, so a checkpointed run
+  // emits the same journal blocks as an uninterrupted one.
+  result.num_records = options.start_record;
+  result.num_errors = options.carry_errors;
+  size_t window_errors = options.carry_window_errors;
+  size_t window_fill = options.carry_window_fill;
+  uint64_t skip = options.start_record;
+  bool stopped_early = false;
 
   Stopwatch timer;
   obs::ScopedSpan span("prequential_eval");
   for (const Record& r : test.records()) {
     HOM_DCHECK(r.is_labeled());
+    if (skip > 0) {
+      // Already scored before the checkpoint; burn the label draw the
+      // uninterrupted run would have spent on it to keep the RNG aligned.
+      --skip;
+      if (options.labeled_fraction < 1.0) {
+        label_rng.NextBernoulli(options.labeled_fraction);
+      }
+      continue;
+    }
+    if (options.stop_after > 0 && result.num_records >= options.stop_after) {
+      stopped_early = true;
+      break;
+    }
     // Predict with the label hidden: x_t.
     Record unlabeled = r;
     unlabeled.label = kUnlabeled;
@@ -62,8 +84,19 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
         label_rng.NextBernoulli(options.labeled_fraction)) {
       classifier->ObserveLabeled(r);
     }
+    if (options.checkpoint_every > 0 && options.on_checkpoint &&
+        result.num_records % options.checkpoint_every == 0) {
+      PrequentialProgress progress;
+      progress.record = result.num_records;
+      progress.num_errors = result.num_errors;
+      progress.window_errors = window_errors;
+      progress.window_fill = window_fill;
+      options.on_checkpoint(progress);
+    }
   }
-  if (journal != nullptr && window_fill > 0) {
+  result.window_errors_carry = window_errors;
+  result.window_fill_carry = window_fill;
+  if (!stopped_early && journal != nullptr && window_fill > 0) {
     // Flush the ragged tail block so short streams still journal an error.
     journal->Emit(obs::EventType::kWindowError, "prequential",
                   static_cast<int64_t>(result.num_records),

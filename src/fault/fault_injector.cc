@@ -1,0 +1,123 @@
+#include "fault/fault_injector.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+#include "common/file_io.h"
+#include "obs/event_journal.h"
+
+namespace hom {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {
+    "corrupt_record",
+    "bit_flip",
+    "truncate",
+    "remove_file",
+};
+
+void JournalFault(FaultKind kind, int64_t position) {
+  obs::EmitIfActive(obs::EventType::kFaultInjected, FaultKindName(kind),
+                    position);
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  size_t i = static_cast<size_t>(kind);
+  HOM_DCHECK(i < sizeof(kKindNames) / sizeof(kKindNames[0]));
+  return kKindNames[i];
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed, /*stream=*/0xFA) {}
+
+std::string FaultInjector::CorruptRecord(Record* record) {
+  HOM_CHECK(record != nullptr);
+  // Seven mutation shapes; field-level ones need a field to mangle, so an
+  // empty record only gets arity/label mutations.
+  int shape = rng_.NextInt(0, record->values.empty() ? 2 : 6);
+  switch (shape) {
+    case 0:
+      record->values.push_back(0.0);
+      JournalFault(FaultKind::kCorruptRecord, -1);
+      return "appended a surplus field";
+    case 1:
+      if (!record->values.empty()) record->values.pop_back();
+      JournalFault(FaultKind::kCorruptRecord, -1);
+      return "dropped the last field";
+    case 2:
+      record->label = static_cast<Label>(rng_.NextInt(-5, 1000));
+      JournalFault(FaultKind::kCorruptRecord, -1);
+      return "scrambled the label";
+    default: {
+      size_t field =
+          rng_.NextBounded(static_cast<uint32_t>(record->values.size()));
+      double bad = 0.0;
+      const char* what = "";
+      switch (shape) {
+        case 3:
+          bad = std::numeric_limits<double>::quiet_NaN();
+          what = "NaN";
+          break;
+        case 4:
+          bad = std::numeric_limits<double>::infinity();
+          what = "+inf";
+          break;
+        case 5:
+          bad = -1.0 - rng_.NextDouble() * 1e6;
+          what = "a negative out-of-vocabulary code";
+          break;
+        default:
+          bad = 1e308;
+          what = "a huge value";
+          break;
+      }
+      record->values[field] = bad;
+      JournalFault(FaultKind::kCorruptRecord, static_cast<int64_t>(field));
+      return std::string("set field ") + std::to_string(field) + " to " +
+             what;
+    }
+  }
+}
+
+Result<std::string> FaultInjector::BitFlipFile(const std::string& path) {
+  HOM_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.empty()) {
+    return Status::InvalidArgument("cannot bit-flip empty file: " + path);
+  }
+  size_t byte = rng_.NextBounded(static_cast<uint32_t>(bytes.size()));
+  int bit = rng_.NextInt(0, 7);
+  bytes[byte] = static_cast<char>(static_cast<unsigned char>(bytes[byte]) ^
+                                  (1u << bit));
+  HOM_RETURN_NOT_OK(AtomicWriteFile(path, bytes));
+  JournalFault(FaultKind::kBitFlip, static_cast<int64_t>(byte));
+  return "flipped bit " + std::to_string(bit) + " of byte " +
+         std::to_string(byte);
+}
+
+Result<std::string> FaultInjector::TruncateFile(const std::string& path) {
+  HOM_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.empty()) {
+    return Status::InvalidArgument("cannot truncate empty file: " + path);
+  }
+  size_t keep = rng_.NextBounded(static_cast<uint32_t>(bytes.size()));
+  size_t total = bytes.size();
+  bytes.resize(keep);
+  HOM_RETURN_NOT_OK(AtomicWriteFile(path, bytes));
+  JournalFault(FaultKind::kTruncate, static_cast<int64_t>(keep));
+  return "truncated to " + std::to_string(keep) + " of " +
+         std::to_string(total) + " bytes";
+}
+
+Result<std::string> FaultInjector::RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return Status::IoError("cannot remove '" + path + "'");
+  }
+  JournalFault(FaultKind::kRemoveFile, -1);
+  return "removed " + path;
+}
+
+}  // namespace hom

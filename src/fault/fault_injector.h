@@ -1,0 +1,68 @@
+#ifndef HOM_FAULT_FAULT_INJECTOR_H_
+#define HOM_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/record.h"
+
+namespace hom {
+
+/// The fault classes the chaos harness exercises (ISSUE: every injected
+/// fault must surface as a clean error Status or a policy-handled record —
+/// never a crash, abort, or out-of-bounds access).
+enum class FaultKind : uint8_t {
+  kCorruptRecord = 0,  ///< mangle an in-memory record's fields/label
+  kBitFlip,            ///< flip one bit of a file
+  kTruncate,           ///< cut a file short
+  kRemoveFile,         ///< delete a file (ENOENT on next open)
+};
+
+/// Stable name of a fault kind ("corrupt_record", "bit_flip", ...).
+std::string_view FaultKindName(FaultKind kind);
+
+/// \brief Seeded, deterministic fault injection for robustness tests and
+/// `homctl chaos`. Two injectors with the same seed perform the same
+/// mutations in the same order, so every chaos failure reproduces from its
+/// seed alone.
+///
+/// Each injection emits a FaultInjected journal event (when a journal is
+/// active) carrying the fault kind in `source` and the mutation position
+/// in `record`, so a trial's timeline shows exactly what was done to the
+/// system before it failed — or didn't.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  /// Mangles `record` one seeded way: NaN/infinity/huge value in a field,
+  /// a negative or out-of-vocabulary category code, an out-of-range label,
+  /// or a dropped/appended field (wrong arity). Returns a description of
+  /// the mutation.
+  std::string CorruptRecord(Record* record);
+
+  /// Flips one uniformly chosen bit of the file at `path` in place.
+  /// Returns "bit N of byte M" on success; error Status if the file cannot
+  /// be read, is empty, or cannot be rewritten.
+  Result<std::string> BitFlipFile(const std::string& path);
+
+  /// Truncates the file at `path` to a uniformly chosen length in
+  /// [0, size) — always strictly shorter, so the mutation is never a
+  /// no-op. Returns "truncated to N of M bytes".
+  Result<std::string> TruncateFile(const std::string& path);
+
+  /// Deletes the file at `path`, simulating a lost artifact (the next
+  /// open sees ENOENT).
+  Result<std::string> RemoveFile(const std::string& path);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_FAULT_FAULT_INJECTOR_H_

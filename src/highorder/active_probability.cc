@@ -1,6 +1,8 @@
 #include "highorder/active_probability.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "common/check.h"
 #include "obs/event_journal.h"
@@ -16,6 +18,34 @@ void ActiveProbabilityTracker::Reset() {
   size_t n = stats_.num_concepts();
   prior_.assign(n, 1.0 / static_cast<double>(n));
   posterior_ = prior_;
+}
+
+Status ActiveProbabilityTracker::Restore(std::vector<double> prior,
+                                         std::vector<double> posterior) {
+  size_t n = stats_.num_concepts();
+  if (prior.size() != n || posterior.size() != n) {
+    return Status::InvalidArgument(
+        "checkpoint probability vectors sized for " +
+        std::to_string(prior.size()) + "/" + std::to_string(posterior.size()) +
+        " concepts, model has " + std::to_string(n));
+  }
+  for (const std::vector<double>* v : {&prior, &posterior}) {
+    double total = 0.0;
+    for (double p : *v) {
+      if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "checkpoint active probability outside [0, 1]");
+      }
+      total += p;
+    }
+    if (total <= 1e-300) {
+      return Status::InvalidArgument(
+          "checkpoint active probabilities carry no mass");
+    }
+  }
+  prior_ = std::move(prior);
+  posterior_ = std::move(posterior);
+  return Status::OK();
 }
 
 void ActiveProbabilityTracker::Observe(const std::vector<double>& psi) {

@@ -45,6 +45,13 @@ class ActiveProbabilityTracker {
   /// Resets to the uniform prior.
   void Reset();
 
+  /// Reinstates the filter state captured in a serving checkpoint
+  /// (highorder/checkpoint.h). Both vectors must have num_concepts()
+  /// entries of finite, non-negative probabilities with positive mass;
+  /// anything else (a corrupt checkpoint) is rejected with an error
+  /// Status and the tracker is left untouched.
+  Status Restore(std::vector<double> prior, std::vector<double> posterior);
+
   /// Index of the most probable current concept (by prior).
   size_t MostLikelyConcept() const;
 

@@ -1,0 +1,312 @@
+#include "highorder/checkpoint.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/file_io.h"
+#include "highorder/serialization.h"
+#include "obs/event_journal.h"
+
+namespace hom {
+
+namespace {
+
+constexpr char kMagic[] = "HOMC";
+constexpr uint32_t kCheckpointVersion = 1;
+
+constexpr uint32_t kMetaTag = SectionTag('M', 'E', 'T', 'A');
+constexpr uint32_t kTrackerTag = SectionTag('T', 'R', 'K', 'R');
+constexpr uint32_t kSanitizerTag = SectionTag('S', 'N', 'T', 'Z');
+constexpr uint32_t kConceptStatsTag = SectionTag('C', 'S', 'T', 'A');
+
+// Checkpoints are small (three probability vectors plus counters; the
+// concept-stats section adds confusion matrices). These caps bound what a
+// corrupt length field can demand.
+constexpr size_t kMaxMetaBytes = size_t{1} << 10;
+constexpr size_t kMaxTrackerBytes = size_t{1} << 24;        // 16 MiB
+constexpr size_t kMaxConceptStatsBytes = size_t{1} << 28;   // 256 MiB
+constexpr size_t kMaxFileBytes = size_t{1} << 29;
+constexpr size_t kMaxSections = 16;
+constexpr uint32_t kMaxConcepts = 100000;
+
+template <typename Fn>
+Result<std::string> BuildPayload(Fn&& write) {
+  std::ostringstream buffer(std::ios::binary);
+  BinaryWriter writer(&buffer);
+  HOM_RETURN_NOT_OK(write(&writer));
+  return std::move(buffer).str();
+}
+
+template <typename T, typename Fn>
+Result<T> ParsePayload(const Section& section, Fn&& parse) {
+  std::istringstream buffer(section.payload, std::ios::binary);
+  BinaryReader reader(&buffer);
+  HOM_ASSIGN_OR_RETURN(T value, parse(&reader));
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument("section " + SectionTagName(section.tag) +
+                                   " has trailing bytes");
+  }
+  return value;
+}
+
+struct Meta {
+  uint32_t schema_fingerprint = 0;
+  uint64_t stream_offset = 0;
+  uint64_t num_errors = 0;
+  uint64_t window_errors = 0;
+  uint64_t window_fill = 0;
+};
+
+Result<Meta> ParseMeta(BinaryReader* reader) {
+  Meta meta;
+  HOM_ASSIGN_OR_RETURN(meta.schema_fingerprint, reader->ReadU32());
+  HOM_ASSIGN_OR_RETURN(meta.stream_offset, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(meta.num_errors, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(meta.window_errors, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(meta.window_fill, reader->ReadU64());
+  if (meta.num_errors > meta.stream_offset) {
+    return Status::InvalidArgument(
+        "checkpoint reports more errors than records");
+  }
+  if (meta.window_errors > meta.window_fill) {
+    return Status::InvalidArgument(
+        "checkpoint window block has more errors than records");
+  }
+  return meta;
+}
+
+Status ValidateProbabilityVector(const std::vector<double>& v,
+                                 const char* what) {
+  for (double p : v) {
+    if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument(std::string("checkpoint ") + what +
+                                     " outside [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<HighOrderRuntimeState> ParseRuntime(BinaryReader* reader) {
+  HighOrderRuntimeState state;
+  HOM_ASSIGN_OR_RETURN(state.prior, reader->ReadDoubleVector(kMaxConcepts));
+  HOM_ASSIGN_OR_RETURN(state.posterior,
+                       reader->ReadDoubleVector(kMaxConcepts));
+  HOM_ASSIGN_OR_RETURN(state.weights, reader->ReadDoubleVector(kMaxConcepts));
+  if (state.posterior.size() != state.prior.size() ||
+      state.weights.size() != state.prior.size()) {
+    return Status::InvalidArgument(
+        "checkpoint state vectors disagree on the concept count");
+  }
+  HOM_RETURN_NOT_OK(ValidateProbabilityVector(state.prior, "prior"));
+  HOM_RETURN_NOT_OK(ValidateProbabilityVector(state.posterior, "posterior"));
+  HOM_RETURN_NOT_OK(ValidateProbabilityVector(state.weights, "weight"));
+  HOM_ASSIGN_OR_RETURN(uint8_t stale, reader->ReadU8());
+  if (stale > 1) {
+    return Status::InvalidArgument("checkpoint flags must be 0 or 1");
+  }
+  state.weights_stale = stale != 0;
+  HOM_ASSIGN_OR_RETURN(state.base_evaluations, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(state.predictions, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(state.observations, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(state.last_top_concept, reader->ReadI64());
+  if (state.last_top_concept < -1 ||
+      state.last_top_concept >= static_cast<int64_t>(state.prior.size())) {
+    return Status::InvalidArgument("checkpoint top concept out of range");
+  }
+  HOM_ASSIGN_OR_RETURN(uint8_t drift, reader->ReadU8());
+  if (drift > 1) {
+    return Status::InvalidArgument("checkpoint flags must be 0 or 1");
+  }
+  state.drift_suspected = drift != 0;
+  HOM_ASSIGN_OR_RETURN(state.until_latency_sample, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(state.last_prediction, reader->ReadI32());
+  if (state.last_prediction < 0) {
+    return Status::InvalidArgument(
+        "checkpoint fallback prediction out of range");
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<ServingCheckpoint> CaptureCheckpoint(const HighOrderClassifier& model) {
+  ServingCheckpoint ckpt;
+  HOM_ASSIGN_OR_RETURN(ckpt.schema_fingerprint,
+                       SchemaFingerprint(*model.schema()));
+  ckpt.runtime = model.ExportRuntimeState();
+  HOM_ASSIGN_OR_RETURN(ckpt.sanitizer_state, model.ExportSanitizerState());
+  return ckpt;
+}
+
+Status SaveCheckpointToFile(const std::string& path,
+                            const ServingCheckpoint& ckpt) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(&out);
+  HOM_RETURN_NOT_OK(writer.WriteString(kMagic));
+  HOM_RETURN_NOT_OK(writer.WriteU32(kCheckpointVersion));
+  uint32_t sections = 2;
+  if (!ckpt.sanitizer_state.empty()) ++sections;
+  if (ckpt.concept_stats != nullptr) ++sections;
+  HOM_RETURN_NOT_OK(writer.WriteU32(sections));
+
+  HOM_ASSIGN_OR_RETURN(std::string meta, BuildPayload([&](BinaryWriter* w) {
+    HOM_RETURN_NOT_OK(w->WriteU32(ckpt.schema_fingerprint));
+    HOM_RETURN_NOT_OK(w->WriteU64(ckpt.stream_offset));
+    HOM_RETURN_NOT_OK(w->WriteU64(ckpt.num_errors));
+    HOM_RETURN_NOT_OK(w->WriteU64(ckpt.window_errors));
+    return w->WriteU64(ckpt.window_fill);
+  }));
+  HOM_RETURN_NOT_OK(WriteSection(&writer, kMetaTag, meta));
+
+  const HighOrderRuntimeState& rt = ckpt.runtime;
+  HOM_ASSIGN_OR_RETURN(std::string tracker, BuildPayload([&](BinaryWriter* w) {
+    HOM_RETURN_NOT_OK(w->WriteDoubleVector(rt.prior));
+    HOM_RETURN_NOT_OK(w->WriteDoubleVector(rt.posterior));
+    HOM_RETURN_NOT_OK(w->WriteDoubleVector(rt.weights));
+    HOM_RETURN_NOT_OK(w->WriteU8(rt.weights_stale ? 1 : 0));
+    HOM_RETURN_NOT_OK(w->WriteU64(rt.base_evaluations));
+    HOM_RETURN_NOT_OK(w->WriteU64(rt.predictions));
+    HOM_RETURN_NOT_OK(w->WriteU64(rt.observations));
+    HOM_RETURN_NOT_OK(w->WriteI64(rt.last_top_concept));
+    HOM_RETURN_NOT_OK(w->WriteU8(rt.drift_suspected ? 1 : 0));
+    HOM_RETURN_NOT_OK(w->WriteU64(rt.until_latency_sample));
+    return w->WriteI32(rt.last_prediction);
+  }));
+  HOM_RETURN_NOT_OK(WriteSection(&writer, kTrackerTag, tracker));
+
+  if (!ckpt.sanitizer_state.empty()) {
+    HOM_RETURN_NOT_OK(
+        WriteSection(&writer, kSanitizerTag, ckpt.sanitizer_state));
+  }
+  if (ckpt.concept_stats != nullptr) {
+    HOM_ASSIGN_OR_RETURN(std::string stats, BuildPayload([&](BinaryWriter* w) {
+      return ckpt.concept_stats->SaveTo(w);
+    }));
+    HOM_RETURN_NOT_OK(WriteSection(&writer, kConceptStatsTag, stats));
+  }
+  HOM_RETURN_NOT_OK(AtomicWriteFile(path, std::move(out).str()));
+  obs::EmitIfActive(obs::EventType::kCheckpointSave, "checkpoint",
+                    static_cast<int64_t>(ckpt.stream_offset),
+                    ckpt.runtime.last_top_concept, -1,
+                    static_cast<double>(ckpt.num_errors));
+  return Status::OK();
+}
+
+Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path) {
+  HOM_ASSIGN_OR_RETURN(std::string bytes,
+                       ReadFileToString(path, kMaxFileBytes));
+  std::istringstream in(std::move(bytes), std::ios::binary);
+  BinaryReader reader(&in);
+  HOM_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(16));
+  if (magic != kMagic) {
+    return Status::InvalidArgument(
+        "not a HOM checkpoint file (bad magic): " + path);
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t section_count, reader.ReadU32());
+  if (section_count < 2 || section_count > kMaxSections) {
+    return Status::InvalidArgument("checkpoint section count out of range");
+  }
+
+  bool have_meta = false;
+  bool have_tracker = false;
+  Meta meta;
+  HighOrderRuntimeState runtime;
+  std::string sanitizer_state;
+  std::shared_ptr<OnlineConceptStats> concept_stats;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    HOM_ASSIGN_OR_RETURN(Section section,
+                         ReadSection(&reader, kMaxFileBytes));
+    if (section.tag == kMetaTag) {
+      if (have_meta) {
+        return Status::InvalidArgument("duplicate META section");
+      }
+      if (section.payload.size() > kMaxMetaBytes) {
+        return Status::InvalidArgument("META section oversized");
+      }
+      HOM_ASSIGN_OR_RETURN(meta, ParsePayload<Meta>(section, ParseMeta));
+      have_meta = true;
+    } else if (section.tag == kTrackerTag) {
+      if (have_tracker) {
+        return Status::InvalidArgument("duplicate TRKR section");
+      }
+      if (section.payload.size() > kMaxTrackerBytes) {
+        return Status::InvalidArgument("TRKR section oversized");
+      }
+      HOM_ASSIGN_OR_RETURN(
+          runtime, ParsePayload<HighOrderRuntimeState>(section, ParseRuntime));
+      have_tracker = true;
+    } else if (section.tag == kSanitizerTag) {
+      if (!sanitizer_state.empty()) {
+        return Status::InvalidArgument("duplicate SNTZ section");
+      }
+      if (section.payload.empty() ||
+          section.payload.size() > kMaxTrackerBytes) {
+        return Status::InvalidArgument("SNTZ section size out of range");
+      }
+      // Opaque here; validated against the model schema at Apply time.
+      sanitizer_state = std::move(section.payload);
+    } else if (section.tag == kConceptStatsTag) {
+      if (concept_stats != nullptr) {
+        return Status::InvalidArgument("duplicate CSTA section");
+      }
+      if (section.payload.size() > kMaxConceptStatsBytes) {
+        return Status::InvalidArgument("CSTA section oversized");
+      }
+      HOM_ASSIGN_OR_RETURN(OnlineConceptStats stats,
+                           ParsePayload<OnlineConceptStats>(
+                               section, OnlineConceptStats::LoadFrom));
+      concept_stats = std::make_shared<OnlineConceptStats>(std::move(stats));
+    }
+    // Unknown tags: CRC already verified, payload skipped (forward compat).
+  }
+  if (!have_meta || !have_tracker) {
+    return Status::InvalidArgument(
+        "checkpoint is missing a required section (META, TRKR)");
+  }
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument("checkpoint has trailing bytes");
+  }
+
+  ServingCheckpoint ckpt;
+  ckpt.schema_fingerprint = meta.schema_fingerprint;
+  ckpt.stream_offset = meta.stream_offset;
+  ckpt.num_errors = meta.num_errors;
+  ckpt.window_errors = meta.window_errors;
+  ckpt.window_fill = meta.window_fill;
+  ckpt.runtime = std::move(runtime);
+  ckpt.sanitizer_state = std::move(sanitizer_state);
+  ckpt.concept_stats = std::move(concept_stats);
+  return ckpt;
+}
+
+Status ApplyCheckpoint(const ServingCheckpoint& ckpt,
+                       HighOrderClassifier* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t fingerprint,
+                       SchemaFingerprint(*model->schema()));
+  if (fingerprint != ckpt.schema_fingerprint) {
+    return Status::InvalidArgument(
+        "checkpoint was captured from a different model (schema "
+        "fingerprint mismatch)");
+  }
+  HOM_RETURN_NOT_OK(model->RestoreRuntimeState(ckpt.runtime));
+  if (!ckpt.sanitizer_state.empty()) {
+    HOM_RETURN_NOT_OK(model->RestoreSanitizerState(ckpt.sanitizer_state));
+  }
+  obs::EmitIfActive(obs::EventType::kCheckpointLoad, "checkpoint",
+                    static_cast<int64_t>(ckpt.stream_offset),
+                    -1, ckpt.runtime.last_top_concept,
+                    static_cast<double>(ckpt.num_errors));
+  return Status::OK();
+}
+
+}  // namespace hom

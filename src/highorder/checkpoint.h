@@ -1,0 +1,73 @@
+#ifndef HOM_HIGHORDER_CHECKPOINT_H_
+#define HOM_HIGHORDER_CHECKPOINT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "eval/online_stats.h"
+#include "highorder/highorder_classifier.h"
+
+namespace hom {
+
+/// \brief Serving checkpoints: periodic snapshots of the online phase so a
+/// crashed or restarted service resumes mid-stream instead of rewinding to
+/// the uniform prior and re-learning which concept holds the stream.
+///
+/// A checkpoint captures the classifier's run-time state
+/// (HighOrderRuntimeState), the prequential harness position (records
+/// scored, errors, the partial WindowError block), and optionally the
+/// per-concept online accounting. It does NOT duplicate the offline-trained
+/// model; the model file reloads separately and the checkpoint's schema
+/// fingerprint ties the two together — applying a checkpoint captured from
+/// a different model is an error, not silent corruption.
+///
+/// File format: magic "HOMC", u32 version, u32 section count, then
+/// CRC-framed sections (binary_io.h): META (fingerprint + harness
+/// counters), TRKR (runtime state), and optionally CSTA (concept stats).
+/// Files are written atomically (temp + fsync + rename), so a crash during
+/// a save leaves the previous checkpoint intact, and any truncated or
+/// bit-flipped file is rejected with an error Status on load.
+struct ServingCheckpoint {
+  /// SchemaFingerprint of the model this state was captured from.
+  uint32_t schema_fingerprint = 0;
+  /// Records the prequential harness had scored at capture time.
+  uint64_t stream_offset = 0;
+  /// Prequential errors among those records.
+  uint64_t num_errors = 0;
+  /// The partial WindowError block in flight at capture time, so resumed
+  /// runs emit the same journal blocks as uninterrupted ones.
+  uint64_t window_errors = 0;
+  uint64_t window_fill = 0;
+  /// Classifier run-time state (filter probabilities, cached weights,
+  /// counters, drift hysteresis).
+  HighOrderRuntimeState runtime;
+  /// Serialized imputation statistics
+  /// (HighOrderClassifier::ExportSanitizerState); empty = not captured.
+  std::string sanitizer_state;
+  /// Per-concept online accounting; null when the run did not track it.
+  std::shared_ptr<OnlineConceptStats> concept_stats;
+};
+
+/// Snapshots `model`'s run-time state and schema fingerprint. Harness
+/// counters (stream_offset, num_errors, window carry, concept_stats) are
+/// the caller's to fill in.
+Result<ServingCheckpoint> CaptureCheckpoint(const HighOrderClassifier& model);
+
+/// Serializes `ckpt` and writes it atomically: the file at `path` is
+/// either the previous checkpoint or the new one, never a torn mix.
+Status SaveCheckpointToFile(const std::string& path,
+                            const ServingCheckpoint& ckpt);
+
+/// Reads a checkpoint written by SaveCheckpointToFile. Corruption at any
+/// layer (magic, CRC, lengths, value ranges) yields an error Status.
+Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path);
+
+/// Verifies the schema fingerprint, then reinstates the checkpoint's
+/// run-time state into `model`. On any failure the model is untouched.
+Status ApplyCheckpoint(const ServingCheckpoint& ckpt,
+                       HighOrderClassifier* model);
+
+}  // namespace hom
+
+#endif  // HOM_HIGHORDER_CHECKPOINT_H_

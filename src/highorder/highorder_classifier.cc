@@ -1,7 +1,9 @@
 #include "highorder/highorder_classifier.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -28,7 +30,7 @@ Result<std::unique_ptr<HighOrderClassifier>> HighOrderClassifier::Make(
     if (c.model == nullptr) {
       return Status::InvalidArgument("concept model must not be null");
     }
-    if (c.error < 0.0 || c.error > 1.0) {
+    if (!std::isfinite(c.error) || c.error < 0.0 || c.error > 1.0) {
       return Status::InvalidArgument("concept error must be in [0, 1]");
     }
   }
@@ -44,6 +46,7 @@ HighOrderClassifier::HighOrderClassifier(SchemaPtr schema,
       concepts_(std::move(concepts)),
       tracker_(std::move(stats)),
       options_(options),
+      sanitizer_(schema_),
       until_latency_sample_(options.latency_sample_period) {
   weights_ = tracker_.prior();
   weight_order_.resize(concepts_.size());
@@ -51,7 +54,34 @@ HighOrderClassifier::HighOrderClassifier(SchemaPtr schema,
 }
 
 void HighOrderClassifier::ObserveLabeled(const Record& y) {
-  HOM_DCHECK(y.is_labeled());
+  if (!y.is_labeled() || !sanitizer_.IsClean(y)) {
+    if (y.is_labeled() &&
+        input_policy_ == InputPolicy::kImputeMajority) {
+      Record fixed = y;
+      InputSanitizer::Report repair = sanitizer_.Repair(&fixed);
+      if (repair.arity_ok) {
+        HOM_COUNTER_INC("hom.online.input_imputed");
+        obs::EmitIfActive(obs::EventType::kInputImputed, "highorder",
+                          static_cast<int64_t>(observations_), -1, -1,
+                          static_cast<double>(repair.repaired_fields +
+                                              (repair.label_repaired ? 1 : 0)));
+        ObserveLabeledClean(fixed);
+        return;
+      }
+    }
+    // kError behaves like kSkip here: ObserveLabeled has no caller to hand
+    // a Status to, so strictness is enforced at ingest (ReadCsv) and the
+    // serving loop degrades to "drop and count" instead of aborting.
+    HOM_COUNTER_INC("hom.online.input_rejected");
+    obs::EmitIfActive(obs::EventType::kInputRejected, "highorder",
+                      static_cast<int64_t>(observations_), -1, -1, 0.0);
+    return;
+  }
+  sanitizer_.Learn(y);
+  ObserveLabeledClean(y);
+}
+
+void HighOrderClassifier::ObserveLabeledClean(const Record& y) {
   // ψ(c, y_t) of Eq. 8: the concept's classifier vouches for the record
   // with probability 1 - Err_c when it gets it right, Err_c otherwise.
   std::vector<double> psi(concepts_.size());
@@ -125,6 +155,86 @@ void HighOrderClassifier::RefreshWeights() {
   last_top_concept_ = top;
 }
 
+HighOrderRuntimeState HighOrderClassifier::ExportRuntimeState() const {
+  HighOrderRuntimeState state;
+  state.prior = tracker_.prior();
+  state.posterior = tracker_.posterior();
+  state.weights = weights_;
+  state.weights_stale = weights_stale_;
+  state.base_evaluations = base_evaluations_;
+  state.predictions = predictions_;
+  state.observations = observations_;
+  state.last_top_concept = last_top_concept_ == static_cast<size_t>(-1)
+                               ? -1
+                               : static_cast<int64_t>(last_top_concept_);
+  state.drift_suspected = drift_suspected_;
+  state.until_latency_sample = until_latency_sample_;
+  state.last_prediction = static_cast<int32_t>(last_prediction_);
+  return state;
+}
+
+Status HighOrderClassifier::RestoreRuntimeState(
+    const HighOrderRuntimeState& state) {
+  size_t n = concepts_.size();
+  if (state.weights.size() != n) {
+    return Status::InvalidArgument(
+        "checkpoint weights sized for " + std::to_string(state.weights.size()) +
+        " concepts, model has " + std::to_string(n));
+  }
+  for (double w : state.weights) {
+    if (!std::isfinite(w) || w < 0.0 || w > 1.0) {
+      return Status::InvalidArgument(
+          "checkpoint prediction weight outside [0, 1]");
+    }
+  }
+  if (state.last_top_concept < -1 ||
+      state.last_top_concept >= static_cast<int64_t>(n)) {
+    return Status::InvalidArgument("checkpoint top concept out of range");
+  }
+  if (state.last_prediction < 0 ||
+      static_cast<size_t>(state.last_prediction) >= schema_->num_classes()) {
+    return Status::InvalidArgument(
+        "checkpoint fallback prediction out of range");
+  }
+  // Validates prior/posterior; on failure the tracker (and therefore the
+  // whole classifier) is untouched.
+  HOM_RETURN_NOT_OK(tracker_.Restore(state.prior, state.posterior));
+  weights_ = state.weights;
+  weights_stale_ = state.weights_stale;
+  // Re-derive the pruning order exactly as RefreshWeights would have left
+  // it: same iota + sort over the same weights yields the same permutation.
+  std::iota(weight_order_.begin(), weight_order_.end(), 0);
+  std::sort(weight_order_.begin(), weight_order_.end(),
+            [&](size_t a, size_t b) { return weights_[a] > weights_[b]; });
+  base_evaluations_ = state.base_evaluations;
+  predictions_ = state.predictions;
+  observations_ = state.observations;
+  last_top_concept_ = state.last_top_concept < 0
+                          ? static_cast<size_t>(-1)
+                          : static_cast<size_t>(state.last_top_concept);
+  drift_suspected_ = state.drift_suspected;
+  until_latency_sample_ = state.until_latency_sample;
+  last_prediction_ = static_cast<Label>(state.last_prediction);
+  return Status::OK();
+}
+
+Result<std::string> HighOrderClassifier::ExportSanitizerState() const {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(&out);
+  HOM_RETURN_NOT_OK(sanitizer_.SaveTo(&writer));
+  return std::move(out).str();
+}
+
+Status HighOrderClassifier::RestoreSanitizerState(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  BinaryReader reader(&in);
+  HOM_RETURN_NOT_OK(sanitizer_.RestoreFrom(&reader));
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument("sanitizer state has trailing bytes");
+  }
+  return Status::OK();
+}
+
 int64_t HighOrderClassifier::ActiveConcept() const {
   return last_top_concept_ == static_cast<size_t>(-1)
              ? -1
@@ -157,6 +267,30 @@ std::vector<double> HighOrderClassifier::PredictProba(const Record& x) {
 }
 
 Label HighOrderClassifier::Predict(const Record& x) {
+  if (!sanitizer_.IsClean(x)) {
+    // A prediction must always answer; repair what can be repaired
+    // regardless of policy (the policy governs what *learns*, not what
+    // the service returns).
+    Record fixed = x;
+    InputSanitizer::Report repair = sanitizer_.Repair(&fixed);
+    if (!repair.arity_ok) {
+      HOM_COUNTER_INC("hom.online.input_rejected");
+      obs::EmitIfActive(obs::EventType::kInputRejected, "highorder",
+                        static_cast<int64_t>(observations_), -1, -1, 0.0);
+      return last_prediction_;
+    }
+    HOM_COUNTER_INC("hom.online.input_imputed");
+    obs::EmitIfActive(obs::EventType::kInputImputed, "highorder",
+                      static_cast<int64_t>(observations_), -1, -1,
+                      static_cast<double>(repair.repaired_fields));
+    last_prediction_ = PredictClean(fixed);
+    return last_prediction_;
+  }
+  last_prediction_ = PredictClean(x);
+  return last_prediction_;
+}
+
+Label HighOrderClassifier::PredictClean(const Record& x) {
   ++predictions_;
 #ifndef HOM_DISABLE_METRICS
   // Sampled latency: timing every record would cost two clock reads per

@@ -7,6 +7,7 @@
 
 #include "classifiers/classifier.h"
 #include "common/result.h"
+#include "data/sanitize.h"
 #include "eval/stream_classifier.h"
 #include "highorder/active_probability.h"
 
@@ -49,6 +50,32 @@ struct HighOrderOptions {
   double drift_clear_weight = 0.70;
 };
 
+/// \brief Everything the online classifier accumulates while serving a
+/// stream — the state a serving checkpoint (highorder/checkpoint.h) must
+/// capture so a restarted process continues bit-for-bit where the dead one
+/// stopped. The offline-trained model itself (concepts, stats, schema) is
+/// NOT here; it reloads from the model file.
+struct HighOrderRuntimeState {
+  /// Markov-filter state: P_t−(c) and P_t(c) (Eqs. 5-9).
+  std::vector<double> prior;
+  std::vector<double> posterior;
+  /// Cached prediction weights and whether a labeled record has arrived
+  /// since they were last refreshed.
+  std::vector<double> weights;
+  bool weights_stale = false;
+  /// Counters feeding metrics and journal record numbers.
+  uint64_t base_evaluations = 0;
+  uint64_t predictions = 0;
+  uint64_t observations = 0;
+  /// Drift-hysteresis state (-1 = no top concept yet).
+  int64_t last_top_concept = -1;
+  bool drift_suspected = false;
+  /// Predictions left until the next sampled latency measurement.
+  uint64_t until_latency_sample = 0;
+  /// Fallback answer for unclassifiable (wrong-arity) records.
+  int32_t last_prediction = 0;
+};
+
 /// \brief The online high-order classifier of Section III: a Markov filter
 /// over the discovered stable concepts plus a probability-weighted ensemble
 /// of their offline-trained classifiers.
@@ -78,6 +105,35 @@ class HighOrderClassifier : public StreamClassifier {
   /// disables latency sampling); applies from the next Predict().
   void set_latency_sample_period(size_t period);
 
+  /// Malformed-input policy for the online streams. The default (kSkip)
+  /// drops bad labeled records; kImputeMajority repairs them from running
+  /// statistics. kError behaves like kSkip here — the online loop has no
+  /// caller to hand a Status to; strict rejection belongs to ingest
+  /// (ReadCsv). Predictions are never refused: a repairable record is
+  /// always imputed for Predict() and an unrepairable one answers with the
+  /// previous prediction. Every rejection/imputation bumps the
+  /// "hom.online.input_rejected"/"hom.online.input_imputed" counters and
+  /// journals an InputRejected/InputImputed event.
+  void set_input_policy(InputPolicy policy) { input_policy_ = policy; }
+  InputPolicy input_policy() const { return input_policy_; }
+
+  /// Snapshots the serving state for a checkpoint. Pure read; the
+  /// classifier keeps running unaffected.
+  HighOrderRuntimeState ExportRuntimeState() const;
+
+  /// Reinstates a snapshot taken by ExportRuntimeState on a classifier
+  /// loaded from the same model, after which predictions and journal
+  /// events continue exactly as if the process had never stopped. Rejects
+  /// state whose vectors do not match this model's concept count or whose
+  /// values are non-finite/out of range (a corrupt or mismatched
+  /// checkpoint), leaving the classifier untouched.
+  Status RestoreRuntimeState(const HighOrderRuntimeState& state);
+
+  /// Serialized imputation statistics, checkpointed alongside the runtime
+  /// state so majority imputation survives a restart.
+  Result<std::string> ExportSanitizerState() const;
+  Status RestoreSanitizerState(const std::string& bytes);
+
   size_t num_concepts() const { return concepts_.size(); }
   const ConceptModel& concept_model(size_t c) const { return concepts_[c]; }
   const ActiveProbabilityTracker& tracker() const { return tracker_; }
@@ -100,6 +156,11 @@ class HighOrderClassifier : public StreamClassifier {
   /// last prediction.
   void RefreshWeights();
 
+  /// Predict()/ObserveLabeled() bodies once the record is known clean;
+  /// the public entry points sanitize first.
+  Label PredictClean(const Record& x);
+  void ObserveLabeledClean(const Record& y);
+
   /// Predict() body; split out so the public entry point can time a
   /// sampled subset of calls without paying for a clock on every record.
   Label PredictImpl(const Record& x);
@@ -108,6 +169,11 @@ class HighOrderClassifier : public StreamClassifier {
   std::vector<ConceptModel> concepts_;
   ActiveProbabilityTracker tracker_;
   HighOrderOptions options_;
+  InputPolicy input_policy_ = InputPolicy::kSkip;
+  InputSanitizer sanitizer_;
+  /// Fallback answer when a record is too malformed to classify (wrong
+  /// arity): the previous prediction, the cheapest persistence forecast.
+  Label last_prediction_ = 0;
   /// Concept weights for the current timestamp (P_t− by default), cached
   /// across the unlabeled records sharing that timestamp.
   std::vector<double> weights_;

@@ -1,15 +1,153 @@
 #include "highorder/serialization.h"
 
+#include <cmath>
 #include <fstream>
+#include <sstream>
 
 #include "classifiers/decision_tree.h"
 #include "classifiers/majority.h"
 #include "classifiers/naive_bayes.h"
+#include "common/crc32.h"
 
 namespace hom {
 
 namespace {
-constexpr char kMagic[] = "HOM1";
+
+constexpr char kMagicV1[] = "HOM1";
+constexpr char kMagicV2[] = "HOM2";
+constexpr uint32_t kFormatVersion = 2;
+
+constexpr uint32_t kSchemaTag = SectionTag('S', 'C', 'H', 'M');
+constexpr uint32_t kOptionsTag = SectionTag('O', 'P', 'T', 'S');
+constexpr uint32_t kStatsTag = SectionTag('S', 'T', 'A', 'T');
+constexpr uint32_t kConceptsTag = SectionTag('C', 'O', 'N', 'C');
+
+// Per-section payload caps: generous for any plausible model, small enough
+// that a corrupt length field cannot demand a pathological allocation.
+constexpr size_t kMaxSchemaBytes = size_t{1} << 26;    // 64 MiB
+constexpr size_t kMaxOptionsBytes = size_t{1} << 10;
+constexpr size_t kMaxStatsBytes = size_t{1} << 24;     // 16 MiB
+constexpr size_t kMaxConceptsBytes = size_t{1} << 30;  // 1 GiB
+constexpr size_t kMaxSections = 64;
+constexpr uint32_t kMaxConcepts = 100000;
+
+/// Serializes one logical section into a standalone byte buffer via the
+/// supplied writer callback, so it can be framed with its CRC.
+template <typename Fn>
+Result<std::string> BuildPayload(Fn&& write) {
+  std::ostringstream buffer(std::ios::binary);
+  BinaryWriter writer(&buffer);
+  HOM_RETURN_NOT_OK(write(&writer));
+  return std::move(buffer).str();
+}
+
+/// Parses a section payload with `parse` and rejects trailing bytes — a
+/// payload that decodes "successfully" but leaves unread bytes is corrupt
+/// (or written by a format this reader does not understand).
+template <typename T, typename Fn>
+Result<T> ParsePayload(const Section& section, Fn&& parse) {
+  std::istringstream buffer(section.payload, std::ios::binary);
+  BinaryReader reader(&buffer);
+  HOM_ASSIGN_OR_RETURN(T value, parse(&reader));
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument("section " + SectionTagName(section.tag) +
+                                   " has trailing bytes");
+  }
+  return value;
+}
+
+Status ValidateFiniteVector(const std::vector<double>& v, const char* what) {
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      return Status::InvalidArgument(std::string("non-finite ") + what +
+                                     " in model file");
+    }
+  }
+  return Status::OK();
+}
+
+struct LoadedOptions {
+  HighOrderOptions options;
+};
+
+Result<LoadedOptions> ParseOptions(BinaryReader* reader) {
+  LoadedOptions out;
+  HOM_ASSIGN_OR_RETURN(uint8_t weight_by_prior, reader->ReadU8());
+  HOM_ASSIGN_OR_RETURN(uint8_t prune, reader->ReadU8());
+  if (weight_by_prior > 1 || prune > 1) {
+    return Status::InvalidArgument("model option flags must be 0 or 1");
+  }
+  out.options.weight_by_prior = weight_by_prior != 0;
+  out.options.prune_prediction = prune != 0;
+  return out;
+}
+
+Result<ConceptStats> ParseStats(BinaryReader* reader) {
+  HOM_ASSIGN_OR_RETURN(std::vector<double> lengths,
+                       reader->ReadDoubleVector(kMaxConcepts));
+  HOM_ASSIGN_OR_RETURN(std::vector<double> freqs,
+                       reader->ReadDoubleVector(kMaxConcepts));
+  HOM_RETURN_NOT_OK(ValidateFiniteVector(lengths, "mean length"));
+  HOM_RETURN_NOT_OK(ValidateFiniteVector(freqs, "frequency"));
+  return ConceptStats::FromLengthsAndFrequencies(std::move(lengths),
+                                                 std::move(freqs));
+}
+
+Result<std::vector<ConceptModel>> ParseConcepts(BinaryReader* reader,
+                                                const SchemaPtr& schema,
+                                                size_t expected) {
+  HOM_ASSIGN_OR_RETURN(uint32_t n, reader->ReadU32());
+  if (n != expected) {
+    return Status::InvalidArgument(
+        "concept count mismatch: " + std::to_string(n) + " models vs " +
+        std::to_string(expected) + " statistics entries");
+  }
+  std::vector<ConceptModel> concepts;
+  concepts.reserve(n);
+  for (uint32_t c = 0; c < n; ++c) {
+    ConceptModel cm;
+    HOM_ASSIGN_OR_RETURN(cm.error, reader->ReadDouble());
+    if (!std::isfinite(cm.error) || cm.error < 0.0 || cm.error > 1.0) {
+      return Status::InvalidArgument("concept " + std::to_string(c) +
+                                     " error is not in [0, 1]");
+    }
+    HOM_ASSIGN_OR_RETURN(uint64_t records, reader->ReadU64());
+    cm.training_records = static_cast<size_t>(records);
+    HOM_ASSIGN_OR_RETURN(cm.model, LoadClassifier(reader, schema));
+    concepts.push_back(std::move(cm));
+  }
+  return concepts;
+}
+
+/// v1 reader (magic already consumed): the pre-CRC layout, kept for models
+/// serialized by earlier releases. Truncation is detected (every Read
+/// checks stream state) but bit flips are not.
+Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModelV1(
+    BinaryReader* reader) {
+  HOM_ASSIGN_OR_RETURN(SchemaPtr schema, LoadSchema(reader));
+  HighOrderOptions options;
+  HOM_ASSIGN_OR_RETURN(uint8_t weight_by_prior, reader->ReadU8());
+  HOM_ASSIGN_OR_RETURN(uint8_t prune, reader->ReadU8());
+  options.weight_by_prior = weight_by_prior != 0;
+  options.prune_prediction = prune != 0;
+
+  HOM_ASSIGN_OR_RETURN(std::vector<double> lengths,
+                       reader->ReadDoubleVector(kMaxConcepts));
+  HOM_ASSIGN_OR_RETURN(std::vector<double> freqs,
+                       reader->ReadDoubleVector(kMaxConcepts));
+  HOM_RETURN_NOT_OK(ValidateFiniteVector(lengths, "mean length"));
+  HOM_RETURN_NOT_OK(ValidateFiniteVector(freqs, "frequency"));
+  size_t expected = lengths.size();
+  HOM_ASSIGN_OR_RETURN(
+      ConceptStats stats,
+      ConceptStats::FromLengthsAndFrequencies(std::move(lengths),
+                                              std::move(freqs)));
+  HOM_ASSIGN_OR_RETURN(std::vector<ConceptModel> concepts,
+                       ParseConcepts(reader, schema, expected));
+  return HighOrderClassifier::Make(std::move(schema), std::move(concepts),
+                                   std::move(stats), options);
+}
+
 }  // namespace
 
 Status SaveSchema(BinaryWriter* writer, const Schema& schema) {
@@ -46,6 +184,9 @@ Result<SchemaPtr> LoadSchema(BinaryReader* reader) {
   for (uint32_t a = 0; a < num_attrs; ++a) {
     HOM_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
     HOM_ASSIGN_OR_RETURN(uint8_t categorical, reader->ReadU8());
+    if (categorical > 1) {
+      return Status::InvalidArgument("attribute kind flag must be 0 or 1");
+    }
     if (categorical != 0) {
       HOM_ASSIGN_OR_RETURN(uint32_t card, reader->ReadU32());
       if (card < 2 || card > 1000000) {
@@ -109,72 +250,122 @@ Result<std::unique_ptr<Classifier>> LoadClassifier(BinaryReader* reader,
 Status SaveHighOrderModel(std::ostream* out,
                           const HighOrderClassifier& model) {
   BinaryWriter writer(out);
-  HOM_RETURN_NOT_OK(writer.WriteString(kMagic));
-  HOM_RETURN_NOT_OK(SaveSchema(&writer, *model.schema()));
-  HOM_RETURN_NOT_OK(
-      writer.WriteU8(model.options().weight_by_prior ? 1 : 0));
-  HOM_RETURN_NOT_OK(
-      writer.WriteU8(model.options().prune_prediction ? 1 : 0));
+  HOM_RETURN_NOT_OK(writer.WriteString(kMagicV2));
+  HOM_RETURN_NOT_OK(writer.WriteU32(kFormatVersion));
+  HOM_RETURN_NOT_OK(writer.WriteU32(4));  // section count
+
+  HOM_ASSIGN_OR_RETURN(std::string schema_payload,
+                       BuildPayload([&](BinaryWriter* w) {
+                         return SaveSchema(w, *model.schema());
+                       }));
+  HOM_RETURN_NOT_OK(WriteSection(&writer, kSchemaTag, schema_payload));
+
+  HOM_ASSIGN_OR_RETURN(
+      std::string options_payload, BuildPayload([&](BinaryWriter* w) {
+        HOM_RETURN_NOT_OK(
+            w->WriteU8(model.options().weight_by_prior ? 1 : 0));
+        return w->WriteU8(model.options().prune_prediction ? 1 : 0);
+      }));
+  HOM_RETURN_NOT_OK(WriteSection(&writer, kOptionsTag, options_payload));
 
   const ConceptStats& stats = model.tracker().stats();
   size_t n = model.num_concepts();
-  std::vector<double> lengths(n);
-  std::vector<double> freqs(n);
-  for (size_t c = 0; c < n; ++c) {
-    lengths[c] = stats.mean_length(c);
-    freqs[c] = stats.frequency(c);
-  }
-  HOM_RETURN_NOT_OK(writer.WriteDoubleVector(lengths));
-  HOM_RETURN_NOT_OK(writer.WriteDoubleVector(freqs));
+  HOM_ASSIGN_OR_RETURN(
+      std::string stats_payload, BuildPayload([&](BinaryWriter* w) {
+        std::vector<double> lengths(n);
+        std::vector<double> freqs(n);
+        for (size_t c = 0; c < n; ++c) {
+          lengths[c] = stats.mean_length(c);
+          freqs[c] = stats.frequency(c);
+        }
+        HOM_RETURN_NOT_OK(w->WriteDoubleVector(lengths));
+        return w->WriteDoubleVector(freqs);
+      }));
+  HOM_RETURN_NOT_OK(WriteSection(&writer, kStatsTag, stats_payload));
 
-  HOM_RETURN_NOT_OK(writer.WriteU32(static_cast<uint32_t>(n)));
-  for (size_t c = 0; c < n; ++c) {
-    const ConceptModel& cm = model.concept_model(c);
-    HOM_RETURN_NOT_OK(writer.WriteDouble(cm.error));
-    HOM_RETURN_NOT_OK(
-        writer.WriteU64(static_cast<uint64_t>(cm.training_records)));
-    HOM_RETURN_NOT_OK(SaveClassifier(&writer, *cm.model));
-  }
-  return Status::OK();
+  HOM_ASSIGN_OR_RETURN(
+      std::string concepts_payload, BuildPayload([&](BinaryWriter* w) {
+        HOM_RETURN_NOT_OK(w->WriteU32(static_cast<uint32_t>(n)));
+        for (size_t c = 0; c < n; ++c) {
+          const ConceptModel& cm = model.concept_model(c);
+          HOM_RETURN_NOT_OK(w->WriteDouble(cm.error));
+          HOM_RETURN_NOT_OK(
+              w->WriteU64(static_cast<uint64_t>(cm.training_records)));
+          HOM_RETURN_NOT_OK(SaveClassifier(w, *cm.model));
+        }
+        return Status::OK();
+      }));
+  return WriteSection(&writer, kConceptsTag, concepts_payload);
 }
 
 Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModel(
     std::istream* in) {
   BinaryReader reader(in);
   HOM_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(16));
-  if (magic != kMagic) {
+  if (magic == kMagicV1) return LoadHighOrderModelV1(&reader);
+  if (magic != kMagicV2) {
     return Status::InvalidArgument("bad magic: not a hom model file");
   }
-  HOM_ASSIGN_OR_RETURN(SchemaPtr schema, LoadSchema(&reader));
-  HighOrderOptions options;
-  HOM_ASSIGN_OR_RETURN(uint8_t weight_by_prior, reader.ReadU8());
-  HOM_ASSIGN_OR_RETURN(uint8_t prune, reader.ReadU8());
-  options.weight_by_prior = weight_by_prior != 0;
-  options.prune_prediction = prune != 0;
+  HOM_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported model format version " +
+                                   std::to_string(version));
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t section_count, reader.ReadU32());
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::InvalidArgument("implausible section count " +
+                                   std::to_string(section_count));
+  }
 
-  HOM_ASSIGN_OR_RETURN(std::vector<double> lengths,
-                       reader.ReadDoubleVector());
-  HOM_ASSIGN_OR_RETURN(std::vector<double> freqs, reader.ReadDoubleVector());
+  // Collect sections first: each CRC is verified by ReadSection before any
+  // payload byte is interpreted. Unknown tags are skipped for forward
+  // compatibility; duplicates are corruption.
+  Section schema_section, options_section, stats_section, concepts_section;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    size_t cap = kMaxConceptsBytes;
+    HOM_ASSIGN_OR_RETURN(Section section, ReadSection(&reader, cap));
+    Section* slot = nullptr;
+    switch (section.tag) {
+      case kSchemaTag: slot = &schema_section; cap = kMaxSchemaBytes; break;
+      case kOptionsTag: slot = &options_section; cap = kMaxOptionsBytes; break;
+      case kStatsTag: slot = &stats_section; cap = kMaxStatsBytes; break;
+      case kConceptsTag: slot = &concepts_section; break;
+      default: continue;  // future section: CRC checked, content skipped
+    }
+    if (section.payload.size() > cap) {
+      return Status::InvalidArgument("section " + SectionTagName(section.tag) +
+                                     " is implausibly large");
+    }
+    if (slot->tag != 0) {
+      return Status::InvalidArgument("duplicate section " +
+                                     SectionTagName(section.tag));
+    }
+    *slot = std::move(section);
+  }
+  for (const auto* required :
+       {&schema_section, &options_section, &stats_section,
+        &concepts_section}) {
+    if (required->tag == 0) {
+      return Status::InvalidArgument("model file is missing a section");
+    }
+  }
+
+  HOM_ASSIGN_OR_RETURN(SchemaPtr schema,
+                       ParsePayload<SchemaPtr>(schema_section, LoadSchema));
+  HOM_ASSIGN_OR_RETURN(LoadedOptions options,
+                       ParsePayload<LoadedOptions>(options_section,
+                                                   ParseOptions));
+  HOM_ASSIGN_OR_RETURN(ConceptStats stats,
+                       ParsePayload<ConceptStats>(stats_section, ParseStats));
+  size_t expected = stats.num_concepts();
   HOM_ASSIGN_OR_RETURN(
-      ConceptStats stats,
-      ConceptStats::FromLengthsAndFrequencies(lengths, freqs));
-
-  HOM_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
-  if (n != lengths.size()) {
-    return Status::InvalidArgument("concept count mismatch");
-  }
-  std::vector<ConceptModel> concepts;
-  concepts.reserve(n);
-  for (uint32_t c = 0; c < n; ++c) {
-    ConceptModel cm;
-    HOM_ASSIGN_OR_RETURN(cm.error, reader.ReadDouble());
-    HOM_ASSIGN_OR_RETURN(uint64_t records, reader.ReadU64());
-    cm.training_records = static_cast<size_t>(records);
-    HOM_ASSIGN_OR_RETURN(cm.model, LoadClassifier(&reader, schema));
-    concepts.push_back(std::move(cm));
-  }
+      std::vector<ConceptModel> concepts,
+      ParsePayload<std::vector<ConceptModel>>(
+          concepts_section, [&](BinaryReader* r) {
+            return ParseConcepts(r, schema, expected);
+          }));
   return HighOrderClassifier::Make(std::move(schema), std::move(concepts),
-                                   std::move(stats), options);
+                                   std::move(stats), options.options);
 }
 
 Status SaveHighOrderModelToFile(const std::string& path,
@@ -192,6 +383,13 @@ Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModelFromFile(
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "' for reading");
   return LoadHighOrderModel(&in);
+}
+
+Result<uint32_t> SchemaFingerprint(const Schema& schema) {
+  HOM_ASSIGN_OR_RETURN(std::string payload, BuildPayload([&](BinaryWriter* w) {
+    return SaveSchema(w, schema);
+  }));
+  return Crc32(payload);
 }
 
 }  // namespace hom

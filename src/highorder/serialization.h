@@ -15,9 +15,23 @@ namespace hom {
 /// expensive building phase (Table IV: minutes at paper scale) runs once
 /// and the resulting model ships to online services as a byte stream.
 ///
-/// Format: magic "HOM1", schema, options, concept statistics, then each
-/// concept's error and base classifier (type-tagged payload; decision
-/// tree, Naive Bayes and majority models are supported).
+/// Format v2 (hardened, written by SaveHighOrderModel): magic "HOM2",
+/// u32 format version, u32 section count, then CRC-framed sections
+/// (binary_io.h) in order:
+///   SCHM  schema (attributes, vocabularies, classes)
+///   OPTS  HighOrderOptions subset (weight_by_prior, prune_prediction)
+///   STAT  concept statistics (mean lengths, frequencies)
+///   CONC  concept models (count, then per concept: error, |D_c|,
+///         type-tagged classifier payload)
+/// Every section's CRC32 is verified before its bytes are parsed, every
+/// length field is bounded, and every numeric field is checked finite and
+/// in range, so a truncated or bit-flipped file yields an error Status —
+/// never a crash, out-of-bounds read, or multi-GB allocation. Unknown
+/// trailing sections are skipped (CRC still verified) for forward
+/// compatibility.
+///
+/// Format v1 (magic "HOM1", unframed) is still readable; v1 files detect
+/// truncation but not bit flips.
 
 /// Writes the schema (attributes, vocabularies, classes).
 Status SaveSchema(BinaryWriter* writer, const Schema& schema);
@@ -33,12 +47,14 @@ Status SaveClassifier(BinaryWriter* writer, const Classifier& classifier);
 Result<std::unique_ptr<Classifier>> LoadClassifier(BinaryReader* reader,
                                                    SchemaPtr schema);
 
-/// Writes the complete high-order model.
+/// Writes the complete high-order model (format v2).
 Status SaveHighOrderModel(std::ostream* out,
                           const HighOrderClassifier& model);
 
-/// Reads a model written by SaveHighOrderModel. The loaded model starts
-/// from the uniform concept prior (run-time state is not persisted).
+/// Reads a model written by SaveHighOrderModel (v2) or by a pre-CRC
+/// release (v1). The loaded model starts from the uniform concept prior;
+/// run-time state travels separately in serving checkpoints
+/// (highorder/checkpoint.h).
 Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModel(
     std::istream* in);
 
@@ -47,6 +63,10 @@ Status SaveHighOrderModelToFile(const std::string& path,
                                 const HighOrderClassifier& model);
 Result<std::unique_ptr<HighOrderClassifier>> LoadHighOrderModelFromFile(
     const std::string& path);
+
+/// CRC32 of the model's serialized schema section — the fingerprint that
+/// ties a serving checkpoint to the model it was captured from.
+Result<uint32_t> SchemaFingerprint(const Schema& schema);
 
 }  // namespace hom
 

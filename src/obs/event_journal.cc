@@ -10,7 +10,8 @@ thread_local EventJournal* g_active_journal = nullptr;
 
 constexpr std::string_view kTypeNames[kNumEventTypes] = {
     "concept_switch", "drift_suspected",  "drift_confirmed", "model_reuse",
-    "model_relearn",  "hmm_prediction",   "window_error",
+    "model_relearn",  "hmm_prediction",   "window_error",    "input_rejected",
+    "input_imputed",  "checkpoint_save",  "checkpoint_load", "fault_injected",
 };
 
 }  // namespace

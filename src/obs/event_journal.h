@@ -27,9 +27,14 @@ enum class EventType : uint8_t {
   kModelRelearn,       ///< a model was (re)trained online (chasing trends)
   kHmmPrediction,      ///< the transition chain proactively predicted a state
   kWindowError,        ///< periodic windowed-error report from a harness
+  kInputRejected,      ///< a malformed record was dropped by policy
+  kInputImputed,       ///< a malformed record was repaired and kept
+  kCheckpointSave,     ///< serving state was persisted (`record` = position)
+  kCheckpointLoad,     ///< serving state was restored (`record` = position)
+  kFaultInjected,      ///< the chaos harness injected a fault (tests only)
 };
 
-inline constexpr size_t kNumEventTypes = 7;
+inline constexpr size_t kNumEventTypes = 12;
 
 /// Stable wire name of an event type ("concept_switch", ...).
 std::string_view EventTypeName(EventType type);

@@ -1,0 +1,265 @@
+// Tests for the serving checkpoint (highorder/checkpoint.h): capture /
+// save / load / apply round trips, and the PR's kill test — stopping a
+// prequential run at record k, checkpointing, and resuming on a freshly
+// loaded model must reproduce the uninterrupted run exactly: same errors,
+// same journal events, same concept switches.
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classifiers/decision_tree.h"
+#include "common/file_io.h"
+#include "common/rng.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "highorder/checkpoint.h"
+#include "highorder/serialization.h"
+#include "obs/event_journal.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+using ModelPtr = std::unique_ptr<HighOrderClassifier>;
+
+/// Builds a small STAGGER model and returns its serialized bytes, so each
+/// test leg can deserialize an independent, identical instance.
+std::string BuildModelBytes(uint64_t seed) {
+  StaggerGenerator gen(seed);
+  Dataset history = gen.Generate(6000);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(seed);
+  auto model = builder.Build(history, &rng);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  std::stringstream buffer;
+  EXPECT_TRUE(SaveHighOrderModel(&buffer, **model).ok());
+  return buffer.str();
+}
+
+ModelPtr LoadModel(const std::string& bytes) {
+  std::stringstream buffer(bytes);
+  auto model = LoadHighOrderModel(&buffer);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(*model);
+}
+
+/// The journal content that must be reproduced across an interruption:
+/// every field except emit bookkeeping (seq restarts per journal, t_us is
+/// wall clock) and the checkpoint save/load markers themselves.
+using EventKey =
+    std::tuple<obs::EventType, std::string, int64_t, int64_t, int64_t,
+               double>;
+
+std::vector<EventKey> ContentEvents(const obs::EventJournal& journal) {
+  std::vector<EventKey> keys;
+  for (const obs::Event& e : journal.Snapshot()) {
+    if (e.type == obs::EventType::kCheckpointSave ||
+        e.type == obs::EventType::kCheckpointLoad) {
+      continue;
+    }
+    keys.emplace_back(e.type, e.source, e.record, e.from, e.to, e.value);
+  }
+  return keys;
+}
+
+struct ResumeOutcome {
+  PrequentialResult result;
+  std::vector<EventKey> events;
+};
+
+/// Runs `stream` through a fresh copy of the model in one uninterrupted
+/// pass (stop_at = 0), or as stop-at-k + checkpoint + resume on a second
+/// fresh copy (stop_at = k).
+ResumeOutcome RunWithInterruption(const std::string& model_bytes,
+                                  const Dataset& stream, uint64_t stop_at,
+                                  double labeled_fraction = 1.0) {
+  std::string ckpt_path = ::testing::TempDir() + "/resume_test.homc";
+  obs::EventJournal journal(1 << 16);
+  obs::ScopedJournal scoped(&journal);
+
+  ModelPtr first = LoadModel(model_bytes);
+  auto stats = std::make_shared<OnlineConceptStats>(first->num_classes());
+  PrequentialOptions options;
+  options.labeled_fraction = labeled_fraction;
+  options.stop_after = stop_at;
+  options.resume_concept_stats = stats;
+  PrequentialResult result = RunPrequential(first.get(), stream, options);
+  if (stop_at == 0) {
+    return {result, ContentEvents(journal)};
+  }
+
+  // Checkpoint at the interruption point...
+  auto ckpt = CaptureCheckpoint(*first);
+  EXPECT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  ckpt->stream_offset = result.num_records;
+  ckpt->num_errors = result.num_errors;
+  ckpt->window_errors = result.window_errors_carry;
+  ckpt->window_fill = result.window_fill_carry;
+  ckpt->concept_stats = stats;
+  EXPECT_TRUE(SaveCheckpointToFile(ckpt_path, *ckpt).ok());
+  first.reset();  // the original instance is gone: a real crash
+
+  // ...and pick up on a model deserialized from scratch.
+  ModelPtr second = LoadModel(model_bytes);
+  auto restored = LoadCheckpointFromFile(ckpt_path);
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(ApplyCheckpoint(*restored, second.get()).ok());
+  PrequentialOptions tail;
+  tail.labeled_fraction = labeled_fraction;
+  tail.start_record = restored->stream_offset;
+  tail.carry_errors = restored->num_errors;
+  tail.carry_window_errors = restored->window_errors;
+  tail.carry_window_fill = restored->window_fill;
+  tail.resume_concept_stats = restored->concept_stats;
+  PrequentialResult finished = RunPrequential(second.get(), stream, tail);
+  std::remove(ckpt_path.c_str());
+  return {finished, ContentEvents(journal)};
+}
+
+TEST(CheckpointTest, ResumeMatchesUninterruptedRun) {
+  std::string model_bytes = BuildModelBytes(2301);
+  StaggerGenerator gen(2302);
+  Dataset stream = gen.Generate(5000);
+
+  ResumeOutcome full = RunWithInterruption(model_bytes, stream, 0);
+  for (uint64_t k : {1u, 499u, 500u, 1777u, 4999u}) {
+    ResumeOutcome resumed = RunWithInterruption(model_bytes, stream, k);
+    EXPECT_EQ(full.result.num_records, resumed.result.num_records) << k;
+    EXPECT_EQ(full.result.num_errors, resumed.result.num_errors) << k;
+    EXPECT_EQ(full.result.window_errors_carry,
+              resumed.result.window_errors_carry)
+        << k;
+    EXPECT_EQ(full.events, resumed.events) << "interrupted at " << k;
+    ASSERT_NE(resumed.result.concept_stats, nullptr);
+    EXPECT_EQ(full.result.concept_stats->total_switches(),
+              resumed.result.concept_stats->total_switches())
+        << k;
+    EXPECT_EQ(full.result.concept_stats->total_records(),
+              resumed.result.concept_stats->total_records())
+        << k;
+  }
+}
+
+TEST(CheckpointTest, ResumeMatchesWithPartialLabels) {
+  // labeled_fraction < 1 exercises the skipped-prefix RNG burn: the resumed
+  // run must reveal exactly the labels the uninterrupted run would have.
+  std::string model_bytes = BuildModelBytes(2303);
+  StaggerGenerator gen(2304);
+  Dataset stream = gen.Generate(4000);
+
+  ResumeOutcome full = RunWithInterruption(model_bytes, stream, 0, 0.35);
+  ResumeOutcome resumed = RunWithInterruption(model_bytes, stream, 1234, 0.35);
+  EXPECT_EQ(full.result.num_errors, resumed.result.num_errors);
+  EXPECT_EQ(full.events, resumed.events);
+}
+
+TEST(CheckpointTest, FileRoundTripPreservesEveryField) {
+  std::string model_bytes = BuildModelBytes(2305);
+  ModelPtr model = LoadModel(model_bytes);
+  StaggerGenerator gen(2306);
+  Dataset stream = gen.Generate(1200);
+  PrequentialOptions options;
+  options.track_concept_stats = true;
+  PrequentialResult result = RunPrequential(model.get(), stream, options);
+
+  auto ckpt = CaptureCheckpoint(*model);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status().ToString();
+  ckpt->stream_offset = result.num_records;
+  ckpt->num_errors = result.num_errors;
+  ckpt->window_errors = result.window_errors_carry;
+  ckpt->window_fill = result.window_fill_carry;
+  ckpt->concept_stats = result.concept_stats;
+
+  std::string path = ::testing::TempDir() + "/roundtrip.homc";
+  ASSERT_TRUE(SaveCheckpointToFile(path, *ckpt).ok());
+  auto loaded = LoadCheckpointFromFile(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->schema_fingerprint, ckpt->schema_fingerprint);
+  EXPECT_EQ(loaded->stream_offset, ckpt->stream_offset);
+  EXPECT_EQ(loaded->num_errors, ckpt->num_errors);
+  EXPECT_EQ(loaded->window_errors, ckpt->window_errors);
+  EXPECT_EQ(loaded->window_fill, ckpt->window_fill);
+  EXPECT_EQ(loaded->runtime.prior, ckpt->runtime.prior);
+  EXPECT_EQ(loaded->runtime.posterior, ckpt->runtime.posterior);
+  EXPECT_EQ(loaded->runtime.weights, ckpt->runtime.weights);
+  EXPECT_EQ(loaded->runtime.observations, ckpt->runtime.observations);
+  EXPECT_EQ(loaded->runtime.predictions, ckpt->runtime.predictions);
+  EXPECT_EQ(loaded->runtime.last_top_concept, ckpt->runtime.last_top_concept);
+  EXPECT_EQ(loaded->runtime.last_prediction, ckpt->runtime.last_prediction);
+  EXPECT_EQ(loaded->sanitizer_state, ckpt->sanitizer_state);
+  ASSERT_NE(loaded->concept_stats, nullptr);
+  EXPECT_EQ(loaded->concept_stats->total_records(),
+            ckpt->concept_stats->total_records());
+  EXPECT_EQ(loaded->concept_stats->total_switches(),
+            ckpt->concept_stats->total_switches());
+  EXPECT_EQ(loaded->concept_stats->current_concept(),
+            ckpt->concept_stats->current_concept());
+}
+
+TEST(CheckpointTest, ApplyRejectsWrongModel) {
+  // A checkpoint only resumes onto the model family it came from.
+  ModelPtr source = LoadModel(BuildModelBytes(2307));
+  auto ckpt = CaptureCheckpoint(*source);
+  ASSERT_TRUE(ckpt.ok());
+
+  // Different training seed, same schema: fingerprint matches (the schema
+  // is the contract), but concept count may differ — Apply must validate.
+  ModelPtr sibling = LoadModel(BuildModelBytes(2308));
+  if (sibling->num_concepts() != source->num_concepts()) {
+    EXPECT_FALSE(ApplyCheckpoint(*ckpt, sibling.get()).ok());
+  }
+
+  // Corrupted fingerprint: always rejected, model untouched.
+  ServingCheckpoint mangled = *ckpt;
+  mangled.schema_fingerprint ^= 0xDEAD;
+  Status st = ApplyCheckpoint(mangled, sibling.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RestoreRejectsInvalidRuntimeState) {
+  ModelPtr model = LoadModel(BuildModelBytes(2309));
+  HighOrderRuntimeState good = model->ExportRuntimeState();
+
+  HighOrderRuntimeState bad = good;
+  bad.weights.push_back(0.5);  // arity mismatch
+  EXPECT_FALSE(model->RestoreRuntimeState(bad).ok());
+
+  bad = good;
+  if (!bad.prior.empty()) {
+    bad.prior[0] = 1.5;  // not a probability
+    EXPECT_FALSE(model->RestoreRuntimeState(bad).ok());
+  }
+
+  bad = good;
+  bad.last_top_concept = static_cast<int64_t>(good.weights.size()) + 3;
+  EXPECT_FALSE(model->RestoreRuntimeState(bad).ok());
+
+  // The good state still applies after all the rejections.
+  EXPECT_TRUE(model->RestoreRuntimeState(good).ok());
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  auto r = LoadCheckpointFromFile("/nonexistent/ckpt.homc");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, GarbageFileRejected) {
+  std::string path = ::testing::TempDir() + "/garbage.homc";
+  ASSERT_TRUE(AtomicWriteFile(path, "this is not a checkpoint").ok());
+  auto r = LoadCheckpointFromFile(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace hom

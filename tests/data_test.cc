@@ -3,11 +3,15 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
+#include "data/sanitize.h"
 #include "data/dataset.h"
 #include "data/dataset_view.h"
 #include "data/io.h"
@@ -242,6 +246,192 @@ TEST(IoTest, ReadMissingFileFails) {
   auto r = ReadCsv(MixedSchema(), "/nonexistent/hom.csv");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------- CSV input hardening
+
+std::string WriteTempCsv(const std::string& name, const std::string& body) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(body.c_str(), f);
+  fclose(f);
+  return path;
+}
+
+TEST(IoTest, ErrorsNameFileAndLine) {
+  std::string path = WriteTempCsv("hom_io_ctx.csv",
+                                  "x,color,class\n"
+                                  "1.0,red,yes\n"
+                                  "2.0,green\n");  // line 3: ragged
+  auto r = ReadCsv(MixedSchema(), path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("hom_io_ctx.csv:3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("expected 3 fields, got 2"),
+            std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CrlfAndTrailingNewlineAccepted) {
+  std::string path = WriteTempCsv("hom_io_crlf.csv",
+                                  "x,color,class\r\n"
+                                  "1.0,red,yes\r\n"
+                                  "2.0,blue,no\r\n"
+                                  "\n");
+  auto r = ReadCsv(MixedSchema(), path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->record(1).values[0], 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TrailingCommaIsRagged) {
+  std::string path = WriteTempCsv("hom_io_comma.csv",
+                                  "x,color,class\n"
+                                  "1.0,red,yes,\n");
+  auto r = ReadCsv(MixedSchema(), path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected 3 fields, got 4"),
+            std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, SkipPolicyDropsMalformedRowsAndReports) {
+  std::string path = WriteTempCsv("hom_io_skip.csv",
+                                  "x,color,class\n"
+                                  "1.0,red,yes\n"
+                                  "oops,red,yes\n"     // non-numeric
+                                  "2.0,purple,no\n"    // unknown category
+                                  "3.0,?,no\n"         // missing categorical
+                                  "4.0,blue,maybe\n"   // unknown label
+                                  "5.0,green,no\n");
+  CsvReadOptions options;
+  options.policy = InputPolicy::kSkip;
+  CsvReadReport report;
+  auto r = ReadCsv(MixedSchema(), path, options, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);  // only the fully clean rows
+  EXPECT_EQ(report.rows_read, 6u);
+  EXPECT_EQ(report.rows_kept, 2u);
+  EXPECT_EQ(report.rows_skipped, 4u);
+  EXPECT_EQ(report.rows_imputed, 0u);
+  ASSERT_FALSE(report.sample_errors.empty());
+  EXPECT_NE(report.sample_errors[0].find("hom_io_skip.csv:3"),
+            std::string::npos)
+      << report.sample_errors[0];
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ImputePolicyRepairsFromRunningStatistics) {
+  std::string path = WriteTempCsv("hom_io_impute.csv",
+                                  "x,color,class\n"
+                                  "1.0,red,yes\n"
+                                  "3.0,red,no\n"
+                                  "?,green,no\n"       // missing numeric
+                                  "4.0,,yes\n"         // missing categorical
+                                  "5.0,blue,maybe\n"); // unknown label
+  CsvReadOptions options;
+  options.policy = InputPolicy::kImputeMajority;
+  CsvReadReport report;
+  auto r = ReadCsv(MixedSchema(), path, options, &report);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 5u);
+  EXPECT_EQ(report.rows_kept, 5u);
+  EXPECT_EQ(report.rows_imputed, 3u);
+  EXPECT_GE(report.values_imputed, 3u);
+  // Missing numeric -> running mean of the clean rows seen so far
+  // (repaired rows never feed the statistics back).
+  EXPECT_DOUBLE_EQ(r->record(2).values[0], 2.0);
+  // Missing categorical -> majority among clean rows (red, index 0).
+  EXPECT_DOUBLE_EQ(r->record(3).values[1], 0.0);
+  // Unknown label -> majority class; the yes/no tie resolves to the
+  // lowest class index ("no" = 0) so imputation is deterministic.
+  EXPECT_EQ(r->record(4).label, 0);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ErrorPolicyStopsAtFirstBadRow) {
+  std::string path = WriteTempCsv("hom_io_strict.csv",
+                                  "x,color,class\n"
+                                  "1.0,red,yes\n"
+                                  "inf,red,yes\n");
+  CsvReadOptions options;
+  options.policy = InputPolicy::kError;
+  auto r = ReadCsv(MixedSchema(), path, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("hom_io_strict.csv:3"),
+            std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SanitizeTest, PolicyNamesRoundTrip) {
+  for (InputPolicy policy : {InputPolicy::kError, InputPolicy::kSkip,
+                             InputPolicy::kImputeMajority}) {
+    auto back = InputPolicyFromName(InputPolicyName(policy));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, policy);
+  }
+  EXPECT_FALSE(InputPolicyFromName("lenient").ok());
+}
+
+TEST(SanitizeTest, RepairFixesEveryDefectKind) {
+  InputSanitizer sanitizer(MixedSchema());
+  Record clean;
+  clean.values = {2.0, 1.0};
+  clean.label = 1;
+  sanitizer.Learn(clean);
+  sanitizer.Learn(clean);
+
+  Record dirty;
+  dirty.values = {std::numeric_limits<double>::quiet_NaN(), 7.0};
+  dirty.label = 12;
+  EXPECT_FALSE(sanitizer.IsClean(dirty));
+  InputSanitizer::Report report = sanitizer.Repair(&dirty);
+  EXPECT_TRUE(report.arity_ok);
+  EXPECT_EQ(report.repaired_fields, 2u);
+  EXPECT_TRUE(report.label_repaired);
+  EXPECT_TRUE(sanitizer.IsClean(dirty));
+  EXPECT_DOUBLE_EQ(dirty.values[0], 2.0);
+  EXPECT_DOUBLE_EQ(dirty.values[1], 1.0);
+  EXPECT_EQ(dirty.label, 1);
+
+  // Wrong arity is not repairable: flagged, left alone.
+  Record ragged;
+  ragged.values = {1.0};
+  InputSanitizer::Report bad = sanitizer.Repair(&ragged);
+  EXPECT_FALSE(bad.arity_ok);
+}
+
+TEST(SanitizeTest, StateRoundTripsThroughBinaryIo) {
+  SchemaPtr schema = MixedSchema();
+  InputSanitizer sanitizer(schema);
+  Record r;
+  r.values = {4.0, 2.0};
+  r.label = 0;
+  sanitizer.Learn(r);
+
+  std::stringstream buffer;
+  BinaryWriter writer(&buffer);
+  ASSERT_TRUE(sanitizer.SaveTo(&writer).ok());
+
+  InputSanitizer restored(schema);
+  BinaryReader reader(&buffer);
+  ASSERT_TRUE(restored.RestoreFrom(&reader).ok());
+
+  // The restored statistics impute exactly like the original's.
+  Record dirty;
+  dirty.values = {std::numeric_limits<double>::quiet_NaN(),
+                  std::numeric_limits<double>::quiet_NaN()};
+  dirty.label = -2;
+  restored.Repair(&dirty);
+  EXPECT_DOUBLE_EQ(dirty.values[0], 4.0);
+  EXPECT_DOUBLE_EQ(dirty.values[1], 2.0);
+  EXPECT_EQ(dirty.label, 0);
 }
 
 }  // namespace

@@ -243,5 +243,22 @@ TEST(SerializationTest, MissingFileIsIoError) {
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
+TEST(SerializationTest, SchemaFingerprintIsStableAndDiscriminating) {
+  // The fingerprint ties a serving checkpoint to its model: identical
+  // schemas must agree across independently built instances, different
+  // schemas must not collide.
+  StaggerGenerator a(1), b(2);
+  auto fp_a = SchemaFingerprint(*a.schema());
+  auto fp_b = SchemaFingerprint(*b.schema());
+  ASSERT_TRUE(fp_a.ok());
+  ASSERT_TRUE(fp_b.ok());
+  EXPECT_EQ(*fp_a, *fp_b);
+
+  IntrusionGenerator other(1);
+  auto fp_other = SchemaFingerprint(*other.schema());
+  ASSERT_TRUE(fp_other.ok());
+  EXPECT_NE(*fp_a, *fp_other);
+}
+
 }  // namespace
 }  // namespace hom

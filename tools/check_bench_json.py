@@ -16,6 +16,24 @@ problem. Only the Python standard library is used.
 import json
 import sys
 
+# The stable wire names of obs::EventType (src/obs/event_journal.cc).
+# journal.by_type keys must come from this set, so a renamed or misspelled
+# event surfaces here instead of silently forking the telemetry schema.
+KNOWN_EVENT_TYPES = {
+    "concept_switch",
+    "drift_suspected",
+    "drift_confirmed",
+    "model_reuse",
+    "model_relearn",
+    "hmm_prediction",
+    "window_error",
+    "input_rejected",
+    "input_imputed",
+    "checkpoint_save",
+    "checkpoint_load",
+    "fault_injected",
+}
+
 
 def _err(path, message):
     print(f"{path}: {message}")
@@ -118,6 +136,12 @@ def _check_journal(path, journal):
                 failures += _err(
                     path, f"journal.by_type[{name!r}]: expected a positive integer"
                 )
+            if name not in KNOWN_EVENT_TYPES:
+                failures += _err(
+                    path,
+                    f"journal.by_type[{name!r}]: unknown event type "
+                    f"(update KNOWN_EVENT_TYPES if obs::EventType grew)",
+                )
     return failures
 
 
@@ -203,6 +227,32 @@ def check_file(path):
                             f"{where}.values['threads']: expected a positive "
                             f"integer thread count, got {value!r}",
                         )
+                # Checkpoint bench rows (bench_checkpoint): latencies and
+                # sizes must be real measurements, not zeros from a
+                # short-circuited run.
+                if isinstance(row.get("name"), str) and row["name"].startswith(
+                    "checkpoint/"
+                ) and isinstance(values, dict):
+                    if not any(
+                        k.endswith("_ms") or k == "bytes" for k in values
+                    ):
+                        failures += _err(
+                            path,
+                            f"{where}: checkpoint row carries no *_ms or "
+                            f"'bytes' measurement",
+                        )
+                    for k in ("latency_ms", "bytes"):
+                        v = values.get(k)
+                        if v is not None and (
+                            isinstance(v, bool)
+                            or not isinstance(v, (int, float))
+                            or v <= 0
+                        ):
+                            failures += _err(
+                                path,
+                                f"{where}.values[{k!r}]: expected a positive "
+                                f"measurement, got {v!r}",
+                            )
 
     if "metrics" not in doc:
         failures += _err(path, "metrics: missing")

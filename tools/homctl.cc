@@ -9,9 +9,21 @@
 //                   [--journal-out events.jsonl] [--trace-out t.json]
 //                   [--latency-sample N]
 //   homctl inspect  --model model.hom
+//   homctl checkpoint ckpt.homc [--model model.hom]
+//   homctl chaos    [--seed S] [--trials N] [--dir scratch]
 //   homctl stats    build_metrics.json
 //   homctl tail     events.jsonl [--follow]
 //   homctl monitor  events.jsonl
+//
+// `evaluate` can persist its serving state (`--checkpoint-out c.homc`,
+// optionally every N records with `--checkpoint-every N`) and later pick
+// up exactly where it stopped (`--resume c.homc`, typically with
+// `--stop-after N` on the first run); the resumed run's predictions and
+// journal are identical to an uninterrupted one. `--input-policy`
+// chooses how malformed input is handled (error | skip |
+// impute-majority), `checkpoint` pretty-prints a saved checkpoint, and
+// `chaos` runs a seeded corruption sweep that proves damaged model and
+// checkpoint files are rejected with clean errors rather than crashes.
 //
 // Streams name one of the built-in benchmark generators (stagger,
 // hyperplane, intrusion, sea); their schema travels inside the model file,
@@ -53,12 +65,18 @@
 #include <utility>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "classifiers/decision_tree.h"
+#include "common/file_io.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "data/io.h"
+#include "data/sanitize.h"
 #include "eval/prequential.h"
+#include "fault/fault_injector.h"
 #include "highorder/builder.h"
+#include "highorder/checkpoint.h"
 #include "highorder/serialization.h"
 #include "obs/event_journal.h"
 #include "obs/json.h"
@@ -89,7 +107,8 @@ struct Args {
 /// Commands that accept one bare (non `--key value`) argument; everywhere
 /// else a bare token is a typo and parsing fails loudly.
 bool TakesPositional(const std::string& command) {
-  return command == "stats" || command == "tail" || command == "monitor";
+  return command == "stats" || command == "tail" || command == "monitor" ||
+         command == "checkpoint";
 }
 
 /// Flags that take no value; their presence sets the option to "1".
@@ -272,8 +291,25 @@ int CmdEvaluate(const Args& args) {
 
   auto model = LoadHighOrderModelFromFile(model_path);
   if (!model.ok()) return Fail(model.status().ToString());
-  auto test = ReadCsv((*model)->schema(), in);
+
+  auto policy = InputPolicyFromName(args.Get("input-policy", "skip"));
+  if (!policy.ok()) return Fail(policy.status().ToString());
+  (*model)->set_input_policy(*policy);
+
+  CsvReadOptions csv_options;
+  csv_options.policy = *policy;
+  CsvReadReport csv_report;
+  auto test = ReadCsv((*model)->schema(), in, csv_options, &csv_report);
   if (!test.ok()) return Fail(test.status().ToString());
+  if (csv_report.rows_skipped > 0 || csv_report.rows_imputed > 0) {
+    std::printf("input: %llu rows skipped, %llu imputed (of %llu read)\n",
+                static_cast<unsigned long long>(csv_report.rows_skipped),
+                static_cast<unsigned long long>(csv_report.rows_imputed),
+                static_cast<unsigned long long>(csv_report.rows_read));
+    for (const std::string& sample : csv_report.sample_errors) {
+      std::fprintf(stderr, "homctl: input: %s\n", sample.c_str());
+    }
+  }
 
   if (args.Has("latency-sample")) {
     (*model)->set_latency_sample_period(
@@ -294,7 +330,74 @@ int CmdEvaluate(const Args& args) {
   PrequentialOptions options;
   options.labeled_fraction = labeled > 0 ? labeled : 1.0;
   options.track_concept_stats = true;
+  options.stop_after =
+      static_cast<uint64_t>(std::atoll(args.Get("stop-after", "0")));
+
+  // Resume: reinstate classifier + harness state from a checkpoint, then
+  // let RunPrequential's start_record skip the already-scored prefix so
+  // the resumed run continues the same prequential bookkeeping.
+  std::shared_ptr<OnlineConceptStats> concept_stats;
+  if (args.Has("resume")) {
+    std::string resume_path = args.Get("resume", "");
+    auto ckpt = LoadCheckpointFromFile(resume_path);
+    if (!ckpt.ok()) return Fail(ckpt.status().ToString());
+    if (Status st = ApplyCheckpoint(*ckpt, model->get()); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    options.start_record = ckpt->stream_offset;
+    options.carry_errors = ckpt->num_errors;
+    options.carry_window_errors = ckpt->window_errors;
+    options.carry_window_fill = ckpt->window_fill;
+    concept_stats = ckpt->concept_stats;
+    std::printf("resumed from %s at record %llu (%llu errors so far)\n",
+                resume_path.c_str(),
+                static_cast<unsigned long long>(ckpt->stream_offset),
+                static_cast<unsigned long long>(ckpt->num_errors));
+  }
+  // The harness needs a stats object we can also reach from the
+  // checkpoint callback, so always pass one in explicitly.
+  if (concept_stats == nullptr) {
+    concept_stats = std::make_shared<OnlineConceptStats>(
+        (*model)->num_classes(), options.journal_error_window);
+  }
+  options.resume_concept_stats = concept_stats;
+
+  // Checkpointing: save serving state every --checkpoint-every records
+  // (and always once more at the end of the run).
+  std::string ckpt_out = args.Get("checkpoint-out", "");
+  bool ckpt_failed = false;
+  auto save_checkpoint = [&](const PrequentialProgress& progress) {
+    auto ckpt = CaptureCheckpoint(**model);
+    if (ckpt.ok()) {
+      ckpt->stream_offset = progress.record;
+      ckpt->num_errors = progress.num_errors;
+      ckpt->window_errors = progress.window_errors;
+      ckpt->window_fill = progress.window_fill;
+      ckpt->concept_stats = concept_stats;
+      Status st = SaveCheckpointToFile(ckpt_out, *ckpt);
+      if (st.ok()) return;
+      std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                   ckpt.status().ToString().c_str());
+    }
+    ckpt_failed = true;
+  };
+  if (!ckpt_out.empty()) {
+    options.checkpoint_every =
+        static_cast<uint64_t>(std::atoll(args.Get("checkpoint-every", "0")));
+    options.on_checkpoint = save_checkpoint;
+  }
+
   PrequentialResult result = RunPrequential(model->get(), *test, options);
+  if (!ckpt_out.empty()) {
+    save_checkpoint({result.num_records, result.num_errors,
+                     result.window_errors_carry, result.window_fill_carry});
+    if (ckpt_failed) return Fail("checkpoint save failed (see above)");
+    std::printf("checkpoint: wrote %s at record %zu\n", ckpt_out.c_str(),
+                result.num_records);
+  }
   std::printf("prequential error %.5f over %zu records (%.3fs, %zu "
               "concepts)\n",
               result.error_rate(), result.num_records, result.seconds,
@@ -356,6 +459,201 @@ int CmdInspect(const Args& args) {
                 c, cm.error, cm.training_records, stats.mean_length(c),
                 stats.frequency(c), cm.model->TypeTag().c_str(),
                 cm.model->ComplexityHint());
+  }
+  return 0;
+}
+
+/// `homctl checkpoint ckpt.homc` (or `--in ckpt.homc`): human-readable
+/// digest of a serving checkpoint — does not need the model file, but
+/// cannot verify the fingerprint without it (pass --model to check).
+int CmdCheckpoint(const Args& args) {
+  std::string in = args.Get("in", args.positional.c_str());
+  if (in.empty()) return Fail("checkpoint requires a checkpoint file");
+  auto ckpt = LoadCheckpointFromFile(in);
+  if (!ckpt.ok()) return Fail(ckpt.status().ToString());
+
+  std::printf("serving checkpoint: %s\n", in.c_str());
+  std::printf("schema fingerprint: %08x\n", ckpt->schema_fingerprint);
+  std::printf("stream offset: %llu records, %llu errors (%.5f)\n",
+              static_cast<unsigned long long>(ckpt->stream_offset),
+              static_cast<unsigned long long>(ckpt->num_errors),
+              ckpt->stream_offset > 0
+                  ? static_cast<double>(ckpt->num_errors) /
+                        static_cast<double>(ckpt->stream_offset)
+                  : 0.0);
+  std::printf("window carry: %llu errors in %llu records\n",
+              static_cast<unsigned long long>(ckpt->window_errors),
+              static_cast<unsigned long long>(ckpt->window_fill));
+  const HighOrderRuntimeState& rt = ckpt->runtime;
+  std::printf("runtime: %zu concepts, %llu observations, %llu predictions, "
+              "%llu base evaluations\n",
+              rt.weights.size(),
+              static_cast<unsigned long long>(rt.observations),
+              static_cast<unsigned long long>(rt.predictions),
+              static_cast<unsigned long long>(rt.base_evaluations));
+  std::printf("runtime: top concept %lld, drift_suspected=%d, "
+              "last_prediction=%d\n",
+              static_cast<long long>(rt.last_top_concept),
+              rt.drift_suspected ? 1 : 0, rt.last_prediction);
+  for (size_t c = 0; c < rt.weights.size(); ++c) {
+    std::printf("  concept %zu: prior=%.4f posterior=%.4f weight=%.4f\n", c,
+                rt.prior[c], rt.posterior[c], rt.weights[c]);
+  }
+  std::printf("sanitizer state: %s (%zu bytes)\n",
+              ckpt->sanitizer_state.empty() ? "absent" : "captured",
+              ckpt->sanitizer_state.size());
+  if (ckpt->concept_stats != nullptr) {
+    std::printf("concept stats: %llu records, %llu switches, current "
+                "concept %lld\n",
+                static_cast<unsigned long long>(
+                    ckpt->concept_stats->total_records()),
+                static_cast<unsigned long long>(
+                    ckpt->concept_stats->total_switches()),
+                static_cast<long long>(ckpt->concept_stats->current_concept()));
+  } else {
+    std::printf("concept stats: absent\n");
+  }
+  if (args.Has("model")) {
+    auto model = LoadHighOrderModelFromFile(args.Get("model", ""));
+    if (!model.ok()) return Fail(model.status().ToString());
+    auto expected = SchemaFingerprint(*(*model)->schema());
+    if (!expected.ok()) return Fail(expected.status().ToString());
+    if (*expected != ckpt->schema_fingerprint) {
+      return Fail("fingerprint mismatch: model has " +
+                  std::to_string(*expected) + ", checkpoint has " +
+                  std::to_string(ckpt->schema_fingerprint));
+    }
+    std::printf("fingerprint matches %s\n", args.Get("model", ""));
+  }
+  return 0;
+}
+
+/// `homctl chaos --seed S --trials N [--dir scratch]`: self-contained
+/// corruption sweep. Builds a small model and checkpoint in a scratch
+/// directory, then repeatedly clobbers copies of them (bit flips,
+/// truncation) and feeds the classifier mangled records. Every trial must
+/// end in a clean error Status or a policy-handled record; any corrupted
+/// artifact that loads successfully is a robustness bug and fails the
+/// sweep. Deterministic per seed, so failures reproduce exactly.
+int CmdChaos(const Args& args) {
+  uint64_t seed = static_cast<uint64_t>(std::atoll(args.Get("seed", "42")));
+  size_t trials = static_cast<size_t>(std::atoll(args.Get("trials", "30")));
+  std::string dir = args.Get("dir", "homctl_chaos.tmp");
+  ::mkdir(dir.c_str(), 0775);  // EEXIST is fine; writes below will catch ENOENT
+
+  // Fixture: a small STAGGER model plus a checkpoint taken mid-stream.
+  std::unique_ptr<StreamGenerator> gen = MakeGenerator("stagger", seed, 0);
+  Dataset history = gen->Generate(3000);
+  HighOrderModelBuilder builder(DecisionTree::Factory(), {});
+  Rng build_rng(seed);
+  auto model = builder.Build(history, &build_rng, nullptr);
+  if (!model.ok()) return Fail(model.status().ToString());
+  std::string model_path = dir + "/chaos_model.hom";
+  if (Status st = SaveHighOrderModelToFile(model_path, **model); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  Dataset online = gen->Generate(800);
+  PrequentialOptions warmup;
+  PrequentialResult warm = RunPrequential(model->get(), online, warmup);
+  auto ckpt = CaptureCheckpoint(**model);
+  if (!ckpt.ok()) return Fail(ckpt.status().ToString());
+  ckpt->stream_offset = warm.num_records;
+  ckpt->num_errors = warm.num_errors;
+  ckpt->window_errors = warm.window_errors_carry;
+  ckpt->window_fill = warm.window_fill_carry;
+  std::string ckpt_path = dir + "/chaos_ckpt.homc";
+  if (Status st = SaveCheckpointToFile(ckpt_path, *ckpt); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  auto model_bytes = ReadFileToString(model_path);
+  if (!model_bytes.ok()) return Fail(model_bytes.status().ToString());
+  auto ckpt_bytes = ReadFileToString(ckpt_path);
+  if (!ckpt_bytes.ok()) return Fail(ckpt_bytes.status().ToString());
+
+  FaultInjector injector(seed);
+  size_t rejected = 0;   // corrupted artifact -> clean error Status
+  size_t handled = 0;    // mangled record -> policy-handled, no crash
+  size_t tolerated = 0;  // corrupted optional checkpoint section ignored
+  size_t survived = 0;   // corruption loaded fine: robustness bug
+  for (size_t trial = 0; trial < trials; ++trial) {
+    switch (trial % 3) {
+      case 0: {  // model file corruption must never load
+        if (Status st = AtomicWriteFile(model_path, *model_bytes); !st.ok()) {
+          return Fail(st.ToString());
+        }
+        auto what = injector.rng().NextBernoulli(0.5)
+                        ? injector.BitFlipFile(model_path)
+                        : injector.TruncateFile(model_path);
+        if (!what.ok()) return Fail(what.status().ToString());
+        auto reload = LoadHighOrderModelFromFile(model_path);
+        if (reload.ok()) {
+          ++survived;
+          std::fprintf(stderr,
+                       "homctl: chaos trial %zu: model loaded after we %s\n",
+                       trial, what->c_str());
+        } else {
+          ++rejected;
+          std::printf("trial %-3zu model      %-40s -> %s\n", trial,
+                      what->c_str(),
+                      StatusCodeToString(reload.status().code()));
+        }
+        break;
+      }
+      case 1: {  // checkpoint corruption: error, or an ignored optional
+                 // section (its payload still passed CRC) — never a crash
+        if (Status st = AtomicWriteFile(ckpt_path, *ckpt_bytes); !st.ok()) {
+          return Fail(st.ToString());
+        }
+        auto what = injector.rng().NextBernoulli(0.5)
+                        ? injector.BitFlipFile(ckpt_path)
+                        : injector.TruncateFile(ckpt_path);
+        if (!what.ok()) return Fail(what.status().ToString());
+        auto reload = LoadCheckpointFromFile(ckpt_path);
+        Status outcome = reload.ok()
+                             ? ApplyCheckpoint(*reload, model->get())
+                             : reload.status();
+        if (outcome.ok()) {
+          ++tolerated;
+          std::printf("trial %-3zu checkpoint %-40s -> tolerated "
+                      "(optional section dropped)\n",
+                      trial, what->c_str());
+        } else {
+          ++rejected;
+          std::printf("trial %-3zu checkpoint %-40s -> %s\n", trial,
+                      what->c_str(), StatusCodeToString(outcome.code()));
+        }
+        break;
+      }
+      default: {  // mangled record through Predict + ObserveLabeled
+        (*model)->set_input_policy(injector.rng().NextBernoulli(0.5)
+                                       ? InputPolicy::kSkip
+                                       : InputPolicy::kImputeMajority);
+        Record record =
+            online.record(injector.rng().NextBounded(
+                static_cast<uint32_t>(online.size())));
+        std::string what = injector.CorruptRecord(&record);
+        Label prediction = (*model)->Predict(record);
+        (*model)->ObserveLabeled(record);
+        ++handled;
+        std::printf("trial %-3zu record     %-40s -> predicted %d\n", trial,
+                    what.c_str(), prediction);
+        break;
+      }
+    }
+  }
+  // Leave the pristine fixtures behind for post-mortem inspection.
+  if (Status st = AtomicWriteFile(model_path, *model_bytes); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  if (Status st = AtomicWriteFile(ckpt_path, *ckpt_bytes); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("chaos: %zu trials, %zu rejected, %zu records handled, "
+              "%zu tolerated, %zu survived corruption\n",
+              trials, rejected, handled, tolerated, survived);
+  if (survived > 0) {
+    return Fail("corrupted artifacts loaded successfully: " +
+                std::to_string(survived) + " of " + std::to_string(trials));
   }
   return 0;
 }
@@ -567,22 +865,31 @@ int main(int argc, char** argv) {
   if (args->command == "build") return CmdBuild(*args);
   if (args->command == "evaluate") return CmdEvaluate(*args);
   if (args->command == "inspect") return CmdInspect(*args);
+  if (args->command == "checkpoint") return CmdCheckpoint(*args);
+  if (args->command == "chaos") return CmdChaos(*args);
   if (args->command == "stats") return CmdStats(*args);
   if (args->command == "tail") return CmdTail(*args, /*follow=*/false);
   if (args->command == "monitor") return CmdTail(*args, /*follow=*/true);
   std::fprintf(stderr,
-               "usage: homctl <generate|build|evaluate|inspect|stats|tail|"
-               "monitor> [--verbose] [--key value ...]\n"
-               "  generate --stream s --n N --seed S [--lambda L] --out f.csv\n"
-               "  build    --stream s --in hist.csv --out model.hom"
+               "usage: homctl <generate|build|evaluate|inspect|checkpoint|"
+               "chaos|stats|tail|monitor> [--verbose] [--key value ...]\n"
+               "  generate   --stream s --n N --seed S [--lambda L] --out "
+               "f.csv\n"
+               "  build      --stream s --in hist.csv --out model.hom"
                " [--threads N] [--metrics-out m.json] [--trace-out t.json]\n"
-               "  evaluate --model model.hom --in test.csv [--labeled 0.1]"
+               "  evaluate   --model model.hom --in test.csv [--labeled 0.1]"
                " [--metrics-out m.json]\n"
-               "           [--journal-out e.jsonl] [--trace-out t.json]"
+               "             [--journal-out e.jsonl] [--trace-out t.json]"
                " [--latency-sample N]\n"
-               "  inspect  --model model.hom\n"
-               "  stats    m.json\n"
-               "  tail     e.jsonl [--follow]\n"
-               "  monitor  e.jsonl\n");
+               "             [--input-policy error|skip|impute-majority]"
+               " [--stop-after N]\n"
+               "             [--checkpoint-out c.homc] [--checkpoint-every N]"
+               " [--resume c.homc]\n"
+               "  inspect    --model model.hom\n"
+               "  checkpoint c.homc [--model model.hom]\n"
+               "  chaos      [--seed S] [--trials N] [--dir scratch]\n"
+               "  stats      m.json\n"
+               "  tail       e.jsonl [--follow]\n"
+               "  monitor    e.jsonl\n");
   return args->command.empty() ? 1 : 2;
 }
