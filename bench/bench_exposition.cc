@@ -1,0 +1,231 @@
+// Introspection-surface microbench (PR5 observability): what does live
+// monitoring cost? Measures (a) Prometheus text-encode latency as the
+// registry grows — the /metrics handler is Snapshot() + encode, so this is
+// the per-scrape cost floor — and (b) the overhead continuous scraping adds
+// to the Stagger online path, the acceptance criterion of the scrape-under-
+// load gate. The online error rides along as a correctness anchor: serving
+// introspection must not change predictions.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "common/check.h"
+#include "eval/prequential.h"
+#include "eval/serving_status.h"
+#include "highorder/builder.h"
+#include "highorder/highorder_classifier.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using namespace hom;
+using hom::bench::BenchReporter;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Synthesizes a snapshot with `series` total series, in the shape a real
+/// serving registry has: mostly labeled counters, some gauges, a few
+/// histograms (each histogram contributes bounds+3 samples when encoded).
+obs::MetricsSnapshot SyntheticSnapshot(size_t series) {
+  obs::MetricsSnapshot snap;
+  size_t histograms = series / 20;
+  size_t gauges = series / 4;
+  size_t counters = series - histograms - gauges;
+  for (size_t i = 0; i < counters; ++i) {
+    snap.labeled_counters[obs::SeriesKey{
+        "hom.bench.counter_" + std::to_string(i % 16),
+        {{"concept", std::to_string(i)}}}] = i;
+  }
+  for (size_t i = 0; i < gauges; ++i) {
+    snap.labeled_gauges[obs::SeriesKey{
+        "hom.bench.gauge_" + std::to_string(i % 8),
+        {{"concept", std::to_string(i)}}}] = 0.5 * static_cast<double>(i);
+  }
+  obs::MetricsSnapshot::HistogramData h;
+  h.bounds = {10, 100, 1000, 10000, 100000};
+  h.counts = {5, 10, 20, 10, 5, 1};
+  h.count = 51;
+  h.sum = 123456.0;
+  for (size_t i = 0; i < histograms; ++i) {
+    snap.labeled_histograms[obs::SeriesKey{
+        "hom.bench.hist", {{"shard", std::to_string(i)}}}] = h;
+  }
+  return snap;
+}
+
+/// Minimal blocking GET used by the scraper thread; returns bytes read
+/// (0 on any failure — the bench only needs throughput, not parsing).
+size_t ScrapeOnce(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  size_t total = 0;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char req[] = "GET /metrics HTTP/1.1\r\nHost: b\r\n\r\n";
+    if (::send(fd, req, sizeof(req) - 1, 0) > 0) {
+      char buf[8192];
+      ssize_t n;
+      while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        total += static_cast<size_t>(n);
+      }
+    }
+  }
+  ::close(fd);
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  BenchReporter reporter("bench_exposition");
+  reporter.SetScale(scale);
+  std::printf("== exposition: cost of live introspection ==\n");
+  PrintRule(64);
+
+  // --- (a) encode latency vs series count. Encoding is pure function of
+  // the snapshot, so synthetic snapshots isolate it from Snapshot().
+  for (size_t series : {100, 1000, 5000}) {
+    obs::MetricsSnapshot snap = SyntheticSnapshot(series);
+    std::string text = obs::EncodePrometheusText(snap);  // warm / size probe
+    size_t reps = series >= 5000 ? 50 : 200;
+    auto t0 = std::chrono::steady_clock::now();
+    size_t sink = 0;
+    for (size_t i = 0; i < reps; ++i) {
+      sink += obs::EncodePrometheusText(snap).size();
+    }
+    double ms = MsSince(t0) / static_cast<double>(reps);
+    HOM_CHECK(sink == reps * text.size());
+    std::string row = "encode/series_" + std::to_string(series);
+    std::printf("%-36s %10.4f ms  (%zu bytes)\n", row.c_str(), ms,
+                text.size());
+    reporter.AddValue(row, "latency_ms", ms);
+    reporter.AddValue(row, "bytes", static_cast<double>(text.size()));
+  }
+
+  // --- (b) the Stagger online path, plain vs continuously scraped.
+  StaggerGenerator gen(88001);
+  Dataset history = gen.Generate(scale.stagger_history);
+  Dataset test = gen.Generate(scale.stagger_test);
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(29);
+  auto built = builder.Build(history, &rng);
+  if (!built.ok()) {
+    std::printf("build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  auto run_online = [&](HighOrderClassifier* model, uint64_t progress_every,
+                        ServingStatusBoard* board) {
+    PrequentialOptions options;
+    options.track_concept_stats = true;
+    if (board != nullptr) {
+      options.progress_every = progress_every;
+      options.on_progress = [model, board](const PrequentialProgress& p) {
+        ServingStatusBoard::Progress progress;
+        progress.records = p.record;
+        progress.errors = p.num_errors;
+        model->ExportServingStatus(&progress);
+        board->UpdateProgress(progress);
+      };
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    PrequentialResult result = RunPrequential(model, test, options);
+    return std::make_pair(MsSince(t0) / 1000.0, result);
+  };
+
+  auto [plain_s, plain] = run_online(built->get(), 0, nullptr);
+  std::printf("%-36s %10.4f s\n", "online (no server)", plain_s);
+  reporter.AddValue("online/plain", "seconds", plain_s);
+  reporter.AddValue("online/plain", "error", plain.error_rate());
+
+  // Fresh model instance for the scraped run so both start cold — same
+  // seed, so the two runs are bit-identical absent interference.
+  Rng rng2(29);
+  auto scraped_model = builder.Build(history, &rng2);
+  HOM_CHECK(scraped_model.ok());
+  ServingStatusBoard board;
+  board.SetStaticInfo("bench", "stagger", (*scraped_model)->num_classes());
+  board.SetState("serving");
+  obs::HttpServer server;
+  server.Handle("/metrics", [] {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::EncodePrometheusText(
+        obs::MetricsRegistry::Global().Snapshot());
+    return r;
+  });
+  HOM_CHECK(server.Start().ok());
+
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> scraped_bytes{0};
+  std::thread scraper([&] {
+    while (!stop_scraper.load(std::memory_order_relaxed)) {
+      size_t n = ScrapeOnce(server.port());
+      if (n > 0) {
+        ++scrapes;
+        scraped_bytes += n;
+      }
+    }
+  });
+
+  auto [scraped_s, scraped] = run_online(scraped_model->get(), 200, &board);
+  stop_scraper.store(true, std::memory_order_relaxed);
+  scraper.join();
+  server.Stop();
+
+  double per_scrape_kb =
+      scrapes.load() == 0
+          ? 0.0
+          : static_cast<double>(scraped_bytes.load()) / 1024.0 /
+                static_cast<double>(scrapes.load());
+  std::printf("%-36s %10.4f s  (%llu scrapes, %.1f KiB each)\n",
+              "online (scraped continuously)", scraped_s,
+              static_cast<unsigned long long>(scrapes.load()), per_scrape_kb);
+  reporter.AddValue("online/scraped", "seconds", scraped_s);
+  reporter.AddValue("online/scraped", "error", scraped.error_rate());
+  reporter.AddValue("online/scraped", "scrapes",
+                    static_cast<double>(scrapes.load()));
+
+  // The anchor the gate watches: introspection must not change the online
+  // path's predictions. Identical seeds => identical error counts.
+  reporter.AddValue("online/scraped", "error_delta_vs_plain",
+                    std::abs(scraped.error_rate() - plain.error_rate()));
+  if (scraped.num_errors != plain.num_errors) {
+    std::printf("SCRAPED RUN DIVERGED: %zu vs %zu errors\n",
+                scraped.num_errors, plain.num_errors);
+    return 1;
+  }
+
+  if (Status st = reporter.WriteJson(); !st.ok()) {
+    std::printf("telemetry write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -55,6 +55,11 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
       stopped_early = true;
       break;
     }
+    if (options.stop_flag != nullptr &&
+        options.stop_flag->load(std::memory_order_relaxed)) {
+      stopped_early = true;
+      break;
+    }
     // Predict with the label hidden: x_t.
     Record unlabeled = r;
     unlabeled.label = kUnlabeled;
@@ -93,6 +98,25 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
       progress.window_fill = window_fill;
       options.on_checkpoint(progress);
     }
+    if (options.progress_every > 0 && options.on_progress &&
+        result.num_records % options.progress_every == 0) {
+      PrequentialProgress progress;
+      progress.record = result.num_records;
+      progress.num_errors = result.num_errors;
+      progress.window_errors = window_errors;
+      progress.window_fill = window_fill;
+      options.on_progress(progress);
+    }
+  }
+  if (options.on_progress) {
+    // Final push so the board reflects the end of the run even when the
+    // record count is not a multiple of progress_every.
+    PrequentialProgress progress;
+    progress.record = result.num_records;
+    progress.num_errors = result.num_errors;
+    progress.window_errors = window_errors;
+    progress.window_fill = window_fill;
+    options.on_progress(progress);
   }
   result.window_errors_carry = window_errors;
   result.window_fill_carry = window_fill;

@@ -1,0 +1,180 @@
+#include "eval/serving_status.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hom {
+
+namespace {
+
+/// Cached per-concept gauge handle: one WithLabels() (mutex) per new
+/// concept id, relaxed atomic afterwards.
+obs::Gauge* ConceptGauge(const char* family_name, int64_t concept_id) {
+  return obs::MetricsRegistry::Global()
+      .GetGaugeFamily(family_name)
+      ->WithLabels({{"concept", std::to_string(concept_id)}});
+}
+
+}  // namespace
+
+ServingStatusBoard::ServingStatusBoard() : start_(Clock::now()) {}
+
+void ServingStatusBoard::SetStaticInfo(std::string model_path,
+                                       std::string input_path,
+                                       size_t num_concepts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  model_path_ = std::move(model_path);
+  input_path_ = std::move(input_path);
+  num_concepts_ = num_concepts;
+}
+
+void ServingStatusBoard::SetJournal(const obs::EventJournal* journal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_ = journal;
+}
+
+void ServingStatusBoard::SetState(std::string state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = std::move(state);
+}
+
+void ServingStatusBoard::UpdateProgress(const Progress& progress) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    progress_ = progress;
+  }
+  HOM_GAUGE_SET("hom.serving.records", progress.records);
+  HOM_GAUGE_SET("hom.serving.errors", progress.errors);
+  HOM_GAUGE_SET("hom.serving.error_rate",
+                progress.records == 0
+                    ? 0.0
+                    : static_cast<double>(progress.errors) /
+                          static_cast<double>(progress.records));
+  HOM_GAUGE_SET("hom.serving.active_concept", progress.active_concept);
+  for (size_t c = 0; c < progress.posterior.size(); ++c) {
+    ConceptGauge("hom.serving.posterior", static_cast<int64_t>(c))
+        ->Set(progress.posterior[c]);
+  }
+  for (size_t c = 0; c < progress.prior.size(); ++c) {
+    ConceptGauge("hom.serving.prior", static_cast<int64_t>(c))
+        ->Set(progress.prior[c]);
+  }
+}
+
+void ServingStatusBoard::UpdateConceptStats(const OnlineConceptStats& stats) {
+  obs::JsonValue json = stats.ToJson();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    concept_stats_json_ = std::move(json);
+    has_concept_stats_ = true;
+  }
+  for (const auto& [concept_id, entry] : stats.concepts()) {
+    ConceptGauge("hom.concept.records", concept_id)
+        ->Set(static_cast<double>(entry.records));
+    ConceptGauge("hom.concept.activations", concept_id)
+        ->Set(static_cast<double>(entry.activations));
+    ConceptGauge("hom.concept.error_rate", concept_id)
+        ->Set(entry.error_rate());
+    ConceptGauge("hom.concept.windowed_error_rate", concept_id)
+        ->Set(entry.windowed_error_rate());
+  }
+}
+
+void ServingStatusBoard::RecordCheckpoint(uint64_t record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_checkpoint_ = true;
+  checkpoint_record_ = record;
+  checkpoint_at_ = Clock::now();
+}
+
+double ServingStatusBoard::LastCheckpointAgeSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_checkpoint_) return -1.0;
+  return std::chrono::duration<double>(Clock::now() - checkpoint_at_).count();
+}
+
+obs::JsonValue ServingStatusBoard::HealthJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("status", obs::JsonValue("ok"));
+  out.Set("state", obs::JsonValue(state_));
+  out.Set("uptime_seconds",
+          obs::JsonValue(
+              std::chrono::duration<double>(Clock::now() - start_).count()));
+  out.Set("records", obs::JsonValue(progress_.records));
+  if (has_checkpoint_) {
+    out.Set("last_checkpoint_record", obs::JsonValue(checkpoint_record_));
+    out.Set("last_checkpoint_age_seconds",
+            obs::JsonValue(std::chrono::duration<double>(Clock::now() -
+                                                         checkpoint_at_)
+                               .count()));
+  } else {
+    out.Set("last_checkpoint_age_seconds", obs::JsonValue());
+  }
+  return out;
+}
+
+obs::JsonValue ServingStatusBoard::StatusJson(size_t last_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::JsonValue out = obs::JsonValue::Object();
+  out.Set("state", obs::JsonValue(state_));
+  out.Set("model", obs::JsonValue(model_path_));
+  out.Set("input", obs::JsonValue(input_path_));
+  out.Set("num_concepts",
+          obs::JsonValue(static_cast<uint64_t>(num_concepts_)));
+  out.Set("uptime_seconds",
+          obs::JsonValue(
+              std::chrono::duration<double>(Clock::now() - start_).count()));
+
+  obs::JsonValue progress = obs::JsonValue::Object();
+  progress.Set("records", obs::JsonValue(progress_.records));
+  progress.Set("errors", obs::JsonValue(progress_.errors));
+  progress.Set("error_rate",
+               obs::JsonValue(progress_.records == 0
+                                  ? 0.0
+                                  : static_cast<double>(progress_.errors) /
+                                        static_cast<double>(
+                                            progress_.records)));
+  progress.Set("active_concept", obs::JsonValue(progress_.active_concept));
+  obs::JsonValue prior = obs::JsonValue::Array();
+  for (double p : progress_.prior) prior.Append(obs::JsonValue(p));
+  progress.Set("prior", std::move(prior));
+  obs::JsonValue posterior = obs::JsonValue::Array();
+  for (double p : progress_.posterior) posterior.Append(obs::JsonValue(p));
+  progress.Set("posterior", std::move(posterior));
+  out.Set("progress", std::move(progress));
+
+  if (has_checkpoint_) {
+    obs::JsonValue checkpoint = obs::JsonValue::Object();
+    checkpoint.Set("record", obs::JsonValue(checkpoint_record_));
+    checkpoint.Set(
+        "age_seconds",
+        obs::JsonValue(
+            std::chrono::duration<double>(Clock::now() - checkpoint_at_)
+                .count()));
+    out.Set("checkpoint", std::move(checkpoint));
+  }
+
+  if (has_concept_stats_) {
+    out.Set("concept_stats", concept_stats_json_);
+  }
+
+  if (journal_ != nullptr) {
+    std::vector<obs::Event> events = journal_->Snapshot();
+    size_t begin =
+        events.size() > last_events ? events.size() - last_events : 0;
+    obs::JsonValue recent = obs::JsonValue::Array();
+    for (size_t i = begin; i < events.size(); ++i) {
+      // ToJsonl is the journal's canonical event serialization; reparse it
+      // so /statusz nests the same objects the JSONL sink writes.
+      auto parsed =
+          obs::JsonValue::Parse(obs::EventJournal::ToJsonl(events[i]));
+      if (parsed.ok()) recent.Append(std::move(parsed).ValueOrDie());
+    }
+    out.Set("recent_events", std::move(recent));
+  }
+  return out;
+}
+
+}  // namespace hom

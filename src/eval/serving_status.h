@@ -1,0 +1,91 @@
+#ifndef HOM_EVAL_SERVING_STATUS_H_
+#define HOM_EVAL_SERVING_STATUS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "eval/online_stats.h"
+#include "obs/event_journal.h"
+#include "obs/json.h"
+
+namespace hom {
+
+/// \brief Shared status of a live serving run, read by the introspection
+/// endpoints (/healthz, /statusz) while the prequential loop writes it.
+///
+/// The eval loop (or a classifier's ExportServingStatus) pushes progress in
+/// at a coarse cadence — every progress_every records, not per record — and
+/// HTTP handler threads read it out; one mutex around plain copies is all
+/// the synchronization that needs. Updates also publish the headline
+/// numbers as labeled gauges (`hom.serving.*`, `hom.concept.*{concept=i}`),
+/// so /metrics and /statusz describe the same run from the same data.
+class ServingStatusBoard {
+ public:
+  /// A progress push: stream position plus the drift filter's view.
+  struct Progress {
+    uint64_t records = 0;        ///< records scored so far
+    uint64_t errors = 0;         ///< of which wrong
+    int64_t active_concept = -1; ///< argmax prediction weight, -1 = none
+    std::vector<double> prior;     ///< P_t−(c), per concept
+    std::vector<double> posterior; ///< P_t(c), per concept
+  };
+
+  ServingStatusBoard();
+
+  /// Identity of the run, set once before serving starts.
+  void SetStaticInfo(std::string model_path, std::string input_path,
+                     size_t num_concepts);
+  /// Journal whose most recent events /statusz lists. The journal must
+  /// outlive the board (both are owned by the serving command).
+  void SetJournal(const obs::EventJournal* journal);
+  /// Lifecycle marker: "loading" -> "serving" -> "draining".
+  void SetState(std::string state);
+
+  /// Pushes the current stream position + filter state; also exports the
+  /// `hom.serving.*` gauges (posterior per concept as
+  /// `hom.serving.posterior{concept=...}`).
+  void UpdateProgress(const Progress& progress);
+  /// Mirrors per-concept online accounting into the board and the
+  /// `hom.concept.*{concept=...}` gauges.
+  void UpdateConceptStats(const OnlineConceptStats& stats);
+  /// Marks a completed checkpoint write at stream position `record`.
+  void RecordCheckpoint(uint64_t record);
+
+  /// Seconds since RecordCheckpoint was last called; negative (-1) if
+  /// never — /healthz reports it so an operator can alert on stalls.
+  double LastCheckpointAgeSeconds() const;
+
+  /// {"status": "ok", "state": ..., "uptime_seconds": ...,
+  ///  "records": ..., "last_checkpoint_age_seconds": ... | null}
+  obs::JsonValue HealthJson() const;
+
+  /// Full introspection payload: run identity, progress, drift-filter
+  /// prior/posterior, per-concept stats, and the journal's most recent
+  /// `last_events` events.
+  obs::JsonValue StatusJson(size_t last_events = 32) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  mutable std::mutex mu_;
+  Clock::time_point start_;
+  std::string model_path_;
+  std::string input_path_;
+  size_t num_concepts_ = 0;
+  std::string state_ = "loading";
+  Progress progress_;
+  obs::JsonValue concept_stats_json_;
+  bool has_concept_stats_ = false;
+  bool has_checkpoint_ = false;
+  uint64_t checkpoint_record_ = 0;
+  Clock::time_point checkpoint_at_;
+  const obs::EventJournal* journal_ = nullptr;
+};
+
+}  // namespace hom
+
+#endif  // HOM_EVAL_SERVING_STATUS_H_

@@ -90,8 +90,10 @@ Result<std::unique_ptr<HighOrderClassifier>> HighOrderModelBuilder::Build(
     // The tracer's root total includes Snapshot() overhead and report
     // assembly; pin it to the measured build time instead.
     report->phases.seconds = build_seconds;
-    report->counters =
-        obs::MetricsRegistry::Global().Snapshot().DeltaSince(before).counters;
+    report->counters = obs::MetricsRegistry::Global()
+                           .Snapshot()
+                           .DeltaSince(before)
+                           .CountersFlattened();
   }
   return classifier;
 }

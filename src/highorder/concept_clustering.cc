@@ -100,7 +100,8 @@ Result<ClusterNode> ConceptClusterer::MakeLeaf(const DatasetView& data,
   node.test = std::move(test);
   node.model = base_factory_(data.schema());
   HOM_RETURN_NOT_OK(node.model->Train(node.train));
-  HOM_COUNTER_INC("hom.cluster.classifiers_trained");
+  HOM_COUNTER_INC_LABELED("hom.cluster.classifiers_trained",
+                          {{"phase", "leaf"}});
   node.err = EstimateError(*node.model, node.test);
   node.err_star = node.err;
   return node;
@@ -120,11 +121,13 @@ Result<ClusterNode> ConceptClusterer::MergeNodes(const ClusterNode& u,
     // Section II-D: the tiny side barely changes the model; reuse the
     // large cluster's classifier instead of retraining on the union.
     w.model = large.model;
-    HOM_COUNTER_INC("hom.cluster.classifiers_reused");
+    HOM_COUNTER_INC_LABELED("hom.cluster.classifiers_reused",
+                            {{"phase", "merge"}});
   } else {
     std::unique_ptr<Classifier> fresh = base_factory_(w.data.schema());
     HOM_RETURN_NOT_OK(fresh->Train(w.train));
-    HOM_COUNTER_INC("hom.cluster.classifiers_trained");
+    HOM_COUNTER_INC_LABELED("hom.cluster.classifiers_trained",
+                            {{"phase", "merge"}});
     w.model = std::move(fresh);
   }
   w.err = EstimateError(*w.model, w.test);
@@ -140,7 +143,7 @@ Result<ClusterNode> ConceptClusterer::MergeNodes(const ClusterNode& u,
 Result<CandidateMerge> ConceptClusterer::ScoreAdjacentMerge(
     const ClusterNode& nu, const ClusterNode& nv, int32_t u,
     int32_t v) const {
-  HOM_COUNTER_INC("hom.cluster.step1.candidates");
+  HOM_COUNTER_INC_LABELED("hom.cluster.candidates", {{"step", "1"}});
   DatasetView train = DatasetView::Union(nu.train, nv.train);
   DatasetView test = DatasetView::Union(nu.test, nv.test);
   // Training the union classifier here is what makes step-1 candidates
@@ -152,12 +155,14 @@ Result<CandidateMerge> ConceptClusterer::ScoreAdjacentMerge(
   if (config_.reuse_on_unbalanced_merge &&
       static_cast<double>(big->data.size()) >=
           config_.reuse_ratio * static_cast<double>(tiny->data.size())) {
-    HOM_COUNTER_INC("hom.cluster.classifiers_reused");
+    HOM_COUNTER_INC_LABELED("hom.cluster.classifiers_reused",
+                            {{"phase", "score"}});
     err_w = EstimateError(*big->model, test);
   } else {
     std::unique_ptr<Classifier> model = base_factory_(train.schema());
     HOM_RETURN_NOT_OK(model->Train(train));
-    HOM_COUNTER_INC("hom.cluster.classifiers_trained");
+    HOM_COUNTER_INC_LABELED("hom.cluster.classifiers_trained",
+                            {{"phase", "score"}});
     err_w = EstimateError(*model, test);
   }
   double size_w = static_cast<double>(nu.data.size() + nv.data.size());
@@ -278,7 +283,7 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
           ClusterNode merged,
           MergeNodes(dendro1.node(cand.u), dendro1.node(cand.v)));
       int32_t wid = dendro1.AddMerge(cand.u, cand.v, std::move(merged));
-      HOM_COUNTER_INC("hom.cluster.step1.merges");
+      HOM_COUNTER_INC_LABELED("hom.cluster.merges", {{"step", "1"}});
       queue1.Retire(cand.u);
       queue1.Retire(cand.v);
       queue1.RegisterCluster(wid);
@@ -464,7 +469,7 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
                       << merged.err << " err*=" << merged.err_star;
       sim_cache_misses += fill_sample_predictions(&merged);
       int32_t wid = dendro2.AddMerge(cand.u, cand.v, std::move(merged));
-      HOM_COUNTER_INC("hom.cluster.step2.merges");
+      HOM_COUNTER_INC_LABELED("hom.cluster.merges", {{"step", "2"}});
       queue2.Retire(cand.u);
       queue2.Retire(cand.v);
       queue2.RegisterCluster(wid);
@@ -487,7 +492,8 @@ Result<ConceptClusteringResult> ConceptClusterer::Cluster(
       }
       live.push_back(wid);
     }
-    HOM_COUNTER_ADD("hom.cluster.step2.candidates", step2_candidates);
+    HOM_COUNTER_ADD_LABELED("hom.cluster.candidates", step2_candidates,
+                            {{"step", "2"}});
   }
 
   std::vector<int32_t> concept_ids;

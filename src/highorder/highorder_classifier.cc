@@ -144,6 +144,16 @@ void HighOrderClassifier::RefreshWeights() {
                       static_cast<int64_t>(top), top_weight);
     drift_suspected_ = false;
     HOM_COUNTER_INC("hom.online.concept_switches");
+#ifndef HOM_DISABLE_METRICS
+    // Per-destination breakdown of the aggregate above. Switches fire at
+    // concept-transition granularity, so the WithLabels mutex is nowhere
+    // near the hot path; the label value set is bounded by the (small,
+    // fixed) concept count.
+    obs::MetricsRegistry::Global()
+        .GetCounterFamily("hom.online.concept_switches")
+        ->WithLabels({{"concept", std::to_string(top)}})
+        ->Add();
+#endif
   } else if (!drift_suspected_ && top_weight < options_.drift_suspect_weight) {
     obs::EmitIfActive(obs::EventType::kDriftSuspected, "highorder", record,
                       static_cast<int64_t>(top), -1, top_weight);
@@ -239,6 +249,13 @@ int64_t HighOrderClassifier::ActiveConcept() const {
   return last_top_concept_ == static_cast<size_t>(-1)
              ? -1
              : static_cast<int64_t>(last_top_concept_);
+}
+
+void HighOrderClassifier::ExportServingStatus(
+    ServingStatusBoard::Progress* progress) const {
+  progress->active_concept = ActiveConcept();
+  progress->prior = tracker_.prior();
+  progress->posterior = tracker_.posterior();
 }
 
 void HighOrderClassifier::set_latency_sample_period(size_t period) {

@@ -8,6 +8,7 @@
 #include "classifiers/classifier.h"
 #include "common/result.h"
 #include "data/sanitize.h"
+#include "eval/serving_status.h"
 #include "eval/stream_classifier.h"
 #include "highorder/active_probability.h"
 
@@ -128,6 +129,12 @@ class HighOrderClassifier : public StreamClassifier {
   /// values are non-finite/out of range (a corrupt or mismatched
   /// checkpoint), leaving the classifier untouched.
   Status RestoreRuntimeState(const HighOrderRuntimeState& state);
+
+  /// Fills the drift-filter view of a ServingStatusBoard::Progress — the
+  /// active concept and the Markov filter's prior/posterior — leaving the
+  /// stream counts (records/errors) to the caller, which owns them. Pure
+  /// read; the serving loop calls it from its progress callback.
+  void ExportServingStatus(ServingStatusBoard::Progress* progress) const;
 
   /// Serialized imputation statistics, checkpointed alongside the runtime
   /// state so majority imputation survives a restart.

@@ -12,6 +12,7 @@ constexpr std::string_view kTypeNames[kNumEventTypes] = {
     "concept_switch", "drift_suspected",  "drift_confirmed", "model_reuse",
     "model_relearn",  "hmm_prediction",   "window_error",    "input_rejected",
     "input_imputed",  "checkpoint_save",  "checkpoint_load", "fault_injected",
+    "server_start",   "server_stop",
 };
 
 }  // namespace

@@ -32,9 +32,11 @@ enum class EventType : uint8_t {
   kCheckpointSave,     ///< serving state was persisted (`record` = position)
   kCheckpointLoad,     ///< serving state was restored (`record` = position)
   kFaultInjected,      ///< the chaos harness injected a fault (tests only)
+  kServerStart,        ///< introspection HTTP server up (`to` = port)
+  kServerStop,         ///< introspection HTTP server shut down
 };
 
-inline constexpr size_t kNumEventTypes = 12;
+inline constexpr size_t kNumEventTypes = 14;
 
 /// Stable wire name of an event type ("concept_switch", ...).
 std::string_view EventTypeName(EventType type);

@@ -1,0 +1,197 @@
+#include "obs/exposition.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace hom::obs {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// `{k1="v1",k2="v2"}` or "" for an empty set; `extra` (the histogram `le`
+/// label) is appended last.
+std::string LabelBlock(const LabelSet& labels, const Label* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += label.first;
+    out += "=\"";
+    out += EscapeLabelValue(label.second);
+    out += '"';
+  }
+  if (extra != nullptr) {
+    if (!first) out += ',';
+    out += extra->first;
+    out += "=\"";
+    out += EscapeLabelValue(extra->second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const LabelSet& labels, double value,
+                  const Label* extra = nullptr) {
+  *out += name;
+  *out += LabelBlock(labels, extra);
+  *out += ' ';
+  *out += FormatPrometheusValue(value);
+  *out += '\n';
+}
+
+void AppendHistogram(std::string* out, const std::string& prom_name,
+                     const LabelSet& labels,
+                     const MetricsSnapshot::HistogramData& h) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    cumulative += h.counts[i];
+    Label le{"le", i < h.bounds.size() ? FormatPrometheusValue(h.bounds[i])
+                                       : std::string("+Inf")};
+    AppendSample(out, prom_name + "_bucket", labels,
+                 static_cast<double>(cumulative), &le);
+  }
+  AppendSample(out, prom_name + "_sum", labels, h.sum);
+  AppendSample(out, prom_name + "_count", labels,
+               static_cast<double>(h.count));
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatPrometheusValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+std::string EncodePrometheusText(const MetricsSnapshot& snapshot) {
+  static const LabelSet kNoLabels;
+  std::string out;
+
+  // One family = one registry name; counters, gauges, and histograms live
+  // in disjoint name sections of the snapshot, and within each section the
+  // unlabeled map and the labeled map (ordered by SeriesKey: name first)
+  // are walked as one merged, name-sorted sequence.
+
+  {
+    auto plain = snapshot.counters.begin();
+    auto labeled = snapshot.labeled_counters.begin();
+    std::string current;
+    auto header = [&](const std::string& name) {
+      if (name == current) return;
+      current = name;
+      out += "# TYPE " + PrometheusMetricName(name) + "_total counter\n";
+    };
+    while (plain != snapshot.counters.end() ||
+           labeled != snapshot.labeled_counters.end()) {
+      // Unlabeled first within a family (operator< would order them later
+      // only if a labeled series of an earlier name existed).
+      if (labeled == snapshot.labeled_counters.end() ||
+          (plain != snapshot.counters.end() &&
+           plain->first <= labeled->first.name)) {
+        header(plain->first);
+        AppendSample(&out, PrometheusMetricName(plain->first) + "_total",
+                     kNoLabels, static_cast<double>(plain->second));
+        ++plain;
+      } else {
+        header(labeled->first.name);
+        AppendSample(&out, PrometheusMetricName(labeled->first.name) + "_total",
+                     labeled->first.labels,
+                     static_cast<double>(labeled->second));
+        ++labeled;
+      }
+    }
+  }
+
+  {
+    auto plain = snapshot.gauges.begin();
+    auto labeled = snapshot.labeled_gauges.begin();
+    std::string current;
+    auto header = [&](const std::string& name) {
+      if (name == current) return;
+      current = name;
+      out += "# TYPE " + PrometheusMetricName(name) + " gauge\n";
+    };
+    while (plain != snapshot.gauges.end() ||
+           labeled != snapshot.labeled_gauges.end()) {
+      if (labeled == snapshot.labeled_gauges.end() ||
+          (plain != snapshot.gauges.end() &&
+           plain->first <= labeled->first.name)) {
+        header(plain->first);
+        AppendSample(&out, PrometheusMetricName(plain->first), kNoLabels,
+                     plain->second);
+        ++plain;
+      } else {
+        header(labeled->first.name);
+        AppendSample(&out, PrometheusMetricName(labeled->first.name),
+                     labeled->first.labels, labeled->second);
+        ++labeled;
+      }
+    }
+  }
+
+  {
+    auto plain = snapshot.histograms.begin();
+    auto labeled = snapshot.labeled_histograms.begin();
+    std::string current;
+    auto header = [&](const std::string& name) {
+      if (name == current) return;
+      current = name;
+      out += "# TYPE " + PrometheusMetricName(name) + " histogram\n";
+    };
+    while (plain != snapshot.histograms.end() ||
+           labeled != snapshot.labeled_histograms.end()) {
+      if (labeled == snapshot.labeled_histograms.end() ||
+          (plain != snapshot.histograms.end() &&
+           plain->first <= labeled->first.name)) {
+        header(plain->first);
+        AppendHistogram(&out, PrometheusMetricName(plain->first), kNoLabels,
+                        plain->second);
+        ++plain;
+      } else {
+        header(labeled->first.name);
+        AppendHistogram(&out, PrometheusMetricName(labeled->first.name),
+                        labeled->first.labels, labeled->second);
+        ++labeled;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace hom::obs

@@ -1,0 +1,38 @@
+#ifndef HOM_OBS_EXPOSITION_H_
+#define HOM_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace hom::obs {
+
+/// Prometheus metric name for a registry name: dots become underscores
+/// (`hom.cluster.merges` -> `hom_cluster_merges`); any other character
+/// outside [a-zA-Z0-9_:] also becomes '_', and a leading digit gets a '_'
+/// prefix.
+std::string PrometheusMetricName(std::string_view name);
+
+/// Label value with backslash, double-quote and newline escaped per the
+/// text exposition format.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Sample value literal: shortest round-trip decimal for finite values,
+/// `NaN` / `+Inf` / `-Inf` otherwise.
+std::string FormatPrometheusValue(double value);
+
+/// Renders a snapshot in Prometheus text exposition format 0.0.4.
+///
+/// Per family (unlabeled metric and same-named labeled series merge into
+/// one family): a `# TYPE` line, then every sample. Counters get the
+/// `_total` suffix; histograms emit cumulative `_bucket{le="..."}` lines
+/// ending with `le="+Inf"` (always equal to `_count` — guaranteed by the
+/// single-pass snapshot), then `_sum` and `_count`. Families are sorted by
+/// name, unlabeled series before labeled ones, labeled ones in canonical
+/// label order, so output is deterministic for a given snapshot.
+std::string EncodePrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_EXPOSITION_H_

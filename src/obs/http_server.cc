@@ -1,0 +1,277 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+
+namespace hom::obs {
+
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+constexpr int kStopPollMs = 250;
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+/// Serializes and writes one full response; best-effort (the peer may have
+/// gone away — scrapers time out and retry).
+void WriteResponse(int fd, const HttpResponse& response, bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the end of the request head ("\r\n\r\n") or a limit; the
+/// endpoints take no bodies, so the head is the whole request.
+bool ReadRequestHead(int fd, size_t max_bytes, std::string* head) {
+  char buf[1024];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    head->append(buf, static_cast<size_t>(n));
+    // Size check before the terminator check: an oversized head must be
+    // rejected even when one recv() delivered it terminator and all.
+    if (head->size() > max_bytes) return false;
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void CountRequest(const std::string& path, int code) {
+  // Labels vary per call, so this goes through the family directly (the
+  // HOM_*_LABELED macros cache one handle per call site).
+  static CounterFamily* family =
+      MetricsRegistry::Global().GetCounterFamily("hom.server.requests");
+  family->WithLabels({{"path", path}, {"code", std::to_string(code)}})->Add();
+}
+
+}  // namespace
+
+HttpServer::HttpServer() : HttpServer(Options()) {}
+
+HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already running");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::Internal("bind " + options_.bind_address + ":" +
+                                     std::to_string(options_.port) + ": " +
+                                     std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  worker_thread_ = std::thread([this] { WorkerLoop(); });
+  EmitIfActive(EventType::kServerStart, "server", -1, -1, port_);
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (worker_thread_.joinable()) worker_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (int fd : queue_) ::close(fd);
+    queue_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  EmitIfActive(EventType::kServerStop, "server", -1, -1, port_);
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kStopPollMs);
+    if (ready <= 0) continue;  // timeout (stop check) or EINTR
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetIoTimeout(fd, options_.io_timeout_ms);
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < options_.queue_capacity) {
+        queue_.push_back(fd);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      // Overload: answer inline rather than stall the accept loop.
+      HOM_COUNTER_INC("hom.server.dropped");
+      HttpResponse overloaded;
+      overloaded.status = 503;
+      overloaded.body = "overloaded\n";
+      WriteResponse(fd, overloaded, /*head_only=*/false);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) || !queue_.empty();
+      });
+      if (!queue_.empty()) {
+        fd = queue_.front();
+        queue_.pop_front();
+      } else if (stop_.load(std::memory_order_acquire)) {
+        return;  // stop requested and queue drained
+      }
+    }
+    if (fd >= 0) {
+      ServeConnection(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  auto start = std::chrono::steady_clock::now();
+  std::string head;
+  if (!ReadRequestHead(fd, options_.max_request_bytes, &head)) {
+    HttpResponse bad;
+    bad.status = 400;
+    bad.body = "malformed request\n";
+    WriteResponse(fd, bad, /*head_only=*/false);
+    CountRequest("(malformed)", 400);
+    return;
+  }
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = head.find('\n');
+  std::string line = head.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    HttpResponse bad;
+    bad.status = 400;
+    bad.body = "malformed request line\n";
+    WriteResponse(fd, bad, /*head_only=*/false);
+    CountRequest("(malformed)", 400);
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (size_t query = target.find('?'); query != std::string::npos) {
+    target.resize(query);
+  }
+
+  HttpResponse response;
+  bool head_only = method == "HEAD";
+  if (method != "GET" && method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+  } else if (auto it = handlers_.find(target); it != handlers_.end()) {
+    response = it->second();
+  } else {
+    response.status = 404;
+    response.body = "no such endpoint; try /metrics, /healthz, /statusz\n";
+  }
+  WriteResponse(fd, response, head_only);
+
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  HOM_HISTOGRAM_RECORD("hom.server.request_latency_us", us,
+                       ::hom::obs::Histogram::DefaultLatencyBoundsUs());
+  CountRequest(handlers_.count(target) > 0 ? target : "(other)",
+               response.status);
+}
+
+}  // namespace hom::obs

@@ -1,0 +1,112 @@
+#ifndef HOM_OBS_HTTP_SERVER_H_
+#define HOM_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace hom::obs {
+
+/// Response of one HTTP handler.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// \brief Minimal dependency-free blocking HTTP/1.1 server for the
+/// introspection endpoints (/metrics, /healthz, /statusz).
+///
+/// Threading model: Start() spawns an accept thread (poll()-based so Stop()
+/// is honored within ~250 ms even with no traffic) and one worker thread.
+/// Accepted sockets go through a bounded queue; when the queue is full the
+/// accept thread answers 503 inline and closes, so a scrape storm cannot
+/// pile up file descriptors or block the online path. Every response is
+/// `Connection: close` — scrape clients reconnect per pull, and keeping the
+/// server single-worker keeps handler execution serialized (handlers need
+/// no extra locking beyond what the data they read requires).
+///
+/// Handlers run on the worker thread; they must not block indefinitely.
+/// Only GET (and HEAD, answered with empty body) is served; other methods
+/// get 405, unregistered paths 404, oversized or malformed requests 400.
+///
+/// The server instruments itself through the global MetricsRegistry:
+/// `hom.server.requests{path=...,code=...}`, `hom.server.dropped`, and the
+/// `hom.server.request_latency_us` histogram — so scraping /metrics shows
+/// the scraper's own cost, and journals kServerStart/kServerStop when a
+/// journal is active.
+class HttpServer {
+ public:
+  struct Options {
+    /// Loopback by default: the introspection surface is unauthenticated,
+    /// so exposing it beyond the host must be an explicit choice.
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port (read it back via port()).
+    uint16_t port = 0;
+    int backlog = 16;
+    /// Accepted-but-unserved connections beyond this are answered 503.
+    size_t queue_capacity = 16;
+    /// Requests larger than this are answered 400.
+    size_t max_request_bytes = 8192;
+    /// Per-socket read/write timeout.
+    int io_timeout_ms = 2000;
+  };
+
+  using Handler = std::function<HttpResponse()>;
+
+  HttpServer();  ///< All-default Options.
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match GET `path`. Must be called before
+  /// Start().
+  void Handle(std::string path, Handler handler);
+
+  /// Binds, listens, and spawns the accept + worker threads. Fails if the
+  /// port is taken or the address does not parse.
+  Status Start();
+
+  /// Stops accepting, drains the queue, joins both threads, closes the
+  /// listen socket. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound port (resolves option port 0 to the kernel-assigned one).
+  /// Valid after a successful Start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+
+  std::thread accept_thread_;
+  std::thread worker_thread_;
+};
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_HTTP_SERVER_H_

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "common/check.h"
 
@@ -30,7 +31,133 @@ void AtomicMax(std::atomic<double>* target, double v) {
   }
 }
 
+bool IsValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AppendEscapedLabelValue(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: *out += c;
+    }
+  }
+}
+
+/// Canonical text of an already-canonicalized (sorted) label set:
+/// `k1="v1",k2="v2"`.
+std::string CanonicalLabelText(const LabelSet& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    AppendEscapedLabelValue(&out, labels[i].second);
+    out += '"';
+  }
+  return out;
+}
+
+/// Shared child-creation logic of the three families.
+template <typename Handle, typename MakeFn>
+Handle* WithLabelsImpl(
+    std::mutex* mu,
+    std::map<std::string,
+             std::pair<const LabelSet*, std::unique_ptr<Handle>>>* children,
+    const LabelSet& labels, const MakeFn& make) {
+  const LabelSet* interned = MetricsRegistry::Global().InternLabels(labels);
+  std::string key = CanonicalLabelText(*interned);
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = children->find(key);
+  if (it == children->end()) {
+    it = children->emplace(std::move(key), std::make_pair(interned, make()))
+             .first;
+  }
+  return it->second.second.get();
+}
+
 }  // namespace
+
+std::string SeriesKey::ToString() const {
+  if (labels.empty()) return name;
+  return name + "{" + CanonicalLabelText(labels) + "}";
+}
+
+Result<SeriesKey> SeriesKey::Parse(std::string_view text) {
+  SeriesKey key;
+  size_t brace = text.find('{');
+  if (brace == std::string_view::npos) {
+    key.name = std::string(text);
+    return key;
+  }
+  if (text.empty() || text.back() != '}') {
+    return Status::InvalidArgument("series key '" + std::string(text) +
+                                   "': '{' without closing '}'");
+  }
+  key.name = std::string(text.substr(0, brace));
+  std::string_view body = text.substr(brace + 1, text.size() - brace - 2);
+  size_t i = 0;
+  while (i < body.size()) {
+    size_t eq = body.find('=', i);
+    if (eq == std::string_view::npos || eq + 1 >= body.size() ||
+        body[eq + 1] != '"') {
+      return Status::InvalidArgument("series key '" + std::string(text) +
+                                     "': expected key=\"value\"");
+    }
+    std::string label_name(body.substr(i, eq - i));
+    std::string value;
+    size_t j = eq + 2;
+    bool closed = false;
+    while (j < body.size()) {
+      char c = body[j];
+      if (c == '\\') {
+        if (j + 1 >= body.size()) break;
+        char next = body[j + 1];
+        if (next == '\\') value += '\\';
+        else if (next == '"') value += '"';
+        else if (next == 'n') value += '\n';
+        else {
+          return Status::InvalidArgument("series key '" + std::string(text) +
+                                         "': bad escape");
+        }
+        j += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++j;
+        break;
+      }
+      value += c;
+      ++j;
+    }
+    if (!closed) {
+      return Status::InvalidArgument("series key '" + std::string(text) +
+                                     "': unterminated label value");
+    }
+    key.labels.emplace_back(std::move(label_name), std::move(value));
+    if (j < body.size()) {
+      if (body[j] != ',') {
+        return Status::InvalidArgument("series key '" + std::string(text) +
+                                       "': expected ',' between labels");
+      }
+      ++j;
+    }
+    i = j;
+  }
+  return key;
+}
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
@@ -85,6 +212,26 @@ double Histogram::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+MetricsSnapshot::HistogramData Histogram::SnapshotData() const {
+  MetricsSnapshot::HistogramData data;
+  data.bounds = bounds_;
+  data.counts.resize(buckets_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    data.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += data.counts[i];
+  }
+  // count is defined as the sum of the bucket reads, never the separate
+  // count_ atomic: under concurrent writers the two can disagree by the
+  // in-flight Record() calls, and the exposition format requires the +Inf
+  // cumulative bucket to equal _count exactly.
+  data.count = total;
+  data.sum = sum_.load(std::memory_order_relaxed);
+  data.min = total == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  data.max = total == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return data;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -124,41 +271,167 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
       value = value >= it->second ? value - it->second : 0;
     }
   }
+  for (auto& [key, value] : delta.labeled_counters) {
+    auto it = earlier.labeled_counters.find(key);
+    if (it != earlier.labeled_counters.end()) {
+      value = value >= it->second ? value - it->second : 0;
+    }
+  }
   return delta;
 }
+
+std::map<std::string, uint64_t> MetricsSnapshot::CountersFlattened() const {
+  std::map<std::string, uint64_t> out = counters;
+  for (const auto& [key, value] : labeled_counters) {
+    out[key.ToString()] = value;
+  }
+  return out;
+}
+
+namespace {
+
+JsonValue HistogramDataToJson(const MetricsSnapshot::HistogramData& h) {
+  JsonValue hj = JsonValue::Object();
+  hj.Set("count", JsonValue(h.count));
+  hj.Set("sum", JsonValue(h.sum));
+  hj.Set("min", JsonValue(h.min));
+  hj.Set("max", JsonValue(h.max));
+  hj.Set("p50", JsonValue(h.Quantile(0.50)));
+  hj.Set("p95", JsonValue(h.Quantile(0.95)));
+  hj.Set("p99", JsonValue(h.Quantile(0.99)));
+  JsonValue bounds_json = JsonValue::Array();
+  for (double b : h.bounds) bounds_json.Append(JsonValue(b));
+  hj.Set("bounds", std::move(bounds_json));
+  JsonValue counts_json = JsonValue::Array();
+  for (uint64_t c : h.counts) counts_json.Append(JsonValue(c));
+  hj.Set("bucket_counts", std::move(counts_json));
+  return hj;
+}
+
+Result<MetricsSnapshot::HistogramData> HistogramDataFromJson(
+    const JsonValue& json, const std::string& where) {
+  MetricsSnapshot::HistogramData h;
+  if (!json.is_object()) {
+    return Status::InvalidArgument(where + ": expected an object");
+  }
+  const JsonValue* bounds = json.Find("bounds");
+  const JsonValue* counts = json.Find("bucket_counts");
+  if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+      !counts->is_array() || counts->size() != bounds->size() + 1) {
+    return Status::InvalidArgument(
+        where + ": needs 'bounds' and 'bucket_counts' (len bounds + 1)");
+  }
+  for (size_t i = 0; i < bounds->size(); ++i) {
+    h.bounds.push_back(bounds->at(i).as_double());
+  }
+  for (size_t i = 0; i < counts->size(); ++i) {
+    h.counts.push_back(static_cast<uint64_t>(counts->at(i).as_double()));
+  }
+  auto number = [&json](const char* key) {
+    const JsonValue* v = json.Find(key);
+    return v != nullptr ? v->as_double() : 0.0;
+  };
+  h.count = static_cast<uint64_t>(number("count"));
+  h.sum = number("sum");
+  h.min = number("min");
+  h.max = number("max");
+  return h;
+}
+
+}  // namespace
 
 JsonValue MetricsSnapshot::ToJson() const {
   JsonValue counters_json = JsonValue::Object();
   for (const auto& [name, value] : counters) {
     counters_json.Set(name, JsonValue(value));
   }
+  for (const auto& [key, value] : labeled_counters) {
+    counters_json.Set(key.ToString(), JsonValue(value));
+  }
   JsonValue gauges_json = JsonValue::Object();
   for (const auto& [name, value] : gauges) {
     gauges_json.Set(name, JsonValue(value));
   }
+  for (const auto& [key, value] : labeled_gauges) {
+    gauges_json.Set(key.ToString(), JsonValue(value));
+  }
   JsonValue histograms_json = JsonValue::Object();
   for (const auto& [name, h] : histograms) {
-    JsonValue hj = JsonValue::Object();
-    hj.Set("count", JsonValue(h.count));
-    hj.Set("sum", JsonValue(h.sum));
-    hj.Set("min", JsonValue(h.min));
-    hj.Set("max", JsonValue(h.max));
-    hj.Set("p50", JsonValue(h.Quantile(0.50)));
-    hj.Set("p95", JsonValue(h.Quantile(0.95)));
-    hj.Set("p99", JsonValue(h.Quantile(0.99)));
-    JsonValue bounds_json = JsonValue::Array();
-    for (double b : h.bounds) bounds_json.Append(JsonValue(b));
-    hj.Set("bounds", std::move(bounds_json));
-    JsonValue counts_json = JsonValue::Array();
-    for (uint64_t c : h.counts) counts_json.Append(JsonValue(c));
-    hj.Set("bucket_counts", std::move(counts_json));
-    histograms_json.Set(name, std::move(hj));
+    histograms_json.Set(name, HistogramDataToJson(h));
+  }
+  for (const auto& [key, h] : labeled_histograms) {
+    histograms_json.Set(key.ToString(), HistogramDataToJson(h));
   }
   JsonValue out = JsonValue::Object();
   out.Set("counters", std::move(counters_json));
   out.Set("gauges", std::move(gauges_json));
   out.Set("histograms", std::move(histograms_json));
   return out;
+}
+
+Result<MetricsSnapshot> MetricsSnapshotFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("metrics: expected an object");
+  }
+  MetricsSnapshot snap;
+  if (const JsonValue* counters = json.Find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->members()) {
+      HOM_ASSIGN_OR_RETURN(SeriesKey key, SeriesKey::Parse(name));
+      uint64_t v = static_cast<uint64_t>(value.as_double());
+      if (key.labels.empty()) {
+        snap.counters[key.name] = v;
+      } else {
+        snap.labeled_counters[std::move(key)] = v;
+      }
+    }
+  }
+  if (const JsonValue* gauges = json.Find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->members()) {
+      HOM_ASSIGN_OR_RETURN(SeriesKey key, SeriesKey::Parse(name));
+      if (key.labels.empty()) {
+        snap.gauges[key.name] = value.as_double();
+      } else {
+        snap.labeled_gauges[std::move(key)] = value.as_double();
+      }
+    }
+  }
+  if (const JsonValue* histograms = json.Find("histograms");
+      histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, value] : histograms->members()) {
+      HOM_ASSIGN_OR_RETURN(SeriesKey key, SeriesKey::Parse(name));
+      HOM_ASSIGN_OR_RETURN(
+          MetricsSnapshot::HistogramData h,
+          HistogramDataFromJson(value, "metrics.histograms[" + name + "]"));
+      if (key.labels.empty()) {
+        snap.histograms[key.name] = std::move(h);
+      } else {
+        snap.labeled_histograms[std::move(key)] = std::move(h);
+      }
+    }
+  }
+  return snap;
+}
+
+Counter* CounterFamily::WithLabels(const LabelSet& labels) {
+  return WithLabelsImpl(&mu_, &children_, labels,
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* GaugeFamily::WithLabels(const LabelSet& labels) {
+  return WithLabelsImpl(&mu_, &children_, labels,
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* HistogramFamily::WithLabels(const LabelSet& labels) {
+  for (const Label& label : labels) {
+    HOM_CHECK(label.first != "le")
+        << "histogram label 'le' is reserved for the exposition format";
+  }
+  return WithLabelsImpl(&mu_, &children_, labels, [this] {
+    return std::make_unique<Histogram>(bounds_);
+  });
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -200,6 +473,68 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+CounterFamily* MetricsRegistry::GetCounterFamily(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_families_.find(name);
+  if (it == counter_families_.end()) {
+    it = counter_families_
+             .emplace(std::string(name), std::unique_ptr<CounterFamily>(
+                                             new CounterFamily(
+                                                 std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+GaugeFamily* MetricsRegistry::GetGaugeFamily(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_families_.find(name);
+  if (it == gauge_families_.end()) {
+    it = gauge_families_
+             .emplace(std::string(name),
+                      std::unique_ptr<GaugeFamily>(
+                          new GaugeFamily(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+HistogramFamily* MetricsRegistry::GetHistogramFamily(
+    std::string_view name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_families_.find(name);
+  if (it == histogram_families_.end()) {
+    it = histogram_families_
+             .emplace(std::string(name),
+                      std::unique_ptr<HistogramFamily>(new HistogramFamily(
+                          std::string(name), std::move(bounds))))
+             .first;
+  }
+  return it->second.get();
+}
+
+const LabelSet* MetricsRegistry::InternLabels(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    HOM_CHECK(IsValidLabelName(labels[i].first))
+        << "bad label name '" << labels[i].first << "'";
+    if (i > 0) {
+      HOM_CHECK(labels[i - 1].first != labels[i].first)
+          << "duplicate label '" << labels[i].first << "'";
+    }
+  }
+  std::string key = CanonicalLabelText(labels);
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto it = label_sets_.find(key);
+  if (it == label_sets_.end()) {
+    it = label_sets_
+             .emplace(std::move(key),
+                      std::make_unique<const LabelSet>(std::move(labels)))
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -210,14 +545,28 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.gauges[name] = gauge->value();
   }
   for (const auto& [name, histogram] : histograms_) {
-    MetricsSnapshot::HistogramData data;
-    data.bounds = histogram->bounds();
-    data.counts = histogram->bucket_counts();
-    data.count = histogram->count();
-    data.sum = histogram->sum();
-    data.min = histogram->min();
-    data.max = histogram->max();
-    snap.histograms[name] = std::move(data);
+    snap.histograms[name] = histogram->SnapshotData();
+  }
+  for (const auto& [name, family] : counter_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (const auto& [text, child] : family->children_) {
+      snap.labeled_counters[SeriesKey{name, *child.first}] =
+          child.second->value();
+    }
+  }
+  for (const auto& [name, family] : gauge_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (const auto& [text, child] : family->children_) {
+      snap.labeled_gauges[SeriesKey{name, *child.first}] =
+          child.second->value();
+    }
+  }
+  for (const auto& [name, family] : histogram_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (const auto& [text, child] : family->children_) {
+      snap.labeled_histograms[SeriesKey{name, *child.first}] =
+          child.second->SnapshotData();
+    }
   }
   return snap;
 }
@@ -227,6 +576,18 @@ void MetricsRegistry::ResetForTesting() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, family] : counter_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (auto& [text, child] : family->children_) child.second->Reset();
+  }
+  for (auto& [name, family] : gauge_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (auto& [text, child] : family->children_) child.second->Reset();
+  }
+  for (auto& [name, family] : histogram_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (auto& [text, child] : family->children_) child.second->Reset();
+  }
 }
 
 }  // namespace hom::obs

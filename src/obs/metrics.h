@@ -9,8 +9,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "obs/json.h"
 
 namespace hom::obs {
@@ -40,6 +42,98 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One metric label as {key, value}. Keys must match
+/// [a-zA-Z_][a-zA-Z0-9_]*; values are arbitrary UTF-8 (escaped at
+/// exposition time).
+using Label = std::pair<std::string, std::string>;
+
+/// A set of labels. Canonicalized (sorted by key, keys unique) when a
+/// family interns it; callers may pass labels in any order.
+using LabelSet = std::vector<Label>;
+
+/// Identity of one time series: metric family name plus its (canonical)
+/// label set. Unlabeled metrics are the `labels.empty()` special case.
+struct SeriesKey {
+  std::string name;
+  LabelSet labels;
+
+  /// `name` for unlabeled series, `name{k1="v1",k2="v2"}` otherwise, with
+  /// backslash, double-quote and newline escaped in values. This is the
+  /// stable text form used as JSON object key in telemetry files.
+  std::string ToString() const;
+
+  /// Inverse of ToString (accepts exactly the canonical form).
+  static Result<SeriesKey> Parse(std::string_view text);
+
+  bool operator<(const SeriesKey& other) const {
+    return name != other.name ? name < other.name : labels < other.labels;
+  }
+  bool operator==(const SeriesKey& other) const {
+    return name == other.name && labels == other.labels;
+  }
+};
+
+/// Point-in-time copy of every registered metric. Two snapshots taken
+/// around an operation can be diffed to attribute counter activity to it.
+///
+/// Consistency under concurrent writers: each histogram is snapshotted in
+/// one pass — its bucket counts are read exactly once and `count` is
+/// defined as their sum, so `count == Σ counts` (and therefore the +Inf
+/// cumulative bucket equals `_count` in the Prometheus exposition) holds
+/// in every snapshot, no matter how many writers are mid-Record(). `sum`
+/// (and min/max) are read immediately after and may include a value whose
+/// bucket increment was not yet visible, or vice versa — the skew is
+/// bounded by the number of in-flight Record() calls at snapshot time and
+/// disappears once writers quiesce. Counters and gauges are single atomics
+/// and need no such pairing.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 entries.
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /// Quantile estimate from the bucket counts, q in [0, 1]: linear
+    /// interpolation inside the bucket holding the q-th observation,
+    /// clamped to [min, max] (the overflow bucket interpolates toward
+    /// max). Exact only up to bucket resolution. 0 when empty.
+    double Quantile(double q) const;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Labeled series from the metric families, keyed by (family, labels).
+  std::map<SeriesKey, uint64_t> labeled_counters;
+  std::map<SeriesKey, double> labeled_gauges;
+  std::map<SeriesKey, HistogramData> labeled_histograms;
+
+  /// Counter deltas relative to `earlier` (gauges and histograms are
+  /// copied as-is: they are not monotonic). Counters absent from
+  /// `earlier` count from zero. Labeled counters diff the same way.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+
+  /// Unlabeled and labeled counters merged into one map, labeled series
+  /// keyed by SeriesKey::ToString(). Build reports and other flat
+  /// consumers use this instead of tracking both maps.
+  std::map<std::string, uint64_t> CountersFlattened() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  /// Labeled series appear in the same three sections under their
+  /// SeriesKey::ToString() key, so the JSON schema is unchanged.
+  JsonValue ToJson() const;
+};
+
+/// Inverse of MetricsSnapshot::ToJson(): rebuilds a snapshot from the
+/// "metrics" section of a telemetry file, including labeled series (object
+/// keys containing '{' are parsed back through SeriesKey::Parse). Lets
+/// `homctl stats --format prometheus` render saved telemetry through the
+/// same text encoder as a live scrape.
+Result<MetricsSnapshot> MetricsSnapshotFromJson(const JsonValue& json);
+
 /// \brief Fixed-bucket histogram: bucket bounds are set at registration and
 /// never change, so Record() is a binary search plus one relaxed atomic add
 /// (no locks, no allocation). Tracks count/sum/min/max alongside the
@@ -64,6 +158,14 @@ class Histogram {
   double min() const;
   double max() const;
   double mean() const;
+
+  /// Single-pass snapshot with the consistency guarantee documented on
+  /// MetricsSnapshot: buckets are read once and `count` is their sum.
+  /// Prefer this over pairing bucket_counts() with count()/sum() reads —
+  /// under concurrent writers those can pair a stale sum with a newer
+  /// count (or buckets that do not add up to count).
+  MetricsSnapshot::HistogramData SnapshotData() const;
+
   void Reset();
 
  private:
@@ -75,46 +177,91 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
-/// Point-in-time copy of every registered metric. Two snapshots taken
-/// around an operation can be diffed to attribute counter activity to it.
-struct MetricsSnapshot {
-  struct HistogramData {
-    std::vector<double> bounds;
-    std::vector<uint64_t> counts;  ///< bounds.size() + 1 entries.
-    uint64_t count = 0;
-    double sum = 0.0;
-    double min = 0.0;
-    double max = 0.0;
+/// \brief A family of counters sharing one name, distinguished by labels —
+/// `hom.cluster.merges{step="1"}` instead of the name-mangled
+/// `hom.cluster.step1.merges`.
+///
+/// WithLabels() canonicalizes and interns the label set (registry-wide, so
+/// identical sets share storage) and returns a per-series handle; the call
+/// takes the family mutex, so hot paths cache the handle — fixed label
+/// sets in a function-local static, per-concept handles in a vector
+/// indexed by concept id — after which updates are the same lock-free
+/// relaxed atomics as unlabeled metrics.
+///
+/// Cardinality guidance (DESIGN.md §10): label values must come from a
+/// small closed set (concept ids, phase names, HTTP routes/status codes).
+/// Never label by record id, timestamp, or user input — every distinct
+/// label set is a live series that shows up in each scrape forever.
+class CounterFamily {
+ public:
+  /// The counter for `labels` (order-insensitive), created on first use.
+  Counter* WithLabels(const LabelSet& labels);
+  const std::string& name() const { return name_; }
 
-    /// Quantile estimate from the bucket counts, q in [0, 1]: linear
-    /// interpolation inside the bucket holding the q-th observation,
-    /// clamped to [min, max] (the overflow bucket interpolates toward
-    /// max). Exact only up to bucket resolution. 0 when empty.
-    double Quantile(double q) const;
-  };
+ private:
+  friend class MetricsRegistry;
+  explicit CounterFamily(std::string name) : name_(std::move(name)) {}
 
-  std::map<std::string, uint64_t> counters;
-  std::map<std::string, double> gauges;
-  std::map<std::string, HistogramData> histograms;
+  std::string name_;
+  mutable std::mutex mu_;
+  /// Keyed by the canonical label text; the interned LabelSet pointer is
+  /// what Snapshot() reads back.
+  std::map<std::string, std::pair<const LabelSet*, std::unique_ptr<Counter>>>
+      children_;
+};
 
-  /// Counter deltas relative to `earlier` (gauges and histograms are
-  /// copied as-is: they are not monotonic). Counters absent from
-  /// `earlier` count from zero.
-  MetricsSnapshot DeltaSince(const MetricsSnapshot& earlier) const;
+/// Gauge analogue of CounterFamily.
+class GaugeFamily {
+ public:
+  Gauge* WithLabels(const LabelSet& labels);
+  const std::string& name() const { return name_; }
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
-  JsonValue ToJson() const;
+ private:
+  friend class MetricsRegistry;
+  explicit GaugeFamily(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<const LabelSet*, std::unique_ptr<Gauge>>>
+      children_;
+};
+
+/// Histogram analogue of CounterFamily. Every child shares the family's
+/// bucket bounds (fixed at registration). The label key "le" is reserved
+/// for the exposition format's bucket label and rejected here.
+class HistogramFamily {
+ public:
+  Histogram* WithLabels(const LabelSet& labels);
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  HistogramFamily(std::string name, std::vector<double> bounds)
+      : name_(std::move(name)), bounds_(std::move(bounds)) {}
+
+  std::string name_;
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<const LabelSet*, std::unique_ptr<Histogram>>>
+      children_;
 };
 
 /// \brief Process-wide registry of named metrics.
 ///
-/// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex once per
-/// call site — instrumented code caches the returned handle in a
-/// function-local static — after which all metric updates are lock-free
-/// atomics on the handle. Handles stay valid for the process lifetime.
+/// Registration (GetCounter/GetGauge/GetHistogram and the *Family
+/// variants) takes a mutex once per call site — instrumented code caches
+/// the returned handle in a function-local static — after which all metric
+/// updates are lock-free atomics on the handle. Handles stay valid for the
+/// process lifetime.
 ///
 /// Naming scheme: dot-separated `hom.<area>.<metric>`, e.g.
 /// `hom.cluster.classifiers_trained` (see DESIGN.md "Observability").
+/// Per-concept / per-phase / per-route dimensions are labels on a family,
+/// not name suffixes. A family may share a name with a plain metric of the
+/// same kind: the exposition endpoint renders them as one Prometheus
+/// family (the unlabeled series plus the labeled ones), which is how an
+/// aggregate counter and its per-label breakdown coexist.
 ///
 /// Compiling with -DHOM_DISABLE_METRICS turns the HOM_COUNTER_* /
 /// HOM_GAUGE_* / HOM_HISTOGRAM_* macros below into no-ops, removing every
@@ -132,10 +279,23 @@ class MetricsRegistry {
   /// name return the existing histogram regardless of `bounds`.
   Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
 
+  /// Labeled family accessors; same creation-on-first-use contract.
+  CounterFamily* GetCounterFamily(std::string_view name);
+  GaugeFamily* GetGaugeFamily(std::string_view name);
+  HistogramFamily* GetHistogramFamily(std::string_view name,
+                                      std::vector<double> bounds);
+
+  /// Canonicalizes (sort by key) and interns a label set; identical sets
+  /// return the same pointer for the process lifetime. Checks label-name
+  /// syntax and key uniqueness. Families call this; it is public so tests
+  /// can assert interning.
+  const LabelSet* InternLabels(LabelSet labels);
+
   MetricsSnapshot Snapshot() const;
 
-  /// Zeroes every registered metric (handles stay valid). Tests only —
-  /// concurrent writers may resurrect partial values.
+  /// Zeroes every registered metric, including family children (handles
+  /// stay valid). Tests only — concurrent writers may resurrect partial
+  /// values.
   void ResetForTesting();
 
  private:
@@ -145,6 +305,18 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<CounterFamily>, std::less<>>
+      counter_families_;
+  std::map<std::string, std::unique_ptr<GaugeFamily>, std::less<>>
+      gauge_families_;
+  std::map<std::string, std::unique_ptr<HistogramFamily>, std::less<>>
+      histogram_families_;
+  /// Label-set intern table, keyed by canonical text; shared across all
+  /// families. Guarded by its own mutex so family child creation (which
+  /// holds the family mutex) can intern without touching mu_.
+  mutable std::mutex intern_mu_;
+  std::map<std::string, std::unique_ptr<const LabelSet>, std::less<>>
+      label_sets_;
 };
 
 }  // namespace hom::obs
@@ -153,12 +325,22 @@ class MetricsRegistry {
 // call site resolves its handle once (function-local static) and then pays
 // a single relaxed atomic per hit. All of it compiles away under
 // HOM_DISABLE_METRICS.
+//
+// The *_LABELED variants take the label set as trailing arguments (a
+// braced initializer list), resolved once at handle registration — use
+// them only where the labels are fixed at the call site:
+//   HOM_COUNTER_INC_LABELED("hom.cluster.merges", {{"step", "1"}});
+// Dynamic label values (per-concept ids) go through
+// GetCounterFamily()->WithLabels() with a caller-cached handle instead.
 #ifdef HOM_DISABLE_METRICS
 
 #define HOM_COUNTER_INC(name) ((void)0)
 #define HOM_COUNTER_ADD(name, n) ((void)sizeof(n))
 #define HOM_GAUGE_SET(name, v) ((void)sizeof(v))
 #define HOM_HISTOGRAM_RECORD(name, value, bounds) ((void)sizeof(value))
+#define HOM_COUNTER_INC_LABELED(name, ...) ((void)0)
+#define HOM_COUNTER_ADD_LABELED(name, n, ...) ((void)sizeof(n))
+#define HOM_GAUGE_SET_LABELED(name, v, ...) ((void)sizeof(v))
 
 #else
 
@@ -186,6 +368,27 @@ class MetricsRegistry {
         ::hom::obs::MetricsRegistry::Global().GetHistogram(name,    \
                                                            bounds); \
     _hom_histogram->Record(static_cast<double>(value));             \
+  } while (0)
+
+#define HOM_COUNTER_INC_LABELED(name, ...) \
+  HOM_COUNTER_ADD_LABELED(name, 1, __VA_ARGS__)
+
+#define HOM_COUNTER_ADD_LABELED(name, n, ...)                        \
+  do {                                                               \
+    static ::hom::obs::Counter* _hom_counter =                       \
+        ::hom::obs::MetricsRegistry::Global()                        \
+            .GetCounterFamily(name)                                  \
+            ->WithLabels(__VA_ARGS__);                               \
+    _hom_counter->Add(static_cast<uint64_t>(n));                     \
+  } while (0)
+
+#define HOM_GAUGE_SET_LABELED(name, v, ...)                          \
+  do {                                                               \
+    static ::hom::obs::Gauge* _hom_gauge =                           \
+        ::hom::obs::MetricsRegistry::Global()                        \
+            .GetGaugeFamily(name)                                    \
+            ->WithLabels(__VA_ARGS__);                               \
+    _hom_gauge->Set(static_cast<double>(v));                         \
   } while (0)
 
 #endif  // HOM_DISABLE_METRICS

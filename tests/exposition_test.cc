@@ -1,0 +1,303 @@
+/// \file
+/// Tests for labeled metric families (obs/metrics.h) and the Prometheus
+/// text encoder (obs/exposition.h): label canonicalization/interning,
+/// SeriesKey round trips, snapshot consistency under writers, escaping,
+/// +Inf bucket cumulativity, and edge-case value rendering.
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace hom::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SeriesKey.
+
+TEST(SeriesKeyTest, ToStringUnlabeledIsJustTheName) {
+  SeriesKey key{"hom.x", {}};
+  EXPECT_EQ(key.ToString(), "hom.x");
+}
+
+TEST(SeriesKeyTest, ToStringRendersSortedLabels) {
+  SeriesKey key{"hom.x", {{"a", "1"}, {"b", "two"}}};
+  EXPECT_EQ(key.ToString(), "hom.x{a=\"1\",b=\"two\"}");
+}
+
+TEST(SeriesKeyTest, ToStringEscapesBackslashQuoteNewline) {
+  SeriesKey key{"hom.x", {{"v", "a\\b\"c\nd"}}};
+  EXPECT_EQ(key.ToString(), "hom.x{v=\"a\\\\b\\\"c\\nd\"}");
+}
+
+TEST(SeriesKeyTest, ParseRoundTripsEscapedValues) {
+  SeriesKey key{"hom.x", {{"p", "1,2"}, {"v", "a\\b\"c\nd"}}};
+  auto parsed = SeriesKey::Parse(key.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, key);
+}
+
+TEST(SeriesKeyTest, ParseRejectsMalformedKeys) {
+  EXPECT_FALSE(SeriesKey::Parse("x{a=1}").ok());       // unquoted value
+  EXPECT_FALSE(SeriesKey::Parse("x{a=\"1}").ok());     // unterminated
+  EXPECT_FALSE(SeriesKey::Parse("x{a=\"1\"").ok());    // missing }
+  EXPECT_FALSE(SeriesKey::Parse("x{a=\"\\q\"}").ok()); // bad escape
+}
+
+// ---------------------------------------------------------------------------
+// Labeled families + interning.
+
+class FamilyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().ResetForTesting(); }
+};
+
+TEST_F(FamilyTest, WithLabelsIsOrderInsensitiveAndStable) {
+  CounterFamily* family =
+      MetricsRegistry::Global().GetCounterFamily("hom.test.fam_order");
+  Counter* ab = family->WithLabels({{"a", "1"}, {"b", "2"}});
+  Counter* ba = family->WithLabels({{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(ab, ba);
+  ab->Add(3);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  SeriesKey key{"hom.test.fam_order", {{"a", "1"}, {"b", "2"}}};
+  ASSERT_EQ(snap.labeled_counters.count(key), 1u);
+  EXPECT_EQ(snap.labeled_counters.at(key), 3u);
+}
+
+TEST_F(FamilyTest, InternReturnsOnePointerPerLabelSet) {
+  const LabelSet* a =
+      MetricsRegistry::Global().InternLabels({{"x", "1"}, {"y", "2"}});
+  const LabelSet* b =
+      MetricsRegistry::Global().InternLabels({{"y", "2"}, {"x", "1"}});
+  const LabelSet* c = MetricsRegistry::Global().InternLabels({{"x", "2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ((*a)[0].first, "x");  // canonicalized: sorted by key
+}
+
+TEST_F(FamilyTest, GaugeAndHistogramFamiliesWork) {
+  GaugeFamily* gauges =
+      MetricsRegistry::Global().GetGaugeFamily("hom.test.fam_gauge");
+  gauges->WithLabels({{"concept", "0"}})->Set(0.25);
+  gauges->WithLabels({{"concept", "1"}})->Set(0.75);
+  HistogramFamily* hists = MetricsRegistry::Global().GetHistogramFamily(
+      "hom.test.fam_hist", {1.0, 10.0});
+  hists->WithLabels({{"phase", "a"}})->Record(0.5);
+  hists->WithLabels({{"phase", "a"}})->Record(100.0);
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  SeriesKey g0{"hom.test.fam_gauge", {{"concept", "0"}}};
+  SeriesKey g1{"hom.test.fam_gauge", {{"concept", "1"}}};
+  EXPECT_DOUBLE_EQ(snap.labeled_gauges.at(g0), 0.25);
+  EXPECT_DOUBLE_EQ(snap.labeled_gauges.at(g1), 0.75);
+  SeriesKey h{"hom.test.fam_hist", {{"phase", "a"}}};
+  const auto& data = snap.labeled_histograms.at(h);
+  EXPECT_EQ(data.count, 2u);
+  EXPECT_DOUBLE_EQ(data.sum, 100.5);
+  EXPECT_EQ(data.counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(data.counts[0], 1u);
+  EXPECT_EQ(data.counts[2], 1u);
+}
+
+TEST_F(FamilyTest, LabeledMacrosHitTheFamily) {
+  for (int i = 0; i < 5; ++i) {
+    HOM_COUNTER_INC_LABELED("hom.test.fam_macro", {{"step", "1"}});
+  }
+  HOM_COUNTER_ADD_LABELED("hom.test.fam_macro2", 7, {{"k", "v"}});
+  HOM_GAUGE_SET_LABELED("hom.test.fam_macro3", 1.5, {{"k", "v"}});
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+#ifndef HOM_DISABLE_METRICS
+  EXPECT_EQ(
+      snap.labeled_counters.at(SeriesKey{"hom.test.fam_macro",
+                                         {{"step", "1"}}}),
+      5u);
+  EXPECT_EQ(snap.labeled_counters.at(SeriesKey{"hom.test.fam_macro2",
+                                               {{"k", "v"}}}),
+            7u);
+  EXPECT_DOUBLE_EQ(snap.labeled_gauges.at(SeriesKey{"hom.test.fam_macro3",
+                                                    {{"k", "v"}}}),
+                   1.5);
+#else
+  EXPECT_TRUE(snap.labeled_counters.empty());
+#endif
+}
+
+TEST_F(FamilyTest, DeltaSinceAndFlattenCoverLabeledCounters) {
+  CounterFamily* family =
+      MetricsRegistry::Global().GetCounterFamily("hom.test.fam_delta");
+  Counter* c = family->WithLabels({{"step", "2"}});
+  c->Add(10);
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  c->Add(4);
+  MetricsSnapshot delta =
+      MetricsRegistry::Global().Snapshot().DeltaSince(before);
+  SeriesKey key{"hom.test.fam_delta", {{"step", "2"}}};
+  EXPECT_EQ(delta.labeled_counters.at(key), 4u);
+  auto flat = delta.CountersFlattened();
+  EXPECT_EQ(flat.at("hom.test.fam_delta{step=\"2\"}"), 4u);
+}
+
+TEST_F(FamilyTest, SnapshotJsonRoundTripsLabeledSeries) {
+  MetricsRegistry::Global()
+      .GetCounterFamily("hom.test.fam_json")
+      ->WithLabels({{"concept", "3"}})
+      ->Add(9);
+  MetricsRegistry::Global().GetGauge("hom.test.plain_gauge")->Set(2.5);
+  MetricsRegistry::Global()
+      .GetHistogramFamily("hom.test.fam_json_hist", {1.0})
+      ->WithLabels({{"q", "x y"}})
+      ->Record(0.5);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  auto restored = MetricsSnapshotFromJson(snap.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->counters, snap.counters);
+  EXPECT_EQ(restored->gauges, snap.gauges);
+  EXPECT_EQ(restored->labeled_counters, snap.labeled_counters);
+  EXPECT_EQ(restored->labeled_gauges, snap.labeled_gauges);
+  ASSERT_EQ(restored->labeled_histograms.size(),
+            snap.labeled_histograms.size());
+  for (const auto& [key, h] : snap.labeled_histograms) {
+    const auto& r = restored->labeled_histograms.at(key);
+    EXPECT_EQ(r.count, h.count);
+    EXPECT_EQ(r.counts, h.counts);
+    EXPECT_EQ(r.bounds, h.bounds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot consistency (the satellite fix): count == sum of bucket counts
+// in every snapshot, even while writers are mid-Record().
+
+TEST(SnapshotConsistencyTest, HistogramCountEqualsBucketSumUnderWriters) {
+  Histogram h({1.0, 2.0, 4.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      double v = 0.5 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) h.Record(v);
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    MetricsSnapshot::HistogramData data = h.SnapshotData();
+    uint64_t bucket_sum = 0;
+    for (uint64_t c : data.counts) bucket_sum += c;
+    ASSERT_EQ(data.count, bucket_sum) << "iteration " << i;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  MetricsSnapshot::HistogramData final_data = h.SnapshotData();
+  EXPECT_EQ(final_data.count, h.count());
+  EXPECT_DOUBLE_EQ(final_data.sum, h.sum());
+}
+
+// ---------------------------------------------------------------------------
+// Text encoder.
+
+TEST(ExpositionTest, MetricNameMapsDotsToUnderscores) {
+  EXPECT_EQ(PrometheusMetricName("hom.cluster.merges"), "hom_cluster_merges");
+  EXPECT_EQ(PrometheusMetricName("has space"), "has_space");
+  EXPECT_EQ(PrometheusMetricName("9lives"), "_9lives");
+}
+
+TEST(ExpositionTest, EscapeLabelValueHandlesAllThreeEscapes) {
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+}
+
+TEST(ExpositionTest, FormatValueSpecials) {
+  EXPECT_EQ(FormatPrometheusValue(std::nan("")), "NaN");
+  EXPECT_EQ(FormatPrometheusValue(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(FormatPrometheusValue(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(FormatPrometheusValue(0.25), "0.25");
+  EXPECT_EQ(FormatPrometheusValue(3.0), "3");
+}
+
+TEST(ExpositionTest, EmptySnapshotEncodesToEmptyString) {
+  EXPECT_EQ(EncodePrometheusText(MetricsSnapshot{}), "");
+}
+
+TEST(ExpositionTest, NanGaugeRendersAsNaN) {
+  MetricsSnapshot snap;
+  snap.gauges["hom.g"] = std::nan("");
+  EXPECT_EQ(EncodePrometheusText(snap),
+            "# TYPE hom_g gauge\nhom_g NaN\n");
+}
+
+TEST(ExpositionTest, CounterGetsTotalSuffixAndSingleTypeLine) {
+  MetricsSnapshot snap;
+  snap.counters["hom.c"] = 2;
+  snap.labeled_counters[SeriesKey{"hom.c", {{"step", "1"}}}] = 1;
+  snap.labeled_counters[SeriesKey{"hom.c", {{"step", "2"}}}] = 1;
+  EXPECT_EQ(EncodePrometheusText(snap),
+            "# TYPE hom_c_total counter\n"
+            "hom_c_total 2\n"
+            "hom_c_total{step=\"1\"} 1\n"
+            "hom_c_total{step=\"2\"} 1\n");
+}
+
+TEST(ExpositionTest, LabelValuesAreEscapedInOutput) {
+  MetricsSnapshot snap;
+  snap.labeled_gauges[SeriesKey{"hom.g", {{"v", "a\\b\"c\nd"}}}] = 1.0;
+  EXPECT_EQ(EncodePrometheusText(snap),
+            "# TYPE hom_g gauge\n"
+            "hom_g{v=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+TEST(ExpositionTest, HistogramBucketsAreCumulativeWithInfEqualToCount) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramData h;
+  h.bounds = {1.0, 2.0};
+  h.counts = {3, 2, 4};  // per-bucket, NOT cumulative
+  h.count = 9;
+  h.sum = 12.5;
+  snap.histograms["hom.h"] = h;
+  EXPECT_EQ(EncodePrometheusText(snap),
+            "# TYPE hom_h histogram\n"
+            "hom_h_bucket{le=\"1\"} 3\n"
+            "hom_h_bucket{le=\"2\"} 5\n"
+            "hom_h_bucket{le=\"+Inf\"} 9\n"
+            "hom_h_sum 12.5\n"
+            "hom_h_count 9\n");
+}
+
+TEST(ExpositionTest, LabeledHistogramAppendsLeAfterSeriesLabels) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramData h;
+  h.bounds = {1.0};
+  h.counts = {1, 0};
+  h.count = 1;
+  h.sum = 0.5;
+  snap.labeled_histograms[SeriesKey{"hom.h", {{"phase", "a"}}}] = h;
+  EXPECT_EQ(EncodePrometheusText(snap),
+            "# TYPE hom_h histogram\n"
+            "hom_h_bucket{phase=\"a\",le=\"1\"} 1\n"
+            "hom_h_bucket{phase=\"a\",le=\"+Inf\"} 1\n"
+            "hom_h_sum{phase=\"a\"} 0.5\n"
+            "hom_h_count{phase=\"a\"} 1\n");
+}
+
+TEST(ExpositionTest, LiveHistogramSatisfiesInfInvariant) {
+  MetricsRegistry::Global().ResetForTesting();
+  Histogram h({1.0, 10.0});
+  for (double v : {0.5, 5.0, 50.0, 0.1}) h.Record(v);
+  MetricsSnapshot snap;
+  snap.histograms["hom.live"] = h.SnapshotData();
+  std::string text = EncodePrometheusText(snap);
+  EXPECT_NE(text.find("hom_live_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("hom_live_count 4\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hom::obs

@@ -516,11 +516,15 @@ TEST(BuildReportObservabilityTest, OptimizationCountersFire) {
     auto it = report.counters.find(name);
     return it == report.counters.end() ? 0 : it->second;
   };
-  EXPECT_GT(counter("hom.cluster.classifiers_trained"), 0u);
-  EXPECT_GT(counter("hom.cluster.classifiers_reused"), 0u);
+  // The per-phase / per-step breakdowns are labeled families; the report's
+  // flat counter map keys them by SeriesKey::ToString().
+  EXPECT_GT(counter("hom.cluster.classifiers_trained{phase=\"leaf\"}"), 0u);
+  EXPECT_GT(counter("hom.cluster.classifiers_reused{phase=\"score\"}") +
+                counter("hom.cluster.classifiers_reused{phase=\"merge\"}"),
+            0u);
   EXPECT_GT(counter("hom.cluster.early_terminations"), 0u);
-  EXPECT_GT(counter("hom.cluster.step1.candidates"), 0u);
-  EXPECT_GT(counter("hom.cluster.step1.merges"), 0u);
+  EXPECT_GT(counter("hom.cluster.candidates{step=\"1\"}"), 0u);
+  EXPECT_GT(counter("hom.cluster.merges{step=\"1\"}"), 0u);
   EXPECT_EQ(counter("hom.cluster.chunks"), report.num_chunks);
   EXPECT_EQ(counter("hom.cluster.concepts"), report.num_concepts);
   EXPECT_EQ(counter("hom.build.records"), 6000u);

@@ -32,6 +32,8 @@ KNOWN_EVENT_TYPES = {
     "checkpoint_save",
     "checkpoint_load",
     "fault_injected",
+    "server_start",
+    "server_stop",
 }
 
 

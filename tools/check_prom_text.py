@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition (format 0.0.4) produced by hom.
+
+Usage: check_prom_text.py <file.prom | -> [more files...]
+
+Checks, per file:
+  * every line is a comment, blank, or `name[{labels}] value` sample;
+  * label blocks parse (key="value", escapes limited to \\\\, \\", \\n);
+  * each metric family has exactly one `# TYPE` line, appearing before the
+    family's first sample;
+  * every sample belongs to a declared family (histogram samples belong to
+    the family via their _bucket/_sum/_count suffix);
+  * no duplicate series (same name + label set);
+  * counter values are finite and non-negative;
+  * histograms: per series, bucket `le` bounds strictly increase, cumulative
+    bucket counts are monotone non-decreasing, the `+Inf` bucket exists and
+    equals `_count`, and `_sum`/`_count` are present.
+
+Exit 0 if all files pass, 1 otherwise.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_KEY_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text == "NaN":
+        return math.nan
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_labels(block):
+    """`k1="v1",k2="v2"` -> dict; raises ValueError on malformed input."""
+    labels = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq]
+        if not LABEL_KEY_RE.match(key):
+            raise ValueError("bad label key %r" % key)
+        if block[eq + 1] != '"':
+            raise ValueError("label value must be quoted")
+        value = []
+        j = eq + 2
+        while True:
+            if j >= len(block):
+                raise ValueError("unterminated label value")
+            c = block[j]
+            if c == "\\":
+                esc = block[j + 1 : j + 2]
+                if esc not in ("\\", '"', "n"):
+                    raise ValueError("bad escape \\%s" % esc)
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[esc])
+                j += 2
+                continue
+            if c == '"':
+                j += 1
+                break
+            value.append(c)
+            j += 1
+        if key in labels:
+            raise ValueError("duplicate label %r" % key)
+        labels[key] = "".join(value)
+        if j < len(block):
+            if block[j] != ",":
+                raise ValueError("expected ',' between labels")
+            j += 1
+        i = j
+    return labels
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family, honoring histogram
+    suffixes (name_bucket belongs to family `name` when `name` is a
+    declared histogram)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def check_file(path):
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    errors = []
+    types = {}  # family -> type
+    seen_series = set()
+    # histogram series accumulation: (family, labels-without-le) -> state
+    hist = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        def err(msg):
+            errors.append("%s:%d: %s" % (path, lineno, msg))
+
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    err("malformed TYPE line: %r" % line)
+                    continue
+                _, _, fam, typ = parts
+                if not NAME_RE.match(fam):
+                    err("bad family name %r" % fam)
+                if typ not in TYPES:
+                    err("unknown type %r" % typ)
+                if fam in types:
+                    err("duplicate TYPE for %r" % fam)
+                types[fam] = typ
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
+                     r"(\s+\S+)?$", line)
+        if not m:
+            err("unparsable sample line: %r" % line)
+            continue
+        name, _, label_block, value_text = m.group(1), m.group(2), m.group(
+            3), m.group(4)
+        try:
+            labels = parse_labels(label_block) if label_block else {}
+        except (ValueError, IndexError) as exc:
+            err("bad labels in %r: %s" % (line, exc))
+            continue
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            err("bad sample value %r" % value_text)
+            continue
+
+        fam = family_of(name, types)
+        if fam is None:
+            err("sample %r has no preceding TYPE declaration" % name)
+            continue
+
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            err("duplicate series %r" % (series,))
+        seen_series.add(series)
+
+        typ = types[fam]
+        if typ == "counter":
+            if math.isnan(value) or value < 0:
+                err("counter %s has invalid value %r" % (name, value_text))
+        elif typ == "histogram":
+            base_labels = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le"))
+            state = hist.setdefault((fam, base_labels), {
+                "buckets": [], "sum": None, "count": None, "line": lineno})
+            if name == fam + "_bucket":
+                if "le" not in labels:
+                    err("histogram bucket without le label: %r" % line)
+                    continue
+                try:
+                    bound = parse_value(labels["le"])
+                except ValueError:
+                    err("bad le bound %r" % labels["le"])
+                    continue
+                state["buckets"].append((bound, value, lineno))
+            elif name == fam + "_sum":
+                state["sum"] = value
+            elif name == fam + "_count":
+                state["count"] = value
+
+    for (fam, base_labels), state in sorted(hist.items()):
+        where = "%s:%d" % (path, state["line"])
+        label_text = ",".join("%s=%s" % kv for kv in base_labels)
+        who = "%s{%s}" % (fam, label_text) if label_text else fam
+        buckets = state["buckets"]
+        if not buckets:
+            errors.append("%s: histogram %s has no _bucket samples" %
+                          (where, who))
+            continue
+        bounds = [b for b, _, _ in buckets]
+        counts = [c for _, c, _ in buckets]
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            errors.append("%s: histogram %s le bounds not strictly "
+                          "increasing: %r" % (where, who, bounds))
+        if any(c2 < c1 for c1, c2 in zip(counts, counts[1:])):
+            errors.append("%s: histogram %s cumulative bucket counts "
+                          "decrease: %r" % (where, who, counts))
+        if not math.isinf(bounds[-1]):
+            errors.append("%s: histogram %s missing +Inf bucket" %
+                          (where, who))
+        if state["count"] is None:
+            errors.append("%s: histogram %s missing _count" % (where, who))
+        elif math.isinf(bounds[-1]) and counts[-1] != state["count"]:
+            errors.append("%s: histogram %s +Inf bucket (%r) != _count (%r)" %
+                          (where, who, counts[-1], state["count"]))
+        if state["sum"] is None:
+            errors.append("%s: histogram %s missing _sum" % (where, who))
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            n = "stdin" if path == "-" else path
+            print("%s: OK" % n)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,8 @@
 //                   [--metrics-out eval_metrics.json]
 //                   [--journal-out events.jsonl] [--trace-out t.json]
 //                   [--latency-sample N]
+//   homctl serve    --model model.hom --in online.csv [--listen 9100]
+//                   [--passes N] [--checkpoint-out c.homc]
 //   homctl inspect  --model model.hom
 //   homctl checkpoint ckpt.homc [--model model.hom]
 //   homctl chaos    [--seed S] [--trials N] [--dir scratch]
@@ -44,6 +46,15 @@
 // long evaluate in one terminal can be observed live from another.
 // `--trace-out <file>` exports a Chrome trace-event timeline (open in
 // Perfetto or chrome://tracing) of the build phases and/or journal events.
+//
+// `evaluate --listen <port>` (0 = ephemeral) and `serve` expose live
+// introspection over HTTP while the run is in flight: `/metrics` in
+// Prometheus text format (labeled per-concept series included),
+// `/healthz` (liveness + last-checkpoint age), `/statusz` (active
+// concept, drift-filter posterior, per-concept stats, recent journal
+// events). `serve` replays the online stream in passes until SIGTERM or
+// SIGINT, then drains gracefully. `stats --format prometheus` renders a
+// saved telemetry file through the same text encoder.
 // The boolean flag `--verbose` raises the log level to debug and
 // timestamps every line.
 //
@@ -52,7 +63,9 @@
 // count; 1 = fully serial). The built model is bit-identical at every
 // thread count.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,11 +87,14 @@
 #include "data/io.h"
 #include "data/sanitize.h"
 #include "eval/prequential.h"
+#include "eval/serving_status.h"
 #include "fault/fault_injector.h"
 #include "highorder/builder.h"
 #include "highorder/checkpoint.h"
 #include "highorder/serialization.h"
 #include "obs/event_journal.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -210,6 +226,46 @@ Status WriteMetricsFile(
   if (!out) return Status::Internal("failed writing " + path);
   std::printf("telemetry: wrote %s\n", path.c_str());
   return Status::OK();
+}
+
+/// Registers the three introspection endpoints on a fresh HttpServer and
+/// starts it. `board` (and the journal it references) must outlive the
+/// server — both live on the owning command's stack.
+Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
+    ServingStatusBoard* board, uint16_t port) {
+  obs::HttpServer::Options options;
+  options.port = port;
+  auto server = std::make_unique<obs::HttpServer>(std::move(options));
+  server->Handle("/metrics", [] {
+    obs::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::EncodePrometheusText(
+        obs::MetricsRegistry::Global().Snapshot());
+    return response;
+  });
+  server->Handle("/healthz", [board] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = board->HealthJson().Dump(2) + "\n";
+    return response;
+  });
+  server->Handle("/statusz", [board] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = board->StatusJson().Dump(2) + "\n";
+    return response;
+  });
+  HOM_RETURN_NOT_OK(server->Start());
+  return server;
+}
+
+/// Set by SIGTERM/SIGINT in `homctl serve`; RunPrequential polls it via
+/// PrequentialOptions::stop_flag, so a signal drains the in-flight record
+/// and exits cleanly instead of killing the process mid-write.
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void HandleShutdownSignal(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
 }
 
 int CmdGenerate(const Args& args) {
@@ -362,6 +418,34 @@ int CmdEvaluate(const Args& args) {
   }
   options.resume_concept_stats = concept_stats;
 
+  // --listen <port>: expose /metrics, /healthz, /statusz for the duration
+  // of the run (port 0 = ephemeral; the banner prints the resolved one).
+  ServingStatusBoard board;
+  std::unique_ptr<obs::HttpServer> server;
+  if (args.Has("listen")) {
+    board.SetStaticInfo(model_path, in, (*model)->num_concepts());
+    board.SetJournal(&journal);
+    auto started = StartIntrospectionServer(
+        &board, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
+    if (!started.ok()) return Fail(started.status().ToString());
+    server = std::move(*started);
+    std::printf("introspection: listening on http://127.0.0.1:%u "
+                "(/metrics /healthz /statusz)\n",
+                static_cast<unsigned>(server->port()));
+    std::fflush(stdout);  // scrapers behind a pipe need the port now
+    options.progress_every = static_cast<uint64_t>(
+        std::atoll(args.Get("progress-every", "200")));
+    options.on_progress = [&](const PrequentialProgress& progress) {
+      ServingStatusBoard::Progress sp;
+      sp.records = progress.record;
+      sp.errors = progress.num_errors;
+      (*model)->ExportServingStatus(&sp);
+      board.UpdateProgress(sp);
+      if (concept_stats != nullptr) board.UpdateConceptStats(*concept_stats);
+    };
+    board.SetState("serving");
+  }
+
   // Checkpointing: save serving state every --checkpoint-every records
   // (and always once more at the end of the run).
   std::string ckpt_out = args.Get("checkpoint-out", "");
@@ -375,7 +459,10 @@ int CmdEvaluate(const Args& args) {
       ckpt->window_fill = progress.window_fill;
       ckpt->concept_stats = concept_stats;
       Status st = SaveCheckpointToFile(ckpt_out, *ckpt);
-      if (st.ok()) return;
+      if (st.ok()) {
+        if (server != nullptr) board.RecordCheckpoint(progress.record);
+        return;
+      }
       std::fprintf(stderr, "homctl: checkpoint: %s\n",
                    st.ToString().c_str());
     } else {
@@ -391,6 +478,18 @@ int CmdEvaluate(const Args& args) {
   }
 
   PrequentialResult result = RunPrequential(model->get(), *test, options);
+  if (server != nullptr) {
+    board.SetState("draining");
+    // --linger <seconds>: hold the server (and the final board/metrics
+    // state) open after the run drains, so a pull-based scraper can still
+    // collect a short run's last scrape — the standard short-job pattern.
+    if (int linger_s = std::atoi(args.Get("linger", "0")); linger_s > 0) {
+      std::printf("introspection: lingering %ds after drain\n", linger_s);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger_s));
+    }
+    server->Stop();
+  }
   if (!ckpt_out.empty()) {
     save_checkpoint({result.num_records, result.num_errors,
                      result.window_errors_carry, result.window_fill_carry});
@@ -436,6 +535,151 @@ int CmdEvaluate(const Args& args) {
     }
     std::printf("telemetry: wrote %s\n", trace_path.c_str());
   }
+  return 0;
+}
+
+/// `homctl serve --model m.hom --in online.csv [--listen PORT]`: long-lived
+/// serving loop. Replays the online stream in passes (--passes N, 0 = until
+/// a signal) while exposing /metrics, /healthz, /statusz, and drains
+/// gracefully on SIGTERM/SIGINT: the in-flight record finishes, a final
+/// checkpoint is written when --checkpoint-out is set, the server stops
+/// (journaling kServerStop), and the process exits 0.
+int CmdServe(const Args& args) {
+  std::string model_path = args.Get("model", "model.hom");
+  std::string in = args.Get("in", "");
+  if (in.empty()) return Fail("serve requires --in <online.csv>");
+
+  auto model = LoadHighOrderModelFromFile(model_path);
+  if (!model.ok()) return Fail(model.status().ToString());
+  auto policy = InputPolicyFromName(args.Get("input-policy", "skip"));
+  if (!policy.ok()) return Fail(policy.status().ToString());
+  (*model)->set_input_policy(*policy);
+
+  CsvReadOptions csv_options;
+  csv_options.policy = *policy;
+  auto online = ReadCsv((*model)->schema(), in, csv_options, nullptr);
+  if (!online.ok()) return Fail(online.status().ToString());
+  if (online->size() == 0) return Fail(in + " has no records to serve");
+
+  obs::EventJournal journal;
+  if (args.Has("journal-out")) {
+    if (Status st = journal.AttachJsonlSink(args.Get("journal-out", ""));
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
+  obs::ScopedJournal scoped(&journal);
+
+  ServingStatusBoard board;
+  board.SetStaticInfo(model_path, in, (*model)->num_concepts());
+  board.SetJournal(&journal);
+  auto started = StartIntrospectionServer(
+      &board, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
+  if (!started.ok()) return Fail(started.status().ToString());
+  std::unique_ptr<obs::HttpServer> server = std::move(*started);
+
+  g_shutdown.store(false, std::memory_order_relaxed);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+
+  uint64_t passes = static_cast<uint64_t>(std::atoll(args.Get("passes", "0")));
+  uint64_t progress_every =
+      static_cast<uint64_t>(std::atoll(args.Get("progress-every", "500")));
+  std::printf("serving: listening on http://127.0.0.1:%u "
+              "(/metrics /healthz /statusz), %zu records/pass, %s passes\n",
+              static_cast<unsigned>(server->port()), online->size(),
+              passes == 0 ? "unbounded" : std::to_string(passes).c_str());
+  std::fflush(stdout);  // the smoke test parses the port through a pipe
+
+  auto concept_stats = std::make_shared<OnlineConceptStats>(
+      (*model)->num_classes(), /*window=*/500);
+  std::string ckpt_out = args.Get("checkpoint-out", "");
+  uint64_t checkpoint_every =
+      static_cast<uint64_t>(std::atoll(args.Get("checkpoint-every", "0")));
+
+  uint64_t total_records = 0;
+  uint64_t total_errors = 0;
+  uint64_t pass = 0;
+  board.SetState("serving");
+  while (!g_shutdown.load(std::memory_order_relaxed) &&
+         (passes == 0 || pass < passes)) {
+    // Counts inside a pass start at zero; the board and checkpoints see
+    // cumulative stream positions across passes.
+    uint64_t base_records = total_records;
+    uint64_t base_errors = total_errors;
+    auto publish = [&](const PrequentialProgress& progress) {
+      ServingStatusBoard::Progress sp;
+      sp.records = base_records + progress.record;
+      sp.errors = base_errors + progress.num_errors;
+      (*model)->ExportServingStatus(&sp);
+      board.UpdateProgress(sp);
+      board.UpdateConceptStats(*concept_stats);
+    };
+    PrequentialOptions options;
+    options.track_concept_stats = true;
+    options.resume_concept_stats = concept_stats;
+    options.progress_every = progress_every;
+    options.on_progress = publish;
+    options.stop_flag = &g_shutdown;
+    if (!ckpt_out.empty()) {
+      options.checkpoint_every = checkpoint_every;
+      options.on_checkpoint = [&](const PrequentialProgress& progress) {
+        auto ckpt = CaptureCheckpoint(**model);
+        if (!ckpt.ok()) {
+          std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                       ckpt.status().ToString().c_str());
+          return;
+        }
+        ckpt->stream_offset = base_records + progress.record;
+        ckpt->num_errors = base_errors + progress.num_errors;
+        ckpt->window_errors = progress.window_errors;
+        ckpt->window_fill = progress.window_fill;
+        ckpt->concept_stats = concept_stats;
+        if (Status st = SaveCheckpointToFile(ckpt_out, *ckpt); st.ok()) {
+          board.RecordCheckpoint(base_records + progress.record);
+        } else {
+          std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                       st.ToString().c_str());
+        }
+      };
+    }
+    PrequentialResult result = RunPrequential(model->get(), *online, options);
+    total_records += result.num_records;
+    total_errors += result.num_errors;
+    ++pass;
+    if (passes == 0 && !g_shutdown.load(std::memory_order_relaxed)) {
+      // Unbounded replay of a finite file: breathe between passes so a
+      // tiny input does not turn the loop into a CPU spin.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  board.SetState("draining");
+  if (!ckpt_out.empty()) {
+    auto ckpt = CaptureCheckpoint(**model);
+    if (ckpt.ok()) {
+      ckpt->stream_offset = total_records;
+      ckpt->num_errors = total_errors;
+      ckpt->concept_stats = concept_stats;
+      if (Status st = SaveCheckpointToFile(ckpt_out, *ckpt); st.ok()) {
+        std::printf("checkpoint: wrote %s at record %llu\n", ckpt_out.c_str(),
+                    static_cast<unsigned long long>(total_records));
+      } else {
+        std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+  server->Stop();
+  if (args.Has("journal-out")) journal.CloseSink();
+  std::printf("serve: %s after %llu passes, %llu records, error %.5f\n",
+              g_shutdown.load(std::memory_order_relaxed) ? "drained on signal"
+                                                         : "completed",
+              static_cast<unsigned long long>(pass),
+              static_cast<unsigned long long>(total_records),
+              total_records > 0 ? static_cast<double>(total_errors) /
+                                      static_cast<double>(total_records)
+                                : 0.0);
   return 0;
 }
 
@@ -675,6 +919,24 @@ int CmdStats(const Args& args) {
   if (version == nullptr || !version->is_number()) {
     return Fail(in + ": missing schema_version (not a telemetry file?)");
   }
+
+  // --format prometheus: render the metrics section through the same text
+  // encoder the live /metrics endpoint uses, so saved telemetry and live
+  // scrapes are byte-compatible for the same snapshot.
+  std::string format = args.Get("format", "pretty");
+  if (format == "prometheus") {
+    const obs::JsonValue* metrics = doc->Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return Fail(in + ": no metrics section");
+    }
+    auto snapshot = obs::MetricsSnapshotFromJson(*metrics);
+    if (!snapshot.ok()) return Fail(in + ": " + snapshot.status().ToString());
+    std::fputs(obs::EncodePrometheusText(*snapshot).c_str(), stdout);
+    return 0;
+  }
+  if (format != "pretty") {
+    return Fail("unknown --format '" + format + "' (pretty | prometheus)");
+  }
   const obs::JsonValue* name = doc->Find("name");
   std::printf("telemetry: %s (schema v%.0f)\n",
               name != nullptr && name->is_string() ? name->as_string().c_str()
@@ -864,6 +1126,7 @@ int main(int argc, char** argv) {
   if (args->command == "generate") return CmdGenerate(*args);
   if (args->command == "build") return CmdBuild(*args);
   if (args->command == "evaluate") return CmdEvaluate(*args);
+  if (args->command == "serve") return CmdServe(*args);
   if (args->command == "inspect") return CmdInspect(*args);
   if (args->command == "checkpoint") return CmdCheckpoint(*args);
   if (args->command == "chaos") return CmdChaos(*args);
@@ -871,8 +1134,9 @@ int main(int argc, char** argv) {
   if (args->command == "tail") return CmdTail(*args, /*follow=*/false);
   if (args->command == "monitor") return CmdTail(*args, /*follow=*/true);
   std::fprintf(stderr,
-               "usage: homctl <generate|build|evaluate|inspect|checkpoint|"
-               "chaos|stats|tail|monitor> [--verbose] [--key value ...]\n"
+               "usage: homctl <generate|build|evaluate|serve|inspect|"
+               "checkpoint|chaos|stats|tail|monitor> [--verbose] "
+               "[--key value ...]\n"
                "  generate   --stream s --n N --seed S [--lambda L] --out "
                "f.csv\n"
                "  build      --stream s --in hist.csv --out model.hom"
@@ -885,10 +1149,17 @@ int main(int argc, char** argv) {
                " [--stop-after N]\n"
                "             [--checkpoint-out c.homc] [--checkpoint-every N]"
                " [--resume c.homc]\n"
+               "             [--listen PORT] [--progress-every N]"
+               " [--linger SECONDS]\n"
+               "  serve      --model model.hom --in online.csv"
+               " [--listen PORT] [--passes N]\n"
+               "             [--progress-every N] [--journal-out e.jsonl]\n"
+               "             [--checkpoint-out c.homc] [--checkpoint-every N]"
+               " [--input-policy p]\n"
                "  inspect    --model model.hom\n"
                "  checkpoint c.homc [--model model.hom]\n"
                "  chaos      [--seed S] [--trials N] [--dir scratch]\n"
-               "  stats      m.json\n"
+               "  stats      m.json [--format pretty|prometheus]\n"
                "  tail       e.jsonl [--follow]\n"
                "  monitor    e.jsonl\n");
   return args->command.empty() ? 1 : 2;

@@ -102,6 +102,26 @@ expect strict_csv 1 'ragged.csv:[0-9]+' -- \
   evaluate --model "$WORK/m.hom" --in "$WORK/ragged.csv" \
   --input-policy error
 
+# --- live introspection flags -------------------------------------------
+expect serve_needs_in 1 'requires --in' -- serve --model "$WORK/m.hom"
+expect serve_missing_model 1 'IoError' -- \
+  serve --model "$WORK/absent.hom" --in "$WORK/online.csv"
+expect listen_needs_value 1 'missing its value' -- \
+  evaluate --model "$WORK/m.hom" --in "$WORK/online.csv" --listen
+expect evaluate_metrics_ok 0 - -- \
+  evaluate --model "$WORK/m.hom" --in "$WORK/online.csv" \
+  --metrics-out "$WORK/telemetry.json"
+expect stats_bad_format 1 "unknown --format" -- \
+  stats --in "$WORK/telemetry.json" --format bogus
+expect stats_prometheus_ok 0 - -- \
+  stats --in "$WORK/telemetry.json" --format prometheus
+if ! grep -q '^# TYPE ' "$WORK/stats_prometheus_ok.out"; then
+  echo "FAIL stats_prometheus_ok: no '# TYPE' lines on stdout" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok stats_prometheus_output"
+fi
+
 # --- chaos sweep (small but real) ---------------------------------------
 expect chaos_ok 0 - -- chaos --seed 17 --trials 9 --dir "$WORK/chaos"
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of `homctl serve` live introspection.
+
+Usage: serve_smoke_test.py <path-to-homctl>
+
+Builds a tiny STAGGER model in a temp dir, starts `homctl serve --listen 0`,
+scrapes /metrics, /healthz and /statusz while the loop is live, validates
+the /metrics payload with check_prom_text, checks labeled per-concept
+series are present, checks 404/405 behavior, then sends SIGTERM and
+asserts a graceful exit (code 0 with a drain message).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_prom_text  # noqa: E402
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit("command failed: %s\n%s%s" %
+                         (" ".join(cmd), proc.stdout, proc.stderr))
+    return proc.stdout
+
+
+def fetch(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    homctl = os.path.abspath(sys.argv[1])
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="hom_serve_smoke.") as tmp:
+        hist = os.path.join(tmp, "hist.csv")
+        online = os.path.join(tmp, "online.csv")
+        model = os.path.join(tmp, "model.hom")
+        run([homctl, "generate", "--stream", "stagger", "--n", "4000",
+             "--out", hist])
+        run([homctl, "generate", "--stream", "stagger", "--n", "2000",
+             "--seed", "9", "--out", online])
+        run([homctl, "build", "--in", hist, "--out", model])
+
+        serve = subprocess.Popen(
+            [homctl, "serve", "--model", model, "--in", online,
+             "--listen", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            banner = serve.stdout.readline()
+            m = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            if not m:
+                raise SystemExit("no port in serve banner: %r" % banner)
+            base = "http://127.0.0.1:%s" % m.group(1)
+            time.sleep(0.5)  # let a pass or two of records flow
+
+            fetch(base + "/metrics")  # warm-up: requests{} counts appear
+            status, metrics = fetch(base + "/metrics")
+            assert status == 200, "metrics status %s" % status
+            prom = os.path.join(tmp, "scrape.prom")
+            with open(prom, "w", encoding="utf-8") as f:
+                f.write(metrics)
+            errors = check_prom_text.check_file(prom)
+            failures += ["/metrics: " + e for e in errors]
+            if 'concept="' not in metrics:
+                failures.append("/metrics: no labeled per-concept series")
+            if "hom_server_requests_total" not in metrics:
+                failures.append("/metrics: server not counting its own "
+                                "scrapes")
+
+            status, health = fetch(base + "/healthz")
+            doc = json.loads(health)
+            if status != 200 or doc.get("status") != "ok":
+                failures.append("/healthz: %s %r" % (status, health))
+            if doc.get("state") != "serving":
+                failures.append("/healthz: state %r" % doc.get("state"))
+
+            status, statusz = fetch(base + "/statusz")
+            doc = json.loads(statusz)
+            if status != 200:
+                failures.append("/statusz: status %s" % status)
+            for key in ("model", "progress", "num_concepts", "state"):
+                if key not in doc:
+                    failures.append("/statusz: missing %r" % key)
+            if doc.get("progress", {}).get("records", 0) <= 0:
+                failures.append("/statusz: no records progressed")
+            if not doc.get("progress", {}).get("posterior"):
+                failures.append("/statusz: no drift-filter posterior")
+
+            try:
+                fetch(base + "/nope")
+                failures.append("/nope: expected HTTP 404")
+            except urllib.error.HTTPError as e:
+                if e.code != 404:
+                    failures.append("/nope: expected 404, got %s" % e.code)
+
+            try:
+                req = urllib.request.Request(base + "/metrics", data=b"x",
+                                             method="POST")
+                urllib.request.urlopen(req, timeout=5.0)
+                failures.append("POST /metrics: expected HTTP 405")
+            except urllib.error.HTTPError as e:
+                if e.code != 405:
+                    failures.append("POST /metrics: expected 405, got %s" %
+                                    e.code)
+
+            serve.send_signal(signal.SIGTERM)
+            out, _ = serve.communicate(timeout=30)
+            if serve.returncode != 0:
+                failures.append("serve exit code %s after SIGTERM\n%s" %
+                                (serve.returncode, out))
+            if "drained on signal" not in out:
+                failures.append("serve did not report graceful drain:\n%s" %
+                                out)
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.communicate()
+
+    if failures:
+        for f in failures:
+            print("FAIL: %s" % f, file=sys.stderr)
+        return 1
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
