@@ -1,0 +1,156 @@
+// Sampling-profiler overhead bench (DESIGN.md §11): what does continuous
+// profiling cost? Runs the same prequential evaluation with the profiler
+// off and on (default 99 Hz), compares median wall times, verifies the
+// profile is non-empty and symbolizes into hom:: frames, and — as the
+// determinism anchor the baseline gate watches — that profiling changes
+// no prediction. The committed baseline pins overhead_ratio, gated by
+// bench_compare's "overhead" policy.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "common/check.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "highorder/serialization.h"
+#include "obs/prof.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using namespace hom;
+using hom::bench::BenchReporter;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+std::unique_ptr<HighOrderClassifier> Reload(const std::string& bytes) {
+  std::stringstream buffer(bytes);
+  auto model = LoadHighOrderModel(&buffer);
+  HOM_CHECK(model.ok());
+  return std::move(*model);
+}
+
+double Median(std::vector<double> values) {
+  HOM_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  size_t mid = values.size() / 2;
+  return values.size() % 2 == 1
+             ? values[mid]
+             : 0.5 * (values[mid - 1] + values[mid]);
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  StaggerGenerator gen(88001);
+  Dataset history = gen.Generate(scale.stagger_history);
+  Dataset test = gen.Generate(scale.stagger_test);
+
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(29);
+  auto built = builder.Build(history, &rng);
+  if (!built.ok()) {
+    std::printf("build failed: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  HOM_CHECK(SaveHighOrderModel(&buffer, **built).ok());
+  const std::string model_bytes = buffer.str();
+
+  BenchReporter reporter("bench_profile");
+  reporter.SetScale(scale);
+  std::printf("== sampling profiler: cost of continuous profiling ==\n");
+  PrintRule(64);
+
+  const size_t reps = std::max<size_t>(scale.runs, 5);
+  // Interleave off/on reps so drift (thermal, cache warm-up) hits both
+  // sides evenly instead of biasing whichever side runs last.
+  std::vector<double> off_seconds, on_seconds;
+  size_t off_errors = 0, on_errors = 0;
+  uint64_t total_samples = 0;
+  obs::ProfileData merged;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    {
+      auto model = Reload(model_bytes);
+      PrequentialResult result = RunPrequential(model.get(), test);
+      off_seconds.push_back(result.seconds);
+      off_errors = result.num_errors;
+    }
+    {
+      auto model = Reload(model_bytes);
+      Status st = obs::SamplingProfiler::Global().Start({});
+      bool profiling = st.ok();
+      if (!profiling) {
+        std::printf("profiler unavailable: %s\n", st.ToString().c_str());
+      }
+      PrequentialResult result = RunPrequential(model.get(), test);
+      on_seconds.push_back(result.seconds);
+      on_errors = result.num_errors;
+      if (profiling) {
+        obs::ProfileData window = obs::SamplingProfiler::Global().Collect();
+        total_samples += window.samples.size();
+        merged.MergeFrom(window);
+      }
+    }
+  }
+
+  double off_median = Median(off_seconds);
+  double on_median = Median(on_seconds);
+  double ratio = off_median > 0.0 ? on_median / off_median : 1.0;
+  size_t hom_frames = 0;
+  for (const std::string& frame : merged.frames) {
+    if (frame.find("hom::") != std::string::npos) ++hom_frames;
+  }
+
+  std::printf("%-36s %10.4f s\n", "evaluate (profiler off, median)",
+              off_median);
+  std::printf("%-36s %10.4f s\n", "evaluate (profiler on, median)",
+              on_median);
+  std::printf("%-36s %10.4f\n", "overhead ratio (on/off)", ratio);
+  std::printf("%-36s %10llu\n", "samples captured",
+              static_cast<unsigned long long>(total_samples));
+  std::printf("%-36s %10zu / %zu\n", "frames symbolized to hom::",
+              hom_frames, merged.frames.size());
+
+  reporter.AddValue("profiler/off", "median_seconds", off_median);
+  reporter.AddValue("profiler/on", "median_seconds", on_median);
+  reporter.AddValue("profiler/on", "samples",
+                    static_cast<double>(total_samples));
+  reporter.AddValue("profiler/on", "hom_frames",
+                    static_cast<double>(hom_frames));
+  reporter.AddValue("profiler/overhead", "overhead_ratio", ratio);
+
+  // Determinism anchor: sampling must observe, never steer. Identical
+  // error counts on the identical stream or the binary fails.
+  std::printf("%-36s %10zu vs %zu\n", "errors (off vs on)", off_errors,
+              on_errors);
+  reporter.AddValue("profiler/determinism", "match",
+                    off_errors == on_errors ? 1.0 : 0.0);
+  if (off_errors != on_errors) {
+    std::printf("PROFILING CHANGED RESULTS: %zu vs %zu errors\n", off_errors,
+                on_errors);
+    return 1;
+  }
+  // A supported platform must actually produce a symbolized profile — an
+  // empty one here means frame pointers or -rdynamic regressed.
+#if defined(__linux__)
+  if (total_samples == 0 || hom_frames == 0) {
+    std::printf("EMPTY OR UNSYMBOLIZED PROFILE (samples=%llu hom_frames=%zu)\n",
+                static_cast<unsigned long long>(total_samples), hom_frames);
+    return 1;
+  }
+#endif
+
+  if (Status st = reporter.WriteJson(); !st.ok()) {
+    std::printf("telemetry write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "classifiers/decision_tree.h"
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace_export.h"
 
 namespace hom::bench {
@@ -80,12 +81,41 @@ void Normalize(CellResult* total, size_t runs) {
   total->major_concepts /= n;
 }
 
+/// Opt-in continuous profiling of the bench drivers: with
+/// HOM_BENCH_PROFILE=1 the enclosed scope runs under the sampling
+/// profiler and the window merges into AccumulatedProfile(). Leaves an
+/// already-running window (an outer driver's, or homctl's) alone.
+class ScopedBenchProfileWindow {
+ public:
+  ScopedBenchProfileWindow() {
+    const char* env = std::getenv("HOM_BENCH_PROFILE");
+    if (env == nullptr || env[0] == '\0' || std::strcmp(env, "0") == 0) {
+      return;
+    }
+    if (obs::SamplingProfiler::Global().running()) return;
+    obs::ProfileOptions options;
+    if (const char* hz = std::getenv("HOM_BENCH_PROFILE_HZ")) {
+      double parsed = std::atof(hz);
+      if (parsed > 0.0) options.hz = parsed;
+    }
+    armed_ = obs::SamplingProfiler::Global().Start(options).ok();
+  }
+  ~ScopedBenchProfileWindow() {
+    if (!armed_) return;
+    AccumulatedProfile().MergeFrom(obs::SamplingProfiler::Global().Collect());
+  }
+
+ private:
+  bool armed_ = false;
+};
+
 }  // namespace
 
 std::vector<CellResult> RunComparison(const GeneratorFactory& make_generator,
                                       size_t history_size, size_t test_size,
                                       size_t runs, uint64_t seed_base) {
   obs::ScopedJournal journal(&GlobalJournal());
+  ScopedBenchProfileWindow profile_window;
   std::vector<CellResult> totals(3);
   for (size_t run = 0; run < runs; ++run) {
     uint64_t seed = seed_base + run * 1000;
@@ -122,6 +152,7 @@ CellResult RunHighOrderOnly(const GeneratorFactory& make_generator,
                             size_t history_size, size_t test_size,
                             size_t runs, uint64_t seed_base) {
   obs::ScopedJournal journal(&GlobalJournal());
+  ScopedBenchProfileWindow profile_window;
   CellResult total;
   for (size_t run = 0; run < runs; ++run) {
     uint64_t seed = seed_base + run * 1000;
@@ -153,6 +184,11 @@ obs::EventJournal& GlobalJournal() {
   // destruction of generators and classifiers.
   static obs::EventJournal* journal = new obs::EventJournal();
   return *journal;
+}
+
+obs::ProfileData& AccumulatedProfile() {
+  static obs::ProfileData* profile = new obs::ProfileData();
+  return *profile;
 }
 
 BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
@@ -191,7 +227,7 @@ std::string BenchReporter::output_path() const {
 
 Status BenchReporter::WriteJson() const {
   obs::JsonValue doc = obs::JsonValue::Object();
-  doc.Set("schema_version", 2);
+  doc.Set("schema_version", 3);
   doc.Set("name", name_);
   doc.Set("scale", scale_);
   obs::JsonValue results = obs::JsonValue::Array();
@@ -203,12 +239,21 @@ Status BenchReporter::WriteJson() const {
   }
   doc.Set("results", std::move(results));
   doc.Set("metrics", obs::MetricsRegistry::Global().Snapshot().ToJson());
-  const obs::PhaseNode& phases = AccumulatedBuildPhases();
+  const obs::ProfileData& profile = AccumulatedProfile();
+  // Attribute samples into a copy of the accumulated tree: the statistical
+  // self_cpu_seconds belongs to this report, not to the process-wide
+  // accumulator a later reporter might merge more builds into.
+  obs::PhaseNode phases = AccumulatedBuildPhases();
+  if (!profile.empty() && phases.count > 0) {
+    obs::AttributeSamplesToPhases(profile, &phases);
+  }
   doc.Set("phases",
           phases.count > 0 ? phases.ToJson() : obs::JsonValue());
   const obs::EventJournal& journal = GlobalJournal();
   doc.Set("journal", journal.emitted() > 0 ? journal.SummaryJson()
                                            : obs::JsonValue());
+  doc.Set("profile",
+          profile.empty() ? obs::JsonValue() : profile.SummaryJson());
 
   std::error_code ec;
   std::filesystem::create_directories("bench_output", ec);
@@ -222,10 +267,20 @@ Status BenchReporter::WriteJson() const {
     return Status::Internal("failed writing " + path);
   }
   std::printf("telemetry: wrote %s\n", path.c_str());
+  if (!profile.empty()) {
+    std::string folded_path = "bench_output/" + name_ + ".folded";
+    std::ofstream folded(folded_path, std::ios::trunc);
+    folded << profile.ToFolded();
+    if (!folded) {
+      return Status::Internal("failed writing " + folded_path);
+    }
+    std::printf("telemetry: wrote %s\n", folded_path.c_str());
+  }
   if (std::getenv("HOM_BENCH_TRACE") != nullptr) {
     std::string trace_path = "bench_output/" + name_ + "_trace.json";
     Status st = obs::WriteChromeTrace(
-        trace_path, phases.count > 0 ? &phases : nullptr, &journal);
+        trace_path, phases.count > 0 ? &phases : nullptr, &journal,
+        profile.empty() ? nullptr : &profile);
     if (!st.ok()) return st;
     std::printf("telemetry: wrote %s\n", trace_path.c_str());
   }

@@ -13,6 +13,7 @@
 #include "highorder/builder.h"
 #include "obs/event_journal.h"
 #include "obs/json.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 #include "streams/generator.h"
 
@@ -82,27 +83,42 @@ obs::PhaseNode& AccumulatedBuildPhases();
 /// "journal" field of the bench JSON.
 obs::EventJournal& GlobalJournal();
 
+/// CPU profile accumulated across every RunComparison/RunHighOrderOnly
+/// window this process has run with HOM_BENCH_PROFILE=1 in the
+/// environment (HOM_BENCH_PROFILE_HZ overrides the 99 Hz default). Empty
+/// when profiling was off or unsupported; feeds the "profile" field of
+/// the bench JSON, the folded sidecar, and the per-phase
+/// `self_cpu_seconds` attribution.
+obs::ProfileData& AccumulatedProfile();
+
 /// \brief Collects a bench binary's measurements and writes them as
 /// machine-readable telemetry to `bench_output/<name>.json` in the current
 /// working directory (validated by tools/check_bench_json.py).
 ///
-/// Schema (schema_version 2):
+/// Schema (schema_version 3):
 ///   {
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "name": "<bench binary>",
 ///     "scale": {"mode": "reduced"|"paper", "runs": N},
 ///     "results": [{"name": "<row>", "values": {"<key>": number, ...}}],
 ///     "metrics": <MetricsSnapshot::ToJson()>,   // histograms now carry
 ///                                               // p50/p95/p99 estimates
 ///     "phases": <PhaseNode::ToJson() of the merged build tree> | null,
-///     "journal": <EventJournal::SummaryJson() of GlobalJournal()> | null
+///        // with HOM_BENCH_PROFILE=1, nodes carry statistical
+///        // self_cpu_seconds attributed from the sample phase stacks
+///     "journal": <EventJournal::SummaryJson() of GlobalJournal()> | null,
+///     "profile": <ProfileData::SummaryJson()> | null  // v3; null when
+///                                               // profiling was off
 ///   }
 ///
 /// Rows appear in first-AddValue order, keys in insertion order, so the
 /// emitted file diffs cleanly between runs. Setting HOM_BENCH_TRACE in the
 /// environment additionally writes bench_output/<name>_trace.json, a
 /// Chrome trace-event timeline of the build phases + journal events
-/// (load in Perfetto / chrome://tracing).
+/// (load in Perfetto / chrome://tracing; profiled runs add a "cpu
+/// samples" track). With HOM_BENCH_PROFILE=1 the folded profile is also
+/// written to bench_output/<name>.folded (flamegraph.pl / speedscope
+/// input, validated by tools/check_folded_profile.py).
 class BenchReporter {
  public:
   explicit BenchReporter(std::string name);

@@ -60,14 +60,26 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
       stopped_early = true;
       break;
     }
+    // One record = one timed request (a no-op without a request_timer).
+    obs::ScopedRequestTimer request_timing(
+        options.request_timer, static_cast<int64_t>(result.num_records + 1));
     // Predict with the label hidden: x_t.
-    Record unlabeled = r;
-    unlabeled.label = kUnlabeled;
-    Label predicted = classifier->Predict(unlabeled);
+    Record unlabeled;
+    {
+      obs::ScopedRequestStage stage(obs::RequestStage::kParse);
+      unlabeled = r;
+      unlabeled.label = kUnlabeled;
+    }
+    Label predicted;
+    {
+      obs::ScopedRequestStage stage(obs::RequestStage::kPredict);
+      predicted = classifier->Predict(unlabeled);
+    }
     bool wrong = predicted != r.label;
     ++result.num_records;
     if (wrong) ++result.num_errors;
     if (options.record_trace) result.errors.push_back(wrong ? 1 : 0);
+    obs::ScopedRequestStage observe_stage(obs::RequestStage::kObserve);
     if (result.concept_stats != nullptr) {
       result.concept_stats->Observe(classifier->ActiveConcept(), r.label,
                                     predicted);
@@ -91,6 +103,7 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
     }
     if (options.checkpoint_every > 0 && options.on_checkpoint &&
         result.num_records % options.checkpoint_every == 0) {
+      obs::ScopedRequestStage stage(obs::RequestStage::kCheckpoint);
       PrequentialProgress progress;
       progress.record = result.num_records;
       progress.num_errors = result.num_errors;

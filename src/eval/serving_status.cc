@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 
 namespace hom {
@@ -32,6 +33,11 @@ void ServingStatusBoard::SetStaticInfo(std::string model_path,
 void ServingStatusBoard::SetJournal(const obs::EventJournal* journal) {
   std::lock_guard<std::mutex> lock(mu_);
   journal_ = journal;
+}
+
+void ServingStatusBoard::SetRequestTimer(const obs::RequestTimer* timer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_timer_ = timer;
 }
 
 void ServingStatusBoard::SetState(std::string state) {
@@ -158,6 +164,15 @@ obs::JsonValue ServingStatusBoard::StatusJson(size_t last_events) const {
 
   if (has_concept_stats_) {
     out.Set("concept_stats", concept_stats_json_);
+  }
+
+  out.Set("build", obs::BuildInfoJson());
+
+  if (request_timer_ != nullptr) {
+    obs::JsonValue slow = obs::JsonValue::Object();
+    slow.Set("requests", obs::JsonValue(request_timer_->requests()));
+    slow.Set("slowest", request_timer_->SlowestJson());
+    out.Set("slow_requests", std::move(slow));
   }
 
   if (journal_ != nullptr) {

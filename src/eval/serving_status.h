@@ -11,6 +11,7 @@
 #include "eval/online_stats.h"
 #include "obs/event_journal.h"
 #include "obs/json.h"
+#include "obs/request_timer.h"
 
 namespace hom {
 
@@ -42,6 +43,9 @@ class ServingStatusBoard {
   /// Journal whose most recent events /statusz lists. The journal must
   /// outlive the board (both are owned by the serving command).
   void SetJournal(const obs::EventJournal* journal);
+  /// Request timer whose slowest-K set /statusz surfaces as
+  /// "slow_requests" (stage breakdowns included). Must outlive the board.
+  void SetRequestTimer(const obs::RequestTimer* timer);
   /// Lifecycle marker: "loading" -> "serving" -> "draining".
   void SetState(std::string state);
 
@@ -84,6 +88,7 @@ class ServingStatusBoard {
   uint64_t checkpoint_record_ = 0;
   Clock::time_point checkpoint_at_;
   const obs::EventJournal* journal_ = nullptr;
+  const obs::RequestTimer* request_timer_ = nullptr;
 };
 
 }  // namespace hom

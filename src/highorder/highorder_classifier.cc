@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "obs/event_journal.h"
 #include "obs/metrics.h"
+#include "obs/request_timer.h"
 
 namespace hom {
 
@@ -54,31 +55,42 @@ HighOrderClassifier::HighOrderClassifier(SchemaPtr schema,
 }
 
 void HighOrderClassifier::ObserveLabeled(const Record& y) {
-  if (!y.is_labeled() || !sanitizer_.IsClean(y)) {
-    if (y.is_labeled() &&
-        input_policy_ == InputPolicy::kImputeMajority) {
-      Record fixed = y;
-      InputSanitizer::Report repair = sanitizer_.Repair(&fixed);
-      if (repair.arity_ok) {
-        HOM_COUNTER_INC("hom.online.input_imputed");
-        obs::EmitIfActive(obs::EventType::kInputImputed, "highorder",
-                          static_cast<int64_t>(observations_), -1, -1,
-                          static_cast<double>(repair.repaired_fields +
-                                              (repair.label_repaired ? 1 : 0)));
-        ObserveLabeledClean(fixed);
+  Record fixed;
+  bool use_fixed = false;
+  {
+    // The hardening work (clean check / repair / distribution update) is
+    // the request's sanitize stage; learning proper stays in observe.
+    obs::ScopedRequestStage sanitize(obs::RequestStage::kSanitize);
+    if (!y.is_labeled() || !sanitizer_.IsClean(y)) {
+      if (y.is_labeled() &&
+          input_policy_ == InputPolicy::kImputeMajority) {
+        fixed = y;
+        InputSanitizer::Report repair = sanitizer_.Repair(&fixed);
+        if (repair.arity_ok) {
+          HOM_COUNTER_INC("hom.online.input_imputed");
+          obs::EmitIfActive(
+              obs::EventType::kInputImputed, "highorder",
+              static_cast<int64_t>(observations_), -1, -1,
+              static_cast<double>(repair.repaired_fields +
+                                  (repair.label_repaired ? 1 : 0)));
+          use_fixed = true;
+        }
+      }
+      if (!use_fixed) {
+        // kError behaves like kSkip here: ObserveLabeled has no caller to
+        // hand a Status to, so strictness is enforced at ingest (ReadCsv)
+        // and the serving loop degrades to "drop and count" instead of
+        // aborting.
+        HOM_COUNTER_INC("hom.online.input_rejected");
+        obs::EmitIfActive(obs::EventType::kInputRejected, "highorder",
+                          static_cast<int64_t>(observations_), -1, -1, 0.0);
         return;
       }
+    } else {
+      sanitizer_.Learn(y);
     }
-    // kError behaves like kSkip here: ObserveLabeled has no caller to hand
-    // a Status to, so strictness is enforced at ingest (ReadCsv) and the
-    // serving loop degrades to "drop and count" instead of aborting.
-    HOM_COUNTER_INC("hom.online.input_rejected");
-    obs::EmitIfActive(obs::EventType::kInputRejected, "highorder",
-                      static_cast<int64_t>(observations_), -1, -1, 0.0);
-    return;
   }
-  sanitizer_.Learn(y);
-  ObserveLabeledClean(y);
+  ObserveLabeledClean(use_fixed ? fixed : y);
 }
 
 void HighOrderClassifier::ObserveLabeledClean(const Record& y) {
@@ -284,26 +296,30 @@ std::vector<double> HighOrderClassifier::PredictProba(const Record& x) {
 }
 
 Label HighOrderClassifier::Predict(const Record& x) {
-  if (!sanitizer_.IsClean(x)) {
-    // A prediction must always answer; repair what can be repaired
-    // regardless of policy (the policy governs what *learns*, not what
-    // the service returns).
-    Record fixed = x;
-    InputSanitizer::Report repair = sanitizer_.Repair(&fixed);
-    if (!repair.arity_ok) {
-      HOM_COUNTER_INC("hom.online.input_rejected");
-      obs::EmitIfActive(obs::EventType::kInputRejected, "highorder",
-                        static_cast<int64_t>(observations_), -1, -1, 0.0);
-      return last_prediction_;
+  Record fixed;
+  bool use_fixed = false;
+  {
+    obs::ScopedRequestStage sanitize(obs::RequestStage::kSanitize);
+    if (!sanitizer_.IsClean(x)) {
+      // A prediction must always answer; repair what can be repaired
+      // regardless of policy (the policy governs what *learns*, not what
+      // the service returns).
+      fixed = x;
+      InputSanitizer::Report repair = sanitizer_.Repair(&fixed);
+      if (!repair.arity_ok) {
+        HOM_COUNTER_INC("hom.online.input_rejected");
+        obs::EmitIfActive(obs::EventType::kInputRejected, "highorder",
+                          static_cast<int64_t>(observations_), -1, -1, 0.0);
+        return last_prediction_;
+      }
+      HOM_COUNTER_INC("hom.online.input_imputed");
+      obs::EmitIfActive(obs::EventType::kInputImputed, "highorder",
+                        static_cast<int64_t>(observations_), -1, -1,
+                        static_cast<double>(repair.repaired_fields));
+      use_fixed = true;
     }
-    HOM_COUNTER_INC("hom.online.input_imputed");
-    obs::EmitIfActive(obs::EventType::kInputImputed, "highorder",
-                      static_cast<int64_t>(observations_), -1, -1,
-                      static_cast<double>(repair.repaired_fields));
-    last_prediction_ = PredictClean(fixed);
-    return last_prediction_;
   }
-  last_prediction_ = PredictClean(x);
+  last_prediction_ = PredictClean(use_fixed ? fixed : x);
   return last_prediction_;
 }
 

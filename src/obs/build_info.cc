@@ -1,0 +1,52 @@
+#include "obs/build_info.h"
+
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace hom::obs {
+
+namespace {
+
+std::mutex g_build_info_mu;
+std::string g_model_schema = "none";  // guarded by g_build_info_mu
+Gauge* g_published = nullptr;         // the currently-set label child
+
+}  // namespace
+
+const char* HomVersion() { return "0.6.0"; }
+
+const char* HomBuildType() {
+#if defined(HOM_BUILD_TYPE_NAME)
+  return HOM_BUILD_TYPE_NAME;
+#else
+  return "unknown";
+#endif
+}
+
+void PublishBuildInfo(const std::string& model_schema_fingerprint) {
+  std::lock_guard<std::mutex> lock(g_build_info_mu);
+  Gauge* gauge =
+      MetricsRegistry::Global()
+          .GetGaugeFamily("hom_build_info")
+          ->WithLabels({{"version", HomVersion()},
+                        {"build", HomBuildType()},
+                        {"model_schema", model_schema_fingerprint}});
+  if (g_published != nullptr && g_published != gauge) {
+    g_published->Set(0.0);  // retire the previous identity
+  }
+  gauge->Set(1.0);
+  g_published = gauge;
+  g_model_schema = model_schema_fingerprint;
+}
+
+JsonValue BuildInfoJson() {
+  JsonValue out = JsonValue::Object();
+  out.Set("version", JsonValue(std::string(HomVersion())));
+  out.Set("build", JsonValue(std::string(HomBuildType())));
+  std::lock_guard<std::mutex> lock(g_build_info_mu);
+  out.Set("model_schema", JsonValue(g_model_schema));
+  return out;
+}
+
+}  // namespace hom::obs

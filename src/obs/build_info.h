@@ -1,0 +1,34 @@
+#ifndef HOM_OBS_BUILD_INFO_H_
+#define HOM_OBS_BUILD_INFO_H_
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace hom::obs {
+
+/// The release version of this tree. Bumped by hand with the roadmap.
+const char* HomVersion();
+
+/// The CMake build type the binary was compiled as ("Release", "Debug",
+/// ...; "unknown" when the build did not say).
+const char* HomBuildType();
+
+/// Publishes the `hom_build_info` identity gauge: value 1 with labels
+/// {version, build, model_schema}. The Prometheus convention for
+/// constant metadata — dashboards join it against the real series instead
+/// of every series carrying the labels. `model_schema` is the serving
+/// model's schema fingerprint ("%08x", or "none" before a model loads);
+/// calling again with a different fingerprint moves the gauge to the new
+/// label set and zeroes the old one, so a scrape always shows exactly one
+/// build_info with value 1.
+void PublishBuildInfo(const std::string& model_schema_fingerprint);
+
+/// {"version", "build", "model_schema"} — the "build" section of
+/// /statusz and telemetry files. Reflects the latest PublishBuildInfo
+/// fingerprint ("none" when never published).
+JsonValue BuildInfoJson();
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_BUILD_INFO_H_

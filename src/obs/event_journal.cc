@@ -1,6 +1,7 @@
 #include "obs/event_journal.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace hom::obs {
 
@@ -12,8 +13,27 @@ constexpr std::string_view kTypeNames[kNumEventTypes] = {
     "concept_switch", "drift_suspected",  "drift_confirmed", "model_reuse",
     "model_relearn",  "hmm_prediction",   "window_error",    "input_rejected",
     "input_imputed",  "checkpoint_save",  "checkpoint_load", "fault_injected",
-    "server_start",   "server_stop",
+    "server_start",   "server_stop",      "slow_request",    "profile_start",
+    "profile_stop",
 };
+
+/// Cached per-type handles into the global `hom.journal.dropped` counter
+/// family: evictions happen on the (hot) Emit path once the ring wraps, so
+/// the WithLabels lookup is paid once per type, not per drop.
+Counter* DroppedCounter(EventType type) {
+  static std::array<std::atomic<Counter*>, kNumEventTypes> handles{};
+  size_t i = static_cast<size_t>(type);
+  Counter* handle = handles[i].load(std::memory_order_acquire);
+  if (handle == nullptr) {
+    // Benign race between journals: WithLabels returns the same stable
+    // pointer for the same label set, so last-writer-wins is fine.
+    handle = MetricsRegistry::Global()
+                 .GetCounterFamily("hom.journal.dropped")
+                 ->WithLabels({{"type", std::string(kTypeNames[i])}});
+    handles[i].store(handle, std::memory_order_release);
+  }
+  return handle;
+}
 
 }  // namespace
 
@@ -63,7 +83,10 @@ void EventJournal::Emit(EventType type, std::string_view source,
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
-    ring_[event.seq % capacity_] = std::move(event);
+    Event& slot = ring_[event.seq % capacity_];
+    ++dropped_per_type_[static_cast<size_t>(slot.type)];
+    DroppedCounter(slot.type)->Add();
+    slot = std::move(event);
   }
 }
 
@@ -92,6 +115,11 @@ uint64_t EventJournal::dropped() const {
 std::array<uint64_t, kNumEventTypes> EventJournal::per_type_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return per_type_;
+}
+
+std::array<uint64_t, kNumEventTypes> EventJournal::dropped_per_type() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_per_type_;
 }
 
 Status EventJournal::AttachJsonlSink(const std::string& path) {
@@ -130,6 +158,16 @@ JsonValue EventJournal::SummaryJson() const {
   out.Set("dropped", JsonValue(next_seq_ - ring_.size()));
   out.Set("capacity", JsonValue(static_cast<uint64_t>(capacity_)));
   out.Set("by_type", std::move(by_type));
+  JsonValue dropped_by_type = JsonValue::Object();
+  bool any_dropped = false;
+  for (size_t i = 0; i < kNumEventTypes; ++i) {
+    if (dropped_per_type_[i] > 0) {
+      dropped_by_type.Set(std::string(kTypeNames[i]),
+                          JsonValue(dropped_per_type_[i]));
+      any_dropped = true;
+    }
+  }
+  if (any_dropped) out.Set("dropped_by_type", std::move(dropped_by_type));
   return out;
 }
 

@@ -34,9 +34,14 @@ enum class EventType : uint8_t {
   kFaultInjected,      ///< the chaos harness injected a fault (tests only)
   kServerStart,        ///< introspection HTTP server up (`to` = port)
   kServerStop,         ///< introspection HTTP server shut down
+  kSlowRequest,        ///< a request entered the slowest-K set (`record` =
+                       ///< stream position, `value` = total µs, `source` =
+                       ///< the dominant stage of its breakdown)
+  kProfileStart,       ///< CPU sampling profiler armed (`value` = hz)
+  kProfileStop,        ///< profiler disarmed (`value` = samples captured)
 };
 
-inline constexpr size_t kNumEventTypes = 14;
+inline constexpr size_t kNumEventTypes = 17;
 
 /// Stable wire name of an event type ("concept_switch", ...).
 std::string_view EventTypeName(EventType type);
@@ -98,6 +103,11 @@ class EventJournal {
   uint64_t dropped() const;
   /// Emit counts per event type, indexed by EventType.
   std::array<uint64_t, kNumEventTypes> per_type_counts() const;
+  /// Ring evictions per event type (which kinds of history overflow cost
+  /// us), indexed by EventType. Each eviction also bumps the global
+  /// `hom.journal.dropped{type=...}` counter family, so a scrape can alert
+  /// on journal loss without reaching this object.
+  std::array<uint64_t, kNumEventTypes> dropped_per_type() const;
   size_t capacity() const { return capacity_; }
 
   /// Streams every subsequent Emit() as one JSON line to `path`
@@ -110,8 +120,9 @@ class EventJournal {
   /// Dumps the current Snapshot() as JSONL to `path` (truncating).
   Status WriteJsonl(const std::string& path) const;
 
-  /// {"emitted": N, "dropped": N, "capacity": N, "by_type": {...}} —
-  /// the summary embedded in telemetry files.
+  /// {"emitted": N, "dropped": N, "capacity": N, "by_type": {...},
+  /// "dropped_by_type": {...}} — the summary embedded in telemetry files
+  /// (dropped_by_type appears only when something was evicted).
   JsonValue SummaryJson() const;
 
   /// The calling thread's active journal, or nullptr (see ScopedJournal).
@@ -129,6 +140,7 @@ class EventJournal {
   std::vector<Event> ring_;      ///< slot = seq % capacity_
   uint64_t next_seq_ = 0;
   std::array<uint64_t, kNumEventTypes> per_type_{};
+  std::array<uint64_t, kNumEventTypes> dropped_per_type_{};
   std::ofstream sink_;
 };
 

@@ -6,12 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <string_view>
 
 #include "obs/event_journal.h"
 #include "obs/metrics.h"
+#include "obs/request_timer.h"
 
 namespace hom::obs {
 
@@ -29,6 +32,9 @@ const char* StatusText(int code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
     default: return "Error";
   }
@@ -81,6 +87,48 @@ void SetIoTimeout(int fd, int timeout_ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+/// Percent-decodes one query component in place ('+' becomes space,
+/// malformed escapes pass through literally).
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < in.size() && std::isxdigit(in[i + 1]) &&
+               std::isxdigit(in[i + 2])) {
+      auto nibble = [](char h) {
+        return h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10;
+      };
+      out += static_cast<char>(nibble(in[i + 1]) * 16 + nibble(in[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Splits "a=1&b=2" into decoded pairs; a key with no '=' maps to "".
+std::map<std::string, std::string> ParseQuery(std::string_view query) {
+  std::map<std::string, std::string> out;
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      out[UrlDecode(pair)] = "";
+    } else {
+      out[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
 void CountRequest(const std::string& path, int code) {
   // Labels vary per call, so this goes through the family directly (the
   // HOM_*_LABELED macros cache one handle per call site).
@@ -98,6 +146,11 @@ HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] =
+      [handler = std::move(handler)](const HttpRequest&) { return handler(); };
+}
+
+void HttpServer::Handle(std::string path, RequestHandler handler) {
   handlers_[std::move(path)] = std::move(handler);
 }
 
@@ -248,9 +301,15 @@ void HttpServer::ServeConnection(int fd) {
   }
   std::string method = line.substr(0, sp1);
   std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  HttpRequest request;
   if (size_t query = target.find('?'); query != std::string::npos) {
+    request.query = ParseQuery(std::string_view(target).substr(query + 1));
     target.resize(query);
   }
+  request.path = target;
+  auto parsed = std::chrono::steady_clock::now();
+  RecordStageSeconds("http_parse",
+                     std::chrono::duration<double>(parsed - start).count());
 
   HttpResponse response;
   bool head_only = method == "HEAD";
@@ -258,16 +317,21 @@ void HttpServer::ServeConnection(int fd) {
     response.status = 405;
     response.body = "only GET is supported\n";
   } else if (auto it = handlers_.find(target); it != handlers_.end()) {
-    response = it->second();
+    response = it->second(request);
   } else {
     response.status = 404;
     response.body = "no such endpoint; try /metrics, /healthz, /statusz\n";
   }
+  auto handled = std::chrono::steady_clock::now();
+  RecordStageSeconds("http_handle",
+                     std::chrono::duration<double>(handled - parsed).count());
   WriteResponse(fd, response, head_only);
+  auto written = std::chrono::steady_clock::now();
+  RecordStageSeconds("http_write",
+                     std::chrono::duration<double>(written - handled).count());
 
-  double us = std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - start)
-                  .count();
+  double us =
+      std::chrono::duration<double, std::micro>(written - start).count();
   HOM_HISTOGRAM_RECORD("hom.server.request_latency_us", us,
                        ::hom::obs::Histogram::DefaultLatencyBoundsUs());
   CountRequest(handlers_.count(target) > 0 ? target : "(other)",

@@ -22,6 +22,21 @@ struct HttpResponse {
   std::string body;
 };
 
+/// Parsed request line of one GET/HEAD, for handlers that take parameters
+/// (e.g. /profilez?seconds=2&hz=199). `path` excludes the query string;
+/// `query` holds the percent-decoded key/value pairs ('+' decodes to
+/// space, a key with no '=' maps to "").
+struct HttpRequest {
+  std::string path;
+  std::map<std::string, std::string> query;
+
+  /// The value of query parameter `name`, or `fallback` when absent.
+  const char* QueryOr(const std::string& name, const char* fallback) const {
+    auto it = query.find(name);
+    return it != query.end() ? it->second.c_str() : fallback;
+  }
+};
+
 /// \brief Minimal dependency-free blocking HTTP/1.1 server for the
 /// introspection endpoints (/metrics, /healthz, /statusz).
 ///
@@ -61,6 +76,7 @@ class HttpServer {
   };
 
   using Handler = std::function<HttpResponse()>;
+  using RequestHandler = std::function<HttpResponse(const HttpRequest&)>;
 
   HttpServer();  ///< All-default Options.
   explicit HttpServer(Options options);
@@ -72,6 +88,9 @@ class HttpServer {
   /// Registers `handler` for exact-match GET `path`. Must be called before
   /// Start().
   void Handle(std::string path, Handler handler);
+
+  /// Like Handle(), for handlers that read query parameters.
+  void Handle(std::string path, RequestHandler handler);
 
   /// Binds, listens, and spawns the accept + worker threads. Fails if the
   /// port is taken or the address does not parse.
@@ -92,7 +111,7 @@ class HttpServer {
   void ServeConnection(int fd);
 
   Options options_;
-  std::map<std::string, Handler> handlers_;
+  std::map<std::string, RequestHandler> handlers_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

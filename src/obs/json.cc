@@ -58,7 +58,17 @@ void AppendNumber(std::string* out, double d) {
     return;
   }
   char buf[32];
-  // Shortest round-trip representation.
+  // Integer-valued numbers print without an exponent ("400000", never
+  // "4e+05") so counters stay integers for schema validators; everything
+  // else gets the shortest round-trip representation.
+  if (d == std::nearbyint(d) && std::fabs(d) < 9007199254740992.0) {
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                   static_cast<long long>(d));
+    if (ec == std::errc()) {
+      out->append(buf, ptr);
+      return;
+    }
+  }
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
   if (ec == std::errc()) {
     out->append(buf, ptr);

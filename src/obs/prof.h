@@ -1,0 +1,116 @@
+#ifndef HOM_OBS_PROF_H_
+#define HOM_OBS_PROF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/http_server.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace hom::obs {
+
+/// How to sample. The defaults mirror production continuous profilers:
+/// 99 Hz (prime, so periodic work does not alias into the sampler) on the
+/// process CPU clock — an idle server costs nothing, a busy one pays one
+/// signal + backtrace per ~10 ms of burned CPU.
+struct ProfileOptions {
+  /// Sampling frequency against CLOCK_PROCESS_CPUTIME_ID, in samples per
+  /// CPU-second. Clamped to [1, 1000].
+  double hz = 99.0;
+  /// Ring capacity. When a window overflows it, the oldest samples are
+  /// overwritten and counted in ProfileData::dropped.
+  size_t max_samples = 1 << 16;
+};
+
+/// One captured sample, symbolized: `stack` indexes ProfileData::frames,
+/// outermost frame first. `phases` is the span path (outermost first) that
+/// was open on the sampled thread, empty when no tracer was active.
+struct ProfileSample {
+  double t_us = 0.0;  ///< microseconds since the profiling window opened
+  std::vector<uint32_t> stack;
+  std::vector<std::string> phases;
+};
+
+/// The symbolized outcome of one or more profiling windows.
+struct ProfileData {
+  double hz = 0.0;
+  double duration_seconds = 0.0;  ///< wall time the window(s) spanned
+  uint64_t dropped = 0;           ///< samples lost to ring overwrite
+  uint64_t truncated = 0;         ///< samples whose stack hit the frame cap
+  std::vector<std::string> frames;  ///< symbol table (demangled or 0x hex)
+  std::vector<ProfileSample> samples;
+
+  bool empty() const { return samples.empty(); }
+  /// CPU seconds one sample stands for (1/hz), the unit of attribution.
+  double sample_period_seconds() const { return hz > 0.0 ? 1.0 / hz : 0.0; }
+
+  /// Aggregates samples into flamegraph collapsed form:
+  /// "outer;inner;leaf" -> sample count.
+  std::map<std::string, uint64_t> FoldedCounts() const;
+  /// FoldedCounts() as text, one "stack count" line per unique stack,
+  /// sorted by stack — feed straight into flamegraph.pl / speedscope.
+  std::string ToFolded() const;
+  /// {"hz", "duration_seconds", "samples", "dropped", "truncated",
+  ///  "distinct_stacks"} — the "profile" section of telemetry files.
+  JsonValue SummaryJson() const;
+  /// Accumulates another window (frame tables are re-interned).
+  void MergeFrom(const ProfileData& other);
+};
+
+/// Adds each sample's period to `self_cpu_seconds` of the tree node named
+/// by its open-span path (children created on demand). Samples with no
+/// open span land on an "(unattributed)" child of the root — build-phase
+/// samples refine the PR 1 phase tree, everything else stays honest about
+/// not knowing. `tree` is the path root (e.g. the accumulated "build"
+/// node).
+void AttributeSamplesToPhases(const ProfileData& data, PhaseNode* tree);
+
+/// \brief Process-wide POSIX sampling profiler: timer_create() +
+/// SIGPROF, signal-safe backtrace() capture into a preallocated lock-free
+/// sample ring, symbolization deferred to Collect().
+///
+/// Signal-safety: the handler only reads the thread-local phase stack
+/// (CapturePhaseStack), calls backtrace()/clock_gettime() (both
+/// async-signal-safe once backtrace's unwinder is pre-warmed, which
+/// Start() does), and claims a ring slot with one atomic fetch_add — no
+/// locks, no allocation, no formatting. Everything expensive (dladdr,
+/// demangling, aggregation) happens on the collecting thread after the
+/// timer is disarmed.
+///
+/// There is one profiler per process (SIGPROF has one handler); a second
+/// Start() while running fails with FailedPrecondition — /profilez
+/// surfaces that as HTTP 409. On platforms without POSIX timers Start()
+/// returns Unimplemented and the rest of the system runs unprofiled.
+class SamplingProfiler {
+ public:
+  static SamplingProfiler& Global();
+
+  /// Arms the timer. Journals kProfileStart when a journal is active.
+  Status Start(const ProfileOptions& options = {});
+  /// Disarms the timer; buffered samples survive until Collect().
+  /// Idempotent.
+  void Stop();
+  /// Stop() + drain + symbolize + reset. Journals kProfileStop.
+  ProfileData Collect();
+  bool running() const;
+
+ private:
+  SamplingProfiler() = default;
+};
+
+/// The `GET /profilez?seconds=N&hz=F` endpoint: runs one sampling window
+/// (seconds clamped to [0.05, 30], hz to [1, 1000]) and answers the
+/// folded profile as text/plain. 409 when a window is already running
+/// (e.g. a whole-run --profile-out profile), 501 where unsupported.
+/// Registered by homctl's introspection server; blocking, so it occupies
+/// the single HTTP worker for the window — concurrent scrapes queue or
+/// shed per the server's normal overload policy.
+HttpResponse HandleProfilezRequest(const HttpRequest& request);
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_PROF_H_

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cstdio>
 #include <ctime>
 
@@ -10,6 +11,18 @@ namespace hom::obs {
 namespace {
 
 thread_local PhaseTracer* g_active_tracer = nullptr;
+
+/// Per-thread stack of open span names, sampled from the SIGPROF handler.
+/// `depth` is atomic so the compiler cannot reorder the name store past
+/// the depth bump (the handler interrupting this thread must never read a
+/// slot before its name was written); cross-thread visibility is not
+/// needed — the handler runs on the thread it samples.
+struct PhaseStack {
+  const char* names[kPhaseStackCapacity];
+  std::atomic<uint32_t> depth{0};
+};
+
+thread_local PhaseStack g_phase_stack;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -54,6 +67,7 @@ PhaseNode* PhaseNode::FindOrAddChild(std::string_view child_name) {
 void PhaseNode::MergeFrom(const PhaseNode& other) {
   seconds += other.seconds;
   cpu_seconds += other.cpu_seconds;
+  self_cpu_seconds += other.self_cpu_seconds;
   count += other.count;
   for (const PhaseNode& theirs : other.children) {
     FindOrAddChild(theirs.name)->MergeFrom(theirs);
@@ -71,6 +85,7 @@ JsonValue PhaseNode::ToJson() const {
   out.Set("name", JsonValue(name));
   out.Set("seconds", JsonValue(seconds));
   out.Set("cpu_seconds", JsonValue(cpu_seconds));
+  out.Set("self_cpu_seconds", JsonValue(self_cpu_seconds));
   out.Set("count", JsonValue(count));
   JsonValue kids = JsonValue::Array();
   for (const PhaseNode& c : children) kids.Append(c.ToJson());
@@ -95,6 +110,10 @@ Result<PhaseNode> PhaseNode::FromJson(const JsonValue& json) {
   if (const JsonValue* cpu = json.Find("cpu_seconds");
       cpu != nullptr && cpu->is_number()) {
     node.cpu_seconds = cpu->as_double();
+  }
+  if (const JsonValue* self_cpu = json.Find("self_cpu_seconds");
+      self_cpu != nullptr && self_cpu->is_number()) {
+    node.self_cpu_seconds = self_cpu->as_double();
   }
   if (const JsonValue* count = json.Find("count");
       count != nullptr && count->is_number()) {
@@ -160,14 +179,36 @@ ScopedSpan::ScopedSpan(const char* name)
     : tracer_(g_active_tracer),
       started_(std::chrono::steady_clock::now()),
       started_cpu_(tracer_ != nullptr ? ThreadCpuSeconds() : 0.0) {
-  if (tracer_ != nullptr) tracer_->BeginSpan(name);
+  if (tracer_ != nullptr) {
+    tracer_->BeginSpan(name);
+    uint32_t depth = g_phase_stack.depth.load(std::memory_order_relaxed);
+    if (depth < kPhaseStackCapacity) {
+      // Name first, then depth: a SIGPROF arriving between the two sees
+      // the shorter (still-consistent) stack, never a stale name.
+      g_phase_stack.names[depth] = name;
+      g_phase_stack.depth.store(depth + 1, std::memory_order_release);
+      pushed_ = true;
+    }
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
   if (tracer_ != nullptr) {
+    if (pushed_) {
+      uint32_t depth = g_phase_stack.depth.load(std::memory_order_relaxed);
+      g_phase_stack.depth.store(depth - 1, std::memory_order_release);
+    }
     tracer_->EndSpan(SecondsSince(started_),
                      ThreadCpuSeconds() - started_cpu_);
   }
+}
+
+size_t CapturePhaseStack(const char** out, size_t max) {
+  uint32_t depth = g_phase_stack.depth.load(std::memory_order_acquire);
+  if (depth > kPhaseStackCapacity) depth = kPhaseStackCapacity;
+  size_t n = depth < max ? depth : max;
+  for (size_t i = 0; i < n; ++i) out[i] = g_phase_stack.names[i];
+  return n;
 }
 
 double ThreadCpuSeconds() {

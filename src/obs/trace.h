@@ -25,6 +25,13 @@ struct PhaseNode {
   /// achieved parallelism (the wall/CPU ratio is the speedup actually
   /// realized). 0 when the platform offers no per-thread CPU clock.
   double cpu_seconds = 0.0;
+  /// Sampled CPU time attributed to this phase *itself*, excluding
+  /// children: filled by obs::AttributeSamplesToPhases from a sampling
+  /// profile (HOM_BENCH_PROFILE, --profile-out). Unlike cpu_seconds —
+  /// which a span measures inclusively — this is statistical self time
+  /// (samples whose innermost open span was this phase × sampling
+  /// period). 0 when no profile was attributed.
+  double self_cpu_seconds = 0.0;
   uint64_t count = 0;
   std::vector<PhaseNode> children;
 
@@ -45,8 +52,8 @@ struct PhaseNode {
   /// of the root, and entry count.
   std::string ToTreeString() const;
 
-  /// {"name": ..., "seconds": ..., "cpu_seconds": ..., "count": ...,
-  /// "children": [...]}.
+  /// {"name": ..., "seconds": ..., "cpu_seconds": ...,
+  /// "self_cpu_seconds": ..., "count": ..., "children": [...]}.
   JsonValue ToJson() const;
   static Result<PhaseNode> FromJson(const JsonValue& json);
 };
@@ -105,6 +112,11 @@ class ScopedTracer {
 
 /// \brief RAII span on the thread's active tracer. `name` must outlive the
 /// span (string literals in practice). No-op when no tracer is active.
+///
+/// Besides the tracer bookkeeping, an active span pushes its name onto a
+/// fixed-depth thread-local phase stack readable from a signal handler
+/// (CapturePhaseStack below) — that is how the sampling profiler
+/// attributes CPU samples to the phase tree.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -115,9 +127,23 @@ class ScopedSpan {
 
  private:
   PhaseTracer* tracer_;
+  bool pushed_ = false;
   std::chrono::steady_clock::time_point started_;
   double started_cpu_ = 0.0;
 };
+
+/// Capacity of the per-thread phase-name stack the profiler samples.
+/// Spans nested deeper than this still time correctly; they just stop
+/// refining the sample attribution path.
+inline constexpr size_t kPhaseStackCapacity = 16;
+
+/// Copies the calling thread's open ScopedSpan names (outermost first)
+/// into `out` (at most `max` entries) and returns how many were written.
+/// Async-signal-safe: reads only the thread-local fixed-size stack, no
+/// locks or allocation — the pointers are the `const char*` literals the
+/// spans were opened with. Only spans opened while a tracer was active
+/// are recorded.
+size_t CapturePhaseStack(const char** out, size_t max);
 
 /// CPU time consumed by the calling thread, in seconds; 0 when the
 /// platform has no per-thread CPU clock. Used by spans and the thread-pool

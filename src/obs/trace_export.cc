@@ -1,5 +1,6 @@
 #include "obs/trace_export.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -12,7 +13,11 @@ namespace {
 constexpr int kPid = 1;
 constexpr int kPhaseTid = 1;      ///< "offline phases" track
 constexpr int kJournalTid = 2;    ///< "online events" track
+constexpr int kProfileTid = 3;    ///< "cpu samples" track
 constexpr int kWorkerTidBase = 16;  ///< pool worker k renders on tid 16+k
+
+/// Counter-series bucket width for the sample-density track.
+constexpr double kProfileBucketUs = 10000.0;
 
 JsonValue ThreadNameEvent(int tid, const char* name) {
   JsonValue args = JsonValue::Object();
@@ -88,10 +93,58 @@ JsonValue InstantEvent(const Event& event) {
   return instant;
 }
 
+/// The profile track: a "cpu_samples" counter series (samples per 10 ms
+/// bucket — the density envelope of where CPU went over time) plus one
+/// instant per sample carrying its leaf frame and phase path.
+void AppendProfileTrack(const ProfileData& profile, JsonValue* events) {
+  events->Append(ThreadNameEvent(kProfileTid, "cpu samples"));
+  std::map<double, uint64_t> buckets;
+  for (const ProfileSample& sample : profile.samples) {
+    buckets[std::floor(sample.t_us / kProfileBucketUs) * kProfileBucketUs]++;
+
+    JsonValue args = JsonValue::Object();
+    if (!sample.stack.empty()) {
+      args.Set("leaf", JsonValue(profile.frames[sample.stack.back()]));
+    }
+    if (!sample.phases.empty()) {
+      std::string path;
+      for (const std::string& p : sample.phases) {
+        if (!path.empty()) path += ';';
+        path += p;
+      }
+      args.Set("phases", JsonValue(path));
+    }
+    JsonValue instant = JsonValue::Object();
+    instant.Set("name", JsonValue("sample"));
+    instant.Set("cat", JsonValue("profile"));
+    instant.Set("ph", JsonValue("i"));
+    instant.Set("ts", JsonValue(sample.t_us));
+    instant.Set("pid", JsonValue(kPid));
+    instant.Set("tid", JsonValue(kProfileTid));
+    instant.Set("s", JsonValue("t"));
+    instant.Set("args", std::move(args));
+    events->Append(std::move(instant));
+  }
+  for (const auto& [ts, count] : buckets) {
+    JsonValue args = JsonValue::Object();
+    args.Set("samples", JsonValue(count));
+    JsonValue counter = JsonValue::Object();
+    counter.Set("name", JsonValue("cpu_samples"));
+    counter.Set("cat", JsonValue("profile"));
+    counter.Set("ph", JsonValue("C"));
+    counter.Set("ts", JsonValue(ts));
+    counter.Set("pid", JsonValue(kPid));
+    counter.Set("tid", JsonValue(kProfileTid));
+    counter.Set("args", std::move(args));
+    events->Append(std::move(counter));
+  }
+}
+
 }  // namespace
 
 JsonValue ChromeTraceDocument(const PhaseNode* phases,
-                              const std::vector<Event>& events) {
+                              const std::vector<Event>& events,
+                              const ProfileData* profile) {
   JsonValue trace_events = JsonValue::Array();
   if (phases != nullptr && phases->count > 0) {
     trace_events.Append(ThreadNameEvent(kPhaseTid, "offline phases"));
@@ -108,6 +161,9 @@ JsonValue ChromeTraceDocument(const PhaseNode* phases,
       trace_events.Append(InstantEvent(event));
     }
   }
+  if (profile != nullptr && !profile->empty()) {
+    AppendProfileTrack(*profile, &trace_events);
+  }
   JsonValue doc = JsonValue::Object();
   doc.Set("traceEvents", std::move(trace_events));
   doc.Set("displayTimeUnit", JsonValue("ms"));
@@ -115,10 +171,11 @@ JsonValue ChromeTraceDocument(const PhaseNode* phases,
 }
 
 Status WriteChromeTrace(const std::string& path, const PhaseNode* phases,
-                        const EventJournal* journal) {
+                        const EventJournal* journal,
+                        const ProfileData* profile) {
   std::vector<Event> events;
   if (journal != nullptr) events = journal->Snapshot();
-  JsonValue doc = ChromeTraceDocument(phases, events);
+  JsonValue doc = ChromeTraceDocument(phases, events, profile);
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path);
   out << doc.Dump(2) << "\n";

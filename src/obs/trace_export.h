@@ -7,13 +7,15 @@
 #include "common/result.h"
 #include "obs/event_journal.h"
 #include "obs/json.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace hom::obs {
 
-/// \brief Merges a PhaseNode tree and an event-journal snapshot into one
-/// Chrome trace-event document (the JSON Object Format understood by
-/// chrome://tracing and Perfetto's legacy importer).
+/// \brief Merges a PhaseNode tree, an event-journal snapshot, and an
+/// optional CPU profile into one Chrome trace-event document (the JSON
+/// Object Format understood by chrome://tracing and Perfetto's legacy
+/// importer).
 ///
 /// Offline phases become complete ("X") slices on track "offline phases".
 /// PhaseNode stores aggregate durations, not start timestamps, so slice
@@ -22,15 +24,20 @@ namespace hom::obs {
 /// absolute offsets within a phase are not. Journal events become instant
 /// ("i") marks on track "online events" at their real (journal-epoch)
 /// microsecond timestamps, with source/record/from/to/value under "args".
+/// Profile samples land on track "cpu samples": one counter ("C") series
+/// "cpu_samples" bucketing sample density over time, plus an instant mark
+/// per sample whose args carry the leaf frame and phase path.
 ///
-/// Pass nullptr / an empty vector to export only one of the two inputs.
+/// Pass nullptr / an empty vector to export any subset of the inputs.
 JsonValue ChromeTraceDocument(const PhaseNode* phases,
-                              const std::vector<Event>& events);
+                              const std::vector<Event>& events,
+                              const ProfileData* profile = nullptr);
 
-/// ChromeTraceDocument() written to `path` (truncating). `phases` and
-/// `journal` may each be nullptr.
+/// ChromeTraceDocument() written to `path` (truncating). `phases`,
+/// `journal`, and `profile` may each be nullptr.
 Status WriteChromeTrace(const std::string& path, const PhaseNode* phases,
-                        const EventJournal* journal);
+                        const EventJournal* journal,
+                        const ProfileData* profile = nullptr);
 
 }  // namespace hom::obs
 

@@ -238,15 +238,16 @@ TEST(PhaseTracerTest, ScopedTracerRestoresPreviousTracer) {
 }
 
 TEST(PhaseNodeTest, MergeFromSumsMatchingNamesRecursively) {
-  PhaseNode a{"build", 1.0, 0.9, 1,
-              {{"fit", 0.4, 0.4, 1, {}}, {"train", 0.5, 0.5, 2, {}}}};
-  PhaseNode b{"build", 2.0, 1.8, 1,
-              {{"fit", 0.6, 0.6, 1, {}}, {"cut", 0.1, 0.1, 1, {}}}};
+  PhaseNode a{"build", 1.0, 0.9, 0.2, 1,
+              {{"fit", 0.4, 0.4, 0.1, 1, {}}, {"train", 0.5, 0.5, 0.1, 2, {}}}};
+  PhaseNode b{"build", 2.0, 1.8, 0.4, 1,
+              {{"fit", 0.6, 0.6, 0.2, 1, {}}, {"cut", 0.1, 0.1, 0.0, 1, {}}}};
   a.MergeFrom(b);
   EXPECT_DOUBLE_EQ(a.seconds, 3.0);
   EXPECT_EQ(a.count, 2u);
   ASSERT_EQ(a.children.size(), 3u);
   EXPECT_DOUBLE_EQ(a.FindChild("fit")->seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.FindChild("fit")->self_cpu_seconds, 0.3);
   EXPECT_EQ(a.FindChild("fit")->count, 2u);
   EXPECT_DOUBLE_EQ(a.FindChild("train")->seconds, 0.5);
   ASSERT_NE(a.FindChild("cut"), nullptr);  // Unmatched child appended.
@@ -254,7 +255,8 @@ TEST(PhaseNodeTest, MergeFromSumsMatchingNamesRecursively) {
 
 TEST(PhaseNodeTest, JsonRoundTrip) {
   PhaseNode node{
-      "build", 1.5, 1.4, 2, {{"fit", 0.25, 0.2, 2, {{"inner", 0.125, 0.1, 4, {}}}}}};
+      "build", 1.5, 1.4, 0.7, 2,
+      {{"fit", 0.25, 0.2, 0.1, 2, {{"inner", 0.125, 0.1, 0.05, 4, {}}}}}};
   JsonValue json = node.ToJson();
   Result<PhaseNode> back = PhaseNode::FromJson(json);
   ASSERT_TRUE(back.ok()) << back.status().ToString();
@@ -268,7 +270,7 @@ TEST(PhaseNodeTest, JsonRoundTrip) {
 }
 
 TEST(PhaseNodeTest, ToTreeStringMentionsEveryPhase) {
-  PhaseNode node{"build", 1.0, 1.0, 1, {{"fit", 0.5, 0.5, 3, {}}}};
+  PhaseNode node{"build", 1.0, 1.0, 0.0, 1, {{"fit", 0.5, 0.5, 0.0, 3, {}}}};
   std::string tree = node.ToTreeString();
   EXPECT_NE(tree.find("build"), std::string::npos);
   EXPECT_NE(tree.find("fit"), std::string::npos);

@@ -21,14 +21,20 @@ against the same-named file in --output-dir. Each comparison walks the
                 echo, not a measurement — the sweep row names the thread
                 count and the value must agree with the baseline exactly)
       FAIL on any change
+  overhead     (key ends in "overhead_ratio"; a ratio of two medians
+                measured in the same process, so machine speed cancels
+                out — e.g. bench_profile's profiler-on/off ratio pinned
+                near 1.0)
+      FAIL if new > base + 0.07
   anything else (counts, configuration echoes)
       WARN on change, never fails
 
 A row or key present in the baseline but missing from the fresh output
 is a FAIL (a silently vanished measurement is itself a regression).
-New rows/keys in the fresh output are fine. Exits 1 when any
-comparison fails, 0 otherwise. Only the Python standard library is
-used.
+New rows/keys in the fresh output are fine. Files whose schema_version
+is not one this tool understands FAIL with a clear message instead of a
+stack trace. Exits 1 when any comparison fails, 0 otherwise. Only the
+Python standard library is used.
 """
 
 import argparse
@@ -46,12 +52,20 @@ ABS_SLACK = 0.02
 REL_SLACK = 0.25
 TIME_FACTOR = 1.5
 TIME_ABS_SLACK = 0.05
+OVERHEAD_ABS_SLACK = 0.07
+
+# Telemetry schema versions this gate can interpret. Comparing documents
+# whose semantics we do not know would silently pass garbage, so an
+# unknown version is a hard failure with an actionable message.
+KNOWN_SCHEMA_VERSIONS = (2, 3)
 
 
 def classify(key):
     lowered = key.lower()
     if lowered == "threads" or lowered.endswith("_threads"):
         return "threads"
+    if lowered.endswith("overhead_ratio"):
+        return "overhead"
     if any(h in lowered for h in ERROR_HINTS):
         return "error"
     if any(h in lowered for h in ACCURACY_HINTS):
@@ -61,10 +75,21 @@ def classify(key):
     return "other"
 
 
+class UnknownSchemaError(ValueError):
+    pass
+
+
 def load_results(path):
     """Returns {row_name: {key: value}} from a telemetry file."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
+    version = doc.get("schema_version") if isinstance(doc, dict) else None
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        raise UnknownSchemaError(
+            f"schema_version {version!r} (this tool understands "
+            f"{KNOWN_SCHEMA_VERSIONS}; regenerate the file or teach "
+            f"bench_compare.py the new schema)"
+        )
     rows = {}
     for row in doc.get("results", []):
         if isinstance(row, dict) and isinstance(row.get("name"), str):
@@ -104,6 +129,13 @@ def compare_values(name, row, key, base, new, report):
                 f"{where}: thread-count echo changed {base!r} -> {new!r} "
                 f"(the sweep row must run at its named thread count)"
             )
+    elif kind == "overhead":
+        limit = base + OVERHEAD_ABS_SLACK
+        if new > limit:
+            report["fail"].append(
+                f"{where}: overhead ratio {new:.3f} exceeds baseline "
+                f"{base:.3f} (limit {limit:.3f})"
+            )
     else:
         if new != base:
             report["warn"].append(f"{where}: changed {base!r} -> {new!r}")
@@ -112,12 +144,12 @@ def compare_values(name, row, key, base, new, report):
 def compare_file(name, base_path, new_path, report):
     try:
         base_rows = load_results(base_path)
-    except (OSError, json.JSONDecodeError) as e:
+    except (OSError, json.JSONDecodeError, UnknownSchemaError) as e:
         report["fail"].append(f"{name}: cannot read baseline: {e}")
         return
     try:
         new_rows = load_results(new_path)
-    except (OSError, json.JSONDecodeError) as e:
+    except (OSError, json.JSONDecodeError, UnknownSchemaError) as e:
         report["fail"].append(f"{name}: cannot read fresh output: {e}")
         return
     for row_name, base_values in base_rows.items():

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Validates the schema_version-2 telemetry JSON emitted by the bench
-harness (bench_output/<name>.json) and by `homctl --metrics-out`.
+"""Validates the telemetry JSON emitted by the bench harness
+(bench_output/<name>.json) and by `homctl --metrics-out`.
 
 Schema v2 adds histogram quantiles (p50/p95/p99) and two optional
 sections: "journal" (EventJournal summary) and "concept_stats"
-(per-concept online accounting).
+(per-concept online accounting). Schema v3 adds the optional "profile"
+section (sampling-profiler summary), per-phase "self_cpu_seconds", and
+"dropped_by_type" in the journal summary. Both versions are accepted.
 
 Usage:
     tools/check_bench_json.py FILE [FILE ...]
@@ -34,7 +36,13 @@ KNOWN_EVENT_TYPES = {
     "fault_injected",
     "server_start",
     "server_stop",
+    "slow_request",
+    "profile_start",
+    "profile_stop",
 }
+
+# Top-level schema versions this checker understands.
+KNOWN_SCHEMA_VERSIONS = (2, 3)
 
 
 def _err(path, message):
@@ -61,6 +69,14 @@ def _check_phase_node(path, node, where, depth=0):
         failures += _check_number(
             path, node.get("cpu_seconds"), f"{where}.cpu_seconds"
         )
+    if "self_cpu_seconds" in node:  # v3: statistical profiler attribution
+        value = node.get("self_cpu_seconds")
+        failures += _check_number(path, value, f"{where}.self_cpu_seconds")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if value < 0:
+                failures += _err(
+                    path, f"{where}.self_cpu_seconds: negative ({value!r})"
+                )
     failures += _check_number(path, node.get("count"), f"{where}.count")
     children = node.get("children", [])
     if not isinstance(children, list):
@@ -144,6 +160,62 @@ def _check_journal(path, journal):
                     f"journal.by_type[{name!r}]: unknown event type "
                     f"(update KNOWN_EVENT_TYPES if obs::EventType grew)",
                 )
+    # v3: per-type ring-eviction accounting, present only when drops
+    # happened. Every entry must name a known type, count positive, and
+    # their sum must equal the top-level "dropped".
+    dropped_by_type = journal.get("dropped_by_type")
+    if dropped_by_type is not None:
+        if not isinstance(dropped_by_type, dict):
+            failures += _err(path, "journal.dropped_by_type: expected an object")
+        else:
+            total = 0
+            for name, count in dropped_by_type.items():
+                if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+                    failures += _err(
+                        path,
+                        f"journal.dropped_by_type[{name!r}]: expected a "
+                        f"positive integer",
+                    )
+                else:
+                    total += count
+                if name not in KNOWN_EVENT_TYPES:
+                    failures += _err(
+                        path,
+                        f"journal.dropped_by_type[{name!r}]: unknown event type",
+                    )
+            if isinstance(journal.get("dropped"), int) and total != journal["dropped"]:
+                failures += _err(
+                    path,
+                    f"journal.dropped_by_type: entries sum to {total}, "
+                    f"'dropped' says {journal['dropped']}",
+                )
+    return failures
+
+
+def _check_profile(path, profile):
+    """Validates the optional v3 sampling-profiler summary section."""
+    failures = 0
+    if profile is None:
+        return 0
+    if not isinstance(profile, dict):
+        return _err(path, "profile: expected an object or null")
+    for key in ("hz", "duration_seconds"):
+        failures += _check_number(path, profile.get(key), f"profile.{key}")
+    for key in ("samples", "dropped", "truncated", "distinct_stacks"):
+        value = profile.get(key)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            failures += _err(
+                path, f"profile.{key}: expected a non-negative integer"
+            )
+    samples = profile.get("samples")
+    stacks = profile.get("distinct_stacks")
+    if isinstance(samples, int) and isinstance(stacks, int):
+        if (samples == 0) != (stacks == 0) or stacks > samples:
+            failures += _err(
+                path,
+                f"profile: {stacks} distinct stacks inconsistent with "
+                f"{samples} samples",
+            )
     return failures
 
 
@@ -187,8 +259,15 @@ def check_file(path):
     failures = 0
     if not isinstance(doc, dict):
         return _err(path, "top level: expected an object")
-    if doc.get("schema_version") != 2:
-        failures += _err(path, f"schema_version: expected 2, got {doc.get('schema_version')!r}")
+    version = doc.get("schema_version")
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        failures += _err(
+            path,
+            f"schema_version: expected one of {KNOWN_SCHEMA_VERSIONS}, "
+            f"got {version!r}",
+        )
+    if version == 2 and "profile" in doc and doc["profile"] is not None:
+        failures += _err(path, "profile: a v2 document cannot carry a profile section")
     if not isinstance(doc.get("name"), str) or not doc.get("name"):
         failures += _err(path, "name: missing non-empty string")
 
@@ -267,6 +346,7 @@ def check_file(path):
 
     failures += _check_journal(path, doc.get("journal"))
     failures += _check_concept_stats(path, doc.get("concept_stats"))
+    failures += _check_profile(path, doc.get("profile"))
 
     return failures
 

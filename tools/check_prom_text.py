@@ -98,6 +98,13 @@ def check_file(path):
     else:
         with open(path, "r", encoding="utf-8") as f:
             text = f.read()
+    return check_text(text, path)
+
+
+def check_text(text, path="<text>"):
+    """Validates exposition text directly; returns a list of error strings.
+    Importable (serve_smoke_test.py validates live scrapes through this
+    without touching disk); `path` only prefixes the error messages."""
     errors = []
     types = {}  # family -> type
     seen_series = set()

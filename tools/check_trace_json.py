@@ -4,8 +4,9 @@ hom::obs::WriteChromeTrace (homctl --trace-out, HOM_BENCH_TRACE=1).
 
 Checks the JSON object format that chrome://tracing and Perfetto accept:
 a top-level object with a "traceEvents" array where every event has a
-string "ph" in {X, i, M}, numeric "pid"/"tid", numeric "ts" (except
-metadata), "dur" on complete slices, and monotone-sane values.
+string "ph" in {X, i, M, C}, numeric "pid"/"tid", numeric "ts" (except
+metadata), "dur" on complete slices, numeric args on counter events, and
+monotone-sane values.
 
 Usage:
     tools/check_trace_json.py FILE [FILE ...]
@@ -42,14 +43,17 @@ def check_file(path):
 
     slices = 0
     instants = 0
+    counters = 0
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
             failures += _err(path, f"{where}: expected an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
-            failures += _err(path, f"{where}.ph: expected X, i or M, got {ph!r}")
+        if ph not in ("X", "i", "M", "C"):
+            failures += _err(
+                path, f"{where}.ph: expected X, i, M or C, got {ph!r}"
+            )
             continue
         if not isinstance(ev.get("name"), str) or not ev.get("name"):
             failures += _err(path, f"{where}.name: missing non-empty string")
@@ -72,10 +76,24 @@ def check_file(path):
                 failures += _err(
                     path, f"{where}.s: instant scope must be t, p or g"
                 )
+        elif ph == "C":
+            counters += 1
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                failures += _err(
+                    path, f"{where}.args: counter event needs a non-empty object"
+                )
+            else:
+                for key, value in args.items():
+                    if not _is_number(value):
+                        failures += _err(
+                            path,
+                            f"{where}.args[{key!r}]: counter value must be a number",
+                        )
 
     if failures == 0:
         print(f"{path}: OK ({slices} slices, {instants} instants, "
-              f"{len(events)} events)")
+              f"{counters} counter samples, {len(events)} events)")
     return failures
 
 

@@ -52,9 +52,14 @@
 // Prometheus text format (labeled per-concept series included),
 // `/healthz` (liveness + last-checkpoint age), `/statusz` (active
 // concept, drift-filter posterior, per-concept stats, recent journal
-// events). `serve` replays the online stream in passes until SIGTERM or
+// events, slowest requests with stage breakdowns), and `/profilez?
+// seconds=N&hz=F` (on-demand folded CPU profile of the next N seconds).
+// `serve` replays the online stream in passes until SIGTERM or
 // SIGINT, then drains gracefully. `stats --format prometheus` renders a
 // saved telemetry file through the same text encoder.
+// `--profile-out <file>` (evaluate and serve) runs the whole command
+// under the sampling profiler (default 99 Hz, override with
+// --profile-hz) and writes a folded stack profile at exit.
 // The boolean flag `--verbose` raises the log level to debug and
 // timestamps every line.
 //
@@ -92,11 +97,14 @@
 #include "highorder/builder.h"
 #include "highorder/checkpoint.h"
 #include "highorder/serialization.h"
+#include "obs/build_info.h"
 #include "obs/event_journal.h"
 #include "obs/exposition.h"
 #include "obs/http_server.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
+#include "obs/request_timer.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "streams/hyperplane.h"
@@ -197,15 +205,15 @@ int Fail(const std::string& message) {
 }
 
 /// Writes one telemetry document in the bench-harness schema
-/// (schema_version 2): a single result row plus the process metrics
+/// (schema_version 3): a single result row plus the process metrics
 /// snapshot, an optional phase tree, and any extra top-level sections
-/// ("journal", "concept_stats", ...) appended in order.
+/// ("journal", "profile", "concept_stats", ...) appended in order.
 Status WriteMetricsFile(
     const std::string& path, const std::string& name,
     const obs::JsonValue& row_values, const obs::PhaseNode* phases,
     std::vector<std::pair<std::string, obs::JsonValue>> extra_sections = {}) {
   obs::JsonValue doc = obs::JsonValue::Object();
-  doc.Set("schema_version", 2);
+  doc.Set("schema_version", 3);
   doc.Set("name", name);
   doc.Set("scale", obs::JsonValue());
   obs::JsonValue row = obs::JsonValue::Object();
@@ -255,8 +263,50 @@ Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
     response.body = board->StatusJson().Dump(2) + "\n";
     return response;
   });
+  // On-demand CPU profile: GET /profilez?seconds=N&hz=F answers a folded
+  // stack profile of the window. Blocking (single HTTP worker), bounded at
+  // 30 s; 409 while another window (e.g. --profile-out) is running.
+  server->Handle("/profilez", obs::HandleProfilezRequest);
   HOM_RETURN_NOT_OK(server->Start());
   return server;
+}
+
+/// Publishes the hom_build_info gauge keyed by the serving model's schema
+/// fingerprint, so a scrape can tell *what* this process is serving.
+void PublishModelBuildInfo(const HighOrderClassifier& model) {
+  std::string fingerprint = "none";
+  if (auto fp = SchemaFingerprint(*model.schema()); fp.ok()) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", *fp);
+    fingerprint = buf;
+  }
+  obs::PublishBuildInfo(fingerprint);
+}
+
+/// --profile-out support shared by evaluate and serve: arms the sampling
+/// profiler at --profile-hz (default 99) for the whole run.
+bool StartRunProfiler(const Args& args) {
+  if (!args.Has("profile-out")) return false;
+  obs::ProfileOptions options;
+  options.hz = std::atof(args.Get("profile-hz", "99"));
+  if (Status st = obs::SamplingProfiler::Global().Start(options); !st.ok()) {
+    std::fprintf(stderr, "homctl: profiler: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Collects the --profile-out window and writes the folded profile.
+Result<obs::ProfileData> FinishRunProfiler(const Args& args) {
+  obs::ProfileData profile = obs::SamplingProfiler::Global().Collect();
+  std::string path = args.Get("profile-out", "");
+  std::ofstream out(path, std::ios::trunc);
+  out << profile.ToFolded();
+  if (!out) return Status::Internal("failed writing " + path);
+  std::printf("profile: %zu samples (%zu distinct stacks) -> %s\n",
+              profile.samples.size(), profile.FoldedCounts().size(),
+              path.c_str());
+  return profile;
 }
 
 /// Set by SIGTERM/SIGINT in `homctl serve`; RunPrequential polls it via
@@ -347,6 +397,7 @@ int CmdEvaluate(const Args& args) {
 
   auto model = LoadHighOrderModelFromFile(model_path);
   if (!model.ok()) return Fail(model.status().ToString());
+  PublishModelBuildInfo(**model);
 
   auto policy = InputPolicyFromName(args.Get("input-policy", "skip"));
   if (!policy.ok()) return Fail(policy.status().ToString());
@@ -388,6 +439,12 @@ int CmdEvaluate(const Args& args) {
   options.track_concept_stats = true;
   options.stop_after =
       static_cast<uint64_t>(std::atoll(args.Get("stop-after", "0")));
+  // Per-record stage timing: splits every scored record into
+  // parse/sanitize/predict/observe/checkpoint, feeds the
+  // hom.serve.stage_seconds histograms, and retains the slowest K for
+  // /statusz. Cheap enough (a few clock reads per record) to stay on.
+  obs::RequestTimer request_timer;
+  options.request_timer = &request_timer;
 
   // Resume: reinstate classifier + harness state from a checkpoint, then
   // let RunPrequential's start_record skip the already-scored prefix so
@@ -425,12 +482,13 @@ int CmdEvaluate(const Args& args) {
   if (args.Has("listen")) {
     board.SetStaticInfo(model_path, in, (*model)->num_concepts());
     board.SetJournal(&journal);
+    board.SetRequestTimer(&request_timer);
     auto started = StartIntrospectionServer(
         &board, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
     if (!started.ok()) return Fail(started.status().ToString());
     server = std::move(*started);
     std::printf("introspection: listening on http://127.0.0.1:%u "
-                "(/metrics /healthz /statusz)\n",
+                "(/metrics /healthz /statusz /profilez)\n",
                 static_cast<unsigned>(server->port()));
     std::fflush(stdout);  // scrapers behind a pipe need the port now
     options.progress_every = static_cast<uint64_t>(
@@ -477,7 +535,14 @@ int CmdEvaluate(const Args& args) {
     options.on_checkpoint = save_checkpoint;
   }
 
+  bool profiling = StartRunProfiler(args);
   PrequentialResult result = RunPrequential(model->get(), *test, options);
+  obs::ProfileData profile;
+  if (profiling) {
+    auto collected = FinishRunProfiler(args);
+    if (!collected.ok()) return Fail(collected.status().ToString());
+    profile = std::move(*collected);
+  }
   if (server != nullptr) {
     board.SetState("draining");
     // --linger <seconds>: hold the server (and the final board/metrics
@@ -520,6 +585,8 @@ int CmdEvaluate(const Args& args) {
                        result.concept_stats != nullptr
                            ? result.concept_stats->ToJson()
                            : obs::JsonValue());
+    extra.emplace_back("profile", profile.empty() ? obs::JsonValue()
+                                                  : profile.SummaryJson());
     if (Status st = WriteMetricsFile(args.Get("metrics-out", ""), "evaluate",
                                      values, nullptr, std::move(extra));
         !st.ok()) {
@@ -529,7 +596,8 @@ int CmdEvaluate(const Args& args) {
   if (args.Has("trace-out")) {
     std::string trace_path = args.Get("trace-out", "");
     if (Status st = obs::WriteChromeTrace(trace_path, /*phases=*/nullptr,
-                                          &journal);
+                                          &journal,
+                                          profile.empty() ? nullptr : &profile);
         !st.ok()) {
       return Fail(st.ToString());
     }
@@ -551,6 +619,7 @@ int CmdServe(const Args& args) {
 
   auto model = LoadHighOrderModelFromFile(model_path);
   if (!model.ok()) return Fail(model.status().ToString());
+  PublishModelBuildInfo(**model);
   auto policy = InputPolicyFromName(args.Get("input-policy", "skip"));
   if (!policy.ok()) return Fail(policy.status().ToString());
   (*model)->set_input_policy(*policy);
@@ -571,8 +640,10 @@ int CmdServe(const Args& args) {
   obs::ScopedJournal scoped(&journal);
 
   ServingStatusBoard board;
+  obs::RequestTimer request_timer;
   board.SetStaticInfo(model_path, in, (*model)->num_concepts());
   board.SetJournal(&journal);
+  board.SetRequestTimer(&request_timer);
   auto started = StartIntrospectionServer(
       &board, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
   if (!started.ok()) return Fail(started.status().ToString());
@@ -586,7 +657,8 @@ int CmdServe(const Args& args) {
   uint64_t progress_every =
       static_cast<uint64_t>(std::atoll(args.Get("progress-every", "500")));
   std::printf("serving: listening on http://127.0.0.1:%u "
-              "(/metrics /healthz /statusz), %zu records/pass, %s passes\n",
+              "(/metrics /healthz /statusz /profilez), %zu records/pass, "
+              "%s passes\n",
               static_cast<unsigned>(server->port()), online->size(),
               passes == 0 ? "unbounded" : std::to_string(passes).c_str());
   std::fflush(stdout);  // the smoke test parses the port through a pipe
@@ -600,6 +672,10 @@ int CmdServe(const Args& args) {
   uint64_t total_records = 0;
   uint64_t total_errors = 0;
   uint64_t pass = 0;
+  // --profile-out: profile the whole serving loop; the folded profile is
+  // written at drain. /profilez stays available for ad-hoc windows when
+  // this is off (they share one profiler, so concurrent use answers 409).
+  bool profiling = StartRunProfiler(args);
   board.SetState("serving");
   while (!g_shutdown.load(std::memory_order_relaxed) &&
          (passes == 0 || pass < passes)) {
@@ -621,6 +697,7 @@ int CmdServe(const Args& args) {
     options.progress_every = progress_every;
     options.on_progress = publish;
     options.stop_flag = &g_shutdown;
+    options.request_timer = &request_timer;
     if (!ckpt_out.empty()) {
       options.checkpoint_every = checkpoint_every;
       options.on_checkpoint = [&](const PrequentialProgress& progress) {
@@ -655,6 +732,12 @@ int CmdServe(const Args& args) {
   }
 
   board.SetState("draining");
+  if (profiling) {
+    if (auto collected = FinishRunProfiler(args); !collected.ok()) {
+      std::fprintf(stderr, "homctl: profiler: %s\n",
+                   collected.status().ToString().c_str());
+    }
+  }
   if (!ckpt_out.empty()) {
     auto ckpt = CaptureCheckpoint(**model);
     if (ckpt.ok()) {
@@ -1151,11 +1234,13 @@ int main(int argc, char** argv) {
                " [--resume c.homc]\n"
                "             [--listen PORT] [--progress-every N]"
                " [--linger SECONDS]\n"
+               "             [--profile-out p.folded] [--profile-hz F]\n"
                "  serve      --model model.hom --in online.csv"
                " [--listen PORT] [--passes N]\n"
                "             [--progress-every N] [--journal-out e.jsonl]\n"
                "             [--checkpoint-out c.homc] [--checkpoint-every N]"
                " [--input-policy p]\n"
+               "             [--profile-out p.folded] [--profile-hz F]\n"
                "  inspect    --model model.hom\n"
                "  checkpoint c.homc [--model model.hom]\n"
                "  chaos      [--seed S] [--trials N] [--dir scratch]\n"

@@ -6,8 +6,11 @@ Usage: serve_smoke_test.py <path-to-homctl>
 Builds a tiny STAGGER model in a temp dir, starts `homctl serve --listen 0`,
 scrapes /metrics, /healthz and /statusz while the loop is live, validates
 the /metrics payload with check_prom_text, checks labeled per-concept
-series are present, checks 404/405 behavior, then sends SIGTERM and
-asserts a graceful exit (code 0 with a drain message).
+series, the hom_build_info identity gauge, per-stage latency histograms,
+the slow-request digest on /statusz, and that the journal ring dropped
+nothing during the run; pulls a 1-second folded CPU profile from
+/profilez and requires hom:: frames in it; checks 404/405 behavior; then
+sends SIGTERM and asserts a graceful exit (code 0 with a drain message).
 """
 
 import json
@@ -51,7 +54,7 @@ def main():
         model = os.path.join(tmp, "model.hom")
         run([homctl, "generate", "--stream", "stagger", "--n", "4000",
              "--out", hist])
-        run([homctl, "generate", "--stream", "stagger", "--n", "2000",
+        run([homctl, "generate", "--stream", "stagger", "--n", "12000",
              "--seed", "9", "--out", online])
         run([homctl, "build", "--in", hist, "--out", model])
 
@@ -70,16 +73,33 @@ def main():
             fetch(base + "/metrics")  # warm-up: requests{} counts appear
             status, metrics = fetch(base + "/metrics")
             assert status == 200, "metrics status %s" % status
-            prom = os.path.join(tmp, "scrape.prom")
-            with open(prom, "w", encoding="utf-8") as f:
-                f.write(metrics)
-            errors = check_prom_text.check_file(prom)
+            errors = check_prom_text.check_text(metrics, "/metrics")
             failures += ["/metrics: " + e for e in errors]
             if 'concept="' not in metrics:
                 failures.append("/metrics: no labeled per-concept series")
             if "hom_server_requests_total" not in metrics:
                 failures.append("/metrics: server not counting its own "
                                 "scrapes")
+            m_info = re.search(r"hom_build_info\{([^}]*)\} 1(\.0+)?\b",
+                               metrics)
+            if not m_info:
+                failures.append("/metrics: no hom_build_info gauge with "
+                                "value 1")
+            else:
+                for label in ("version=", "build=", "model_schema="):
+                    if label not in m_info.group(1):
+                        failures.append("/metrics: hom_build_info missing "
+                                        "%r label" % label)
+            if 'hom_serve_stage_seconds_bucket{stage="predict"' not in metrics:
+                failures.append("/metrics: no per-stage latency histogram "
+                                "for the predict stage")
+            # The journal ring must not shed events in a short healthy run.
+            for line in metrics.splitlines():
+                if line.startswith("hom_journal_dropped"):
+                    value = line.rsplit(" ", 1)[-1]
+                    if float(value) != 0.0:
+                        failures.append("/metrics: journal dropped events "
+                                        "during smoke run: %s" % line)
 
             status, health = fetch(base + "/healthz")
             doc = json.loads(health)
@@ -99,6 +119,33 @@ def main():
                 failures.append("/statusz: no records progressed")
             if not doc.get("progress", {}).get("posterior"):
                 failures.append("/statusz: no drift-filter posterior")
+            build = doc.get("build", {})
+            if not build.get("version"):
+                failures.append("/statusz: missing build.version")
+            if build.get("model_schema") in (None, "", "none"):
+                failures.append("/statusz: build.model_schema not set to "
+                                "the served model's fingerprint")
+            slow = doc.get("slow_requests", {})
+            if slow.get("requests", 0) <= 0:
+                failures.append("/statusz: slow_requests.requests is zero")
+            slowest = slow.get("slowest", [])
+            if not slowest:
+                failures.append("/statusz: no slowest-request digest")
+            elif not any(entry.get("stages") for entry in slowest):
+                failures.append("/statusz: slowest requests carry no stage "
+                                "breakdown")
+
+            # Pull a folded CPU profile while the replay loop burns CPU.
+            status, folded = fetch(base + "/profilez?seconds=1&hz=250",
+                                   timeout=15.0)
+            if status != 200:
+                failures.append("/profilez: status %s" % status)
+            elif not folded.strip():
+                failures.append("/profilez: empty folded profile")
+            elif "hom::" not in folded:
+                failures.append("/profilez: no hom:: frames in profile "
+                                "(symbolization regressed):\n%s"
+                                % folded[:400])
 
             try:
                 fetch(base + "/nope")
