@@ -1,6 +1,7 @@
 #include "eval/online_stats.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -48,6 +49,23 @@ void OnlineConceptStats::Observe(int64_t concept_id, Label truth,
   }
 }
 
+void OnlineConceptStats::ObserveCalibration(int64_t concept_id, Label truth,
+                                            const std::vector<double>& proba) {
+  ConceptEntry& entry = concepts_[concept_id];
+  if (entry.confusion.empty()) {
+    entry.confusion.assign(num_classes_ * num_classes_, 0);
+  }
+  double brier = 0.0;
+  for (size_t k = 0; k < num_classes_; ++k) {
+    const double p = k < proba.size() ? proba[k] : 0.0;
+    const double y =
+        truth >= 0 && static_cast<size_t>(truth) == k ? 1.0 : 0.0;
+    brier += (p - y) * (p - y);
+  }
+  entry.brier_sum += brier;
+  ++entry.brier_count;
+}
+
 Status OnlineConceptStats::SaveTo(BinaryWriter* writer) const {
   HOM_RETURN_NOT_OK(writer->WriteU32(static_cast<uint32_t>(num_classes_)));
   HOM_RETURN_NOT_OK(writer->WriteU64(window_));
@@ -71,6 +89,8 @@ Status OnlineConceptStats::SaveTo(BinaryWriter* writer) const {
         writer->WriteU32(static_cast<uint32_t>(entry.confusion.size())));
     HOM_RETURN_NOT_OK(writer->WriteRaw(
         entry.confusion.data(), entry.confusion.size() * sizeof(uint64_t)));
+    HOM_RETURN_NOT_OK(writer->WriteDouble(entry.brier_sum));
+    HOM_RETURN_NOT_OK(writer->WriteU64(entry.brier_count));
   }
   return Status::OK();
 }
@@ -144,6 +164,19 @@ Result<OnlineConceptStats> OnlineConceptStats::LoadFrom(BinaryReader* reader) {
     entry.confusion.resize(confusion_size);
     std::memcpy(entry.confusion.data(), confusion_bytes.data(),
                 confusion_bytes.size());
+    HOM_ASSIGN_OR_RETURN(entry.brier_sum, reader->ReadDouble());
+    HOM_ASSIGN_OR_RETURN(entry.brier_count, reader->ReadU64());
+    if (!std::isfinite(entry.brier_sum) || entry.brier_sum < 0.0) {
+      return Status::InvalidArgument(
+          "concept-stats Brier sum must be finite and non-negative");
+    }
+    // Each sampled prediction contributes at most 1 per class (per-class
+    // probabilities live in [0, 1]).
+    if (entry.brier_sum > static_cast<double>(num_classes) *
+                              static_cast<double>(entry.brier_count)) {
+      return Status::InvalidArgument(
+          "concept-stats Brier sum exceeds its sample bound");
+    }
     stats.concepts_.emplace(id, std::move(entry));
   }
   return stats;
@@ -159,6 +192,8 @@ obs::JsonValue OnlineConceptStats::ToJson() const {
     cj.Set("errors", JsonValue(entry.errors));
     cj.Set("error_rate", JsonValue(entry.error_rate()));
     cj.Set("windowed_error_rate", JsonValue(entry.windowed_error_rate()));
+    cj.Set("brier_score", JsonValue(entry.brier_score()));
+    cj.Set("brier_samples", JsonValue(entry.brier_count));
     cj.Set("mean_dwell",
            JsonValue(entry.activations == 0
                          ? 0.0

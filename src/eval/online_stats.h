@@ -39,6 +39,11 @@ class OnlineConceptStats {
     uint64_t recent_errors = 0;
     /// Row-major `num_classes x num_classes` counts, [truth][predicted].
     std::vector<uint64_t> confusion;
+    /// Calibration accounting: sum of multi-class Brier scores
+    /// Σ_k (p_k − 1[k = truth])² over the sampled probability predictions
+    /// attributed to this concept (ObserveCalibration).
+    double brier_sum = 0.0;
+    uint64_t brier_count = 0;
 
     double error_rate() const {
       return records == 0
@@ -51,6 +56,13 @@ class OnlineConceptStats {
                             : static_cast<double>(recent_errors) /
                                   static_cast<double>(recent.size());
     }
+    /// Mean Brier score of the sampled probability predictions: 0 =
+    /// perfectly calibrated and sharp, 2 = confidently wrong every time.
+    double brier_score() const {
+      return brier_count == 0
+                 ? 0.0
+                 : brier_sum / static_cast<double>(brier_count);
+    }
   };
 
   /// `window` bounds the per-concept recent-error ring (0 disables it).
@@ -58,6 +70,16 @@ class OnlineConceptStats {
 
   /// Attributes one scored prediction to `concept_id`.
   void Observe(int64_t concept_id, Label truth, Label predicted);
+
+  /// Attributes one sampled probability prediction to `concept_id`:
+  /// accumulates the multi-class Brier score of `proba` against `truth`.
+  /// `proba` is truncated/zero-padded to num_classes entries; an
+  /// out-of-range truth contributes the all-zeros one-hot. Does not touch
+  /// the activation/dwell accounting — the prequential harness calls
+  /// Observe for every record and this for the sampled subset
+  /// (PrequentialOptions::calibration_sample_period).
+  void ObserveCalibration(int64_t concept_id, Label truth,
+                          const std::vector<double>& proba);
 
   size_t num_classes() const { return num_classes_; }
   size_t window() const { return window_; }

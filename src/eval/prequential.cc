@@ -83,6 +83,14 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
     if (result.concept_stats != nullptr) {
       result.concept_stats->Observe(classifier->ActiveConcept(), r.label,
                                     predicted);
+      if (options.calibration_sample_period > 0 &&
+          result.num_records % options.calibration_sample_period == 0) {
+        // The label is still hidden here, so the sampled distribution is
+        // the one the model would have served for this record.
+        result.concept_stats->ObserveCalibration(
+            classifier->ActiveConcept(), r.label,
+            classifier->PredictProba(unlabeled));
+      }
     }
     if (journal != nullptr && options.journal_error_window > 0) {
       if (wrong) ++window_errors;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "common/check.h"
@@ -119,6 +120,44 @@ size_t ActiveProbabilityTracker::MostLikelyConceptPosterior() const {
   return static_cast<size_t>(
       std::max_element(posterior_.begin(), posterior_.end()) -
       posterior_.begin());
+}
+
+double ActiveProbabilityTracker::Entropy(
+    const std::vector<double>& distribution) {
+  double entropy = 0.0;
+  for (double p : distribution) {
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double ActiveProbabilityTracker::TopMargin(
+    const std::vector<double>& distribution) {
+  if (distribution.empty()) return 0.0;
+  double top = -std::numeric_limits<double>::infinity();
+  double second = -std::numeric_limits<double>::infinity();
+  for (double p : distribution) {
+    if (p > top) {
+      second = top;
+      top = p;
+    } else if (p > second) {
+      second = p;
+    }
+  }
+  return std::isinf(second) ? top : top - second;
+}
+
+double ActiveProbabilityTracker::PosteriorEntropy() const {
+  return Entropy(posterior_);
+}
+
+double ActiveProbabilityTracker::PosteriorEntropyRatio() const {
+  if (num_concepts() <= 1) return 0.0;
+  return PosteriorEntropy() / std::log(static_cast<double>(num_concepts()));
+}
+
+double ActiveProbabilityTracker::TopConceptMargin() const {
+  return TopMargin(posterior_);
 }
 
 }  // namespace hom

@@ -58,6 +58,29 @@ class ActiveProbabilityTracker {
   /// Index of the most probable current concept (by posterior).
   size_t MostLikelyConceptPosterior() const;
 
+  /// Shannon entropy (nats) of the posterior — the model-health signal
+  /// behind the "possible novel concept" alert: a posterior that stays
+  /// near-uniform means no stored concept explains the stream.
+  double PosteriorEntropy() const;
+
+  /// PosteriorEntropy normalized by ln(num_concepts) into [0, 1]
+  /// (0 when there is a single concept: a one-state filter is always
+  /// certain).
+  double PosteriorEntropyRatio() const;
+
+  /// Posterior gap between the two most probable concepts (1.0 with a
+  /// single concept): the confidence margin of the active choice.
+  double TopConceptMargin() const;
+
+  /// Entropy (nats) of an arbitrary distribution; zero-mass entries
+  /// contribute nothing. Exposed for the serving layer to reuse on
+  /// distributions it carries around as plain vectors.
+  static double Entropy(const std::vector<double>& distribution);
+
+  /// Gap between the largest and second-largest entry (the vector's own
+  /// scale; 0 for empty, the single entry's value for size 1).
+  static double TopMargin(const std::vector<double>& distribution);
+
   size_t num_concepts() const { return stats_.num_concepts(); }
   const ConceptStats& stats() const { return stats_; }
 

@@ -14,7 +14,9 @@ namespace hom {
 namespace {
 
 constexpr char kMagic[] = "HOMC";
-constexpr uint32_t kCheckpointVersion = 1;
+// v2: OnlineConceptStats entries grew per-concept Brier calibration
+// accounting (sum + sample count); v1 checkpoints are rejected cleanly.
+constexpr uint32_t kCheckpointVersion = 2;
 
 constexpr uint32_t kMetaTag = SectionTag('M', 'E', 'T', 'A');
 constexpr uint32_t kTrackerTag = SectionTag('T', 'R', 'K', 'R');

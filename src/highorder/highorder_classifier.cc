@@ -170,6 +170,7 @@ void HighOrderClassifier::RefreshWeights() {
     obs::EmitIfActive(obs::EventType::kDriftSuspected, "highorder", record,
                       static_cast<int64_t>(top), -1, top_weight);
     drift_suspected_ = true;
+    drift_suspected_since_ = observations_;
   } else if (drift_suspected_ && top_weight >= options_.drift_clear_weight) {
     // The incumbent recovered its grip; withdraw the suspicion silently.
     drift_suspected_ = false;
@@ -235,6 +236,9 @@ Status HighOrderClassifier::RestoreRuntimeState(
                           ? static_cast<size_t>(-1)
                           : static_cast<size_t>(state.last_top_concept);
   drift_suspected_ = state.drift_suspected;
+  // The suspicion-start offset is not checkpointed; restart the dwell
+  // clock at the restore point (monitoring-only divergence).
+  drift_suspected_since_ = observations_;
   until_latency_sample_ = state.until_latency_sample;
   last_prediction_ = static_cast<Label>(state.last_prediction);
   return Status::OK();
@@ -268,6 +272,12 @@ void HighOrderClassifier::ExportServingStatus(
   progress->active_concept = ActiveConcept();
   progress->prior = tracker_.prior();
   progress->posterior = tracker_.posterior();
+  progress->posterior_entropy = tracker_.PosteriorEntropy();
+  progress->posterior_entropy_ratio = tracker_.PosteriorEntropyRatio();
+  progress->top_concept_margin = tracker_.TopConceptMargin();
+  progress->drift_suspected = drift_suspected_;
+  progress->drift_dwell =
+      drift_suspected_ ? observations_ - drift_suspected_since_ : 0;
 }
 
 void HighOrderClassifier::set_latency_sample_period(size_t period) {

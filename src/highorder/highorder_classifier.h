@@ -198,6 +198,11 @@ class HighOrderClassifier : public StreamClassifier {
   /// Whether a DriftSuspected is pending (emitted, not yet confirmed or
   /// withdrawn) — see HighOrderOptions::drift_suspect_weight.
   bool drift_suspected_ = false;
+  /// observations_ at the moment the pending suspicion was raised; the
+  /// exported drift-dwell signal is observations_ - this while suspected.
+  /// Monitoring-only (not checkpointed): a resumed run restarts the dwell
+  /// clock at the restore point.
+  size_t drift_suspected_since_ = 0;
   /// Predictions left until the next sampled latency measurement.
   size_t until_latency_sample_ = 0;
 };

@@ -1,0 +1,554 @@
+#include "obs/alerts.h"
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/file_io.h"
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+
+namespace hom::obs {
+
+namespace {
+
+Result<AlertRuleKind> AlertRuleKindFromName(std::string_view name) {
+  if (name == "threshold") return AlertRuleKind::kThreshold;
+  if (name == "rate_of_change") return AlertRuleKind::kRateOfChange;
+  if (name == "absence") return AlertRuleKind::kAbsence;
+  if (name == "burn_rate") return AlertRuleKind::kBurnRate;
+  return Status::InvalidArgument("unknown alert rule kind: " +
+                                 std::string(name));
+}
+
+Result<AlertOp> AlertOpFromName(std::string_view name) {
+  if (name == "gt") return AlertOp::kGreaterThan;
+  if (name == "lt") return AlertOp::kLessThan;
+  return Status::InvalidArgument("unknown alert op: " + std::string(name) +
+                                 " (want gt or lt)");
+}
+
+Result<AlertRule> RuleFromJson(const JsonValue& json, size_t index) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("rule " + std::to_string(index) +
+                                   ": not an object");
+  }
+  AlertRule rule;
+  for (const auto& [key, value] : json.members()) {
+    auto want_string = [&]() -> Result<std::string> {
+      if (!value.is_string()) {
+        return Status::InvalidArgument("rule " + std::to_string(index) +
+                                       ": " + key + " must be a string");
+      }
+      return value.as_string();
+    };
+    auto want_number = [&]() -> Result<double> {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("rule " + std::to_string(index) +
+                                       ": " + key + " must be a number");
+      }
+      return value.as_double();
+    };
+    if (key == "name") {
+      HOM_ASSIGN_OR_RETURN(rule.name, want_string());
+    } else if (key == "series") {
+      HOM_ASSIGN_OR_RETURN(rule.series, want_string());
+    } else if (key == "kind") {
+      std::string text;
+      HOM_ASSIGN_OR_RETURN(text, want_string());
+      HOM_ASSIGN_OR_RETURN(rule.kind, AlertRuleKindFromName(text));
+    } else if (key == "op") {
+      std::string text;
+      HOM_ASSIGN_OR_RETURN(text, want_string());
+      HOM_ASSIGN_OR_RETURN(rule.op, AlertOpFromName(text));
+    } else if (key == "threshold") {
+      HOM_ASSIGN_OR_RETURN(rule.threshold, want_number());
+    } else if (key == "window_ticks") {
+      double n;
+      HOM_ASSIGN_OR_RETURN(n, want_number());
+      rule.window_ticks = static_cast<size_t>(n);
+    } else if (key == "for_ticks") {
+      double n;
+      HOM_ASSIGN_OR_RETURN(n, want_number());
+      rule.for_ticks = static_cast<size_t>(n);
+    } else if (key == "resolve_ticks") {
+      double n;
+      HOM_ASSIGN_OR_RETURN(n, want_number());
+      rule.resolve_ticks = static_cast<size_t>(n);
+    } else if (key == "slo") {
+      HOM_ASSIGN_OR_RETURN(rule.slo, want_number());
+    } else if (key == "severity") {
+      HOM_ASSIGN_OR_RETURN(rule.severity, want_string());
+    } else if (key == "description") {
+      HOM_ASSIGN_OR_RETURN(rule.description, want_string());
+    } else {
+      return Status::InvalidArgument("rule " + std::to_string(index) +
+                                     ": unknown key \"" + key + "\"");
+    }
+  }
+  return rule;
+}
+
+Status ValidateRules(const std::vector<AlertRule>& rules) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const AlertRule& rule = rules[i];
+    auto fail = [&](const std::string& msg) {
+      return Status::InvalidArgument(
+          "rule " + std::to_string(i) +
+          (rule.name.empty() ? "" : " (\"" + rule.name + "\")") + ": " + msg);
+    };
+    if (rule.name.empty()) return fail("name is required");
+    if (!names.insert(rule.name).second) return fail("duplicate name");
+    if (rule.series.empty()) return fail("series is required");
+    if (rule.for_ticks == 0) return fail("for_ticks must be >= 1");
+    if (rule.resolve_ticks == 0) return fail("resolve_ticks must be >= 1");
+    if (rule.window_ticks == 0) return fail("window_ticks must be >= 1");
+    if (!std::isfinite(rule.threshold)) {
+      return fail("threshold must be finite");
+    }
+    if (rule.kind == AlertRuleKind::kBurnRate &&
+        !(rule.slo > 0.0 && std::isfinite(rule.slo))) {
+      return fail("burn_rate rules need slo > 0");
+    }
+    if (rule.severity != "page" && rule.severity != "warn" &&
+        rule.severity != "info") {
+      return fail("severity must be page, warn, or info");
+    }
+  }
+  return Status::OK();
+}
+
+JsonValue RuleToJson(const AlertRule& rule) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue(rule.name));
+  out.Set("series", JsonValue(rule.series));
+  out.Set("kind", JsonValue(std::string(AlertRuleKindName(rule.kind))));
+  out.Set("op", JsonValue(std::string(AlertOpName(rule.op))));
+  out.Set("threshold", JsonValue(rule.threshold));
+  out.Set("window_ticks", JsonValue(static_cast<uint64_t>(rule.window_ticks)));
+  out.Set("for_ticks", JsonValue(static_cast<uint64_t>(rule.for_ticks)));
+  out.Set("resolve_ticks",
+          JsonValue(static_cast<uint64_t>(rule.resolve_ticks)));
+  if (rule.kind == AlertRuleKind::kBurnRate) {
+    out.Set("slo", JsonValue(rule.slo));
+  }
+  out.Set("severity", JsonValue(rule.severity));
+  if (!rule.description.empty()) {
+    out.Set("description", JsonValue(rule.description));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view AlertRuleKindName(AlertRuleKind kind) {
+  switch (kind) {
+    case AlertRuleKind::kThreshold: return "threshold";
+    case AlertRuleKind::kRateOfChange: return "rate_of_change";
+    case AlertRuleKind::kAbsence: return "absence";
+    case AlertRuleKind::kBurnRate: return "burn_rate";
+  }
+  return "unknown";
+}
+
+std::string_view AlertOpName(AlertOp op) {
+  return op == AlertOp::kGreaterThan ? "gt" : "lt";
+}
+
+std::string_view AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "unknown";
+}
+
+Result<std::vector<AlertRule>> AlertRulesFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("alert config must be a JSON object");
+  }
+  const JsonValue* rules_json = json.Find("rules");
+  if (rules_json == nullptr || !rules_json->is_array()) {
+    return Status::InvalidArgument(
+        "alert config needs a \"rules\" array");
+  }
+  for (const auto& [key, value] : json.members()) {
+    if (key != "rules") {
+      return Status::InvalidArgument("alert config: unknown key \"" + key +
+                                     "\"");
+    }
+  }
+  std::vector<AlertRule> rules;
+  rules.reserve(rules_json->size());
+  for (size_t i = 0; i < rules_json->size(); ++i) {
+    AlertRule rule;
+    HOM_ASSIGN_OR_RETURN(rule, RuleFromJson(rules_json->at(i), i));
+    rules.push_back(std::move(rule));
+  }
+  Status status = ValidateRules(rules);
+  if (!status.ok()) return status;
+  return rules;
+}
+
+Result<std::vector<AlertRule>> LoadAlertRulesFromFile(
+    const std::string& path) {
+  std::string text;
+  HOM_ASSIGN_OR_RETURN(text, ReadFileToString(path));
+  auto parsed = JsonValue::Parse(text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().ToString());
+  }
+  auto rules = AlertRulesFromJson(*parsed);
+  if (!rules.ok()) {
+    return Status::InvalidArgument(path + ": " + rules.status().ToString());
+  }
+  return rules;
+}
+
+JsonValue AlertRulesToJson(const std::vector<AlertRule>& rules) {
+  JsonValue list = JsonValue::Array();
+  for (const AlertRule& rule : rules) list.Append(RuleToJson(rule));
+  JsonValue out = JsonValue::Object();
+  out.Set("rules", std::move(list));
+  return out;
+}
+
+std::vector<AlertRule> DefaultAlertRules(double error_slo) {
+  std::vector<AlertRule> rules;
+  {
+    AlertRule r;
+    r.name = "windowed-error-above-slo";
+    r.series = "hom.serving.windowed_error_rate";
+    r.kind = AlertRuleKind::kThreshold;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = error_slo;
+    r.for_ticks = 3;
+    r.resolve_ticks = 2;
+    r.severity = "page";
+    r.description = "windowed error rate above the configured SLO";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "error-budget-burn";
+    r.series = "hom.serving.windowed_error_rate";
+    r.kind = AlertRuleKind::kBurnRate;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = 2.0;
+    r.window_ticks = 10;
+    r.for_ticks = 2;
+    r.resolve_ticks = 2;
+    r.slo = error_slo;
+    r.severity = "page";
+    r.description =
+        "error budget burning at >= 2x the rate the SLO allows";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "posterior-entropy-high";
+    r.series = "hom.serving.posterior_entropy_ratio";
+    r.kind = AlertRuleKind::kThreshold;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = 0.85;
+    r.for_ticks = 5;
+    r.resolve_ticks = 3;
+    r.severity = "warn";
+    r.description =
+        "sustained posterior uncertainty: no stored concept explains the "
+        "stream (possible novel concept)";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "drift-pressure-sustained";
+    r.series = "hom.serving.drift_suspected";
+    r.kind = AlertRuleKind::kThreshold;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = 0.5;
+    r.for_ticks = 4;
+    r.resolve_ticks = 2;
+    r.severity = "warn";
+    r.description =
+        "drift suspected but unconfirmed for several ticks (hysteresis "
+        "dwell)";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "checkpoint-stale";
+    r.series = "hom.serving.checkpoint_age_seconds";
+    r.kind = AlertRuleKind::kThreshold;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = 900.0;
+    r.for_ticks = 1;
+    r.resolve_ticks = 1;
+    r.severity = "warn";
+    r.description =
+        "last checkpoint older than 15 minutes (age is -1 until the first "
+        "checkpoint, so runs without checkpointing never fire this)";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "health-series-absent";
+    r.series = "hom.serving.windowed_error_rate";
+    r.kind = AlertRuleKind::kAbsence;
+    r.window_ticks = 5;
+    r.for_ticks = 1;
+    r.resolve_ticks = 1;
+    r.severity = "info";
+    r.description =
+        "model-health gauges stopped arriving in metric snapshots";
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules) {
+  rules_.reserve(rules.size());
+  for (AlertRule& rule : rules) {
+    RuleStatus status;
+    status.rule = std::move(rule);
+    status.last_value = std::nan("");
+    rules_.push_back(std::move(status));
+  }
+#ifndef HOM_DISABLE_METRICS
+  // Resolve the per-rule state gauges once: WithLabels takes the family
+  // mutex and builds a canonical label string, which is too expensive for
+  // every tick of every rule. The cached handle is a lock-free atomic.
+  state_gauges_.reserve(rules_.size());
+  for (const RuleStatus& rs : rules_) {
+    state_gauges_.push_back(MetricsRegistry::Global()
+                                .GetGaugeFamily("hom.alerts.state")
+                                ->WithLabels({{"rule", rs.rule.name}}));
+  }
+#endif
+}
+
+Result<std::unique_ptr<AlertEngine>> AlertEngine::Make(
+    std::vector<AlertRule> rules) {
+  Status status = ValidateRules(rules);
+  if (!status.ok()) return status;
+  // Not make_unique: the constructor is private.
+  return std::unique_ptr<AlertEngine>(new AlertEngine(std::move(rules)));
+}
+
+double AlertEngine::RuleValue(const AlertRule& rule,
+                              const TimeSeriesStore& store) {
+  switch (rule.kind) {
+    case AlertRuleKind::kThreshold: {
+      auto latest = store.Latest(rule.series);
+      return latest.ok() ? *latest : std::nan("");
+    }
+    case AlertRuleKind::kRateOfChange: {
+      auto deltas = store.QueryRate(rule.series, rule.window_ticks);
+      if (!deltas.ok()) return std::nan("");
+      double sum = 0.0;
+      size_t n = 0;
+      for (const TimeSeriesStore::Point& p : *deltas) {
+        if (std::isfinite(p.value)) {
+          sum += p.value;
+          ++n;
+        }
+      }
+      return n == 0 ? std::nan("") : sum / static_cast<double>(n);
+    }
+    case AlertRuleKind::kAbsence:
+      return static_cast<double>(
+          store.FiniteCount(rule.series, rule.window_ticks));
+    case AlertRuleKind::kBurnRate: {
+      auto mean = store.WindowMean(rule.series, rule.window_ticks);
+      if (!mean.ok() || !std::isfinite(*mean)) return std::nan("");
+      return *mean / rule.slo;
+    }
+  }
+  return std::nan("");
+}
+
+void AlertEngine::EvaluateTick(const TimeSeriesStore& store, int64_t record) {
+  size_t firing_now = 0;
+  size_t evaluated = 0;
+  struct Fired {
+    std::string rule_name;
+    size_t rule_index;
+    bool fired;
+    double value;
+  };
+  std::vector<Fired> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t tick = tick_++;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      RuleStatus& rs = rules_[i];
+      const AlertRule& rule = rs.rule;
+      const double value = RuleValue(rule, store);
+      bool cond;
+      if (rule.kind == AlertRuleKind::kAbsence) {
+        cond = value == 0.0;
+      } else if (!std::isfinite(value)) {
+        // An unevaluable rule (unknown series, empty window) never fires —
+        // absence detection is what the absence kind is for.
+        cond = false;
+      } else {
+        cond = rule.op == AlertOp::kGreaterThan ? value > rule.threshold
+                                                : value < rule.threshold;
+      }
+      rs.last_value = value;
+      rs.evaluated = true;
+      ++rs.consecutive_true;
+      ++rs.consecutive_false;
+      if (cond) {
+        rs.consecutive_false = 0;
+      } else {
+        rs.consecutive_true = 0;
+      }
+      ++evaluations_;
+      ++evaluated;
+
+      if (rs.state != AlertState::kFiring) {
+        rs.state = cond ? AlertState::kPending : AlertState::kInactive;
+        if (cond && rs.consecutive_true >= rule.for_ticks) {
+          rs.state = AlertState::kFiring;
+          ++rs.fired_count;
+          rs.fired_record = record;
+          ++transitions_;
+          recent_.push_back({rule.name, true, tick, record, value});
+          events.push_back({rule.name, i, true, value});
+        }
+      } else if (!cond && rs.consecutive_false >= rule.resolve_ticks) {
+        rs.state = AlertState::kInactive;
+        rs.resolved_record = record;
+        ++transitions_;
+        recent_.push_back({rule.name, false, tick, record, value});
+        events.push_back({rule.name, i, false, value});
+      }
+      if (rs.state == AlertState::kFiring) ++firing_now;
+#ifndef HOM_DISABLE_METRICS
+      state_gauges_[i]->Set(static_cast<double>(rs.state));
+#endif
+    }
+    while (recent_.size() > kTransitionHistory) recent_.pop_front();
+  }
+
+  // Journal + metrics outside the lock: Emit takes the journal's own
+  // mutex, and the gauges are registry-side.
+  for (const Fired& e : events) {
+    EmitIfActive(e.fired ? EventType::kAlertFiring : EventType::kAlertResolved,
+                 e.rule_name, record, static_cast<int64_t>(e.rule_index), -1,
+                 e.value);
+  }
+  HOM_COUNTER_ADD("hom.alerts.evaluations", evaluated);
+  HOM_COUNTER_ADD("hom.alerts.transitions", events.size());
+  HOM_GAUGE_SET("hom.alerts.firing", firing_now);
+}
+
+size_t AlertEngine::num_rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_.size();
+}
+
+size_t AlertEngine::firing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const RuleStatus& rs : rules_) {
+    if (rs.state == AlertState::kFiring) ++n;
+  }
+  return n;
+}
+
+size_t AlertEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const RuleStatus& rs : rules_) {
+    if (rs.state == AlertState::kPending) ++n;
+  }
+  return n;
+}
+
+uint64_t AlertEngine::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+uint64_t AlertEngine::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+std::vector<AlertEngine::RuleStatus> AlertEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_;
+}
+
+JsonValue AlertEngine::StatusJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::Object();
+  size_t firing = 0;
+  size_t pending = 0;
+  JsonValue list = JsonValue::Array();
+  for (const RuleStatus& rs : rules_) {
+    if (rs.state == AlertState::kFiring) ++firing;
+    if (rs.state == AlertState::kPending) ++pending;
+    JsonValue entry = RuleToJson(rs.rule);
+    entry.Set("state", JsonValue(std::string(AlertStateName(rs.state))));
+    entry.Set("value", rs.evaluated && std::isfinite(rs.last_value)
+                           ? JsonValue(rs.last_value)
+                           : JsonValue());
+    entry.Set("consecutive_true", JsonValue(rs.consecutive_true));
+    entry.Set("consecutive_false", JsonValue(rs.consecutive_false));
+    entry.Set("fired_count", JsonValue(rs.fired_count));
+    entry.Set("fired_record", JsonValue(rs.fired_record));
+    entry.Set("resolved_record", JsonValue(rs.resolved_record));
+    list.Append(std::move(entry));
+  }
+  out.Set("firing", JsonValue(static_cast<uint64_t>(firing)));
+  out.Set("pending", JsonValue(static_cast<uint64_t>(pending)));
+  out.Set("evaluations", JsonValue(evaluations_));
+  out.Set("transitions", JsonValue(transitions_));
+  out.Set("ticks", JsonValue(tick_));
+  out.Set("rules", std::move(list));
+  return out;
+}
+
+JsonValue AlertEngine::SummaryJson(size_t last_transitions) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::Object();
+  size_t firing = 0;
+  size_t pending = 0;
+  JsonValue firing_names = JsonValue::Array();
+  for (const RuleStatus& rs : rules_) {
+    if (rs.state == AlertState::kFiring) {
+      ++firing;
+      firing_names.Append(JsonValue(rs.rule.name));
+    }
+    if (rs.state == AlertState::kPending) ++pending;
+  }
+  out.Set("rules", JsonValue(static_cast<uint64_t>(rules_.size())));
+  out.Set("firing", JsonValue(static_cast<uint64_t>(firing)));
+  out.Set("pending", JsonValue(static_cast<uint64_t>(pending)));
+  out.Set("transitions", JsonValue(transitions_));
+  out.Set("firing_rules", std::move(firing_names));
+  JsonValue recent = JsonValue::Array();
+  size_t begin =
+      recent_.size() > last_transitions ? recent_.size() - last_transitions
+                                        : 0;
+  for (size_t i = begin; i < recent_.size(); ++i) {
+    const Transition& t = recent_[i];
+    JsonValue entry = JsonValue::Object();
+    entry.Set("rule", JsonValue(t.rule));
+    entry.Set("event", JsonValue(t.fired ? "fired" : "resolved"));
+    entry.Set("tick", JsonValue(t.tick));
+    entry.Set("record", JsonValue(t.record));
+    entry.Set("value",
+              std::isfinite(t.value) ? JsonValue(t.value) : JsonValue());
+    recent.Append(std::move(entry));
+  }
+  out.Set("recent_transitions", std::move(recent));
+  return out;
+}
+
+}  // namespace hom::obs

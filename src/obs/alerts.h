@@ -1,0 +1,157 @@
+#ifndef HOM_OBS_ALERTS_H_
+#define HOM_OBS_ALERTS_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+#include "obs/timeseries.h"
+
+namespace hom::obs {
+
+/// What a rule computes from its series each tick.
+enum class AlertRuleKind : uint8_t {
+  kThreshold = 0,    ///< latest raw sample vs threshold
+  kRateOfChange,     ///< mean per-tick delta over `window_ticks` vs threshold
+  kAbsence,          ///< no finite sample in `window_ticks` ⇒ condition true
+  kBurnRate,         ///< window mean / `slo` vs threshold (error budget burn)
+};
+
+enum class AlertOp : uint8_t { kGreaterThan = 0, kLessThan };
+
+/// Lifecycle of one rule: inactive → pending (condition true but not yet
+/// `for_ticks` consecutive) → firing → (after `resolve_ticks` consecutive
+/// false) inactive again. The pending stage is the `for:` hysteresis that
+/// keeps a single noisy tick from paging.
+enum class AlertState : uint8_t { kInactive = 0, kPending, kFiring };
+
+std::string_view AlertRuleKindName(AlertRuleKind kind);
+std::string_view AlertOpName(AlertOp op);
+std::string_view AlertStateName(AlertState state);
+
+/// One declarative alert rule over a TimeSeriesStore series.
+struct AlertRule {
+  std::string name;         ///< unique within a pack
+  std::string series;       ///< TimeSeriesStore series key
+  AlertRuleKind kind = AlertRuleKind::kThreshold;
+  AlertOp op = AlertOp::kGreaterThan;
+  double threshold = 0.0;
+  size_t window_ticks = 1;  ///< lookback for rate/absence/burn-rate
+  size_t for_ticks = 1;     ///< consecutive true ticks before firing
+  size_t resolve_ticks = 1; ///< consecutive false ticks before resolving
+  double slo = 0.0;         ///< burn-rate denominator (required > 0 there)
+  std::string severity = "warn";  ///< "page" | "warn" | "info"
+  std::string description;
+};
+
+/// Parses {"rules": [{...}]} (see DESIGN.md §12 for the field table).
+/// Unknown keys are rejected so a typo'd config fails loudly instead of
+/// silently never firing.
+Result<std::vector<AlertRule>> AlertRulesFromJson(const JsonValue& json);
+
+/// Reads and parses a JSON rules file.
+Result<std::vector<AlertRule>> LoadAlertRulesFromFile(
+    const std::string& path);
+
+/// Inverse of AlertRulesFromJson (canonical form, round-trips).
+JsonValue AlertRulesToJson(const std::vector<AlertRule>& rules);
+
+/// The built-in model-health pack, parameterized by the windowed-error SLO:
+/// error-above-SLO, error-budget burn-rate, sustained high posterior
+/// entropy (possible novel concept), sustained drift suspicion, stale
+/// checkpoint, and health-series absence.
+std::vector<AlertRule> DefaultAlertRules(double error_slo);
+
+/// \brief Declarative alert engine evaluated once per TimeSeriesStore tick.
+///
+/// EvaluateTick() runs every rule against the store's latest window,
+/// advances the per-rule state machine, journals kAlertFiring /
+/// kAlertResolved transitions (with the stream position of the tick, so a
+/// deterministic replay fires at identical record offsets), and publishes
+/// `hom.alerts.{firing,evaluations,transitions}` plus the per-rule
+/// `hom.alerts.state{rule=...}` gauge (0 = inactive, 1 = pending,
+/// 2 = firing).
+///
+/// Thread safety: one mutex; the eval thread evaluates while HTTP handlers
+/// read StatusJson.
+class AlertEngine {
+ public:
+  /// Current status of one rule, copied out for /alertz and /statusz.
+  struct RuleStatus {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    double last_value = 0.0;       ///< rule value at the last evaluation
+    bool evaluated = false;        ///< false before the first tick
+    uint64_t consecutive_true = 0;
+    uint64_t consecutive_false = 0;
+    uint64_t fired_count = 0;      ///< lifetime fire transitions
+    int64_t fired_record = -1;     ///< stream position of the last fire
+    int64_t resolved_record = -1;  ///< stream position of the last resolve
+  };
+
+  /// One fire/resolve transition, newest kept in a bounded history for the
+  /// /statusz summary block.
+  struct Transition {
+    std::string rule;
+    bool fired = false;  ///< true = fired, false = resolved
+    uint64_t tick = 0;
+    int64_t record = -1;
+    double value = 0.0;
+  };
+
+  /// Validates the pack (unique non-empty names, sane windows, burn-rate
+  /// rules carry an SLO) and builds the engine. Heap-allocated because the
+  /// engine owns a mutex and must stay put once handlers hold a pointer.
+  static Result<std::unique_ptr<AlertEngine>> Make(
+      std::vector<AlertRule> rules);
+
+  /// Evaluates every rule against `store`'s latest tick, taken at stream
+  /// position `record`.
+  void EvaluateTick(const TimeSeriesStore& store, int64_t record);
+
+  size_t num_rules() const;
+  size_t firing() const;
+  size_t pending() const;
+  uint64_t evaluations() const;
+  uint64_t transitions() const;
+
+  std::vector<RuleStatus> Snapshot() const;
+
+  /// /alertz payload: {"firing", "pending", "evaluations", "transitions",
+  ///  "rules": [{...per-rule status...}]}.
+  JsonValue StatusJson() const;
+
+  /// Compact /statusz block: counts plus the most recent
+  /// `last_transitions` fire/resolve transitions.
+  JsonValue SummaryJson(size_t last_transitions = 8) const;
+
+ private:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  /// The rule's condition input value for this tick (NaN when the series
+  /// is unknown or the window holds no usable data).
+  static double RuleValue(const AlertRule& rule, const TimeSeriesStore& store);
+
+  static constexpr size_t kTransitionHistory = 64;
+
+  mutable std::mutex mu_;
+  std::vector<RuleStatus> rules_;
+  /// Per-rule `hom.alerts.state{rule=...}` handles, resolved once in the
+  /// constructor so the hot evaluation loop never touches the family mutex.
+  /// Parallel to `rules_`; empty when metrics are compiled out.
+  std::vector<Gauge*> state_gauges_;
+  std::deque<Transition> recent_;
+  uint64_t evaluations_ = 0;
+  uint64_t transitions_ = 0;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_ALERTS_H_

@@ -14,7 +14,7 @@ constexpr std::string_view kTypeNames[kNumEventTypes] = {
     "model_relearn",  "hmm_prediction",   "window_error",    "input_rejected",
     "input_imputed",  "checkpoint_save",  "checkpoint_load", "fault_injected",
     "server_start",   "server_stop",      "slow_request",    "profile_start",
-    "profile_stop",
+    "profile_stop",   "alert_firing",     "alert_resolved",
 };
 
 /// Cached per-type handles into the global `hom.journal.dropped` counter

@@ -39,9 +39,13 @@ enum class EventType : uint8_t {
                        ///< the dominant stage of its breakdown)
   kProfileStart,       ///< CPU sampling profiler armed (`value` = hz)
   kProfileStop,        ///< profiler disarmed (`value` = samples captured)
+  kAlertFiring,        ///< an alert rule entered the firing state
+                       ///< (`source` = rule name, `record` = stream
+                       ///< position of the tick, `value` = rule value)
+  kAlertResolved,      ///< a firing alert rule resolved (same payload)
 };
 
-inline constexpr size_t kNumEventTypes = 17;
+inline constexpr size_t kNumEventTypes = 19;
 
 /// Stable wire name of an event type ("concept_switch", ...).
 std::string_view EventTypeName(EventType type);

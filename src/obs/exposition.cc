@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cmath>
 
+#include "obs/metric_help.h"
+
 namespace hom::obs {
 
 namespace {
@@ -63,6 +65,17 @@ void AppendHistogram(std::string* out, const std::string& prom_name,
                static_cast<double>(h.count));
 }
 
+/// `# HELP` line for registry metric `name` when help text is registered;
+/// `suffix` is "_total" for counters so the HELP name matches the family
+/// name the TYPE line and samples use.
+void AppendHelp(std::string* out, const std::string& name,
+                const char* suffix) {
+  std::string help = FindMetricHelp(name);
+  if (help.empty()) return;
+  *out += "# HELP " + PrometheusMetricName(name) + suffix + " " +
+          EscapeHelpText(help) + "\n";
+}
+
 }  // namespace
 
 std::string PrometheusMetricName(std::string_view name) {
@@ -114,6 +127,7 @@ std::string EncodePrometheusText(const MetricsSnapshot& snapshot) {
     auto header = [&](const std::string& name) {
       if (name == current) return;
       current = name;
+      AppendHelp(&out, name, "_total");
       out += "# TYPE " + PrometheusMetricName(name) + "_total counter\n";
     };
     while (plain != snapshot.counters.end() ||
@@ -144,6 +158,7 @@ std::string EncodePrometheusText(const MetricsSnapshot& snapshot) {
     auto header = [&](const std::string& name) {
       if (name == current) return;
       current = name;
+      AppendHelp(&out, name, "");
       out += "# TYPE " + PrometheusMetricName(name) + " gauge\n";
     };
     while (plain != snapshot.gauges.end() ||
@@ -171,6 +186,7 @@ std::string EncodePrometheusText(const MetricsSnapshot& snapshot) {
     auto header = [&](const std::string& name) {
       if (name == current) return;
       current = name;
+      AppendHelp(&out, name, "");
       out += "# TYPE " + PrometheusMetricName(name) + " histogram\n";
     };
     while (plain != snapshot.histograms.end() ||

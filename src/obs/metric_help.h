@@ -1,0 +1,38 @@
+#ifndef HOM_OBS_METRIC_HELP_H_
+#define HOM_OBS_METRIC_HELP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hom::obs {
+
+/// \brief Per-metric help-string registry backing the Prometheus `# HELP`
+/// exposition lines.
+///
+/// Keyed by the registry's dotted metric name (`hom.serving.records`, not
+/// the underscored Prometheus rendering); the exposition encoder does the
+/// name mapping and `_total` suffixing itself. Ships with a built-in table
+/// covering the hom.* families; instrumentation that invents a new family
+/// registers its text once at startup with RegisterMetricHelp (last
+/// registration wins, so callers can override a built-in).
+///
+/// Thread-safe; lookups happen per scrape, registrations at init time.
+
+/// Registers (or overrides) the help text for `name`.
+void RegisterMetricHelp(std::string_view name, std::string_view help);
+
+/// The registered help text for `name`, or "" when none exists.
+std::string FindMetricHelp(std::string_view name);
+
+/// All dotted names with registered help, sorted (tests sweep this to
+/// cross-check the exposition).
+std::vector<std::string> MetricHelpNames();
+
+/// `# HELP` payload escaping per the text format 0.0.4: backslash and
+/// newline only (quotes are not escaped in help text).
+std::string EscapeHelpText(std::string_view text);
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_METRIC_HELP_H_

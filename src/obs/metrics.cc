@@ -214,22 +214,26 @@ double Histogram::mean() const {
 
 MetricsSnapshot::HistogramData Histogram::SnapshotData() const {
   MetricsSnapshot::HistogramData data;
-  data.bounds = bounds_;
-  data.counts.resize(buckets_.size());
+  SnapshotDataInto(&data);
+  return data;
+}
+
+void Histogram::SnapshotDataInto(MetricsSnapshot::HistogramData* out) const {
+  out->bounds.assign(bounds_.begin(), bounds_.end());
+  out->counts.resize(buckets_.size());
   uint64_t total = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    data.counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += data.counts[i];
+    out->counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += out->counts[i];
   }
   // count is defined as the sum of the bucket reads, never the separate
   // count_ atomic: under concurrent writers the two can disagree by the
   // in-flight Record() calls, and the exposition format requires the +Inf
   // cumulative bucket to equal _count exactly.
-  data.count = total;
-  data.sum = sum_.load(std::memory_order_relaxed);
-  data.min = total == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
-  data.max = total == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
-  return data;
+  out->count = total;
+  out->sum = sum_.load(std::memory_order_relaxed);
+  out->min = total == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  out->max = total == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 void Histogram::Reset() {
@@ -415,13 +419,17 @@ Result<MetricsSnapshot> MetricsSnapshotFromJson(const JsonValue& json) {
 }
 
 Counter* CounterFamily::WithLabels(const LabelSet& labels) {
-  return WithLabelsImpl(&mu_, &children_, labels,
-                        [] { return std::make_unique<Counter>(); });
+  return WithLabelsImpl(&mu_, &children_, labels, [] {
+    MetricsRegistry::Global().BumpSeriesEpoch();
+    return std::make_unique<Counter>();
+  });
 }
 
 Gauge* GaugeFamily::WithLabels(const LabelSet& labels) {
-  return WithLabelsImpl(&mu_, &children_, labels,
-                        [] { return std::make_unique<Gauge>(); });
+  return WithLabelsImpl(&mu_, &children_, labels, [] {
+    MetricsRegistry::Global().BumpSeriesEpoch();
+    return std::make_unique<Gauge>();
+  });
 }
 
 Histogram* HistogramFamily::WithLabels(const LabelSet& labels) {
@@ -430,6 +438,7 @@ Histogram* HistogramFamily::WithLabels(const LabelSet& labels) {
         << "histogram label 'le' is reserved for the exposition format";
   }
   return WithLabelsImpl(&mu_, &children_, labels, [this] {
+    MetricsRegistry::Global().BumpSeriesEpoch();
     return std::make_unique<Histogram>(bounds_);
   });
 }
@@ -447,6 +456,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
+    BumpSeriesEpoch();
   }
   return it->second.get();
 }
@@ -456,6 +466,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    BumpSeriesEpoch();
   }
   return it->second.get();
 }
@@ -469,6 +480,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
              .emplace(std::string(name),
                       std::make_unique<Histogram>(std::move(bounds)))
              .first;
+    BumpSeriesEpoch();
   }
   return it->second.get();
 }
@@ -569,6 +581,54 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
   }
   return snap;
+}
+
+MetricsVisitor::~MetricsVisitor() = default;
+
+void MetricsRegistry::Visit(MetricsVisitor* visitor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    visitor->OnCounter(name, counter.get());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    visitor->OnGauge(name, gauge.get());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    visitor->OnHistogram(name, histogram.get());
+  }
+  // Labeled children: the family key already holds the canonical label
+  // text, so the exposition name `family{text}` is a pure concatenation
+  // into one buffer whose capacity survives across children.
+  std::string scratch;
+  auto labeled_name = [&scratch](const std::string& family,
+                                 const std::string& text) -> std::string_view {
+    // An empty label set degenerates to the bare family name, matching
+    // SeriesKey::ToString().
+    if (text.empty()) return family;
+    scratch.assign(family);
+    scratch += '{';
+    scratch += text;
+    scratch += '}';
+    return scratch;
+  };
+  for (const auto& [name, family] : counter_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (const auto& [text, child] : family->children_) {
+      visitor->OnCounter(labeled_name(name, text), child.second.get());
+    }
+  }
+  for (const auto& [name, family] : gauge_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (const auto& [text, child] : family->children_) {
+      visitor->OnGauge(labeled_name(name, text), child.second.get());
+    }
+  }
+  for (const auto& [name, family] : histogram_families_) {
+    std::lock_guard<std::mutex> family_lock(family->mu_);
+    for (const auto& [text, child] : family->children_) {
+      visitor->OnHistogram(labeled_name(name, text), child.second.get());
+    }
+  }
 }
 
 void MetricsRegistry::ResetForTesting() {

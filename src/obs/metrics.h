@@ -165,6 +165,10 @@ class Histogram {
   /// under concurrent writers those can pair a stale sum with a newer
   /// count (or buckets that do not add up to count).
   MetricsSnapshot::HistogramData SnapshotData() const;
+  /// SnapshotData into a caller-owned object whose vector capacity is
+  /// reused across calls — the allocation-free variant for per-tick
+  /// samplers.
+  void SnapshotDataInto(MetricsSnapshot::HistogramData* out) const;
 
   void Reset();
 
@@ -263,6 +267,23 @@ class HistogramFamily {
 /// family (the unlabeled series plus the labeled ones), which is how an
 /// aggregate counter and its per-label breakdown coexist.
 ///
+/// Receiver for MetricsRegistry::Visit — the allocation-free alternative
+/// to Snapshot() for high-frequency samplers (the TimeSeriesStore tick).
+/// Callbacks get the live handle, not a copied value: handles stay valid
+/// for the process lifetime, so a sampler may keep them and read values
+/// on later ticks without revisiting (rebind when series_epoch() moves).
+/// Labeled series arrive with the exposition name `family{label="v"}`
+/// built in a scratch buffer: the string_view is only valid for the
+/// duration of the callback, copy it if you need to keep it.
+class MetricsVisitor {
+ public:
+  virtual ~MetricsVisitor();
+  virtual void OnCounter(std::string_view name, const Counter* counter) = 0;
+  virtual void OnGauge(std::string_view name, const Gauge* gauge) = 0;
+  virtual void OnHistogram(std::string_view name,
+                           const Histogram* histogram) = 0;
+};
+
 /// Compiling with -DHOM_DISABLE_METRICS turns the HOM_COUNTER_* /
 /// HOM_GAUGE_* / HOM_HISTOGRAM_* macros below into no-ops, removing every
 /// instrumentation site from the hot paths; the registry itself stays
@@ -293,6 +314,22 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Walks every live series — plain then labeled, counters, gauges and
+  /// histograms — without materializing a MetricsSnapshot: no map nodes,
+  /// and the only string built per call is one reused scratch buffer for
+  /// labeled names. Callbacks run under the registry (and family) locks,
+  /// so they must not touch the registry — resolving a handle or calling
+  /// a HOM_* macro whose static handle is not yet cached would deadlock.
+  void Visit(MetricsVisitor* visitor) const;
+
+  /// Monotone count of series registrations (plain metrics and labeled
+  /// family children). A sampler that cached handles from Visit() only
+  /// needs to revisit when this moves; between bumps the registry's
+  /// series set is frozen.
+  uint64_t series_epoch() const {
+    return series_epoch_.load(std::memory_order_acquire);
+  }
+
   /// Zeroes every registered metric, including family children (handles
   /// stay valid). Tests only — concurrent writers may resurrect partial
   /// values.
@@ -301,6 +338,18 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
+  friend class CounterFamily;
+  friend class GaugeFamily;
+  friend class HistogramFamily;
+
+  /// Called on every series creation, including family children (which
+  /// hold the family mutex, not mu_ — hence an atomic, not a guarded
+  /// counter).
+  void BumpSeriesEpoch() {
+    series_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::atomic<uint64_t> series_epoch_{0};
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

@@ -1,0 +1,443 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace hom::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// "0.5" -> "p50", "0.99" -> "p99", "0.999" -> "p99.9".
+std::string QuantileSuffix(double q) {
+  double percent = q * 100.0;
+  char buf[32];
+  if (percent == std::floor(percent)) {
+    std::snprintf(buf, sizeof(buf), "p%d", static_cast<int>(percent));
+  } else {
+    std::snprintf(buf, sizeof(buf), "p%g", percent);
+  }
+  return buf;
+}
+
+}  // namespace
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(std::move(options)) {
+  if (options_.retention_ticks == 0) options_.retention_ticks = 1;
+  if (options_.max_series == 0) options_.max_series = 1;
+  records_.assign(options_.retention_ticks, -1);
+}
+
+void TimeSeriesStore::Store(std::string_view name, SeriesKind kind,
+                            double value, size_t slot) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    if (series_.size() >= options_.max_series) {
+      ++dropped_series_;
+      return;
+    }
+    Series s;
+    s.kind = kind;
+    s.first_tick = ticks_;
+    s.ring.assign(options_.retention_ticks, kNaN);
+    it = series_.emplace(std::string(name), std::move(s)).first;
+  }
+  it->second.ring[slot] = value;
+}
+
+size_t TimeSeriesStore::BeginTickLocked(int64_t record) {
+  const size_t slot = ticks_ % options_.retention_ticks;
+  records_[slot] = record;
+  // A series missing from this sample keeps NaN at its slot: absence is
+  // data (the absence alert rule keys off it).
+  for (auto& [name, series] : series_) series.ring[slot] = kNaN;
+  return slot;
+}
+
+void TimeSeriesStore::Tick(const MetricsSnapshot& snapshot, int64_t record) {
+  size_t dropped_before;
+  size_t live_series;
+  uint64_t total_ticks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped_before = dropped_series_;
+    // A snapshot tick can create series the registry bindings have never
+    // seen; force the next TickFromRegistry to rebind.
+    bindings_valid_ = false;
+    const size_t slot = BeginTickLocked(record);
+
+    for (const auto& [name, value] : snapshot.counters) {
+      Store(name, SeriesKind::kCounter, static_cast<double>(value), slot);
+    }
+    for (const auto& [key, value] : snapshot.labeled_counters) {
+      Store(key.ToString(), SeriesKind::kCounter, static_cast<double>(value),
+            slot);
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      Store(name, SeriesKind::kGauge, value, slot);
+    }
+    for (const auto& [key, value] : snapshot.labeled_gauges) {
+      Store(key.ToString(), SeriesKind::kGauge, value, slot);
+    }
+    auto store_histogram = [&](const std::string& text_key,
+                               const MetricsSnapshot::HistogramData& h) {
+      for (double q : options_.quantiles) {
+        Store(text_key + ":" + QuantileSuffix(q), SeriesKind::kGauge,
+              h.Quantile(q), slot);
+      }
+      Store(text_key + ":count", SeriesKind::kCounter,
+            static_cast<double>(h.count), slot);
+      Store(text_key + ":sum", SeriesKind::kCounter, h.sum, slot);
+    };
+    for (const auto& [name, h] : snapshot.histograms) {
+      store_histogram(name, h);
+    }
+    for (const auto& [key, h] : snapshot.labeled_histograms) {
+      store_histogram(key.ToString(), h);
+    }
+    ++ticks_;
+    total_ticks = ticks_;
+    live_series = series_.size();
+    dropped_before = dropped_series_ - dropped_before;
+  }
+  HOM_GAUGE_SET("hom.timeseries.series", live_series);
+  HOM_GAUGE_SET("hom.timeseries.ticks", total_ticks);
+  if (dropped_before > 0) {
+    HOM_COUNTER_ADD("hom.timeseries.dropped_series", dropped_before);
+  }
+}
+
+void TimeSeriesStore::RebindLocked(const MetricsRegistry& registry) {
+  /// Resolves every registry series to its ring once. Runs under both the
+  /// store and registry locks (store first — nothing in the registry ever
+  /// calls back into a store, so the order cannot invert).
+  struct BindVisitor : MetricsVisitor {
+    TimeSeriesStore* store = nullptr;
+    std::string scratch;  ///< derived-series names; capacity is reused
+
+    /// Store() without the value write: finds or creates the ring,
+    /// nullptr when the cap rejects it.
+    Series* Resolve(std::string_view name, SeriesKind kind) {
+      auto it = store->series_.find(name);
+      if (it == store->series_.end()) {
+        if (store->series_.size() >= store->options_.max_series) {
+          ++store->bound_dropped_;
+          return nullptr;
+        }
+        Series s;
+        s.kind = kind;
+        s.first_tick = store->ticks_;
+        s.ring.assign(store->options_.retention_ticks, kNaN);
+        it = store->series_.emplace(std::string(name), std::move(s)).first;
+      }
+      it->second.bound = true;
+      return &it->second;
+    }
+
+    void OnCounter(std::string_view name, const Counter* counter) override {
+      RegistryBinding b;
+      b.counter = counter;
+      b.series = Resolve(name, SeriesKind::kCounter);
+      store->bindings_.push_back(std::move(b));
+    }
+    void OnGauge(std::string_view name, const Gauge* gauge) override {
+      RegistryBinding b;
+      b.gauge = gauge;
+      b.series = Resolve(name, SeriesKind::kGauge);
+      store->bindings_.push_back(std::move(b));
+    }
+    void OnHistogram(std::string_view name,
+                     const Histogram* histogram) override {
+      RegistryBinding b;
+      b.histogram = histogram;
+      auto derived = [this, name](std::string_view suffix) -> std::string_view {
+        scratch.assign(name);
+        scratch += ':';
+        scratch += suffix;
+        return scratch;
+      };
+      for (double q : store->options_.quantiles) {
+        b.derived.push_back(
+            Resolve(derived(QuantileSuffix(q)), SeriesKind::kGauge));
+      }
+      b.derived.push_back(Resolve(derived("count"), SeriesKind::kCounter));
+      b.derived.push_back(Resolve(derived("sum"), SeriesKind::kCounter));
+      store->bindings_.push_back(std::move(b));
+    }
+  };
+
+  bindings_.clear();
+  bound_dropped_ = 0;
+  for (auto& [name, series] : series_) series.bound = false;
+  BindVisitor visitor;
+  visitor.store = this;
+  registry.Visit(&visitor);
+  unsampled_.clear();
+  for (auto& [name, series] : series_) {
+    if (!series.bound) unsampled_.push_back(&series);
+  }
+}
+
+void TimeSeriesStore::TickFromRegistry(const MetricsRegistry& registry,
+                                       int64_t record) {
+  size_t dropped_this_tick;
+  size_t live_series;
+  uint64_t total_ticks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Epoch is read before the rebind walk: a series created mid-walk may
+    // or may not make this tick, but the moved epoch forces a rebind next
+    // tick either way.
+    const uint64_t epoch = registry.series_epoch();
+    if (!bindings_valid_ || bound_epoch_ != epoch) {
+      RebindLocked(registry);
+      bound_epoch_ = epoch;
+      bindings_valid_ = true;
+    }
+    const size_t slot = ticks_ % options_.retention_ticks;
+    records_[slot] = record;
+    // Series the bindings don't feed (snapshot-path leftovers) read as
+    // absent: absence is data (the absence alert rule keys off it).
+    for (Series* series : unsampled_) series->ring[slot] = kNaN;
+    for (const RegistryBinding& b : bindings_) {
+      if (b.counter != nullptr) {
+        if (b.series != nullptr) {
+          b.series->ring[slot] = static_cast<double>(b.counter->value());
+        }
+      } else if (b.gauge != nullptr) {
+        if (b.series != nullptr) b.series->ring[slot] = b.gauge->value();
+      } else {
+        b.histogram->SnapshotDataInto(&histogram_scratch_);
+        const MetricsSnapshot::HistogramData& h = histogram_scratch_;
+        size_t i = 0;
+        for (double q : options_.quantiles) {
+          if (b.derived[i] != nullptr) b.derived[i]->ring[slot] = h.Quantile(q);
+          ++i;
+        }
+        if (b.derived[i] != nullptr) {
+          b.derived[i]->ring[slot] = static_cast<double>(h.count);
+        }
+        ++i;
+        if (b.derived[i] != nullptr) b.derived[i]->ring[slot] = h.sum;
+      }
+    }
+    dropped_series_ += bound_dropped_;
+    dropped_this_tick = bound_dropped_;
+    ++ticks_;
+    total_ticks = ticks_;
+    live_series = series_.size();
+  }
+  HOM_GAUGE_SET("hom.timeseries.series", live_series);
+  HOM_GAUGE_SET("hom.timeseries.ticks", total_ticks);
+  if (dropped_this_tick > 0) {
+    HOM_COUNTER_ADD("hom.timeseries.dropped_series", dropped_this_tick);
+  }
+}
+
+uint64_t TimeSeriesStore::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+bool TimeSeriesStore::ReadWindow(std::string_view series, size_t window,
+                                 std::vector<Point>* out) const {
+  auto it = series_.find(series);
+  if (it == series_.end()) return false;
+  size_t n = std::min<size_t>(window, options_.retention_ticks);
+  n = std::min<uint64_t>(n, ticks_);
+  out->clear();
+  out->reserve(n);
+  for (uint64_t tick = ticks_ - n; tick < ticks_; ++tick) {
+    const size_t slot = tick % options_.retention_ticks;
+    Point p;
+    p.tick = tick;
+    p.record = records_[slot];
+    p.value = tick >= it->second.first_tick ? it->second.ring[slot] : kNaN;
+    out->push_back(p);
+  }
+  return true;
+}
+
+Result<double> TimeSeriesStore::Latest(std::string_view series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end() || ticks_ == 0) {
+    return Status::NotFound("unknown series: " + std::string(series));
+  }
+  return it->second.ring[(ticks_ - 1) % options_.retention_ticks];
+}
+
+Result<TimeSeriesStore::SeriesKind> TimeSeriesStore::Kind(
+    std::string_view series) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    return Status::NotFound("unknown series: " + std::string(series));
+  }
+  return it->second.kind;
+}
+
+Result<std::vector<TimeSeriesStore::Point>> TimeSeriesStore::Query(
+    std::string_view series, size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Point> out;
+  if (!ReadWindow(series, window, &out)) {
+    return Status::NotFound("unknown series: " + std::string(series));
+  }
+  return out;
+}
+
+Result<std::vector<TimeSeriesStore::Point>> TimeSeriesStore::QueryRate(
+    std::string_view series, size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Point> raw;
+  // One extra leading point so the first requested tick has a neighbor.
+  if (!ReadWindow(series, window + 1, &raw)) {
+    return Status::NotFound("unknown series: " + std::string(series));
+  }
+  std::vector<Point> out;
+  if (raw.empty()) return out;
+  size_t begin = raw.size() > window ? raw.size() - window : 1;
+  if (raw.size() == 1) return out;
+  out.reserve(raw.size() - begin);
+  for (size_t i = begin; i < raw.size(); ++i) {
+    Point p = raw[i];
+    const double prev = raw[i - 1].value;
+    const double cur = raw[i].value;
+    if (!std::isfinite(prev) || !std::isfinite(cur)) {
+      p.value = kNaN;
+    } else if (cur < prev) {
+      // Counter reset: the process restarted (or Reset() ran) between
+      // ticks; the post-reset level is the best lower bound on the
+      // increment, exactly as Prometheus rate() treats it.
+      p.value = cur;
+    } else {
+      p.value = cur - prev;
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+Result<double> TimeSeriesStore::WindowMean(std::string_view series,
+                                           size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Point> raw;
+  if (!ReadWindow(series, window, &raw)) {
+    return Status::NotFound("unknown series: " + std::string(series));
+  }
+  double sum = 0.0;
+  size_t n = 0;
+  for (const Point& p : raw) {
+    if (std::isfinite(p.value)) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? kNaN : sum / static_cast<double>(n);
+}
+
+size_t TimeSeriesStore::FiniteCount(std::string_view series,
+                                    size_t window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Point> raw;
+  if (!ReadWindow(series, window, &raw)) return 0;
+  size_t n = 0;
+  for (const Point& p : raw) {
+    if (std::isfinite(p.value)) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> TimeSeriesStore::SeriesNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, series] : series_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+TimeSeriesStore::Stats TimeSeriesStore::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.ticks = ticks_;
+  stats.series = series_.size();
+  stats.dropped_series = dropped_series_;
+  stats.retention_ticks = options_.retention_ticks;
+  stats.max_series = options_.max_series;
+  stats.memory_bound_bytes =
+      (series_.size() + 1) * options_.retention_ticks * sizeof(double);
+  return stats;
+}
+
+JsonValue TimeSeriesStore::StatsJson() const {
+  Stats stats = GetStats();
+  JsonValue out = JsonValue::Object();
+  out.Set("ticks", JsonValue(stats.ticks));
+  out.Set("series", JsonValue(static_cast<uint64_t>(stats.series)));
+  out.Set("dropped_series", JsonValue(stats.dropped_series));
+  out.Set("retention_ticks",
+          JsonValue(static_cast<uint64_t>(stats.retention_ticks)));
+  out.Set("max_series", JsonValue(static_cast<uint64_t>(stats.max_series)));
+  out.Set("memory_bound_bytes",
+          JsonValue(static_cast<uint64_t>(stats.memory_bound_bytes)));
+  return out;
+}
+
+JsonValue TimeSeriesStore::IndexJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("stats", StatsJson());
+  JsonValue list = JsonValue::Array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, series] : series_) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("series", JsonValue(name));
+      entry.Set("kind", JsonValue(series.kind == SeriesKind::kCounter
+                                      ? "counter"
+                                      : "gauge"));
+      list.Append(std::move(entry));
+    }
+  }
+  out.Set("series", std::move(list));
+  return out;
+}
+
+Result<JsonValue> TimeSeriesStore::QueryJson(std::string_view series,
+                                             size_t window,
+                                             std::string_view mode) const {
+  std::vector<Point> points;
+  if (mode == "raw") {
+    HOM_ASSIGN_OR_RETURN(points, Query(series, window));
+  } else if (mode == "rate") {
+    HOM_ASSIGN_OR_RETURN(points, QueryRate(series, window));
+  } else {
+    return Status::InvalidArgument("unknown mode: " + std::string(mode) +
+                                   " (want raw or rate)");
+  }
+  SeriesKind kind;
+  HOM_ASSIGN_OR_RETURN(kind, Kind(series));
+  JsonValue out = JsonValue::Object();
+  out.Set("series", JsonValue(std::string(series)));
+  out.Set("kind",
+          JsonValue(kind == SeriesKind::kCounter ? "counter" : "gauge"));
+  out.Set("mode", JsonValue(std::string(mode)));
+  out.Set("window", JsonValue(static_cast<uint64_t>(window)));
+  JsonValue list = JsonValue::Array();
+  for (const Point& p : points) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("tick", JsonValue(p.tick));
+    entry.Set("record", JsonValue(p.record));
+    entry.Set("value", std::isfinite(p.value) ? JsonValue(p.value)
+                                              : JsonValue());
+    list.Append(std::move(entry));
+  }
+  out.Set("points", std::move(list));
+  return out;
+}
+
+}  // namespace hom::obs

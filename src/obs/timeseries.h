@@ -1,0 +1,210 @@
+#ifndef HOM_OBS_TIMESERIES_H_
+#define HOM_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hom::obs {
+
+/// Configuration of a TimeSeriesStore. Memory is fixed at construction:
+/// roughly `max_series * retention_ticks * sizeof(double)` plus the record
+/// ring — no allocation grows with stream length.
+struct TimeSeriesOptions {
+  /// How many ticks each series retains (the ring length). Older samples
+  /// are overwritten in place.
+  size_t retention_ticks = 360;
+  /// Hard cap on distinct series; snapshots introducing more are counted
+  /// in Stats::dropped_series and otherwise ignored (bounded memory beats
+  /// completeness for an in-process monitor).
+  size_t max_series = 2048;
+  /// Quantiles materialized per histogram family as derived gauge series
+  /// `<name>:p<q*100>` (e.g. `hom.serve.stage_seconds{stage="predict"}:p99`)
+  /// so quantile-over-time queries need no bucket storage.
+  std::vector<double> quantiles = {0.5, 0.95, 0.99};
+};
+
+/// \brief In-process, fixed-memory ring of periodic MetricsRegistry
+/// snapshots — the short-horizon time-series database behind /timeseriesz
+/// and the alert engine.
+///
+/// Tick() flattens one MetricsSnapshot into per-series rings: plain and
+/// labeled counters/gauges keep their registry identity (labeled series are
+/// keyed by SeriesKey::ToString(), the same canonical text used in
+/// telemetry JSON), histograms are decomposed into derived series — one
+/// gauge per configured quantile plus `:count`/`:sum` counters. Each tick
+/// also records the stream position (`record`) it was sampled at, so every
+/// query answer can be tied to an exact offset in the replayed stream —
+/// that is what makes alert firing deterministic across runs.
+///
+/// Cadence is driven by the caller (the prequential on_progress callback
+/// ticks every N *records*, not every N seconds), which keeps the stored
+/// history a pure function of the stream.
+///
+/// Thread safety: one mutex around Tick and the query methods; HTTP handler
+/// threads query while the eval thread ticks.
+class TimeSeriesStore {
+ public:
+  enum class SeriesKind : uint8_t { kGauge = 0, kCounter = 1 };
+
+  /// One sample of one series. `tick` is the global tick index (monotone,
+  /// never reset), `record` the stream position passed to Tick (-1 when
+  /// the caller had none), `value` the sampled (or rate-delta) value — NaN
+  /// marks "series absent at this tick".
+  struct Point {
+    uint64_t tick = 0;
+    int64_t record = -1;
+    double value = 0.0;
+  };
+
+  struct Stats {
+    uint64_t ticks = 0;            ///< Tick() calls since construction
+    size_t series = 0;             ///< live series count
+    uint64_t dropped_series = 0;   ///< series rejected by the max_series cap
+    size_t retention_ticks = 0;
+    size_t max_series = 0;
+    /// Upper bound on ring memory: series * retention * sizeof(double)
+    /// plus the shared record ring.
+    size_t memory_bound_bytes = 0;
+  };
+
+  explicit TimeSeriesStore(TimeSeriesOptions options = {});
+
+  /// Appends one tick sampled from `snapshot` at stream position `record`.
+  void Tick(const MetricsSnapshot& snapshot, int64_t record = -1);
+
+  /// Appends one tick sampled straight off the registry — same stored
+  /// result as `Tick(registry.Snapshot(), record)` but without
+  /// materializing the snapshot's six maps. Series resolution (name
+  /// building, ring lookup) happens once per registry epoch, not per
+  /// tick: while the registry's series set is unchanged, a tick is one
+  /// atomic load + one ring write per series, which is what makes a
+  /// per-few-hundred-records monitoring cadence affordable (the hot path
+  /// of `homctl serve` and the monitored evaluate loop).
+  void TickFromRegistry(const MetricsRegistry& registry, int64_t record = -1);
+
+  uint64_t ticks() const;
+
+  /// Latest sampled value of `series`; NotFound for unknown series. The
+  /// value can be NaN if the series vanished from the snapshot.
+  Result<double> Latest(std::string_view series) const;
+
+  /// The kind the series was first seen as.
+  Result<SeriesKind> Kind(std::string_view series) const;
+
+  /// Raw samples over the last `window` ticks (clamped to retention and to
+  /// the ticks actually taken), oldest first. NotFound for unknown series.
+  Result<std::vector<Point>> Query(std::string_view series,
+                                   size_t window) const;
+
+  /// Counter-reset-aware per-tick deltas over the last `window` ticks,
+  /// oldest first: delta[i] = v[i] - v[i-1], except a decrease (process
+  /// restart / Reset) yields v[i] — the standard Prometheus rate()
+  /// convention of treating a reset as a restart from zero. Points whose
+  /// neighbor is NaN are NaN. Valid for gauges too (plain differences).
+  Result<std::vector<Point>> QueryRate(std::string_view series,
+                                       size_t window) const;
+
+  /// Mean of the finite raw samples over the last `window` ticks; NaN when
+  /// none are finite. NotFound for unknown series.
+  Result<double> WindowMean(std::string_view series, size_t window) const;
+
+  /// Finite raw samples among the last `window` ticks; 0 for unknown
+  /// series (absence of the whole series is still absence).
+  size_t FiniteCount(std::string_view series, size_t window) const;
+
+  /// All live series names, sorted.
+  std::vector<std::string> SeriesNames() const;
+
+  Stats GetStats() const;
+
+  /// {"ticks", "series", "dropped_series", "retention_ticks", "max_series",
+  ///  "memory_bound_bytes"} — the ring-stats block /statusz embeds.
+  JsonValue StatsJson() const;
+
+  /// /timeseriesz index payload: the stats block plus the sorted series
+  /// list with per-series kind.
+  JsonValue IndexJson() const;
+
+  /// /timeseriesz query payload for one series:
+  /// {"series", "kind", "mode", "window", "points": [{"tick", "record",
+  ///  "value"}...]} with NaN rendered as null. `mode` is "raw" or "rate";
+  /// anything else (and unknown series) is an error.
+  Result<JsonValue> QueryJson(std::string_view series, size_t window,
+                              std::string_view mode) const;
+
+ private:
+  struct Series {
+    SeriesKind kind = SeriesKind::kGauge;
+    uint64_t first_tick = 0;       ///< tick index of the first sample
+    std::vector<double> ring;      ///< retention_ticks slots, NaN = absent
+    bool bound = false;            ///< scratch flag used during rebinding
+  };
+
+  /// One registry series resolved to its ring(s): exactly one of the
+  /// handle pointers is set. Handles and Series map nodes are both stable
+  /// for the process lifetime, so a binding stays valid until the
+  /// registry's series set grows (series_epoch moves) or a snapshot-based
+  /// Tick interleaves. `series` is nullptr when the max_series cap
+  /// rejected the series — it still counts toward dropped_series every
+  /// tick, matching the snapshot path.
+  struct RegistryBinding {
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    Series* series = nullptr;
+    /// Histogram-only derived rings, parallel to options_.quantiles plus
+    /// the trailing :count and :sum series (entries may be nullptr when
+    /// capped).
+    std::vector<Series*> derived;
+  };
+
+  /// Writes `value` into `name`'s ring at `slot`, creating the series if
+  /// the cap allows (only then is the name copied). Caller holds mu_.
+  void Store(std::string_view name, SeriesKind kind, double value,
+             size_t slot);
+  /// Shared prologue of the Tick variants: claims the next ring slot,
+  /// records the stream position, and NaN-clears every live series at the
+  /// slot. Caller holds mu_.
+  size_t BeginTickLocked(int64_t record);
+  /// Rebuilds bindings_/unsampled_ from the registry's current series
+  /// set. Caller holds mu_.
+  void RebindLocked(const MetricsRegistry& registry);
+  /// Raw window read; caller holds mu_. Returns false for unknown series.
+  bool ReadWindow(std::string_view series, size_t window,
+                  std::vector<Point>* out) const;
+
+  mutable std::mutex mu_;
+  TimeSeriesOptions options_;
+  uint64_t ticks_ = 0;
+  uint64_t dropped_series_ = 0;
+  std::vector<int64_t> records_;  ///< per-tick stream positions (ring)
+  std::map<std::string, Series, std::less<>> series_;
+  /// TickFromRegistry's cached resolution of registry series to rings.
+  /// Valid while bindings_valid_ and the registry epoch is unchanged;
+  /// Tick(MetricsSnapshot) invalidates (it can create series the
+  /// bindings don't know about).
+  std::vector<RegistryBinding> bindings_;
+  /// Store series not fed by the bindings (created by snapshot Ticks):
+  /// NaN-cleared each bound tick, since absence is data.
+  std::vector<Series*> unsampled_;
+  /// Registry series rejected by the cap; added to dropped_series_ every
+  /// bound tick to match the snapshot path's per-tick accounting.
+  size_t bound_dropped_ = 0;
+  uint64_t bound_epoch_ = 0;
+  bool bindings_valid_ = false;
+  /// Per-tick histogram read whose vector capacity is reused (guarded by
+  /// mu_ like everything it is used with).
+  MetricsSnapshot::HistogramData histogram_scratch_;
+};
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_TIMESERIES_H_

@@ -19,11 +19,14 @@
 #include "eval/prequential.h"
 #include "eval/serving_status.h"
 #include "eval/stream_classifier.h"
+#include "obs/alerts.h"
 #include "obs/exposition.h"
 #include "obs/http_server.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/request_timer.h"
+#include "obs/timeseries.h"
 #include "streams/stagger.h"
 
 namespace hom::obs {
@@ -325,6 +328,114 @@ TEST(HttpServerTest, EndToEndScrapeOfLivePrequentialRun) {
   EXPECT_NE(statusz.find("\"records\": 20000"), std::string::npos)
       << statusz.substr(0, 512);
   EXPECT_NE(statusz.find("\"state\": \"serving\""), std::string::npos);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: scrape /alertz and /timeseriesz from a live monitored run.
+// The on_progress callback ticks a TimeSeriesStore + AlertEngine exactly
+// the way homctl wires them, raw-socket clients hit the endpoints while
+// the replay is in flight, and the final state must show the rule firing
+// at a deterministic stream position.
+
+TEST(HttpServerTest, LiveAlertzAndTimeseriezScrape) {
+  MetricsRegistry::Global().ResetForTesting();
+  ServingStatusBoard board;
+  board.SetStaticInfo("test-model", "stagger", 1);
+  board.SetState("serving");
+
+  TimeSeriesStore store;
+  AlertRule rule;
+  rule.name = "records-progressing";
+  rule.series = "hom.serving.records";
+  rule.kind = AlertRuleKind::kThreshold;
+  rule.op = AlertOp::kGreaterThan;
+  rule.threshold = 500.0;
+  rule.for_ticks = 2;
+  rule.resolve_ticks = 2;
+  auto engine = AlertEngine::Make({rule});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  HttpServer server;
+  server.Handle("/alertz", [&engine] {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = (*engine)->StatusJson().Dump(2) + "\n";
+    return r;
+  });
+  server.Handle("/timeseriesz", [&store](const HttpRequest& request) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    std::string series = request.QueryOr("series", "");
+    if (series.empty()) {
+      r.body = store.IndexJson().Dump(2) + "\n";
+      return r;
+    }
+    auto json = store.QueryJson(
+        series, std::strtoull(request.QueryOr("window", "60"), nullptr, 10),
+        request.QueryOr("mode", "raw"));
+    if (!json.ok()) {
+      r.status = json.status().IsNotFound() ? 404 : 400;
+      r.body = json.status().ToString() + "\n";
+      return r;
+    }
+    r.body = json->Dump(2) + "\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  StaggerGenerator gen(1);
+  Dataset stream = gen.Generate(20000);
+  ConstantClassifier clf;
+  PrequentialOptions options;
+  options.progress_every = 100;
+  options.on_progress = [&](const PrequentialProgress& p) {
+    ServingStatusBoard::Progress progress;
+    progress.records = p.record;
+    progress.errors = p.num_errors;
+    progress.active_concept = 0;
+    progress.posterior = {1.0};
+    progress.prior = {1.0};
+    board.UpdateProgress(progress);
+    store.TickFromRegistry(MetricsRegistry::Global(),
+                           static_cast<int64_t>(p.record));
+    (*engine)->EvaluateTick(store, static_cast<int64_t>(p.record));
+  };
+
+  std::thread eval([&] { RunPrequential(&clf, stream, options); });
+  // Scrapes racing the replay must still be well-formed JSON.
+  std::string live_alertz = BodyOf(Get(server.port(), "/alertz"));
+  EXPECT_TRUE(JsonValue::Parse(live_alertz).ok())
+      << live_alertz.substr(0, 256);
+  std::string live_index = BodyOf(Get(server.port(), "/timeseriesz"));
+  EXPECT_TRUE(JsonValue::Parse(live_index).ok());
+  eval.join();
+
+  // 200 ticks happened; records > 500 held from tick 6 on, so the rule
+  // fired at record 700 and stays firing at the end of the stream.
+  auto alertz = JsonValue::Parse(BodyOf(Get(server.port(), "/alertz")));
+  ASSERT_TRUE(alertz.ok());
+  EXPECT_DOUBLE_EQ(alertz->Find("firing")->as_double(), 1.0);
+  const JsonValue* rules = alertz->Find("rules");
+  ASSERT_NE(rules, nullptr);
+  ASSERT_EQ(rules->size(), 1u);
+  EXPECT_EQ(rules->at(0).Find("state")->as_string(), "firing");
+  EXPECT_DOUBLE_EQ(rules->at(0).Find("fired_record")->as_double(), 700.0);
+
+  auto query = JsonValue::Parse(BodyOf(
+      Get(server.port(), "/timeseriesz?series=hom.serving.records&window=8")));
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->Find("series")->as_string(), "hom.serving.records");
+  const JsonValue* points = query->Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), 8u);
+  EXPECT_DOUBLE_EQ(points->at(7).Find("value")->as_double(), 20000.0);
+
+  EXPECT_EQ(StatusOf(Get(server.port(),
+                         "/timeseriesz?series=no.such.series")),
+            404);
+  EXPECT_EQ(StatusOf(Get(server.port(), "/timeseriesz?series=c&mode=bogus")),
+            400);  // bad mode is rejected before the series lookup
   server.Stop();
 }
 

@@ -217,15 +217,21 @@ TEST(ProfilezTest, BusyProfilerAnswers409) {
 }
 
 TEST(ProfilezTest, WindowAnswersFoldedText) {
-  HttpRequest request;
-  request.path = "/profilez";
-  request.query["seconds"] = "0.2";
-  request.query["hz"] = "500";
+  // A loaded machine can deschedule the process for most of a short wall
+  // window, leaving the CPU-clock sampler zero samples and an empty body
+  // — retry a few windows before calling the endpoint broken.
   HttpResponse response;
-  std::thread scraper(
-      [&] { response = HandleProfilezRequest(request); });
-  BurnCpu(0.45);  // keep the process busy across the whole window
-  scraper.join();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    HttpRequest request;
+    request.path = "/profilez";
+    request.query["seconds"] = "0.2";
+    request.query["hz"] = "500";
+    std::thread scraper(
+        [&] { response = HandleProfilezRequest(request); });
+    BurnCpu(0.45);  // keep the process busy across the whole window
+    scraper.join();
+    if (response.status == 200 && !response.body.empty()) break;
+  }
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.content_type.find("text/plain"), std::string::npos);
   EXPECT_FALSE(response.body.empty());

@@ -39,6 +39,8 @@ KNOWN_EVENT_TYPES = {
     "slow_request",
     "profile_start",
     "profile_stop",
+    "alert_firing",
+    "alert_resolved",
 }
 
 # Top-level schema versions this checker understands.

@@ -8,6 +8,8 @@ Checks, per file:
   * label blocks parse (key="value", escapes limited to \\\\, \\", \\n);
   * each metric family has exactly one `# TYPE` line, appearing before the
     family's first sample;
+  * `# HELP` lines are well-formed, unique per family, and appear before
+    the family's first sample;
   * every sample belongs to a declared family (histogram samples belong to
     the family via their _bucket/_sum/_count suffix);
   * no duplicate series (same name + label set);
@@ -107,6 +109,8 @@ def check_text(text, path="<text>"):
     without touching disk); `path` only prefixes the error messages."""
     errors = []
     types = {}  # family -> type
+    helps = {}  # family -> help text
+    sampled = set()  # families that have emitted at least one sample
     seen_series = set()
     # histogram series accumulation: (family, labels-without-le) -> state
     hist = {}
@@ -131,6 +135,20 @@ def check_text(text, path="<text>"):
                 if fam in types:
                     err("duplicate TYPE for %r" % fam)
                 types[fam] = typ
+            elif len(parts) >= 2 and parts[1] == "HELP":
+                # `# HELP <name> <text>` (the text may be empty, but the
+                # encoder never emits HELP without text).
+                if len(parts) < 3:
+                    err("malformed HELP line: %r" % line)
+                    continue
+                fam = parts[2]
+                if not NAME_RE.match(fam):
+                    err("bad family name in HELP: %r" % fam)
+                if fam in helps:
+                    err("duplicate HELP for %r" % fam)
+                if fam in sampled:
+                    err("HELP for %r after the family's first sample" % fam)
+                helps[fam] = parts[3] if len(parts) == 4 else ""
             continue
 
         m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)"
@@ -155,6 +173,7 @@ def check_text(text, path="<text>"):
         if fam is None:
             err("sample %r has no preceding TYPE declaration" % name)
             continue
+        sampled.add(fam)
 
         series = (name, tuple(sorted(labels.items())))
         if series in seen_series:
@@ -212,6 +231,11 @@ def check_text(text, path="<text>"):
                           (where, who, counts[-1], state["count"]))
         if state["sum"] is None:
             errors.append("%s: histogram %s missing _sum" % (where, who))
+
+    for fam in sorted(helps):
+        if fam not in types:
+            errors.append("%s: HELP for %r without a TYPE declaration" %
+                          (path, fam))
 
     return errors
 

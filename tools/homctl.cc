@@ -11,6 +11,7 @@
 //   homctl serve    --model model.hom --in online.csv [--listen 9100]
 //                   [--passes N] [--checkpoint-out c.homc]
 //   homctl inspect  --model model.hom
+//   homctl alerts   [--config alerts.json] [--slo X] [--format pretty|json]
 //   homctl checkpoint ckpt.homc [--model model.hom]
 //   homctl chaos    [--seed S] [--trials N] [--dir scratch]
 //   homctl stats    build_metrics.json
@@ -51,9 +52,20 @@
 // introspection over HTTP while the run is in flight: `/metrics` in
 // Prometheus text format (labeled per-concept series included),
 // `/healthz` (liveness + last-checkpoint age), `/statusz` (active
-// concept, drift-filter posterior, per-concept stats, recent journal
-// events, slowest requests with stage breakdowns), and `/profilez?
-// seconds=N&hz=F` (on-demand folded CPU profile of the next N seconds).
+// concept, drift-filter posterior, per-concept stats, alert summary,
+// recent journal events, slowest requests with stage breakdowns),
+// `/alertz` (full alert-rule status), `/timeseriesz[?series=S&window=N&
+// mode=raw|rate]` (the in-process metric time-series ring), and
+// `/profilez?seconds=N&hz=F` (on-demand folded CPU profile of the next N
+// seconds). Model-health monitoring (DESIGN.md §12) snapshots the metrics
+// registry into a fixed-memory ring every `--monitor-every` records and
+// evaluates the alert rules against it: `--alerts-config f.json` loads a
+// declarative rule pack (see `homctl alerts`), the default pack watches
+// the windowed error rate against `--slo` (default 0.30) plus drift /
+// entropy / checkpoint-age health signals. For `evaluate` the monitor
+// also runs headless (no --listen) when any of --alerts-config /
+// --monitor-every / --slo is given, so a journaled run records alert
+// fire/resolve events at deterministic record offsets.
 // `serve` replays the online stream in passes until SIGTERM or
 // SIGINT, then drains gracefully. `stats --format prometheus` renders a
 // saved telemetry file through the same text encoder.
@@ -97,6 +109,7 @@
 #include "highorder/builder.h"
 #include "highorder/checkpoint.h"
 #include "highorder/serialization.h"
+#include "obs/alerts.h"
 #include "obs/build_info.h"
 #include "obs/event_journal.h"
 #include "obs/exposition.h"
@@ -105,6 +118,7 @@
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/request_timer.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "streams/hyperplane.h"
@@ -236,11 +250,43 @@ Status WriteMetricsFile(
   return Status::OK();
 }
 
-/// Registers the three introspection endpoints on a fresh HttpServer and
-/// starts it. `board` (and the journal it references) must outlive the
-/// server — both live on the owning command's stack.
+/// Model-health monitoring state shared by evaluate and serve: the metric
+/// time-series ring plus the alert engine ticked from on_progress.
+struct Monitoring {
+  std::unique_ptr<obs::TimeSeriesStore> timeseries;
+  std::unique_ptr<obs::AlertEngine> alerts;
+  double error_slo = 0.0;
+
+  bool enabled() const { return timeseries != nullptr; }
+};
+
+/// Builds the monitor pair from --alerts-config / --slo /
+/// --timeseries-retention. The rule pack is the config file when given,
+/// else the built-in default pack parameterized by the SLO.
+Result<Monitoring> MakeMonitoring(const Args& args) {
+  Monitoring mon;
+  mon.error_slo = std::atof(args.Get("slo", "0.30"));
+  obs::TimeSeriesOptions ts_options;
+  ts_options.retention_ticks = static_cast<size_t>(
+      std::atoll(args.Get("timeseries-retention", "360")));
+  mon.timeseries = std::make_unique<obs::TimeSeriesStore>(ts_options);
+  std::vector<obs::AlertRule> rules;
+  if (args.Has("alerts-config")) {
+    HOM_ASSIGN_OR_RETURN(
+        rules, obs::LoadAlertRulesFromFile(args.Get("alerts-config", "")));
+  } else {
+    rules = obs::DefaultAlertRules(mon.error_slo);
+  }
+  HOM_ASSIGN_OR_RETURN(mon.alerts, obs::AlertEngine::Make(std::move(rules)));
+  return mon;
+}
+
+/// Registers the introspection endpoints on a fresh HttpServer and starts
+/// it. `board` (and the journal it references) and `mon` must outlive the
+/// server — all live on the owning command's stack. /alertz and
+/// /timeseriesz appear only when monitoring is enabled.
 Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
-    ServingStatusBoard* board, uint16_t port) {
+    ServingStatusBoard* board, const Monitoring& mon, uint16_t port) {
   obs::HttpServer::Options options;
   options.port = port;
   auto server = std::make_unique<obs::HttpServer>(std::move(options));
@@ -263,6 +309,41 @@ Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
     response.body = board->StatusJson().Dump(2) + "\n";
     return response;
   });
+  if (mon.enabled()) {
+    obs::AlertEngine* alerts = mon.alerts.get();
+    server->Handle("/alertz", [alerts] {
+      obs::HttpResponse response;
+      response.content_type = "application/json";
+      response.body = alerts->StatusJson().Dump(2) + "\n";
+      return response;
+    });
+    obs::TimeSeriesStore* timeseries = mon.timeseries.get();
+    server->Handle(
+        "/timeseriesz", [timeseries](const obs::HttpRequest& request) {
+          obs::HttpResponse response;
+          response.content_type = "application/json";
+          std::string series = request.QueryOr("series", "");
+          if (series.empty()) {
+            // No series parameter: answer the index (ring stats + the
+            // sorted series list) so a browser can discover what to ask.
+            response.body = timeseries->IndexJson().Dump(2) + "\n";
+            return response;
+          }
+          size_t window = static_cast<size_t>(
+              std::atoll(request.QueryOr("window", "60")));
+          auto json = timeseries->QueryJson(series, window,
+                                            request.QueryOr("mode", "raw"));
+          if (!json.ok()) {
+            response.status = json.status().IsNotFound() ? 404 : 400;
+            obs::JsonValue error = obs::JsonValue::Object();
+            error.Set("error", obs::JsonValue(json.status().ToString()));
+            response.body = error.Dump(2) + "\n";
+            return response;
+          }
+          response.body = json->Dump(2) + "\n";
+          return response;
+        });
+  }
   // On-demand CPU profile: GET /profilez?seconds=N&hz=F answers a folded
   // stack profile of the window. Blocking (single HTTP worker), bounded at
   // 30 s; 409 while another window (e.g. --profile-out) is running.
@@ -475,24 +556,54 @@ int CmdEvaluate(const Args& args) {
   }
   options.resume_concept_stats = concept_stats;
 
-  // --listen <port>: expose /metrics, /healthz, /statusz for the duration
-  // of the run (port 0 = ephemeral; the banner prints the resolved one).
+  // Model-health monitoring: on whenever the run is observable (--listen)
+  // or explicitly requested headless (--alerts-config / --monitor-every /
+  // --slo), so a journaled run without a server still records alert
+  // fire/resolve events at deterministic record offsets.
+  Monitoring mon;
+  bool monitored = args.Has("listen") || args.Has("alerts-config") ||
+                   args.Has("monitor-every") || args.Has("slo");
   ServingStatusBoard board;
   std::unique_ptr<obs::HttpServer> server;
+  if (monitored) {
+    auto made = MakeMonitoring(args);
+    if (!made.ok()) return Fail(made.status().ToString());
+    mon = std::move(*made);
+    board.SetErrorSlo(mon.error_slo);
+    board.SetMonitors(mon.timeseries.get(), mon.alerts.get());
+    // Sampled probability calibration rides along with monitoring: the
+    // per-concept Brier score feeds hom.concept.brier_score{concept=...}.
+    // Each sample is a full (unpruned) mixture evaluation — several times
+    // a pruned predict — so the period is the main lever keeping the
+    // monitored path inside its overhead budget (see bench_alerts).
+    options.calibration_sample_period = static_cast<size_t>(
+        std::atoll(args.Get("calibration-every", "512")));
+  }
+  // --listen <port>: expose the introspection endpoints for the duration
+  // of the run (port 0 = ephemeral; the banner prints the resolved one).
   if (args.Has("listen")) {
     board.SetStaticInfo(model_path, in, (*model)->num_concepts());
     board.SetJournal(&journal);
     board.SetRequestTimer(&request_timer);
     auto started = StartIntrospectionServer(
-        &board, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
+        &board, mon,
+        static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
     if (!started.ok()) return Fail(started.status().ToString());
     server = std::move(*started);
     std::printf("introspection: listening on http://127.0.0.1:%u "
-                "(/metrics /healthz /statusz /profilez)\n",
+                "(/metrics /healthz /statusz /alertz /timeseriesz "
+                "/profilez)\n",
                 static_cast<unsigned>(server->port()));
     std::fflush(stdout);  // scrapers behind a pipe need the port now
-    options.progress_every = static_cast<uint64_t>(
-        std::atoll(args.Get("progress-every", "200")));
+  }
+  if (monitored) {
+    // One cadence drives both the board refresh and the monitor tick;
+    // --monitor-every overrides --progress-every when given. Cadence is in
+    // records, never wall time — the stored history and every alert
+    // transition are a pure function of the stream.
+    options.progress_every = static_cast<uint64_t>(std::atoll(
+        args.Has("monitor-every") ? args.Get("monitor-every", "200")
+                                  : args.Get("progress-every", "200")));
     options.on_progress = [&](const PrequentialProgress& progress) {
       ServingStatusBoard::Progress sp;
       sp.records = progress.record;
@@ -500,6 +611,10 @@ int CmdEvaluate(const Args& args) {
       (*model)->ExportServingStatus(&sp);
       board.UpdateProgress(sp);
       if (concept_stats != nullptr) board.UpdateConceptStats(*concept_stats);
+      mon.timeseries->TickFromRegistry(obs::MetricsRegistry::Global(),
+                                       static_cast<int64_t>(progress.record));
+      mon.alerts->EvaluateTick(*mon.timeseries,
+                               static_cast<int64_t>(progress.record));
     };
     board.SetState("serving");
   }
@@ -566,6 +681,13 @@ int CmdEvaluate(const Args& args) {
               "concepts)\n",
               result.error_rate(), result.num_records, result.seconds,
               (*model)->num_concepts());
+  if (mon.enabled()) {
+    std::printf("alerts: %zu firing, %llu transitions over %llu "
+                "evaluations\n",
+                mon.alerts->firing(),
+                static_cast<unsigned long long>(mon.alerts->transitions()),
+                static_cast<unsigned long long>(mon.alerts->evaluations()));
+  }
   if (args.Has("journal-out")) {
     journal.CloseSink();
     std::printf("journal: %llu events -> %s\n",
@@ -639,13 +761,21 @@ int CmdServe(const Args& args) {
   }
   obs::ScopedJournal scoped(&journal);
 
+  // serve always monitors: the introspection surface includes /alertz and
+  // /timeseriesz, and the default rule pack watches the health gauges.
+  auto made = MakeMonitoring(args);
+  if (!made.ok()) return Fail(made.status().ToString());
+  Monitoring mon = std::move(*made);
+
   ServingStatusBoard board;
   obs::RequestTimer request_timer;
   board.SetStaticInfo(model_path, in, (*model)->num_concepts());
   board.SetJournal(&journal);
   board.SetRequestTimer(&request_timer);
+  board.SetErrorSlo(mon.error_slo);
+  board.SetMonitors(mon.timeseries.get(), mon.alerts.get());
   auto started = StartIntrospectionServer(
-      &board, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
+      &board, mon, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
   if (!started.ok()) return Fail(started.status().ToString());
   std::unique_ptr<obs::HttpServer> server = std::move(*started);
 
@@ -654,11 +784,12 @@ int CmdServe(const Args& args) {
   std::signal(SIGINT, HandleShutdownSignal);
 
   uint64_t passes = static_cast<uint64_t>(std::atoll(args.Get("passes", "0")));
-  uint64_t progress_every =
-      static_cast<uint64_t>(std::atoll(args.Get("progress-every", "500")));
+  uint64_t progress_every = static_cast<uint64_t>(std::atoll(
+      args.Has("monitor-every") ? args.Get("monitor-every", "500")
+                                : args.Get("progress-every", "500")));
   std::printf("serving: listening on http://127.0.0.1:%u "
-              "(/metrics /healthz /statusz /profilez), %zu records/pass, "
-              "%s passes\n",
+              "(/metrics /healthz /statusz /alertz /timeseriesz /profilez), "
+              "%zu records/pass, %s passes\n",
               static_cast<unsigned>(server->port()), online->size(),
               passes == 0 ? "unbounded" : std::to_string(passes).c_str());
   std::fflush(stdout);  // the smoke test parses the port through a pipe
@@ -684,16 +815,22 @@ int CmdServe(const Args& args) {
     uint64_t base_records = total_records;
     uint64_t base_errors = total_errors;
     auto publish = [&](const PrequentialProgress& progress) {
+      uint64_t record = base_records + progress.record;
       ServingStatusBoard::Progress sp;
-      sp.records = base_records + progress.record;
+      sp.records = record;
       sp.errors = base_errors + progress.num_errors;
       (*model)->ExportServingStatus(&sp);
       board.UpdateProgress(sp);
       board.UpdateConceptStats(*concept_stats);
+      mon.timeseries->TickFromRegistry(obs::MetricsRegistry::Global(),
+                                       static_cast<int64_t>(record));
+      mon.alerts->EvaluateTick(*mon.timeseries, static_cast<int64_t>(record));
     };
     PrequentialOptions options;
     options.track_concept_stats = true;
     options.resume_concept_stats = concept_stats;
+    options.calibration_sample_period = static_cast<size_t>(
+        std::atoll(args.Get("calibration-every", "512")));
     options.progress_every = progress_every;
     options.on_progress = publish;
     options.stop_flag = &g_shutdown;
@@ -755,6 +892,10 @@ int CmdServe(const Args& args) {
   }
   server->Stop();
   if (args.Has("journal-out")) journal.CloseSink();
+  std::printf("alerts: %zu firing, %llu transitions over %llu evaluations\n",
+              mon.alerts->firing(),
+              static_cast<unsigned long long>(mon.alerts->transitions()),
+              static_cast<unsigned long long>(mon.alerts->evaluations()));
   std::printf("serve: %s after %llu passes, %llu records, error %.5f\n",
               g_shutdown.load(std::memory_order_relaxed) ? "drained on signal"
                                                          : "completed",
@@ -786,6 +927,48 @@ int CmdInspect(const Args& args) {
                 c, cm.error, cm.training_records, stats.mean_length(c),
                 stats.frequency(c), cm.model->TypeTag().c_str(),
                 cm.model->ComplexityHint());
+  }
+  return 0;
+}
+
+/// `homctl alerts [--config f.json] [--slo X] [--format pretty|json]`:
+/// validates an alert rules file offline (the same loader the serving
+/// commands use, so a config that prints here will load there) and shows
+/// the effective pack; without --config, shows the built-in default pack
+/// at the given SLO. --format json prints the canonical round-trippable
+/// form, ready to edit and pass back via --alerts-config.
+int CmdAlerts(const Args& args) {
+  double slo = std::atof(args.Get("slo", "0.30"));
+  std::vector<obs::AlertRule> rules;
+  if (args.Has("config")) {
+    auto loaded = obs::LoadAlertRulesFromFile(args.Get("config", ""));
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    rules = std::move(*loaded);
+  } else {
+    rules = obs::DefaultAlertRules(slo);
+  }
+  std::string format = args.Get("format", "pretty");
+  if (format == "json") {
+    std::printf("%s\n", obs::AlertRulesToJson(rules).Dump(2).c_str());
+    return 0;
+  }
+  if (format != "pretty") {
+    return Fail("unknown --format '" + format + "' (pretty | json)");
+  }
+  std::printf("%zu alert rule(s)%s:\n", rules.size(),
+              args.Has("config") ? "" : " (built-in default pack)");
+  for (const obs::AlertRule& rule : rules) {
+    std::printf("  %-26s %-4s %-14s %s %s %.4g  for=%zu resolve=%zu "
+                "window=%zu\n",
+                rule.name.c_str(), rule.severity.c_str(),
+                std::string(obs::AlertRuleKindName(rule.kind)).c_str(),
+                rule.series.c_str(),
+                std::string(obs::AlertOpName(rule.op)).c_str(),
+                rule.threshold, rule.for_ticks, rule.resolve_ticks,
+                rule.window_ticks);
+    if (!rule.description.empty()) {
+      std::printf("      %s\n", rule.description.c_str());
+    }
   }
   return 0;
 }
@@ -1211,13 +1394,14 @@ int main(int argc, char** argv) {
   if (args->command == "evaluate") return CmdEvaluate(*args);
   if (args->command == "serve") return CmdServe(*args);
   if (args->command == "inspect") return CmdInspect(*args);
+  if (args->command == "alerts") return CmdAlerts(*args);
   if (args->command == "checkpoint") return CmdCheckpoint(*args);
   if (args->command == "chaos") return CmdChaos(*args);
   if (args->command == "stats") return CmdStats(*args);
   if (args->command == "tail") return CmdTail(*args, /*follow=*/false);
   if (args->command == "monitor") return CmdTail(*args, /*follow=*/true);
   std::fprintf(stderr,
-               "usage: homctl <generate|build|evaluate|serve|inspect|"
+               "usage: homctl <generate|build|evaluate|serve|inspect|alerts|"
                "checkpoint|chaos|stats|tail|monitor> [--verbose] "
                "[--key value ...]\n"
                "  generate   --stream s --n N --seed S [--lambda L] --out "
@@ -1234,14 +1418,24 @@ int main(int argc, char** argv) {
                " [--resume c.homc]\n"
                "             [--listen PORT] [--progress-every N]"
                " [--linger SECONDS]\n"
+               "             [--alerts-config a.json] [--slo X]"
+               " [--monitor-every N]\n"
+               "             [--timeseries-retention N]"
+               " [--calibration-every N]\n"
                "             [--profile-out p.folded] [--profile-hz F]\n"
                "  serve      --model model.hom --in online.csv"
                " [--listen PORT] [--passes N]\n"
                "             [--progress-every N] [--journal-out e.jsonl]\n"
                "             [--checkpoint-out c.homc] [--checkpoint-every N]"
                " [--input-policy p]\n"
+               "             [--alerts-config a.json] [--slo X]"
+               " [--monitor-every N]\n"
+               "             [--timeseries-retention N]"
+               " [--calibration-every N]\n"
                "             [--profile-out p.folded] [--profile-hz F]\n"
                "  inspect    --model model.hom\n"
+               "  alerts     [--config a.json] [--slo X]"
+               " [--format pretty|json]\n"
                "  checkpoint c.homc [--model model.hom]\n"
                "  chaos      [--seed S] [--trials N] [--dir scratch]\n"
                "  stats      m.json [--format pretty|prometheus]\n"

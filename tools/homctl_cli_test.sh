@@ -122,6 +122,36 @@ else
   echo "ok stats_prometheus_output"
 fi
 
+# --- alert rules ---------------------------------------------------------
+expect alerts_default_ok 0 - -- alerts
+expect alerts_json_ok 0 - -- alerts --format json
+if ! grep -q '"windowed-error-above-slo"' "$WORK/alerts_json_ok.out"; then
+  echo "FAIL alerts_json_ok: default pack missing the SLO rule" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok alerts_json_output"
+fi
+expect alerts_missing_config 1 'IoError' -- \
+  alerts --config "$WORK/absent_alerts.json"
+printf '{"rules": [{"name": "x"}]}' > "$WORK/bad_alerts.json"
+expect alerts_invalid_config 1 'series is required' -- \
+  alerts --config "$WORK/bad_alerts.json"
+expect alerts_bad_format 1 "unknown --format" -- alerts --format bogus
+expect evaluate_bad_alerts_config 1 'series is required' -- \
+  evaluate --model "$WORK/m.hom" --in "$WORK/online.csv" \
+  --alerts-config "$WORK/bad_alerts.json"
+printf '{"rules": [{"name": "tight", "series": "hom.serving.windowed_error_rate", "threshold": 0.0001, "for_ticks": 2, "severity": "page"}]}' \
+  > "$WORK/tight_alerts.json"
+expect evaluate_custom_alerts_ok 0 - -- \
+  evaluate --model "$WORK/m.hom" --in "$WORK/online.csv" \
+  --alerts-config "$WORK/tight_alerts.json" --monitor-every 50
+if ! grep -q '^alerts: ' "$WORK/evaluate_custom_alerts_ok.out"; then
+  echo "FAIL evaluate_custom_alerts_ok: no alerts summary line" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok evaluate_alerts_summary"
+fi
+
 # --- chaos sweep (small but real) ---------------------------------------
 expect chaos_ok 0 - -- chaos --seed 17 --trials 9 --dir "$WORK/chaos"
 

@@ -4,10 +4,11 @@
 Usage: serve_smoke_test.py <path-to-homctl>
 
 Builds a tiny STAGGER model in a temp dir, starts `homctl serve --listen 0`,
-scrapes /metrics, /healthz and /statusz while the loop is live, validates
-the /metrics payload with check_prom_text, checks labeled per-concept
-series, the hom_build_info identity gauge, per-stage latency histograms,
-the slow-request digest on /statusz, and that the journal ring dropped
+scrapes /metrics, /healthz, /statusz, /alertz and /timeseriesz while the
+loop is live, validates the /metrics payload (HELP lines included) with
+check_prom_text, checks labeled per-concept series, the hom_build_info
+identity gauge, per-stage latency histograms, the slow-request digest and
+alerts/timeseries blocks on /statusz, and that the journal ring dropped
 nothing during the run; pulls a 1-second folded CPU profile from
 /profilez and requires hom:: frames in it; checks 404/405 behavior; then
 sends SIGTERM and asserts a graceful exit (code 0 with a drain message).
@@ -93,6 +94,9 @@ def main():
             if 'hom_serve_stage_seconds_bucket{stage="predict"' not in metrics:
                 failures.append("/metrics: no per-stage latency histogram "
                                 "for the predict stage")
+            if "# HELP hom_serving_records " not in metrics:
+                failures.append("/metrics: no HELP text for "
+                                "hom_serving_records")
             # The journal ring must not shed events in a short healthy run.
             for line in metrics.splitlines():
                 if line.startswith("hom_journal_dropped"):
@@ -134,6 +138,39 @@ def main():
             elif not any(entry.get("stages") for entry in slowest):
                 failures.append("/statusz: slowest requests carry no stage "
                                 "breakdown")
+            alerts = doc.get("alerts", {})
+            if alerts.get("rules", 0) <= 0:
+                failures.append("/statusz: no alerts summary block")
+            timeseries = doc.get("timeseries", {})
+            if timeseries.get("retention_ticks", 0) <= 0:
+                failures.append("/statusz: no timeseries ring-stats block")
+
+            status, alertz = fetch(base + "/alertz")
+            doc = json.loads(alertz)
+            if status != 200 or not doc.get("rules"):
+                failures.append("/alertz: %s %r" % (status, alertz[:200]))
+            elif not all("state" in rule for rule in doc["rules"]):
+                failures.append("/alertz: rules missing state field")
+
+            status, tsz = fetch(base + "/timeseriesz")
+            doc = json.loads(tsz)
+            if status != 200 or not doc.get("series"):
+                failures.append("/timeseriesz: %s %r" % (status, tsz[:200]))
+            status, tsq = fetch(
+                base + "/timeseriesz?series=hom.serving.records&window=8")
+            doc = json.loads(tsq)
+            if status != 200 or doc.get("series") != "hom.serving.records":
+                failures.append("/timeseriesz query: %s %r" %
+                                (status, tsq[:200]))
+            elif not doc.get("points"):
+                failures.append("/timeseriesz query: no points in window")
+            try:
+                fetch(base + "/timeseriesz?series=no.such.series")
+                failures.append("/timeseriesz unknown series: expected 404")
+            except urllib.error.HTTPError as e:
+                if e.code != 404:
+                    failures.append("/timeseriesz unknown series: expected "
+                                    "404, got %s" % e.code)
 
             # Pull a folded CPU profile while the replay loop burns CPU.
             status, folded = fetch(base + "/profilez?seconds=1&hz=250",
