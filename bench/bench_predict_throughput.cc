@@ -1,0 +1,252 @@
+// Prediction-throughput benchmark of the compiled tree kernels
+// (classifiers/compiled_tree.h, DESIGN.md §13): single-thread records/sec
+// of the online high-order classifier in three modes over the same Stagger
+// multi-concept workload —
+//
+//   walk      use_compiled_kernels off: the legacy pointer walk with a
+//             per-call std::vector allocation (the pre-kernel hot path),
+//   compiled  flattened SoA kernels, per-record Predict(),
+//   batched   flattened kernels through PredictBatch(), which sweeps each
+//             concept's arrays once per block instead of once per record.
+//
+// Every mode replays the identical predict/observe schedule (blocks of
+// `kBatch` predictions, then the block's labels), so the three must emit
+// identical predictions and error counts — asserted in-binary, hard fail.
+// The unpruned full-mixture rows additionally assert the compiled+batched
+// path clears a 3x speedup over the walk; bench_compare.py then gates the
+// committed speedup ratios (machine speed cancels in a same-process ratio).
+//
+// Rows: stagger_c{4,8,16}_{unpruned,pruned}. Values per row:
+//   walk_records_per_sec / compiled_records_per_sec / batched_records_per_sec
+//   compiled_speedup / batched_speedup  (mode rps / walk rps)
+//   error_rate, batch_size, concepts.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench/harness.h"
+#include "classifiers/compiled_tree.h"
+#include "classifiers/decision_tree.h"
+#include "common/binary_io.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "highorder/concept_stats.h"
+#include "highorder/highorder_classifier.h"
+#include "streams/stagger.h"
+
+namespace hom {
+namespace {
+
+constexpr size_t kBatch = 256;
+
+// Throughput is aggregated as the best run: external interference only
+// ever slows a run down, so the max approximates noise-free capability
+// and keeps the committed speedup ratios stable on busy machines, where
+// a median can still be dragged by a multi-second interference burst.
+double Best(const std::vector<double>& values) {
+  HOM_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+// One trained tree per true Stagger concept, on oracle-labeled data.
+std::unique_ptr<DecisionTree> TrainStaggerConcept(int concept_id,
+                                                  uint64_t seed) {
+  SchemaPtr schema = StaggerGenerator::MakeSchema();
+  Dataset data(schema);
+  Rng rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> vals = {static_cast<double>(rng.NextInt(0, 2)),
+                                static_cast<double>(rng.NextInt(0, 2)),
+                                static_cast<double>(rng.NextInt(0, 2))};
+    Record r(std::move(vals), kUnlabeled);
+    r.label = StaggerGenerator::TrueLabel(r, concept_id);
+    data.AppendUnchecked(r);
+  }
+  auto tree = std::make_unique<DecisionTree>(schema);
+  HOM_CHECK(tree->Train(DatasetView(&data)).ok());
+  return tree;
+}
+
+// Clones a trained tree through its serialized form, so every mode and
+// every ensemble slot holds a structurally identical model.
+std::unique_ptr<DecisionTree> CloneTree(const DecisionTree& tree) {
+  std::stringstream buffer;
+  BinaryWriter writer(&buffer);
+  HOM_CHECK(tree.SaveTo(&writer).ok());
+  BinaryReader reader(&buffer);
+  auto clone = DecisionTree::LoadFrom(&reader, StaggerGenerator::MakeSchema());
+  HOM_CHECK(clone.ok());
+  return std::move(*clone);
+}
+
+// A k-concept ensemble cycling over the three Stagger concepts' trees.
+std::unique_ptr<HighOrderClassifier> MakeEnsemble(
+    const std::vector<std::unique_ptr<DecisionTree>>& base, size_t k,
+    bool use_compiled, bool prune) {
+  std::vector<ConceptModel> concepts;
+  for (size_t c = 0; c < k; ++c) {
+    ConceptModel cm;
+    cm.model = CloneTree(*base[c % base.size()]);
+    cm.error = 0.02 + 0.005 * static_cast<double>(c);
+    concepts.push_back(std::move(cm));
+  }
+  std::vector<double> lengths(k, 100.0);
+  std::vector<double> freqs(k, 1.0 / static_cast<double>(k));
+  auto stats = ConceptStats::FromLengthsAndFrequencies(lengths, freqs);
+  HOM_CHECK(stats.ok());
+  HighOrderOptions options;
+  options.use_compiled_kernels = use_compiled;
+  options.prune_prediction = prune;
+  options.latency_sample_period = 0;  // measure the loop, not the sampler
+  auto clf = HighOrderClassifier::Make(StaggerGenerator::MakeSchema(),
+                                       std::move(concepts), *stats, options);
+  HOM_CHECK(clf.ok());
+  return std::move(*clf);
+}
+
+enum class Mode { kWalk, kCompiled, kBatched };
+
+struct RunOutcome {
+  std::vector<Label> predictions;
+  size_t errors = 0;
+  double predict_seconds = 0.0;
+};
+
+// Replays the block schedule: predict a block of kBatch records, then
+// observe the block's labels. Only the predict sections are timed.
+RunOutcome RunMode(HighOrderClassifier* clf, Mode mode, uint64_t stream_seed,
+                   size_t total_records) {
+  RunOutcome outcome;
+  outcome.predictions.reserve(total_records);
+  StaggerGenerator gen(stream_seed);
+  std::vector<Record> unlabeled(kBatch);
+  std::vector<Label> batch_out(kBatch);
+  Stopwatch timer;
+  timer.Pause();
+  size_t produced = 0;
+  while (produced < total_records) {
+    size_t block = std::min(kBatch, total_records - produced);
+    Dataset labeled = gen.Generate(block);
+    for (size_t i = 0; i < block; ++i) {
+      unlabeled[i] = labeled.records()[i];
+      unlabeled[i].label = kUnlabeled;
+    }
+    timer.Resume();
+    if (mode == Mode::kBatched) {
+      clf->PredictBatch(unlabeled.data(), block, batch_out.data());
+    } else {
+      for (size_t i = 0; i < block; ++i) {
+        batch_out[i] = clf->Predict(unlabeled[i]);
+      }
+    }
+    timer.Pause();
+    for (size_t i = 0; i < block; ++i) {
+      outcome.predictions.push_back(batch_out[i]);
+      if (batch_out[i] != labeled.records()[i].label) ++outcome.errors;
+    }
+    for (const Record& r : labeled.records()) clf->ObserveLabeled(r);
+    produced += block;
+  }
+  outcome.predict_seconds = timer.ElapsedSeconds();
+  return outcome;
+}
+
+}  // namespace
+}  // namespace hom
+
+int main() {
+  using namespace hom;
+  bench::Scale scale = bench::Scale::FromEnvironment();
+  const size_t total_records = scale.is_paper_scale ? 200000 : 20000;
+
+  bench::BenchReporter reporter("bench_predict_throughput");
+  reporter.SetScale(scale);
+
+  std::vector<std::unique_ptr<DecisionTree>> base;
+  for (int c = 0; c < 3; ++c) base.push_back(TrainStaggerConcept(c, 97 + c));
+
+  std::printf("%-24s %14s %14s %14s %9s %9s\n", "workload", "walk rec/s",
+              "compiled", "batched", "cmp x", "batch x");
+  bench::PrintRule(88);
+
+  for (size_t k : {4u, 8u, 16u}) {
+    for (bool prune : {false, true}) {
+      std::vector<double> walk_rps, compiled_rps, batched_rps;
+      size_t errors = 0;
+      for (size_t run = 0; run < scale.runs; ++run) {
+        uint64_t stream_seed = 1000 + run;
+        auto walk = MakeEnsemble(base, k, /*use_compiled=*/false, prune);
+        auto compiled = MakeEnsemble(base, k, /*use_compiled=*/true, prune);
+        auto batched = MakeEnsemble(base, k, /*use_compiled=*/true, prune);
+        RunOutcome w = RunMode(walk.get(), Mode::kWalk, stream_seed,
+                               total_records);
+        RunOutcome c = RunMode(compiled.get(), Mode::kCompiled, stream_seed,
+                               total_records);
+        RunOutcome b = RunMode(batched.get(), Mode::kBatched, stream_seed,
+                               total_records);
+        // Hard equivalence gate: the compiled and batched paths must be
+        // drop-in replacements for the pointer walk — identical
+        // predictions, identical error counts. A mismatch is a kernel bug,
+        // not a perf regression, so fail the binary outright.
+        HOM_CHECK(w.predictions == c.predictions)
+            << "compiled predictions diverge from walk (k=" << k
+            << " prune=" << prune << ")";
+        HOM_CHECK(w.predictions == b.predictions)
+            << "batched predictions diverge from walk (k=" << k
+            << " prune=" << prune << ")";
+        HOM_CHECK(w.errors == c.errors && w.errors == b.errors)
+            << "error counts diverge (k=" << k << " prune=" << prune << ")";
+        // Report run 0's error count: run 0 exists at every HOM_BENCH_RUNS
+        // setting, so the committed error_rate is invariant to run count.
+        if (run == 0) errors = w.errors;
+        double n = static_cast<double>(total_records);
+        walk_rps.push_back(n / w.predict_seconds);
+        compiled_rps.push_back(n / c.predict_seconds);
+        batched_rps.push_back(n / b.predict_seconds);
+      }
+      double walk_m = Best(walk_rps);
+      double compiled_m = Best(compiled_rps);
+      double batched_m = Best(batched_rps);
+      double compiled_speedup = compiled_m / walk_m;
+      double batched_speedup = batched_m / walk_m;
+      if (!prune && k >= 8) {
+        // The acceptance gate of the kernels: on the full-mixture
+        // multi-concept workload the batched compiled path must clear 3x
+        // over the pointer walk. k=4 is reported but not gated — Stagger's
+        // three-attribute trees are so shallow that fixed per-record
+        // overhead (sanitize, weight refresh) dilutes its ratio to ~3x,
+        // too close to gate robustly across machines.
+        HOM_CHECK(batched_speedup >= 3.0)
+            << "compiled+batched only " << batched_speedup
+            << "x over the pointer walk at k=" << k << " (need >= 3x)";
+      }
+      std::string row = "stagger_c" + std::to_string(k) +
+                        (prune ? "_pruned" : "_unpruned");
+      reporter.AddValue(row, "walk_records_per_sec", walk_m);
+      reporter.AddValue(row, "compiled_records_per_sec", compiled_m);
+      reporter.AddValue(row, "batched_records_per_sec", batched_m);
+      reporter.AddValue(row, "compiled_speedup", compiled_speedup);
+      reporter.AddValue(row, "batched_speedup", batched_speedup);
+      reporter.AddValue(row, "error_rate",
+                        static_cast<double>(errors) /
+                            static_cast<double>(total_records));
+      reporter.AddValue(row, "batch_size", static_cast<double>(kBatch));
+      reporter.AddValue(row, "concepts", static_cast<double>(k));
+      std::printf("%-24s %14.0f %14.0f %14.0f %8.2fx %8.2fx\n", row.c_str(),
+                  walk_m, compiled_m, batched_m, compiled_speedup,
+                  batched_speedup);
+    }
+  }
+
+  Status st = reporter.WriteJson();
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench_predict_throughput: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -27,31 +27,36 @@ void Dwm::SpawnExpert() {
   experts_.push_back(std::move(expert));
 }
 
-std::vector<double> Dwm::WeightedVote(const Record& x) const {
-  std::vector<double> votes(schema_->num_classes(), 0.0);
+void Dwm::WeightedVote(const Record& x, std::vector<double>* votes) const {
+  votes->assign(schema_->num_classes(), 0.0);
   for (const Expert& e : experts_) {
     Label l = e.model->Predict(x);
-    if (l >= 0 && static_cast<size_t>(l) < votes.size()) {
-      votes[static_cast<size_t>(l)] += e.weight;
+    if (l >= 0 && static_cast<size_t>(l) < votes->size()) {
+      (*votes)[static_cast<size_t>(l)] += e.weight;
     }
   }
-  return votes;
 }
 
 Label Dwm::Predict(const Record& x) {
-  std::vector<double> votes = WeightedVote(x);
-  return static_cast<Label>(std::max_element(votes.begin(), votes.end()) -
-                            votes.begin());
+  WeightedVote(x, &votes_scratch_);
+  return static_cast<Label>(
+      std::max_element(votes_scratch_.begin(), votes_scratch_.end()) -
+      votes_scratch_.begin());
 }
 
 std::vector<double> Dwm::PredictProba(const Record& x) {
-  std::vector<double> votes = WeightedVote(x);
-  double total = 0.0;
-  for (double v : votes) total += v;
-  if (total > 0.0) {
-    for (double& v : votes) v /= total;
-  }
+  std::vector<double> votes;
+  PredictProbaInto(x, &votes);
   return votes;
+}
+
+void Dwm::PredictProbaInto(const Record& x, std::vector<double>* proba) {
+  WeightedVote(x, proba);
+  double total = 0.0;
+  for (double v : *proba) total += v;
+  if (total > 0.0) {
+    for (double& v : *proba) v /= total;
+  }
 }
 
 void Dwm::ObserveLabeled(const Record& y) {

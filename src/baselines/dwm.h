@@ -38,6 +38,7 @@ class Dwm : public StreamClassifier {
 
   Label Predict(const Record& x) override;
   std::vector<double> PredictProba(const Record& x) override;
+  void PredictProbaInto(const Record& x, std::vector<double>* proba) override;
   void ObserveLabeled(const Record& y) override;
   std::string name() const override { return "DWM"; }
   size_t num_classes() const override { return schema_->num_classes(); }
@@ -50,7 +51,7 @@ class Dwm : public StreamClassifier {
     double weight = 1.0;
   };
 
-  std::vector<double> WeightedVote(const Record& x) const;
+  void WeightedVote(const Record& x, std::vector<double>* votes) const;
   void SpawnExpert();
 
   SchemaPtr schema_;
@@ -58,6 +59,8 @@ class Dwm : public StreamClassifier {
   DwmConfig config_;
   std::vector<Expert> experts_;
   size_t ticks_ = 0;
+  /// Reused vote accumulator of Predict() (allocation-free hot path).
+  std::vector<double> votes_scratch_;
 };
 
 }  // namespace hom

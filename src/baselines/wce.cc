@@ -15,9 +15,10 @@ namespace {
 double MeanSquaredError(const Classifier& model, const DatasetView& data) {
   if (data.empty()) return 0.0;
   double total = 0.0;
+  std::vector<double> proba;
   for (size_t i = 0; i < data.size(); ++i) {
     const Record& r = data.record(i);
-    std::vector<double> proba = model.PredictProba(r);
+    model.PredictProbaInto(r, &proba);
     double miss = 1.0 - proba[static_cast<size_t>(r.label)];
     total += miss * miss;
   }
@@ -87,6 +88,9 @@ void Wce::FinishChunk() {
   fresh.model = base_factory_(schema_);
   Status st = fresh.model->Train(chunk);
   if (st.ok()) {
+    // The member is frozen from here on; serve it from the compiled SoA
+    // kernel when the base classifier supports one.
+    fresh.model->EnsureCompiled();
     fresh.weight = mse_r - cv_mse;
     // Every finished chunk trains a member from scratch — WCE's answer to
     // drift is always a relearn, never reuse.
@@ -119,8 +123,9 @@ void Wce::ObserveLabeled(const Record& y) {
   if (buffer_.size() >= config_.chunk_size) FinishChunk();
 }
 
-std::vector<double> Wce::Score(const Record& x) {
-  std::vector<double> score(schema_->num_classes(), 0.0);
+void Wce::Score(const Record& x, std::vector<double>* score_out) {
+  std::vector<double>& score = *score_out;
+  score.assign(schema_->num_classes(), 0.0);
   bool any = false;
   double consumed = 0.0;
   double positive_total = 0.0;
@@ -129,10 +134,10 @@ std::vector<double> Wce::Score(const Record& x) {
   }
   for (const Member& m : members_) {  // sorted by weight, descending
     if (m.weight <= 0.0) break;
-    std::vector<double> proba = m.model->PredictProba(x);
+    m.model->PredictProbaInto(x, &proba_scratch_);
     ++base_evaluations_;
     for (size_t l = 0; l < score.size(); ++l) {
-      score[l] += m.weight * proba[l];
+      score[l] += m.weight * proba_scratch_[l];
     }
     any = true;
     consumed += m.weight;
@@ -164,23 +169,28 @@ std::vector<double> Wce::Score(const Record& x) {
                           : 1.0 / static_cast<double>(score.size());
     }
   }
-  return score;
 }
 
 Label Wce::Predict(const Record& x) {
-  std::vector<double> score = Score(x);
-  return static_cast<Label>(std::max_element(score.begin(), score.end()) -
-                            score.begin());
+  Score(x, &score_scratch_);
+  return static_cast<Label>(
+      std::max_element(score_scratch_.begin(), score_scratch_.end()) -
+      score_scratch_.begin());
 }
 
 std::vector<double> Wce::PredictProba(const Record& x) {
-  std::vector<double> score = Score(x);
+  std::vector<double> proba;
+  PredictProbaInto(x, &proba);
+  return proba;
+}
+
+void Wce::PredictProbaInto(const Record& x, std::vector<double>* proba) {
+  Score(x, proba);
   double total = 0.0;
-  for (double s : score) total += s;
+  for (double s : *proba) total += s;
   if (total > 0.0) {
-    for (double& s : score) s /= total;
+    for (double& s : *proba) s /= total;
   }
-  return score;
 }
 
 }  // namespace hom

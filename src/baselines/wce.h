@@ -44,6 +44,7 @@ class Wce : public StreamClassifier {
 
   Label Predict(const Record& x) override;
   std::vector<double> PredictProba(const Record& x) override;
+  void PredictProbaInto(const Record& x, std::vector<double>* proba) override;
   void ObserveLabeled(const Record& y) override;
   std::string name() const override { return "WCE"; }
   size_t num_classes() const override { return schema_->num_classes(); }
@@ -62,8 +63,8 @@ class Wce : public StreamClassifier {
   /// Completes the pending chunk: trains a new member, reweighs everyone
   /// on this newest chunk, and evicts down to ensemble_size.
   void FinishChunk();
-  /// Weighted ensemble score per class.
-  std::vector<double> Score(const Record& x);
+  /// Weighted ensemble score per class, written into `*score`.
+  void Score(const Record& x, std::vector<double>* score);
 
   SchemaPtr schema_;
   ClassifierFactory base_factory_;
@@ -75,6 +76,10 @@ class Wce : public StreamClassifier {
   size_t base_evaluations_ = 0;
   size_t ticks_ = 0;   ///< labeled records consumed; journal `record` field
   size_t chunks_ = 0;  ///< chunks completed; journal member id
+  /// Reused scratch: one member's distribution and the ensemble score
+  /// accumulator of Predict() (allocation-free hot path).
+  std::vector<double> proba_scratch_;
+  std::vector<double> score_scratch_;
 };
 
 }  // namespace hom

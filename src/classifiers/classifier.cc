@@ -11,4 +11,9 @@ std::vector<double> Classifier::PredictProba(const Record& record) const {
   return proba;
 }
 
+void Classifier::PredictProbaInto(const Record& record,
+                                  std::vector<double>* proba) const {
+  *proba = PredictProba(record);
+}
+
 }  // namespace hom

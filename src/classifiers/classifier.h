@@ -13,6 +13,8 @@
 
 namespace hom {
 
+class CompiledTree;
+
 /// \brief Interface of a base model M_i trained on stationary data
 /// (Section II-B: "any method designed for mining stationary data").
 ///
@@ -33,6 +35,24 @@ class Classifier {
   /// Per-class probability estimates M(l|x) (Eq. 10). The default
   /// implementation puts mass 1 on Predict()'s answer.
   virtual std::vector<double> PredictProba(const Record& record) const;
+
+  /// Allocation-free variant of PredictProba: fills `proba` (resized to
+  /// num_classes) instead of returning a fresh vector. Ensemble mixture
+  /// loops call this once per member per record, so the default heap
+  /// vector PredictProba returns is pure churn there — overriding types
+  /// write into the caller's scratch directly. The default delegates to
+  /// PredictProba, so overriding either method keeps both consistent.
+  virtual void PredictProbaInto(const Record& record,
+                                std::vector<double>* proba) const;
+
+  /// The compiled flat-array form of this model (DESIGN.md §13), or
+  /// nullptr when none has been built or the type has no compiled form.
+  /// Built by EnsureCompiled(); training invalidates it.
+  virtual const CompiledTree* compiled() const { return nullptr; }
+
+  /// Builds the compiled form for types that support one (trained trees);
+  /// a no-op everywhere else. Idempotent; call after Train()/load.
+  virtual void EnsureCompiled() {}
 
   /// Number of classes this model distinguishes.
   virtual size_t num_classes() const = 0;

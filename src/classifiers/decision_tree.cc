@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "classifiers/compiled_tree.h"
 #include "common/check.h"
 
 namespace hom {
@@ -78,6 +79,7 @@ Status DecisionTree::Train(const DatasetView& data) {
     return Status::InvalidArgument("cannot train a tree on an empty view");
   }
   nodes_.clear();
+  compiled_.reset();
   std::vector<const Record*> rows;
   rows.reserve(data.size());
   for (size_t i = 0; i < data.size(); ++i) {
@@ -385,18 +387,37 @@ Label DecisionTree::Predict(const Record& record) const {
 }
 
 std::vector<double> DecisionTree::PredictProba(const Record& record) const {
+  std::vector<double> proba;
+  PredictProbaInto(record, &proba);
+  return proba;
+}
+
+void DecisionTree::PredictProbaInto(const Record& record,
+                                    std::vector<double>* out) const {
+  if (compiled_ != nullptr) {
+    compiled_->PredictProbaInto(record, out);
+    return;
+  }
   const Node& leaf = Walk(record);
-  std::vector<double> proba(schema_->num_classes(), 0.0);
+  std::vector<double>& proba = *out;
+  proba.assign(schema_->num_classes(), 0.0);
   if (leaf.total <= 0.0) {
     proba[static_cast<size_t>(leaf.majority)] = 1.0;
-    return proba;
+    return;
   }
   // Laplace-corrected leaf distribution.
   double denom = leaf.total + static_cast<double>(proba.size());
   for (size_t c = 0; c < proba.size(); ++c) {
     proba[c] = (leaf.class_counts[c] + 1.0) / denom;
   }
-  return proba;
+}
+
+void DecisionTree::EnsureCompiled() {
+  if (compiled_ != nullptr || nodes_.empty()) return;
+  auto compiled = CompiledTree::FromDecisionTree(*this);
+  // A trained tree always compiles; the error paths guard corrupt inputs
+  // that Train()/LoadFrom() cannot produce.
+  if (compiled.ok()) compiled_ = std::move(*compiled);
 }
 
 size_t DecisionTree::num_leaves() const {

@@ -38,8 +38,15 @@ class DecisionTree : public Classifier {
   Status Train(const DatasetView& data) override;
   Label Predict(const Record& record) const override;
   std::vector<double> PredictProba(const Record& record) const override;
+  void PredictProbaInto(const Record& record,
+                        std::vector<double>* proba) const override;
   size_t num_classes() const override { return schema_->num_classes(); }
   size_t ComplexityHint() const override { return nodes_.size(); }
+
+  /// Compiled SoA form (classifiers/compiled_tree.h); nullptr until
+  /// EnsureCompiled() runs after a successful Train()/LoadFrom().
+  const CompiledTree* compiled() const override { return compiled_.get(); }
+  void EnsureCompiled() override;
 
   /// Number of nodes after pruning; 0 before Train().
   size_t num_nodes() const { return nodes_.size(); }
@@ -61,6 +68,8 @@ class DecisionTree : public Classifier {
   static ClassifierFactory Factory(DecisionTreeConfig config = {});
 
  private:
+  friend class CompiledTree;  ///< flattens nodes_ without widening the API.
+
   struct Node {
     int attribute = -1;  ///< -1 for leaves; else split attribute index.
     double threshold = 0.0;          ///< numeric split: <= goes to child 0.
@@ -91,6 +100,7 @@ class DecisionTree : public Classifier {
   SchemaPtr schema_;
   DecisionTreeConfig config_;
   std::vector<Node> nodes_;  ///< nodes_[0] is the root once trained.
+  std::shared_ptr<const CompiledTree> compiled_;  ///< see EnsureCompiled().
 };
 
 }  // namespace hom

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "classifiers/compiled_tree.h"
 #include "common/check.h"
 
 namespace hom {
@@ -59,6 +60,7 @@ void HoeffdingTree::Reset() {
   nodes_.clear();
   leaf_stats_.clear();
   records_seen_ = 0;
+  compiled_.reset();
   NewLeaf(0);
 }
 
@@ -119,6 +121,8 @@ Status HoeffdingTree::Update(const Record& record) {
     return Status::OutOfRange("label out of range");
   }
   ++records_seen_;
+  // Leaf statistics are about to move; any compiled snapshot is stale.
+  compiled_.reset();
 
   int32_t leaf_idx = Sink(record);
   Node& leaf = nodes_[static_cast<size_t>(leaf_idx)];
@@ -310,6 +314,23 @@ Label HoeffdingTree::Predict(const Record& record) const {
         std::max_element(proba.begin(), proba.end()) - proba.begin());
   }
   return node.majority;
+}
+
+void HoeffdingTree::PredictProbaInto(const Record& record,
+                                     std::vector<double>* proba) const {
+  if (compiled_ != nullptr) {
+    compiled_->PredictProbaInto(record, proba);
+    return;
+  }
+  *proba = PredictProba(record);
+}
+
+void HoeffdingTree::EnsureCompiled() {
+  if (compiled_ != nullptr || config_.naive_bayes_leaves || nodes_.empty()) {
+    return;
+  }
+  auto compiled = CompiledTree::FromHoeffdingTree(*this);
+  if (compiled.ok()) compiled_ = std::move(*compiled);
 }
 
 std::vector<double> HoeffdingTree::PredictProba(const Record& record) const {

@@ -44,8 +44,19 @@ class HoeffdingTree : public IncrementalClassifier {
 
   Label Predict(const Record& record) const override;
   std::vector<double> PredictProba(const Record& record) const override;
+  void PredictProbaInto(const Record& record,
+                        std::vector<double>* proba) const override;
   size_t num_classes() const override { return schema_->num_classes(); }
   size_t ComplexityHint() const override { return nodes_.size(); }
+
+  /// Compiled SoA snapshot of the tree frozen at its current state
+  /// (classifiers/compiled_tree.h). Any Update()/Reset() invalidates it,
+  /// so only frozen trees — e.g. high-order concept models, which never
+  /// train online — keep a compiled form alive. Unavailable (and a no-op
+  /// to build) with naive_bayes_leaves, whose leaf answers are not fixed
+  /// distributions.
+  const CompiledTree* compiled() const override { return compiled_.get(); }
+  void EnsureCompiled() override;
 
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;
@@ -57,6 +68,8 @@ class HoeffdingTree : public IncrementalClassifier {
   static ClassifierFactory BatchFactory(HoeffdingTreeConfig config = {});
 
  private:
+  friend class CompiledTree;  ///< flattens nodes_/leaf_stats_ directly.
+
   struct Moments {
     double count = 0.0;
     double mean = 0.0;
@@ -105,6 +118,7 @@ class HoeffdingTree : public IncrementalClassifier {
   std::vector<Node> nodes_;
   std::vector<LeafStats> leaf_stats_;
   size_t records_seen_ = 0;
+  std::shared_ptr<const CompiledTree> compiled_;  ///< see EnsureCompiled().
 };
 
 }  // namespace hom

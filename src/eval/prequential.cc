@@ -37,6 +37,9 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
   size_t window_fill = options.carry_window_fill;
   uint64_t skip = options.start_record;
   bool stopped_early = false;
+  // Scratch for the sampled calibration distribution, reused across the
+  // run so sampling stays allocation-free (PredictProbaInto).
+  std::vector<double> calibration_proba;
 
   Stopwatch timer;
   obs::ScopedSpan span("prequential_eval");
@@ -87,9 +90,9 @@ PrequentialResult RunPrequential(StreamClassifier* classifier,
           result.num_records % options.calibration_sample_period == 0) {
         // The label is still hidden here, so the sampled distribution is
         // the one the model would have served for this record.
-        result.concept_stats->ObserveCalibration(
-            classifier->ActiveConcept(), r.label,
-            classifier->PredictProba(unlabeled));
+        classifier->PredictProbaInto(unlabeled, &calibration_proba);
+        result.concept_stats->ObserveCalibration(classifier->ActiveConcept(),
+                                                 r.label, calibration_proba);
       }
     }
     if (journal != nullptr && options.journal_error_window > 0) {

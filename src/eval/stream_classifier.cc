@@ -11,4 +11,9 @@ std::vector<double> StreamClassifier::PredictProba(const Record& x) {
   return proba;
 }
 
+void StreamClassifier::PredictProbaInto(const Record& x,
+                                        std::vector<double>* proba) {
+  *proba = PredictProba(x);
+}
+
 }  // namespace hom

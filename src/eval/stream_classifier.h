@@ -26,6 +26,12 @@ class StreamClassifier {
   /// Per-class probability estimate; defaults to a one-hot of Predict().
   virtual std::vector<double> PredictProba(const Record& x);
 
+  /// Allocation-free variant of PredictProba: writes the estimate into
+  /// `*proba` (resized to num_classes()). Hot loops (prequential
+  /// calibration sampling, ensemble scoring) call this with a reused
+  /// scratch vector; the default simply forwards to PredictProba.
+  virtual void PredictProbaInto(const Record& x, std::vector<double>* proba);
+
   /// Feeds one labeled record from the online training stream Y.
   virtual void ObserveLabeled(const Record& y) = 0;
 

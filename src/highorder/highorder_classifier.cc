@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "classifiers/compiled_tree.h"
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "obs/event_journal.h"
@@ -52,6 +53,17 @@ HighOrderClassifier::HighOrderClassifier(SchemaPtr schema,
   weights_ = tracker_.prior();
   weight_order_.resize(concepts_.size());
   std::iota(weight_order_.begin(), weight_order_.end(), 0);
+  // Concept models are frozen after the offline build, so their trees can
+  // be flattened once here and served from the compiled form for the whole
+  // online phase. Models without a compilable form (naive Bayes, NB-leaf
+  // Hoeffding trees) keep a null entry and go through the virtual path.
+  compiled_.assign(concepts_.size(), nullptr);
+  if (options_.use_compiled_kernels) {
+    for (size_t c = 0; c < concepts_.size(); ++c) {
+      concepts_[c].model->EnsureCompiled();
+      compiled_[c] = concepts_[c].model->compiled();
+    }
+  }
 }
 
 void HighOrderClassifier::ObserveLabeled(const Record& y) {
@@ -98,8 +110,9 @@ void HighOrderClassifier::ObserveLabeledClean(const Record& y) {
   // with probability 1 - Err_c when it gets it right, Err_c otherwise.
   std::vector<double> psi(concepts_.size());
   for (size_t c = 0; c < concepts_.size(); ++c) {
-    bool correct = concepts_[c].model->Predict(y) == y.label;
-    psi[c] = correct ? 1.0 - concepts_[c].error : concepts_[c].error;
+    Label guess = compiled_[c] != nullptr ? compiled_[c]->Predict(y)
+                                          : concepts_[c].model->Predict(y);
+    psi[c] = guess == y.label ? 1.0 - concepts_[c].error : concepts_[c].error;
   }
   tracker_.Observe(psi);
   weights_stale_ = true;
@@ -290,19 +303,42 @@ const std::vector<double>& HighOrderClassifier::active_probabilities() {
   return weights_;
 }
 
+void HighOrderClassifier::ConceptProbaInto(size_t c, const Record& x,
+                                           std::vector<double>* mc) {
+  if (compiled_[c] != nullptr) {
+    compiled_[c]->PredictProbaInto(x, mc);
+  } else if (options_.use_compiled_kernels) {
+    concepts_[c].model->PredictProbaInto(x, mc);
+  } else {
+    // Ablation/bench baseline: the exact pre-kernel hot path, per-call
+    // allocation included.
+    *mc = concepts_[c].model->PredictProba(x);
+  }
+}
+
 std::vector<double> HighOrderClassifier::PredictProba(const Record& x) {
+  std::vector<double> proba;
+  PredictProbaInto(x, &proba);
+  return proba;
+}
+
+void HighOrderClassifier::PredictProbaInto(const Record& x,
+                                           std::vector<double>* proba) {
   RefreshWeights();
-  std::vector<double> proba(schema_->num_classes(), 0.0);
+  proba->assign(schema_->num_classes(), 0.0);
+  size_t evaluated = 0;
   for (size_t c = 0; c < concepts_.size(); ++c) {
     if (weights_[c] <= 0.0) continue;
-    std::vector<double> mc = concepts_[c].model->PredictProba(x);
-    ++base_evaluations_;
-    HOM_COUNTER_INC("hom.online.base_evaluations");
-    for (size_t l = 0; l < proba.size(); ++l) {
-      proba[l] += weights_[c] * mc[l];
+    ConceptProbaInto(c, x, &mc_scratch_);
+    ++evaluated;
+    for (size_t l = 0; l < proba->size(); ++l) {
+      (*proba)[l] += weights_[c] * mc_scratch_[l];
     }
   }
-  return proba;
+  base_evaluations_ += evaluated;
+  HOM_COUNTER_ADD("hom.online.base_evaluations", evaluated);
+  HOM_COUNTER_ADD("hom.predict.concepts_skipped_total",
+                  concepts_.size() - evaluated);
 }
 
 Label HighOrderClassifier::Predict(const Record& x) {
@@ -356,25 +392,27 @@ Label HighOrderClassifier::PredictClean(const Record& x) {
 Label HighOrderClassifier::PredictImpl(const Record& x) {
   RefreshWeights();
   if (!options_.prune_prediction) {
-    std::vector<double> proba = PredictProba(x);
+    PredictProbaInto(x, &proba_scratch_);
     return static_cast<Label>(
-        std::max_element(proba.begin(), proba.end()) - proba.begin());
+        std::max_element(proba_scratch_.begin(), proba_scratch_.end()) -
+        proba_scratch_.begin());
   }
   // Section III-C pruning: walk concepts from the most to the least active.
   // After consuming probability mass `seen`, no trailing concept can add
   // more than (1 - seen) to any class score; once the leader's margin over
   // the runner-up exceeds that, the answer is final. With a clear current
   // concept this evaluates a single base classifier.
-  std::vector<double> proba(schema_->num_classes(), 0.0);
+  std::vector<double>& proba = proba_scratch_;
+  proba.assign(schema_->num_classes(), 0.0);
   double seen = 0.0;
+  size_t evaluated = 0;
   for (size_t rank = 0; rank < weight_order_.size(); ++rank) {
     size_t c = weight_order_[rank];
     if (weights_[c] <= 0.0) break;  // sorted: the rest are zero too
-    std::vector<double> mc = concepts_[c].model->PredictProba(x);
-    ++base_evaluations_;
-    HOM_COUNTER_INC("hom.online.base_evaluations");
+    ConceptProbaInto(c, x, &mc_scratch_);
+    ++evaluated;
     for (size_t l = 0; l < proba.size(); ++l) {
-      proba[l] += weights_[c] * mc[l];
+      proba[l] += weights_[c] * mc_scratch_[l];
     }
     seen += weights_[c];
     double remaining = 1.0 - seen;
@@ -391,8 +429,121 @@ Label HighOrderClassifier::PredictImpl(const Record& x) {
     }
     if (best - second > remaining) break;
   }
+  base_evaluations_ += evaluated;
+  HOM_COUNTER_ADD("hom.online.base_evaluations", evaluated);
+  HOM_COUNTER_ADD("hom.predict.concepts_skipped_total",
+                  concepts_.size() - evaluated);
   return static_cast<Label>(std::max_element(proba.begin(), proba.end()) -
                             proba.begin());
+}
+
+void HighOrderClassifier::AccumulateConceptBatch(size_t c,
+                                                 const Record* records,
+                                                 const uint32_t* idx,
+                                                 size_t count,
+                                                 size_t num_classes) {
+  const double w = weights_[c];
+  if (compiled_[c] != nullptr) {
+    compiled_[c]->AccumulateProbaBatch(records, idx, count, w, num_classes,
+                                       batch_proba_.data());
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const Record& x = records[idx[i]];
+    ConceptProbaInto(c, x, &mc_scratch_);
+    double* row = batch_proba_.data() + static_cast<size_t>(idx[i]) * num_classes;
+    for (size_t l = 0; l < num_classes; ++l) {
+      row[l] += w * mc_scratch_[l];
+    }
+  }
+}
+
+void HighOrderClassifier::PredictBatch(const Record* records, size_t n,
+                                       Label* out) {
+  if (n == 0) return;
+  bool all_clean = true;
+  {
+    obs::ScopedRequestStage sanitize(obs::RequestStage::kSanitize);
+    for (size_t i = 0; i < n; ++i) {
+      if (!sanitizer_.IsClean(records[i])) {
+        all_clean = false;
+        break;
+      }
+    }
+  }
+  if (!all_clean) {
+    // Repair/fallback handling is per-record business; let the scalar
+    // entry point deal with it for the whole batch.
+    for (size_t i = 0; i < n; ++i) out[i] = Predict(records[i]);
+    return;
+  }
+  RefreshWeights();
+  const size_t num_classes = schema_->num_classes();
+  batch_proba_.assign(n * num_classes, 0.0);
+  size_t evaluated = 0;
+  if (!options_.prune_prediction) {
+    // Full mixture, concepts in index order — the same accumulation order
+    // as PredictProbaInto, one sweep over the batch per concept.
+    batch_active_.resize(n);
+    std::iota(batch_active_.begin(), batch_active_.end(), 0u);
+    for (size_t c = 0; c < concepts_.size(); ++c) {
+      if (weights_[c] <= 0.0) continue;
+      AccumulateConceptBatch(c, records, batch_active_.data(), n, num_classes);
+      evaluated += n;
+    }
+  } else {
+    // Section III-C pruning, batched: concepts go most-active-first and the
+    // undecided-record list shrinks after each sweep. A record leaves the
+    // list exactly when the scalar loop would have broken for it, so the
+    // per-record evaluation sets (and sums, bit for bit) match Predict().
+    batch_active_.resize(n);
+    std::iota(batch_active_.begin(), batch_active_.end(), 0u);
+    double seen = 0.0;
+    for (size_t rank = 0;
+         rank < weight_order_.size() && !batch_active_.empty(); ++rank) {
+      size_t c = weight_order_[rank];
+      if (weights_[c] <= 0.0) break;  // sorted: the rest are zero too
+      AccumulateConceptBatch(c, records, batch_active_.data(),
+                             batch_active_.size(), num_classes);
+      evaluated += batch_active_.size();
+      seen += weights_[c];
+      double remaining = 1.0 - seen;
+      if (remaining <= 0.0) break;
+      size_t kept = 0;
+      for (uint32_t r : batch_active_) {
+        const double* row =
+            batch_proba_.data() + static_cast<size_t>(r) * num_classes;
+        double best = -1.0;
+        double second = -1.0;
+        for (size_t l = 0; l < num_classes; ++l) {
+          double p = row[l];
+          if (p > best) {
+            second = best;
+            best = p;
+          } else if (p > second) {
+            second = p;
+          }
+        }
+        if (!(best - second > remaining)) batch_active_[kept++] = r;
+      }
+      batch_active_.resize(kept);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = batch_proba_.data() + i * num_classes;
+    size_t best = 0;
+    for (size_t l = 1; l < num_classes; ++l) {
+      if (row[l] > row[best]) best = l;
+    }
+    out[i] = static_cast<Label>(best);
+  }
+  predictions_ += n;
+  last_prediction_ = out[n - 1];
+  base_evaluations_ += evaluated;
+  HOM_COUNTER_ADD("hom.online.base_evaluations", evaluated);
+  HOM_COUNTER_ADD("hom.predict.batch_records", n);
+  HOM_COUNTER_ADD("hom.predict.concepts_skipped_total",
+                  n * concepts_.size() - evaluated);
 }
 
 }  // namespace hom

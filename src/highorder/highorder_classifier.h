@@ -1,6 +1,7 @@
 #ifndef HOM_HIGHORDER_HIGHORDER_CLASSIFIER_H_
 #define HOM_HIGHORDER_HIGHORDER_CLASSIFIER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,12 @@ struct HighOrderOptions {
   /// concepts in decreasing active probability and stop once the answer
   /// can no longer change.
   bool prune_prediction = true;
+  /// Flatten every concept's frozen tree into a compiled SoA kernel
+  /// (classifiers/compiled_tree.h) at construction and serve predictions
+  /// from it. The compiled walk is verified bit-identical to the pointer
+  /// walk; disabling this (ablation / bench baseline) falls back to the
+  /// per-call allocating pointer walk the pre-kernel code used.
+  bool use_compiled_kernels = true;
   /// Every `latency_sample_period`-th Predict() is wall-clock timed into
   /// the "hom.online.predict_latency_us" histogram; 0 disables sampling
   /// entirely. The default (64) keeps the two clock reads per sample well
@@ -95,7 +102,19 @@ class HighOrderClassifier : public StreamClassifier {
 
   Label Predict(const Record& x) override;
   std::vector<double> PredictProba(const Record& x) override;
+  void PredictProbaInto(const Record& x, std::vector<double>* proba) override;
   void ObserveLabeled(const Record& y) override;
+
+  /// Classifies `n` records in one pass: for each concept (most active
+  /// first under prune_prediction) the compiled kernel sweeps every record
+  /// still undecided, so a tree's arrays are streamed once per concept
+  /// instead of once per record. Weights are refreshed once up front —
+  /// batching is only meaningful between ObserveLabeled() calls, when the
+  /// weights are constant — and the outputs are exactly what n Predict()
+  /// calls would have returned (same accumulation order, same pruning
+  /// stops). Falls back to per-record Predict() when any record needs
+  /// sanitizing. Latency sampling does not apply to batched calls.
+  void PredictBatch(const Record* records, size_t n, Label* out);
   std::string name() const override { return "High-order"; }
   size_t num_classes() const override { return schema_->num_classes(); }
   /// The concept currently holding the largest prediction weight (as of
@@ -172,6 +191,18 @@ class HighOrderClassifier : public StreamClassifier {
   /// sampled subset of calls without paying for a clock on every record.
   Label PredictImpl(const Record& x);
 
+  /// Writes concept c's class distribution for `x` into `*mc`: compiled
+  /// kernel when available, allocation-free pointer walk otherwise, or the
+  /// legacy allocating walk when use_compiled_kernels is off (so the bench
+  /// ablation measures exactly the pre-kernel hot path).
+  void ConceptProbaInto(size_t c, const Record& x, std::vector<double>* mc);
+
+  /// Adds weights_[c] * M_c(l | records[idx[i]]) into the batch_proba_
+  /// rows selected by `idx` (batched counterpart of ConceptProbaInto).
+  void AccumulateConceptBatch(size_t c, const Record* records,
+                              const uint32_t* idx, size_t count,
+                              size_t num_classes);
+
   SchemaPtr schema_;
   std::vector<ConceptModel> concepts_;
   ActiveProbabilityTracker tracker_;
@@ -205,6 +236,17 @@ class HighOrderClassifier : public StreamClassifier {
   size_t drift_suspected_since_ = 0;
   /// Predictions left until the next sampled latency measurement.
   size_t until_latency_sample_ = 0;
+  /// Per-concept compiled kernels, parallel to concepts_; nullptr entries
+  /// fall back to the virtual PredictProba path (non-tree models,
+  /// use_compiled_kernels off). Owned by the concept models themselves.
+  std::vector<const CompiledTree*> compiled_;
+  /// Reused scratch: one concept's distribution (mc_scratch_), the mixture
+  /// accumulator of the argmax paths (proba_scratch_), and the batch
+  /// row-major [record][class] accumulator plus undecided-record list.
+  std::vector<double> mc_scratch_;
+  std::vector<double> proba_scratch_;
+  std::vector<double> batch_proba_;
+  std::vector<uint32_t> batch_active_;
 };
 
 }  // namespace hom

@@ -76,6 +76,16 @@ void AppendHelp(std::string* out, const std::string& name,
           EscapeHelpText(help) + "\n";
 }
 
+/// The `_total` suffix the exposition format wants on counter families,
+/// or "" when the registry name already carries it — appending would
+/// otherwise render `..._total_total`.
+const char* CounterSuffix(std::string_view name) {
+  constexpr std::string_view kTotal = "_total";
+  bool has = name.size() >= kTotal.size() &&
+             name.substr(name.size() - kTotal.size()) == kTotal;
+  return has ? "" : "_total";
+}
+
 }  // namespace
 
 std::string PrometheusMetricName(std::string_view name) {
@@ -127,8 +137,9 @@ std::string EncodePrometheusText(const MetricsSnapshot& snapshot) {
     auto header = [&](const std::string& name) {
       if (name == current) return;
       current = name;
-      AppendHelp(&out, name, "_total");
-      out += "# TYPE " + PrometheusMetricName(name) + "_total counter\n";
+      AppendHelp(&out, name, CounterSuffix(name));
+      out += "# TYPE " + PrometheusMetricName(name) + CounterSuffix(name) +
+             " counter\n";
     };
     while (plain != snapshot.counters.end() ||
            labeled != snapshot.labeled_counters.end()) {
@@ -138,12 +149,14 @@ std::string EncodePrometheusText(const MetricsSnapshot& snapshot) {
           (plain != snapshot.counters.end() &&
            plain->first <= labeled->first.name)) {
         header(plain->first);
-        AppendSample(&out, PrometheusMetricName(plain->first) + "_total",
+        AppendSample(&out, PrometheusMetricName(plain->first) +
+                               CounterSuffix(plain->first),
                      kNoLabels, static_cast<double>(plain->second));
         ++plain;
       } else {
         header(labeled->first.name);
-        AppendSample(&out, PrometheusMetricName(labeled->first.name) + "_total",
+        AppendSample(&out, PrometheusMetricName(labeled->first.name) +
+                               CounterSuffix(labeled->first.name),
                      labeled->first.labels,
                      static_cast<double>(labeled->second));
         ++labeled;

@@ -82,6 +82,11 @@ constexpr HelpEntry kBuiltinHelp[] = {
     {"hom.par.items", "Work items executed by the thread pool."},
     {"hom.par.parallel_loops", "ParallelFor loops dispatched."},
     {"hom.par.threads", "Thread-pool size of the last parallel build."},
+    {"hom.predict.batch_records",
+     "Records classified through the batched prediction entry point."},
+    {"hom.predict.concepts_skipped_total",
+     "Concept evaluations avoided by zero weights and Section III-C "
+     "pruning."},
     {"hom.serve.stage_seconds",
      "Per-request stage latency (parse/sanitize/predict/observe/"
      "checkpoint and HTTP stages) in seconds."},

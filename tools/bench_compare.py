@@ -26,7 +26,11 @@ against the same-named file in --output-dir. Each comparison walks the
                 out — e.g. bench_profile's profiler-on/off ratio pinned
                 near 1.0)
       FAIL if new > base + 0.07
-  anything else (counts, configuration echoes)
+  speedup      (key ends in "_speedup"; a ratio of two throughputs
+                measured in the same process — machine speed cancels,
+                but scheduling noise does not entirely; higher = better)
+      FAIL if new < max(1.0, base * 0.6)
+  anything else (counts, raw records/sec, configuration echoes)
       WARN on change, never fails
 
 A row or key present in the baseline but missing from the fresh output
@@ -53,6 +57,10 @@ REL_SLACK = 0.25
 TIME_FACTOR = 1.5
 TIME_ABS_SLACK = 0.05
 OVERHEAD_ABS_SLACK = 0.07
+# A speedup ratio may shrink to this fraction of its baseline before the
+# gate fires, and must always stay above 1.0 (slower than the path it was
+# supposed to beat is a regression no matter the baseline).
+SPEEDUP_KEEP_FRACTION = 0.6
 
 # Telemetry schema versions this gate can interpret. Comparing documents
 # whose semantics we do not know would silently pass garbage, so an
@@ -66,6 +74,8 @@ def classify(key):
         return "threads"
     if lowered.endswith("overhead_ratio"):
         return "overhead"
+    if lowered.endswith("_speedup"):
+        return "speedup"
     if any(h in lowered for h in ERROR_HINTS):
         return "error"
     if any(h in lowered for h in ACCURACY_HINTS):
@@ -135,6 +145,13 @@ def compare_values(name, row, key, base, new, report):
             report["fail"].append(
                 f"{where}: overhead ratio {new:.3f} exceeds baseline "
                 f"{base:.3f} (limit {limit:.3f})"
+            )
+    elif kind == "speedup":
+        floor = max(1.0, base * SPEEDUP_KEEP_FRACTION)
+        if new < floor:
+            report["fail"].append(
+                f"{where}: speedup {new:.2f}x below baseline {base:.2f}x "
+                f"(floor {floor:.2f}x)"
             )
     else:
         if new != base:

@@ -310,6 +310,30 @@ def check_file(path):
                             f"{where}.values['threads']: expected a positive "
                             f"integer thread count, got {value!r}",
                         )
+                    # Throughput rows (bench_predict_throughput): a
+                    # records/sec of zero or less means the timed section
+                    # never ran — a short-circuited run, not a measurement.
+                    if key.endswith("records_per_sec") and (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or value <= 0
+                    ):
+                        failures += _err(
+                            path,
+                            f"{where}.values[{key!r}]: expected a positive "
+                            f"records/sec measurement, got {value!r}",
+                        )
+                    if key == "batch_size" and (
+                        isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                        or not float(value).is_integer()
+                        or value < 1
+                    ):
+                        failures += _err(
+                            path,
+                            f"{where}.values['batch_size']: expected a "
+                            f"positive integer batch size, got {value!r}",
+                        )
                 # Checkpoint bench rows (bench_checkpoint): latencies and
                 # sizes must be real measurements, not zeros from a
                 # short-circuited run.
