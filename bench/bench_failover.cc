@@ -1,0 +1,309 @@
+// Replication bench (replicated-serving PR): what does failover cost?
+// Measures checkpoint ship latency over real loopback HTTP (full
+// transfers and deltas), promotion detection time after heartbeat loss,
+// the serving pause a zero-downtime model swap imposes (p50/p99), and —
+// as a correctness anchor the baseline gate watches — that a standby
+// promoted mid-stream finishes with exactly the uninterrupted run's
+// error count.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "classifiers/decision_tree.h"
+#include "common/check.h"
+#include "eval/prequential.h"
+#include "highorder/builder.h"
+#include "highorder/checkpoint.h"
+#include "highorder/serialization.h"
+#include "obs/http_server.h"
+#include "replication/replica.h"
+#include "replication/shipper.h"
+#include "replication/swap.h"
+#include "streams/stagger.h"
+
+namespace {
+
+using namespace hom;
+using hom::bench::BenchReporter;
+using hom::bench::PrintRule;
+using hom::bench::Scale;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::unique_ptr<HighOrderClassifier> Reload(const std::string& bytes) {
+  std::stringstream buffer(bytes);
+  auto model = LoadHighOrderModel(&buffer);
+  HOM_CHECK(model.ok());
+  return std::move(*model);
+}
+
+std::string BuildModelBytes(const Dataset& history, uint64_t seed) {
+  HighOrderModelBuilder builder(DecisionTree::Factory());
+  Rng rng(seed);
+  auto built = builder.Build(history, &rng);
+  HOM_CHECK(built.ok());
+  std::stringstream buffer;
+  HOM_CHECK(SaveHighOrderModel(&buffer, **built).ok());
+  return buffer.str();
+}
+
+/// A standby model + replica + HTTP server, torn down in reverse order
+/// (server first, so its worker thread cannot touch a dead replica).
+struct Standby {
+  std::unique_ptr<HighOrderClassifier> model;
+  std::unique_ptr<replication::StandbyReplica> replica;
+  std::unique_ptr<obs::HttpServer> server;
+
+  Standby(const std::string& model_bytes, replication::ReplicaOptions options)
+      : model(Reload(model_bytes)) {
+    replica = std::make_unique<replication::StandbyReplica>(model.get(),
+                                                            options);
+    server = std::make_unique<obs::HttpServer>(obs::HttpServer::Options{});
+    replica->RegisterHandlers(server.get());
+    HOM_CHECK(server->Start().ok());
+  }
+  ~Standby() { server->Stop(); }
+
+  replication::ShipperOptions ShipperTo() const {
+    replication::ShipperOptions options;
+    options.port = server->port();
+    options.primary_id = "bench:primary";
+    options.backoff.initial_delay_ms = 1;
+    options.backoff.max_attempts = 4;
+    return options;
+  }
+};
+
+ServingCheckpoint MakeCheckpoint(const HighOrderClassifier& model,
+                                 uint64_t offset, uint64_t errors) {
+  auto ckpt = CaptureCheckpoint(model);
+  HOM_CHECK(ckpt.ok());
+  ckpt->stream_offset = offset;
+  ckpt->num_errors = errors;
+  return std::move(*ckpt);
+}
+
+double Percentile(std::vector<double> samples, double q) {
+  HOM_CHECK(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  double rank = q * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = Scale::FromEnvironment();
+  StaggerGenerator gen(88001);
+  Dataset history = gen.Generate(scale.stagger_history);
+  Dataset online = gen.Generate(scale.stagger_test);
+  const std::string model_bytes = BuildModelBytes(history, 23);
+  // A second model for the swap path, trained on a different slice so the
+  // concept mapping does real work.
+  Dataset history_b = gen.Generate(scale.stagger_history / 2);
+  const std::string fresh_bytes = BuildModelBytes(history_b, 29);
+
+  BenchReporter reporter("bench_failover");
+  reporter.SetScale(scale);
+  std::printf("== replicated serving: cost of failover ==\n");
+  PrintRule(64);
+
+  // --- ship latency: full transfers, then deltas against an acked base.
+  {
+    auto primary = Reload(model_bytes);
+    auto stats = std::make_shared<OnlineConceptStats>(primary->num_classes());
+    PrequentialOptions warm_options;
+    warm_options.resume_concept_stats = stats;
+    PrequentialResult warm = RunPrequential(primary.get(), online,
+                                            warm_options);
+
+    const size_t reps = 30;
+    Standby full_standby(model_bytes, {});
+    auto full_options = full_standby.ShipperTo();
+    full_options.prefer_delta = false;
+    replication::CheckpointShipper full_shipper(full_options);
+    size_t full_bytes = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reps; ++i) {
+      auto ckpt = MakeCheckpoint(*primary, warm.num_records + i,
+                                 warm.num_errors);
+      ckpt.concept_stats = stats;
+      auto report = full_shipper.Ship(ckpt);
+      HOM_CHECK(report.ok());
+      full_bytes = report->wire_bytes;
+    }
+    double full_ms = MsSince(t0) / static_cast<double>(reps);
+
+    Standby delta_standby(model_bytes, {});
+    replication::CheckpointShipper delta_shipper(delta_standby.ShipperTo());
+    {
+      auto prime = MakeCheckpoint(*primary, warm.num_records,
+                                  warm.num_errors);
+      prime.concept_stats = stats;
+      HOM_CHECK(delta_shipper.Ship(prime).ok());
+    }
+    size_t delta_bytes = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reps; ++i) {
+      auto ckpt = MakeCheckpoint(*primary, warm.num_records + 1 + i,
+                                 warm.num_errors);
+      ckpt.concept_stats = stats;
+      auto report = delta_shipper.Ship(ckpt);
+      HOM_CHECK(report.ok());
+      HOM_CHECK(report->delta);
+      delta_bytes = report->wire_bytes;
+    }
+    double delta_ms = MsSince(t0) / static_cast<double>(reps);
+
+    std::printf("%-36s %10.4f ms  %8zu bytes\n", "ship (full)", full_ms,
+                full_bytes);
+    std::printf("%-36s %10.4f ms  %8zu bytes\n", "ship (delta)", delta_ms,
+                delta_bytes);
+    reporter.AddValue("ship/full", "latency_ms", full_ms);
+    reporter.AddValue("ship/full", "wire_bytes",
+                      static_cast<double>(full_bytes));
+    reporter.AddValue("ship/delta", "latency_ms", delta_ms);
+    reporter.AddValue("ship/delta", "wire_bytes",
+                      static_cast<double>(delta_bytes));
+  }
+
+  // --- promotion detection: how long after the last heartbeat does a
+  // standby (promote_after = 50 ms, 1 ms poll) take over?
+  {
+    replication::ReplicaOptions options;
+    options.promote_after_ms = 50;
+    Standby standby(model_bytes, options);
+    auto primary = Reload(model_bytes);
+    replication::CheckpointShipper shipper(standby.ShipperTo());
+    auto ckpt = MakeCheckpoint(*primary, 1000, 10);
+    HOM_CHECK(shipper.Ship(ckpt).ok());
+    HOM_CHECK(shipper.Heartbeat(1000).ok());
+    auto t0 = std::chrono::steady_clock::now();  // the primary "dies" here
+    while (!standby.replica->MaybePromote()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    double detect_ms = MsSince(t0);
+    std::printf("%-36s %10.4f ms\n", "promotion detect (50 ms budget)",
+                detect_ms);
+    reporter.AddValue("promotion/heartbeat_loss", "detect_ms", detect_ms);
+  }
+
+  // --- swap pause: the serving loop stops at a record boundary, probes
+  // the concept mapping, migrates the filter state, and switches. The
+  // pause is the whole probe + migrate + switch span.
+  {
+    auto serving = Reload(model_bytes);
+    auto stats = std::make_shared<OnlineConceptStats>(serving->num_classes());
+    PrequentialOptions warm_options;
+    warm_options.resume_concept_stats = stats;
+    warm_options.stop_after = online.size() / 2;
+    RunPrequential(serving.get(), online, warm_options);
+
+    Dataset probe(online.schema());
+    size_t probe_n = std::min<size_t>(512, online.size());
+    for (size_t i = 0; i < probe_n; ++i) {
+      probe.AppendUnchecked(online.record(i));
+    }
+    const size_t reps = 20;
+    std::vector<double> pauses;
+    double agreement = 0.0;
+    for (size_t i = 0; i < reps; ++i) {
+      auto fresh = Reload(fresh_bytes);
+      auto t0 = std::chrono::steady_clock::now();
+      auto mapping =
+          replication::MigrateModelState(*serving, fresh.get(), probe);
+      pauses.push_back(MsSince(t0));
+      HOM_CHECK(mapping.ok());
+      agreement = 0.0;
+      for (double a : mapping->agreement) agreement += a;
+      agreement /= static_cast<double>(mapping->agreement.size());
+    }
+    double p50 = Percentile(pauses, 0.50);
+    double p99 = Percentile(pauses, 0.99);
+    std::printf("%-36s %10.4f ms\n", "swap pause p50", p50);
+    std::printf("%-36s %10.4f ms\n", "swap pause p99", p99);
+    std::printf("%-36s %10.3f\n", "swap mapping mean agreement", agreement);
+    reporter.AddValue("swap/pause", "p50_ms", p50);
+    reporter.AddValue("swap/pause", "p99_ms", p99);
+    reporter.AddValue("swap/mapping", "mean_agreement", agreement);
+  }
+
+  // --- correctness anchor: primary dies at the midpoint after shipping;
+  // the promoted standby must finish with the uninterrupted error count.
+  {
+    auto uninterrupted = Reload(model_bytes);
+    auto flat_stats = std::make_shared<OnlineConceptStats>(
+        uninterrupted->num_classes());
+    PrequentialOptions flat_options;
+    flat_options.resume_concept_stats = flat_stats;
+    PrequentialResult flat = RunPrequential(uninterrupted.get(), online,
+                                            flat_options);
+
+    replication::ReplicaOptions options;
+    options.promote_after_ms = 40;
+    Standby standby(model_bytes, options);
+    uint64_t kill_at = online.size() / 2;
+    {
+      auto primary = Reload(model_bytes);
+      auto stats = std::make_shared<OnlineConceptStats>(
+          primary->num_classes());
+      PrequentialOptions head;
+      head.stop_after = kill_at;
+      head.resume_concept_stats = stats;
+      PrequentialResult head_result = RunPrequential(primary.get(), online,
+                                                     head);
+      auto ckpt = MakeCheckpoint(*primary, head_result.num_records,
+                                 head_result.num_errors);
+      ckpt.window_errors = head_result.window_errors_carry;
+      ckpt.window_fill = head_result.window_fill_carry;
+      ckpt.concept_stats = stats;
+      replication::CheckpointShipper shipper(standby.ShipperTo());
+      HOM_CHECK(shipper.Ship(ckpt).ok());
+      HOM_CHECK(shipper.Heartbeat(head_result.num_records).ok());
+    }  // primary dies
+    while (!standby.replica->MaybePromote()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ServingCheckpoint resume = standby.replica->last_checkpoint();
+    PrequentialOptions tail;
+    tail.start_record = resume.stream_offset;
+    tail.carry_errors = resume.num_errors;
+    tail.carry_window_errors = resume.window_errors;
+    tail.carry_window_fill = resume.window_fill;
+    tail.resume_concept_stats = resume.concept_stats;
+    PrequentialResult promoted = RunPrequential(standby.model.get(), online,
+                                                tail);
+    std::printf("%-36s %10.5f\n", "uninterrupted error", flat.error_rate());
+    std::printf("%-36s %10.5f\n", "failover error", promoted.error_rate());
+    reporter.AddValue("failover/determinism", "uninterrupted_error",
+                      flat.error_rate());
+    reporter.AddValue("failover/determinism", "failover_error",
+                      promoted.error_rate());
+    reporter.AddValue("failover/determinism", "match",
+                      flat.num_errors == promoted.num_errors ? 1.0 : 0.0);
+    if (flat.num_errors != promoted.num_errors) {
+      std::printf("FAILOVER DIVERGED: %zu vs %zu errors\n", flat.num_errors,
+                  promoted.num_errors);
+      return 1;
+    }
+  }
+
+  if (Status st = reporter.WriteJson(); !st.ok()) {
+    std::printf("telemetry write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

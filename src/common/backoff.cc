@@ -1,0 +1,42 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace hom {
+
+BackoffSchedule::BackoffSchedule(const BackoffPolicy& policy, uint64_t domain)
+    : policy_(policy), domain_(domain) {
+  if (policy_.multiplier < 1.0) policy_.multiplier = 1.0;
+  if (policy_.jitter_fraction < 0.0) policy_.jitter_fraction = 0.0;
+  if (policy_.jitter_fraction > 1.0) policy_.jitter_fraction = 1.0;
+  if (policy_.max_delay_ms < policy_.initial_delay_ms) {
+    policy_.max_delay_ms = policy_.initial_delay_ms;
+  }
+}
+
+uint64_t BackoffSchedule::DelayMs(size_t attempt) const {
+  // Grow in double space and clamp before converting back so large
+  // attempt numbers saturate at the cap instead of overflowing.
+  double base = static_cast<double>(policy_.initial_delay_ms) *
+                std::pow(policy_.multiplier, static_cast<double>(attempt));
+  base = std::min(base, static_cast<double>(policy_.max_delay_ms));
+  if (policy_.jitter_fraction == 0.0) {
+    return static_cast<uint64_t>(base);
+  }
+  // Symmetric jitter in [-f, +f] * base from the stateless stream: the
+  // delay for (seed, domain, attempt) is the same in every process.
+  constexpr uint64_t kJitterDomainSalt = 0x626b6f66ULL;  // "bkof"
+  Rng rng = Rng::Derive(policy_.seed, domain_ ^ kJitterDomainSalt, attempt);
+  double factor = 1.0 + policy_.jitter_fraction * (2.0 * rng.NextDouble() - 1.0);
+  double jittered = std::max(0.0, base * factor);
+  return static_cast<uint64_t>(jittered);
+}
+
+bool BackoffSchedule::ShouldGiveUp(size_t attempts_made) const {
+  return policy_.max_attempts != 0 && attempts_made >= policy_.max_attempts;
+}
+
+}  // namespace hom

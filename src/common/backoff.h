@@ -1,0 +1,58 @@
+#ifndef HOM_COMMON_BACKOFF_H_
+#define HOM_COMMON_BACKOFF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hom {
+
+/// \brief Capped exponential backoff with seeded, deterministic jitter.
+///
+/// The schedule is a pure function of the policy: attempt k waits
+/// `initial_delay_ms * multiplier^k`, capped at `max_delay_ms`, then
+/// spread by +/- `jitter_fraction` using `Rng::Derive(seed, domain, k)`.
+/// Because the jitter stream is derived statelessly, two processes with
+/// the same policy draw identical delays — tests can assert the exact
+/// schedule and replicated runs stay reproducible.
+struct BackoffPolicy {
+  /// Delay before the first retry.
+  uint64_t initial_delay_ms = 50;
+  /// Growth factor between consecutive retries. Must be >= 1.
+  double multiplier = 2.0;
+  /// Ceiling applied before jitter.
+  uint64_t max_delay_ms = 5000;
+  /// Total attempts (first try + retries) before giving up. 0 means
+  /// retry forever.
+  size_t max_attempts = 5;
+  /// Fraction of the base delay used as a symmetric jitter range, in
+  /// [0, 1]. 0 disables jitter.
+  double jitter_fraction = 0.2;
+  /// Seed for the jitter stream.
+  uint64_t seed = 1;
+};
+
+/// Deterministic view over a BackoffPolicy. `domain` separates independent
+/// users of the same seed (e.g. two shippers in one process).
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const BackoffPolicy& policy, uint64_t domain = 0);
+
+  /// Delay in milliseconds before retry number `attempt` (0-based: 0 is
+  /// the wait between the first failure and the first retry). Pure
+  /// function of (policy, domain, attempt).
+  uint64_t DelayMs(size_t attempt) const;
+
+  /// True once `attempts_made` tries have been spent and the policy says
+  /// to stop. With max_attempts == 0 this never returns true.
+  bool ShouldGiveUp(size_t attempts_made) const;
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t domain_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_BACKOFF_H_

@@ -1,0 +1,277 @@
+#include "common/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace hom {
+
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+/// RAII socket close so every early return in RoundTrip stays leak-free.
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Non-blocking connect bounded by `timeout_ms`, then back to blocking
+/// mode. Returns a Status instead of hanging the caller on a dead peer.
+Status ConnectWithDeadline(int fd, const sockaddr_in& addr, int timeout_ms) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::IoError(std::string("connect: ") + std::strerror(errno));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return Status::IoError("connect: deadline exceeded");
+    if (ready < 0) {
+      return Status::IoError(std::string("connect poll: ") +
+                             std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      return Status::IoError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return Status::OK();
+}
+
+Status SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IoError(std::string("send: ") +
+                             (n < 0 ? std::strerror(errno) : "peer closed"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Case-insensitive "Content-Length" / "Content-Type" lookup in a raw
+/// header block. Returns false when the header is absent or malformed.
+bool FindHeader(std::string_view head, std::string_view name,
+                std::string* value) {
+  size_t pos = head.find('\n');  // skip the status line
+  while (pos != std::string_view::npos && pos + 1 < head.size()) {
+    size_t line_start = pos + 1;
+    size_t line_end = head.find('\n', line_start);
+    std::string_view line = head.substr(
+        line_start, line_end == std::string_view::npos ? std::string_view::npos
+                                                       : line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    size_t colon = line.find(':');
+    if (colon != std::string_view::npos && colon == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view v = line.substr(colon + 1);
+        while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+          v.remove_prefix(1);
+        }
+        while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) {
+          v.remove_suffix(1);
+        }
+        value->assign(v);
+        return true;
+      }
+    }
+    pos = line_end;
+  }
+  return false;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, uint16_t port,
+                       HttpClientOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {
+  if (host_ == "localhost") host_ = "127.0.0.1";
+}
+
+Result<HttpResponseMessage> HttpClient::Get(const std::string& path) {
+  return RoundTrip("GET", path, std::string(), std::string_view());
+}
+
+Result<HttpResponseMessage> HttpClient::Post(const std::string& path,
+                                             const std::string& content_type,
+                                             std::string_view body) {
+  return RoundTrip("POST", path, content_type, body);
+}
+
+Result<HttpResponseMessage> HttpClient::PostWithRetry(
+    const std::string& path, const std::string& content_type,
+    std::string_view body, HttpRetryStats* stats) {
+  BackoffSchedule schedule(options_.backoff, port_);
+  HttpRetryStats local;
+  Result<HttpResponseMessage> last = Status::Internal("no attempt made");
+  for (size_t attempt = 0;; ++attempt) {
+    std::string wire(body);
+    if (options_.transport_fault_hook) {
+      options_.transport_fault_hook(attempt, &wire);
+    }
+    last = RoundTrip("POST", path, content_type, wire);
+    local.attempts = attempt + 1;
+    // Transport errors and 5xx retry; anything the server parsed and
+    // answered below 500 is final.
+    bool retryable = !last.ok() || last->status >= 500;
+    if (!retryable || schedule.ShouldGiveUp(local.attempts)) break;
+    uint64_t delay = schedule.DelayMs(attempt);
+    local.backoff_ms += delay;
+    ++local.retries;
+    if (options_.sleep_ms) {
+      options_.sleep_ms(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return last;
+}
+
+Result<HttpResponseMessage> HttpClient::RoundTrip(
+    const std::string& method, const std::string& path,
+    const std::string& content_type, std::string_view body) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host '" + host_ +
+                                   "' (numeric IPv4 required)");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  FdCloser closer{fd};
+  HOM_RETURN_NOT_OK(
+      ConnectWithDeadline(fd, addr, options_.connect_timeout_ms));
+  SetIoTimeout(fd, options_.io_timeout_ms);
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!content_type.empty()) {
+    request += "Content-Type: " + content_type + "\r\n";
+  }
+  if (method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  HOM_RETURN_NOT_OK(SendAll(fd, request));
+  if (!body.empty()) HOM_RETURN_NOT_OK(SendAll(fd, body));
+
+  // Read the whole response (the server closes after one exchange), but
+  // stop early once Content-Length bytes of body have arrived.
+  std::string raw;
+  size_t head_end = std::string::npos;
+  size_t want_body = std::string::npos;
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF
+    raw.append(buf, static_cast<size_t>(n));
+    if (raw.size() > options_.max_response_bytes) {
+      return Status::IoError("response exceeds max_response_bytes");
+    }
+    if (head_end == std::string::npos) {
+      size_t pos = raw.find("\r\n\r\n");
+      if (pos != std::string::npos) {
+        head_end = pos + 4;
+      } else if ((pos = raw.find("\n\n")) != std::string::npos) {
+        head_end = pos + 2;
+      }
+      if (head_end != std::string::npos) {
+        std::string length;
+        if (FindHeader(raw.substr(0, head_end), "Content-Length", &length)) {
+          errno = 0;
+          char* end = nullptr;
+          unsigned long long v = std::strtoull(length.c_str(), &end, 10);
+          if (errno != 0 || end == length.c_str() || *end != '\0') {
+            return Status::IoError("unparsable Content-Length '" + length +
+                                   "'");
+          }
+          if (v > options_.max_response_bytes) {
+            return Status::IoError("response exceeds max_response_bytes");
+          }
+          want_body = static_cast<size_t>(v);
+        }
+      }
+    }
+    if (head_end != std::string::npos && want_body != std::string::npos &&
+        raw.size() - head_end >= want_body) {
+      break;
+    }
+  }
+  if (head_end == std::string::npos) {
+    return Status::IoError("truncated response: no header terminator");
+  }
+
+  HttpResponseMessage response;
+  // Status line: HTTP/1.1 SP code SP reason.
+  size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::IoError("malformed status line");
+  }
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  if (response.status < 100 || response.status > 599) {
+    return Status::IoError("malformed status code");
+  }
+  FindHeader(raw.substr(0, head_end), "Content-Type",
+             &response.content_type);
+  response.body = raw.substr(head_end);
+  if (want_body != std::string::npos) {
+    if (response.body.size() < want_body) {
+      return Status::IoError("truncated response body: got " +
+                             std::to_string(response.body.size()) + " of " +
+                             std::to_string(want_body) + " bytes");
+    }
+    response.body.resize(want_body);
+  }
+  return response;
+}
+
+}  // namespace hom

@@ -1,0 +1,103 @@
+#ifndef HOM_COMMON_HTTP_CLIENT_H_
+#define HOM_COMMON_HTTP_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/backoff.h"
+#include "common/result.h"
+
+namespace hom {
+
+/// One parsed HTTP response. `status` is the numeric code from the status
+/// line; `body` holds exactly Content-Length bytes (or the bytes until EOF
+/// when the server omitted the header).
+struct HttpResponseMessage {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Attempt accounting for the retrying entry points.
+struct HttpRetryStats {
+  size_t attempts = 0;       ///< Tries sent on the wire (>= 1).
+  size_t retries = 0;        ///< attempts - 1.
+  uint64_t backoff_ms = 0;   ///< Total scheduled backoff slept.
+};
+
+struct HttpClientOptions {
+  /// Deadline for the TCP connect itself.
+  int connect_timeout_ms = 1000;
+  /// Per-socket read/write deadline once connected.
+  int io_timeout_ms = 2000;
+  /// Responses larger than this are an error, not an allocation.
+  size_t max_response_bytes = 64u << 20;
+  /// Retry schedule for the *WithRetry entry points. Transport failures
+  /// (refused, timeout, truncated response) and 5xx responses retry;
+  /// 2xx-4xx return immediately — the request, not the network, decided.
+  BackoffPolicy backoff;
+  /// Test seam: replaces the real sleep between retries. Receives the
+  /// scheduled delay in milliseconds.
+  std::function<void(uint64_t)> sleep_ms;
+  /// Chaos seam: invoked per attempt with the attempt index (0-based) and
+  /// the outgoing request body, which it may corrupt or truncate in
+  /// flight. Content-Length is computed after mutation, so a truncated
+  /// body arrives "complete" at the transport level and must be caught by
+  /// checksums one layer up.
+  std::function<void(size_t attempt, std::string* body)> transport_fault_hook;
+};
+
+/// \brief Minimal dependency-free blocking HTTP/1.1 client, the peer of
+/// obs::HttpServer: numeric-host TCP, explicit deadlines on connect and
+/// IO, `Connection: close` per request, and capped exponential backoff on
+/// the retrying entry points.
+///
+/// Only numeric IPv4 hosts (and the literal "localhost") are accepted —
+/// replication targets are addressed explicitly, and resolving names here
+/// would drag wall-clock DNS variance into an otherwise deterministic
+/// retry schedule.
+///
+/// Every failure is a clean Status (never an exception, never a crash):
+/// connection refusal, deadline expiry, oversized or truncated responses
+/// all come back as IoError with the failing stage in the message.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, HttpClientOptions options = {});
+
+  /// One GET round trip, no retries.
+  Result<HttpResponseMessage> Get(const std::string& path);
+
+  /// One POST round trip, no retries.
+  Result<HttpResponseMessage> Post(const std::string& path,
+                                   const std::string& content_type,
+                                   std::string_view body);
+
+  /// POST with the options' backoff schedule. Retries transport errors
+  /// and 5xx responses until the policy gives up; the last failure (Status
+  /// or 5xx response) is returned as-is. 2xx-4xx responses short-circuit.
+  Result<HttpResponseMessage> PostWithRetry(const std::string& path,
+                                            const std::string& content_type,
+                                            std::string_view body,
+                                            HttpRetryStats* stats = nullptr);
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+  void set_port(uint16_t port) { port_ = port; }
+
+ private:
+  Result<HttpResponseMessage> RoundTrip(const std::string& method,
+                                        const std::string& path,
+                                        const std::string& content_type,
+                                        std::string_view body);
+
+  std::string host_;
+  uint16_t port_;
+  HttpClientOptions options_;
+};
+
+}  // namespace hom
+
+#endif  // HOM_COMMON_HTTP_CLIENT_H_

@@ -88,6 +88,7 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsFailedPrecondition() const {
     return code() == StatusCode::kFailedPrecondition;
   }

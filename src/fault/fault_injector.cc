@@ -17,6 +17,8 @@ constexpr std::string_view kKindNames[] = {
     "bit_flip",
     "truncate",
     "remove_file",
+    "corrupt_bytes",
+    "truncate_bytes",
 };
 
 void JournalFault(FaultKind kind, int64_t position) {
@@ -108,6 +110,33 @@ Result<std::string> FaultInjector::TruncateFile(const std::string& path) {
   bytes.resize(keep);
   HOM_RETURN_NOT_OK(AtomicWriteFile(path, bytes));
   JournalFault(FaultKind::kTruncate, static_cast<int64_t>(keep));
+  return "truncated to " + std::to_string(keep) + " of " +
+         std::to_string(total) + " bytes";
+}
+
+Result<std::string> FaultInjector::CorruptBytes(std::string* bytes) {
+  HOM_CHECK(bytes != nullptr);
+  if (bytes->empty()) {
+    return Status::InvalidArgument("cannot bit-flip an empty payload");
+  }
+  size_t byte = rng_.NextBounded(static_cast<uint32_t>(bytes->size()));
+  int bit = rng_.NextInt(0, 7);
+  (*bytes)[byte] = static_cast<char>(
+      static_cast<unsigned char>((*bytes)[byte]) ^ (1u << bit));
+  JournalFault(FaultKind::kCorruptBytes, static_cast<int64_t>(byte));
+  return "flipped bit " + std::to_string(bit) + " of byte " +
+         std::to_string(byte);
+}
+
+Result<std::string> FaultInjector::TruncateBytes(std::string* bytes) {
+  HOM_CHECK(bytes != nullptr);
+  if (bytes->empty()) {
+    return Status::InvalidArgument("cannot truncate an empty payload");
+  }
+  size_t keep = rng_.NextBounded(static_cast<uint32_t>(bytes->size()));
+  size_t total = bytes->size();
+  bytes->resize(keep);
+  JournalFault(FaultKind::kTruncateBytes, static_cast<int64_t>(keep));
   return "truncated to " + std::to_string(keep) + " of " +
          std::to_string(total) + " bytes";
 }

@@ -19,6 +19,8 @@ enum class FaultKind : uint8_t {
   kBitFlip,            ///< flip one bit of a file
   kTruncate,           ///< cut a file short
   kRemoveFile,         ///< delete a file (ENOENT on next open)
+  kCorruptBytes,       ///< flip one bit of an in-flight payload
+  kTruncateBytes,      ///< cut an in-flight payload short
 };
 
 /// Stable name of a fault kind ("corrupt_record", "bit_flip", ...).
@@ -56,6 +58,16 @@ class FaultInjector {
   /// Deletes the file at `path`, simulating a lost artifact (the next
   /// open sees ENOENT).
   Result<std::string> RemoveFile(const std::string& path);
+
+  /// Flips one uniformly chosen bit of an in-memory payload — a checkpoint
+  /// corrupted in flight on the replication wire. `bytes` must be
+  /// non-empty. Returns "flipped bit N of byte M".
+  Result<std::string> CorruptBytes(std::string* bytes);
+
+  /// Shortens an in-memory payload to a uniformly chosen length in
+  /// [0, size) — a transfer cut mid-stream. `bytes` must be non-empty.
+  /// Returns "truncated to N of M bytes".
+  Result<std::string> TruncateBytes(std::string* bytes);
 
   Rng& rng() { return rng_; }
 

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/binary_io.h"
+#include "common/crc32.h"
 #include "common/file_io.h"
 #include "highorder/serialization.h"
 #include "obs/event_journal.h"
@@ -22,6 +24,21 @@ constexpr uint32_t kMetaTag = SectionTag('M', 'E', 'T', 'A');
 constexpr uint32_t kTrackerTag = SectionTag('T', 'R', 'K', 'R');
 constexpr uint32_t kSanitizerTag = SectionTag('S', 'N', 'T', 'Z');
 constexpr uint32_t kConceptStatsTag = SectionTag('C', 'S', 'T', 'A');
+constexpr uint32_t kReplicationTag = SectionTag('R', 'P', 'L', 'C');
+
+// Version of the RPLC payload itself. The section is optional and old
+// readers skip it, but a payload from a *newer* writer must be rejected
+// rather than misread — the version field is checked before anything else.
+constexpr uint32_t kReplicationVersion = 1;
+constexpr size_t kMaxPrimaryIdBytes = 256;
+
+// Delta framing: magic, delta version, base/new CRCs, then per-section
+// entries that either reference an unchanged base section by tag or carry
+// a replacement section inline.
+constexpr char kDeltaMagic[] = "HOMD";
+constexpr uint32_t kDeltaVersion = 1;
+constexpr uint8_t kDeltaCopyFromBase = 0;
+constexpr uint8_t kDeltaInline = 1;
 
 // Checkpoints are small (three probability vectors plus counters; the
 // concept-stats section adds confusion matrices). These caps bound what a
@@ -131,7 +148,94 @@ Result<HighOrderRuntimeState> ParseRuntime(BinaryReader* reader) {
   return state;
 }
 
+Result<CheckpointReplication> ParseReplication(BinaryReader* reader) {
+  HOM_ASSIGN_OR_RETURN(uint32_t version, reader->ReadU32());
+  if (version > kReplicationVersion) {
+    return Status::InvalidArgument(
+        "checkpoint replication metadata written by a newer writer "
+        "(version " +
+        std::to_string(version) + ", this reader understands " +
+        std::to_string(kReplicationVersion) + ")");
+  }
+  if (version == 0) {
+    return Status::InvalidArgument(
+        "checkpoint replication metadata version must be positive");
+  }
+  CheckpointReplication replication;
+  HOM_ASSIGN_OR_RETURN(replication.sequence, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(replication.primary_epoch, reader->ReadU64());
+  HOM_ASSIGN_OR_RETURN(replication.primary_id,
+                       reader->ReadString(kMaxPrimaryIdBytes));
+  return replication;
+}
+
+/// Structural (header + CRC-framed sections) parse without semantic
+/// validation, shared by the delta encoder/applier. Section payload CRCs
+/// are verified by ReadSection.
+struct RawCheckpoint {
+  uint32_t version = 0;
+  std::vector<Section> sections;
+};
+
+Result<RawCheckpoint> ShallowParseCheckpoint(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  BinaryReader reader(&in);
+  HOM_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(16));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a HOM checkpoint (bad magic)");
+  }
+  RawCheckpoint raw;
+  HOM_ASSIGN_OR_RETURN(raw.version, reader.ReadU32());
+  HOM_ASSIGN_OR_RETURN(uint32_t section_count, reader.ReadU32());
+  if (section_count < 2 || section_count > kMaxSections) {
+    return Status::InvalidArgument("checkpoint section count out of range");
+  }
+  raw.sections.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    HOM_ASSIGN_OR_RETURN(Section section, ReadSection(&reader, kMaxFileBytes));
+    for (const Section& seen : raw.sections) {
+      if (seen.tag == section.tag) {
+        return Status::InvalidArgument("duplicate checkpoint section " +
+                                       SectionTagName(section.tag));
+      }
+    }
+    raw.sections.push_back(std::move(section));
+  }
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument("checkpoint has trailing bytes");
+  }
+  return raw;
+}
+
+/// Identity over the parsed structure. A whole-file Crc32 would be blind
+/// here: each section is framed payload||crc32(payload), and the CRC32
+/// register after M||crc32(M) does not depend on M, so payload edits
+/// cancel out of a raw-byte CRC. Hashing (tag, size, payload CRC) tuples
+/// as data keeps every payload bit load-bearing.
+uint32_t IdentityOf(const RawCheckpoint& raw) {
+  std::string buf;
+  auto put_u32 = [&buf](uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buf.push_back(static_cast<char>((v >> shift) & 0xFF));
+    }
+  };
+  put_u32(raw.version);
+  put_u32(static_cast<uint32_t>(raw.sections.size()));
+  for (const Section& section : raw.sections) {
+    put_u32(section.tag);
+    put_u32(static_cast<uint32_t>(section.payload.size()));
+    put_u32(static_cast<uint32_t>(section.payload.size() >> 32));
+    put_u32(Crc32(section.payload));
+  }
+  return Crc32(buf);
+}
+
 }  // namespace
+
+Result<uint32_t> CheckpointIdentity(const std::string& bytes) {
+  HOM_ASSIGN_OR_RETURN(RawCheckpoint raw, ShallowParseCheckpoint(bytes));
+  return IdentityOf(raw);
+}
 
 Result<ServingCheckpoint> CaptureCheckpoint(const HighOrderClassifier& model) {
   ServingCheckpoint ckpt;
@@ -142,13 +246,13 @@ Result<ServingCheckpoint> CaptureCheckpoint(const HighOrderClassifier& model) {
   return ckpt;
 }
 
-Status SaveCheckpointToFile(const std::string& path,
-                            const ServingCheckpoint& ckpt) {
+Result<std::string> SerializeCheckpoint(const ServingCheckpoint& ckpt) {
   std::ostringstream out(std::ios::binary);
   BinaryWriter writer(&out);
   HOM_RETURN_NOT_OK(writer.WriteString(kMagic));
   HOM_RETURN_NOT_OK(writer.WriteU32(kCheckpointVersion));
   uint32_t sections = 2;
+  if (ckpt.has_replication) ++sections;
   if (!ckpt.sanitizer_state.empty()) ++sections;
   if (ckpt.concept_stats != nullptr) ++sections;
   HOM_RETURN_NOT_OK(writer.WriteU32(sections));
@@ -161,6 +265,19 @@ Status SaveCheckpointToFile(const std::string& path,
     return w->WriteU64(ckpt.window_fill);
   }));
   HOM_RETURN_NOT_OK(WriteSection(&writer, kMetaTag, meta));
+
+  if (ckpt.has_replication) {
+    if (ckpt.replication.primary_id.size() > kMaxPrimaryIdBytes) {
+      return Status::InvalidArgument("replication primary_id too long");
+    }
+    HOM_ASSIGN_OR_RETURN(std::string rplc, BuildPayload([&](BinaryWriter* w) {
+      HOM_RETURN_NOT_OK(w->WriteU32(kReplicationVersion));
+      HOM_RETURN_NOT_OK(w->WriteU64(ckpt.replication.sequence));
+      HOM_RETURN_NOT_OK(w->WriteU64(ckpt.replication.primary_epoch));
+      return w->WriteString(ckpt.replication.primary_id);
+    }));
+    HOM_RETURN_NOT_OK(WriteSection(&writer, kReplicationTag, rplc));
+  }
 
   const HighOrderRuntimeState& rt = ckpt.runtime;
   HOM_ASSIGN_OR_RETURN(std::string tracker, BuildPayload([&](BinaryWriter* w) {
@@ -188,7 +305,13 @@ Status SaveCheckpointToFile(const std::string& path,
     }));
     HOM_RETURN_NOT_OK(WriteSection(&writer, kConceptStatsTag, stats));
   }
-  HOM_RETURN_NOT_OK(AtomicWriteFile(path, std::move(out).str()));
+  return std::move(out).str();
+}
+
+Status SaveCheckpointToFile(const std::string& path,
+                            const ServingCheckpoint& ckpt) {
+  HOM_ASSIGN_OR_RETURN(std::string bytes, SerializeCheckpoint(ckpt));
+  HOM_RETURN_NOT_OK(AtomicWriteFile(path, std::move(bytes)));
   obs::EmitIfActive(obs::EventType::kCheckpointSave, "checkpoint",
                     static_cast<int64_t>(ckpt.stream_offset),
                     ckpt.runtime.last_top_concept, -1,
@@ -196,15 +319,15 @@ Status SaveCheckpointToFile(const std::string& path,
   return Status::OK();
 }
 
-Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path) {
-  HOM_ASSIGN_OR_RETURN(std::string bytes,
-                       ReadFileToString(path, kMaxFileBytes));
-  std::istringstream in(std::move(bytes), std::ios::binary);
+Result<ServingCheckpoint> ParseCheckpoint(const std::string& bytes) {
+  if (bytes.size() > kMaxFileBytes) {
+    return Status::InvalidArgument("checkpoint exceeds the size cap");
+  }
+  std::istringstream in(bytes, std::ios::binary);
   BinaryReader reader(&in);
   HOM_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(16));
   if (magic != kMagic) {
-    return Status::InvalidArgument(
-        "not a HOM checkpoint file (bad magic): " + path);
+    return Status::InvalidArgument("not a HOM checkpoint (bad magic)");
   }
   HOM_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
   if (version != kCheckpointVersion) {
@@ -218,10 +341,12 @@ Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path) {
 
   bool have_meta = false;
   bool have_tracker = false;
+  bool have_replication = false;
   Meta meta;
   HighOrderRuntimeState runtime;
   std::string sanitizer_state;
   std::shared_ptr<OnlineConceptStats> concept_stats;
+  CheckpointReplication replication;
   for (uint32_t i = 0; i < section_count; ++i) {
     HOM_ASSIGN_OR_RETURN(Section section,
                          ReadSection(&reader, kMaxFileBytes));
@@ -254,6 +379,16 @@ Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path) {
       }
       // Opaque here; validated against the model schema at Apply time.
       sanitizer_state = std::move(section.payload);
+    } else if (section.tag == kReplicationTag) {
+      if (have_replication) {
+        return Status::InvalidArgument("duplicate RPLC section");
+      }
+      if (section.payload.size() > kMaxMetaBytes) {
+        return Status::InvalidArgument("RPLC section oversized");
+      }
+      HOM_ASSIGN_OR_RETURN(replication, ParsePayload<CheckpointReplication>(
+                                            section, ParseReplication));
+      have_replication = true;
     } else if (section.tag == kConceptStatsTag) {
       if (concept_stats != nullptr) {
         return Status::InvalidArgument("duplicate CSTA section");
@@ -285,7 +420,129 @@ Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path) {
   ckpt.runtime = std::move(runtime);
   ckpt.sanitizer_state = std::move(sanitizer_state);
   ckpt.concept_stats = std::move(concept_stats);
+  ckpt.has_replication = have_replication;
+  ckpt.replication = std::move(replication);
   return ckpt;
+}
+
+Result<ServingCheckpoint> LoadCheckpointFromFile(const std::string& path) {
+  HOM_ASSIGN_OR_RETURN(std::string bytes,
+                       ReadFileToString(path, kMaxFileBytes));
+  Result<ServingCheckpoint> parsed = ParseCheckpoint(bytes);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  parsed.status().message() + ": " + path);
+  }
+  return parsed;
+}
+
+Result<std::string> EncodeCheckpointDelta(const std::string& base_bytes,
+                                          const std::string& new_bytes) {
+  HOM_ASSIGN_OR_RETURN(RawCheckpoint base, ShallowParseCheckpoint(base_bytes));
+  HOM_ASSIGN_OR_RETURN(RawCheckpoint updated,
+                       ShallowParseCheckpoint(new_bytes));
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(&out);
+  HOM_RETURN_NOT_OK(writer.WriteString(kDeltaMagic));
+  HOM_RETURN_NOT_OK(writer.WriteU32(kDeltaVersion));
+  HOM_RETURN_NOT_OK(writer.WriteU32(IdentityOf(base)));
+  HOM_RETURN_NOT_OK(writer.WriteU32(IdentityOf(updated)));
+  HOM_RETURN_NOT_OK(writer.WriteU32(updated.version));
+  HOM_RETURN_NOT_OK(
+      writer.WriteU32(static_cast<uint32_t>(updated.sections.size())));
+  for (const Section& section : updated.sections) {
+    const Section* unchanged = nullptr;
+    for (const Section& candidate : base.sections) {
+      if (candidate.tag == section.tag) {
+        if (candidate.payload == section.payload) unchanged = &candidate;
+        break;
+      }
+    }
+    if (unchanged != nullptr) {
+      HOM_RETURN_NOT_OK(writer.WriteU8(kDeltaCopyFromBase));
+      HOM_RETURN_NOT_OK(writer.WriteU32(section.tag));
+    } else {
+      HOM_RETURN_NOT_OK(writer.WriteU8(kDeltaInline));
+      HOM_RETURN_NOT_OK(WriteSection(&writer, section.tag, section.payload));
+    }
+  }
+  return std::move(out).str();
+}
+
+Result<std::string> ApplyCheckpointDelta(const std::string& base_bytes,
+                                         const std::string& delta_bytes) {
+  if (delta_bytes.size() > kMaxFileBytes) {
+    return Status::InvalidArgument("checkpoint delta exceeds the size cap");
+  }
+  std::istringstream in(delta_bytes, std::ios::binary);
+  BinaryReader reader(&in);
+  HOM_ASSIGN_OR_RETURN(std::string magic, reader.ReadString(16));
+  if (magic != kDeltaMagic) {
+    return Status::InvalidArgument("not a HOM checkpoint delta (bad magic)");
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kDeltaVersion) {
+    return Status::InvalidArgument("unsupported checkpoint delta version " +
+                                   std::to_string(version));
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t base_crc, reader.ReadU32());
+  HOM_ASSIGN_OR_RETURN(uint32_t new_crc, reader.ReadU32());
+  HOM_ASSIGN_OR_RETURN(RawCheckpoint base, ShallowParseCheckpoint(base_bytes));
+  // A base-identity mismatch means "resend a full checkpoint", not
+  // "corrupt delta" — hence FailedPrecondition, not InvalidArgument.
+  if (IdentityOf(base) != base_crc) {
+    return Status::FailedPrecondition(
+        "delta encoded against a different base checkpoint");
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t checkpoint_version, reader.ReadU32());
+  HOM_ASSIGN_OR_RETURN(uint32_t section_count, reader.ReadU32());
+  if (section_count < 2 || section_count > kMaxSections) {
+    return Status::InvalidArgument("delta section count out of range");
+  }
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(&out);
+  HOM_RETURN_NOT_OK(writer.WriteString(kMagic));
+  HOM_RETURN_NOT_OK(writer.WriteU32(checkpoint_version));
+  HOM_RETURN_NOT_OK(writer.WriteU32(section_count));
+  for (uint32_t i = 0; i < section_count; ++i) {
+    HOM_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+    if (kind == kDeltaCopyFromBase) {
+      HOM_ASSIGN_OR_RETURN(uint32_t tag, reader.ReadU32());
+      const Section* found = nullptr;
+      for (const Section& candidate : base.sections) {
+        if (candidate.tag == tag) {
+          found = &candidate;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        return Status::InvalidArgument(
+            "delta references base section " + SectionTagName(tag) +
+            " which the base checkpoint does not have");
+      }
+      HOM_RETURN_NOT_OK(WriteSection(&writer, found->tag, found->payload));
+    } else if (kind == kDeltaInline) {
+      HOM_ASSIGN_OR_RETURN(Section section,
+                           ReadSection(&reader, kMaxFileBytes));
+      HOM_RETURN_NOT_OK(WriteSection(&writer, section.tag, section.payload));
+    } else {
+      return Status::InvalidArgument("unknown delta entry kind " +
+                                     std::to_string(kind));
+    }
+  }
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument("checkpoint delta has trailing bytes");
+  }
+  std::string rebuilt = std::move(out).str();
+  // Re-shallow-parsing the reconstruction also rejects deltas that smuggle
+  // in duplicate sections, which WriteSection alone would not catch.
+  Result<RawCheckpoint> rebuilt_raw = ShallowParseCheckpoint(rebuilt);
+  if (!rebuilt_raw.ok() ||
+      IdentityOf(rebuilt_raw.ValueOrDie()) != new_crc) {
+    return Status::InvalidArgument(
+        "reconstructed checkpoint fails its CRC (delta corrupt)");
+  }
+  return rebuilt;
 }
 
 Status ApplyCheckpoint(const ServingCheckpoint& ckpt,

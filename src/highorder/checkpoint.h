@@ -24,10 +24,22 @@ namespace hom {
 ///
 /// File format: magic "HOMC", u32 version, u32 section count, then
 /// CRC-framed sections (binary_io.h): META (fingerprint + harness
-/// counters), TRKR (runtime state), and optionally CSTA (concept stats).
+/// counters), TRKR (runtime state), and optionally RPLC (replication
+/// metadata), SNTZ (sanitizer state), and CSTA (concept stats).
 /// Files are written atomically (temp + fsync + rename), so a crash during
 /// a save leaves the previous checkpoint intact, and any truncated or
 /// bit-flipped file is rejected with an error Status on load.
+struct CheckpointReplication {
+  /// Monotonic ship counter on the primary; a standby uses it to order
+  /// applies and report lag.
+  uint64_t sequence = 0;
+  /// Bumped on every promotion, so a checkpoint from a deposed primary
+  /// (lower epoch) is recognizable.
+  uint64_t primary_epoch = 0;
+  /// Free-form identity of the writer ("host:port" by convention).
+  std::string primary_id;
+};
+
 struct ServingCheckpoint {
   /// SchemaFingerprint of the model this state was captured from.
   uint32_t schema_fingerprint = 0;
@@ -47,12 +59,63 @@ struct ServingCheckpoint {
   std::string sanitizer_state;
   /// Per-concept online accounting; null when the run did not track it.
   std::shared_ptr<OnlineConceptStats> concept_stats;
+  /// Replication metadata (RPLC section); stamped by the shipping primary,
+  /// absent in locally saved checkpoints.
+  bool has_replication = false;
+  CheckpointReplication replication;
 };
 
 /// Snapshots `model`'s run-time state and schema fingerprint. Harness
 /// counters (stream_offset, num_errors, window carry, concept_stats) are
 /// the caller's to fill in.
 Result<ServingCheckpoint> CaptureCheckpoint(const HighOrderClassifier& model);
+
+/// Serializes `ckpt` to the HOMC byte format — the exact bytes
+/// SaveCheckpointToFile would write. Used by replication to ship
+/// checkpoints over the wire without touching disk.
+Result<std::string> SerializeCheckpoint(const ServingCheckpoint& ckpt);
+
+/// Parses HOMC bytes (the inverse of SerializeCheckpoint). Corruption at
+/// any layer (magic, CRC, lengths, value ranges) yields an error Status;
+/// a replication metadata section written by a newer writer version is
+/// rejected cleanly rather than misread.
+Result<ServingCheckpoint> ParseCheckpoint(const std::string& bytes);
+
+/// \name Checkpoint deltas (HOMD framing)
+///
+/// A replication delta re-frames only the sections that changed relative
+/// to a base checkpoint both sides already hold; unchanged sections are
+/// referenced by tag. The delta carries the structural identity (see
+/// CheckpointIdentity) of both the base and the reconstructed checkpoint,
+/// so applying against the wrong base — or any in-flight corruption — is
+/// a clean error, never a torn state.
+/// @{
+
+/// Structural identity of serialized HOMC bytes: a CRC over the parsed
+/// shape (version, section count, and each section's tag, payload size,
+/// and payload CRC) rather than over the raw byte stream.
+///
+/// The raw stream cannot be used for identity: sections are framed as
+/// payload||crc32(payload), and the CRC32 register after consuming
+/// M||crc32(M) is independent of M, so two checkpoints differing only
+/// inside correctly framed equal-length sections share a whole-file
+/// CRC32. Folding the payload CRCs in as *data* restores sensitivity.
+/// Fails when the bytes do not parse as a checkpoint.
+Result<uint32_t> CheckpointIdentity(const std::string& bytes);
+
+/// Encodes `new_bytes` as a delta against `base_bytes` (both HOMC byte
+/// strings). The result is typically much smaller than a full checkpoint
+/// when only META/TRKR moved between ships.
+Result<std::string> EncodeCheckpointDelta(const std::string& base_bytes,
+                                          const std::string& new_bytes);
+
+/// Reconstructs the full HOMC bytes from `base_bytes` + `delta_bytes`.
+/// Fails with FailedPrecondition when the base does not match the CRC the
+/// delta was encoded against (the caller should fall back to a full
+/// checkpoint transfer), and InvalidArgument on any structural damage.
+Result<std::string> ApplyCheckpointDelta(const std::string& base_bytes,
+                                         const std::string& delta_bytes);
+/// @}
 
 /// Serializes `ckpt` and writes it atomically: the file at `path` is
 /// either the previous checkpoint or the new one, never a torn mix.

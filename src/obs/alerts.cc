@@ -294,6 +294,38 @@ std::vector<AlertRule> DefaultAlertRules(double error_slo) {
   }
   {
     AlertRule r;
+    r.name = "replication-lag-high";
+    r.series = "hom.replication.lag_records";
+    r.kind = AlertRuleKind::kThreshold;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = 5000.0;
+    r.for_ticks = 3;
+    r.resolve_ticks = 2;
+    r.severity = "warn";
+    r.description =
+        "standby trails the primary by more than 5000 records; a failover "
+        "now would replay that much stream (threshold, not absence: runs "
+        "without a standby publish no replication series and never fire "
+        "this)";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
+    r.name = "replication-heartbeat-lost";
+    r.series = "hom.replication.heartbeat_age_seconds";
+    r.kind = AlertRuleKind::kThreshold;
+    r.op = AlertOp::kGreaterThan;
+    r.threshold = 30.0;
+    r.for_ticks = 2;
+    r.resolve_ticks = 1;
+    r.severity = "page";
+    r.description =
+        "standby has not heard from its primary for 30s; promotion is "
+        "imminent (same threshold-only caveat as replication-lag-high)";
+    rules.push_back(std::move(r));
+  }
+  {
+    AlertRule r;
     r.name = "health-series-absent";
     r.series = "hom.serving.windowed_error_rate";
     r.kind = AlertRuleKind::kAbsence;

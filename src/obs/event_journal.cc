@@ -15,6 +15,7 @@ constexpr std::string_view kTypeNames[kNumEventTypes] = {
     "input_imputed",  "checkpoint_save",  "checkpoint_load", "fault_injected",
     "server_start",   "server_stop",      "slow_request",    "profile_start",
     "profile_stop",   "alert_firing",     "alert_resolved",
+    "replica_promoted", "model_swapped",
 };
 
 /// Cached per-type handles into the global `hom.journal.dropped` counter

@@ -43,9 +43,14 @@ enum class EventType : uint8_t {
                        ///< (`source` = rule name, `record` = stream
                        ///< position of the tick, `value` = rule value)
   kAlertResolved,      ///< a firing alert rule resolved (same payload)
+  kReplicaPromoted,    ///< a standby took over as primary (`record` =
+                       ///< resume position, `value` = new epoch)
+  kModelSwapped,       ///< serving swapped to a new model under traffic
+                       ///< (`from`/`to` = old/new concept count,
+                       ///< `record` = stream position)
 };
 
-inline constexpr size_t kNumEventTypes = 19;
+inline constexpr size_t kNumEventTypes = 21;
 
 /// Stable wire name of an event type ("concept_switch", ...).
 std::string_view EventTypeName(EventType type);

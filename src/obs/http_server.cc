@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <string_view>
 
@@ -33,6 +34,7 @@ const char* StatusText(int code) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
@@ -60,23 +62,85 @@ void WriteResponse(int fd, const HttpResponse& response, bool head_only) {
   }
 }
 
-/// Reads until the end of the request head ("\r\n\r\n") or a limit; the
-/// endpoints take no bodies, so the head is the whole request.
-bool ReadRequestHead(int fd, size_t max_bytes, std::string* head) {
-  char buf[1024];
+/// Reads until the end of the request head ("\r\n\r\n"); bytes past the
+/// terminator (the start of a POST body) stay in *buf after *head_end.
+/// Only the head counts against max_bytes.
+bool ReadRequestHead(int fd, size_t max_bytes, std::string* buf,
+                     size_t* head_end) {
+  char chunk[1024];
   while (true) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    size_t pos = buf->find("\r\n\r\n");
+    if (pos != std::string::npos) {
+      *head_end = pos + 4;
+    } else if ((pos = buf->find("\n\n")) != std::string::npos) {
+      *head_end = pos + 2;
+    }
+    if (pos != std::string::npos) return *head_end <= max_bytes;
+    // No terminator yet: everything buffered so far is head.
+    if (buf->size() > max_bytes) return false;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
-    head->append(buf, static_cast<size_t>(n));
-    // Size check before the terminator check: an oversized head must be
-    // rejected even when one recv() delivered it terminator and all.
-    if (head->size() > max_bytes) return false;
-    if (head->find("\r\n\r\n") != std::string::npos ||
-        head->find("\n\n") != std::string::npos) {
-      return true;
-    }
+    buf->append(chunk, static_cast<size_t>(n));
   }
+}
+
+/// Appends to *body until it holds `want` bytes total. False when the
+/// peer stalls past the socket timeout or closes early — the caller turns
+/// that into 400 instead of blocking the worker forever.
+bool ReadBody(int fd, size_t want, std::string* body) {
+  char chunk[4096];
+  while (body->size() < want) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // timeout (EAGAIN) or EOF mid-body
+    body->append(chunk, static_cast<size_t>(n));
+  }
+  body->resize(want);
+  return true;
+}
+
+/// Case-insensitive Content-Length lookup in the raw head block. Returns
+/// -1 when absent or malformed (both are a 400 for POST).
+int64_t ContentLengthOf(std::string_view head) {
+  size_t pos = head.find('\n');  // skip the request line
+  while (pos != std::string_view::npos && pos + 1 < head.size()) {
+    size_t line_start = pos + 1;
+    size_t line_end = head.find('\n', line_start);
+    std::string_view line = head.substr(
+        line_start, line_end == std::string_view::npos ? std::string_view::npos
+                                                       : line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    constexpr std::string_view kName = "content-length";
+    size_t colon = line.find(':');
+    if (colon == kName.size()) {
+      bool match = true;
+      for (size_t i = 0; i < kName.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view v = line.substr(colon + 1);
+        while (!v.empty() && (v.front() == ' ' || v.front() == '\t')) {
+          v.remove_prefix(1);
+        }
+        while (!v.empty() && (v.back() == ' ' || v.back() == '\t')) {
+          v.remove_suffix(1);
+        }
+        if (v.empty() || v.size() > 18) return -1;
+        int64_t value = 0;
+        for (char c : v) {
+          if (c < '0' || c > '9') return -1;
+          value = value * 10 + (c - '0');
+        }
+        return value;
+      }
+    }
+    pos = line_end;
+  }
+  return -1;
 }
 
 void SetIoTimeout(int fd, int timeout_ms) {
@@ -152,6 +216,10 @@ void HttpServer::Handle(std::string path, Handler handler) {
 
 void HttpServer::Handle(std::string path, RequestHandler handler) {
   handlers_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::HandlePost(std::string path, RequestHandler handler) {
+  post_handlers_[std::move(path)] = std::move(handler);
 }
 
 Status HttpServer::Start() {
@@ -277,8 +345,9 @@ void HttpServer::WorkerLoop() {
 
 void HttpServer::ServeConnection(int fd) {
   auto start = std::chrono::steady_clock::now();
-  std::string head;
-  if (!ReadRequestHead(fd, options_.max_request_bytes, &head)) {
+  std::string buf;
+  size_t head_end = 0;
+  if (!ReadRequestHead(fd, options_.max_request_bytes, &buf, &head_end)) {
     HttpResponse bad;
     bad.status = 400;
     bad.body = "malformed request\n";
@@ -286,9 +355,10 @@ void HttpServer::ServeConnection(int fd) {
     CountRequest("(malformed)", 400);
     return;
   }
+  std::string_view head(buf.data(), head_end);
   // Request line: METHOD SP TARGET SP VERSION.
   size_t line_end = head.find('\n');
-  std::string line = head.substr(0, line_end);
+  std::string line(head.substr(0, line_end));
   size_t sp1 = line.find(' ');
   size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
@@ -302,6 +372,7 @@ void HttpServer::ServeConnection(int fd) {
   std::string method = line.substr(0, sp1);
   std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
   HttpRequest request;
+  request.method = method;
   if (size_t query = target.find('?'); query != std::string::npos) {
     request.query = ParseQuery(std::string_view(target).substr(query + 1));
     target.resize(query);
@@ -313,11 +384,46 @@ void HttpServer::ServeConnection(int fd) {
 
   HttpResponse response;
   bool head_only = method == "HEAD";
-  if (method != "GET" && method != "HEAD") {
+  if (method == "POST") {
+    auto it = post_handlers_.find(target);
+    if (it == post_handlers_.end()) {
+      if (handlers_.count(target) > 0) {
+        response.status = 405;
+        response.body = "POST not supported on this path\n";
+      } else {
+        response.status = 404;
+        response.body =
+            "no such endpoint; try /metrics, /healthz, /statusz\n";
+      }
+    } else if (int64_t want = ContentLengthOf(head); want < 0) {
+      response.status = 400;
+      response.body = "missing or invalid Content-Length\n";
+    } else if (static_cast<uint64_t>(want) > options_.max_body_bytes) {
+      // Reject by the declared size without reading the body: an
+      // oversized upload costs the worker nothing but this response.
+      response.status = 413;
+      response.body = "request body exceeds " +
+                      std::to_string(options_.max_body_bytes) + " bytes\n";
+    } else {
+      request.body = buf.substr(head_end);
+      if (request.body.size() > static_cast<uint64_t>(want)) {
+        request.body.resize(static_cast<size_t>(want));
+      }
+      if (!ReadBody(fd, static_cast<size_t>(want), &request.body)) {
+        response.status = 400;
+        response.body = "truncated request body\n";
+      } else {
+        response = it->second(request);
+      }
+    }
+  } else if (method != "GET" && method != "HEAD") {
     response.status = 405;
-    response.body = "only GET is supported\n";
+    response.body = "only GET, HEAD, and POST are supported\n";
   } else if (auto it = handlers_.find(target); it != handlers_.end()) {
     response = it->second(request);
+  } else if (post_handlers_.count(target) > 0) {
+    response.status = 405;
+    response.body = "only POST is supported on this path\n";
   } else {
     response.status = 404;
     response.body = "no such endpoint; try /metrics, /healthz, /statusz\n";
@@ -334,8 +440,9 @@ void HttpServer::ServeConnection(int fd) {
       std::chrono::duration<double, std::micro>(written - start).count();
   HOM_HISTOGRAM_RECORD("hom.server.request_latency_us", us,
                        ::hom::obs::Histogram::DefaultLatencyBoundsUs());
-  CountRequest(handlers_.count(target) > 0 ? target : "(other)",
-               response.status);
+  bool known =
+      handlers_.count(target) > 0 || post_handlers_.count(target) > 0;
+  CountRequest(known ? target : "(other)", response.status);
 }
 
 }  // namespace hom::obs

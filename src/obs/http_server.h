@@ -22,12 +22,15 @@ struct HttpResponse {
   std::string body;
 };
 
-/// Parsed request line of one GET/HEAD, for handlers that take parameters
-/// (e.g. /profilez?seconds=2&hz=199). `path` excludes the query string;
-/// `query` holds the percent-decoded key/value pairs ('+' decodes to
-/// space, a key with no '=' maps to "").
+/// Parsed request line of one GET/HEAD/POST, for handlers that take
+/// parameters (e.g. /profilez?seconds=2&hz=199). `path` excludes the query
+/// string; `query` holds the percent-decoded key/value pairs ('+' decodes
+/// to space, a key with no '=' maps to ""). For POST, `body` holds exactly
+/// Content-Length bytes.
 struct HttpRequest {
+  std::string method = "GET";
   std::string path;
+  std::string body;
   std::map<std::string, std::string> query;
 
   /// The value of query parameter `name`, or `fallback` when absent.
@@ -50,8 +53,13 @@ struct HttpRequest {
 /// no extra locking beyond what the data they read requires).
 ///
 /// Handlers run on the worker thread; they must not block indefinitely.
-/// Only GET (and HEAD, answered with empty body) is served; other methods
-/// get 405, unregistered paths 404, oversized or malformed requests 400.
+/// GET (and HEAD, answered with empty body) is served from Handle()
+/// registrations, POST from HandlePost() registrations; other methods get
+/// 405, unregistered paths 404, oversized or malformed requests 400. POST
+/// bodies are bounded by max_body_bytes (413 beyond it) and must arrive
+/// complete within the socket IO timeout — a partial body is answered 400,
+/// never waited on indefinitely, so a stalled uploader cannot wedge the
+/// single worker.
 ///
 /// The server instruments itself through the global MetricsRegistry:
 /// `hom.server.requests{path=...,code=...}`, `hom.server.dropped`, and the
@@ -69,8 +77,11 @@ class HttpServer {
     int backlog = 16;
     /// Accepted-but-unserved connections beyond this are answered 503.
     size_t queue_capacity = 16;
-    /// Requests larger than this are answered 400.
+    /// Request heads larger than this are answered 400.
     size_t max_request_bytes = 8192;
+    /// POST bodies larger than this are answered 413 without reading
+    /// them. Large enough for a full serving checkpoint by default.
+    size_t max_body_bytes = 64u << 20;
     /// Per-socket read/write timeout.
     int io_timeout_ms = 2000;
   };
@@ -92,6 +103,11 @@ class HttpServer {
   /// Like Handle(), for handlers that read query parameters.
   void Handle(std::string path, RequestHandler handler);
 
+  /// Registers `handler` for exact-match POST `path`; the handler sees the
+  /// complete request body. A path may have both a GET and a POST handler.
+  /// Must be called before Start().
+  void HandlePost(std::string path, RequestHandler handler);
+
   /// Binds, listens, and spawns the accept + worker threads. Fails if the
   /// port is taken or the address does not parse.
   Status Start();
@@ -112,6 +128,7 @@ class HttpServer {
 
   Options options_;
   std::map<std::string, RequestHandler> handlers_;
+  std::map<std::string, RequestHandler> post_handlers_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -87,6 +87,38 @@ constexpr HelpEntry kBuiltinHelp[] = {
     {"hom.predict.concepts_skipped_total",
      "Concept evaluations avoided by zero weights and Section III-C "
      "pruning."},
+    {"hom.replication.acked_sequence",
+     "Checkpoint sequence the standby last acknowledged to this primary."},
+    {"hom.replication.applied",
+     "Replication checkpoints applied by this standby."},
+    {"hom.replication.applied_sequence",
+     "Checkpoint sequence this standby last applied."},
+    {"hom.replication.apply_failures",
+     "Uploaded checkpoints rejected by this standby (corrupt, stale, or "
+     "mismatched)."},
+    {"hom.replication.heartbeat_age_seconds",
+     "Seconds since the standby last heard from its primary."},
+    {"hom.replication.lag_records",
+     "Records the primary has scored beyond the standby's applied "
+     "checkpoint."},
+    {"hom.replication.promotions",
+     "Standby-to-primary promotions performed by this process."},
+    {"hom.replication.ship_attempts",
+     "Checkpoint upload attempts sent on the wire (including retries)."},
+    {"hom.replication.ship_failures",
+     "Checkpoint ships abandoned after the retry budget."},
+    {"hom.replication.ship_retries",
+     "Checkpoint upload retries triggered by transport faults or "
+     "rejections."},
+    {"hom.replication.shipped_bytes",
+     "Bytes of checkpoint payload acknowledged by the standby."},
+    {"hom.replication.ships",
+     "Checkpoints successfully shipped to the standby."},
+    {"hom.replication.swap_pause_ms",
+     "Milliseconds the serving loop paused for the most recent hot model "
+     "swap."},
+    {"hom.replication.swaps",
+     "Hot model swaps completed under live traffic."},
     {"hom.serve.stage_seconds",
      "Per-request stage latency (parse/sanitize/predict/observe/"
      "checkpoint and HTTP stages) in seconds."},

@@ -1,0 +1,324 @@
+#include "replication/replica.h"
+
+#include <utility>
+
+#include "obs/event_journal.h"
+#include "obs/metrics.h"
+
+namespace hom::replication {
+
+namespace {
+
+constexpr char kFullContentType[] = "application/x-hom-checkpoint";
+constexpr char kDeltaContentType[] = "application/x-hom-checkpoint-delta";
+
+obs::HttpResponse JsonResponse(int status, obs::JsonValue body) {
+  obs::HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = body.Dump() + "\n";
+  return response;
+}
+
+obs::HttpResponse ErrorResponse(int status, const std::string& error,
+                                const std::string& detail = std::string()) {
+  obs::JsonValue body = obs::JsonValue::Object();
+  body.Set("error", obs::JsonValue(error));
+  if (!detail.empty()) body.Set("detail", obs::JsonValue(detail));
+  return JsonResponse(status, std::move(body));
+}
+
+}  // namespace
+
+StandbyReplica::StandbyReplica(HighOrderClassifier* model,
+                               ReplicaOptions options)
+    : model_(model),
+      options_(std::move(options)),
+      last_heard_(std::chrono::steady_clock::now()) {}
+
+void StandbyReplica::RegisterHandlers(obs::HttpServer* server) {
+  server->HandlePost("/replicaz/checkpoint",
+                     [this](const obs::HttpRequest& request) {
+                       return HandleCheckpointUpload(request);
+                     });
+  server->HandlePost("/replicaz/heartbeat",
+                     [this](const obs::HttpRequest& request) {
+                       return HandleHeartbeat(request);
+                     });
+  server->HandlePost("/replicaz/promote",
+                     [this](const obs::HttpRequest& request) {
+                       return HandlePromoteRequest(request);
+                     });
+  server->Handle("/replicaz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatusJson().Dump(2) + "\n";
+    return response;
+  });
+}
+
+obs::HttpResponse StandbyReplica::ApplyFullBytesLocked(
+    std::string full_bytes) {
+  Result<ServingCheckpoint> parsed = ParseCheckpoint(full_bytes);
+  if (!parsed.ok()) {
+    HOM_COUNTER_INC("hom.replication.apply_failures");
+    return ErrorResponse(400, "checkpoint rejected",
+                         parsed.status().ToString());
+  }
+  ServingCheckpoint ckpt = std::move(parsed).ValueOrDie();
+  if (!ckpt.has_replication) {
+    HOM_COUNTER_INC("hom.replication.apply_failures");
+    return ErrorResponse(400, "checkpoint rejected",
+                         "missing replication metadata (RPLC section)");
+  }
+  // Structural identity, not a raw-byte CRC: the HOMC section framing
+  // makes whole-file Crc32 blind to payload edits (see CheckpointIdentity).
+  Result<uint32_t> identity = CheckpointIdentity(full_bytes);
+  if (!identity.ok()) {
+    HOM_COUNTER_INC("hom.replication.apply_failures");
+    return ErrorResponse(400, "checkpoint rejected",
+                         identity.status().ToString());
+  }
+  uint32_t crc = identity.ValueOrDie();
+  if (ckpt.replication.primary_epoch < primary_epoch_) {
+    return ErrorResponse(409, "stale epoch",
+                         "checkpoint epoch " +
+                             std::to_string(ckpt.replication.primary_epoch) +
+                             " below current " +
+                             std::to_string(primary_epoch_));
+  }
+  if (ckpt.replication.primary_epoch == primary_epoch_ &&
+      ckpt.replication.sequence <= applied_sequence_) {
+    if (ckpt.replication.sequence == applied_sequence_ &&
+        crc == applied_crc_) {
+      // A retry of the ship whose ack we already sent; acknowledge again
+      // rather than punishing the primary for a lost response.
+      obs::JsonValue ok = obs::JsonValue::Object();
+      ok.Set("applied_sequence", obs::JsonValue(applied_sequence_));
+      ok.Set("crc", obs::JsonValue(static_cast<uint64_t>(applied_crc_)));
+      ok.Set("duplicate", obs::JsonValue(true));
+      return JsonResponse(200, std::move(ok));
+    }
+    return ErrorResponse(409, "stale sequence",
+                         "checkpoint sequence " +
+                             std::to_string(ckpt.replication.sequence) +
+                             " not beyond applied " +
+                             std::to_string(applied_sequence_));
+  }
+  Status applied = ApplyCheckpoint(ckpt, model_);
+  if (!applied.ok()) {
+    HOM_COUNTER_INC("hom.replication.apply_failures");
+    return ErrorResponse(400, "checkpoint rejected", applied.ToString());
+  }
+  applied_bytes_ = std::move(full_bytes);
+  applied_crc_ = crc;
+  applied_sequence_ = ckpt.replication.sequence;
+  primary_epoch_ = ckpt.replication.primary_epoch;
+  primary_id_ = ckpt.replication.primary_id;
+  if (ckpt.stream_offset > primary_record_) {
+    primary_record_ = ckpt.stream_offset;
+  }
+  last_ckpt_ = std::move(ckpt);
+  have_ckpt_ = true;
+  last_heard_ = std::chrono::steady_clock::now();
+  HOM_COUNTER_INC("hom.replication.applied");
+  HOM_GAUGE_SET("hom.replication.applied_sequence",
+                static_cast<double>(applied_sequence_));
+  HOM_GAUGE_SET("hom.replication.lag_records",
+                static_cast<double>(primary_record_ -
+                                    last_ckpt_.stream_offset));
+  obs::JsonValue ok = obs::JsonValue::Object();
+  ok.Set("applied_sequence", obs::JsonValue(applied_sequence_));
+  ok.Set("crc", obs::JsonValue(static_cast<uint64_t>(applied_crc_)));
+  ok.Set("stream_offset", obs::JsonValue(last_ckpt_.stream_offset));
+  return JsonResponse(200, std::move(ok));
+}
+
+obs::HttpResponse StandbyReplica::HandleCheckpointUpload(
+    const obs::HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (promoted_) {
+    return ErrorResponse(409, "replica promoted",
+                         "this replica is primary now (epoch " +
+                             std::to_string(primary_epoch_ + 1) + ")");
+  }
+  // Content type arrives via query parameter `kind` when the uploader
+  // cannot set headers; the shipper uses the content type itself, which
+  // the server does not parse — so the path splits on the body magic.
+  if (request.body.size() >= 8 && request.body.compare(4, 4, "HOMD") == 0) {
+    if (applied_bytes_.empty()) {
+      return ErrorResponse(409, "unknown delta base",
+                           "no checkpoint applied yet; send a full one");
+    }
+    Result<std::string> rebuilt =
+        ApplyCheckpointDelta(applied_bytes_, request.body);
+    if (!rebuilt.ok()) {
+      if (rebuilt.status().IsFailedPrecondition()) {
+        return ErrorResponse(409, "unknown delta base",
+                             rebuilt.status().ToString());
+      }
+      HOM_COUNTER_INC("hom.replication.apply_failures");
+      return ErrorResponse(400, "checkpoint delta rejected",
+                           rebuilt.status().ToString());
+    }
+    return ApplyFullBytesLocked(std::move(rebuilt).ValueOrDie());
+  }
+  return ApplyFullBytesLocked(request.body);
+}
+
+obs::HttpResponse StandbyReplica::HandleHeartbeat(
+    const obs::HttpRequest& request) {
+  Result<obs::JsonValue> parsed = obs::JsonValue::Parse(request.body);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return ErrorResponse(400, "malformed heartbeat");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (promoted_) {
+    return ErrorResponse(409, "replica promoted",
+                         "stop shipping; this replica is primary now");
+  }
+  if (const obs::JsonValue* record = parsed->Find("record");
+      record != nullptr && record->is_number() &&
+      record->as_double() >= 0.0) {
+    uint64_t position = static_cast<uint64_t>(record->as_double());
+    if (position > primary_record_) primary_record_ = position;
+  }
+  if (const obs::JsonValue* id = parsed->Find("primary_id");
+      id != nullptr && id->is_string()) {
+    primary_id_ = id->as_string();
+  }
+  last_heard_ = std::chrono::steady_clock::now();
+  obs::JsonValue ok = obs::JsonValue::Object();
+  uint64_t applied_offset = have_ckpt_ ? last_ckpt_.stream_offset : 0;
+  ok.Set("lag_records",
+         obs::JsonValue(primary_record_ > applied_offset
+                            ? primary_record_ - applied_offset
+                            : 0));
+  return JsonResponse(200, std::move(ok));
+}
+
+obs::HttpResponse StandbyReplica::HandlePromoteRequest(
+    const obs::HttpRequest&) {
+  Promote("manual request");
+  obs::JsonValue ok = obs::JsonValue::Object();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ok.Set("promoted", obs::JsonValue(true));
+    ok.Set("epoch", obs::JsonValue(primary_epoch_ + 1));
+    ok.Set("resume_offset",
+           obs::JsonValue(have_ckpt_ ? last_ckpt_.stream_offset : 0));
+  }
+  return JsonResponse(200, std::move(ok));
+}
+
+obs::JsonValue StandbyReplica::StatusJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::JsonValue status = obs::JsonValue::Object();
+  status.Set("state",
+             obs::JsonValue(promoted_ ? "primary" : "standby"));
+  status.Set("replica_id", obs::JsonValue(options_.replica_id));
+  status.Set("applied_sequence", obs::JsonValue(applied_sequence_));
+  status.Set("primary_epoch", obs::JsonValue(primary_epoch_));
+  status.Set("primary_id", obs::JsonValue(primary_id_));
+  uint64_t applied_offset = have_ckpt_ ? last_ckpt_.stream_offset : 0;
+  status.Set("applied_offset", obs::JsonValue(applied_offset));
+  status.Set("lag_records",
+             obs::JsonValue(primary_record_ > applied_offset
+                                ? primary_record_ - applied_offset
+                                : 0));
+  if (have_ckpt_) {
+    obs::JsonValue fingerprint = obs::JsonValue::Object();
+    fingerprint.Set("schema",
+                    obs::JsonValue(static_cast<uint64_t>(
+                        last_ckpt_.schema_fingerprint)));
+    fingerprint.Set("crc",
+                    obs::JsonValue(static_cast<uint64_t>(applied_crc_)));
+    status.Set("last_checkpoint", std::move(fingerprint));
+  }
+  double age_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - last_heard_)
+          .count();
+  status.Set("heartbeat_age_ms", obs::JsonValue(age_ms));
+  status.Set("promote_after_ms",
+             obs::JsonValue(options_.promote_after_ms));
+  status.Set("primary_alive",
+             obs::JsonValue(options_.promote_after_ms == 0 ||
+                            age_ms < options_.promote_after_ms));
+  return status;
+}
+
+bool StandbyReplica::MaybePromote() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (promoted_ || options_.promote_after_ms == 0) return false;
+    double age_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - last_heard_)
+            .count();
+    if (age_ms < static_cast<double>(options_.promote_after_ms)) {
+      return false;
+    }
+  }
+  Promote("heartbeat loss");
+  return true;
+}
+
+void StandbyReplica::Promote(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (promoted_) return;
+  promoted_ = true;
+  HOM_COUNTER_INC("hom.replication.promotions");
+  obs::EmitIfActive(
+      obs::EventType::kReplicaPromoted, reason,
+      have_ckpt_ ? static_cast<int64_t>(last_ckpt_.stream_offset) : -1, -1,
+      -1, static_cast<double>(primary_epoch_ + 1));
+}
+
+bool StandbyReplica::promoted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promoted_;
+}
+
+bool StandbyReplica::has_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return have_ckpt_;
+}
+
+ServingCheckpoint StandbyReplica::last_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ckpt_;
+}
+
+uint64_t StandbyReplica::applied_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_sequence_;
+}
+
+uint64_t StandbyReplica::promoted_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primary_epoch_ + 1;
+}
+
+uint64_t StandbyReplica::lag_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t applied_offset = have_ckpt_ ? last_ckpt_.stream_offset : 0;
+  return primary_record_ > applied_offset ? primary_record_ - applied_offset
+                                          : 0;
+}
+
+double StandbyReplica::heartbeat_age_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - last_heard_)
+      .count();
+}
+
+void StandbyReplica::UpdateGauges() const {
+  HOM_GAUGE_SET("hom.replication.lag_records",
+                static_cast<double>(lag_records()));
+  HOM_GAUGE_SET("hom.replication.heartbeat_age_seconds",
+                heartbeat_age_ms() / 1000.0);
+}
+
+}  // namespace hom::replication

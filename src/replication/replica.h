@@ -1,0 +1,114 @@
+#ifndef HOM_REPLICATION_REPLICA_H_
+#define HOM_REPLICATION_REPLICA_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "highorder/checkpoint.h"
+#include "highorder/highorder_classifier.h"
+#include "obs/http_server.h"
+#include "obs/json.h"
+
+namespace hom::replication {
+
+struct ReplicaOptions {
+  /// Sustained heartbeat loss (milliseconds since the primary was last
+  /// heard) after which MaybePromote() takes over. 0 disables automatic
+  /// promotion — only POST /replicaz/promote or Promote() promote.
+  uint64_t promote_after_ms = 10000;
+  /// Identity reported on /replicaz and stamped when this replica later
+  /// ships as a primary.
+  std::string replica_id = "standby";
+};
+
+/// \brief Standby-side replication: applies checkpoints uploaded by a
+/// CheckpointShipper to a warm model, tracks lag and primary liveness,
+/// serves /replicaz status, and promotes to primary on sustained
+/// heartbeat loss.
+///
+/// Promotion freezes the replica: once promoted, further uploads and
+/// heartbeats answer 409 (a deposed primary must stop, not fork state).
+/// The last applied checkpoint — harness counters and all — is the resume
+/// point; PR 4's exact-resume guarantee makes the promoted standby's
+/// subsequent predictions bit-identical to an uninterrupted run.
+///
+/// Thread model: the upload/heartbeat handlers run on the HttpServer
+/// worker thread, the promotion poll on the serving thread; one mutex
+/// guards all replica state. The model pointer is only written through
+/// ApplyCheckpoint before promotion, and the serving loop only reads it
+/// after promotion, so the two sides never race on the classifier.
+class StandbyReplica {
+ public:
+  StandbyReplica(HighOrderClassifier* model, ReplicaOptions options);
+
+  /// Registers POST /replicaz/checkpoint, POST /replicaz/heartbeat,
+  /// POST /replicaz/promote, and GET /replicaz on `server`. Call before
+  /// server->Start().
+  void RegisterHandlers(obs::HttpServer* server);
+
+  /// POST /replicaz/checkpoint — also callable directly in tests.
+  /// `request.body` holds HOMC bytes (content-type
+  /// application/x-hom-checkpoint) or HOMD delta bytes
+  /// (application/x-hom-checkpoint-delta).
+  obs::HttpResponse HandleCheckpointUpload(const obs::HttpRequest& request);
+
+  /// POST /replicaz/heartbeat with {"record","epoch","sequence",...}.
+  obs::HttpResponse HandleHeartbeat(const obs::HttpRequest& request);
+
+  /// POST /replicaz/promote — manual failover.
+  obs::HttpResponse HandlePromoteRequest(const obs::HttpRequest& request);
+
+  /// GET /replicaz status document.
+  obs::JsonValue StatusJson() const;
+
+  /// Promotes when the primary has been silent for promote_after_ms.
+  /// Returns true when a promotion happened on this call.
+  bool MaybePromote();
+
+  /// Unconditional promotion (manual failover, tests). Idempotent.
+  void Promote(const std::string& reason);
+
+  bool promoted() const;
+  /// True once at least one checkpoint has been applied.
+  bool has_checkpoint() const;
+  /// Copy of the last applied checkpoint (the promotion resume point).
+  ServingCheckpoint last_checkpoint() const;
+  uint64_t applied_sequence() const;
+  /// Epoch this replica serves with after promotion (last primary's + 1).
+  uint64_t promoted_epoch() const;
+  /// Records the primary has scored beyond our last applied checkpoint,
+  /// going by its most recent heartbeat.
+  uint64_t lag_records() const;
+  double heartbeat_age_ms() const;
+
+  /// Refreshes the hom.replication.{lag_records,heartbeat_age_seconds}
+  /// gauges; the standby wait loop calls this periodically.
+  void UpdateGauges() const;
+
+ private:
+  /// Full-checkpoint apply path shared by full and delta uploads.
+  /// `full_bytes` must be HOMC bytes. Maps failures to HTTP codes via
+  /// the returned response.
+  obs::HttpResponse ApplyFullBytesLocked(std::string full_bytes);
+
+  mutable std::mutex mu_;
+  HighOrderClassifier* model_;
+  ReplicaOptions options_;
+  std::string applied_bytes_;  ///< delta base: last applied full bytes
+  uint32_t applied_crc_ = 0;
+  ServingCheckpoint last_ckpt_;
+  bool have_ckpt_ = false;
+  uint64_t applied_sequence_ = 0;
+  uint64_t primary_epoch_ = 0;
+  uint64_t primary_record_ = 0;
+  std::string primary_id_;
+  std::chrono::steady_clock::time_point last_heard_;
+  bool promoted_ = false;
+};
+
+}  // namespace hom::replication
+
+#endif  // HOM_REPLICATION_REPLICA_H_

@@ -1,0 +1,134 @@
+#include "replication/shipper.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hom::replication {
+
+namespace {
+
+constexpr char kCheckpointPath[] = "/replicaz/checkpoint";
+constexpr char kHeartbeatPath[] = "/replicaz/heartbeat";
+constexpr char kFullContentType[] = "application/x-hom-checkpoint";
+constexpr char kDeltaContentType[] = "application/x-hom-checkpoint-delta";
+
+}  // namespace
+
+CheckpointShipper::CheckpointShipper(ShipperOptions options)
+    : options_(std::move(options)),
+      client_(options_.host, options_.port, options_.http) {}
+
+Result<HttpResponseMessage> CheckpointShipper::PostBody(
+    const std::string& content_type, const std::string& body,
+    size_t attempt) {
+  HOM_COUNTER_INC("hom.replication.ship_attempts");
+  std::string wire = body;
+  if (options_.fault_hook) options_.fault_hook(attempt, &wire);
+  return client_.Post(kCheckpointPath, content_type, wire);
+}
+
+Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
+  ServingCheckpoint stamped = ckpt;
+  stamped.has_replication = true;
+  stamped.replication.sequence = sequence_ + 1;
+  stamped.replication.primary_epoch = options_.primary_epoch;
+  stamped.replication.primary_id = options_.primary_id;
+  HOM_ASSIGN_OR_RETURN(std::string full_bytes, SerializeCheckpoint(stamped));
+
+  bool use_delta = options_.prefer_delta && !acked_bytes_.empty();
+  std::string delta_bytes;
+  if (use_delta) {
+    Result<std::string> encoded =
+        EncodeCheckpointDelta(acked_bytes_, full_bytes);
+    if (encoded.ok()) {
+      delta_bytes = std::move(encoded).ValueOrDie();
+    } else {
+      use_delta = false;  // unencodable base: ship full instead of failing
+    }
+  }
+
+  BackoffSchedule schedule(options_.backoff, options_.port);
+  ShipReport report;
+  Status last_error;
+  for (size_t attempt = 0;; ++attempt) {
+    const std::string& body = use_delta ? delta_bytes : full_bytes;
+    Result<HttpResponseMessage> sent =
+        PostBody(use_delta ? kDeltaContentType : kFullContentType, body,
+                 attempt);
+    report.attempts = attempt + 1;
+    if (sent.ok() && sent->status == 200) {
+      sequence_ += 1;
+      acked_bytes_ = full_bytes;
+      report.sequence = sequence_;
+      report.delta = use_delta;
+      report.wire_bytes = body.size();
+      HOM_COUNTER_INC("hom.replication.ships");
+      HOM_COUNTER_ADD("hom.replication.shipped_bytes",
+                      static_cast<double>(body.size()));
+      HOM_GAUGE_SET("hom.replication.acked_sequence",
+                    static_cast<double>(sequence_));
+      return report;
+    }
+    bool retryable;
+    if (!sent.ok()) {
+      // Transport: refused, deadline, truncated response — the classic
+      // transient set.
+      last_error = sent.status();
+      retryable = true;
+    } else if (sent->status == 409 && use_delta) {
+      // The standby does not hold our delta base (it restarted, or this
+      // is the first contact after a promotion). Not a failure — switch
+      // to a full transfer and keep the same attempt budget.
+      use_delta = false;
+      retryable = true;
+      last_error = Status::FailedPrecondition("standby rejected delta base");
+    } else if (sent->status == 400 || sent->status >= 500) {
+      // 400 means the body arrived but failed validation; our local copy
+      // is intact, so the damage happened in flight — retrying sends a
+      // fresh copy. 5xx/503 is the standby overloaded or restarting.
+      last_error = Status::IoError(
+          "standby answered " + std::to_string(sent->status) + ": " +
+          sent->body);
+      retryable = true;
+    } else {
+      HOM_COUNTER_INC("hom.replication.ship_failures");
+      return Status::FailedPrecondition(
+          "standby permanently rejected checkpoint (HTTP " +
+          std::to_string(sent->status) + "): " + sent->body);
+    }
+    if (!retryable || schedule.ShouldGiveUp(report.attempts)) break;
+    HOM_COUNTER_INC("hom.replication.ship_retries");
+    uint64_t delay = schedule.DelayMs(attempt);
+    if (options_.http.sleep_ms) {
+      options_.http.sleep_ms(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  HOM_COUNTER_INC("hom.replication.ship_failures");
+  return Status::IoError("checkpoint ship gave up after " +
+                         std::to_string(report.attempts) +
+                         " attempts: " + last_error.ToString());
+}
+
+Status CheckpointShipper::Heartbeat(uint64_t stream_record) {
+  obs::JsonValue beat = obs::JsonValue::Object();
+  beat.Set("record", obs::JsonValue(stream_record));
+  beat.Set("epoch", obs::JsonValue(options_.primary_epoch));
+  beat.Set("sequence", obs::JsonValue(sequence_));
+  beat.Set("primary_id", obs::JsonValue(options_.primary_id));
+  HOM_ASSIGN_OR_RETURN(
+      HttpResponseMessage reply,
+      client_.Post(kHeartbeatPath, "application/json", beat.Dump()));
+  if (reply.status != 200) {
+    return Status::IoError("heartbeat answered " +
+                           std::to_string(reply.status) + ": " + reply.body);
+  }
+  return Status::OK();
+}
+
+}  // namespace hom::replication

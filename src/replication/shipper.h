@@ -1,0 +1,93 @@
+#ifndef HOM_REPLICATION_SHIPPER_H_
+#define HOM_REPLICATION_SHIPPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/backoff.h"
+#include "common/http_client.h"
+#include "common/result.h"
+#include "highorder/checkpoint.h"
+
+namespace hom::replication {
+
+/// What one Ship() round accomplished, for logs and bench.
+struct ShipReport {
+  uint64_t sequence = 0;   ///< sequence number the standby acknowledged
+  bool delta = false;      ///< true when a delta (not a full) went over
+  size_t wire_bytes = 0;   ///< request body size of the successful attempt
+  size_t attempts = 0;     ///< total wire attempts spent (>= 1)
+};
+
+struct ShipperOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Identity stamped into each checkpoint's RPLC section ("host:port" by
+  /// convention; shows up on the standby's /replicaz).
+  std::string primary_id = "primary";
+  /// Epoch stamped into shipped checkpoints. A promoted standby ships
+  /// with a higher epoch, so checkpoints from a deposed primary are
+  /// recognizably stale.
+  uint64_t primary_epoch = 1;
+  /// Ship deltas against the last acknowledged checkpoint when possible;
+  /// falls back to full transfers automatically on a 409 (unknown base).
+  bool prefer_delta = true;
+  /// Retry schedule for one Ship() round.
+  BackoffPolicy backoff;
+  /// Transport deadlines.
+  HttpClientOptions http;
+  /// Chaos seam: mutate the outgoing body per attempt (0-based) before it
+  /// hits the wire — bit flips and truncation of in-flight checkpoints.
+  std::function<void(size_t attempt, std::string* body)> fault_hook;
+};
+
+/// \brief Primary-side replication: serializes ServingCheckpoints
+/// (stamped with sequence/epoch/identity), encodes them as deltas against
+/// the last acknowledged state, and POSTs them to a standby's
+/// /replicaz/checkpoint with capped exponential backoff.
+///
+/// Failure handling, per attempt:
+///  - transport errors (refused, timeout, truncated) retry on the backoff
+///    schedule — the standby being down briefly must not kill the primary;
+///  - 400 retries with a freshly serialized body (our copy is intact, so
+///    a CRC rejection means in-flight corruption — transient);
+///  - 409 with an unknown-base detail switches to a full transfer;
+///  - anything else (404, 405, 413) is a permanent configuration error.
+/// Every outcome is a clean Status; Ship() never throws or crashes.
+class CheckpointShipper {
+ public:
+  explicit CheckpointShipper(ShipperOptions options);
+
+  /// Ships `ckpt` (harness counters filled by the caller) and returns
+  /// once the standby acknowledged it or the backoff policy gave up.
+  Result<ShipReport> Ship(const ServingCheckpoint& ckpt);
+
+  /// Lightweight liveness + position beacon between checkpoints: POSTs
+  /// {record, epoch, sequence} to /replicaz/heartbeat, single-shot (the
+  /// next heartbeat supersedes a lost one, so no retry).
+  Status Heartbeat(uint64_t stream_record);
+
+  /// Sequence number the next Ship() will stamp.
+  uint64_t next_sequence() const { return sequence_ + 1; }
+  /// Sequence of the last acknowledged ship (0 before the first).
+  uint64_t acked_sequence() const { return sequence_; }
+
+ private:
+  /// One POST of `body` to /replicaz/checkpoint. Fills `reply` on any
+  /// HTTP response; a non-OK return is a transport failure.
+  Result<HttpResponseMessage> PostBody(const std::string& content_type,
+                                       const std::string& body,
+                                       size_t attempt);
+
+  ShipperOptions options_;
+  HttpClient client_;
+  uint64_t sequence_ = 0;
+  /// Full serialized bytes of the last checkpoint the standby
+  /// acknowledged — the delta base both sides agree on.
+  std::string acked_bytes_;
+};
+
+}  // namespace hom::replication
+
+#endif  // HOM_REPLICATION_SHIPPER_H_

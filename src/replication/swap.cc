@@ -1,0 +1,141 @@
+#include "replication/swap.h"
+
+#include <algorithm>
+
+#include "highorder/serialization.h"
+
+namespace hom::replication {
+
+Result<ConceptMapping> MapConcepts(const HighOrderClassifier& old_model,
+                                   const HighOrderClassifier& new_model,
+                                   const Dataset& probe) {
+  if (probe.empty()) {
+    return Status::InvalidArgument("concept mapping needs a non-empty probe");
+  }
+  HOM_ASSIGN_OR_RETURN(uint32_t old_fp, SchemaFingerprint(*old_model.schema()));
+  HOM_ASSIGN_OR_RETURN(uint32_t new_fp, SchemaFingerprint(*new_model.schema()));
+  if (old_fp != new_fp) {
+    return Status::InvalidArgument(
+        "models disagree on the schema (fingerprint mismatch); a swap "
+        "must stay on the same stream");
+  }
+  size_t old_n = old_model.num_concepts();
+  size_t new_n = new_model.num_concepts();
+  if (old_n == 0 || new_n == 0) {
+    return Status::InvalidArgument("cannot map to or from an empty model");
+  }
+  // Each concept's base classifier labels the probe once; agreement is
+  // then a pairwise comparison of cached label vectors.
+  auto label_probe = [&probe](const HighOrderClassifier& model, size_t c) {
+    std::vector<Label> labels(probe.size());
+    for (size_t r = 0; r < probe.size(); ++r) {
+      labels[r] = model.concept_model(c).model->Predict(probe.record(r));
+    }
+    return labels;
+  };
+  std::vector<std::vector<Label>> old_labels(old_n);
+  for (size_t i = 0; i < old_n; ++i) old_labels[i] = label_probe(old_model, i);
+  std::vector<std::vector<Label>> new_labels(new_n);
+  for (size_t j = 0; j < new_n; ++j) new_labels[j] = label_probe(new_model, j);
+
+  ConceptMapping mapping;
+  mapping.old_to_new.resize(old_n);
+  mapping.agreement.resize(old_n);
+  for (size_t i = 0; i < old_n; ++i) {
+    size_t best = 0;
+    size_t best_matches = 0;
+    for (size_t j = 0; j < new_n; ++j) {
+      size_t matches = 0;
+      for (size_t r = 0; r < probe.size(); ++r) {
+        if (old_labels[i][r] == new_labels[j][r]) ++matches;
+      }
+      if (matches > best_matches) {  // strict: ties keep the lowest j
+        best_matches = matches;
+        best = j;
+      }
+    }
+    mapping.old_to_new[i] = best;
+    mapping.agreement[i] =
+        static_cast<double>(best_matches) / static_cast<double>(probe.size());
+  }
+  return mapping;
+}
+
+Result<HighOrderRuntimeState> MigrateRuntimeState(
+    const HighOrderRuntimeState& old_state, const ConceptMapping& mapping,
+    size_t new_num_concepts) {
+  size_t old_n = old_state.posterior.size();
+  if (old_state.prior.size() != old_n) {
+    return Status::InvalidArgument(
+        "state prior/posterior disagree on the concept count");
+  }
+  if (mapping.old_to_new.size() != old_n) {
+    return Status::InvalidArgument(
+        "mapping covers " + std::to_string(mapping.old_to_new.size()) +
+        " concepts, state has " + std::to_string(old_n));
+  }
+  if (new_num_concepts == 0) {
+    return Status::InvalidArgument("cannot migrate onto zero concepts");
+  }
+  for (size_t target : mapping.old_to_new) {
+    if (target >= new_num_concepts) {
+      return Status::InvalidArgument("mapping target out of range");
+    }
+  }
+  HighOrderRuntimeState migrated;
+  migrated.prior.assign(new_num_concepts, 0.0);
+  migrated.posterior.assign(new_num_concepts, 0.0);
+  for (size_t i = 0; i < old_n; ++i) {
+    size_t j = mapping.old_to_new[i];
+    migrated.prior[j] += old_state.prior[i];
+    migrated.posterior[j] += old_state.posterior[i];
+  }
+  // Summed probabilities can exceed 1.0 by a few ulps; clamp so the
+  // restore-side range validation never trips on float dust.
+  for (std::vector<double>* v : {&migrated.prior, &migrated.posterior}) {
+    for (double& p : *v) p = std::min(p, 1.0);
+  }
+  // Weights are a derived cache keyed to the old concept set; zero them
+  // and let the next labeled record rebuild against the new model.
+  migrated.weights.assign(new_num_concepts, 0.0);
+  migrated.weights_stale = true;
+  migrated.base_evaluations = old_state.base_evaluations;
+  migrated.predictions = old_state.predictions;
+  migrated.observations = old_state.observations;
+  migrated.last_top_concept =
+      old_state.last_top_concept >= 0
+          ? static_cast<int64_t>(
+                mapping.old_to_new[static_cast<size_t>(
+                    old_state.last_top_concept)])
+          : -1;
+  migrated.drift_suspected = old_state.drift_suspected;
+  migrated.until_latency_sample = old_state.until_latency_sample;
+  migrated.last_prediction = old_state.last_prediction;
+  return migrated;
+}
+
+Result<ConceptMapping> MigrateModelState(const HighOrderClassifier& old_model,
+                                         HighOrderClassifier* new_model,
+                                         const Dataset& probe) {
+  if (new_model == nullptr) {
+    return Status::InvalidArgument("new model must not be null");
+  }
+  HOM_ASSIGN_OR_RETURN(ConceptMapping mapping,
+                       MapConcepts(old_model, *new_model, probe));
+  HOM_ASSIGN_OR_RETURN(
+      HighOrderRuntimeState migrated,
+      MigrateRuntimeState(old_model.ExportRuntimeState(), mapping,
+                          new_model->num_concepts()));
+  // Restore state first (it validates and can fail without touching the
+  // model), then carry the input sanitizer's imputation statistics so the
+  // repair policy keeps its learned column medians across the swap.
+  HOM_RETURN_NOT_OK(new_model->RestoreRuntimeState(migrated));
+  HOM_ASSIGN_OR_RETURN(std::string sanitizer,
+                       old_model.ExportSanitizerState());
+  if (!sanitizer.empty()) {
+    HOM_RETURN_NOT_OK(new_model->RestoreSanitizerState(sanitizer));
+  }
+  return mapping;
+}
+
+}  // namespace hom::replication

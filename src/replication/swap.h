@@ -1,0 +1,55 @@
+#ifndef HOM_REPLICATION_SWAP_H_
+#define HOM_REPLICATION_SWAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "highorder/highorder_classifier.h"
+
+namespace hom::replication {
+
+/// Old-concept -> new-concept correspondence computed by MapConcepts.
+struct ConceptMapping {
+  /// For each old concept, the new concept whose base classifier agrees
+  /// with it most often on the probe set (ties break to the lowest new
+  /// index, so the mapping is deterministic).
+  std::vector<size_t> old_to_new;
+  /// The winning agreement fraction per old concept, in [0, 1].
+  std::vector<double> agreement;
+};
+
+/// Computes the concept correspondence between two models trained for the
+/// same schema by probing every (old, new) concept pair on `probe`:
+/// agreement(i, j) is the fraction of probe records where old concept i's
+/// base classifier and new concept j's predict the same label. The probe
+/// set is the caller's choice but must be deterministic (the serving swap
+/// uses a fixed prefix of the online stream) — the mapping, and therefore
+/// the migrated posterior, must be reproducible offline.
+Result<ConceptMapping> MapConcepts(const HighOrderClassifier& old_model,
+                                   const HighOrderClassifier& new_model,
+                                   const Dataset& probe);
+
+/// Projects a Markov-filter state through `mapping` onto a model with
+/// `new_num_concepts` concepts: the posterior (and prior) mass of each old
+/// concept lands on its mapped new concept, so the drift filter keeps its
+/// accumulated belief about which regime holds the stream instead of
+/// rewinding to the uniform prior. Prediction weights are zeroed and
+/// marked stale — they are a cache, rebuilt from the next labeled record.
+/// Counters and hysteresis flags carry over unchanged.
+Result<HighOrderRuntimeState> MigrateRuntimeState(
+    const HighOrderRuntimeState& old_state, const ConceptMapping& mapping,
+    size_t new_num_concepts);
+
+/// The full swap: captures `old_model`'s runtime + sanitizer state, maps
+/// concepts over `probe`, migrates the state, and restores it into
+/// `new_model`. On any failure `new_model` keeps its pre-call state.
+/// Returns the mapping actually used (for logs and verification).
+Result<ConceptMapping> MigrateModelState(const HighOrderClassifier& old_model,
+                                         HighOrderClassifier* new_model,
+                                         const Dataset& probe);
+
+}  // namespace hom::replication
+
+#endif  // HOM_REPLICATION_SWAP_H_

@@ -131,17 +131,34 @@ TEST_F(AlertsTest, ValidationCatchesBadPacks) {
 
 TEST_F(AlertsTest, DefaultPackIsValidAndCoversModelHealth) {
   std::vector<AlertRule> pack = DefaultAlertRules(0.3);
-  EXPECT_EQ(pack.size(), 6u);
+  EXPECT_EQ(pack.size(), 8u);
   auto engine = AlertEngine::Make(pack);
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  EXPECT_EQ((*engine)->num_rules(), 6u);
+  EXPECT_EQ((*engine)->num_rules(), 8u);
   bool has_slo_page = false;
+  bool has_replication_lag = false;
+  bool has_heartbeat_page = false;
   for (const AlertRule& rule : pack) {
     if (rule.name == "windowed-error-above-slo") {
       has_slo_page = rule.severity == "page" && rule.threshold == 0.3;
     }
+    // The replication rules must be thresholds, never absence: a
+    // non-replicated run publishes no hom.replication.* series, and an
+    // absence rule would page on that forever.
+    if (rule.name == "replication-lag-high") {
+      has_replication_lag = rule.kind == AlertRuleKind::kThreshold &&
+                            rule.series == "hom.replication.lag_records";
+    }
+    if (rule.name == "replication-heartbeat-lost") {
+      has_heartbeat_page =
+          rule.kind == AlertRuleKind::kThreshold &&
+          rule.series == "hom.replication.heartbeat_age_seconds" &&
+          rule.severity == "page";
+    }
   }
   EXPECT_TRUE(has_slo_page);
+  EXPECT_TRUE(has_replication_lag);
+  EXPECT_TRUE(has_heartbeat_page);
 }
 
 TEST_F(AlertsTest, HysteresisFireResolveRefire) {

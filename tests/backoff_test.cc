@@ -1,0 +1,122 @@
+/// \file
+/// Tests for BackoffSchedule: the exponential shape, the cap, jitter
+/// bounds, cross-instance determinism (the property replication relies
+/// on), domain separation, and the give-up rule.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/backoff.h"
+
+namespace hom {
+namespace {
+
+BackoffPolicy NoJitterPolicy() {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 1000;
+  policy.max_attempts = 5;
+  policy.jitter_fraction = 0.0;
+  return policy;
+}
+
+TEST(BackoffTest, ExponentialShapeWithoutJitter) {
+  BackoffSchedule schedule(NoJitterPolicy());
+  EXPECT_EQ(schedule.DelayMs(0), 100u);
+  EXPECT_EQ(schedule.DelayMs(1), 200u);
+  EXPECT_EQ(schedule.DelayMs(2), 400u);
+  EXPECT_EQ(schedule.DelayMs(3), 800u);
+}
+
+TEST(BackoffTest, CapAppliesBeforeJitter) {
+  BackoffSchedule schedule(NoJitterPolicy());
+  // 100 * 2^4 = 1600 > cap.
+  EXPECT_EQ(schedule.DelayMs(4), 1000u);
+  EXPECT_EQ(schedule.DelayMs(20), 1000u);
+  // Far past where the un-capped double would overflow: still the cap,
+  // never a wrapped or zero delay.
+  EXPECT_EQ(schedule.DelayMs(500), 1000u);
+}
+
+TEST(BackoffTest, JitterStaysInsideTheConfiguredBand) {
+  BackoffPolicy policy = NoJitterPolicy();
+  policy.jitter_fraction = 0.2;
+  policy.max_attempts = 0;
+  BackoffSchedule schedule(policy);
+  for (size_t attempt = 0; attempt < 64; ++attempt) {
+    uint64_t base = BackoffSchedule(NoJitterPolicy()).DelayMs(attempt);
+    uint64_t delay = schedule.DelayMs(attempt);
+    // -1 tolerance: the jittered product truncates, so the bottom edge of
+    // the band can land one integer below base * 0.8.
+    EXPECT_GE(delay + 1, base - base / 5) << "attempt " << attempt;
+    EXPECT_LE(delay, base + base / 5) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameDomainIsDeterministic) {
+  BackoffPolicy policy;
+  policy.seed = 42;
+  BackoffSchedule a(policy, /*domain=*/7);
+  BackoffSchedule b(policy, /*domain=*/7);
+  for (size_t attempt = 0; attempt < 32; ++attempt) {
+    EXPECT_EQ(a.DelayMs(attempt), b.DelayMs(attempt)) << attempt;
+  }
+  // DelayMs is a pure function: asking out of order or repeatedly does
+  // not perturb the schedule.
+  EXPECT_EQ(a.DelayMs(3), a.DelayMs(3));
+  uint64_t late = a.DelayMs(9);
+  a.DelayMs(0);
+  EXPECT_EQ(a.DelayMs(9), late);
+}
+
+TEST(BackoffTest, DomainsDrawIndependentJitter) {
+  BackoffPolicy policy;
+  policy.seed = 42;
+  BackoffSchedule a(policy, /*domain=*/1);
+  BackoffSchedule b(policy, /*domain=*/2);
+  size_t differing = 0;
+  for (size_t attempt = 0; attempt < 32; ++attempt) {
+    if (a.DelayMs(attempt) != b.DelayMs(attempt)) ++differing;
+  }
+  // With 20% jitter on distinct streams, near-total collision would mean
+  // the domain is being ignored.
+  EXPECT_GT(differing, 16u);
+}
+
+TEST(BackoffTest, GiveUpAfterMaxAttempts) {
+  BackoffPolicy policy;
+  policy.max_attempts = 3;
+  BackoffSchedule schedule(policy);
+  EXPECT_FALSE(schedule.ShouldGiveUp(0));
+  EXPECT_FALSE(schedule.ShouldGiveUp(2));
+  EXPECT_TRUE(schedule.ShouldGiveUp(3));
+  EXPECT_TRUE(schedule.ShouldGiveUp(100));
+}
+
+TEST(BackoffTest, ZeroMaxAttemptsMeansRetryForever) {
+  BackoffPolicy policy;
+  policy.max_attempts = 0;
+  BackoffSchedule schedule(policy);
+  EXPECT_FALSE(schedule.ShouldGiveUp(0));
+  EXPECT_FALSE(schedule.ShouldGiveUp(1u << 20));
+}
+
+TEST(BackoffTest, DegenerateConfigurationsAreClamped) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.multiplier = 0.25;   // shrinking backoff makes no sense: clamp to 1
+  policy.jitter_fraction = 9.0;  // clamp to 1 (full-range jitter)
+  policy.max_delay_ms = 10;      // cap below initial: raised to initial
+  BackoffSchedule schedule(policy);
+  for (size_t attempt = 0; attempt < 16; ++attempt) {
+    uint64_t delay = schedule.DelayMs(attempt);
+    // multiplier clamped to 1 and cap raised to initial: base stays 100,
+    // full jitter keeps it in [0, 200].
+    EXPECT_LE(delay, 200u) << attempt;
+  }
+}
+
+}  // namespace
+}  // namespace hom

@@ -1,0 +1,303 @@
+/// \file
+/// Tests for HttpClient against a real loopback HttpServer: GET/POST round
+/// trips, connection refusal as a clean Status, retry accounting with an
+/// injected sleeper, truncated responses from a raw-socket server thread,
+/// and the response-size cap.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "common/http_client.h"
+#include "obs/http_server.h"
+
+namespace hom {
+namespace {
+
+using obs::HttpRequest;
+using obs::HttpResponse;
+using obs::HttpServer;
+
+TEST(HttpClientTest, GetRoundTrip) {
+  HttpServer server;
+  server.Handle("/ping", [] {
+    return HttpResponse{200, "text/plain", "pong"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  auto response = client.Get("/ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "pong");
+  EXPECT_NE(response->content_type.find("text/plain"), std::string::npos);
+}
+
+TEST(HttpClientTest, LocalhostAliasResolves) {
+  HttpServer server;
+  server.Handle("/ping", [] { return HttpResponse{200, "text/plain", "x"}; });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("localhost", server.port());
+  auto response = client.Get("/ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST(HttpClientTest, PostRoundTripCarriesBinaryBody) {
+  HttpServer server;
+  server.HandlePost("/echo", [](const HttpRequest& request) {
+    return HttpResponse{200, "application/octet-stream", request.body};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  std::string body("bin\0\r\n\xff payload", 15);
+  auto response = client.Post("/echo", "application/octet-stream", body);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, body);
+}
+
+TEST(HttpClientTest, NonOkStatusIsAResponseNotAnError) {
+  HttpServer server;
+  server.Handle("/known", [] { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  auto response = client.Get("/missing");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 404);
+}
+
+TEST(HttpClientTest, ConnectionRefusedIsACleanStatus) {
+  // Bind-then-close: the kernel gave us a port nobody is listening on.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  HttpClientOptions options;
+  options.connect_timeout_ms = 500;
+  HttpClient client("127.0.0.1", dead_port, options);
+  auto response = client.Get("/anything");
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIoError()) << response.status().ToString();
+}
+
+TEST(HttpClientTest, BadHostIsInvalidArgumentNotACrash) {
+  HttpClient client("not-an-ip.example", 80);
+  auto response = client.Get("/");
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsInvalidArgument())
+      << response.status().ToString();
+}
+
+TEST(HttpClientTest, PostWithRetrySucceedsAfterTransientRefusals) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.HandlePost("/target", [&hits](const HttpRequest&) {
+    ++hits;
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Start pointed at a dead port; flip to the live one from the injected
+  // sleeper after two failures — the schedule's own delays never run.
+  int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(sock, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(sock, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(sock);
+
+  HttpClientOptions options;
+  options.connect_timeout_ms = 500;
+  options.backoff.initial_delay_ms = 10;
+  options.backoff.max_attempts = 5;
+  options.backoff.jitter_fraction = 0.0;
+  std::vector<uint64_t> slept;
+  HttpClient* client_ptr = nullptr;
+  uint16_t live_port = server.port();
+  options.sleep_ms = [&](uint64_t ms) {
+    slept.push_back(ms);
+    if (slept.size() == 2) client_ptr->set_port(live_port);
+  };
+  HttpClient client("127.0.0.1", dead_port, options);
+  client_ptr = &client;
+
+  HttpRetryStats stats;
+  auto response = client.PostWithRetry("/target", "text/plain", "b", &stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  // Deterministic no-jitter schedule: 10ms then 20ms.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0], 10u);
+  EXPECT_EQ(slept[1], 20u);
+  EXPECT_EQ(stats.backoff_ms, 30u);
+}
+
+TEST(HttpClientTest, PostWithRetryGivesUpCleanly) {
+  int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(sock, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(sock, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(sock);
+
+  HttpClientOptions options;
+  options.connect_timeout_ms = 200;
+  options.backoff.max_attempts = 3;
+  options.sleep_ms = [](uint64_t) {};  // no real sleeping in tests
+  HttpClient client("127.0.0.1", dead_port, options);
+  HttpRetryStats stats;
+  auto response = client.PostWithRetry("/x", "text/plain", "b", &stats);
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIoError()) << response.status().ToString();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(HttpClientTest, ClientErrorResponsesDoNotRetry) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.HandlePost("/reject", [&hits](const HttpRequest&) {
+    ++hits;
+    return HttpResponse{403, "text/plain", "no"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClientOptions options;
+  options.backoff.max_attempts = 5;
+  options.sleep_ms = [](uint64_t) {};
+  HttpClient client("127.0.0.1", server.port(), options);
+  HttpRetryStats stats;
+  auto response = client.PostWithRetry("/reject", "text/plain", "b", &stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 403);
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_EQ(stats.attempts, 1u);
+}
+
+TEST(HttpClientTest, ServerErrorResponsesDoRetry) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.HandlePost("/flaky", [&hits](const HttpRequest&) {
+    int n = ++hits;
+    return n < 3 ? HttpResponse{503, "text/plain", "later"}
+                 : HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClientOptions options;
+  options.backoff.max_attempts = 5;
+  options.backoff.initial_delay_ms = 1;
+  options.sleep_ms = [](uint64_t) {};
+  HttpClient client("127.0.0.1", server.port(), options);
+  HttpRetryStats stats;
+  auto response = client.PostWithRetry("/flaky", "text/plain", "b", &stats);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(stats.attempts, 3u);
+}
+
+/// One-shot raw server: accepts a single connection, writes `payload`
+/// verbatim, and closes. For exercising truncation and framing bugs the
+/// real HttpServer never produces.
+class RawServer {
+ public:
+  explicit RawServer(std::string payload) : payload_(std::move(payload)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(fd_, 1), 0);
+    thread_ = std::thread([this] {
+      int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn < 0) return;
+      char sink[1024];
+      ::recv(conn, sink, sizeof(sink), 0);  // drain the request head
+      ::send(conn, payload_.data(), payload_.size(), 0);
+      ::close(conn);
+    });
+  }
+
+  ~RawServer() {
+    if (thread_.joinable()) thread_.join();
+    ::close(fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  std::string payload_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(HttpClientTest, TruncatedResponseBodyIsAnIoError) {
+  RawServer server(
+      "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nonly this much");
+  HttpClient client("127.0.0.1", server.port());
+  auto response = client.Get("/x");
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIoError()) << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("truncated"),
+            std::string::npos);
+}
+
+TEST(HttpClientTest, MissingHeaderTerminatorIsAnIoError) {
+  RawServer server("HTTP/1.1 200 OK\r\nContent-Length: 5");
+  HttpClient client("127.0.0.1", server.port());
+  auto response = client.Get("/x");
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIoError()) << response.status().ToString();
+}
+
+TEST(HttpClientTest, OversizedResponseIsRejectedNotBuffered) {
+  HttpServer server;
+  server.Handle("/big", [] {
+    return HttpResponse{200, "text/plain", std::string(4096, 'x')};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClientOptions options;
+  options.max_response_bytes = 1024;
+  HttpClient client("127.0.0.1", server.port(), options);
+  auto response = client.Get("/big");
+  EXPECT_FALSE(response.ok());
+  EXPECT_NE(response.status().ToString().find("max_response_bytes"),
+            std::string::npos)
+      << response.status().ToString();
+}
+
+}  // namespace
+}  // namespace hom

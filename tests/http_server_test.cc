@@ -35,7 +35,8 @@ namespace {
 /// Sends `raw` to 127.0.0.1:`port` and returns everything the server wrote
 /// back before closing (responses are Connection: close, so read-to-EOF is
 /// the framing).
-std::string RawRequest(uint16_t port, const std::string& raw) {
+std::string RawRequest(uint16_t port, const std::string& raw,
+                       bool shutdown_write = false) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
   sockaddr_in addr{};
@@ -51,6 +52,10 @@ std::string RawRequest(uint16_t port, const std::string& raw) {
     if (n <= 0) break;
     sent += static_cast<size_t>(n);
   }
+  // Half-closing the write side hands the server a clean EOF, so a
+  // deliberately short body is detected immediately instead of after the
+  // server's read timeout.
+  if (shutdown_write) ::shutdown(fd, SHUT_WR);
   std::string response;
   char buf[4096];
   ssize_t n;
@@ -59,6 +64,14 @@ std::string RawRequest(uint16_t port, const std::string& raw) {
   }
   ::close(fd);
   return response;
+}
+
+std::string RawPost(uint16_t port, const std::string& path,
+                    const std::string& body) {
+  return RawRequest(port, "POST " + path + " HTTP/1.1\r\nHost: t\r\n" +
+                              "Content-Type: application/octet-stream\r\n" +
+                              "Content-Length: " +
+                              std::to_string(body.size()) + "\r\n\r\n" + body);
 }
 
 std::string Get(uint16_t port, const std::string& path,
@@ -151,6 +164,102 @@ TEST(HttpServerTest, NonGetMethodIs405) {
   ASSERT_TRUE(server.Start().ok());
   EXPECT_EQ(StatusOf(Get(server.port(), "/p", "POST")), 405);
   EXPECT_EQ(StatusOf(Get(server.port(), "/p", "DELETE")), 405);
+}
+
+TEST(HttpServerTest, PostBodyReachesTheHandler) {
+  HttpServer server;
+  server.HandlePost("/upload", [](const HttpRequest& request) {
+    HttpResponse r;
+    r.body = request.method + "|" + std::to_string(request.body.size()) +
+             "|" + request.body;
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  // Binary-safe: embedded NUL and CRLF must survive into the handler.
+  std::string body = std::string("ab\0cd\r\n!", 8);
+  std::string response = RawPost(server.port(), "/upload", body);
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "POST|8|" + body);
+}
+
+TEST(HttpServerTest, OversizedPostBodyIs413WithoutReadingIt) {
+  HttpServer::Options options;
+  options.max_body_bytes = 64;
+  HttpServer server(options);
+  std::atomic<int> oversized_calls{0};
+  server.HandlePost("/upload", [&oversized_calls](const HttpRequest& request) {
+    if (request.body.size() > 64) ++oversized_calls;
+    return HttpResponse{200, "text/plain",
+                        std::to_string(request.body.size())};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string response =
+      RawPost(server.port(), "/upload", std::string(65, 'x'));
+  EXPECT_EQ(StatusOf(response), 413);
+  EXPECT_EQ(oversized_calls.load(), 0)
+      << "handler must not run for an oversized body";
+  // Exactly at the limit is fine.
+  response = RawPost(server.port(), "/upload", std::string(64, 'x'));
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "64");
+}
+
+TEST(HttpServerTest, TruncatedPostBodyIs400NotAHang) {
+  HttpServer server;
+  std::atomic<int> partial_calls{0};
+  server.HandlePost("/upload", [&partial_calls](const HttpRequest& request) {
+    if (request.body != "full body") ++partial_calls;
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  // Claim 100 bytes, send 10, half-close. The worker must answer 400
+  // immediately instead of blocking its read deadline per request.
+  std::string raw =
+      "POST /upload HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\n"
+      "only10byte";
+  std::string response = RawRequest(server.port(), raw,
+                                    /*shutdown_write=*/true);
+  EXPECT_EQ(StatusOf(response), 400);
+  EXPECT_NE(BodyOf(response).find("truncated"), std::string::npos);
+  EXPECT_EQ(partial_calls.load(), 0)
+      << "handler must not see a partial body";
+  // The worker survived: the next request on the same path is served.
+  EXPECT_EQ(StatusOf(RawPost(server.port(), "/upload", "full body")), 200);
+}
+
+TEST(HttpServerTest, PostWithoutContentLengthIs400) {
+  HttpServer server;
+  server.HandlePost("/upload", [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawRequest(
+      server.port(), "POST /upload HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), 400);
+  EXPECT_NE(BodyOf(response).find("Content-Length"), std::string::npos);
+}
+
+TEST(HttpServerTest, MethodPathMismatchIs405) {
+  HttpServer server;
+  server.HandlePost("/upload", [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  server.Handle("/read", [] { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(StatusOf(Get(server.port(), "/upload")), 405);
+  EXPECT_EQ(StatusOf(RawPost(server.port(), "/read", "x")), 405);
+  EXPECT_EQ(StatusOf(RawPost(server.port(), "/nowhere", "x")), 404);
+}
+
+TEST(HttpServerTest, PathServesBothGetAndPostWhenBothRegistered) {
+  HttpServer server;
+  server.Handle("/both", [] { return HttpResponse{200, "text/plain", "get"}; });
+  server.HandlePost("/both", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "post:" + request.body};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(BodyOf(Get(server.port(), "/both")), "get");
+  EXPECT_EQ(BodyOf(RawPost(server.port(), "/both", "b")), "post:b");
 }
 
 TEST(HttpServerTest, HeadGetsHeadersButNoBody) {

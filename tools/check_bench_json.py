@@ -41,6 +41,8 @@ KNOWN_EVENT_TYPES = {
     "profile_stop",
     "alert_firing",
     "alert_resolved",
+    "replica_promoted",
+    "model_swapped",
 }
 
 # Top-level schema versions this checker understands.

@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""End-to-end failover + hot-swap smoke test for `homctl serve`.
+
+Usage: failover_smoke_test.py <path-to-homctl>
+
+Failover legs (seeded sweep): a primary `homctl serve --replicate-to`
+ships checkpoints to a standby (`--standby`); the primary is killed with
+SIGKILL mid-stream (after the standby acknowledged a seed-dependent
+number of ships), the standby must promote on heartbeat loss, finish the
+stream, and exit 0 — and its cumulative error over N records must equal
+an uninterrupted single-process run over the same N records, which is
+the replication stack's exact-resume guarantee surfacing at the CLI.
+The standby's journal must contain the replica_promoted event.
+
+Swap leg: against a live `homctl serve`, `homctl swap` pushes a second
+model; the response must report swapped=true, the serve log the swap
+line, and a swap of a corrupt model file must answer HTTP 400 while the
+old model keeps serving. SIGTERM must still drain cleanly afterwards.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+PASS_RECORDS = 4000
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit("command failed: %s\n%s%s" %
+                         (" ".join(cmd), proc.stdout, proc.stderr))
+    return proc.stdout
+
+
+def fetch_json(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def start_serve(homctl, args):
+    proc = subprocess.Popen([homctl, "serve"] + args, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    banner = proc.stdout.readline()
+    m = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+    if not m:
+        proc.kill()
+        raise SystemExit("no port in serve banner: %r" % banner)
+    return proc, int(m.group(1))
+
+
+def final_stats(log):
+    """Parses 'serve: ... N records, error E' from a serve log."""
+    m = re.search(r"serve: \w[\w ]* after \d+ passes, (\d+) records, "
+                  r"error ([0-9.]+)", log)
+    if not m:
+        raise SystemExit("no serve summary in log:\n%s" % log)
+    return int(m.group(1)), m.group(2)
+
+
+def failover_trial(homctl, tmp, model, online, seed, kill_after_ships,
+                   failures):
+    name = "failover_seed%d_kill%d" % (seed, kill_after_ships)
+    journal = os.path.join(tmp, name + ".jsonl")
+    standby, standby_port = start_serve(homctl, [
+        "--model", model, "--in", online, "--listen", "0", "--standby",
+        "--promote-after", "1200", "--passes", "1",
+        "--journal-out", journal])
+    primary, _ = start_serve(homctl, [
+        "--model", model, "--in", online, "--listen", "0",
+        "--replicate-to", "127.0.0.1:%d" % standby_port,
+        "--ship-every", "500", "--passes", "0"])
+    try:
+        # Wait until the standby acknowledged enough ships, then kill the
+        # primary without ceremony — SIGKILL, no drain, no final ship.
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            status = fetch_json("http://127.0.0.1:%d/replicaz" % standby_port)
+            if status.get("applied_sequence", 0) >= kill_after_ships:
+                break
+            time.sleep(0.02)
+        else:
+            failures.append("%s: standby never reached sequence %d" %
+                            (name, kill_after_ships))
+            return
+        primary.kill()
+        primary.wait()
+        out, _ = standby.communicate(timeout=120)
+    finally:
+        for proc in (primary, standby):
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    if standby.returncode != 0:
+        failures.append("%s: standby exited %d:\n%s" %
+                        (name, standby.returncode, out))
+        return
+    if "promoted: serving as primary" not in out:
+        failures.append("%s: standby never promoted:\n%s" % (name, out))
+        return
+    records, error = final_stats(out)
+    if records % PASS_RECORDS != 0:
+        failures.append("%s: promoted standby stopped mid-pass at %d" %
+                        (name, records))
+        return
+
+    # The ground truth: one process, never interrupted, over the same
+    # absolute span of the replayed stream.
+    flat = run([homctl, "serve", "--model", model, "--in", online,
+                "--passes", str(records // PASS_RECORDS)])
+    flat_records, flat_error = final_stats(flat)
+    if (records, error) != (flat_records, flat_error):
+        failures.append(
+            "%s: failover diverged: %d records error %s, uninterrupted "
+            "%d records error %s" %
+            (name, records, error, flat_records, flat_error))
+        return
+
+    promoted_events = [json.loads(line) for line in open(journal)
+                       if "replica_promoted" in line]
+    if len(promoted_events) != 1:
+        failures.append("%s: want exactly 1 replica_promoted event, got %d" %
+                        (name, len(promoted_events)))
+        return
+    print("ok %s (%d records, error %s)" % (name, records, error))
+
+
+def swap_trial(homctl, tmp, model, model2, online, failures):
+    serve, port = start_serve(homctl, [
+        "--model", model, "--in", online, "--listen", "0", "--passes", "0"])
+    try:
+        swapped = run([homctl, "swap", "--target", "127.0.0.1:%d" % port,
+                       "--model", model2])
+        reply = json.loads(swapped)
+        if reply.get("swapped") is not True:
+            failures.append("swap: reply not swapped=true: %r" % reply)
+        # A corrupt model must be rejected at the door, old model serving on.
+        bad = subprocess.run(
+            [homctl, "swap", "--target", "127.0.0.1:%d" % port,
+             "--model", online],
+            capture_output=True, text=True)
+        if bad.returncode == 0 or "HTTP 400" not in bad.stderr:
+            failures.append("swap: corrupt model not rejected with 400: %s" %
+                            bad.stderr)
+        serve.send_signal(signal.SIGTERM)
+        out, _ = serve.communicate(timeout=60)
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait()
+    if serve.returncode != 0:
+        failures.append("swap: serve exited %d after drain:\n%s" %
+                        (serve.returncode, out))
+        return
+    if "swap: new model" not in out:
+        failures.append("swap: no swap line in serve log:\n%s" % out)
+        return
+    if "drained on signal" not in out:
+        failures.append("swap: no graceful drain after swap:\n%s" % out)
+        return
+    print("ok swap (pause %.2f ms, agreement %.3f)" %
+          (reply.get("pause_ms", -1), reply.get("mean_agreement", -1)))
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    homctl = os.path.abspath(sys.argv[1])
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="hom_failover_smoke.") as tmp:
+        hist = os.path.join(tmp, "hist.csv")
+        hist2 = os.path.join(tmp, "hist2.csv")
+        online = os.path.join(tmp, "online.csv")
+        model = os.path.join(tmp, "model.hom")
+        model2 = os.path.join(tmp, "model2.hom")
+        run([homctl, "generate", "--stream", "stagger", "--n", "6000",
+             "--out", hist])
+        run([homctl, "generate", "--stream", "stagger", "--n", "6000",
+             "--seed", "31", "--out", hist2])
+        run([homctl, "generate", "--stream", "stagger", "--n",
+             str(PASS_RECORDS), "--seed", "9", "--out", online])
+        run([homctl, "build", "--in", hist, "--out", model])
+        run([homctl, "build", "--in", hist2, "--out", model2])
+
+        for seed, kill_after_ships in ((1, 1), (2, 2), (3, 4)):
+            failover_trial(homctl, tmp, model, online, seed,
+                           kill_after_ships, failures)
+        swap_trial(homctl, tmp, model, model2, online, failures)
+
+    if failures:
+        for failure in failures:
+            print("FAIL %s" % failure, file=sys.stderr)
+        return 1
+    print("failover smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@
 //                   [--latency-sample N]
 //   homctl serve    --model model.hom --in online.csv [--listen 9100]
 //                   [--passes N] [--checkpoint-out c.homc]
+//                   [--replicate-to host:port] [--ship-every N]
+//                   [--standby] [--promote-after MS]
+//   homctl swap     --target host:port --model new.hom
 //   homctl inspect  --model model.hom
 //   homctl alerts   [--config alerts.json] [--slo X] [--format pretty|json]
 //   homctl checkpoint ckpt.homc [--model model.hom]
@@ -82,6 +85,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -89,6 +93,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -99,6 +104,7 @@
 
 #include "classifiers/decision_tree.h"
 #include "common/file_io.h"
+#include "common/http_client.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "data/io.h"
@@ -121,6 +127,9 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "replication/replica.h"
+#include "replication/shipper.h"
+#include "replication/swap.h"
 #include "streams/hyperplane.h"
 #include "streams/intrusion.h"
 #include "streams/sea.h"
@@ -151,7 +160,24 @@ bool TakesPositional(const std::string& command) {
 
 /// Flags that take no value; their presence sets the option to "1".
 bool IsBooleanFlag(const std::string& key) {
-  return key == "verbose" || key == "follow";
+  return key == "verbose" || key == "follow" || key == "standby";
+}
+
+/// Splits "host:port" for --replicate-to / --target. The port must be a
+/// positive 16-bit number; everything before the last ':' is the host.
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + spec + "'");
+  }
+  long port = std::atol(spec.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range in '" + spec + "'");
+  }
+  return std::make_pair(spec.substr(0, colon),
+                        static_cast<uint16_t>(port));
 }
 
 /// Parses `homctl <command> [--flag] [--key value ...]`. Every option must
@@ -286,7 +312,8 @@ Result<Monitoring> MakeMonitoring(const Args& args) {
 /// server — all live on the owning command's stack. /alertz and
 /// /timeseriesz appear only when monitoring is enabled.
 Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
-    ServingStatusBoard* board, const Monitoring& mon, uint16_t port) {
+    ServingStatusBoard* board, const Monitoring& mon, uint16_t port,
+    const std::function<void(obs::HttpServer*)>& register_extra = {}) {
   obs::HttpServer::Options options;
   options.port = port;
   auto server = std::make_unique<obs::HttpServer>(std::move(options));
@@ -348,8 +375,67 @@ Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
   // stack profile of the window. Blocking (single HTTP worker), bounded at
   // 30 s; 409 while another window (e.g. --profile-out) is running.
   server->Handle("/profilez", obs::HandleProfilezRequest);
+  if (register_extra) register_extra(server.get());
   HOM_RETURN_NOT_OK(server->Start());
   return server;
+}
+
+/// Hand-off slot between the /swapz handler (HTTP worker thread) and the
+/// serving loop: the handler parses and parks the incoming model, trips
+/// the loop's pause flag, and blocks until the loop reports the outcome.
+/// In-flight records finish normally — the loop only checks the flag on
+/// record boundaries — so a swap never drops a request.
+struct SwapController {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_ptr<HighOrderClassifier> incoming;
+  bool pending = false;           ///< a model is parked, loop not done yet
+  bool done = false;              ///< outcome fields below are valid
+  Status result;
+  obs::JsonValue reply = obs::JsonValue::Object();
+  std::atomic<bool>* interrupt = nullptr;
+};
+
+/// POST /swapz with HOM2 model bytes as the body. Validates the model on
+/// the handler thread (a corrupt upload answers 400 without ever touching
+/// the serving loop), then waits for the loop to migrate state and swap.
+obs::HttpResponse HandleSwapRequest(SwapController* swap,
+                                    const obs::HttpRequest& request) {
+  obs::HttpResponse response;
+  response.content_type = "application/json";
+  auto error = [&response](int status, const std::string& message) {
+    obs::JsonValue body = obs::JsonValue::Object();
+    body.Set("error", obs::JsonValue(message));
+    response.status = status;
+    response.body = body.Dump(2) + "\n";
+    return response;
+  };
+  std::istringstream in(request.body, std::ios::binary);
+  auto loaded = LoadHighOrderModel(&in);
+  if (!loaded.ok()) {
+    return error(400, "model rejected: " + loaded.status().ToString());
+  }
+  std::unique_lock<std::mutex> lock(swap->mu);
+  if (swap->pending) return error(409, "another swap is in progress");
+  swap->incoming = std::move(*loaded);
+  swap->pending = true;
+  swap->done = false;
+  swap->interrupt->store(true, std::memory_order_relaxed);
+  bool finished = swap->cv.wait_for(lock, std::chrono::seconds(30),
+                                    [swap] { return swap->done; });
+  if (!finished) {
+    // Reclaim the parked model so a later attempt is not answered 409.
+    swap->incoming.reset();
+    swap->pending = false;
+    return error(503, "serving loop did not pick up the swap in 30s");
+  }
+  swap->pending = false;
+  if (!swap->result.ok()) {
+    return error(409, "swap failed: " + swap->result.ToString());
+  }
+  response.status = 200;
+  response.body = swap->reply.Dump(2) + "\n";
+  return response;
 }
 
 /// Publishes the hom_build_info gauge keyed by the serving model's schema
@@ -774,8 +860,31 @@ int CmdServe(const Args& args) {
   board.SetRequestTimer(&request_timer);
   board.SetErrorSlo(mon.error_slo);
   board.SetMonitors(mon.timeseries.get(), mon.alerts.get());
+
+  // Replication + hot-swap wiring. `pause` is the serving loop's stop
+  // flag: shutdown signals (mirrored from g_shutdown on progress ticks)
+  // and /swapz requests both stop the loop at a record boundary.
+  std::atomic<bool> pause{false};
+  SwapController swap;
+  swap.interrupt = &pause;
+  bool standby_mode = args.Has("standby");
+  std::unique_ptr<replication::StandbyReplica> replica;
+  if (standby_mode) {
+    replication::ReplicaOptions replica_options;
+    replica_options.promote_after_ms = static_cast<uint64_t>(
+        std::atoll(args.Get("promote-after", "10000")));
+    replica_options.replica_id = args.Get("replica-id", "standby");
+    replica = std::make_unique<replication::StandbyReplica>(model->get(),
+                                                            replica_options);
+  }
   auto started = StartIntrospectionServer(
-      &board, mon, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))));
+      &board, mon, static_cast<uint16_t>(std::atoi(args.Get("listen", "0"))),
+      [&](obs::HttpServer* extra) {
+        if (replica != nullptr) replica->RegisterHandlers(extra);
+        extra->HandlePost("/swapz", [&swap](const obs::HttpRequest& request) {
+          return HandleSwapRequest(&swap, request);
+        });
+      });
   if (!started.ok()) return Fail(started.status().ToString());
   std::unique_ptr<obs::HttpServer> server = std::move(*started);
 
@@ -800,9 +909,88 @@ int CmdServe(const Args& args) {
   uint64_t checkpoint_every =
       static_cast<uint64_t>(std::atoll(args.Get("checkpoint-every", "0")));
 
-  uint64_t total_records = 0;
-  uint64_t total_errors = 0;
+  // --replicate-to is validated before the standby wait so a typo'd
+  // target fails at startup, not after a promotion hours later.
+  bool replicate = args.Has("replicate-to");
+  std::pair<std::string, uint16_t> replicate_target;
+  uint64_t ship_every =
+      static_cast<uint64_t>(std::atoll(args.Get("ship-every", "500")));
+  if (replicate) {
+    auto target = ParseHostPort(args.Get("replicate-to", ""));
+    if (!target.ok()) {
+      return Fail("--replicate-to: " + target.status().ToString());
+    }
+    if (ship_every == 0) return Fail("--ship-every must be positive");
+    replicate_target = std::move(*target);
+  }
+
+  // --standby: hold here as a warm replica until promotion (sustained
+  // heartbeat loss past --promote-after, or a POST /replicaz/promote),
+  // then serve from the last applied checkpoint. This is the same
+  // exact-resume path `evaluate --resume` uses, so the promoted run's
+  // predictions and journal match an uninterrupted primary's.
+  uint64_t resume_record = 0;
+  uint64_t resume_errors = 0;
+  uint64_t resume_window_errors = 0;
+  uint64_t resume_window_fill = 0;
+  bool resume_pending = false;
+  uint64_t primary_epoch = 1;
+  if (standby_mode) {
+    board.SetState("standby");
+    std::printf("standby: awaiting checkpoints on /replicaz, promote after "
+                "%s ms of heartbeat silence\n",
+                args.Get("promote-after", "10000"));
+    std::fflush(stdout);
+    while (!g_shutdown.load(std::memory_order_relaxed) &&
+           !replica->MaybePromote()) {
+      replica->UpdateGauges();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!g_shutdown.load(std::memory_order_relaxed)) {
+      if (replica->has_checkpoint()) {
+        ServingCheckpoint resume = replica->last_checkpoint();
+        resume_record = resume.stream_offset;
+        resume_errors = resume.num_errors;
+        resume_window_errors = resume.window_errors;
+        resume_window_fill = resume.window_fill;
+        if (resume.concept_stats != nullptr) {
+          concept_stats = resume.concept_stats;
+        }
+        resume_pending = true;
+      }
+      primary_epoch = replica->promoted_epoch();
+      std::printf("promoted: serving as primary (epoch %llu) from record "
+                  "%llu\n",
+                  static_cast<unsigned long long>(primary_epoch),
+                  static_cast<unsigned long long>(resume_record));
+      std::fflush(stdout);
+    }
+  }
+
+  // --replicate-to host:port: ship a checkpoint to the standby every
+  // --ship-every records (plus one at drain) and heartbeat on progress
+  // ticks. A promoted standby ships with the bumped epoch it took over
+  // with, so a deposed primary's checkpoints are recognizably stale.
+  std::unique_ptr<replication::CheckpointShipper> shipper;
+  if (replicate) {
+    replication::ShipperOptions ship_options;
+    ship_options.host = replicate_target.first;
+    ship_options.port = replicate_target.second;
+    ship_options.primary_id =
+        args.Has("primary-id")
+            ? args.Get("primary-id", "")
+            : "homctl:" + std::to_string(server->port());
+    ship_options.primary_epoch = primary_epoch;
+    ship_options.http.connect_timeout_ms = 500;
+    shipper = std::make_unique<replication::CheckpointShipper>(ship_options);
+  }
+
+  uint64_t total_records = resume_record;
+  uint64_t total_errors = resume_errors;
+  uint64_t final_window_errors = resume_window_errors;
+  uint64_t final_window_fill = resume_window_fill;
   uint64_t pass = 0;
+  auto last_heartbeat = std::chrono::steady_clock::now();
   // --profile-out: profile the whole serving loop; the folded profile is
   // written at drain. /profilez stays available for ad-hoc windows when
   // this is off (they share one profiler, so concurrent use answers 409).
@@ -812,8 +1000,26 @@ int CmdServe(const Args& args) {
          (passes == 0 || pass < passes)) {
     // Counts inside a pass start at zero; the board and checkpoints see
     // cumulative stream positions across passes.
+    uint64_t start_record = 0;
+    uint64_t carry_errors = 0;
+    uint64_t carry_window_errors = 0;
+    uint64_t carry_window_fill = 0;
     uint64_t base_records = total_records;
     uint64_t base_errors = total_errors;
+    if (resume_pending) {
+      // Resuming mid-pass — after a promotion, or after a swap stopped
+      // the previous pass partway. The absolute position may span whole
+      // replays of the finite file; the remainder is the in-pass offset.
+      start_record = resume_record % online->size();
+      carry_errors = resume_errors;
+      carry_window_errors = resume_window_errors;
+      carry_window_fill = resume_window_fill;
+      base_records = resume_record - start_record;
+      base_errors = 0;
+      resume_pending = false;
+    }
+    pause.store(g_shutdown.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     auto publish = [&](const PrequentialProgress& progress) {
       uint64_t record = base_records + progress.record;
       ServingStatusBoard::Progress sp;
@@ -825,18 +1031,37 @@ int CmdServe(const Args& args) {
       mon.timeseries->TickFromRegistry(obs::MetricsRegistry::Global(),
                                        static_cast<int64_t>(record));
       mon.alerts->EvaluateTick(*mon.timeseries, static_cast<int64_t>(record));
+      if (g_shutdown.load(std::memory_order_relaxed)) {
+        pause.store(true, std::memory_order_relaxed);
+      }
+      if (shipper != nullptr) {
+        auto now = std::chrono::steady_clock::now();
+        if (now - last_heartbeat >= std::chrono::milliseconds(500)) {
+          last_heartbeat = now;
+          // Single-shot by design: the next beat supersedes a lost one.
+          (void)shipper->Heartbeat(record);
+        }
+      }
     };
     PrequentialOptions options;
     options.track_concept_stats = true;
     options.resume_concept_stats = concept_stats;
+    options.start_record = start_record;
+    options.carry_errors = carry_errors;
+    options.carry_window_errors = carry_window_errors;
+    options.carry_window_fill = carry_window_fill;
     options.calibration_sample_period = static_cast<size_t>(
         std::atoll(args.Get("calibration-every", "512")));
     options.progress_every = progress_every;
     options.on_progress = publish;
-    options.stop_flag = &g_shutdown;
+    options.stop_flag = &pause;
     options.request_timer = &request_timer;
-    if (!ckpt_out.empty()) {
-      options.checkpoint_every = checkpoint_every;
+    if (!ckpt_out.empty() || shipper != nullptr) {
+      options.checkpoint_every =
+          shipper == nullptr ? checkpoint_every
+          : ckpt_out.empty() || checkpoint_every == 0
+              ? ship_every
+              : std::min(ship_every, checkpoint_every);
       options.on_checkpoint = [&](const PrequentialProgress& progress) {
         auto ckpt = CaptureCheckpoint(**model);
         if (!ckpt.ok()) {
@@ -849,17 +1074,105 @@ int CmdServe(const Args& args) {
         ckpt->window_errors = progress.window_errors;
         ckpt->window_fill = progress.window_fill;
         ckpt->concept_stats = concept_stats;
-        if (Status st = SaveCheckpointToFile(ckpt_out, *ckpt); st.ok()) {
-          board.RecordCheckpoint(base_records + progress.record);
-        } else {
-          std::fprintf(stderr, "homctl: checkpoint: %s\n",
-                       st.ToString().c_str());
+        if (!ckpt_out.empty()) {
+          if (Status st = SaveCheckpointToFile(ckpt_out, *ckpt); st.ok()) {
+            board.RecordCheckpoint(base_records + progress.record);
+          } else {
+            std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                         st.ToString().c_str());
+          }
+        }
+        if (shipper != nullptr) {
+          auto report = shipper->Ship(*ckpt);
+          if (report.ok()) {
+            HOM_COUNTER_ADD("hom.replication.shipped_bytes",
+                            report->wire_bytes);
+          } else {
+            // The standby being down must not take the primary with it;
+            // the next ship retries from the current state.
+            std::fprintf(stderr, "homctl: replicate: %s\n",
+                         report.status().ToString().c_str());
+          }
         }
       };
     }
     PrequentialResult result = RunPrequential(model->get(), *online, options);
-    total_records += result.num_records;
-    total_errors += result.num_errors;
+    total_records = base_records + result.num_records;
+    total_errors = base_errors + result.num_errors;
+    final_window_errors = result.window_errors_carry;
+    final_window_fill = result.window_fill_carry;
+
+    bool swap_requested = false;
+    {
+      std::lock_guard<std::mutex> lock(swap.mu);
+      swap_requested = swap.pending && !swap.done;
+    }
+    if (swap_requested && !g_shutdown.load(std::memory_order_relaxed)) {
+      // /swapz stopped the pass at a record boundary: migrate the drift
+      // filter's state onto the new model, switch, and resume the pass
+      // exactly where it stopped — no record is served twice or dropped.
+      auto swap_started = std::chrono::steady_clock::now();
+      std::unique_ptr<HighOrderClassifier> fresh;
+      {
+        std::lock_guard<std::mutex> lock(swap.mu);
+        fresh = std::move(swap.incoming);
+      }
+      Dataset probe((*model)->schema());
+      size_t probe_n = std::min<size_t>(512, online->size());
+      for (size_t i = 0; i < probe_n; ++i) {
+        probe.AppendUnchecked(online->record(i));
+      }
+      auto mapping =
+          replication::MigrateModelState(**model, fresh.get(), probe);
+      std::lock_guard<std::mutex> lock(swap.mu);
+      if (mapping.ok()) {
+        fresh->set_input_policy(*policy);
+        *model = std::move(fresh);
+        PublishModelBuildInfo(**model);
+        board.SetStaticInfo(model_path + " (swapped)", in,
+                            (*model)->num_concepts());
+        double agreement = 0.0;
+        for (double a : mapping->agreement) agreement += a;
+        if (!mapping->agreement.empty()) {
+          agreement /= static_cast<double>(mapping->agreement.size());
+        }
+        double pause_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - swap_started)
+                .count();
+        HOM_COUNTER_INC("hom.replication.swaps");
+        HOM_GAUGE_SET("hom.replication.swap_pause_ms", pause_ms);
+        obs::EmitIfActive(obs::EventType::kModelSwapped, "swapz",
+                          static_cast<int64_t>(total_records), -1, -1,
+                          agreement);
+        swap.result = Status::OK();
+        swap.reply = obs::JsonValue::Object();
+        swap.reply.Set("swapped", obs::JsonValue(true));
+        swap.reply.Set("record", obs::JsonValue(total_records));
+        swap.reply.Set("pause_ms", obs::JsonValue(pause_ms));
+        swap.reply.Set("concepts",
+                       obs::JsonValue(static_cast<uint64_t>(
+                           (*model)->num_concepts())));
+        swap.reply.Set("mean_agreement", obs::JsonValue(agreement));
+        std::printf("swap: new model (%zu concepts) at record %llu, "
+                    "pause %.1f ms, mean agreement %.3f\n",
+                    (*model)->num_concepts(),
+                    static_cast<unsigned long long>(total_records), pause_ms,
+                    agreement);
+        std::fflush(stdout);
+      } else {
+        // The old model never stopped being valid; it keeps serving.
+        swap.result = mapping.status();
+      }
+      swap.done = true;
+      swap.cv.notify_all();
+      resume_pending = true;
+      resume_record = total_records;
+      resume_errors = total_errors;
+      resume_window_errors = result.window_errors_carry;
+      resume_window_fill = result.window_fill_carry;
+      continue;
+    }
     ++pass;
     if (passes == 0 && !g_shutdown.load(std::memory_order_relaxed)) {
       // Unbounded replay of a finite file: breathe between passes so a
@@ -875,18 +1188,49 @@ int CmdServe(const Args& args) {
                    collected.status().ToString().c_str());
     }
   }
-  if (!ckpt_out.empty()) {
+  {
+    // A swap still parked when the drain started must not leave its
+    // handler waiting out the full timeout.
+    std::lock_guard<std::mutex> lock(swap.mu);
+    if (swap.pending && !swap.done) {
+      swap.incoming.reset();
+      swap.result = Status::FailedPrecondition("serve is draining");
+      swap.done = true;
+      swap.cv.notify_all();
+    }
+  }
+  if (!ckpt_out.empty() || shipper != nullptr) {
     auto ckpt = CaptureCheckpoint(**model);
     if (ckpt.ok()) {
       ckpt->stream_offset = total_records;
       ckpt->num_errors = total_errors;
+      ckpt->window_errors = final_window_errors;
+      ckpt->window_fill = final_window_fill;
       ckpt->concept_stats = concept_stats;
-      if (Status st = SaveCheckpointToFile(ckpt_out, *ckpt); st.ok()) {
-        std::printf("checkpoint: wrote %s at record %llu\n", ckpt_out.c_str(),
-                    static_cast<unsigned long long>(total_records));
-      } else {
-        std::fprintf(stderr, "homctl: checkpoint: %s\n",
-                     st.ToString().c_str());
+      if (!ckpt_out.empty()) {
+        if (Status st = SaveCheckpointToFile(ckpt_out, *ckpt); st.ok()) {
+          std::printf("checkpoint: wrote %s at record %llu\n",
+                      ckpt_out.c_str(),
+                      static_cast<unsigned long long>(total_records));
+        } else {
+          std::fprintf(stderr, "homctl: checkpoint: %s\n",
+                       st.ToString().c_str());
+        }
+      }
+      if (shipper != nullptr && total_records > 0) {
+        // Parting ship so the standby resumes from the drain point, not
+        // the last periodic checkpoint.
+        if (auto report = shipper->Ship(*ckpt); report.ok()) {
+          HOM_COUNTER_ADD("hom.replication.shipped_bytes",
+                          report->wire_bytes);
+          std::printf("replicate: shipped final checkpoint (sequence "
+                      "%llu) at record %llu\n",
+                      static_cast<unsigned long long>(report->sequence),
+                      static_cast<unsigned long long>(total_records));
+        } else {
+          std::fprintf(stderr, "homctl: replicate: %s\n",
+                       report.status().ToString().c_str());
+        }
       }
     }
   }
@@ -904,6 +1248,37 @@ int CmdServe(const Args& args) {
               total_records > 0 ? static_cast<double>(total_errors) /
                                       static_cast<double>(total_records)
                                 : 0.0);
+  return 0;
+}
+
+/// `homctl swap --target host:port --model new.hom`: pushes a freshly
+/// built model to a running `homctl serve` over POST /swapz. The serve
+/// process migrates its Markov-filter posterior onto the new model's
+/// concepts and switches without dropping a request; the response echoes
+/// the pause duration and the concept-mapping agreement.
+int CmdSwap(const Args& args) {
+  std::string target_spec = args.Get("target", "");
+  if (target_spec.empty()) return Fail("swap requires --target host:port");
+  std::string model_path = args.Get("model", "");
+  if (model_path.empty()) return Fail("swap requires --model new.hom");
+  auto target = ParseHostPort(target_spec);
+  if (!target.ok()) return Fail("--target: " + target.status().ToString());
+  auto bytes = ReadFileToString(model_path, /*max_bytes=*/size_t{1} << 29);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  HttpClientOptions http;
+  // The serve loop only notices the swap at a record boundary and the
+  // migration probes every concept pair: give it more room than the
+  // introspection default.
+  http.io_timeout_ms = 35000;
+  HttpClient client(target->first, target->second, http);
+  auto response =
+      client.PostWithRetry("/swapz", "application/x-hom-model", *bytes);
+  if (!response.ok()) return Fail(response.status().ToString());
+  if (response->status != 200) {
+    return Fail("swap rejected (HTTP " + std::to_string(response->status) +
+                "): " + response->body);
+  }
+  std::fputs(response->body.c_str(), stdout);
   return 0;
 }
 
@@ -1393,6 +1768,7 @@ int main(int argc, char** argv) {
   if (args->command == "build") return CmdBuild(*args);
   if (args->command == "evaluate") return CmdEvaluate(*args);
   if (args->command == "serve") return CmdServe(*args);
+  if (args->command == "swap") return CmdSwap(*args);
   if (args->command == "inspect") return CmdInspect(*args);
   if (args->command == "alerts") return CmdAlerts(*args);
   if (args->command == "checkpoint") return CmdCheckpoint(*args);
@@ -1401,8 +1777,8 @@ int main(int argc, char** argv) {
   if (args->command == "tail") return CmdTail(*args, /*follow=*/false);
   if (args->command == "monitor") return CmdTail(*args, /*follow=*/true);
   std::fprintf(stderr,
-               "usage: homctl <generate|build|evaluate|serve|inspect|alerts|"
-               "checkpoint|chaos|stats|tail|monitor> [--verbose] "
+               "usage: homctl <generate|build|evaluate|serve|swap|inspect|"
+               "alerts|checkpoint|chaos|stats|tail|monitor> [--verbose] "
                "[--key value ...]\n"
                "  generate   --stream s --n N --seed S [--lambda L] --out "
                "f.csv\n"
@@ -1433,6 +1809,11 @@ int main(int argc, char** argv) {
                "             [--timeseries-retention N]"
                " [--calibration-every N]\n"
                "             [--profile-out p.folded] [--profile-hz F]\n"
+               "             [--replicate-to host:port] [--ship-every N]"
+               " [--primary-id ID]\n"
+               "             [--standby] [--promote-after MS]"
+               " [--replica-id ID]\n"
+               "  swap       --target host:port --model new.hom\n"
                "  inspect    --model model.hom\n"
                "  alerts     [--config a.json] [--slo X]"
                " [--format pretty|json]\n"

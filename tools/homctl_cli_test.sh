@@ -152,6 +152,22 @@ else
   echo "ok evaluate_alerts_summary"
 fi
 
+# --- replication / swap -------------------------------------------------
+expect swap_needs_target 1 'requires --target' -- swap --model "$WORK/m.hom"
+expect swap_needs_model 1 'requires --model' -- swap --target 127.0.0.1:9
+expect swap_bad_target 1 'expected host:port' -- \
+  swap --target nocolon --model "$WORK/m.hom"
+expect swap_bad_port 1 'port out of range' -- \
+  swap --target 'host:0' --model "$WORK/m.hom"
+expect swap_missing_model 1 'IoError' -- \
+  swap --target 127.0.0.1:9 --model "$WORK/absent.hom"
+expect serve_bad_replicate_to 1 'expected host:port' -- \
+  serve --model "$WORK/m.hom" --in "$WORK/online.csv" \
+  --replicate-to nocolon
+expect serve_zero_ship_every 1 'ship-every must be positive' -- \
+  serve --model "$WORK/m.hom" --in "$WORK/online.csv" \
+  --replicate-to 127.0.0.1:9 --ship-every 0
+
 # --- chaos sweep (small but real) ---------------------------------------
 expect chaos_ok 0 - -- chaos --seed 17 --trials 9 --dir "$WORK/chaos"
 
