@@ -99,11 +99,17 @@ obs::HttpResponse StandbyReplica::ApplyFullBytesLocked(
       ok.Set("duplicate", obs::JsonValue(true));
       return JsonResponse(200, std::move(ok));
     }
-    return ErrorResponse(409, "stale sequence",
-                         "checkpoint sequence " +
-                             std::to_string(ckpt.replication.sequence) +
-                             " not beyond applied " +
-                             std::to_string(applied_sequence_));
+    // Carry applied_sequence so a primary whose ack got lost (or that
+    // restarted behind us) can fast-forward instead of wedging.
+    obs::JsonValue body = obs::JsonValue::Object();
+    body.Set("error", obs::JsonValue("stale sequence"));
+    body.Set("detail",
+             obs::JsonValue("checkpoint sequence " +
+                            std::to_string(ckpt.replication.sequence) +
+                            " not beyond applied " +
+                            std::to_string(applied_sequence_)));
+    body.Set("applied_sequence", obs::JsonValue(applied_sequence_));
+    return JsonResponse(409, std::move(body));
   }
   Status applied = ApplyCheckpoint(ckpt, model_);
   if (!applied.ok()) {
@@ -182,6 +188,14 @@ obs::HttpResponse StandbyReplica::HandleHeartbeat(
       record->as_double() >= 0.0) {
     uint64_t position = static_cast<uint64_t>(record->as_double());
     if (position > primary_record_) primary_record_ = position;
+  }
+  // Heartbeats seed the primary's epoch even before the first checkpoint
+  // lands, so a promotion with zero applied checkpoints still serves with
+  // an epoch beyond the deposed primary's.
+  if (const obs::JsonValue* epoch = parsed->Find("epoch");
+      epoch != nullptr && epoch->is_number() && epoch->as_double() > 0.0) {
+    uint64_t primary_epoch = static_cast<uint64_t>(epoch->as_double());
+    if (primary_epoch > primary_epoch_) primary_epoch_ = primary_epoch;
   }
   if (const obs::JsonValue* id = parsed->Find("primary_id");
       id != nullptr && id->is_string()) {

@@ -1,5 +1,6 @@
 #include "replication/shipper.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -15,6 +16,18 @@ constexpr char kCheckpointPath[] = "/replicaz/checkpoint";
 constexpr char kHeartbeatPath[] = "/replicaz/heartbeat";
 constexpr char kFullContentType[] = "application/x-hom-checkpoint";
 constexpr char kDeltaContentType[] = "application/x-hom-checkpoint-delta";
+
+/// The standby's applied_sequence from an ack or stale-sequence body, or
+/// 0 when the body carries none (other 409 flavors, non-JSON bodies).
+uint64_t AppliedSequenceIn(const std::string& body) {
+  Result<obs::JsonValue> parsed = obs::JsonValue::Parse(body);
+  if (!parsed.ok() || !parsed->is_object()) return 0;
+  const obs::JsonValue* seq = parsed->Find("applied_sequence");
+  if (seq == nullptr || !seq->is_number() || seq->as_double() < 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(seq->as_double());
+}
 
 }  // namespace
 
@@ -32,12 +45,15 @@ Result<HttpResponseMessage> CheckpointShipper::PostBody(
 }
 
 Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
-  ServingCheckpoint stamped = ckpt;
-  stamped.has_replication = true;
-  stamped.replication.sequence = sequence_ + 1;
-  stamped.replication.primary_epoch = options_.primary_epoch;
-  stamped.replication.primary_id = options_.primary_id;
-  HOM_ASSIGN_OR_RETURN(std::string full_bytes, SerializeCheckpoint(stamped));
+  auto stamp_full = [&]() -> Result<std::string> {
+    ServingCheckpoint stamped = ckpt;
+    stamped.has_replication = true;
+    stamped.replication.sequence = sequence_ + 1;
+    stamped.replication.primary_epoch = options_.primary_epoch;
+    stamped.replication.primary_id = options_.primary_id;
+    return SerializeCheckpoint(stamped);
+  };
+  HOM_ASSIGN_OR_RETURN(std::string full_bytes, stamp_full());
 
   bool use_delta = options_.prefer_delta && !acked_bytes_.empty();
   std::string delta_bytes;
@@ -54,6 +70,7 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
   BackoffSchedule schedule(options_.backoff, options_.port);
   ShipReport report;
   Status last_error;
+  bool resynced = false;
   for (size_t attempt = 0;; ++attempt) {
     const std::string& body = use_delta ? delta_bytes : full_bytes;
     Result<HttpResponseMessage> sent =
@@ -61,7 +78,9 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
                  attempt);
     report.attempts = attempt + 1;
     if (sent.ok() && sent->status == 200) {
-      sequence_ += 1;
+      // The ack (duplicate re-acks included) names the standby's applied
+      // sequence; adopt it if it is ahead of our accounting.
+      sequence_ = std::max(sequence_ + 1, AppliedSequenceIn(sent->body));
       acked_bytes_ = full_bytes;
       report.sequence = sequence_;
       report.delta = use_delta;
@@ -86,6 +105,28 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
       use_delta = false;
       retryable = true;
       last_error = Status::FailedPrecondition("standby rejected delta base");
+    } else if (uint64_t applied = 0;
+               sent->status == 409 && !resynced &&
+               (applied = AppliedSequenceIn(sent->body)) > sequence_) {
+      // Stale sequence: the standby already applied a ship whose ack we
+      // lost, or we restarted behind it. Fast-forward past its applied
+      // sequence and restamp; the delta base is no longer agreed on, so
+      // the resend goes full. One resync per round — a second structural
+      // 409 is a real rejection, not a lost ack.
+      resynced = true;
+      sequence_ = applied;
+      Result<std::string> restamped = stamp_full();
+      if (!restamped.ok()) {
+        last_error = restamped.status();
+        break;
+      }
+      full_bytes = std::move(restamped).ValueOrDie();
+      use_delta = false;
+      retryable = true;
+      last_error = Status::FailedPrecondition(
+          "resynced sequence past standby's applied " +
+          std::to_string(applied));
+      HOM_COUNTER_INC("hom.replication.ship_resyncs");
     } else if (sent->status == 400 || sent->status >= 500) {
       // 400 means the body arrived but failed validation; our local copy
       // is intact, so the damage happened in flight — retrying sends a

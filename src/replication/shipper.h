@@ -53,6 +53,10 @@ struct ShipperOptions {
 ///  - 400 retries with a freshly serialized body (our copy is intact, so
 ///    a CRC rejection means in-flight corruption — transient);
 ///  - 409 with an unknown-base detail switches to a full transfer;
+///  - 409 with the standby's applied_sequence ahead of ours (our ack was
+///    lost, or we restarted behind it) fast-forwards the sequence,
+///    restamps, and resends full — replication self-heals instead of
+///    wedging on "stale sequence" forever;
 ///  - anything else (404, 405, 413) is a permanent configuration error.
 /// Every outcome is a clean Status; Ship() never throws or crashes.
 class CheckpointShipper {

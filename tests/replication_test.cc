@@ -447,6 +447,9 @@ TEST(ReplicationWireTest, StaleSequenceAndEpochAnswer409) {
   upload.body = *stale_bytes;
   obs::HttpResponse response = standby.replica->HandleCheckpointUpload(upload);
   EXPECT_EQ(response.status, 409);
+  // The refusal names the applied sequence so a live shipper can resync.
+  EXPECT_NE(response.body.find("\"applied_sequence\""), std::string::npos)
+      << response.body;
   EXPECT_EQ(standby.replica->applied_sequence(), 2u);
   EXPECT_EQ(standby.replica->last_checkpoint().stream_offset, 600u);
 
@@ -474,6 +477,40 @@ TEST(ReplicationWireTest, StaleSequenceAndEpochAnswer409) {
   obs::HttpResponse re_ack = standby.replica->HandleCheckpointUpload(upload);
   EXPECT_EQ(re_ack.status, 200);
   EXPECT_NE(re_ack.body.find("duplicate"), std::string::npos) << re_ack.body;
+}
+
+TEST(ReplicationWireTest, RestartedPrimaryResyncsPastStaleSequence) {
+  std::string model_bytes = BuildModelBytes(4120);
+  ReplicaHarness standby(model_bytes);
+  ModelPtr primary = LoadModel(model_bytes);
+
+  // First primary ships two checkpoints, then dies.
+  {
+    CheckpointShipper first(standby.MakeShipperOptions());
+    ASSERT_TRUE(first.Ship(MakeCheckpoint(*primary, 100)).ok());
+    ASSERT_TRUE(first.Ship(MakeCheckpoint(*primary, 200)).ok());
+  }
+  ASSERT_EQ(standby.replica->applied_sequence(), 2u);
+
+  // A primary restarted with zeroed replication state (same epoch) stamps
+  // sequence 1, behind the standby's applied 2. The same wire state
+  // arises when a Ship() round's 200 ack is lost after the standby
+  // applied. Without the resync every subsequent ship 409s permanently
+  // and replication stays wedged until the standby restarts.
+  CheckpointShipper restarted(standby.MakeShipperOptions());
+  auto report = restarted.Ship(MakeCheckpoint(*primary, 300));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sequence, 3u);
+  EXPECT_GE(report->attempts, 2u) << "stale attempt, then resynced resend";
+  EXPECT_EQ(standby.replica->applied_sequence(), 3u);
+  EXPECT_EQ(standby.replica->last_checkpoint().stream_offset, 300u);
+  EXPECT_EQ(restarted.acked_sequence(), 3u);
+
+  // From here on the resynced shipper is in lockstep again.
+  auto next = restarted.Ship(MakeCheckpoint(*primary, 400));
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next->sequence, 4u);
+  EXPECT_EQ(next->attempts, 1u);
 }
 
 TEST(ReplicationWireTest, SchemaFingerprintMismatchIsRejectedOnTheWire) {
@@ -637,6 +674,29 @@ TEST(ReplicationPromotionTest, ManualPromoteOverHttpWorks) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->status, 200);
   EXPECT_TRUE(standby.replica->promoted());
+  // A manual promote does not flip MaybePromote()'s return — waiters must
+  // watch promoted(), not the transition (tools/homctl.cc standby loop).
+  EXPECT_FALSE(standby.replica->MaybePromote());
+}
+
+TEST(ReplicationPromotionTest, HeartbeatSeedsEpochBeforeFirstCheckpoint) {
+  std::string model_bytes = BuildModelBytes(4121, 3000);
+  ReplicaOptions options;
+  options.promote_after_ms = 0;
+  ReplicaHarness standby(model_bytes, options);
+
+  // A primary already at epoch 2 (itself a promoted standby) heartbeats
+  // before any checkpoint lands, then the standby is promoted manually.
+  ShipperOptions ship_options = standby.MakeShipperOptions();
+  ship_options.primary_epoch = 2;
+  CheckpointShipper shipper(ship_options);
+  ASSERT_TRUE(shipper.Heartbeat(50).ok());
+  EXPECT_FALSE(standby.replica->has_checkpoint());
+
+  standby.replica->Promote("test");
+  EXPECT_EQ(standby.replica->promoted_epoch(), 3u)
+      << "promotion with zero applied checkpoints must still outrank the "
+         "heartbeating primary's epoch";
 }
 
 // ---------------------------------------------------------------------------

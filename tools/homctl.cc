@@ -941,8 +941,13 @@ int CmdServe(const Args& args) {
                 "%s ms of heartbeat silence\n",
                 args.Get("promote-after", "10000"));
     std::fflush(stdout);
+    // Wait on promotion *state*, not on MaybePromote()'s transition: a
+    // manual POST /replicaz/promote promotes on the handler thread, after
+    // which MaybePromote() returns false forever — looping on its return
+    // value would park this process for good.
     while (!g_shutdown.load(std::memory_order_relaxed) &&
-           !replica->MaybePromote()) {
+           !replica->promoted()) {
+      replica->MaybePromote();
       replica->UpdateGauges();
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
@@ -1107,6 +1112,14 @@ int CmdServe(const Args& args) {
       std::lock_guard<std::mutex> lock(swap.mu);
       swap_requested = swap.pending && !swap.done;
     }
+    // The pause flag stopped the pass mid-stream (num_records counts from
+    // start_record to the in-pass stop position). Whether or not the swap
+    // handler is still waiting, the tail of this pass must be resumed, not
+    // skipped — a timed-out /swapz clears swap.pending after tripping the
+    // flag, and taking the ++pass path then would drop records and advance
+    // the replay position early.
+    bool paused_early = !g_shutdown.load(std::memory_order_relaxed) &&
+                        result.num_records < online->size();
     if (swap_requested && !g_shutdown.load(std::memory_order_relaxed)) {
       // /swapz stopped the pass at a record boundary: migrate the drift
       // filter's state onto the new model, switch, and resume the pass
@@ -1166,6 +1179,16 @@ int CmdServe(const Args& args) {
       }
       swap.done = true;
       swap.cv.notify_all();
+      resume_pending = true;
+      resume_record = total_records;
+      resume_errors = total_errors;
+      resume_window_errors = result.window_errors_carry;
+      resume_window_fill = result.window_fill_carry;
+      continue;
+    }
+    if (paused_early) {
+      // Swap handler gave up (30s timeout) and reclaimed its model after
+      // the flag already stopped the pass: serve the rest of the pass.
       resume_pending = true;
       resume_record = total_records;
       resume_errors = total_errors;
