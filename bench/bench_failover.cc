@@ -1,10 +1,11 @@
 // Replication bench (replicated-serving PR): what does failover cost?
 // Measures checkpoint ship latency over real loopback HTTP (full
-// transfers and deltas), promotion detection time after heartbeat loss,
-// the serving pause a zero-downtime model swap imposes (p50/p99), and —
-// as a correctness anchor the baseline gate watches — that a standby
-// promoted mid-stream finishes with exactly the uninterrupted run's
-// error count.
+// transfers and deltas), the distributed-tracing overhead on that ship
+// path (spans on vs off, gated as an overhead_ratio), promotion
+// detection time after heartbeat loss, the serving pause a zero-downtime
+// model swap imposes (p50/p99), and — as a correctness anchor the
+// baseline gate watches — that a standby promoted mid-stream finishes
+// with exactly the uninterrupted run's error count.
 
 #include <algorithm>
 #include <chrono>
@@ -22,6 +23,7 @@
 #include "highorder/checkpoint.h"
 #include "highorder/serialization.h"
 #include "obs/http_server.h"
+#include "obs/trace_context.h"
 #include "replication/replica.h"
 #include "replication/shipper.h"
 #include "replication/swap.h"
@@ -178,6 +180,55 @@ int main() {
     reporter.AddValue("ship/delta", "latency_ms", delta_ms);
     reporter.AddValue("ship/delta", "wire_bytes",
                       static_cast<double>(delta_bytes));
+  }
+
+  // --- tracing overhead on the ship path: every Ship() opens a
+  // round/serialize/post span chain and every request carries a
+  // traceparent header. Both arms run in this process against the same
+  // standby, in alternating blocks so clock drift and cache state cancel
+  // — the gated ratio is machine-independent.
+  {
+    auto primary = Reload(model_bytes);
+    auto stats = std::make_shared<OnlineConceptStats>(primary->num_classes());
+    PrequentialOptions warm_options;
+    warm_options.resume_concept_stats = stats;
+    PrequentialResult warm = RunPrequential(primary.get(), online,
+                                            warm_options);
+
+    Standby standby(model_bytes, {});
+    replication::CheckpointShipper shipper(standby.ShipperTo());
+    uint64_t offset = warm.num_records;
+    auto prime = MakeCheckpoint(*primary, offset++, warm.num_errors);
+    prime.concept_stats = stats;
+    HOM_CHECK(shipper.Ship(prime).ok());
+
+    obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+    const size_t reps = 64;  // per arm, interleaved ship by ship
+    std::vector<double> on_samples, off_samples;
+    for (size_t i = 0; i < reps; ++i) {
+      for (bool traced : {true, false}) {
+        buffer.set_enabled(traced);
+        auto ckpt = MakeCheckpoint(*primary, offset++, warm.num_errors);
+        ckpt.concept_stats = stats;
+        auto t0 = std::chrono::steady_clock::now();
+        HOM_CHECK(shipper.Ship(ckpt).ok());
+        (traced ? on_samples : off_samples).push_back(MsSince(t0));
+      }
+    }
+    buffer.set_enabled(false);
+    buffer.Reset();
+    // Median per arm: a ship is one TCP connect + round trip (~0.2 ms),
+    // so a single slow connect is a multi-ms outlier that must not
+    // decide the gated ratio; the medians sit on the modal round trip.
+    double on_ms = Percentile(on_samples, 0.50);
+    double off_ms = Percentile(off_samples, 0.50);
+    double ratio = on_ms / off_ms;
+    std::printf("%-36s %10.4f ms\n", "ship (tracing on)", on_ms);
+    std::printf("%-36s %10.4f ms\n", "ship (tracing off)", off_ms);
+    std::printf("%-36s %10.4f\n", "ship tracing overhead ratio", ratio);
+    reporter.AddValue("ship/tracing", "on_ms", on_ms);
+    reporter.AddValue("ship/tracing", "off_ms", off_ms);
+    reporter.AddValue("ship/tracing", "overhead_ratio", ratio);
   }
 
   // --- promotion detection: how long after the last heartbeat does a

@@ -129,19 +129,22 @@ HttpClient::HttpClient(std::string host, uint16_t port,
   if (host_ == "localhost") host_ = "127.0.0.1";
 }
 
-Result<HttpResponseMessage> HttpClient::Get(const std::string& path) {
-  return RoundTrip("GET", path, std::string(), std::string_view());
+Result<HttpResponseMessage> HttpClient::Get(
+    const std::string& path, const HttpHeaderList& extra_headers) {
+  return RoundTrip("GET", path, std::string(), std::string_view(),
+                   extra_headers);
 }
 
-Result<HttpResponseMessage> HttpClient::Post(const std::string& path,
-                                             const std::string& content_type,
-                                             std::string_view body) {
-  return RoundTrip("POST", path, content_type, body);
+Result<HttpResponseMessage> HttpClient::Post(
+    const std::string& path, const std::string& content_type,
+    std::string_view body, const HttpHeaderList& extra_headers) {
+  return RoundTrip("POST", path, content_type, body, extra_headers);
 }
 
 Result<HttpResponseMessage> HttpClient::PostWithRetry(
     const std::string& path, const std::string& content_type,
-    std::string_view body, HttpRetryStats* stats) {
+    std::string_view body, HttpRetryStats* stats,
+    const HttpHeaderList& extra_headers) {
   BackoffSchedule schedule(options_.backoff, port_);
   HttpRetryStats local;
   Result<HttpResponseMessage> last = Status::Internal("no attempt made");
@@ -150,7 +153,7 @@ Result<HttpResponseMessage> HttpClient::PostWithRetry(
     if (options_.transport_fault_hook) {
       options_.transport_fault_hook(attempt, &wire);
     }
-    last = RoundTrip("POST", path, content_type, wire);
+    last = RoundTrip("POST", path, content_type, wire, extra_headers);
     local.attempts = attempt + 1;
     // Transport errors and 5xx retry; anything the server parsed and
     // answered below 500 is final.
@@ -171,7 +174,8 @@ Result<HttpResponseMessage> HttpClient::PostWithRetry(
 
 Result<HttpResponseMessage> HttpClient::RoundTrip(
     const std::string& method, const std::string& path,
-    const std::string& content_type, std::string_view body) {
+    const std::string& content_type, std::string_view body,
+    const HttpHeaderList& extra_headers) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port_);
@@ -195,6 +199,17 @@ Result<HttpResponseMessage> HttpClient::RoundTrip(
   }
   if (method == "POST") {
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  bool caller_sent_traceparent = false;
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+    if (name == "traceparent") caller_sent_traceparent = true;
+  }
+  if (!caller_sent_traceparent && options_.traceparent_provider) {
+    std::string traceparent = options_.traceparent_provider();
+    if (!traceparent.empty()) {
+      request += "traceparent: " + traceparent + "\r\n";
+    }
   }
   request += "Connection: close\r\n\r\n";
   HOM_RETURN_NOT_OK(SendAll(fd, request));

@@ -6,11 +6,16 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/backoff.h"
 #include "common/result.h"
 
 namespace hom {
+
+/// Extra request headers for one call, written verbatim (name: value).
+using HttpHeaderList = std::vector<std::pair<std::string, std::string>>;
 
 /// One parsed HTTP response. `status` is the numeric code from the status
 /// line; `body` holds exactly Content-Length bytes (or the bytes until EOF
@@ -48,6 +53,12 @@ struct HttpClientOptions {
   /// body arrives "complete" at the transport level and must be caught by
   /// checksums one layer up.
   std::function<void(size_t attempt, std::string* body)> transport_fault_hook;
+  /// Trace-propagation seam: when set and returning a non-empty string,
+  /// every request carries it as a `traceparent` header (unless the call's
+  /// extra headers already supply one). hom_common cannot depend on the
+  /// obs trace layer, so obs-linking callers wire this to
+  /// obs::CurrentTraceparentOrEmpty and the client stays dependency-free.
+  std::function<std::string()> traceparent_provider;
 };
 
 /// \brief Minimal dependency-free blocking HTTP/1.1 client, the peer of
@@ -68,20 +79,22 @@ class HttpClient {
   HttpClient(std::string host, uint16_t port, HttpClientOptions options = {});
 
   /// One GET round trip, no retries.
-  Result<HttpResponseMessage> Get(const std::string& path);
+  Result<HttpResponseMessage> Get(const std::string& path,
+                                  const HttpHeaderList& extra_headers = {});
 
   /// One POST round trip, no retries.
   Result<HttpResponseMessage> Post(const std::string& path,
                                    const std::string& content_type,
-                                   std::string_view body);
+                                   std::string_view body,
+                                   const HttpHeaderList& extra_headers = {});
 
   /// POST with the options' backoff schedule. Retries transport errors
   /// and 5xx responses until the policy gives up; the last failure (Status
   /// or 5xx response) is returned as-is. 2xx-4xx responses short-circuit.
-  Result<HttpResponseMessage> PostWithRetry(const std::string& path,
-                                            const std::string& content_type,
-                                            std::string_view body,
-                                            HttpRetryStats* stats = nullptr);
+  Result<HttpResponseMessage> PostWithRetry(
+      const std::string& path, const std::string& content_type,
+      std::string_view body, HttpRetryStats* stats = nullptr,
+      const HttpHeaderList& extra_headers = {});
 
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
@@ -91,7 +104,8 @@ class HttpClient {
   Result<HttpResponseMessage> RoundTrip(const std::string& method,
                                         const std::string& path,
                                         const std::string& content_type,
-                                        std::string_view body);
+                                        std::string_view body,
+                                        const HttpHeaderList& extra_headers);
 
   std::string host_;
   uint16_t port_;

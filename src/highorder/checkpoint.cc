@@ -1,6 +1,7 @@
 #include "highorder/checkpoint.h"
 
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/file_io.h"
 #include "highorder/serialization.h"
 #include "obs/event_journal.h"
+#include "obs/trace_context.h"
 
 namespace hom {
 
@@ -238,6 +240,13 @@ Result<uint32_t> CheckpointIdentity(const std::string& bytes) {
 }
 
 Result<ServingCheckpoint> CaptureCheckpoint(const HighOrderClassifier& model) {
+  // Traced only when a context is already installed (a checkpoint round,
+  // a swap): bare captures from tests and the CLI stay span-free instead
+  // of minting unlinked root traces.
+  std::optional<obs::DistSpan> span;
+  if (obs::CurrentTraceContext() != nullptr) {
+    span.emplace("checkpoint.capture", obs::SpanKind::kInternal);
+  }
   ServingCheckpoint ckpt;
   HOM_ASSIGN_OR_RETURN(ckpt.schema_fingerprint,
                        SchemaFingerprint(*model.schema()));
@@ -549,6 +558,12 @@ Status ApplyCheckpoint(const ServingCheckpoint& ckpt,
                        HighOrderClassifier* model) {
   if (model == nullptr) {
     return Status::InvalidArgument("model must not be null");
+  }
+  // Same only-if-traced rule as CaptureCheckpoint: on the standby this
+  // nests under replica.apply and carries the primary's trace id.
+  std::optional<obs::DistSpan> span;
+  if (obs::CurrentTraceContext() != nullptr) {
+    span.emplace("checkpoint.apply", obs::SpanKind::kInternal);
   }
   HOM_ASSIGN_OR_RETURN(uint32_t fingerprint,
                        SchemaFingerprint(*model->schema()));

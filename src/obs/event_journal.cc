@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace hom::obs {
 
@@ -53,7 +54,9 @@ Result<EventType> EventTypeFromName(std::string_view name) {
 }
 
 EventJournal::EventJournal(size_t capacity)
-    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+    : capacity_(capacity),
+      epoch_(std::chrono::steady_clock::now()),
+      epoch_unix_us_(UnixMicrosNow()) {
   HOM_CHECK_GE(capacity, 1u) << "journal needs at least one slot";
   ring_.reserve(capacity_);
 }
@@ -73,6 +76,11 @@ void EventJournal::Emit(EventType type, std::string_view source,
   event.t_us = std::chrono::duration<double, std::micro>(
                    std::chrono::steady_clock::now() - epoch_)
                    .count();
+  if (const TraceContext* ctx = CurrentTraceContext()) {
+    event.trace_hi = ctx->trace_hi;
+    event.trace_lo = ctx->trace_lo;
+    event.span_id = ctx->span_id;
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   event.seq = next_seq_++;
@@ -129,6 +137,8 @@ Status EventJournal::AttachJsonlSink(const std::string& path) {
   if (!sink_) {
     return Status::Internal("cannot open journal sink " + path);
   }
+  sink_ << HeaderLine() << "\n";
+  sink_.flush();
   return Status::OK();
 }
 
@@ -141,6 +151,7 @@ Status EventJournal::WriteJsonl(const std::string& path) const {
   std::vector<Event> events = Snapshot();
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path);
+  out << HeaderLine() << "\n";
   for (const Event& e : events) out << ToJsonl(e) << "\n";
   if (!out) return Status::Internal("failed writing " + path);
   return Status::OK();
@@ -174,6 +185,19 @@ JsonValue EventJournal::SummaryJson() const {
 
 EventJournal* EventJournal::Active() { return g_active_journal; }
 
+std::string EventJournal::HeaderLine() const {
+  JsonValue header = JsonValue::Object();
+  header.Set("journal_schema", JsonValue(kJournalSchemaVersion));
+  header.Set("epoch_unix_us", JsonValue(epoch_unix_us_));
+  return header.Dump();
+}
+
+bool EventJournal::IsHeaderLine(std::string_view line) {
+  Result<JsonValue> doc = JsonValue::Parse(line);
+  return doc.ok() && doc->is_object() &&
+         doc->Find("journal_schema") != nullptr;
+}
+
 std::string EventJournal::ToJsonl(const Event& event) {
   JsonValue line = JsonValue::Object();
   line.Set("seq", JsonValue(event.seq));
@@ -184,6 +208,12 @@ std::string EventJournal::ToJsonl(const Event& event) {
   line.Set("from", JsonValue(static_cast<int64_t>(event.from)));
   line.Set("to", JsonValue(static_cast<int64_t>(event.to)));
   line.Set("value", JsonValue(event.value));
+  if ((event.trace_hi | event.trace_lo) != 0 && event.span_id != 0) {
+    line.Set("trace_id",
+             JsonValue(TraceIdHex(
+                 {event.trace_hi, event.trace_lo, event.span_id})));
+    line.Set("span_id", JsonValue(SpanIdHex(event.span_id)));
+  }
   return line.Dump();
 }
 
@@ -211,6 +241,20 @@ Result<Event> EventJournal::FromJsonl(std::string_view line) {
   event.from = static_cast<int64_t>(number("from", -1.0));
   event.to = static_cast<int64_t>(number("to", -1.0));
   event.value = number("value", 0.0);
+  if (const JsonValue* v = doc.Find("trace_id");
+      v != nullptr && v->is_string()) {
+    if (!ParseTraceIdHex(v->as_string(), &event.trace_hi, &event.trace_lo)) {
+      return Status::InvalidArgument("bad journal trace_id '" +
+                                     v->as_string() + "'");
+    }
+  }
+  if (const JsonValue* v = doc.Find("span_id");
+      v != nullptr && v->is_string()) {
+    if (!ParseSpanIdHex(v->as_string(), &event.span_id)) {
+      return Status::InvalidArgument("bad journal span_id '" +
+                                     v->as_string() + "'");
+    }
+  }
   return event;
 }
 

@@ -71,7 +71,20 @@ struct Event {
   int64_t from = -1;   ///< concept id before the event
   int64_t to = -1;     ///< concept id after the event
   double value = 0.0;  ///< evidence payload (probability, error rate, ...)
+  /// Distributed-trace identity stamped from the emitting thread's
+  /// installed TraceContext (all zero when none was active): journals from
+  /// different processes join on trace_id.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
 };
+
+/// Journal JSONL schema: version 2 prepends one header line
+/// (`{"journal_schema": 2, "epoch_unix_us": ...}`) anchoring the relative
+/// `t_us` timestamps to the wall clock, and events may carry optional
+/// `trace_id`/`span_id` hex fields. Version-1 files (no header) still
+/// parse — every event field stays backward compatible.
+inline constexpr int kJournalSchemaVersion = 2;
 
 /// \brief Bounded, timestamped, thread-safe journal of typed online-phase
 /// events, with an optional streaming JSONL sink.
@@ -142,9 +155,22 @@ class EventJournal {
   static std::string ToJsonl(const Event& event);
   static Result<Event> FromJsonl(std::string_view line);
 
+  /// True for a schema header line (the first line of a version >= 2
+  /// file). Line-oriented consumers skip these instead of counting them as
+  /// parse failures.
+  static bool IsHeaderLine(std::string_view line);
+
+  /// Wall-clock time of journal construction, in unix microseconds: the
+  /// anchor that places this journal's `t_us`-relative events on a merged
+  /// cross-process timeline.
+  int64_t epoch_unix_us() const { return epoch_unix_us_; }
+
  private:
+  std::string HeaderLine() const;
+
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
+  const int64_t epoch_unix_us_;
   mutable std::mutex mu_;
   std::vector<Event> ring_;      ///< slot = seq % capacity_
   uint64_t next_seq_ = 0;

@@ -16,6 +16,7 @@
 #include "obs/event_journal.h"
 #include "obs/metrics.h"
 #include "obs/request_timer.h"
+#include "obs/trace_context.h"
 
 namespace hom::obs {
 
@@ -141,6 +142,43 @@ int64_t ContentLengthOf(std::string_view head) {
     pos = line_end;
   }
   return -1;
+}
+
+/// Parses every header line after the request line into lowercased-key
+/// pairs (last occurrence wins). Returns false on a syntactically
+/// malformed line — no colon, empty name, or whitespace inside the name —
+/// which the caller answers with 400.
+bool ParseHeaderLines(std::string_view head,
+                      std::map<std::string, std::string>* out) {
+  size_t pos = head.find('\n');  // skip the request line
+  while (pos != std::string_view::npos && pos + 1 < head.size()) {
+    size_t line_start = pos + 1;
+    size_t line_end = head.find('\n', line_start);
+    std::string_view line = head.substr(
+        line_start, line_end == std::string_view::npos ? std::string_view::npos
+                                                       : line_end - line_start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = line_end;
+    if (line.empty()) continue;  // the blank terminator line
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    std::string name;
+    name.reserve(colon);
+    for (size_t i = 0; i < colon; ++i) {
+      unsigned char c = static_cast<unsigned char>(line[i]);
+      if (std::isspace(c) || std::iscntrl(c)) return false;
+      name.push_back(static_cast<char>(std::tolower(c)));
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+      value.remove_suffix(1);
+    }
+    (*out)[std::move(name)] = std::string(value);
+  }
+  return true;
 }
 
 void SetIoTimeout(int fd, int timeout_ms) {
@@ -378,9 +416,39 @@ void HttpServer::ServeConnection(int fd) {
     target.resize(query);
   }
   request.path = target;
+  if (!ParseHeaderLines(head, &request.headers)) {
+    HttpResponse bad;
+    bad.status = 400;
+    bad.body = "malformed header line\n";
+    WriteResponse(fd, bad, /*head_only=*/false);
+    CountRequest("(malformed)", 400);
+    return;
+  }
   auto parsed = std::chrono::steady_clock::now();
   RecordStageSeconds("http_parse",
                      std::chrono::duration<double>(parsed - start).count());
+
+  // A traced caller (the shipper, homctl swap) announces itself with a
+  // `traceparent` header; the handler then runs inside a server-kind span
+  // whose context is installed thread-locally, so journal emits and nested
+  // spans on this thread join the caller's trace. An invalid traceparent
+  // value is ignored (per W3C), not rejected — the request still runs.
+  auto invoke = [&](const RequestHandler& handler) -> HttpResponse {
+    auto traceparent = request.headers.find("traceparent");
+    if (traceparent != request.headers.end()) {
+      Result<TraceContext> ctx = ParseTraceparent(traceparent->second);
+      if (ctx.ok()) {
+        DistSpan span((method + " " + target).c_str(), SpanKind::kServer,
+                      *ctx);
+        HttpResponse traced = handler(request);
+        if (traced.status >= 400) {
+          span.set_status("http " + std::to_string(traced.status));
+        }
+        return traced;
+      }
+    }
+    return handler(request);
+  };
 
   HttpResponse response;
   bool head_only = method == "HEAD";
@@ -413,14 +481,14 @@ void HttpServer::ServeConnection(int fd) {
         response.status = 400;
         response.body = "truncated request body\n";
       } else {
-        response = it->second(request);
+        response = invoke(it->second);
       }
     }
   } else if (method != "GET" && method != "HEAD") {
     response.status = 405;
     response.body = "only GET, HEAD, and POST are supported\n";
   } else if (auto it = handlers_.find(target); it != handlers_.end()) {
-    response = it->second(request);
+    response = invoke(it->second);
   } else if (post_handlers_.count(target) > 0) {
     response.status = 405;
     response.body = "only POST is supported on this path\n";

@@ -32,11 +32,22 @@ struct HttpRequest {
   std::string path;
   std::string body;
   std::map<std::string, std::string> query;
+  /// All request headers, keys lowercased (header names are
+  /// case-insensitive on the wire), values whitespace-trimmed. A
+  /// syntactically malformed header line fails the whole request with 400
+  /// before any handler runs.
+  std::map<std::string, std::string> headers;
 
   /// The value of query parameter `name`, or `fallback` when absent.
   const char* QueryOr(const std::string& name, const char* fallback) const {
     auto it = query.find(name);
     return it != query.end() ? it->second.c_str() : fallback;
+  }
+
+  /// The value of header `name` (lowercase), or `fallback` when absent.
+  const char* HeaderOr(const std::string& name, const char* fallback) const {
+    auto it = headers.find(name);
+    return it != headers.end() ? it->second.c_str() : fallback;
   }
 };
 

@@ -159,6 +159,9 @@ constexpr HelpEntry kBuiltinHelp[] = {
     {"hom.timeseries.series", "Live series in the time-series store."},
     {"hom.timeseries.ticks", "Snapshot ticks taken by the time-series "
      "store."},
+    {"hom.trace.dropped",
+     "Spans evicted from the in-process trace ring by overflow."},
+    {"hom.trace.spans", "Distributed-trace spans recorded."},
     {"hom_build_info",
      "Build/model identity; value is always 1, the labels carry the "
      "information."},

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/event_journal.h"
+#include "obs/trace_context.h"
 
 namespace hom::obs {
 
@@ -81,6 +82,11 @@ void RequestTimer::RecordRequest(
   for (size_t i = 0; i < kNumRequestStages; ++i) {
     entry.stage_us[i] = stage_seconds[i] * 1e6;
   }
+  if (const TraceContext* ctx = CurrentTraceContext()) {
+    entry.trace_hi = ctx->trace_hi;
+    entry.trace_lo = ctx->trace_lo;
+    entry.span_id = ctx->span_id;
+  }
 
   bool retained = false;
   {
@@ -129,6 +135,12 @@ JsonValue RequestTimer::SlowestJson() const {
     entry.Set("record", JsonValue(static_cast<int64_t>(slow.record)));
     entry.Set("total_us", JsonValue(slow.total_us));
     entry.Set("stages", std::move(stages));
+    if ((slow.trace_hi | slow.trace_lo) != 0 && slow.span_id != 0) {
+      entry.Set("trace_id",
+                JsonValue(TraceIdHex(
+                    {slow.trace_hi, slow.trace_lo, slow.span_id})));
+      entry.Set("span_id", JsonValue(SpanIdHex(slow.span_id)));
+    }
     out.Append(std::move(entry));
   }
   return out;

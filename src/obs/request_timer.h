@@ -61,11 +61,17 @@ class RequestTimer {
   };
 
   /// One retained slow request: stream position, total wall time, and how
-  /// that total splits across the stages.
+  /// that total splits across the stages. When the recording thread had a
+  /// trace context installed, the trace/span ids ride along so a slow
+  /// entry on /statusz can be joined against span files and journals from
+  /// other processes (serving-loop records usually carry none).
   struct SlowRequest {
     int64_t record = -1;
     double total_us = 0.0;
     std::array<double, kNumRequestStages> stage_us{};
+    uint64_t trace_hi = 0;
+    uint64_t trace_lo = 0;
+    uint64_t span_id = 0;
   };
 
   RequestTimer();  ///< All-default Options.

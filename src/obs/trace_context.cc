@@ -1,0 +1,442 @@
+#include "obs/trace_context.h"
+
+#include <random>
+
+#include "obs/metrics.h"
+
+namespace hom::obs {
+
+namespace {
+
+thread_local const TraceContext* g_current_context = nullptr;
+
+/// SplitMix64 finalizer: a bijective mix, so distinct (seed, counter)
+/// pairs give distinct ids and a fixed seed gives a fixed sequence.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct IdGenerator {
+  std::mutex mu;
+  uint64_t seed = 0;
+  uint64_t counter = 0;
+  bool seeded = false;
+
+  uint64_t Next() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seeded) {
+      // No explicit seed: draw one from the platform so concurrent
+      // processes do not mint colliding ids by default.
+      std::random_device rd;
+      seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+      seeded = true;
+    }
+    uint64_t id = 0;
+    do {
+      id = Mix64(seed ^ Mix64(++counter));
+    } while (id == 0);  // 0 is the W3C "no id" sentinel
+    return id;
+  }
+
+  void Seed(uint64_t s) {
+    std::lock_guard<std::mutex> lock(mu);
+    seed = s;
+    counter = 0;
+    seeded = true;
+  }
+};
+
+IdGenerator& Generator() {
+  static IdGenerator* generator = new IdGenerator();
+  return *generator;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void AppendHex64(uint64_t v, std::string* out) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHexDigits[(v >> shift) & 0xf]);
+  }
+}
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  uint64_t v = 0;
+  for (char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;  // uppercase is malformed per W3C
+    }
+  }
+  *out = v;
+  return true;
+}
+
+int ThreadLane() {
+  static std::atomic<int> next_lane{0};
+  thread_local int lane = next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+}  // namespace
+
+std::string TraceIdHex(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(ctx.trace_hi, &out);
+  AppendHex64(ctx.trace_lo, &out);
+  return out;
+}
+
+std::string SpanIdHex(uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(span_id, &out);
+  return out;
+}
+
+bool ParseTraceIdHex(std::string_view hex, uint64_t* hi, uint64_t* lo) {
+  return hex.size() == 32 && ParseHex64(hex.substr(0, 16), hi) &&
+         ParseHex64(hex.substr(16), lo);
+}
+
+bool ParseSpanIdHex(std::string_view hex, uint64_t* id) {
+  return hex.size() == 16 && ParseHex64(hex, id);
+}
+
+std::string FormatTraceparent(const TraceContext& ctx) {
+  if (!ctx.valid()) return std::string();
+  std::string out = "00-";
+  out.reserve(55);
+  AppendHex64(ctx.trace_hi, &out);
+  AppendHex64(ctx.trace_lo, &out);
+  out += '-';
+  AppendHex64(ctx.span_id, &out);
+  out += "-01";
+  return out;
+}
+
+Result<TraceContext> ParseTraceparent(std::string_view text) {
+  // version(2)-trace(32)-span(16)-flags(2): 55 chars minimum.
+  if (text.size() < 55 || text[2] != '-' || text[35] != '-' ||
+      text[52] != '-') {
+    return Status::InvalidArgument("malformed traceparent '" +
+                                   std::string(text) + "'");
+  }
+  uint64_t version = 0;
+  TraceContext ctx;
+  uint64_t flags = 0;
+  if (!ParseHex64(text.substr(0, 2), &version) ||
+      !ParseHex64(text.substr(3, 16), &ctx.trace_hi) ||
+      !ParseHex64(text.substr(19, 16), &ctx.trace_lo) ||
+      !ParseHex64(text.substr(36, 16), &ctx.span_id) ||
+      !ParseHex64(text.substr(53, 2), &flags)) {
+    return Status::InvalidArgument("non-hex traceparent field in '" +
+                                   std::string(text) + "'");
+  }
+  if (version == 0xff) {
+    return Status::InvalidArgument("traceparent version ff is reserved");
+  }
+  // Version 00 is exactly 55 chars; unknown future versions may append
+  // fields after another dash and must still be accepted.
+  if (version == 0 && text.size() != 55) {
+    return Status::InvalidArgument("trailing bytes after version-00 "
+                                   "traceparent");
+  }
+  if (version != 0 && text.size() > 55 && text[55] != '-') {
+    return Status::InvalidArgument("malformed traceparent suffix");
+  }
+  if ((ctx.trace_hi | ctx.trace_lo) == 0) {
+    return Status::InvalidArgument("all-zero trace id");
+  }
+  if (ctx.span_id == 0) {
+    return Status::InvalidArgument("all-zero parent span id");
+  }
+  return ctx;
+}
+
+void SeedTraceIds(uint64_t seed) { Generator().Seed(seed); }
+
+TraceContext NewTrace() {
+  IdGenerator& gen = Generator();
+  TraceContext ctx;
+  ctx.trace_hi = gen.Next();
+  ctx.trace_lo = gen.Next();
+  ctx.span_id = gen.Next();
+  return ctx;
+}
+
+uint64_t NewSpanId() { return Generator().Next(); }
+
+const TraceContext* CurrentTraceContext() { return g_current_context; }
+
+std::string CurrentTraceparentOrEmpty() {
+  const TraceContext* ctx = g_current_context;
+  return ctx == nullptr ? std::string() : FormatTraceparent(*ctx);
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : ctx_(ctx), previous_(g_current_context) {
+  g_current_context = &ctx_;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current_context = previous_; }
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClient:
+      return "client";
+    case SpanKind::kServer:
+      return "server";
+    case SpanKind::kInternal:
+      break;
+  }
+  return "internal";
+}
+
+Result<SpanKind> SpanKindFromName(std::string_view name) {
+  if (name == "client") return SpanKind::kClient;
+  if (name == "server") return SpanKind::kServer;
+  if (name == "internal") return SpanKind::kInternal;
+  return Status::InvalidArgument("unknown span kind '" + std::string(name) +
+                                 "'");
+}
+
+namespace {
+
+JsonValue SpanToJson(const SpanRecord& span) {
+  JsonValue line = JsonValue::Object();
+  line.Set("trace_id", JsonValue(TraceIdHex(
+                           {span.trace_hi, span.trace_lo, span.span_id})));
+  line.Set("span_id", JsonValue(SpanIdHex(span.span_id)));
+  if (span.parent_span_id != 0) {
+    line.Set("parent_span_id", JsonValue(SpanIdHex(span.parent_span_id)));
+  }
+  line.Set("name", JsonValue(span.name));
+  line.Set("kind", JsonValue(std::string(SpanKindName(span.kind))));
+  line.Set("start_unix_us", JsonValue(span.start_unix_us));
+  line.Set("dur_us", JsonValue(span.dur_us));
+  if (!span.status.empty()) line.Set("status", JsonValue(span.status));
+  line.Set("lane", JsonValue(static_cast<int64_t>(span.lane)));
+  return line;
+}
+
+}  // namespace
+
+std::string SpanToJsonl(const SpanRecord& span) {
+  return SpanToJson(span).Dump();
+}
+
+Result<SpanRecord> SpanFromJsonl(std::string_view line) {
+  HOM_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("span line must be a JSON object");
+  }
+  auto hex_field = [&doc](const char* key, bool required,
+                          std::string* out) -> Status {
+    const JsonValue* v = doc.Find(key);
+    if (v == nullptr || !v->is_string()) {
+      if (required) {
+        return Status::InvalidArgument(std::string("span line missing '") +
+                                       key + "'");
+      }
+      out->clear();
+      return Status::OK();
+    }
+    *out = v->as_string();
+    return Status::OK();
+  };
+  std::string trace_hex, span_hex, parent_hex;
+  HOM_RETURN_NOT_OK(hex_field("trace_id", true, &trace_hex));
+  HOM_RETURN_NOT_OK(hex_field("span_id", true, &span_hex));
+  HOM_RETURN_NOT_OK(hex_field("parent_span_id", false, &parent_hex));
+  SpanRecord span;
+  uint64_t parent = 0;
+  if (trace_hex.size() != 32 || !ParseHex64(trace_hex.substr(0, 16),
+                                            &span.trace_hi) ||
+      !ParseHex64(trace_hex.substr(16), &span.trace_lo)) {
+    return Status::InvalidArgument("bad span trace_id '" + trace_hex + "'");
+  }
+  if (span_hex.size() != 16 || !ParseHex64(span_hex, &span.span_id)) {
+    return Status::InvalidArgument("bad span span_id '" + span_hex + "'");
+  }
+  if (!parent_hex.empty()) {
+    if (parent_hex.size() != 16 || !ParseHex64(parent_hex, &parent)) {
+      return Status::InvalidArgument("bad span parent_span_id '" +
+                                     parent_hex + "'");
+    }
+  }
+  span.parent_span_id = parent;
+  if (const JsonValue* v = doc.Find("name"); v != nullptr && v->is_string()) {
+    span.name = v->as_string();
+  }
+  if (const JsonValue* v = doc.Find("kind"); v != nullptr && v->is_string()) {
+    HOM_ASSIGN_OR_RETURN(span.kind, SpanKindFromName(v->as_string()));
+  }
+  if (const JsonValue* v = doc.Find("status");
+      v != nullptr && v->is_string()) {
+    span.status = v->as_string();
+  }
+  auto number = [&doc](const char* key, double fallback) {
+    const JsonValue* v = doc.Find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : fallback;
+  };
+  span.start_unix_us = static_cast<int64_t>(number("start_unix_us", 0.0));
+  span.dur_us = number("dur_us", 0.0);
+  span.lane = static_cast<int>(number("lane", 0.0));
+  return span;
+}
+
+TraceBuffer& TraceBuffer::Instance() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::set_process_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_name_ = std::move(name);
+}
+
+std::string TraceBuffer::process_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return process_name_;
+}
+
+Status TraceBuffer::AttachJsonlSink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_.open(path, std::ios::trunc);
+  if (!sink_) return Status::Internal("cannot open span sink " + path);
+  JsonValue header = JsonValue::Object();
+  header.Set("span_schema", JsonValue(kSpanSchemaVersion));
+  header.Set("process", JsonValue(process_name_));
+  sink_ << header.Dump() << "\n";
+  sink_.flush();
+  return Status::OK();
+}
+
+void TraceBuffer::CloseSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) sink_.close();
+}
+
+void TraceBuffer::Record(const SpanRecord& span) {
+  if (!enabled()) return;
+  HOM_COUNTER_INC("hom.trace.spans");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (sink_.is_open()) {
+    sink_ << SpanToJsonl(span) << "\n";
+    sink_.flush();  // a SIGKILLed process must leave a complete file
+  }
+  if (ring_.size() < kDefaultCapacity) {
+    ring_.push_back(span);
+  } else {
+    HOM_COUNTER_INC("hom.trace.dropped");
+    ring_[next_slot_ % kDefaultCapacity] = span;
+  }
+  ++next_slot_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  uint64_t first = next_slot_ - ring_.size();
+  for (uint64_t slot = first; slot < next_slot_; ++slot) {
+    out.push_back(ring_[slot % kDefaultCapacity]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+JsonValue TraceBuffer::RecentJson(size_t limit) const {
+  std::vector<SpanRecord> spans = Snapshot();
+  size_t begin = spans.size() > limit ? spans.size() - limit : 0;
+  JsonValue array = JsonValue::Array();
+  for (size_t i = begin; i < spans.size(); ++i) {
+    array.Append(SpanToJson(spans[i]));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::Object();
+  out.Set("process", JsonValue(process_name_));
+  out.Set("recorded", JsonValue(recorded_));
+  out.Set("dropped", JsonValue(recorded_ - ring_.size()));
+  out.Set("spans", std::move(array));
+  return out;
+}
+
+void TraceBuffer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_slot_ = 0;
+  recorded_ = 0;
+}
+
+DistSpan::DistSpan(const char* name, SpanKind kind) {
+  Start(name, kind, CurrentTraceContext());
+}
+
+DistSpan::DistSpan(const char* name, SpanKind kind,
+                   const TraceContext& parent) {
+  Start(name, kind, parent.valid() ? &parent : nullptr);
+}
+
+void DistSpan::Start(const char* name, SpanKind kind,
+                     const TraceContext* parent) {
+  if (!TraceBuffer::Instance().enabled()) return;
+  active_ = true;
+  if (parent != nullptr && parent->valid()) {
+    ctx_.trace_hi = parent->trace_hi;
+    ctx_.trace_lo = parent->trace_lo;
+    ctx_.span_id = NewSpanId();
+    rec_.parent_span_id = parent->span_id;
+  } else {
+    ctx_ = NewTrace();
+    rec_.parent_span_id = 0;
+  }
+  rec_.trace_hi = ctx_.trace_hi;
+  rec_.trace_lo = ctx_.trace_lo;
+  rec_.span_id = ctx_.span_id;
+  rec_.name = name;
+  rec_.kind = kind;
+  rec_.lane = ThreadLane();
+  rec_.start_unix_us = UnixMicrosNow();
+  started_ = std::chrono::steady_clock::now();
+  scope_.emplace(ctx_);
+}
+
+DistSpan::~DistSpan() {
+  if (!active_) return;
+  rec_.dur_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - started_)
+                    .count();
+  scope_.reset();  // uninstall before recording: Record is not reentrant
+  TraceBuffer::Instance().Record(rec_);
+}
+
+void DistSpan::set_status(std::string status) {
+  rec_.status = std::move(status);
+}
+
+int64_t UnixMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hom::obs

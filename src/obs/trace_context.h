@@ -1,0 +1,219 @@
+#ifndef HOM_OBS_TRACE_CONTEXT_H_
+#define HOM_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace hom::obs {
+
+/// \brief Cross-process trace identity: a 128-bit trace id shared by every
+/// span of one causal chain (a checkpoint round, a swap, a sampled
+/// heartbeat) plus the 64-bit id of the span currently executing.
+///
+/// The wire form is the W3C `traceparent` header
+/// (`00-<32 hex trace>-<16 hex span>-<2 hex flags>`), which is what
+/// `common/http_client` injects and `obs/http_server` extracts — so the
+/// standby's apply spans parent onto the primary's POST spans and two
+/// processes' journals join on `trace_id`.
+struct TraceContext {
+  uint64_t trace_hi = 0;  ///< high 64 bits of the 128-bit trace id
+  uint64_t trace_lo = 0;  ///< low 64 bits of the 128-bit trace id
+  uint64_t span_id = 0;   ///< the active span within the trace
+
+  /// W3C: an all-zero trace id or span id is not a context.
+  bool valid() const { return (trace_hi | trace_lo) != 0 && span_id != 0; }
+};
+
+/// 32-hex-digit trace id / 16-hex-digit span id, the forms used in span
+/// files, journal lines, and merged Perfetto args.
+std::string TraceIdHex(const TraceContext& ctx);
+std::string SpanIdHex(uint64_t span_id);
+
+/// Inverses of the hex forms (lowercase, exact width). False on anything
+/// else.
+bool ParseTraceIdHex(std::string_view hex, uint64_t* hi, uint64_t* lo);
+bool ParseSpanIdHex(std::string_view hex, uint64_t* id);
+
+/// `00-<trace>-<span>-01` for a valid context; "" for an invalid one.
+std::string FormatTraceparent(const TraceContext& ctx);
+
+/// Parses a `traceparent` value. Errors on malformed text (wrong field
+/// widths, non-hex digits, missing separators), on all-zero trace or span
+/// ids, and on the reserved version ff. Unknown future versions are
+/// tolerated as long as the leading four fields parse (per W3C, a vendor
+/// must not reject a longer header it does not understand).
+Result<TraceContext> ParseTraceparent(std::string_view text);
+
+/// Reseeds the process-wide id generator. Ids are a pure function of
+/// (seed, draw index), so two chaos runs with the same seed mint the same
+/// trace/span ids in the same order — reproducible timelines. Give each
+/// process of a replicated pair a *different* seed or their ids collide.
+void SeedTraceIds(uint64_t seed);
+
+/// A fresh root context (new trace id + root span id). Never all-zero.
+TraceContext NewTrace();
+/// A fresh span id. Never zero.
+uint64_t NewSpanId();
+
+/// The calling thread's installed context, or nullptr.
+const TraceContext* CurrentTraceContext();
+
+/// FormatTraceparent(current context), or "" when none is installed —
+/// shaped for HttpClientOptions::traceparent_provider.
+std::string CurrentTraceparentOrEmpty();
+
+/// \brief RAII: installs `ctx` as the calling thread's context for the
+/// enclosing scope (restores the previous one on destruction), mirroring
+/// ScopedJournal/ScopedTracer.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext ctx_;
+  const TraceContext* previous_;
+};
+
+enum class SpanKind : uint8_t { kInternal = 0, kClient, kServer };
+
+std::string_view SpanKindName(SpanKind kind);
+Result<SpanKind> SpanKindFromName(std::string_view name);
+
+/// One finished span, as buffered in-process and streamed to span files.
+/// `start_unix_us` is CLOCK_REALTIME microseconds — wall clock, because
+/// spans from different processes must land on one merged timeline.
+/// `dur_us` is measured on the steady clock. `lane` is a small per-thread
+/// index (first span on a thread claims the next lane) so the exporter can
+/// lay concurrent spans out on separate tracks.
+struct SpanRecord {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 for a root span
+  std::string name;
+  SpanKind kind = SpanKind::kInternal;
+  int64_t start_unix_us = 0;
+  double dur_us = 0.0;
+  std::string status;  ///< "" = ok; otherwise a short failure note
+  int lane = 0;
+};
+
+/// One-line JSON serialization of a span / its inverse; a round trip
+/// preserves every field. Span files are JSONL with one header line
+/// (`{"span_schema": 1, "process": ..., "seed": ...}`) followed by spans.
+std::string SpanToJsonl(const SpanRecord& span);
+Result<SpanRecord> SpanFromJsonl(std::string_view line);
+
+inline constexpr int kSpanSchemaVersion = 1;
+
+/// \brief Process-global bounded buffer of finished spans with an optional
+/// streaming JSONL sink (flushed per span — a SIGKILLed primary's file is
+/// complete up to the kill, which the failover chaos tests rely on).
+///
+/// Unlike the journal there is one buffer per process, not per operation:
+/// spans from the shipper thread, the HTTP worker, and the serve loop all
+/// land here, and /tracez serves its tail. set_enabled(false) turns every
+/// DistSpan into a no-op (one relaxed atomic load) — that is the "tracing
+/// off" arm of the bench overhead gate.
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static TraceBuffer& Instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Names this process in span-file headers and /tracez ("primary:8080").
+  void set_process_name(std::string name);
+  std::string process_name() const;
+
+  /// Streams every subsequent Record() as one JSON line to `path`
+  /// (truncating), after a header line naming the process and schema.
+  Status AttachJsonlSink(const std::string& path);
+  /// Flushes and detaches the sink.
+  void CloseSink();
+
+  void Record(const SpanRecord& span);
+
+  /// The retained spans, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+  /// Spans recorded since process start (ring evictions included).
+  uint64_t recorded() const;
+  uint64_t dropped() const;
+
+  /// {"process": ..., "recorded": N, "dropped": N, "spans": [...]} — the
+  /// newest `limit` spans, for GET /tracez.
+  JsonValue RecentJson(size_t limit = 256) const;
+
+  /// Drops all buffered spans and counters (bench/test isolation).
+  void Reset();
+
+ private:
+  TraceBuffer() = default;
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::string process_name_ = "hom";
+  std::vector<SpanRecord> ring_;
+  uint64_t next_slot_ = 0;
+  uint64_t recorded_ = 0;
+  std::ofstream sink_;
+};
+
+/// \brief RAII distributed span: derives a child context (from the thread's
+/// installed context, from an explicit parent, or — for the no-parent
+/// constructor — mints a fresh root trace), installs it thread-locally for
+/// the scope, and records the finished SpanRecord into the TraceBuffer on
+/// destruction. No-op (and no context install) while the buffer is
+/// disabled.
+class DistSpan {
+ public:
+  /// Child of the thread's current context; a new root trace when none.
+  DistSpan(const char* name, SpanKind kind);
+  /// Child of `parent` when it is valid (the promotion span adopts the
+  /// last applied checkpoint's context this way); a new root otherwise.
+  DistSpan(const char* name, SpanKind kind, const TraceContext& parent);
+  ~DistSpan();
+
+  DistSpan(const DistSpan&) = delete;
+  DistSpan& operator=(const DistSpan&) = delete;
+
+  /// Marks the span failed; shows up as `status` in exports.
+  void set_status(std::string status);
+
+  /// The context this span installed (invalid when tracing is disabled).
+  const TraceContext& context() const { return ctx_; }
+  bool active() const { return active_; }
+
+ private:
+  void Start(const char* name, SpanKind kind, const TraceContext* parent);
+
+  TraceContext ctx_;
+  SpanRecord rec_;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point started_;
+  std::optional<ScopedTraceContext> scope_;
+};
+
+/// CLOCK_REALTIME now, in microseconds — the shared timeline spans and
+/// journal headers are anchored to.
+int64_t UnixMicrosNow();
+
+}  // namespace hom::obs
+
+#endif  // HOM_OBS_TRACE_CONTEXT_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <tuple>
 
 namespace hom::obs {
 
@@ -19,14 +20,30 @@ constexpr int kWorkerTidBase = 16;  ///< pool worker k renders on tid 16+k
 /// Counter-series bucket width for the sample-density track.
 constexpr double kProfileBucketUs = 10000.0;
 
-JsonValue ThreadNameEvent(int tid, const char* name) {
+JsonValue ThreadNameEvent(int pid, int tid, const char* name) {
   JsonValue args = JsonValue::Object();
   args.Set("name", JsonValue(name));
   JsonValue event = JsonValue::Object();
   event.Set("name", JsonValue("thread_name"));
   event.Set("ph", JsonValue("M"));
-  event.Set("pid", JsonValue(kPid));
+  event.Set("pid", JsonValue(pid));
   event.Set("tid", JsonValue(tid));
+  event.Set("args", std::move(args));
+  return event;
+}
+
+JsonValue ThreadNameEvent(int tid, const char* name) {
+  return ThreadNameEvent(kPid, tid, name);
+}
+
+JsonValue ProcessNameEvent(int pid, const std::string& name) {
+  JsonValue args = JsonValue::Object();
+  args.Set("name", JsonValue(name));
+  JsonValue event = JsonValue::Object();
+  event.Set("name", JsonValue("process_name"));
+  event.Set("ph", JsonValue("M"));
+  event.Set("pid", JsonValue(pid));
+  event.Set("tid", JsonValue(0));
   event.Set("args", std::move(args));
   return event;
 }
@@ -73,7 +90,7 @@ void AppendPhaseSlices(const PhaseNode& node, double start_us, int tid,
   }
 }
 
-JsonValue InstantEvent(const Event& event) {
+JsonValue InstantEvent(const Event& event, int pid, int tid, double ts) {
   JsonValue args = JsonValue::Object();
   args.Set("seq", JsonValue(event.seq));
   args.Set("source", JsonValue(event.source));
@@ -81,13 +98,19 @@ JsonValue InstantEvent(const Event& event) {
   args.Set("from", JsonValue(static_cast<int64_t>(event.from)));
   args.Set("to", JsonValue(static_cast<int64_t>(event.to)));
   args.Set("value", JsonValue(event.value));
+  if ((event.trace_hi | event.trace_lo) != 0 && event.span_id != 0) {
+    args.Set("trace_id",
+             JsonValue(TraceIdHex(
+                 {event.trace_hi, event.trace_lo, event.span_id})));
+    args.Set("span_id", JsonValue(SpanIdHex(event.span_id)));
+  }
   JsonValue instant = JsonValue::Object();
   instant.Set("name", JsonValue(std::string(EventTypeName(event.type))));
   instant.Set("cat", JsonValue("journal"));
   instant.Set("ph", JsonValue("i"));
-  instant.Set("ts", JsonValue(event.t_us));
-  instant.Set("pid", JsonValue(kPid));
-  instant.Set("tid", JsonValue(kJournalTid));
+  instant.Set("ts", JsonValue(ts));
+  instant.Set("pid", JsonValue(pid));
+  instant.Set("tid", JsonValue(tid));
   instant.Set("s", JsonValue("t"));  // thread-scoped instant mark
   instant.Set("args", std::move(args));
   return instant;
@@ -158,13 +181,153 @@ JsonValue ChromeTraceDocument(const PhaseNode* phases,
   if (!events.empty()) {
     trace_events.Append(ThreadNameEvent(kJournalTid, "online events"));
     for (const Event& event : events) {
-      trace_events.Append(InstantEvent(event));
+      trace_events.Append(InstantEvent(event, kPid, kJournalTid, event.t_us));
     }
   }
   if (profile != nullptr && !profile->empty()) {
     AppendProfileTrack(*profile, &trace_events);
   }
   JsonValue doc = JsonValue::Object();
+  doc.Set("traceEvents", std::move(trace_events));
+  doc.Set("displayTimeUnit", JsonValue("ms"));
+  return doc;
+}
+
+JsonValue MergedTraceDocument(const std::vector<ProcessTrace>& processes) {
+  // Merged layout: process k renders as pid k+1; its spans occupy tids
+  // 1+lane ("span lane N") and its journal events tid 99 ("journal
+  // events"), so two processes' activity stacks as two labeled groups on
+  // one timeline.
+  constexpr int kMergedSpanTidBase = 1;
+  constexpr int kMergedJournalTid = 99;
+
+  // Every timestamp in the document is relative to the earliest anchored
+  // moment across all inputs, so the merged view opens at ts 0 instead of
+  // decades into the Perfetto timeline.
+  int64_t base_us = 0;
+  bool have_base = false;
+  auto fold_base = [&](int64_t t) {
+    if (!have_base || t < base_us) base_us = t;
+    have_base = true;
+  };
+  for (const ProcessTrace& process : processes) {
+    for (const SpanRecord& span : process.spans) fold_base(span.start_unix_us);
+    if (process.epoch_unix_us != 0) {
+      for (const Event& event : process.events) {
+        fold_base(process.epoch_unix_us + static_cast<int64_t>(event.t_us));
+      }
+    }
+  }
+
+  JsonValue trace_events = JsonValue::Array();
+
+  // Cross-process parentage index: (trace id, span id) -> owning process.
+  // A child whose parent lives in a *different* process gets a flow arrow;
+  // same-process nesting is already visible from the lanes.
+  struct SpanSite {
+    size_t process;
+    const SpanRecord* span;
+  };
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, SpanSite> by_id;
+  for (size_t p = 0; p < processes.size(); ++p) {
+    for (const SpanRecord& span : processes[p].spans) {
+      by_id[{span.trace_hi, span.trace_lo, span.span_id}] = {p, &span};
+    }
+  }
+
+  for (size_t p = 0; p < processes.size(); ++p) {
+    const ProcessTrace& process = processes[p];
+    int pid = static_cast<int>(p) + 1;
+    std::string display = process.name.empty()
+                              ? "process " + std::to_string(pid)
+                              : process.name;
+    trace_events.Append(ProcessNameEvent(pid, display));
+
+    std::map<int, bool> lanes;
+    for (const SpanRecord& span : process.spans) {
+      int tid = kMergedSpanTidBase + span.lane;
+      lanes[tid] = true;
+      JsonValue args = JsonValue::Object();
+      args.Set("trace_id",
+               JsonValue(TraceIdHex(
+                   {span.trace_hi, span.trace_lo, span.span_id})));
+      args.Set("span_id", JsonValue(SpanIdHex(span.span_id)));
+      if (span.parent_span_id != 0) {
+        args.Set("parent_span_id", JsonValue(SpanIdHex(span.parent_span_id)));
+      }
+      args.Set("kind", JsonValue(std::string(SpanKindName(span.kind))));
+      if (!span.status.empty()) {
+        args.Set("status", JsonValue(span.status));
+      }
+      JsonValue slice = JsonValue::Object();
+      slice.Set("name", JsonValue(span.name));
+      slice.Set("cat", JsonValue("span"));
+      slice.Set("ph", JsonValue("X"));
+      slice.Set("ts",
+                JsonValue(static_cast<double>(span.start_unix_us - base_us)));
+      slice.Set("dur", JsonValue(span.dur_us));
+      slice.Set("pid", JsonValue(pid));
+      slice.Set("tid", JsonValue(tid));
+      slice.Set("args", std::move(args));
+      trace_events.Append(std::move(slice));
+
+      auto parent_it =
+          by_id.find({span.trace_hi, span.trace_lo, span.parent_span_id});
+      if (span.parent_span_id != 0 && parent_it != by_id.end() &&
+          parent_it->second.process != p) {
+        const SpanRecord& parent = *parent_it->second.span;
+        std::string flow_id = SpanIdHex(span.span_id);
+        JsonValue start = JsonValue::Object();
+        start.Set("name", JsonValue("rpc"));
+        start.Set("cat", JsonValue("flow"));
+        start.Set("ph", JsonValue("s"));
+        start.Set("id", JsonValue(flow_id));
+        start.Set("ts", JsonValue(static_cast<double>(parent.start_unix_us -
+                                                      base_us)));
+        start.Set("pid",
+                  JsonValue(static_cast<int>(parent_it->second.process) + 1));
+        start.Set("tid", JsonValue(kMergedSpanTidBase + parent.lane));
+        trace_events.Append(std::move(start));
+        JsonValue finish = JsonValue::Object();
+        finish.Set("name", JsonValue("rpc"));
+        finish.Set("cat", JsonValue("flow"));
+        finish.Set("ph", JsonValue("f"));
+        finish.Set("bp", JsonValue("e"));  // bind to the enclosing slice
+        finish.Set("id", JsonValue(flow_id));
+        finish.Set("ts",
+                   JsonValue(static_cast<double>(span.start_unix_us -
+                                                 base_us)));
+        finish.Set("pid", JsonValue(pid));
+        finish.Set("tid", JsonValue(tid));
+        trace_events.Append(std::move(finish));
+      }
+    }
+    for (const auto& [tid, used] : lanes) {
+      (void)used;
+      std::string name = "span lane " + std::to_string(tid -
+                                                       kMergedSpanTidBase);
+      trace_events.Append(ThreadNameEvent(pid, tid, name.c_str()));
+    }
+
+    if (!process.events.empty()) {
+      trace_events.Append(
+          ThreadNameEvent(pid, kMergedJournalTid, "journal events"));
+      for (const Event& event : process.events) {
+        // A v2 journal header anchors t_us to the wall clock; a journal
+        // without one (legacy v1 file) can only be placed relative to the
+        // merged timeline's origin.
+        double ts = process.epoch_unix_us != 0
+                        ? static_cast<double>(process.epoch_unix_us -
+                                              base_us) +
+                              event.t_us
+                        : event.t_us;
+        trace_events.Append(InstantEvent(event, pid, kMergedJournalTid, ts));
+      }
+    }
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("merged_trace_schema", JsonValue(kMergedTraceSchemaVersion));
   doc.Set("traceEvents", std::move(trace_events));
   doc.Set("displayTimeUnit", JsonValue("ms"));
   return doc;

@@ -9,6 +9,7 @@
 #include "obs/json.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace hom::obs {
 
@@ -38,6 +39,37 @@ JsonValue ChromeTraceDocument(const PhaseNode* phases,
 Status WriteChromeTrace(const std::string& path, const PhaseNode* phases,
                         const EventJournal* journal,
                         const ProfileData* profile = nullptr);
+
+/// One process's contribution to a merged cross-process timeline: a
+/// display name ("primary:8080"), the wall-clock anchor of its journal
+/// (the v2 header's `epoch_unix_us`; 0 when the process shipped no
+/// journal), its recorded spans, and its journal events.
+struct ProcessTrace {
+  std::string name;
+  int64_t epoch_unix_us = 0;
+  std::vector<SpanRecord> spans;
+  std::vector<Event> events;
+};
+
+/// Top-level `"merged_trace_schema"` stamped into MergedTraceDocument()
+/// output so validators can reject documents they were not written for.
+inline constexpr int kMergedTraceSchemaVersion = 1;
+
+/// \brief Fuses span and journal streams from several processes into one
+/// Chrome trace-event document — the merged failover timeline behind
+/// `homctl trace merge`.
+///
+/// Each process becomes its own pid (named via process_name metadata).
+/// Spans render as complete ("X") slices on per-lane tracks at their real
+/// wall-clock starts, with trace/span/parent ids, kind, and status under
+/// "args"; journal events render as instant ("i") marks on an "events"
+/// track, anchored to the wall clock by the journal's epoch. Wherever a
+/// span in one process is the parent of a span in another (the shipper's
+/// POST begetting the standby's apply), a flow arrow (ph "s" on the
+/// parent, ph "f" on the child) draws the cross-process edge. All
+/// timestamps are normalized so the earliest moment across every input is
+/// ts 0.
+JsonValue MergedTraceDocument(const std::vector<ProcessTrace>& processes);
 
 }  // namespace hom::obs
 

@@ -142,6 +142,21 @@ obs::HttpResponse StandbyReplica::ApplyFullBytesLocked(
 
 obs::HttpResponse StandbyReplica::HandleCheckpointUpload(
     const obs::HttpRequest& request) {
+  // Child of the server span the HTTP layer installed from the shipper's
+  // traceparent — the standby's apply carries the primary's trace id.
+  obs::DistSpan span("replica.apply", obs::SpanKind::kInternal);
+  obs::HttpResponse response = DoHandleCheckpointUpload(request);
+  if (response.status == 200) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (span.active()) last_apply_ctx_ = span.context();
+  } else {
+    span.set_status("http " + std::to_string(response.status));
+  }
+  return response;
+}
+
+obs::HttpResponse StandbyReplica::DoHandleCheckpointUpload(
+    const obs::HttpRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
   if (promoted_) {
     return ErrorResponse(409, "replica promoted",
@@ -279,6 +294,13 @@ bool StandbyReplica::MaybePromote() {
 }
 
 void StandbyReplica::Promote(const std::string& reason) {
+  // The promotion span adopts the trace of the last applied checkpoint:
+  // on a merged timeline the takeover hangs off the primary's final
+  // acknowledged ship instead of floating as an unlinked root. The span's
+  // context is installed for the scope, so the kReplicaPromoted journal
+  // line carries the same trace id.
+  obs::DistSpan span("replica.promote", obs::SpanKind::kInternal,
+                     last_apply_context());
   std::lock_guard<std::mutex> lock(mu_);
   if (promoted_) return;
   promoted_ = true;
@@ -287,6 +309,11 @@ void StandbyReplica::Promote(const std::string& reason) {
       obs::EventType::kReplicaPromoted, reason,
       have_ckpt_ ? static_cast<int64_t>(last_ckpt_.stream_offset) : -1, -1,
       -1, static_cast<double>(primary_epoch_ + 1));
+}
+
+obs::TraceContext StandbyReplica::last_apply_context() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_apply_ctx_;
 }
 
 bool StandbyReplica::promoted() const {

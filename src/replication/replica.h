@@ -11,6 +11,7 @@
 #include "highorder/highorder_classifier.h"
 #include "obs/http_server.h"
 #include "obs/json.h"
+#include "obs/trace_context.h"
 
 namespace hom::replication {
 
@@ -88,7 +89,16 @@ class StandbyReplica {
   /// gauges; the standby wait loop calls this periodically.
   void UpdateGauges() const;
 
+  /// Trace context of the last successfully applied checkpoint (invalid
+  /// before the first traced apply). Promote() opens the promotion span
+  /// under this context, so the standby's takeover links back to the
+  /// primary's last acknowledged ship on a merged timeline.
+  obs::TraceContext last_apply_context() const;
+
  private:
+  /// HandleCheckpointUpload minus the span bookkeeping around it.
+  obs::HttpResponse DoHandleCheckpointUpload(const obs::HttpRequest& request);
+
   /// Full-checkpoint apply path shared by full and delta uploads.
   /// `full_bytes` must be HOMC bytes. Maps failures to HTTP codes via
   /// the returned response.
@@ -107,6 +117,7 @@ class StandbyReplica {
   std::string primary_id_;
   std::chrono::steady_clock::time_point last_heard_;
   bool promoted_ = false;
+  obs::TraceContext last_apply_ctx_;
 };
 
 }  // namespace hom::replication

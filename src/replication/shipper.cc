@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace hom::replication {
 
@@ -29,10 +31,20 @@ uint64_t AppliedSequenceIn(const std::string& body) {
   return static_cast<uint64_t>(seq->as_double());
 }
 
+/// Installs the trace-propagation seam before the client copies the
+/// options: every shipper request then carries the calling thread's
+/// context as a traceparent header (nothing when no context is active).
+ShipperOptions WithTraceProvider(ShipperOptions options) {
+  if (!options.http.traceparent_provider) {
+    options.http.traceparent_provider = obs::CurrentTraceparentOrEmpty;
+  }
+  return options;
+}
+
 }  // namespace
 
 CheckpointShipper::CheckpointShipper(ShipperOptions options)
-    : options_(std::move(options)),
+    : options_(WithTraceProvider(std::move(options))),
       client_(options_.host, options_.port, options_.http) {}
 
 Result<HttpResponseMessage> CheckpointShipper::PostBody(
@@ -45,6 +57,10 @@ Result<HttpResponseMessage> CheckpointShipper::PostBody(
 }
 
 Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
+  // One ship round is one linked-span subtree: the round itself, a
+  // serialize child, and one client-kind child per wire attempt. The
+  // standby's server/apply spans parent onto the attempt that reached it.
+  obs::DistSpan round_span("ship.round", obs::SpanKind::kInternal);
   auto stamp_full = [&]() -> Result<std::string> {
     ServingCheckpoint stamped = ckpt;
     stamped.has_replication = true;
@@ -53,17 +69,22 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
     stamped.replication.primary_id = options_.primary_id;
     return SerializeCheckpoint(stamped);
   };
-  HOM_ASSIGN_OR_RETURN(std::string full_bytes, stamp_full());
-
-  bool use_delta = options_.prefer_delta && !acked_bytes_.empty();
+  std::string full_bytes;
+  bool use_delta = false;
   std::string delta_bytes;
-  if (use_delta) {
-    Result<std::string> encoded =
-        EncodeCheckpointDelta(acked_bytes_, full_bytes);
-    if (encoded.ok()) {
-      delta_bytes = std::move(encoded).ValueOrDie();
-    } else {
-      use_delta = false;  // unencodable base: ship full instead of failing
+  {
+    obs::DistSpan serialize_span("ship.serialize",
+                                 obs::SpanKind::kInternal);
+    HOM_ASSIGN_OR_RETURN(full_bytes, stamp_full());
+    use_delta = options_.prefer_delta && !acked_bytes_.empty();
+    if (use_delta) {
+      Result<std::string> encoded =
+          EncodeCheckpointDelta(acked_bytes_, full_bytes);
+      if (encoded.ok()) {
+        delta_bytes = std::move(encoded).ValueOrDie();
+      } else {
+        use_delta = false;  // unencodable base: ship full instead of failing
+      }
     }
   }
 
@@ -73,9 +94,17 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
   bool resynced = false;
   for (size_t attempt = 0;; ++attempt) {
     const std::string& body = use_delta ? delta_bytes : full_bytes;
-    Result<HttpResponseMessage> sent =
-        PostBody(use_delta ? kDeltaContentType : kFullContentType, body,
-                 attempt);
+    Result<HttpResponseMessage> sent = Status::Internal("not attempted");
+    {
+      obs::DistSpan post_span("ship.post", obs::SpanKind::kClient);
+      sent = PostBody(use_delta ? kDeltaContentType : kFullContentType,
+                      body, attempt);
+      if (!sent.ok()) {
+        post_span.set_status(sent.status().ToString());
+      } else if (sent->status != 200) {
+        post_span.set_status("http " + std::to_string(sent->status));
+      }
+    }
     report.attempts = attempt + 1;
     if (sent.ok() && sent->status == 200) {
       // The ack (duplicate re-acks included) names the standby's applied
@@ -137,6 +166,8 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
       retryable = true;
     } else {
       HOM_COUNTER_INC("hom.replication.ship_failures");
+      round_span.set_status("permanent rejection (HTTP " +
+                            std::to_string(sent->status) + ")");
       return Status::FailedPrecondition(
           "standby permanently rejected checkpoint (HTTP " +
           std::to_string(sent->status) + "): " + sent->body);
@@ -151,23 +182,39 @@ Result<ShipReport> CheckpointShipper::Ship(const ServingCheckpoint& ckpt) {
     }
   }
   HOM_COUNTER_INC("hom.replication.ship_failures");
+  round_span.set_status("gave up after " + std::to_string(report.attempts) +
+                        " attempts");
   return Status::IoError("checkpoint ship gave up after " +
                          std::to_string(report.attempts) +
                          " attempts: " + last_error.ToString());
 }
 
 Status CheckpointShipper::Heartbeat(uint64_t stream_record) {
+  // Heartbeats fire a few times a second for the life of the primary;
+  // tracing every one would drown the span buffer in identical beacons.
+  // 1-in-kHeartbeatSampleEvery gets a root span (and thus a traceparent
+  // header); the rest go untraced.
+  bool sampled = heartbeat_count_++ % kHeartbeatSampleEvery == 0;
+  std::optional<obs::DistSpan> span;
+  if (sampled) span.emplace("ship.heartbeat", obs::SpanKind::kClient);
   obs::JsonValue beat = obs::JsonValue::Object();
   beat.Set("record", obs::JsonValue(stream_record));
   beat.Set("epoch", obs::JsonValue(options_.primary_epoch));
   beat.Set("sequence", obs::JsonValue(sequence_));
   beat.Set("primary_id", obs::JsonValue(options_.primary_id));
-  HOM_ASSIGN_OR_RETURN(
-      HttpResponseMessage reply,
-      client_.Post(kHeartbeatPath, "application/json", beat.Dump()));
-  if (reply.status != 200) {
+  Result<HttpResponseMessage> reply =
+      client_.Post(kHeartbeatPath, "application/json", beat.Dump());
+  if (!reply.ok()) {
+    if (span.has_value()) span->set_status(reply.status().ToString());
+    return reply.status();
+  }
+  if (reply->status != 200) {
+    if (span.has_value()) {
+      span->set_status("http " + std::to_string(reply->status));
+    }
     return Status::IoError("heartbeat answered " +
-                           std::to_string(reply.status) + ": " + reply.body);
+                           std::to_string(reply->status) + ": " +
+                           reply->body);
   }
   return Status::OK();
 }

@@ -12,6 +12,12 @@
 
 namespace hom::replication {
 
+/// Heartbeat span sampling: one heartbeat in this many gets a trace
+/// (root span + traceparent header); the rest stay untraced. Heartbeats
+/// are periodic and identical, so sampling loses nothing a timeline needs
+/// while keeping the span buffer for the events that matter.
+inline constexpr uint64_t kHeartbeatSampleEvery = 16;
+
 /// What one Ship() round accomplished, for logs and bench.
 struct ShipReport {
   uint64_t sequence = 0;   ///< sequence number the standby acknowledged
@@ -87,6 +93,8 @@ class CheckpointShipper {
   ShipperOptions options_;
   HttpClient client_;
   uint64_t sequence_ = 0;
+  /// Heartbeats sent so far, for 1-in-kHeartbeatSampleEvery span sampling.
+  uint64_t heartbeat_count_ = 0;
   /// Full serialized bytes of the last checkpoint the standby
   /// acknowledged — the delta base both sides agree on.
   std::string acked_bytes_;

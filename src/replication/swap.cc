@@ -1,8 +1,10 @@
 #include "replication/swap.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "highorder/serialization.h"
+#include "obs/trace_context.h"
 
 namespace hom::replication {
 
@@ -119,6 +121,13 @@ Result<ConceptMapping> MigrateModelState(const HighOrderClassifier& old_model,
                                          const Dataset& probe) {
   if (new_model == nullptr) {
     return Status::InvalidArgument("new model must not be null");
+  }
+  // Under a /swapz trace this is the "migrate" leg of the
+  // pause -> migrate -> resume sequence; untraced callers (tests, offline
+  // verification) stay span-free.
+  std::optional<obs::DistSpan> span;
+  if (obs::CurrentTraceContext() != nullptr) {
+    span.emplace("swap.migrate_state", obs::SpanKind::kInternal);
   }
   HOM_ASSIGN_OR_RETURN(ConceptMapping mapping,
                        MapConcepts(old_model, *new_model, probe));

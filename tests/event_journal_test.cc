@@ -16,6 +16,7 @@
 #include "gtest/gtest.h"
 #include "obs/event_journal.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "obs/trace_export.h"
 
 namespace hom::obs {
@@ -169,15 +170,16 @@ TEST(EventJournalTest, FromJsonlRejectsGarbage) {
   EXPECT_FALSE(EventJournal::FromJsonl("{\"type\": \"bogus\"}").ok());
 }
 
-TEST(EventJournalTest, WriteJsonlDumpsTheSnapshot) {
+TEST(EventJournalTest, WriteJsonlDumpsTheSnapshotAfterAHeaderLine) {
   TempFile file("journal_dump");
   EventJournal journal;
   journal.Emit(EventType::kModelRelearn, "wce", 100, -1, 0, 0.5);
   journal.Emit(EventType::kConceptSwitch, "repro", 200, 0, 1, 0.9);
   ASSERT_TRUE(journal.WriteJsonl(file.path()).ok());
   std::vector<std::string> lines = ReadLines(file.path());
-  ASSERT_EQ(lines.size(), 2u);
-  auto first = EventJournal::FromJsonl(lines[0]);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(EventJournal::IsHeaderLine(lines[0]));
+  auto first = EventJournal::FromJsonl(lines[1]);
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->type, EventType::kModelRelearn);
   EXPECT_EQ(first->source, "wce");
@@ -188,13 +190,15 @@ TEST(EventJournalTest, AttachedSinkStreamsEventsAsTheyFire) {
   EventJournal journal;
   ASSERT_TRUE(journal.AttachJsonlSink(file.path()).ok());
   journal.Emit(EventType::kDriftSuspected, "repro", 7, 1, -1, 0.35);
-  // Per-event flush: the line is on disk before CloseSink.
-  ASSERT_EQ(ReadLines(file.path()).size(), 1u);
+  // Per-event flush: header + first line are on disk before CloseSink.
+  ASSERT_EQ(ReadLines(file.path()).size(), 2u);
   journal.Emit(EventType::kDriftConfirmed, "repro", 9, 1, 2, 0.9);
   journal.CloseSink();
   std::vector<std::string> lines = ReadLines(file.path());
-  ASSERT_EQ(lines.size(), 2u);
-  auto second = EventJournal::FromJsonl(lines[1]);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(EventJournal::IsHeaderLine(lines[0]));
+  EXPECT_FALSE(EventJournal::IsHeaderLine(lines[1]));
+  auto second = EventJournal::FromJsonl(lines[2]);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->type, EventType::kDriftConfirmed);
   EXPECT_EQ(second->to, 2);
@@ -209,7 +213,75 @@ TEST(EventJournalTest, SinkKeepsLinesTheRingAlreadyDropped) {
   }
   journal.CloseSink();
   EXPECT_EQ(journal.dropped(), 3u);
-  EXPECT_EQ(ReadLines(file.path()).size(), 5u);  // sink saw everything
+  // Header + every event: the sink saw lines the ring already evicted.
+  EXPECT_EQ(ReadLines(file.path()).size(), 6u);
+}
+
+TEST(EventJournalTest, HeaderLineCarriesSchemaVersionAndEpoch) {
+  TempFile file("journal_header");
+  EventJournal journal;
+  ASSERT_TRUE(journal.AttachJsonlSink(file.path()).ok());
+  journal.CloseSink();
+  std::vector<std::string> lines = ReadLines(file.path());
+  ASSERT_EQ(lines.size(), 1u);
+  auto header = JsonValue::Parse(lines[0]);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(static_cast<int>(header->Find("journal_schema")->as_double()),
+            kJournalSchemaVersion);
+  EXPECT_DOUBLE_EQ(header->Find("epoch_unix_us")->as_double(),
+                   static_cast<double>(journal.epoch_unix_us()));
+  EXPECT_GT(journal.epoch_unix_us(), 0);
+  // Header lines are not events, and events are not headers.
+  EXPECT_TRUE(EventJournal::IsHeaderLine(lines[0]));
+  EXPECT_FALSE(EventJournal::FromJsonl(lines[0]).ok());
+  Event event;
+  event.type = EventType::kConceptSwitch;
+  EXPECT_FALSE(EventJournal::IsHeaderLine(EventJournal::ToJsonl(event)));
+}
+
+TEST(EventJournalTest, EmitStampsTheInstalledTraceContext) {
+  EventJournal journal;
+  journal.Emit(EventType::kWindowError, "untraced");
+  {
+    TraceContext ctx;
+    ctx.trace_hi = 0x1234;
+    ctx.trace_lo = 0x5678;
+    ctx.span_id = 0x9abc;
+    ScopedTraceContext scoped(ctx);
+    journal.Emit(EventType::kConceptSwitch, "traced", 10, 0, 1, 0.9);
+  }
+  std::vector<Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_hi, 0u);
+  EXPECT_EQ(events[0].span_id, 0u);
+  EXPECT_EQ(events[1].trace_hi, 0x1234u);
+  EXPECT_EQ(events[1].trace_lo, 0x5678u);
+  EXPECT_EQ(events[1].span_id, 0x9abcu);
+
+  // The trace ids survive a JSONL round trip; untraced events omit them.
+  std::string untraced_line = EventJournal::ToJsonl(events[0]);
+  EXPECT_EQ(untraced_line.find("trace_id"), std::string::npos);
+  std::string traced_line = EventJournal::ToJsonl(events[1]);
+  EXPECT_NE(traced_line.find("trace_id"), std::string::npos);
+  auto parsed = EventJournal::FromJsonl(traced_line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_hi, 0x1234u);
+  EXPECT_EQ(parsed->trace_lo, 0x5678u);
+  EXPECT_EQ(parsed->span_id, 0x9abcu);
+}
+
+TEST(EventJournalTest, FromJsonlRejectsMalformedTraceIds) {
+  EXPECT_FALSE(
+      EventJournal::FromJsonl(
+          "{\"type\": \"concept_switch\", \"source\": \"x\", "
+          "\"trace_id\": \"zz\", \"span_id\": \"0000000000000001\"}")
+          .ok());
+  EXPECT_FALSE(
+      EventJournal::FromJsonl(
+          "{\"type\": \"concept_switch\", \"source\": \"x\", "
+          "\"trace_id\": \"00000000000000000000000000000001\", "
+          "\"span_id\": \"nope\"}")
+          .ok());
 }
 
 TEST(EventJournalTest, SummaryJsonReportsCountsAndDrops) {
@@ -380,6 +452,125 @@ TEST(TraceExportTest, EmptyInputsYieldEmptyEventArray) {
   const JsonValue* events = doc.Find("traceEvents");
   ASSERT_NE(events, nullptr);
   EXPECT_EQ(events->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Merged cross-process timeline.
+
+SpanRecord MakeSpan(uint64_t span_id, uint64_t parent, const std::string& name,
+                    SpanKind kind, int64_t start_unix_us, double dur_us) {
+  SpanRecord span;
+  span.trace_hi = 0xaaaa;
+  span.trace_lo = 0xbbbb;
+  span.span_id = span_id;
+  span.parent_span_id = parent;
+  span.name = name;
+  span.kind = kind;
+  span.start_unix_us = start_unix_us;
+  span.dur_us = dur_us;
+  return span;
+}
+
+TEST(MergedTraceTest, FusesTwoProcessesWithFlowArrowsAndNormalizedTime) {
+  // primary: ship.post (client) at t=2000us; standby: replica.apply
+  // (server) at t=2500us, parented on the primary's post span — the
+  // cross-process edge the merge must draw a flow arrow for.
+  ProcessTrace primary;
+  primary.name = "primary:8080";
+  primary.epoch_unix_us = 1000;
+  primary.spans.push_back(
+      MakeSpan(0x11, 0, "ship.round", SpanKind::kInternal, 2000, 900.0));
+  primary.spans.push_back(
+      MakeSpan(0x12, 0x11, "ship.post", SpanKind::kClient, 2100, 700.0));
+  Event ship_event;
+  ship_event.type = EventType::kCheckpointSave;
+  ship_event.source = "shipper";
+  ship_event.t_us = 1500.0;  // wall clock: epoch 1000 + 1500 = 2500
+  ship_event.trace_hi = 0xaaaa;
+  ship_event.trace_lo = 0xbbbb;
+  ship_event.span_id = 0x12;
+  primary.events.push_back(ship_event);
+
+  ProcessTrace standby;
+  standby.name = "standby:8081";
+  standby.epoch_unix_us = 1200;
+  standby.spans.push_back(
+      MakeSpan(0x21, 0x12, "replica.apply", SpanKind::kServer, 2500, 300.0));
+
+  JsonValue doc = MergedTraceDocument({primary, standby});
+  EXPECT_EQ(static_cast<int>(doc.Find("merged_trace_schema")->as_double()),
+            kMergedTraceSchemaVersion);
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> process_names;
+  size_t flow_starts = 0, flow_finishes = 0;
+  double apply_ts = -1.0, round_ts = -1.0, journal_ts = -1.0;
+  int primary_pid = -1, standby_pid = -1, apply_pid = -1;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& event = events->at(i);
+    const std::string& ph = event.Find("ph")->as_string();
+    const std::string& name = event.Find("name")->as_string();
+    if (ph == "M" && name == "process_name") {
+      const std::string& proc = event.Find("args")->Find("name")->as_string();
+      process_names.insert(proc);
+      if (proc == "primary:8080") {
+        primary_pid = static_cast<int>(event.Find("pid")->as_double());
+      } else if (proc == "standby:8081") {
+        standby_pid = static_cast<int>(event.Find("pid")->as_double());
+      }
+    } else if (ph == "s") {
+      ++flow_starts;
+      EXPECT_EQ(event.Find("id")->as_string(), SpanIdHex(0x21));
+    } else if (ph == "f") {
+      ++flow_finishes;
+      EXPECT_EQ(event.Find("bp")->as_string(), "e");
+    } else if (ph == "X" && name == "replica.apply") {
+      apply_ts = event.Find("ts")->as_double();
+      apply_pid = static_cast<int>(event.Find("pid")->as_double());
+      EXPECT_EQ(event.Find("args")->Find("parent_span_id")->as_string(),
+                SpanIdHex(0x12));
+      EXPECT_EQ(event.Find("args")->Find("trace_id")->as_string(),
+                TraceIdHex({0xaaaa, 0xbbbb, 0x21}));
+    } else if (ph == "X" && name == "ship.round") {
+      round_ts = event.Find("ts")->as_double();
+    } else if (ph == "i") {
+      journal_ts = event.Find("ts")->as_double();
+      EXPECT_EQ(event.Find("args")->Find("span_id")->as_string(),
+                SpanIdHex(0x12));
+    }
+  }
+  EXPECT_EQ(process_names,
+            (std::set<std::string>{"primary:8080", "standby:8081"}));
+  EXPECT_NE(primary_pid, standby_pid);
+  EXPECT_EQ(apply_pid, standby_pid);
+  // One cross-process edge (0x12 -> 0x21); the in-process 0x11 -> 0x12
+  // edge nests visually and must NOT get an arrow.
+  EXPECT_EQ(flow_starts, 1u);
+  EXPECT_EQ(flow_finishes, 1u);
+  // Time is normalized to the earliest moment on the merged timeline: the
+  // ship.round span at absolute 2000us becomes ts 0, the standby apply at
+  // absolute 2500us becomes ts 500, and the journal event (epoch 1000 +
+  // t_us 1500 = absolute 2500us) lands exactly on the apply.
+  EXPECT_DOUBLE_EQ(round_ts, 0.0);
+  EXPECT_DOUBLE_EQ(apply_ts, 500.0);
+  EXPECT_DOUBLE_EQ(journal_ts, 500.0);
+}
+
+TEST(MergedTraceTest, SameProcessParentageDrawsNoFlowArrow) {
+  ProcessTrace only;
+  only.name = "primary:1";
+  only.spans.push_back(
+      MakeSpan(0x1, 0, "ship.round", SpanKind::kInternal, 100, 50.0));
+  only.spans.push_back(
+      MakeSpan(0x2, 0x1, "ship.serialize", SpanKind::kInternal, 110, 20.0));
+  JsonValue doc = MergedTraceDocument({only});
+  const JsonValue* events = doc.Find("traceEvents");
+  for (size_t i = 0; i < events->size(); ++i) {
+    const std::string& ph = events->at(i).Find("ph")->as_string();
+    EXPECT_NE(ph, "s");
+    EXPECT_NE(ph, "f");
+  }
 }
 
 }  // namespace

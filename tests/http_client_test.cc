@@ -283,6 +283,67 @@ TEST(HttpClientTest, MissingHeaderTerminatorIsAnIoError) {
   EXPECT_TRUE(response.status().IsIoError()) << response.status().ToString();
 }
 
+TEST(HttpClientTest, ExtraHeadersAreSentOnTheWire) {
+  HttpServer server;
+  server.HandlePost("/h", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain",
+                        std::string(request.HeaderOr("x-replica-seq", "-")) +
+                            "|" + request.HeaderOr("x-epoch", "-")};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  auto response = client.Post("/h", "text/plain", "b",
+                              {{"X-Replica-Seq", "42"}, {"X-Epoch", "7"}});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // The server lowercases names on parse; values arrive verbatim.
+  EXPECT_EQ(response->body, "42|7");
+}
+
+TEST(HttpClientTest, TraceparentProviderInjectsTheHeader) {
+  HttpServer server;
+  server.Handle("/t", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain",
+                        request.HeaderOr("traceparent", "absent")};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string wire =
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  HttpClientOptions options;
+  options.traceparent_provider = [&wire] { return wire; };
+  HttpClient client("127.0.0.1", server.port(), options);
+  auto response = client.Get("/t");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, wire);
+
+  // An empty provider result means "no active trace": no header goes out.
+  HttpClientOptions no_trace;
+  no_trace.traceparent_provider = [] { return std::string(); };
+  HttpClient untraced("127.0.0.1", server.port(), no_trace);
+  response = untraced.Get("/t");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, "absent");
+}
+
+TEST(HttpClientTest, CallerSuppliedTraceparentWinsOverTheProvider) {
+  HttpServer server;
+  server.Handle("/t", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain",
+                        request.HeaderOr("traceparent", "absent")};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  HttpClientOptions options;
+  options.traceparent_provider = [] {
+    return std::string(
+        "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01");
+  };
+  HttpClient client("127.0.0.1", server.port(), options);
+  const std::string explicit_wire =
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  auto response = client.Get("/t", {{"traceparent", explicit_wire}});
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->body, explicit_wire);
+}
+
 TEST(HttpClientTest, OversizedResponseIsRejectedNotBuffered) {
   HttpServer server;
   server.Handle("/big", [] {

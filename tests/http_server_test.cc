@@ -27,6 +27,7 @@
 #include "obs/prof.h"
 #include "obs/request_timer.h"
 #include "obs/timeseries.h"
+#include "obs/trace_context.h"
 #include "streams/stagger.h"
 
 namespace hom::obs {
@@ -623,6 +624,140 @@ TEST(HttpServerStressTest, ConcurrentScrapesDuringLiveRun) {
   server.Stop();
   EXPECT_EQ(bad.load(), 0);
   EXPECT_GT(request_timer.requests(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request headers and trace propagation.
+
+TEST(HttpServerTest, HeadersReachTheHandlerLowercasedAndTrimmed) {
+  HttpServer server;
+  server.Handle("/h", [](const HttpRequest& request) {
+    HttpResponse r;
+    r.body = std::string(request.HeaderOr("x-shard", "none")) + "|" +
+             request.HeaderOr("x-missing", "-") + "|" +
+             request.HeaderOr("host", "?");
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string response =
+      RawRequest(server.port(),
+                 "GET /h HTTP/1.1\r\nHost: t\r\nX-SHARD:   7  \r\n\r\n");
+  // Names are lowercased, values whitespace-trimmed, absent headers fall
+  // back.
+  EXPECT_EQ(BodyOf(response), "7|-|t");
+}
+
+TEST(HttpServerTest, LastOccurrenceOfARepeatedHeaderWins) {
+  HttpServer server;
+  server.Handle("/h", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", request.HeaderOr("x-a", "")};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawRequest(
+      server.port(), "GET /h HTTP/1.1\r\nX-A: first\r\nX-A: second\r\n\r\n");
+  EXPECT_EQ(BodyOf(response), "second");
+}
+
+TEST(HttpServerTest, MalformedHeaderLineIsRejectedWith400) {
+  HttpServer server;
+  bool handler_ran = false;
+  server.Handle("/h", [&handler_ran](const HttpRequest&) {
+    handler_ran = true;
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  // No colon at all, an empty name, and whitespace inside the name: each
+  // fails the whole request before any handler runs.
+  for (const char* line :
+       {"not a header line", ": empty-name", "Bad Name: x"}) {
+    std::string response = RawRequest(
+        server.port(),
+        "GET /h HTTP/1.1\r\n" + std::string(line) + "\r\n\r\n");
+    EXPECT_EQ(StatusOf(response), 400) << line;
+  }
+  EXPECT_FALSE(handler_ran);
+}
+
+TEST(HttpServerTest, TraceparentHeaderInstallsTheCallersContext) {
+  TraceBuffer& buffer = TraceBuffer::Instance();
+  buffer.Reset();
+  buffer.set_enabled(true);
+  HttpServer server;
+  server.Handle("/traced", [](const HttpRequest&) {
+    HttpResponse r;
+    const TraceContext* ctx = CurrentTraceContext();
+    r.body = ctx != nullptr ? TraceIdHex(*ctx) : "no-context";
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string response = RawRequest(
+      server.port(),
+      "GET /traced HTTP/1.1\r\n"
+      "traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+      "\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), 200);
+  // The handler ran inside the caller's trace...
+  EXPECT_EQ(BodyOf(response), "4bf92f3577b34da6a3ce929d0e0e4736");
+  // ...and the server recorded a server-kind span parented on the remote
+  // caller's span id.
+  server.Stop();
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "GET /traced");
+  EXPECT_EQ(spans[0].kind, SpanKind::kServer);
+  EXPECT_EQ(TraceIdHex({spans[0].trace_hi, spans[0].trace_lo, 0}),
+            "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(SpanIdHex(spans[0].parent_span_id), "00f067aa0ba902b7");
+  buffer.set_enabled(false);
+  buffer.Reset();
+}
+
+TEST(HttpServerTest, InvalidTraceparentIsIgnoredNotRejected) {
+  TraceBuffer& buffer = TraceBuffer::Instance();
+  buffer.Reset();
+  buffer.set_enabled(true);
+  HttpServer server;
+  server.Handle("/traced", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = CurrentTraceContext() != nullptr ? "context" : "no-context";
+    return r;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawRequest(
+      server.port(),
+      "GET /traced HTTP/1.1\r\ntraceparent: 00-garbage-garbage-01\r\n\r\n");
+  // Per W3C, an unparseable traceparent never fails the request; the
+  // handler just runs untraced.
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "no-context");
+  server.Stop();
+  EXPECT_TRUE(buffer.Snapshot().empty());
+  buffer.set_enabled(false);
+  buffer.Reset();
+}
+
+TEST(HttpServerTest, ErrorResponsesMarkTheServerSpanStatus) {
+  TraceBuffer& buffer = TraceBuffer::Instance();
+  buffer.Reset();
+  buffer.set_enabled(true);
+  HttpServer server;
+  server.Handle("/fail", [](const HttpRequest&) {
+    return HttpResponse{503, "text/plain", "overloaded\n"};
+  });
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = RawRequest(
+      server.port(),
+      "GET /fail HTTP/1.1\r\n"
+      "traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+      "\r\n\r\n");
+  EXPECT_EQ(StatusOf(response), 503);
+  server.Stop();
+  std::vector<SpanRecord> spans = buffer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].status, "http 503");
+  buffer.set_enabled(false);
+  buffer.Reset();
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 #include "obs/event_journal.h"
 #include "obs/http_server.h"
 #include "obs/json.h"
+#include "obs/trace_context.h"
 #include "replication/replica.h"
 #include "replication/shipper.h"
 #include "replication/swap.h"
@@ -677,6 +678,83 @@ TEST(ReplicationPromotionTest, ManualPromoteOverHttpWorks) {
   // A manual promote does not flip MaybePromote()'s return — waiters must
   // watch promoted(), not the transition (tools/homctl.cc standby loop).
   EXPECT_FALSE(standby.replica->MaybePromote());
+}
+
+TEST(ReplicationTraceTest, ShipAndApplyShareOneTraceAcrossTheWire) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Reset();
+  buffer.set_enabled(true);
+  std::string model_bytes = BuildModelBytes(4123, 3000);
+  ReplicaOptions options;
+  options.promote_after_ms = 0;
+  ReplicaHarness standby(model_bytes, options);
+  ModelPtr primary = LoadModel(model_bytes);
+
+  CheckpointShipper shipper(standby.MakeShipperOptions());
+  ASSERT_TRUE(shipper.Ship(MakeCheckpoint(*primary, 500)).ok());
+  standby.replica->Promote("test");
+
+  // Both ends of the wire record into the same process-global buffer here,
+  // so the whole causal chain is visible: ship.round is the root, the
+  // client post carries its context as a traceparent, the server span
+  // adopts it, and apply + promote continue the same trace on the
+  // standby's side.
+  auto find = [&](const std::string& name) {
+    for (const obs::SpanRecord& span : buffer.Snapshot()) {
+      if (span.name == name) return span;
+    }
+    ADD_FAILURE() << "no span named " << name;
+    return obs::SpanRecord{};
+  };
+  obs::SpanRecord round = find("ship.round");
+  obs::SpanRecord serialize = find("ship.serialize");
+  obs::SpanRecord post = find("ship.post");
+  obs::SpanRecord server = find("POST /replicaz/checkpoint");
+  obs::SpanRecord apply = find("replica.apply");
+  obs::SpanRecord promote = find("replica.promote");
+
+  EXPECT_EQ(round.parent_span_id, 0u) << "ship.round is the trace root";
+  for (const obs::SpanRecord& span :
+       {serialize, post, server, apply, promote}) {
+    EXPECT_EQ(span.trace_hi, round.trace_hi) << span.name;
+    EXPECT_EQ(span.trace_lo, round.trace_lo) << span.name;
+  }
+  EXPECT_EQ(serialize.parent_span_id, round.span_id);
+  EXPECT_EQ(post.parent_span_id, round.span_id);
+  // The cross-process hop: the server span's parent is the client span it
+  // never shared an address space with (in production), and apply chains
+  // below the server span.
+  EXPECT_EQ(server.parent_span_id, post.span_id);
+  EXPECT_EQ(server.kind, obs::SpanKind::kServer);
+  EXPECT_EQ(apply.parent_span_id, server.span_id);
+  // Promotion adopts the last applied checkpoint's context: a failover
+  // timeline shows the takeover under the trace of the ship that fed it.
+  EXPECT_EQ(promote.parent_span_id, apply.span_id);
+  buffer.set_enabled(false);
+  buffer.Reset();
+}
+
+TEST(ReplicationTraceTest, HeartbeatsAreSampledOneInSixteen) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Instance();
+  buffer.Reset();
+  buffer.set_enabled(true);
+  std::string model_bytes = BuildModelBytes(4124, 3000);
+  ReplicaOptions options;
+  options.promote_after_ms = 0;
+  ReplicaHarness standby(model_bytes, options);
+
+  CheckpointShipper shipper(standby.MakeShipperOptions());
+  for (int i = 0; i < 33; ++i) {
+    ASSERT_TRUE(shipper.Heartbeat(100 + i).ok());
+  }
+  size_t heartbeat_spans = 0;
+  for (const obs::SpanRecord& span : buffer.Snapshot()) {
+    if (span.name == "ship.heartbeat") ++heartbeat_spans;
+  }
+  // Beats 0, 16 and 32 of the 33 are the sampled ones.
+  EXPECT_EQ(heartbeat_spans, 3u);
+  buffer.set_enabled(false);
+  buffer.Reset();
 }
 
 TEST(ReplicationPromotionTest, HeartbeatSeedsEpochBeforeFirstCheckpoint) {

@@ -1,0 +1,379 @@
+/// \file
+/// Tests for the distributed-trace context layer (obs/trace_context.h):
+/// traceparent parse/format edge cases, deterministic seeded id
+/// generation, thread-local scope install/restore, span JSONL round
+/// trips, and the TraceBuffer ring + streaming sink + DistSpan RAII.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/trace_context.h"
+
+namespace hom::obs {
+namespace {
+
+/// Unique temp-file path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               (stem + "_" + std::to_string(::getpid()) + ".tmp"))
+                  .string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Hex forms.
+
+TEST(TraceContextTest, HexFormsRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefull;
+  ctx.trace_lo = 0xfedcba9876543210ull;
+  ctx.span_id = 0x00000000000000ffull;
+  EXPECT_EQ(TraceIdHex(ctx), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(SpanIdHex(ctx.span_id), "00000000000000ff");
+
+  uint64_t hi = 0, lo = 0, span = 0;
+  ASSERT_TRUE(ParseTraceIdHex(TraceIdHex(ctx), &hi, &lo));
+  EXPECT_EQ(hi, ctx.trace_hi);
+  EXPECT_EQ(lo, ctx.trace_lo);
+  ASSERT_TRUE(ParseSpanIdHex(SpanIdHex(ctx.span_id), &span));
+  EXPECT_EQ(span, ctx.span_id);
+}
+
+TEST(TraceContextTest, HexParsersRejectWrongWidthAndCase) {
+  uint64_t hi = 0, lo = 0, span = 0;
+  EXPECT_FALSE(ParseTraceIdHex("0123", &hi, &lo));
+  EXPECT_FALSE(ParseTraceIdHex("0123456789ABCDEFfedcba9876543210", &hi, &lo));
+  EXPECT_FALSE(ParseTraceIdHex("0123456789abcdeffedcba987654321g", &hi, &lo));
+  EXPECT_FALSE(ParseSpanIdHex("00000000000000F1", &span));
+  EXPECT_FALSE(ParseSpanIdHex("123", &span));
+  EXPECT_TRUE(ParseSpanIdHex("00000000000000f1", &span));
+}
+
+// ---------------------------------------------------------------------------
+// traceparent parse/format.
+
+TEST(TraceparentTest, RoundTripIdentity) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x4bf92f3577b34da6ull;
+  ctx.trace_lo = 0xa3ce929d0e0e4736ull;
+  ctx.span_id = 0x00f067aa0ba902b7ull;
+  std::string header = FormatTraceparent(ctx);
+  EXPECT_EQ(header,
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  auto parsed = ParseTraceparent(header);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_hi, ctx.trace_hi);
+  EXPECT_EQ(parsed->trace_lo, ctx.trace_lo);
+  EXPECT_EQ(parsed->span_id, ctx.span_id);
+}
+
+TEST(TraceparentTest, FormatOfInvalidContextIsEmpty) {
+  EXPECT_EQ(FormatTraceparent(TraceContext{}), "");
+  TraceContext no_span;
+  no_span.trace_hi = 1;
+  EXPECT_EQ(FormatTraceparent(no_span), "");
+}
+
+TEST(TraceparentTest, RejectsMalformedText) {
+  const char* bad[] = {
+      "",
+      "00",
+      "not a traceparent at all, wrong everything",
+      // Too short by one.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",
+      // Uppercase hex is malformed per W3C.
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+      // Non-hex digit in the trace id.
+      "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",
+      // Wrong separators.
+      "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01",
+      // Version 00 must be exactly 55 chars: trailing data is malformed.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseTraceparent(text).ok()) << text;
+  }
+}
+
+TEST(TraceparentTest, RejectsAllZeroTraceAndSpanIds) {
+  EXPECT_FALSE(
+      ParseTraceparent(
+          "00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+          .ok());
+  EXPECT_FALSE(
+      ParseTraceparent(
+          "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01")
+          .ok());
+}
+
+TEST(TraceparentTest, RejectsReservedVersionFf) {
+  EXPECT_FALSE(
+      ParseTraceparent(
+          "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+          .ok());
+}
+
+TEST(TraceparentTest, ToleratesUnknownFutureVersions) {
+  // A future version may append fields after the flags; the leading four
+  // fields must still parse.
+  auto exact = ParseTraceparent(
+      "42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact->span_id, 0x00f067aa0ba902b7ull);
+  auto extended = ParseTraceparent(
+      "42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future");
+  ASSERT_TRUE(extended.ok()) << extended.status().ToString();
+  EXPECT_EQ(extended->trace_hi, 0x4bf92f3577b34da6ull);
+  // ...but only with a separator where version 00 would end.
+  EXPECT_FALSE(
+      ParseTraceparent(
+          "42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x")
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded id generation.
+
+TEST(TraceIdsTest, SeededSequencesAreDeterministic) {
+  SeedTraceIds(1234);
+  std::vector<uint64_t> first;
+  TraceContext root1 = NewTrace();
+  for (int i = 0; i < 8; ++i) first.push_back(NewSpanId());
+
+  SeedTraceIds(1234);
+  TraceContext root2 = NewTrace();
+  std::vector<uint64_t> second;
+  for (int i = 0; i < 8; ++i) second.push_back(NewSpanId());
+
+  EXPECT_EQ(root1.trace_hi, root2.trace_hi);
+  EXPECT_EQ(root1.trace_lo, root2.trace_lo);
+  EXPECT_EQ(root1.span_id, root2.span_id);
+  EXPECT_EQ(first, second);
+
+  // A different seed mints a different sequence.
+  SeedTraceIds(1235);
+  TraceContext other = NewTrace();
+  EXPECT_FALSE(other.trace_hi == root1.trace_hi &&
+               other.trace_lo == root1.trace_lo);
+}
+
+TEST(TraceIdsTest, IdsAreNeverZeroAndContextsAreValid) {
+  SeedTraceIds(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 256; ++i) {
+    uint64_t id = NewSpanId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 256u);  // no collisions in a short run
+  TraceContext root = NewTrace();
+  EXPECT_TRUE(root.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local scope.
+
+TEST(ScopedTraceContextTest, InstallsAndRestoresNesting) {
+  EXPECT_EQ(CurrentTraceContext(), nullptr);
+  EXPECT_EQ(CurrentTraceparentOrEmpty(), "");
+  TraceContext outer;
+  outer.trace_hi = 1;
+  outer.trace_lo = 2;
+  outer.span_id = 3;
+  {
+    ScopedTraceContext scoped_outer(outer);
+    ASSERT_NE(CurrentTraceContext(), nullptr);
+    EXPECT_EQ(CurrentTraceContext()->span_id, 3u);
+    EXPECT_EQ(CurrentTraceparentOrEmpty(), FormatTraceparent(outer));
+    TraceContext inner = outer;
+    inner.span_id = 4;
+    {
+      ScopedTraceContext scoped_inner(inner);
+      EXPECT_EQ(CurrentTraceContext()->span_id, 4u);
+    }
+    EXPECT_EQ(CurrentTraceContext()->span_id, 3u);
+  }
+  EXPECT_EQ(CurrentTraceContext(), nullptr);
+}
+
+TEST(ScopedTraceContextTest, InstallIsPerThread) {
+  TraceContext ctx;
+  ctx.trace_hi = 7;
+  ctx.span_id = 8;
+  ScopedTraceContext scoped(ctx);
+  const TraceContext* seen = &ctx;  // sentinel: must change
+  std::thread([&seen] { seen = CurrentTraceContext(); }).join();
+  EXPECT_EQ(seen, nullptr);
+  ASSERT_NE(CurrentTraceContext(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Span JSONL.
+
+TEST(SpanJsonlTest, RoundTripPreservesEveryField) {
+  SpanRecord span;
+  span.trace_hi = 0x1111222233334444ull;
+  span.trace_lo = 0x5555666677778888ull;
+  span.span_id = 0x9999aaaabbbbccccull;
+  span.parent_span_id = 0xddddeeeeffff0001ull;
+  span.name = "ship.post";
+  span.kind = SpanKind::kClient;
+  span.start_unix_us = 1723190400000000;
+  span.dur_us = 1234.5;
+  span.status = "http 503";
+  span.lane = 2;
+  auto parsed = SpanFromJsonl(SpanToJsonl(span));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_hi, span.trace_hi);
+  EXPECT_EQ(parsed->trace_lo, span.trace_lo);
+  EXPECT_EQ(parsed->span_id, span.span_id);
+  EXPECT_EQ(parsed->parent_span_id, span.parent_span_id);
+  EXPECT_EQ(parsed->name, span.name);
+  EXPECT_EQ(parsed->kind, span.kind);
+  EXPECT_EQ(parsed->start_unix_us, span.start_unix_us);
+  EXPECT_DOUBLE_EQ(parsed->dur_us, span.dur_us);
+  EXPECT_EQ(parsed->status, span.status);
+  EXPECT_EQ(parsed->lane, span.lane);
+}
+
+TEST(SpanJsonlTest, RootSpanOmitsParentAndStatusAndStillRoundTrips) {
+  SpanRecord span;
+  span.trace_hi = 1;
+  span.trace_lo = 2;
+  span.span_id = 3;
+  span.name = "checkpoint.round";
+  std::string line = SpanToJsonl(span);
+  EXPECT_EQ(line.find("parent_span_id"), std::string::npos);
+  EXPECT_EQ(line.find("status"), std::string::npos);
+  auto parsed = SpanFromJsonl(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->parent_span_id, 0u);
+  EXPECT_EQ(parsed->status, "");
+}
+
+TEST(SpanJsonlTest, RejectsGarbage) {
+  EXPECT_FALSE(SpanFromJsonl("not json").ok());
+  EXPECT_FALSE(SpanFromJsonl("{\"name\": \"x\"}").ok());
+}
+
+TEST(SpanKindTest, NamesRoundTrip) {
+  for (SpanKind kind :
+       {SpanKind::kInternal, SpanKind::kClient, SpanKind::kServer}) {
+    auto parsed = SpanKindFromName(SpanKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(SpanKindFromName("producer").ok());
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer + DistSpan.
+
+TEST(DistSpanTest, ChildInheritsTraceAndParentsOnTheEnclosingSpan) {
+  TraceBuffer::Instance().Reset();
+  TraceBuffer::Instance().set_enabled(true);
+  SeedTraceIds(7);
+  {
+    DistSpan parent("ship.round", SpanKind::kInternal);
+    ASSERT_TRUE(parent.active());
+    EXPECT_TRUE(parent.context().valid());
+    { DistSpan child("ship.post", SpanKind::kClient); }
+  }
+  std::vector<SpanRecord> spans = TraceBuffer::Instance().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children finish (and record) first.
+  const SpanRecord& child = spans[0];
+  const SpanRecord& parent = spans[1];
+  EXPECT_EQ(child.name, "ship.post");
+  EXPECT_EQ(parent.name, "ship.round");
+  EXPECT_EQ(child.trace_hi, parent.trace_hi);
+  EXPECT_EQ(child.trace_lo, parent.trace_lo);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+  EXPECT_EQ(parent.parent_span_id, 0u);
+  EXPECT_GE(child.dur_us, 0.0);
+}
+
+TEST(DistSpanTest, ExplicitParentLinksAcrossThreads) {
+  TraceBuffer::Instance().Reset();
+  TraceContext remote;
+  remote.trace_hi = 0xaa;
+  remote.trace_lo = 0xbb;
+  remote.span_id = 0xcc;
+  { DistSpan span("replica.promote", SpanKind::kInternal, remote); }
+  std::vector<SpanRecord> spans = TraceBuffer::Instance().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_hi, 0xaau);
+  EXPECT_EQ(spans[0].trace_lo, 0xbbu);
+  EXPECT_EQ(spans[0].parent_span_id, 0xccu);
+  EXPECT_NE(spans[0].span_id, 0xccu);
+}
+
+TEST(DistSpanTest, DisabledBufferMakesSpansNoOps) {
+  TraceBuffer::Instance().Reset();
+  TraceBuffer::Instance().set_enabled(false);
+  {
+    DistSpan span("ship.round", SpanKind::kInternal);
+    EXPECT_FALSE(span.active());
+    // No context is installed either: library code sees no trace.
+    EXPECT_EQ(CurrentTraceContext(), nullptr);
+  }
+  EXPECT_TRUE(TraceBuffer::Instance().Snapshot().empty());
+  TraceBuffer::Instance().set_enabled(true);
+}
+
+TEST(TraceBufferTest, SinkStreamsSpansAfterAHeaderLine) {
+  TempFile file("span_sink");
+  TraceBuffer::Instance().Reset();
+  TraceBuffer::Instance().set_process_name("primary:9100");
+  ASSERT_TRUE(TraceBuffer::Instance().AttachJsonlSink(file.path()).ok());
+  { DistSpan span("ship.round", SpanKind::kInternal); }
+  // Per-span flush: both lines are on disk before CloseSink.
+  std::vector<std::string> lines = ReadLines(file.path());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"span_schema\""), std::string::npos);
+  EXPECT_NE(lines[0].find("primary:9100"), std::string::npos);
+  auto span = SpanFromJsonl(lines[1]);
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  EXPECT_EQ(span->name, "ship.round");
+  TraceBuffer::Instance().CloseSink();
+}
+
+TEST(TraceBufferTest, RecentJsonReportsNewestSpans) {
+  TraceBuffer::Instance().Reset();
+  TraceBuffer::Instance().set_process_name("tracez-test");
+  for (int i = 0; i < 3; ++i) {
+    DistSpan span("heartbeat", SpanKind::kClient);
+  }
+  JsonValue recent = TraceBuffer::Instance().RecentJson(/*limit=*/2);
+  EXPECT_EQ(recent.Find("process")->as_string(), "tracez-test");
+  EXPECT_EQ(recent.Find("recorded")->as_double(), 3.0);
+  const JsonValue* spans = recent.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->size(), 2u);
+  EXPECT_EQ(spans->at(0).Find("name")->as_string(), "heartbeat");
+}
+
+}  // namespace
+}  // namespace hom::obs

@@ -36,6 +36,15 @@ import urllib.request
 
 ALERT_RULE = "windowed-error-above-slo"
 
+# Journal JSONL schema versions this script understands. v2 added the
+# header line and optional per-event trace_id/span_id; an unknown version
+# must fail loudly rather than silently "validating" a format we cannot
+# read.
+KNOWN_JOURNAL_SCHEMAS = (1, 2)
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
 
 def run(cmd, expect_fail=False):
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -56,12 +65,45 @@ def fetch(url, timeout=5.0):
 
 
 def journal_alert_events(path):
+    """Alert (type, record, rule) tuples from a journal JSONL file.
+
+    Also validates the file's framing: a v2 journal opens with a
+    {"journal_schema": N, ...} header whose version must be one this
+    script knows (a legacy v1 file has no header), and any event that
+    carries trace correlation ids must carry them well-formed.
+    """
     events = []
     with open(path, "r", encoding="utf-8") as f:
-        for line in f:
-            if '"alert_' not in line:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
                 continue
             doc = json.loads(line)
+            if lineno == 1 and "journal_schema" in doc:
+                schema = doc["journal_schema"]
+                if schema not in KNOWN_JOURNAL_SCHEMAS:
+                    raise SystemExit(
+                        "%s: unknown journal_schema %r (this script knows "
+                        "%r)" % (path, schema, KNOWN_JOURNAL_SCHEMAS))
+                if not isinstance(doc.get("epoch_unix_us"), int):
+                    raise SystemExit(
+                        "%s: journal header lacks an integer epoch_unix_us"
+                        % path)
+                continue
+            trace_id = doc.get("trace_id")
+            span_id = doc.get("span_id")
+            if (trace_id is None) != (span_id is None):
+                raise SystemExit(
+                    "%s:%d: trace_id and span_id must appear together"
+                    % (path, lineno))
+            if trace_id is not None and not TRACE_ID_RE.match(trace_id):
+                raise SystemExit(
+                    "%s:%d: malformed trace_id %r" % (path, lineno, trace_id))
+            if span_id is not None and not SPAN_ID_RE.match(span_id):
+                raise SystemExit(
+                    "%s:%d: malformed span_id %r" % (path, lineno, span_id))
+            if not str(doc.get("type", "")).startswith("alert_"):
+                continue
             events.append((doc["type"], doc["record"], doc["source"]))
     return events
 

@@ -1,12 +1,16 @@
 #!/usr/bin/env python3
 """Structurally validates a Chrome trace-event file exported by
-hom::obs::WriteChromeTrace (homctl --trace-out, HOM_BENCH_TRACE=1).
+hom::obs::WriteChromeTrace (homctl --trace-out, HOM_BENCH_TRACE=1) or
+hom::obs::MergedTraceDocument (homctl trace merge).
 
 Checks the JSON object format that chrome://tracing and Perfetto accept:
 a top-level object with a "traceEvents" array where every event has a
-string "ph" in {X, i, M, C}, numeric "pid"/"tid", numeric "ts" (except
-metadata), "dur" on complete slices, numeric args on counter events, and
-monotone-sane values.
+string "ph" in {X, i, M, C, s, f}, numeric "pid"/"tid", numeric "ts"
+(except metadata), "dur" on complete slices, an "id" on flow events,
+numeric args on counter events, well-formed trace_id/span_id args where
+present, and monotone-sane values. Merged documents carry a top-level
+"merged_trace_schema"; an unknown version is an error, not a shrug —
+silently passing a future format would validate nothing.
 
 Usage:
     tools/check_trace_json.py FILE [FILE ...]
@@ -15,7 +19,13 @@ Exits 0 when every file conforms, 1 otherwise. Stdlib only.
 """
 
 import json
+import re
 import sys
+
+KNOWN_MERGED_SCHEMAS = (1,)
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
 
 
 def _err(path, message):
@@ -37,6 +47,14 @@ def check_file(path):
     failures = 0
     if not isinstance(doc, dict):
         return _err(path, "top level: expected an object")
+    if "merged_trace_schema" in doc:
+        schema = doc["merged_trace_schema"]
+        if schema not in KNOWN_MERGED_SCHEMAS:
+            return _err(
+                path,
+                f"merged_trace_schema: unknown version {schema!r} "
+                f"(this checker knows {KNOWN_MERGED_SCHEMAS})",
+            )
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return _err(path, "traceEvents: expected an array")
@@ -44,15 +62,16 @@ def check_file(path):
     slices = 0
     instants = 0
     counters = 0
+    flows = 0
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
             failures += _err(path, f"{where}: expected an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M", "C"):
+        if ph not in ("X", "i", "M", "C", "s", "f"):
             failures += _err(
-                path, f"{where}.ph: expected X, i, M or C, got {ph!r}"
+                path, f"{where}.ph: expected X, i, M, C, s or f, got {ph!r}"
             )
             continue
         if not isinstance(ev.get("name"), str) or not ev.get("name"):
@@ -64,6 +83,29 @@ def check_file(path):
             continue  # metadata records carry args, not timestamps
         if not _is_number(ev.get("ts")) or ev.get("ts", -1) < 0:
             failures += _err(path, f"{where}.ts: expected a non-negative number")
+        args = ev.get("args")
+        if isinstance(args, dict):
+            trace_id = args.get("trace_id")
+            if trace_id is not None and (
+                not isinstance(trace_id, str)
+                or not _TRACE_ID_RE.match(trace_id)
+            ):
+                failures += _err(
+                    path,
+                    f"{where}.args.trace_id: expected 32 lowercase hex "
+                    f"digits, got {trace_id!r}",
+                )
+            for key in ("span_id", "parent_span_id"):
+                span_id = args.get(key)
+                if span_id is not None and (
+                    not isinstance(span_id, str)
+                    or not _SPAN_ID_RE.match(span_id)
+                ):
+                    failures += _err(
+                        path,
+                        f"{where}.args.{key}: expected 16 lowercase hex "
+                        f"digits, got {span_id!r}",
+                    )
         if ph == "X":
             slices += 1
             if not _is_number(ev.get("dur")) or ev.get("dur", -1) < 0:
@@ -75,6 +117,15 @@ def check_file(path):
             if ev.get("s") not in ("t", "p", "g"):
                 failures += _err(
                     path, f"{where}.s: instant scope must be t, p or g"
+                )
+        elif ph in ("s", "f"):
+            flows += 1
+            flow_id = ev.get("id")
+            if not isinstance(flow_id, (str, int)) or isinstance(
+                flow_id, bool
+            ):
+                failures += _err(
+                    path, f"{where}.id: flow event needs a string or int id"
                 )
         elif ph == "C":
             counters += 1
@@ -93,7 +144,8 @@ def check_file(path):
 
     if failures == 0:
         print(f"{path}: OK ({slices} slices, {instants} instants, "
-              f"{counters} counter samples, {len(events)} events)")
+              f"{counters} counter samples, {flows} flow events, "
+              f"{len(events)} events)")
     return failures
 
 

@@ -20,6 +20,8 @@
 //   homctl stats    build_metrics.json
 //   homctl tail     events.jsonl [--follow]
 //   homctl monitor  events.jsonl
+//   homctl trace    merge --spans a.jsonl,b.jsonl
+//                   [--journals x.jsonl,y.jsonl] [--out merged.json]
 //
 // `evaluate` can persist its serving state (`--checkpoint-out c.homc`,
 // optionally every N records with `--checkpoint-every N`) and later pick
@@ -126,6 +128,7 @@
 #include "obs/request_timer.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "obs/trace_export.h"
 #include "replication/replica.h"
 #include "replication/shipper.h"
@@ -155,7 +158,7 @@ struct Args {
 /// else a bare token is a typo and parsing fails loudly.
 bool TakesPositional(const std::string& command) {
   return command == "stats" || command == "tail" || command == "monitor" ||
-         command == "checkpoint";
+         command == "checkpoint" || command == "trace";
 }
 
 /// Flags that take no value; their presence sets the option to "1".
@@ -375,6 +378,15 @@ Result<std::unique_ptr<obs::HttpServer>> StartIntrospectionServer(
   // stack profile of the window. Blocking (single HTTP worker), bounded at
   // 30 s; 409 while another window (e.g. --profile-out) is running.
   server->Handle("/profilez", obs::HandleProfilezRequest);
+  // The newest distributed-trace spans this process recorded (shipper
+  // POSTs, standby applies, swap legs), for ad-hoc correlation without
+  // waiting for a --spans-out file.
+  server->Handle("/tracez", [] {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = obs::TraceBuffer::Instance().RecentJson().Dump(2) + "\n";
+    return response;
+  });
   if (register_extra) register_extra(server.get());
   HOM_RETURN_NOT_OK(server->Start());
   return server;
@@ -394,6 +406,10 @@ struct SwapController {
   Status result;
   obs::JsonValue reply = obs::JsonValue::Object();
   std::atomic<bool>* interrupt = nullptr;
+  /// Trace context of the /swapz request (captured from the handler
+  /// thread's server span), so the serving loop's migrate/resume work —
+  /// which runs on a different thread — joins the caller's trace.
+  obs::TraceContext trace;
 };
 
 /// POST /swapz with HOM2 model bytes as the body. Validates the model on
@@ -420,6 +436,9 @@ obs::HttpResponse HandleSwapRequest(SwapController* swap,
   swap->incoming = std::move(*loaded);
   swap->pending = true;
   swap->done = false;
+  swap->trace = obs::CurrentTraceContext() != nullptr
+                    ? *obs::CurrentTraceContext()
+                    : obs::TraceContext{};
   swap->interrupt->store(true, std::memory_order_relaxed);
   bool finished = swap->cv.wait_for(lock, std::chrono::seconds(30),
                                     [swap] { return swap->done; });
@@ -825,6 +844,14 @@ int CmdServe(const Args& args) {
   std::string in = args.Get("in", "");
   if (in.empty()) return Fail("serve requires --in <online.csv>");
 
+  // --trace-seed S: deterministic trace/span ids (chaos runs reproduce
+  // byte-identical timelines). Each process of a replicated pair needs its
+  // own seed or their ids collide in the merged view.
+  if (args.Has("trace-seed")) {
+    obs::SeedTraceIds(
+        static_cast<uint64_t>(std::atoll(args.Get("trace-seed", "0"))));
+  }
+
   auto model = LoadHighOrderModelFromFile(model_path);
   if (!model.ok()) return Fail(model.status().ToString());
   PublishModelBuildInfo(**model);
@@ -887,6 +914,21 @@ int CmdServe(const Args& args) {
       });
   if (!started.ok()) return Fail(started.status().ToString());
   std::unique_ptr<obs::HttpServer> server = std::move(*started);
+
+  // Name this process for span files and /tracez, then (--spans-out)
+  // stream every finished span to disk. The sink flushes per span, so a
+  // SIGKILLed primary's file is complete up to the kill — the failover
+  // timeline depends on that.
+  obs::TraceBuffer::Instance().set_process_name(
+      std::string(standby_mode ? "standby:" : "primary:") +
+      std::to_string(server->port()));
+  if (args.Has("spans-out")) {
+    if (Status st = obs::TraceBuffer::Instance().AttachJsonlSink(
+            args.Get("spans-out", ""));
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
 
   g_shutdown.store(false, std::memory_order_relaxed);
   std::signal(SIGTERM, HandleShutdownSignal);
@@ -1068,8 +1110,13 @@ int CmdServe(const Args& args) {
               ? ship_every
               : std::min(ship_every, checkpoint_every);
       options.on_checkpoint = [&](const PrequentialProgress& progress) {
+        // Root of the round's trace: capture, save, and ship (with the
+        // standby's apply, via the propagated traceparent) all become one
+        // causal chain under this span's trace id.
+        obs::DistSpan round_span("checkpoint.round", obs::SpanKind::kInternal);
         auto ckpt = CaptureCheckpoint(**model);
         if (!ckpt.ok()) {
+          round_span.set_status("capture failed");
           std::fprintf(stderr, "homctl: checkpoint: %s\n",
                        ckpt.status().ToString().c_str());
           return;
@@ -1124,6 +1171,12 @@ int CmdServe(const Args& args) {
       // /swapz stopped the pass at a record boundary: migrate the drift
       // filter's state onto the new model, switch, and resume the pass
       // exactly where it stopped — no record is served twice or dropped.
+      // The span adopts the /swapz request's context (captured on the
+      // handler thread), so the pause -> migrate -> resume window shows up
+      // under the swap caller's trace; its scope ends at the `continue`
+      // below, i.e. exactly when serving resumes.
+      obs::DistSpan swap_span("swap.apply", obs::SpanKind::kInternal,
+                              swap.trace);
       auto swap_started = std::chrono::steady_clock::now();
       std::unique_ptr<HighOrderClassifier> fresh;
       {
@@ -1176,6 +1229,7 @@ int CmdServe(const Args& args) {
       } else {
         // The old model never stopped being valid; it keeps serving.
         swap.result = mapping.status();
+        swap_span.set_status("migration rejected");
       }
       swap.done = true;
       swap.cv.notify_all();
@@ -1259,6 +1313,13 @@ int CmdServe(const Args& args) {
   }
   server->Stop();
   if (args.Has("journal-out")) journal.CloseSink();
+  if (args.Has("spans-out")) {
+    obs::TraceBuffer::Instance().CloseSink();
+    std::printf("spans: %llu recorded -> %s\n",
+                static_cast<unsigned long long>(
+                    obs::TraceBuffer::Instance().recorded()),
+                args.Get("spans-out", ""));
+  }
   std::printf("alerts: %zu firing, %llu transitions over %llu evaluations\n",
               mon.alerts->firing(),
               static_cast<unsigned long long>(mon.alerts->transitions()),
@@ -1293,10 +1354,17 @@ int CmdSwap(const Args& args) {
   // migration probes every concept pair: give it more room than the
   // introspection default.
   http.io_timeout_ms = 35000;
+  http.traceparent_provider = obs::CurrentTraceparentOrEmpty;
   HttpClient client(target->first, target->second, http);
+  // Root of the swap's trace: the serve side's "POST /swapz" server span
+  // and its pause -> migrate -> resume legs all parent back onto this.
+  obs::DistSpan span("swap.request", obs::SpanKind::kClient);
   auto response =
       client.PostWithRetry("/swapz", "application/x-hom-model", *bytes);
-  if (!response.ok()) return Fail(response.status().ToString());
+  if (!response.ok()) {
+    span.set_status("transport error");
+    return Fail(response.status().ToString());
+  }
   if (response->status != 200) {
     return Fail("swap rejected (HTTP " + std::to_string(response->status) +
                 "): " + response->body);
@@ -1748,6 +1816,9 @@ int CmdTail(const Args& args, bool follow) {
         break;
       }
       if (line.empty()) continue;
+      // A v2 journal opens with a {"journal_schema": ...} header line;
+      // it frames the file, it is not an event.
+      if (obs::EventJournal::IsHeaderLine(line)) continue;
       auto event = obs::EventJournal::FromJsonl(line);
       if (!event.ok()) {
         ++bad_lines;
@@ -1778,6 +1849,164 @@ int CmdTail(const Args& args, bool follow) {
   return 0;
 }
 
+/// Splits a comma-separated file list ("a.jsonl,b.jsonl"). Lists are
+/// comma-joined because repeated --spans flags would overwrite each other
+/// in the options map.
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) parts.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Reads one --spans-out file into a ProcessTrace: the header line names
+/// the process and pins the schema version; every following line is one
+/// span.
+Result<obs::ProcessTrace> ReadSpanFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  obs::ProcessTrace process;
+  process.name = path;
+  std::string line;
+  bool saw_header = false;
+  size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      HOM_ASSIGN_OR_RETURN(obs::JsonValue header, obs::JsonValue::Parse(line));
+      const obs::JsonValue* schema = header.Find("span_schema");
+      if (schema == nullptr || !schema->is_number()) {
+        return Status::InvalidArgument(
+            path + ": first line is not a span-file header "
+                   "(missing span_schema)");
+      }
+      if (static_cast<int>(schema->as_double()) != obs::kSpanSchemaVersion) {
+        return Status::InvalidArgument(
+            path + ": unknown span_schema " +
+            std::to_string(static_cast<int>(schema->as_double())) +
+            " (this homctl knows " +
+            std::to_string(obs::kSpanSchemaVersion) + ")");
+      }
+      if (const obs::JsonValue* name = header.Find("process");
+          name != nullptr && name->is_string()) {
+        process.name = name->as_string();
+      }
+      continue;
+    }
+    auto span = obs::SpanFromJsonl(line);
+    if (!span.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + span.status().ToString());
+    }
+    process.spans.push_back(std::move(*span));
+  }
+  return process;
+}
+
+/// Reads one --journal-out file: the v2 header yields the wall-clock
+/// epoch that anchors the events on the merged timeline (a v1 file has
+/// neither, and its events can only be placed relative to the origin).
+Status ReadJournalFile(const std::string& path, int64_t* epoch_unix_us,
+                       std::vector<obs::Event>* events) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1 && obs::EventJournal::IsHeaderLine(line)) {
+      HOM_ASSIGN_OR_RETURN(obs::JsonValue header, obs::JsonValue::Parse(line));
+      const obs::JsonValue* schema = header.Find("journal_schema");
+      if (schema == nullptr || !schema->is_number() ||
+          static_cast<int>(schema->as_double()) >
+              obs::kJournalSchemaVersion) {
+        return Status::InvalidArgument(
+            path + ": unknown journal_schema (this homctl knows up to " +
+            std::to_string(obs::kJournalSchemaVersion) + ")");
+      }
+      if (const obs::JsonValue* epoch = header.Find("epoch_unix_us");
+          epoch != nullptr && epoch->is_number()) {
+        *epoch_unix_us = static_cast<int64_t>(epoch->as_double());
+      }
+      continue;
+    }
+    auto event = obs::EventJournal::FromJsonl(line);
+    if (!event.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + event.status().ToString());
+    }
+    events->push_back(std::move(*event));
+  }
+  return Status::OK();
+}
+
+/// `homctl trace merge --spans primary.jsonl,standby.jsonl
+///   [--journals primary_j.jsonl,standby_j.jsonl] [--out merged.json]`:
+/// fuses span files (and, positionally matched, journal files — the i-th
+/// journal joins the i-th span file's process; extras become their own
+/// processes) from a replicated pair into one Perfetto timeline with
+/// cross-process flow arrows. The output passes tools/check_trace_json.py.
+int CmdTrace(const Args& args) {
+  if (args.positional != "merge") {
+    return Fail("usage: homctl trace merge --spans a.jsonl[,b.jsonl] "
+                "[--journals x.jsonl[,y.jsonl]] [--out merged.json]");
+  }
+  std::vector<std::string> span_files =
+      SplitCommaList(args.Get("spans", ""));
+  if (span_files.empty()) {
+    return Fail("trace merge requires --spans <file[,file...]>");
+  }
+  std::vector<obs::ProcessTrace> processes;
+  size_t total_spans = 0;
+  for (const std::string& path : span_files) {
+    auto process = ReadSpanFile(path);
+    if (!process.ok()) return Fail(process.status().ToString());
+    total_spans += process->spans.size();
+    processes.push_back(std::move(*process));
+  }
+  std::vector<std::string> journal_files =
+      SplitCommaList(args.Get("journals", ""));
+  size_t total_events = 0;
+  for (size_t i = 0; i < journal_files.size(); ++i) {
+    int64_t epoch_unix_us = 0;
+    std::vector<obs::Event> events;
+    if (Status st = ReadJournalFile(journal_files[i], &epoch_unix_us,
+                                    &events);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    total_events += events.size();
+    if (i < processes.size()) {
+      processes[i].epoch_unix_us = epoch_unix_us;
+      processes[i].events = std::move(events);
+    } else {
+      obs::ProcessTrace extra;
+      extra.name = journal_files[i];
+      extra.epoch_unix_us = epoch_unix_us;
+      extra.events = std::move(events);
+      processes.push_back(std::move(extra));
+    }
+  }
+  obs::JsonValue doc = obs::MergedTraceDocument(processes);
+  std::string out = args.Get("out", "merged_trace.json");
+  std::ofstream file(out, std::ios::trunc);
+  if (!file) return Fail("cannot open " + out);
+  file << doc.Dump(2) << "\n";
+  if (!file) return Fail("failed writing " + out);
+  std::printf("trace merge: %zu process(es), %zu spans, %zu journal "
+              "events -> %s\n",
+              processes.size(), total_spans, total_events, out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1799,10 +2028,11 @@ int main(int argc, char** argv) {
   if (args->command == "stats") return CmdStats(*args);
   if (args->command == "tail") return CmdTail(*args, /*follow=*/false);
   if (args->command == "monitor") return CmdTail(*args, /*follow=*/true);
+  if (args->command == "trace") return CmdTrace(*args);
   std::fprintf(stderr,
                "usage: homctl <generate|build|evaluate|serve|swap|inspect|"
-               "alerts|checkpoint|chaos|stats|tail|monitor> [--verbose] "
-               "[--key value ...]\n"
+               "alerts|checkpoint|chaos|stats|tail|monitor|trace> "
+               "[--verbose] [--key value ...]\n"
                "  generate   --stream s --n N --seed S [--lambda L] --out "
                "f.csv\n"
                "  build      --stream s --in hist.csv --out model.hom"
@@ -1836,6 +2066,7 @@ int main(int argc, char** argv) {
                " [--primary-id ID]\n"
                "             [--standby] [--promote-after MS]"
                " [--replica-id ID]\n"
+               "             [--spans-out spans.jsonl] [--trace-seed S]\n"
                "  swap       --target host:port --model new.hom\n"
                "  inspect    --model model.hom\n"
                "  alerts     [--config a.json] [--slo X]"
@@ -1844,6 +2075,8 @@ int main(int argc, char** argv) {
                "  chaos      [--seed S] [--trials N] [--dir scratch]\n"
                "  stats      m.json [--format pretty|prometheus]\n"
                "  tail       e.jsonl [--follow]\n"
-               "  monitor    e.jsonl\n");
+               "  monitor    e.jsonl\n"
+               "  trace      merge --spans a.jsonl[,b.jsonl]"
+               " [--journals x.jsonl[,y.jsonl]] [--out merged.json]\n");
   return args->command.empty() ? 1 : 2;
 }

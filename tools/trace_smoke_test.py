@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""End-to-end distributed-tracing smoke test for a replicated pair.
+
+Usage: trace_smoke_test.py <path-to-homctl> [<path-to-check_trace_json.py>]
+
+Runs a seeded kill-primary failover with tracing on: a primary
+(`--trace-seed 1 --spans-out --journal-out`) ships checkpoints to a
+standby (`--trace-seed 2 ...`), the primary is SIGKILLed mid-stream, and
+the standby promotes on heartbeat loss and finishes the stream. Then:
+
+- /tracez on the live standby must serve a JSON tail of server-side
+  spans that share a trace id with the primary's ship spans.
+- The primary's span file must survive SIGKILL complete (per-span
+  flush), carrying ship.round/ship.serialize/ship.post spans.
+- `homctl trace merge` must fuse both span files and both journals into
+  one Chrome-trace JSON that check_trace_json.py accepts, containing
+  both process_name entries and at least one cross-process flow arrow.
+- The standby's replica.apply and replica.promote spans must carry the
+  *same trace id* as the primary's last ship.round — the takeover is
+  causally attributed to the ship that fed it, across the kill.
+
+Exit 0 on success, 1 with FAIL lines otherwise.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit("command failed: %s\n%s%s" %
+                         (" ".join(cmd), proc.stdout, proc.stderr))
+    return proc.stdout
+
+
+def fetch_json(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def start_serve(homctl, args):
+    proc = subprocess.Popen([homctl, "serve"] + args, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    banner = proc.stdout.readline()
+    m = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+    if not m:
+        proc.kill()
+        raise SystemExit("no port in serve banner: %r" % banner)
+    return proc, int(m.group(1))
+
+
+def read_spans(path, failures, label):
+    """Parses a span JSONL file: (header dict, list of span dicts)."""
+    if not os.path.exists(path):
+        failures.append("%s: span file %s missing" % (label, path))
+        return {}, []
+    header, spans = {}, []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if lineno == 1:
+                if "span_schema" not in doc:
+                    failures.append("%s: first line of %s is not a header" %
+                                    (label, path))
+                header = doc
+                continue
+            if not TRACE_ID_RE.match(doc.get("trace_id", "")):
+                failures.append("%s:%d: malformed trace_id in %r" %
+                                (label, lineno, line[:120]))
+                continue
+            spans.append(doc)
+    return header, spans
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    homctl = os.path.abspath(sys.argv[1])
+    checker = (os.path.abspath(sys.argv[2]) if len(sys.argv) == 3 else
+               os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "check_trace_json.py"))
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="hom_trace_smoke.") as tmp:
+        hist = os.path.join(tmp, "hist.csv")
+        online = os.path.join(tmp, "online.csv")
+        model = os.path.join(tmp, "model.hom")
+        run([homctl, "generate", "--stream", "stagger", "--n", "6000",
+             "--out", hist])
+        run([homctl, "generate", "--stream", "stagger", "--n", "4000",
+             "--seed", "9", "--out", online])
+        run([homctl, "build", "--in", hist, "--out", model])
+
+        primary_spans = os.path.join(tmp, "primary_spans.jsonl")
+        primary_journal = os.path.join(tmp, "primary_journal.jsonl")
+        standby_spans = os.path.join(tmp, "standby_spans.jsonl")
+        standby_journal = os.path.join(tmp, "standby_journal.jsonl")
+
+        standby, standby_port = start_serve(homctl, [
+            "--model", model, "--in", online, "--listen", "0", "--standby",
+            "--promote-after", "1200", "--passes", "1",
+            "--trace-seed", "2", "--spans-out", standby_spans,
+            "--journal-out", standby_journal])
+        primary, _ = start_serve(homctl, [
+            "--model", model, "--in", online, "--listen", "0",
+            "--replicate-to", "127.0.0.1:%d" % standby_port,
+            "--ship-every", "500", "--passes", "0",
+            "--trace-seed", "1", "--spans-out", primary_spans,
+            "--journal-out", primary_journal])
+        try:
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                status = fetch_json(
+                    "http://127.0.0.1:%d/replicaz" % standby_port)
+                if status.get("applied_sequence", 0) >= 2:
+                    break
+                time.sleep(0.02)
+            else:
+                raise SystemExit("standby never applied two checkpoints")
+
+            # The live standby's /tracez tail must already show server-side
+            # spans from the primary's traces.
+            tracez = fetch_json("http://127.0.0.1:%d/tracez" % standby_port)
+            if not str(tracez.get("process", "")).startswith("standby:"):
+                failures.append("/tracez: process %r is not standby:<port>" %
+                                tracez.get("process"))
+            tracez_spans = tracez.get("spans", [])
+            if not any(s.get("name") == "replica.apply"
+                       for s in tracez_spans):
+                failures.append("/tracez: no replica.apply span in %d spans" %
+                                len(tracez_spans))
+
+            primary.kill()  # SIGKILL: no drain, no flush beyond per-span
+            primary.wait()
+            out, _ = standby.communicate(timeout=120)
+        finally:
+            for proc in (primary, standby):
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait()
+
+        if standby.returncode != 0:
+            raise SystemExit("standby exited %d:\n%s" %
+                             (standby.returncode, out))
+        if "promoted: serving as primary" not in out:
+            raise SystemExit("standby never promoted:\n%s" % out)
+
+        _, pri_spans = read_spans(primary_spans, failures, "primary")
+        _, sta_spans = read_spans(standby_spans, failures, "standby")
+
+        for name in ("ship.round", "ship.serialize", "ship.post"):
+            if not any(s["name"] == name for s in pri_spans):
+                failures.append("primary: no %s span survived SIGKILL" % name)
+        # Every ship.* span of a round shares its trace id, and
+        # ship.serialize flushes *before* the POST goes out — so the trace
+        # id of anything the standby applied is in this set no matter where
+        # in a round the SIGKILL landed.
+        ship_traces = {s["trace_id"] for s in pri_spans
+                       if s["name"].startswith("ship.")}
+
+        applies = [s for s in sta_spans if s["name"] == "replica.apply"]
+        promotes = [s for s in sta_spans if s["name"] == "replica.promote"]
+        if not applies:
+            failures.append("standby: no replica.apply spans")
+        if len(promotes) != 1:
+            failures.append("standby: want exactly 1 replica.promote span, "
+                            "got %d" % len(promotes))
+        if ship_traces and applies and promotes:
+            for apply_span in applies:
+                if apply_span["trace_id"] not in ship_traces:
+                    failures.append(
+                        "standby: replica.apply trace %s matches no primary "
+                        "ship span" % apply_span["trace_id"])
+            # The takeover is attributed to the ship that fed it: the
+            # promotion span continues the last applied checkpoint's trace,
+            # parented on that apply span.
+            last_apply = applies[-1]
+            promote = promotes[0]
+            if promote["trace_id"] != last_apply["trace_id"]:
+                failures.append(
+                    "promotion trace %s is not the last apply's trace %s" %
+                    (promote["trace_id"], last_apply["trace_id"]))
+            if promote.get("parent_span_id") != last_apply["span_id"]:
+                failures.append("promotion span is not parented on the last "
+                                "replica.apply span")
+            if promote["trace_id"] not in ship_traces:
+                failures.append(
+                    "promotion trace %s was started by no primary ship" %
+                    promote["trace_id"])
+
+        # Merge both sides into one timeline and validate it.
+        merged = os.path.join(tmp, "merged_trace.json")
+        merge_out = run([homctl, "trace", "merge",
+                         "--spans", "%s,%s" % (primary_spans, standby_spans),
+                         "--journals",
+                         "%s,%s" % (primary_journal, standby_journal),
+                         "--out", merged])
+        if "2 process(es)" not in merge_out:
+            failures.append("trace merge did not report 2 processes: %r" %
+                            merge_out)
+        run([sys.executable, checker, merged])
+
+        doc = json.load(open(merged))
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("ph") == "M" and e.get("name") == "process_name"}
+        if not any(n.startswith("primary:") for n in names) or \
+                not any(n.startswith("standby:") for n in names):
+            failures.append("merged trace process names wrong: %r" % names)
+        flows = [e for e in doc["traceEvents"] if e.get("ph") in ("s", "f")]
+        if not any(e["ph"] == "s" for e in flows) or \
+                not any(e["ph"] == "f" for e in flows):
+            failures.append("merged trace has no cross-process flow arrows")
+
+    if failures:
+        for failure in failures:
+            print("FAIL %s" % failure, file=sys.stderr)
+        return 1
+    print("trace smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
